@@ -1,0 +1,141 @@
+//! The two real-world apps from the paper's evaluation (§V-A, Fig. 10,
+//! Table III): MovieTrailer and VirtualHome.
+
+use ape_cachealg::{AppId, Priority};
+use ape_httpsim::Url;
+use ape_simnet::SimDuration;
+
+use crate::dag::{AppDag, ObjectSpec};
+use crate::spec::AppSpec;
+
+fn object(
+    domain: &str,
+    name: &str,
+    size: u64,
+    ttl_min: u64,
+    latency_ms: u64,
+    priority: Priority,
+) -> ObjectSpec {
+    ObjectSpec {
+        name: name.to_owned(),
+        url: Url::parse(&format!("http://{domain}/{name}")).expect("static url is valid"),
+        size,
+        ttl: SimDuration::from_mins(ttl_min),
+        remote_latency: SimDuration::from_millis(latency_ms),
+        priority,
+    }
+}
+
+/// MovieTrailer (Fig. 3): `getMovieID` fans out to four concurrent fetches;
+/// the thumbnail dominates, so the critical path is
+/// `getMovieID → getThumbnail` and those two objects are high priority
+/// (Table III).
+pub fn movie_trailer(id: AppId) -> AppSpec {
+    let domain = "api.movietrailer.example";
+    let mut b = AppDag::builder();
+    let movie_id = b.object(object(domain, "movieID", 256, 60, 25, Priority::HIGH));
+    let rating = b.object(object(domain, "rating", 2_048, 30, 25, Priority::LOW));
+    let plot = b.object(object(domain, "plot", 6_144, 30, 25, Priority::LOW));
+    let cast = b.object(object(domain, "cast", 4_096, 30, 25, Priority::LOW));
+    let thumbnail = b.object(object(domain, "thumbnail", 92_160, 60, 35, Priority::HIGH));
+    for o in [rating, plot, cast, thumbnail] {
+        b.dep(movie_id, o);
+    }
+    let dag = b.build().expect("static DAG is acyclic");
+    AppSpec::new(id, "MovieTrailer", dag).with_variants(10)
+}
+
+/// VirtualHome (Fig. 10): a product category resolves to AR object ids,
+/// which resolve to the AR objects themselves. Table III marks `ARObjects`
+/// high priority and `ARObjectsID` low.
+pub fn virtual_home(id: AppId) -> AppSpec {
+    let domain = "api.virtualhome.example";
+    let mut b = AppDag::builder();
+    let ids = b.object(object(domain, "ARObjectsID", 512, 60, 22, Priority::LOW));
+    let objects = b.object(object(domain, "ARObjects", 204_800, 60, 45, Priority::HIGH));
+    b.dep(ids, objects);
+    let dag = b.build().expect("static DAG is acyclic");
+    AppSpec::new(id, "VirtualHome", dag).with_variants(10)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn movie_trailer_matches_fig3() {
+        let app = movie_trailer(AppId::new(1));
+        assert_eq!(app.name(), "MovieTrailer");
+        assert_eq!(app.dag().len(), 5);
+        // One root (movieID), four dependents.
+        assert_eq!(app.dag().roots().len(), 1);
+        let fanout = app
+            .dag()
+            .iter()
+            .filter(|(i, _)| app.dag().deps(*i).len() == 1)
+            .count();
+        assert_eq!(fanout, 4);
+    }
+
+    #[test]
+    fn movie_trailer_critical_path_is_id_then_thumbnail() {
+        let app = movie_trailer(AppId::new(1));
+        let (path, _) = app.dag().critical_path();
+        let names: Vec<&str> = path
+            .iter()
+            .map(|i| app.dag().object(*i).name.as_str())
+            .collect();
+        assert_eq!(names, vec!["movieID", "thumbnail"]);
+    }
+
+    #[test]
+    fn movie_trailer_priorities_match_table3() {
+        let app = movie_trailer(AppId::new(1));
+        let priority_of = |name: &str| {
+            app.dag()
+                .iter()
+                .find(|(_, o)| o.name == name)
+                .map(|(_, o)| o.priority)
+                .unwrap()
+        };
+        assert_eq!(priority_of("movieID"), Priority::HIGH);
+        assert_eq!(priority_of("thumbnail"), Priority::HIGH);
+        for low in ["rating", "plot", "cast"] {
+            assert_eq!(priority_of(low), Priority::LOW, "{low}");
+        }
+        // Deriving from the critical path reproduces the same annotation.
+        let mut dag = app.dag().clone();
+        dag.derive_priorities();
+        for (idx, obj) in dag.iter() {
+            assert_eq!(obj.priority, app.dag().object(idx).priority, "{}", obj.name);
+        }
+    }
+
+    #[test]
+    fn virtual_home_matches_table3() {
+        let app = virtual_home(AppId::new(2));
+        assert_eq!(app.dag().len(), 2);
+        let find = |name: &str| {
+            app.dag()
+                .iter()
+                .find(|(_, o)| o.name == name)
+                .map(|(_, o)| o.clone())
+                .unwrap()
+        };
+        assert_eq!(find("ARObjectsID").priority, Priority::LOW);
+        assert_eq!(find("ARObjects").priority, Priority::HIGH);
+        // Sequential chain.
+        assert_eq!(app.dag().roots().len(), 1);
+        let (path, _) = app.dag().critical_path();
+        assert_eq!(path.len(), 2);
+    }
+
+    #[test]
+    fn apps_use_distinct_domains() {
+        let m = movie_trailer(AppId::new(1));
+        let v = virtual_home(AppId::new(2));
+        let mh = m.dag().object(m.dag().roots()[0]).url.host().clone();
+        let vh = v.dag().object(v.dag().roots()[0]).url.host().clone();
+        assert_ne!(mh, vh);
+    }
+}

@@ -1,0 +1,400 @@
+//! Request-dependency DAGs and critical-path analysis.
+//!
+//! A mobile app's data-fetching logic is a DAG of HTTP requests: an edge
+//! `a → b` means `b` can only start after `a` completes (e.g. MovieTrailer
+//! needs the movie id before it can fetch the thumbnail). The *critical
+//! path* — the longest start-to-finish path by estimated fetch duration —
+//! determines app-level latency, and objects on it get high priority
+//! (paper §III-A).
+
+use ape_cachealg::Priority;
+use ape_httpsim::Url;
+use ape_simnet::SimDuration;
+
+/// Index of an object within its [`AppDag`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ObjIdx(usize);
+
+impl ObjIdx {
+    /// The raw index.
+    pub const fn get(self) -> usize {
+        self.0
+    }
+}
+
+/// Static description of one cacheable object an app fetches.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObjectSpec {
+    /// Human-readable name ("thumbnail").
+    pub name: String,
+    /// The object's URL template (query parameters vary per execution).
+    pub url: Url,
+    /// Object size in bytes.
+    pub size: u64,
+    /// Developer TTL.
+    pub ttl: SimDuration,
+    /// Extra latency the origin adds when serving this object (the paper
+    /// simulates 20–50 ms to stand in for servers at varying distances).
+    pub remote_latency: SimDuration,
+    /// Developer priority; usually derived from the critical path via
+    /// [`AppDag::derive_priorities`].
+    pub priority: Priority,
+}
+
+/// Errors constructing a DAG.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DagError {
+    /// An edge referenced an unknown object index.
+    UnknownObject(usize),
+    /// The dependency graph contains a cycle.
+    Cyclic,
+    /// An edge from an object to itself.
+    SelfEdge(usize),
+}
+
+impl std::fmt::Display for DagError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DagError::UnknownObject(i) => write!(f, "edge references unknown object {i}"),
+            DagError::Cyclic => write!(f, "dependency graph contains a cycle"),
+            DagError::SelfEdge(i) => write!(f, "object {i} depends on itself"),
+        }
+    }
+}
+
+impl std::error::Error for DagError {}
+
+/// A validated request-dependency DAG.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AppDag {
+    objects: Vec<ObjectSpec>,
+    /// `deps[i]` lists the objects that must complete before `i` starts.
+    deps: Vec<Vec<ObjIdx>>,
+    /// Topological order (computed at build time).
+    topo: Vec<ObjIdx>,
+}
+
+/// Incremental builder for [`AppDag`].
+#[derive(Debug, Default)]
+pub struct AppDagBuilder {
+    objects: Vec<ObjectSpec>,
+    edges: Vec<(usize, usize)>,
+}
+
+impl AppDagBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        AppDagBuilder::default()
+    }
+
+    /// Adds an object, returning its index.
+    pub fn object(&mut self, spec: ObjectSpec) -> ObjIdx {
+        self.objects.push(spec);
+        ObjIdx(self.objects.len() - 1)
+    }
+
+    /// Declares that `after` depends on `before`.
+    pub fn dep(&mut self, before: ObjIdx, after: ObjIdx) -> &mut Self {
+        self.edges.push((before.0, after.0));
+        self
+    }
+
+    /// Validates and builds the DAG.
+    ///
+    /// # Errors
+    ///
+    /// [`DagError`] for unknown indices, self-edges, or cycles.
+    pub fn build(self) -> Result<AppDag, DagError> {
+        let n = self.objects.len();
+        let mut deps = vec![Vec::new(); n];
+        let mut out = vec![Vec::new(); n];
+        let mut indegree = vec![0usize; n];
+        for (before, after) in &self.edges {
+            if *before >= n {
+                return Err(DagError::UnknownObject(*before));
+            }
+            if *after >= n {
+                return Err(DagError::UnknownObject(*after));
+            }
+            if before == after {
+                return Err(DagError::SelfEdge(*before));
+            }
+            deps[*after].push(ObjIdx(*before));
+            out[*before].push(*after);
+            indegree[*after] += 1;
+        }
+        // Kahn's algorithm; deterministic because the ready list is a
+        // sorted queue over indices.
+        let mut ready: Vec<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
+        let mut topo = Vec::with_capacity(n);
+        while let Some(&i) = ready.first() {
+            ready.remove(0);
+            topo.push(ObjIdx(i));
+            for &next in &out[i] {
+                indegree[next] -= 1;
+                if indegree[next] == 0 {
+                    let pos = ready.binary_search(&next).unwrap_or_else(|p| p);
+                    ready.insert(pos, next);
+                }
+            }
+        }
+        if topo.len() != n {
+            return Err(DagError::Cyclic);
+        }
+        Ok(AppDag {
+            objects: self.objects,
+            deps,
+            topo,
+        })
+    }
+}
+
+impl AppDag {
+    /// Starts a builder.
+    pub fn builder() -> AppDagBuilder {
+        AppDagBuilder::new()
+    }
+
+    /// Number of objects.
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Whether the DAG has no objects.
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+
+    /// The object at `idx`.
+    pub fn object(&self, idx: ObjIdx) -> &ObjectSpec {
+        &self.objects[idx.0]
+    }
+
+    /// Mutable access (used by [`derive_priorities`](Self::derive_priorities)).
+    pub fn object_mut(&mut self, idx: ObjIdx) -> &mut ObjectSpec {
+        &mut self.objects[idx.0]
+    }
+
+    /// All objects with their indices.
+    pub fn iter(&self) -> impl Iterator<Item = (ObjIdx, &ObjectSpec)> {
+        self.objects.iter().enumerate().map(|(i, o)| (ObjIdx(i), o))
+    }
+
+    /// Direct dependencies of `idx`.
+    pub fn deps(&self, idx: ObjIdx) -> &[ObjIdx] {
+        &self.deps[idx.0]
+    }
+
+    /// Objects with no dependencies (execution entry points).
+    pub fn roots(&self) -> Vec<ObjIdx> {
+        (0..self.objects.len())
+            .map(ObjIdx)
+            .filter(|i| self.deps[i.0].is_empty())
+            .collect()
+    }
+
+    /// Topological order.
+    pub fn topo_order(&self) -> &[ObjIdx] {
+        &self.topo
+    }
+
+    /// Estimated standalone fetch duration of one object: the origin's
+    /// simulated latency plus a size-proportional transfer estimate.
+    pub fn estimated_fetch(&self, idx: ObjIdx) -> SimDuration {
+        let spec = &self.objects[idx.0];
+        // 10 MB/s effective transfer estimate for planning purposes.
+        let transfer = SimDuration::from_secs_f64(spec.size as f64 / 10_000_000.0);
+        spec.remote_latency + transfer
+    }
+
+    /// The critical path: the start-to-finish chain with the largest total
+    /// estimated fetch duration. Returns `(path, total)`.
+    pub fn critical_path(&self) -> (Vec<ObjIdx>, SimDuration) {
+        let n = self.objects.len();
+        let mut best: Vec<SimDuration> = vec![SimDuration::ZERO; n];
+        let mut parent: Vec<Option<ObjIdx>> = vec![None; n];
+        for &idx in &self.topo {
+            let own = self.estimated_fetch(idx);
+            let (longest_dep, from) = self.deps[idx.0]
+                .iter()
+                .map(|d| (best[d.0], Some(*d)))
+                .max_by_key(|(t, _)| *t)
+                .unwrap_or((SimDuration::ZERO, None));
+            best[idx.0] = longest_dep + own;
+            parent[idx.0] = from;
+        }
+        let Some(end) = (0..n).map(ObjIdx).max_by_key(|i| best[i.0]) else {
+            return (Vec::new(), SimDuration::ZERO);
+        };
+        let mut path = vec![end];
+        while let Some(prev) = parent[path.last().expect("non-empty").0] {
+            path.push(prev);
+        }
+        path.reverse();
+        (path, best[end.0])
+    }
+
+    /// Assigns [`Priority::HIGH`] to critical-path objects and
+    /// [`Priority::LOW`] to the rest, mirroring how the paper's developers
+    /// annotate apps (§V-A, Table III).
+    pub fn derive_priorities(&mut self) {
+        let (path, _) = self.critical_path();
+        for i in 0..self.objects.len() {
+            self.objects[i].priority = Priority::LOW;
+        }
+        for idx in path {
+            self.objects[idx.0].priority = Priority::HIGH;
+        }
+    }
+
+    /// Sum of all object sizes.
+    pub fn total_bytes(&self) -> u64 {
+        self.objects.iter().map(|o| o.size).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(name: &str, size: u64, latency_ms: u64) -> ObjectSpec {
+        ObjectSpec {
+            name: name.to_owned(),
+            url: Url::parse(&format!("http://app.example/{name}")).unwrap(),
+            size,
+            ttl: SimDuration::from_mins(10),
+            remote_latency: SimDuration::from_millis(latency_ms),
+            priority: Priority::LOW,
+        }
+    }
+
+    /// getMovieID -> {rating, plot, cast, thumbnail}; thumbnail is heavy.
+    fn movie_like() -> AppDag {
+        let mut b = AppDag::builder();
+        let id = b.object(spec("id", 200, 25));
+        let rating = b.object(spec("rating", 2_000, 25));
+        let plot = b.object(spec("plot", 4_000, 25));
+        let cast = b.object(spec("cast", 3_000, 25));
+        let thumb = b.object(spec("thumb", 80_000, 35));
+        for o in [rating, plot, cast, thumb] {
+            b.dep(id, o);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn builder_produces_expected_shape() {
+        let dag = movie_like();
+        assert_eq!(dag.len(), 5);
+        assert_eq!(dag.roots(), vec![ObjIdx(0)]);
+        assert_eq!(dag.deps(ObjIdx(4)), &[ObjIdx(0)]);
+        assert!(!dag.is_empty());
+        assert_eq!(dag.topo_order()[0], ObjIdx(0));
+    }
+
+    #[test]
+    fn critical_path_picks_heaviest_chain() {
+        let dag = movie_like();
+        let (path, total) = dag.critical_path();
+        let names: Vec<&str> = path.iter().map(|i| dag.object(*i).name.as_str()).collect();
+        assert_eq!(names, vec!["id", "thumb"]);
+        // id: 25ms + 0.02ms; thumb: 35ms + 8ms.
+        assert!((total.as_millis_f64() - 68.02).abs() < 0.1, "total {total}");
+    }
+
+    #[test]
+    fn derive_priorities_marks_critical_path_high() {
+        let mut dag = movie_like();
+        dag.derive_priorities();
+        assert_eq!(dag.object(ObjIdx(0)).priority, Priority::HIGH); // id
+        assert_eq!(dag.object(ObjIdx(4)).priority, Priority::HIGH); // thumb
+        for i in 1..4 {
+            assert_eq!(dag.object(ObjIdx(i)).priority, Priority::LOW);
+        }
+    }
+
+    #[test]
+    fn critical_path_matches_exhaustive_search() {
+        // Diamond with a long middle chain.
+        let mut b = AppDag::builder();
+        let a = b.object(spec("a", 100, 10));
+        let b1 = b.object(spec("b1", 100, 30));
+        let b2 = b.object(spec("b2", 100, 30));
+        let c = b.object(spec("c", 100, 10));
+        b.dep(a, b1);
+        b.dep(a, b2);
+        b.dep(b1, c);
+        b.dep(b2, c);
+        let dag = b.build().unwrap();
+        let (_, total) = dag.critical_path();
+
+        // Exhaustive: enumerate all root-to-leaf paths.
+        fn all_paths(dag: &AppDag, from: ObjIdx, acc: SimDuration, best: &mut SimDuration) {
+            let here = acc + dag.estimated_fetch(from);
+            let succs: Vec<ObjIdx> = dag
+                .iter()
+                .filter(|(i, _)| dag.deps(*i).contains(&from))
+                .map(|(i, _)| i)
+                .collect();
+            if succs.is_empty() {
+                *best = (*best).max(here);
+            }
+            for s in succs {
+                all_paths(dag, s, here, best);
+            }
+        }
+        let mut best = SimDuration::ZERO;
+        for root in dag.roots() {
+            all_paths(&dag, root, SimDuration::ZERO, &mut best);
+        }
+        assert_eq!(total, best);
+    }
+
+    #[test]
+    fn cycle_detected() {
+        let mut b = AppDag::builder();
+        let x = b.object(spec("x", 1, 1));
+        let y = b.object(spec("y", 1, 1));
+        b.dep(x, y);
+        b.dep(y, x);
+        assert_eq!(b.build().unwrap_err(), DagError::Cyclic);
+    }
+
+    #[test]
+    fn self_edge_detected() {
+        let mut b = AppDag::builder();
+        let x = b.object(spec("x", 1, 1));
+        b.dep(x, x);
+        assert_eq!(b.build().unwrap_err(), DagError::SelfEdge(0));
+    }
+
+    #[test]
+    fn unknown_object_detected() {
+        let mut b = AppDagBuilder::new();
+        let x = b.object(spec("x", 1, 1));
+        b.edges.push((x.get(), 5));
+        assert_eq!(b.build().unwrap_err(), DagError::UnknownObject(5));
+    }
+
+    #[test]
+    fn empty_dag_is_fine() {
+        let dag = AppDag::builder().build().unwrap();
+        assert!(dag.is_empty());
+        let (path, total) = dag.critical_path();
+        assert!(path.is_empty());
+        assert_eq!(total, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn total_bytes_sums() {
+        assert_eq!(movie_like().total_bytes(), 89_200);
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(!DagError::Cyclic.to_string().is_empty());
+        assert!(!DagError::SelfEdge(1).to_string().is_empty());
+        assert!(!DagError::UnknownObject(2).to_string().is_empty());
+    }
+}

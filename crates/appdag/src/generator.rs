@@ -1,0 +1,218 @@
+//! The dummy-app generator (paper §V-A): synthesizes apps "with specific
+//! characteristics based on given input parameters" — object count, sizes,
+//! TTLs, retrieval latencies, and DAG shape.
+
+use ape_cachealg::{AppId, Priority};
+use ape_httpsim::Url;
+use ape_simnet::{SimDuration, SimRng};
+
+use crate::dag::{AppDag, ObjectSpec};
+use crate::spec::AppSpec;
+
+/// Parameter ranges for synthesized apps, defaulting to the paper's
+/// evaluation settings: sizes 1–100 KB, TTL 10–60 minutes, retrieval
+/// latency 20–50 ms.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DummyAppConfig {
+    /// Inclusive range of objects per app.
+    pub objects: (usize, usize),
+    /// Inclusive object-size range in bytes.
+    pub size_bytes: (u64, u64),
+    /// Inclusive TTL range in minutes.
+    pub ttl_minutes: (u64, u64),
+    /// Inclusive simulated origin latency range in milliseconds.
+    pub latency_ms: (u64, u64),
+    /// Inclusive range of sequential stages in the DAG.
+    pub stages: (usize, usize),
+}
+
+impl Default for DummyAppConfig {
+    fn default() -> Self {
+        DummyAppConfig {
+            objects: (4, 8),
+            size_bytes: (1_000, 100_000),
+            ttl_minutes: (10, 60),
+            latency_ms: (20, 50),
+            stages: (2, 3),
+        }
+    }
+}
+
+impl DummyAppConfig {
+    /// Returns a copy with a different object-size range (the Table IV /
+    /// Fig. 13a sweep parameter).
+    pub fn with_size_range(mut self, lo: u64, hi: u64) -> Self {
+        self.size_bytes = (lo, hi);
+        self
+    }
+
+    fn validate(&self) {
+        assert!(self.objects.0 >= 1 && self.objects.0 <= self.objects.1);
+        assert!(self.size_bytes.0 >= 1 && self.size_bytes.0 <= self.size_bytes.1);
+        assert!(self.ttl_minutes.0 >= 1 && self.ttl_minutes.0 <= self.ttl_minutes.1);
+        assert!(self.latency_ms.0 <= self.latency_ms.1);
+        assert!(self.stages.0 >= 1 && self.stages.0 <= self.stages.1);
+    }
+}
+
+/// Generates one synthetic app.
+///
+/// The DAG is staged: a single root object, then `stages − 1` layers whose
+/// objects each depend on one object of the previous layer — the common
+/// fetch-then-fan-out shape of network-bound mobile apps. Priorities are
+/// derived from the critical path, exactly as the paper assigns them
+/// ("priority for each object was assigned as 1 or 2 based on the critical
+/// path of the app").
+///
+/// # Panics
+///
+/// Panics if the config ranges are inverted or zero-sized.
+pub fn generate_app(id: AppId, config: &DummyAppConfig, rng: &mut SimRng) -> AppSpec {
+    config.validate();
+    let domain = format!("app{}.dummy.example", id.get());
+    let object_count = rng.uniform_u64(config.objects.0 as u64, config.objects.1 as u64) as usize;
+    let stage_count = rng
+        .uniform_u64(config.stages.0 as u64, config.stages.1 as u64)
+        .min(object_count as u64) as usize;
+
+    let mut b = AppDag::builder();
+    let mut previous_stage: Vec<crate::dag::ObjIdx> = Vec::new();
+    let mut placed = 0usize;
+    for stage in 0..stage_count {
+        let remaining_stages = stage_count - stage;
+        let remaining_objects = object_count - placed;
+        // Keep at least one object for each later stage.
+        let max_here = remaining_objects - (remaining_stages - 1);
+        let here = if stage == 0 {
+            1
+        } else if remaining_stages == 1 {
+            remaining_objects
+        } else {
+            rng.uniform_u64(1, max_here.max(1) as u64) as usize
+        };
+        let mut this_stage = Vec::with_capacity(here);
+        for _ in 0..here {
+            let spec = ObjectSpec {
+                name: format!("obj{placed}"),
+                url: Url::parse(&format!("http://{domain}/obj{placed}"))
+                    .expect("generated url is valid"),
+                size: rng.uniform_u64(config.size_bytes.0, config.size_bytes.1),
+                ttl: SimDuration::from_mins(
+                    rng.uniform_u64(config.ttl_minutes.0, config.ttl_minutes.1),
+                ),
+                remote_latency: SimDuration::from_millis(
+                    rng.uniform_u64(config.latency_ms.0, config.latency_ms.1),
+                ),
+                priority: Priority::LOW,
+            };
+            let idx = b.object(spec);
+            if let Some(dep) = rng.choose(&previous_stage) {
+                b.dep(*dep, idx);
+            }
+            this_stage.push(idx);
+            placed += 1;
+        }
+        previous_stage = this_stage;
+    }
+    let mut dag = b.build().expect("staged construction is acyclic");
+    dag.derive_priorities();
+    AppSpec::new(id, format!("DummyApp{}", id.get()), dag)
+}
+
+/// Generates a fleet of `count` synthetic apps with ids `0..count`.
+pub fn generate_fleet(count: usize, config: &DummyAppConfig, rng: &mut SimRng) -> Vec<AppSpec> {
+    (0..count)
+        .map(|i| generate_app(AppId::new(i as u32), config, rng))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> SimRng {
+        SimRng::seed_from(2024)
+    }
+
+    #[test]
+    fn generated_app_respects_ranges() {
+        let config = DummyAppConfig::default();
+        let mut r = rng();
+        for i in 0..50 {
+            let app = generate_app(AppId::new(i), &config, &mut r);
+            let n = app.dag().len();
+            assert!((config.objects.0..=config.objects.1).contains(&n), "n={n}");
+            for (_, obj) in app.dag().iter() {
+                assert!((config.size_bytes.0..=config.size_bytes.1).contains(&obj.size));
+                let ttl_min = obj.ttl.as_secs_f64() / 60.0;
+                assert!((10.0..=60.0).contains(&ttl_min), "ttl {ttl_min}");
+                let lat = obj.remote_latency.as_millis_f64();
+                assert!((20.0..=50.0).contains(&lat), "lat {lat}");
+            }
+        }
+    }
+
+    #[test]
+    fn generated_app_has_single_root_and_valid_dag() {
+        let mut r = rng();
+        for i in 0..50 {
+            let app = generate_app(AppId::new(i), &DummyAppConfig::default(), &mut r);
+            assert_eq!(app.dag().roots().len(), 1, "app {i}");
+            // Topological order exists by construction (build succeeded).
+            assert_eq!(app.dag().topo_order().len(), app.dag().len());
+        }
+    }
+
+    #[test]
+    fn priorities_follow_critical_path() {
+        let mut r = rng();
+        let app = generate_app(AppId::new(0), &DummyAppConfig::default(), &mut r);
+        let (path, _) = app.dag().critical_path();
+        for (idx, obj) in app.dag().iter() {
+            let on_path = path.contains(&idx);
+            assert_eq!(obj.priority.is_high(), on_path, "{}", obj.name);
+        }
+        // Both priorities appear whenever the DAG is larger than its path.
+        if app.dag().len() > path.len() {
+            assert!(app.dag().iter().any(|(_, o)| !o.priority.is_high()));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = generate_app(AppId::new(0), &DummyAppConfig::default(), &mut rng());
+        let b = generate_app(AppId::new(0), &DummyAppConfig::default(), &mut rng());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fleet_has_unique_domains() {
+        let mut r = rng();
+        let fleet = generate_fleet(30, &DummyAppConfig::default(), &mut r);
+        assert_eq!(fleet.len(), 30);
+        let mut domains: Vec<String> = fleet
+            .iter()
+            .map(|a| a.dag().object(a.dag().roots()[0]).url.host().to_string())
+            .collect();
+        domains.sort();
+        domains.dedup();
+        assert_eq!(domains.len(), 30);
+    }
+
+    #[test]
+    fn size_sweep_configs() {
+        let c = DummyAppConfig::default().with_size_range(1_000, 500_000);
+        assert_eq!(c.size_bytes, (1_000, 500_000));
+        let mut r = rng();
+        let app = generate_app(AppId::new(1), &c, &mut r);
+        assert!(app.dag().iter().all(|(_, o)| o.size <= 500_000));
+    }
+
+    #[test]
+    #[should_panic]
+    fn inverted_ranges_rejected() {
+        let mut c = DummyAppConfig::default();
+        c.size_bytes = (10, 5);
+        let _ = generate_app(AppId::new(0), &c, &mut rng());
+    }
+}

@@ -1,0 +1,33 @@
+//! # ape-appdag — application request DAGs for APE-CACHE
+//!
+//! Models what the paper calls "app logic": the dependency graph of HTTP
+//! requests an app issues per execution, the critical path that determines
+//! app-level latency, and the priority annotation derived from it. Includes
+//! the two real-world evaluation apps ([`movie_trailer`], [`virtual_home`])
+//! and the dummy-app generator used to synthesize the 28 remaining apps of
+//! the paper's 30-app suite.
+//!
+//! ## Example
+//!
+//! ```
+//! use ape_appdag::{movie_trailer, AppId};
+//!
+//! let app = movie_trailer(AppId::new(1));
+//! let (path, _) = app.dag().critical_path();
+//! let names: Vec<&str> = path.iter().map(|i| app.dag().object(*i).name.as_str()).collect();
+//! assert_eq!(names, ["movieID", "thumbnail"]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod apps;
+mod dag;
+mod generator;
+mod spec;
+
+pub use ape_cachealg::AppId;
+pub use apps::{movie_trailer, virtual_home};
+pub use dag::{AppDag, AppDagBuilder, DagError, ObjIdx, ObjectSpec};
+pub use generator::{generate_app, generate_fleet, DummyAppConfig};
+pub use spec::AppSpec;

@@ -1,0 +1,84 @@
+//! The complete static description of an app.
+
+use ape_cachealg::AppId;
+
+use crate::dag::AppDag;
+
+/// An app: identity, display name, and its request DAG.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AppSpec {
+    id: AppId,
+    name: String,
+    dag: AppDag,
+    /// Number of distinct user inputs (URL variants) the app is used with;
+    /// the paper's real apps draw from the top-10 IMDB titles / product
+    /// categories, synthetic apps use a single input.
+    variants: u32,
+}
+
+impl AppSpec {
+    /// Creates a spec.
+    pub fn new(id: AppId, name: impl Into<String>, dag: AppDag) -> Self {
+        AppSpec {
+            id,
+            name: name.into(),
+            dag,
+            variants: 1,
+        }
+    }
+
+    /// Sets the number of URL variants (distinct user inputs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `variants` is zero.
+    pub fn with_variants(mut self, variants: u32) -> Self {
+        assert!(variants > 0, "variants must be positive");
+        self.variants = variants;
+        self
+    }
+
+    /// Number of URL variants.
+    pub fn variants(&self) -> u32 {
+        self.variants
+    }
+
+    /// The app's id.
+    pub fn id(&self) -> AppId {
+        self.id
+    }
+
+    /// The app's display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The app's request DAG.
+    pub fn dag(&self) -> &AppDag {
+        &self.dag
+    }
+
+    /// Mutable DAG access (e.g. to re-derive priorities).
+    pub fn dag_mut(&mut self) -> &mut AppDag {
+        &mut self.dag
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let dag = AppDag::builder().build().unwrap();
+        let mut spec = AppSpec::new(AppId::new(4), "test", dag.clone());
+        assert_eq!(spec.id(), AppId::new(4));
+        assert_eq!(spec.name(), "test");
+        assert_eq!(spec.dag(), &dag);
+        assert_eq!(spec.variants(), 1);
+        let spec = spec.with_variants(10);
+        assert_eq!(spec.variants(), 10);
+        let mut spec = spec;
+        spec.dag_mut().derive_priorities();
+    }
+}

@@ -1,0 +1,102 @@
+//! Cache-store and PACM-support primitive benchmarks: the per-request
+//! costs on the AP's data path (lookup, admit) and the per-window costs
+//! (EWMA roll, Gini).
+
+use ape_cachealg::{
+    gini, AdmitOutcome, AppId, CacheManager, CacheStore, FrequencyTracker, ObjectMeta,
+    PacmConfig, PacmPolicy, Priority,
+};
+use ape_dnswire::UrlHash;
+use ape_simnet::{SimDuration, SimRng, SimTime};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn meta(i: usize, size: u64) -> ObjectMeta {
+    ObjectMeta {
+        key: UrlHash::of(&format!("http://bench/{i}")),
+        app: AppId::new((i % 30) as u32),
+        size,
+        priority: if i % 3 == 0 {
+            Priority::HIGH
+        } else {
+            Priority::LOW
+        },
+        expires_at: SimTime::from_secs(3600),
+        fetch_latency: SimDuration::from_millis(30),
+    }
+}
+
+fn bench_store(c: &mut Criterion) {
+    let mut store = CacheStore::new(5_000_000, 500_000);
+    for i in 0..100 {
+        store.insert(meta(i, 40_000), SimTime::ZERO);
+    }
+    let hot = UrlHash::of("http://bench/50");
+    let cold = UrlHash::of("http://bench/99999");
+    c.bench_function("store_lookup_hit", |b| {
+        b.iter(|| store.lookup(hot, SimTime::from_secs(1)))
+    });
+    c.bench_function("store_lookup_absent", |b| {
+        b.iter(|| store.lookup(cold, SimTime::from_secs(1)))
+    });
+    c.bench_function("store_peek", |b| {
+        b.iter(|| store.peek(hot, SimTime::from_secs(1)))
+    });
+}
+
+fn bench_admit_under_pressure(c: &mut Criterion) {
+    c.bench_function("pacm_admit_evicting", |b| {
+        b.iter_with_setup(
+            || {
+                let mut manager = CacheManager::new(
+                    CacheStore::new(5_000_000, 500_000),
+                    PacmPolicy::new(PacmConfig::default()),
+                );
+                for i in 0..120 {
+                    let out = manager.admit(meta(i, 40_000), SimTime::ZERO);
+                    if matches!(out, AdmitOutcome::Blocked) {
+                        unreachable!("bench objects are under the threshold");
+                    }
+                }
+                manager
+            },
+            |mut manager| {
+                manager.admit(meta(9_999, 80_000), SimTime::from_secs(1));
+            },
+        )
+    });
+}
+
+fn bench_frequency_tracker(c: &mut Criterion) {
+    c.bench_function("ewma_record_and_roll", |b| {
+        let mut tracker = FrequencyTracker::new(0.7);
+        let mut tick = 0u64;
+        b.iter(|| {
+            for app in 0..30 {
+                tracker.record(AppId::new(app));
+            }
+            tick += 60;
+            tracker.roll(SimTime::from_secs(tick));
+        })
+    });
+}
+
+fn bench_gini(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gini");
+    let mut rng = SimRng::seed_from(3);
+    for &n in &[10usize, 100, 1000] {
+        let shares: Vec<f64> = (0..n).map(|_| rng.uniform_f64(0.0, 100.0)).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &shares, |b, s| {
+            b.iter(|| gini(s))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_store,
+    bench_admit_under_pressure,
+    bench_frequency_tracker,
+    bench_gini
+);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! App-model benchmarks: DAG construction, critical-path analysis and
+//! priority derivation — the compile-time side of the programming model.
+
+use ape_appdag::{generate_app, movie_trailer, AppDag, AppId, DummyAppConfig, ObjectSpec};
+use ape_cachealg::Priority;
+use ape_httpsim::Url;
+use ape_simnet::{SimDuration, SimRng};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+/// A wide layered DAG with `layers` stages of `width` objects each.
+fn layered_dag(layers: usize, width: usize) -> AppDag {
+    let mut b = AppDag::builder();
+    let mut previous = Vec::new();
+    for layer in 0..layers {
+        let mut current = Vec::new();
+        for w in 0..width {
+            let idx = b.object(ObjectSpec {
+                name: format!("o{layer}_{w}"),
+                url: Url::parse(&format!("http://bench.example/o{layer}x{w}")).expect("static"),
+                size: 10_000 + (w as u64) * 1_000,
+                ttl: SimDuration::from_mins(30),
+                remote_latency: SimDuration::from_millis(20 + (w as u64 % 30)),
+                priority: Priority::LOW,
+            });
+            for &p in &previous {
+                b.dep(p, idx);
+            }
+            current.push(idx);
+        }
+        previous = current;
+    }
+    b.build().expect("layered DAG is acyclic")
+}
+
+fn bench_critical_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("critical_path");
+    for &(layers, width) in &[(3usize, 4usize), (6, 8), (10, 16)] {
+        let dag = layered_dag(layers, width);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{layers}x{width}")),
+            &dag,
+            |b, dag| b.iter(|| dag.critical_path()),
+        );
+    }
+    group.finish();
+}
+
+fn bench_derive_priorities(c: &mut Criterion) {
+    let dag = layered_dag(6, 8);
+    c.bench_function("derive_priorities_6x8", |b| {
+        b.iter_with_setup(|| dag.clone(), |mut d| d.derive_priorities())
+    });
+}
+
+fn bench_generation(c: &mut Criterion) {
+    c.bench_function("generate_dummy_app", |b| {
+        let config = DummyAppConfig::default();
+        let mut rng = SimRng::seed_from(5);
+        let mut i = 0u32;
+        b.iter(|| {
+            i += 1;
+            generate_app(AppId::new(i), &config, &mut rng)
+        })
+    });
+    c.bench_function("movie_trailer_model", |b| {
+        b.iter(|| movie_trailer(AppId::new(0)))
+    });
+}
+
+criterion_group!(benches, bench_critical_path, bench_derive_priorities, bench_generation);
+criterion_main!(benches);

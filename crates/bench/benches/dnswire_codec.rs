@@ -1,0 +1,69 @@
+//! DNS wire-codec benchmarks: the encode/decode cost a router-class CPU
+//! pays per DNS-Cache message (the paper measured +0.02 ms per query on
+//! an 880 MHz MIPS core; the codec must be far below that).
+
+use ape_dnswire::{CacheFlag, CacheTuple, DnsMessage, DomainName, UrlHash};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn request(tuples: usize) -> DnsMessage {
+    let name: DomainName = "api.movietrailer.example".parse().expect("static");
+    let hashes: Vec<UrlHash> = (0..tuples)
+        .map(|i| UrlHash::of(&format!("http://api.movietrailer.example/obj{i}")))
+        .collect();
+    DnsMessage::dns_cache_request(42, name, &hashes)
+}
+
+fn response(tuples: usize) -> DnsMessage {
+    let query = request(1);
+    let list: Vec<CacheTuple> = (0..tuples)
+        .map(|i| {
+            CacheTuple::new(
+                UrlHash::of(&format!("http://api.movietrailer.example/obj{i}")),
+                match i % 3 {
+                    0 => CacheFlag::Hit,
+                    1 => CacheFlag::Miss,
+                    _ => CacheFlag::Delegation,
+                },
+            )
+        })
+        .collect();
+    DnsMessage::dns_cache_response(&query, std::net::Ipv4Addr::new(10, 0, 0, 2), 60, list)
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dns_encode");
+    for &n in &[1usize, 8, 64] {
+        let req = request(n);
+        group.bench_with_input(BenchmarkId::new("request", n), &req, |b, m| {
+            b.iter(|| m.encode());
+        });
+        let rsp = response(n);
+        group.bench_with_input(BenchmarkId::new("response", n), &rsp, |b, m| {
+            b.iter(|| m.encode());
+        });
+    }
+    group.finish();
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dns_decode");
+    for &n in &[1usize, 8, 64] {
+        let wire = request(n).encode();
+        group.bench_with_input(BenchmarkId::new("request", n), &wire, |b, w| {
+            b.iter(|| DnsMessage::decode(w).expect("valid"));
+        });
+        let wire = response(n).encode();
+        group.bench_with_input(BenchmarkId::new("response", n), &wire, |b, w| {
+            b.iter(|| DnsMessage::decode(w).expect("valid"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_hashing(c: &mut Criterion) {
+    let url = "http://api.movietrailer.example/thumbnail?name=the-long-movie-title&sz=big";
+    c.bench_function("url_hash", |b| b.iter(|| UrlHash::of(url)));
+}
+
+criterion_group!(benches, bench_encode, bench_decode, bench_hashing);
+criterion_main!(benches);

@@ -1,0 +1,106 @@
+//! Micro-benchmarks of PACM's eviction machinery — including the
+//! knapsack-DP vs greedy ablation called out in `DESIGN.md`.
+//!
+//! Context: on the paper's router (MT7621A @ 880 MHz) an eviction decision
+//! must complete in low milliseconds to stay off the data path. These
+//! benches establish that the exact DP at 5 MB / 1 KiB granularity with
+//! hundreds of objects is comfortably within that envelope on commodity
+//! hardware (and the greedy is an order of magnitude cheaper).
+
+use ape_cachealg::{
+    solve_exact, solve_greedy, AppId, CacheStore, EvictionPolicy, KnapsackItem, LruPolicy,
+    ObjectMeta, PacmConfig, PacmPolicy, Priority,
+};
+use ape_dnswire::UrlHash;
+use ape_simnet::{SimDuration, SimRng, SimTime};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn items(n: usize, seed: u64) -> Vec<KnapsackItem> {
+    let mut rng = SimRng::seed_from(seed);
+    (0..n)
+        .map(|_| KnapsackItem {
+            weight: rng.uniform_u64(1_000, 100_000),
+            value: rng.uniform_f64(0.0, 10.0),
+        })
+        .collect()
+}
+
+fn bench_knapsack(c: &mut Criterion) {
+    let mut group = c.benchmark_group("knapsack");
+    for &n in &[50usize, 200, 800] {
+        let input = items(n, 7);
+        group.bench_with_input(BenchmarkId::new("exact_dp", n), &input, |b, input| {
+            b.iter(|| solve_exact(input, 5_000_000, 1_024));
+        });
+        group.bench_with_input(BenchmarkId::new("greedy", n), &input, |b, input| {
+            b.iter(|| solve_greedy(input, 5_000_000));
+        });
+    }
+    group.finish();
+}
+
+fn populated_store(objects: usize, seed: u64) -> CacheStore {
+    let mut rng = SimRng::seed_from(seed);
+    let mut store = CacheStore::new(5_000_000, 500_000);
+    let mut used = 0u64;
+    for i in 0..objects {
+        let size = rng.uniform_u64(1_000, 60_000);
+        if used + size > store.capacity() {
+            break;
+        }
+        used += size;
+        store.insert(
+            ObjectMeta {
+                key: UrlHash::of(&format!("http://bench/{i}")),
+                app: AppId::new((i % 30) as u32),
+                size,
+                priority: if rng.chance(0.4) {
+                    Priority::HIGH
+                } else {
+                    Priority::LOW
+                },
+                expires_at: SimTime::from_secs(rng.uniform_u64(60, 3600)),
+                fetch_latency: SimDuration::from_millis(rng.uniform_u64(20, 50)),
+            },
+            SimTime::ZERO,
+        );
+    }
+    store
+}
+
+fn incoming() -> ObjectMeta {
+    ObjectMeta {
+        key: UrlHash::of("http://bench/incoming"),
+        app: AppId::new(1),
+        size: 80_000,
+        priority: Priority::HIGH,
+        expires_at: SimTime::from_secs(1800),
+        fetch_latency: SimDuration::from_millis(35),
+    }
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("select_victims");
+    let store = populated_store(400, 11);
+    let new_obj = incoming();
+    group.bench_function("pacm_full_cache", |b| {
+        let mut policy = PacmPolicy::new(PacmConfig::default());
+        for app in 0..30 {
+            policy.note_request(AppId::new(app));
+        }
+        policy.roll_window(SimTime::from_secs(60));
+        b.iter(|| policy.select_victims(&store, &new_obj, SimTime::from_secs(61)));
+    });
+    group.bench_function("pacm_no_fairness", |b| {
+        let mut policy = PacmPolicy::new(PacmConfig::default()).without_fairness();
+        b.iter(|| policy.select_victims(&store, &new_obj, SimTime::from_secs(61)));
+    });
+    group.bench_function("lru_full_cache", |b| {
+        let mut policy = LruPolicy::new();
+        b.iter(|| policy.select_victims(&store, &new_obj, SimTime::from_secs(61)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_knapsack, bench_policies);
+criterion_main!(benches);

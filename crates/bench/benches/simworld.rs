@@ -1,0 +1,69 @@
+//! Simulator-substrate benchmarks: raw event throughput and the cost of a
+//! full testbed-minute, which bounds how fast the repro harness can sweep.
+
+use ape_appdag::DummyAppConfig;
+use ape_simnet::{Context, LinkSpec, Message, Node, NodeId, SimDuration, World};
+use ape_workload::ScheduleConfig;
+use apecache::{build, synthetic_suite, System, TestbedConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+#[derive(Debug)]
+struct Token(u32);
+impl Message for Token {
+    fn wire_size(&self) -> usize {
+        16
+    }
+}
+
+struct Bouncer;
+impl Node<Token> for Bouncer {
+    fn on_message(&mut self, ctx: &mut Context<'_, Token>, from: NodeId, msg: Token) {
+        if msg.0 > 0 {
+            ctx.send(from, Token(msg.0 - 1));
+        }
+    }
+}
+
+fn bench_event_throughput(c: &mut Criterion) {
+    c.bench_function("world_10k_events", |b| {
+        b.iter_with_setup(
+            || {
+                let mut world = World::new(1);
+                let a = world.add_node("a", Bouncer);
+                let z = world.add_node("b", Bouncer);
+                world.connect(a, z, LinkSpec::new(1, SimDuration::from_micros(100)));
+                world.post(a, z, Token(10_000));
+                world
+            },
+            |mut world| {
+                world.run_to_idle();
+            },
+        )
+    });
+}
+
+fn bench_testbed_minute(c: &mut Criterion) {
+    let mut group = c.benchmark_group("testbed");
+    group.sample_size(10);
+    group.bench_function("ape_cache_one_sim_minute", |b| {
+        b.iter_with_setup(
+            || {
+                let apps = synthetic_suite(10, &DummyAppConfig::default(), 3);
+                let mut config = TestbedConfig::new(System::ApeCache, apps);
+                config.schedule = ScheduleConfig {
+                    apps: 10,
+                    duration: SimDuration::from_mins(1),
+                    ..ScheduleConfig::default()
+                };
+                build(&config)
+            },
+            |mut bed| {
+                bed.world.run_for(SimDuration::from_mins(1));
+            },
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_event_throughput, bench_testbed_minute);
+criterion_main!(benches);

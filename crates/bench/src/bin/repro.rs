@@ -1,0 +1,96 @@
+//! `repro` — regenerate the APE-CACHE paper's tables and figures.
+//!
+//! ```text
+//! repro [--quick] [--minutes N] [--trials N] [--seed N] <artifact>...
+//!
+//! artifacts:
+//!   table1 table2 table4 table5 table6 table7
+//!   fig2 fig11a fig11b fig11c fig12 fig13a fig13b fig13c fig14
+//!   object-level ablations all
+//! ```
+
+use ape_bench::{
+    ablations, fig11a, fig11b, fig11c, fig12, fig13a, fig13b, fig13c, fig14, fig2, object_level,
+    table1, table2, table4, table5, table6, table7, ReproOptions,
+};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: repro [--quick] [--minutes N] [--trials N] [--seed N] <artifact>...\n\
+         artifacts: table1 table2 table4 table5 table6 table7 fig2 fig11a fig11b\n\
+         \u{20}          fig11c fig12 fig13a fig13b fig13c fig14 object-level ablations all"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut opts = ReproOptions::default();
+    let mut artifacts: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => opts = ReproOptions::quick(),
+            "--minutes" => {
+                opts.minutes = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--trials" => {
+                opts.trials = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--seed" => {
+                opts.seed = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--help" | "-h" => usage(),
+            other if other.starts_with('-') => usage(),
+            other => artifacts.push(other.to_owned()),
+        }
+    }
+    if artifacts.is_empty() {
+        usage();
+    }
+    if artifacts.iter().any(|a| a == "all") {
+        artifacts = [
+            "table1", "table2", "fig2", "object-level", "fig11a", "fig11b", "fig11c", "table4",
+            "table5", "table6", "fig12", "fig13a", "fig13b", "fig13c", "fig14", "table7",
+            "ablations",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    }
+    for artifact in &artifacts {
+        let output = match artifact.as_str() {
+            "table1" => table1(&opts),
+            "table2" => table2(&opts),
+            "table4" => table4(&opts),
+            "table5" => table5(&opts),
+            "table6" => table6(&opts),
+            "table7" => table7(),
+            "fig2" => fig2(&opts),
+            "fig11a" => fig11a(&opts),
+            "fig11b" => fig11b(&opts),
+            "fig11c" => fig11c(&opts),
+            "fig12" => fig12(&opts),
+            "fig13a" => fig13a(&opts),
+            "fig13b" => fig13b(&opts),
+            "fig13c" => fig13c(&opts),
+            "fig14" => fig14(&opts),
+            "object-level" => object_level(&opts),
+            "ablations" => ablations(&opts),
+            other => {
+                eprintln!("unknown artifact: {other}");
+                usage();
+            }
+        };
+        println!("{output}");
+        println!("{}", "=".repeat(72));
+    }
+}

@@ -1,0 +1,164 @@
+//! Per-app request-frequency tracking (the paper's `R(a)` EWMA).
+//!
+//! The AP recomputes, once per round, `R(a) = (1 − α)·R'(a) + α·r_a(Δt)`
+//! where `r_a(Δt)` is the number of requests for app `a` observed since the
+//! previous round and `α` (0.7 in the paper) weights recent measurements.
+
+use std::collections::HashMap;
+
+use ape_simnet::SimTime;
+
+use crate::object::AppId;
+
+/// Exponentially weighted per-app request-frequency estimator.
+///
+/// # Examples
+///
+/// ```
+/// use ape_cachealg::{AppId, FrequencyTracker};
+/// use ape_simnet::SimTime;
+///
+/// let mut tracker = FrequencyTracker::new(0.7);
+/// let app = AppId::new(1);
+/// tracker.record(app);
+/// tracker.record(app);
+/// tracker.roll(SimTime::from_secs(60));
+/// assert!(tracker.rate(app) > 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FrequencyTracker {
+    alpha: f64,
+    rates: HashMap<AppId, f64>,
+    window_counts: HashMap<AppId, u64>,
+    last_roll: SimTime,
+}
+
+impl FrequencyTracker {
+    /// Creates a tracker with smoothing factor `alpha` (the paper uses 0.7).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < alpha <= 1`.
+    pub fn new(alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+        FrequencyTracker {
+            alpha,
+            rates: HashMap::new(),
+            window_counts: HashMap::new(),
+            last_roll: SimTime::ZERO,
+        }
+    }
+
+    /// Records one request for `app` in the current window.
+    pub fn record(&mut self, app: AppId) {
+        *self.window_counts.entry(app).or_insert(0) += 1;
+    }
+
+    /// Closes the current window at `now` and folds its counts into the
+    /// per-app EWMA. Apps seen before but quiet this window decay.
+    pub fn roll(&mut self, now: SimTime) {
+        let counts = std::mem::take(&mut self.window_counts);
+        // Decay every known app; quiet apps contribute zero new requests.
+        let apps: Vec<AppId> = self
+            .rates
+            .keys()
+            .copied()
+            .chain(counts.keys().copied())
+            .collect();
+        for app in apps {
+            let fresh = counts.get(&app).copied().unwrap_or(0) as f64;
+            let prev = self.rates.get(&app).copied().unwrap_or(0.0);
+            self.rates
+                .insert(app, (1.0 - self.alpha) * prev + self.alpha * fresh);
+        }
+        self.last_roll = now;
+    }
+
+    /// Current smoothed request frequency `R(a)`; zero for unseen apps.
+    pub fn rate(&self, app: AppId) -> f64 {
+        self.rates.get(&app).copied().unwrap_or(0.0)
+    }
+
+    /// Time of the last roll.
+    pub fn last_roll(&self) -> SimTime {
+        self.last_roll
+    }
+
+    /// Number of apps with a tracked rate.
+    pub fn tracked_apps(&self) -> usize {
+        self.rates.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_window_applies_alpha() {
+        let mut t = FrequencyTracker::new(0.7);
+        let a = AppId::new(1);
+        for _ in 0..10 {
+            t.record(a);
+        }
+        t.roll(SimTime::from_secs(60));
+        assert!((t.rate(a) - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rates_decay_when_quiet() {
+        let mut t = FrequencyTracker::new(0.7);
+        let a = AppId::new(1);
+        for _ in 0..10 {
+            t.record(a);
+        }
+        t.roll(SimTime::from_secs(60));
+        let r1 = t.rate(a);
+        t.roll(SimTime::from_secs(120));
+        let r2 = t.rate(a);
+        assert!((r2 - r1 * 0.3).abs() < 1e-9, "r1={r1} r2={r2}");
+        t.roll(SimTime::from_secs(180));
+        assert!(t.rate(a) < r2);
+    }
+
+    #[test]
+    fn steady_load_converges_to_window_count() {
+        let mut t = FrequencyTracker::new(0.7);
+        let a = AppId::new(1);
+        for round in 1..=30 {
+            for _ in 0..6 {
+                t.record(a);
+            }
+            t.roll(SimTime::from_secs(round * 60));
+        }
+        assert!((t.rate(a) - 6.0).abs() < 1e-3, "rate {}", t.rate(a));
+    }
+
+    #[test]
+    fn unseen_apps_have_zero_rate() {
+        let t = FrequencyTracker::new(0.5);
+        assert_eq!(t.rate(AppId::new(9)), 0.0);
+        assert_eq!(t.tracked_apps(), 0);
+    }
+
+    #[test]
+    fn multiple_apps_tracked_independently() {
+        let mut t = FrequencyTracker::new(1.0); // no smoothing: rate == count
+        let a = AppId::new(1);
+        let b = AppId::new(2);
+        t.record(a);
+        t.record(a);
+        t.record(b);
+        t.roll(SimTime::from_secs(60));
+        assert_eq!(t.rate(a), 2.0);
+        assert_eq!(t.rate(b), 1.0);
+        assert_eq!(t.tracked_apps(), 2);
+        assert_eq!(t.last_roll(), SimTime::from_secs(60));
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn zero_alpha_rejected() {
+        let _ = FrequencyTracker::new(0.0);
+    }
+}

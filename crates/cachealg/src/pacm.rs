@@ -1,0 +1,458 @@
+//! PACM — Priority-Aware Cache Management (paper §IV-C).
+//!
+//! When a delegated object arrives and the cache is full, PACM chooses the
+//! keep-set `O` maximizing `Σ O_d · U_d` with
+//! `U_d = R(A_d) · e_d · l_d · p_d`, subject to
+//! `Σ O_d · s_d ≤ C − S` and the fairness bound `F(A) ≤ θ` on per-app
+//! storage efficiency `C_a = Σ s_d / R(a)` (Gini coefficient, Eq. 1).
+//!
+//! The capacity constraint is solved exactly with the knapsack DP. The
+//! fairness constraint couples all apps and cannot ride along in the same
+//! one-dimensional DP, so — as documented in `DESIGN.md` — PACM applies a
+//! *repair* pass afterwards: while the kept set violates `θ`, the
+//! lowest-utility object of the most over-served app is dropped. The repair
+//! only ever shrinks the kept set, so the capacity constraint stays
+//! satisfied.
+
+use ape_dnswire::UrlHash;
+use ape_simnet::SimTime;
+
+use crate::freq::FrequencyTracker;
+use crate::gini::gini;
+use crate::knapsack::{solve_exact, solve_greedy, KnapsackItem};
+use crate::object::{AppId, ObjectMeta};
+use crate::policy::EvictionPolicy;
+use crate::store::CacheStore;
+
+/// Tuning knobs for PACM, defaulting to the paper's settings.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PacmConfig {
+    /// EWMA smoothing for request frequency (paper: 0.7).
+    pub alpha: f64,
+    /// Fairness threshold θ on the Gini coefficient (paper: 0.4).
+    pub fairness_theta: f64,
+    /// Bytes per knapsack DP capacity unit.
+    pub granularity: u64,
+    /// Above this many cached objects the greedy solver replaces the DP.
+    pub max_dp_items: usize,
+    /// Floor applied to `R(a)` in utilities and storage efficiency so
+    /// never-measured apps neither zero out nor blow up the formulas.
+    pub min_rate: f64,
+}
+
+impl Default for PacmConfig {
+    fn default() -> Self {
+        PacmConfig {
+            alpha: 0.7,
+            fairness_theta: 0.4,
+            granularity: 1024,
+            max_dp_items: 4096,
+            min_rate: 0.05,
+        }
+    }
+}
+
+/// The PACM eviction policy.
+///
+/// # Examples
+///
+/// ```
+/// use ape_cachealg::{CacheManager, CacheStore, PacmConfig, PacmPolicy};
+///
+/// let store = CacheStore::new(5_000_000, 500_000);
+/// let manager = CacheManager::new(store, PacmPolicy::new(PacmConfig::default()));
+/// assert_eq!(manager.policy_name(), "pacm");
+/// ```
+#[derive(Debug)]
+pub struct PacmPolicy {
+    config: PacmConfig,
+    freq: FrequencyTracker,
+    /// Disables the fairness repair pass (θ = ∞ ablation).
+    fairness_enabled: bool,
+}
+
+impl PacmPolicy {
+    /// Creates a PACM policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the config's `alpha` is outside `(0, 1]` or
+    /// `fairness_theta` is negative.
+    pub fn new(config: PacmConfig) -> Self {
+        assert!(config.fairness_theta >= 0.0, "theta must be non-negative");
+        PacmPolicy {
+            freq: FrequencyTracker::new(config.alpha),
+            config,
+            fairness_enabled: true,
+        }
+    }
+
+    /// Disables the fairness constraint (for the ablation bench).
+    pub fn without_fairness(mut self) -> Self {
+        self.fairness_enabled = false;
+        self
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &PacmConfig {
+        &self.config
+    }
+
+    /// Current smoothed request rate for `app`.
+    pub fn rate(&self, app: AppId) -> f64 {
+        self.freq.rate(app)
+    }
+
+    /// Utility `U_d` of an object at `now` under current frequencies.
+    pub fn utility(&self, meta: &ObjectMeta, now: SimTime) -> f64 {
+        let rate = self.freq.rate(meta.app).max(self.config.min_rate);
+        let e_d = meta.remaining_ttl(now).as_secs_f64();
+        let l_d = meta.fetch_latency.as_secs_f64();
+        rate * e_d * l_d * meta.priority.get() as f64
+    }
+
+    fn clamped_rate(&self, app: AppId) -> f64 {
+        self.freq.rate(app).max(self.config.min_rate)
+    }
+
+    /// Storage-efficiency Gini over a candidate kept set.
+    fn fairness(&self, kept: &[&KeptObject]) -> f64 {
+        use std::collections::BTreeMap;
+        let mut per_app: BTreeMap<AppId, f64> = BTreeMap::new();
+        for obj in kept {
+            *per_app.entry(obj.app).or_insert(0.0) += obj.size as f64;
+        }
+        let shares: Vec<f64> = per_app
+            .iter()
+            .map(|(app, bytes)| bytes / self.clamped_rate(*app))
+            .collect();
+        gini(&shares)
+    }
+}
+
+/// Internal view of a cached object during selection.
+#[derive(Debug, Clone)]
+struct KeptObject {
+    key: UrlHash,
+    app: AppId,
+    size: u64,
+    utility: f64,
+}
+
+impl EvictionPolicy for PacmPolicy {
+    fn name(&self) -> &'static str {
+        "pacm"
+    }
+
+    fn note_request(&mut self, app: AppId) {
+        self.freq.record(app);
+    }
+
+    fn roll_window(&mut self, now: SimTime) {
+        self.freq.roll(now);
+    }
+
+    fn select_victims(
+        &mut self,
+        store: &CacheStore,
+        incoming: &ObjectMeta,
+        now: SimTime,
+    ) -> Vec<UrlHash> {
+        // Candidates sorted by key: hash-map iteration order must not leak
+        // into victim selection.
+        let mut candidates: Vec<KeptObject> = store
+            .iter()
+            .map(|e| KeptObject {
+                key: e.meta.key,
+                app: e.meta.app,
+                size: e.meta.size,
+                utility: self.utility(&e.meta, now),
+            })
+            .collect();
+        candidates.sort_by_key(|o| o.key);
+
+        let capacity = store.capacity().saturating_sub(incoming.size);
+        let items: Vec<KnapsackItem> = candidates
+            .iter()
+            .map(|o| KnapsackItem {
+                weight: o.size,
+                value: o.utility,
+            })
+            .collect();
+        let solution = if candidates.len() <= self.config.max_dp_items {
+            solve_exact(&items, capacity, self.config.granularity)
+        } else {
+            solve_greedy(&items, capacity)
+        };
+
+        let mut kept: Vec<&KeptObject> = candidates
+            .iter()
+            .zip(&solution.keep)
+            .filter(|(_, &k)| k)
+            .map(|(o, _)| o)
+            .collect();
+        let mut victims: Vec<UrlHash> = candidates
+            .iter()
+            .zip(&solution.keep)
+            .filter(|(_, &k)| !k)
+            .map(|(o, _)| o.key)
+            .collect();
+
+        // Fairness repair: drop the cheapest object of the most over-served
+        // app until F(A) ≤ θ (or only one app remains).
+        if self.fairness_enabled {
+            while self.fairness(&kept) > self.config.fairness_theta {
+                let mut per_app: std::collections::BTreeMap<AppId, f64> = Default::default();
+                for obj in &kept {
+                    *per_app.entry(obj.app).or_insert(0.0) += obj.size as f64;
+                }
+                if per_app.len() <= 1 {
+                    break;
+                }
+                let worst_app = per_app
+                    .iter()
+                    .map(|(app, bytes)| (*app, bytes / self.clamped_rate(*app)))
+                    .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite efficiency"))
+                    .map(|(app, _)| app)
+                    .expect("non-empty per_app");
+                let Some(pos) = kept
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, o)| o.app == worst_app)
+                    .min_by(|a, b| {
+                        a.1.utility
+                            .partial_cmp(&b.1.utility)
+                            .expect("finite utility")
+                            .then(a.1.key.cmp(&b.1.key))
+                    })
+                    .map(|(i, _)| i)
+                else {
+                    break;
+                };
+                victims.push(kept.remove(pos).key);
+            }
+        }
+        victims
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::object::Priority;
+    use ape_simnet::SimDuration;
+    use crate::policy::{AdmitOutcome, CacheManager};
+    use crate::store::Lookup;
+
+    fn meta_for(url: &str, app: u32, size: u64, priority: Priority, expires_s: u64) -> ObjectMeta {
+        ObjectMeta {
+            key: UrlHash::of(url),
+            app: AppId::new(app),
+            size,
+            priority,
+            expires_at: SimTime::from_secs(expires_s),
+            fetch_latency: SimDuration::from_millis(30),
+        }
+    }
+
+    fn pacm_manager(capacity: u64) -> CacheManager<PacmPolicy> {
+        CacheManager::new(
+            CacheStore::new(capacity, 500_000),
+            PacmPolicy::new(PacmConfig::default()),
+        )
+    }
+
+    #[test]
+    fn utility_follows_paper_formula() {
+        let mut policy = PacmPolicy::new(PacmConfig::default());
+        let app = AppId::new(1);
+        for _ in 0..10 {
+            policy.note_request(app);
+        }
+        policy.roll_window(SimTime::from_secs(60));
+        // rate = 7.0 after one window at alpha 0.7.
+        let meta = meta_for("u", 1, 1000, Priority::HIGH, 160);
+        let now = SimTime::from_secs(60);
+        let expected = 7.0 * 100.0 * 0.030 * 2.0;
+        assert!((policy.utility(&meta, now) - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn expired_objects_have_zero_utility() {
+        let policy = PacmPolicy::new(PacmConfig::default());
+        let meta = meta_for("u", 1, 1000, Priority::HIGH, 10);
+        assert_eq!(policy.utility(&meta, SimTime::from_secs(20)), 0.0);
+    }
+
+    #[test]
+    fn high_priority_objects_survive_eviction() {
+        let mut m = pacm_manager(10_000);
+        // Same app, same size/TTL — only priority differs.
+        for i in 0..8 {
+            let p = if i < 4 { Priority::HIGH } else { Priority::LOW };
+            let out = m.admit(meta_for(&format!("u{i}"), 1, 1200, p, 3600), SimTime::ZERO);
+            assert!(matches!(out, AdmitOutcome::Stored { .. }), "u{i}: {out:?}");
+        }
+        // Cache now holds 9600/10000; admit one more high-priority object.
+        let out = m.admit(
+            meta_for("fresh", 1, 1200, Priority::HIGH, 3600),
+            SimTime::from_secs(1),
+        );
+        let AdmitOutcome::Stored { evicted } = out else {
+            panic!("expected storage");
+        };
+        assert!(!evicted.is_empty());
+        // All victims must be low-priority.
+        for key in evicted {
+            let idx = (0..8)
+                .find(|i| UrlHash::of(&format!("u{i}")) == key)
+                .expect("victim among u0..u7");
+            assert!(idx >= 4, "evicted high-priority u{idx}");
+        }
+    }
+
+    #[test]
+    fn higher_frequency_apps_survive() {
+        let config = PacmConfig {
+            fairness_theta: 1.0, // isolate the frequency effect
+            ..PacmConfig::default()
+        };
+        let mut m = CacheManager::new(
+            CacheStore::new(4_000, 500_000),
+            PacmPolicy::new(config),
+        );
+        m.admit(meta_for("hot", 1, 1500, Priority::LOW, 3600), SimTime::ZERO);
+        m.admit(meta_for("cold", 2, 1500, Priority::LOW, 3600), SimTime::ZERO);
+        for _ in 0..20 {
+            m.note_request(AppId::new(1));
+        }
+        m.roll_window(SimTime::from_secs(60));
+        let out = m.admit(
+            meta_for("new", 3, 1500, Priority::LOW, 3600),
+            SimTime::from_secs(61),
+        );
+        assert_eq!(
+            out,
+            AdmitOutcome::Stored {
+                evicted: vec![UrlHash::of("cold")]
+            }
+        );
+        assert_eq!(m.lookup(UrlHash::of("hot"), SimTime::from_secs(62)), Lookup::Hit);
+    }
+
+    #[test]
+    fn longer_ttl_and_latency_win_ties() {
+        let config = PacmConfig {
+            fairness_theta: 1.0,
+            ..PacmConfig::default()
+        };
+        let mut m = CacheManager::new(CacheStore::new(4_000, 500_000), PacmPolicy::new(config));
+        let mut short = meta_for("short", 1, 1500, Priority::LOW, 100);
+        short.fetch_latency = SimDuration::from_millis(30);
+        let mut long = meta_for("long", 1, 1500, Priority::LOW, 3600);
+        long.fetch_latency = SimDuration::from_millis(30);
+        m.admit(short, SimTime::ZERO);
+        m.admit(long, SimTime::ZERO);
+        let out = m.admit(meta_for("new", 1, 1500, Priority::LOW, 3600), SimTime::from_secs(1));
+        assert_eq!(
+            out,
+            AdmitOutcome::Stored {
+                evicted: vec![UrlHash::of("short")]
+            }
+        );
+    }
+
+    #[test]
+    fn fairness_repair_bounds_gini() {
+        // App 1 hoards the cache while app 2 is much more popular; with a
+        // tight theta the repair pass must trim app 1's share.
+        let config = PacmConfig {
+            fairness_theta: 0.2,
+            ..PacmConfig::default()
+        };
+        let mut policy = PacmPolicy::new(config);
+        for _ in 0..30 {
+            policy.note_request(AppId::new(2));
+        }
+        policy.roll_window(SimTime::from_secs(60));
+
+        let mut store = CacheStore::new(20_000, 500_000);
+        let now = SimTime::from_secs(61);
+        for i in 0..6 {
+            store.insert(
+                meta_for(&format!("hog{i}"), 1, 2500, Priority::LOW, 3600),
+                now,
+            );
+        }
+        store.insert(meta_for("fair", 2, 2500, Priority::LOW, 3600), now);
+        let incoming = meta_for("new", 2, 3000, Priority::LOW, 3600);
+        let victims = policy.select_victims(&store, &incoming, now);
+        // Repair must have evicted app-1 objects beyond pure capacity needs.
+        let app1_victims = victims
+            .iter()
+            .filter(|k| (0..6).any(|i| UrlHash::of(&format!("hog{i}")) == **k))
+            .count();
+        assert!(app1_victims >= 1, "victims: {victims:?}");
+        assert!(!victims.contains(&UrlHash::of("fair")));
+    }
+
+    #[test]
+    fn without_fairness_keeps_pure_knapsack() {
+        let config = PacmConfig {
+            fairness_theta: 0.0, // impossible bound
+            ..PacmConfig::default()
+        };
+        let mut policy = PacmPolicy::new(config).without_fairness();
+        let mut store = CacheStore::new(4_000, 500_000);
+        store.insert(meta_for("a", 1, 1500, Priority::LOW, 3600), SimTime::ZERO);
+        store.insert(meta_for("b", 2, 1500, Priority::LOW, 3600), SimTime::ZERO);
+        let incoming = meta_for("new", 3, 1500, Priority::LOW, 3600);
+        let victims = policy.select_victims(&store, &incoming, SimTime::ZERO);
+        // Pure capacity: exactly one victim required.
+        assert_eq!(victims.len(), 1);
+    }
+
+    #[test]
+    fn select_is_deterministic() {
+        let run = || {
+            let mut m = pacm_manager(10_000);
+            for i in 0..9 {
+                m.admit(
+                    meta_for(&format!("o{i}"), i % 3, 1100, Priority::LOW, 3600),
+                    SimTime::from_secs(i as u64),
+                );
+            }
+            match m.admit(
+                meta_for("new", 1, 1100, Priority::HIGH, 3600),
+                SimTime::from_secs(20),
+            ) {
+                AdmitOutcome::Stored { evicted } => evicted,
+                other => panic!("unexpected {other:?}"),
+            }
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn capacity_respected_after_admission() {
+        let mut m = pacm_manager(5_000);
+        for i in 0..40 {
+            let out = m.admit(
+                meta_for(&format!("x{i}"), i % 5, 700, Priority::LOW, 3600),
+                SimTime::from_secs(i as u64),
+            );
+            assert!(matches!(out, AdmitOutcome::Stored { .. }), "x{i}: {out:?}");
+            assert!(m.store().used() <= m.store().capacity());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "theta")]
+    fn negative_theta_rejected() {
+        let _ = PacmPolicy::new(PacmConfig {
+            fairness_theta: -0.1,
+            ..PacmConfig::default()
+        });
+    }
+
+}

@@ -1,0 +1,205 @@
+//! Executing a testbed and summarizing its measurements.
+
+use std::collections::BTreeMap;
+
+use ape_nodes::ClientNode;
+use ape_simnet::{Metrics, SimDuration};
+
+use crate::system::System;
+use crate::testbed::{build, Testbed, TestbedConfig};
+
+/// Raw result of one run: the full metric registry plus merged client
+/// counters.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Which system ran.
+    pub system: System,
+    /// The world's metric registry at the end of the run.
+    pub metrics: Metrics,
+    /// Merged per-client outcome counters.
+    pub report: ape_nodes::ClientReport,
+}
+
+/// Headline numbers extracted from a run, named after the paper's plots.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct Summary {
+    /// System label.
+    pub system: String,
+    /// Mean cache-lookup latency over actual lookup operations (Fig. 11a).
+    pub lookup_ms: f64,
+    /// Mean retrieval latency over all fetches (Fig. 11c aggregates over
+    /// hit locations the same way).
+    pub retrieval_ms: f64,
+    /// Mean retrieval latency for AP cache hits only.
+    pub retrieval_hit_ms: f64,
+    /// Mean retrieval latency for edge fetches only.
+    pub retrieval_edge_ms: f64,
+    /// Object-level latency: lookup + retrieval stage means (§V-B summary).
+    pub object_level_ms: f64,
+    /// Mean app-level latency (Fig. 12/13).
+    pub app_latency_ms: f64,
+    /// 95th-percentile app-level latency (Fig. 12 tail).
+    pub app_latency_p95_ms: f64,
+    /// Per-app mean and p95 latency, keyed by app name.
+    pub per_app_latency_ms: BTreeMap<String, (f64, f64)>,
+    /// AP cache hit ratio across all cacheable fetches.
+    pub hit_ratio: f64,
+    /// AP cache hit ratio for high-priority fetches.
+    pub high_priority_hit_ratio: f64,
+    /// Completed app executions.
+    pub executions: u64,
+    /// Failed fetches.
+    pub failures: u64,
+    /// Mean AP CPU utilization (0..1).
+    pub ap_cpu_mean: f64,
+    /// Peak AP CPU utilization (0..1).
+    pub ap_cpu_max: f64,
+    /// Peak APE-CACHE memory on the AP, MB.
+    pub ape_mem_mb_max: f64,
+}
+
+/// Builds the testbed for `config`, runs it for `duration`, and collects
+/// results.
+pub fn run_system(config: &TestbedConfig, duration: SimDuration) -> RunResult {
+    let mut bed = build(config);
+    bed.world.run_for(duration);
+    collect(config.system, &mut bed)
+}
+
+/// Collects results from an already-run testbed.
+pub fn collect(system: System, bed: &mut Testbed) -> RunResult {
+    let mut report = ape_nodes::ClientReport::default();
+    for &client in &bed.clients {
+        report.merge(&bed.world.node::<ClientNode>(client).report());
+    }
+    RunResult {
+        system,
+        metrics: bed.world.metrics().clone(),
+        report,
+    }
+}
+
+impl RunResult {
+    /// Extracts the headline summary (sorting histograms as needed).
+    pub fn summary(&mut self) -> Summary {
+        let m = &mut self.metrics;
+        let lookup_ms = m.mean("client.lookup_query_ms");
+        let retrieval_ms = m.mean("client.retrieval_ms");
+        let retrieval_hit_ms = m.mean("client.retrieval_hit_ms");
+        let retrieval_edge_ms = m.mean("client.retrieval_edge_ms");
+        let app_latency_ms = m.mean("client.app_latency_ms");
+        let app_latency_p95_ms = m.percentile("client.app_latency_ms", 95.0);
+
+        let mut per_app_latency_ms = BTreeMap::new();
+        let app_names: Vec<String> = m
+            .histogram_names()
+            .filter_map(|n| n.strip_prefix("client.app_latency_ms.").map(str::to_owned))
+            .collect();
+        for name in app_names {
+            let key = format!("client.app_latency_ms.{name}");
+            let mean = m.mean(&key);
+            let p95 = m.percentile(&key, 95.0);
+            per_app_latency_ms.insert(name, (mean, p95));
+        }
+
+        let cpu = m.time_series("ap.cpu").cloned().unwrap_or_default();
+        let mem = m.time_series("ap.ape_mem_mb").cloned().unwrap_or_default();
+
+        Summary {
+            system: self.system.label().to_owned(),
+            lookup_ms,
+            retrieval_ms,
+            retrieval_hit_ms,
+            retrieval_edge_ms,
+            object_level_ms: lookup_ms + retrieval_ms,
+            app_latency_ms,
+            app_latency_p95_ms,
+            per_app_latency_ms,
+            hit_ratio: self.report.hit_ratio(),
+            high_priority_hit_ratio: self.report.high_priority_hit_ratio(),
+            executions: self.report.executions,
+            failures: self.report.failures,
+            ap_cpu_mean: cpu.mean(),
+            ap_cpu_max: cpu.max(),
+            ape_mem_mb_max: mem.max(),
+        }
+    }
+}
+
+/// Runs all four systems under identical workloads and returns their
+/// summaries in the paper's presentation order.
+pub fn compare_systems(
+    base: &TestbedConfig,
+    duration: SimDuration,
+) -> Vec<(System, Summary)> {
+    System::ALL
+        .iter()
+        .map(|&system| {
+            let config = TestbedConfig {
+                system,
+                ..base.clone()
+            };
+            let mut result = run_system(&config, duration);
+            (system, result.summary())
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ape_appdag::{generate_fleet, DummyAppConfig};
+    use ape_simnet::SimRng;
+    use ape_workload::ScheduleConfig;
+
+    fn small_config(system: System) -> TestbedConfig {
+        let mut rng = SimRng::seed_from(3);
+        let apps = generate_fleet(5, &DummyAppConfig::default(), &mut rng);
+        let mut config = TestbedConfig::new(system, apps);
+        config.schedule = ScheduleConfig {
+            apps: 5,
+            avg_per_minute: 3.0,
+            zipf_exponent: 0.8,
+            duration: SimDuration::from_mins(5),
+        };
+        config
+    }
+
+    #[test]
+    fn ape_cache_run_produces_sane_summary() {
+        let mut result = run_system(&small_config(System::ApeCache), SimDuration::from_mins(5));
+        let s = result.summary();
+        assert!(s.executions > 30, "executions {}", s.executions);
+        assert_eq!(s.failures, 0, "failures {:?}", s.failures);
+        assert!(s.hit_ratio > 0.5, "hit ratio {}", s.hit_ratio);
+        assert!(s.app_latency_ms > 1.0 && s.app_latency_ms < 200.0);
+        assert!(s.lookup_ms < 25.0, "lookup {}", s.lookup_ms);
+        assert!(s.ap_cpu_max <= 1.0);
+        assert!(s.ape_mem_mb_max > 3.0);
+    }
+
+    #[test]
+    fn edge_cache_is_slower_than_ape_cache() {
+        let mut ape = run_system(&small_config(System::ApeCache), SimDuration::from_mins(5));
+        let mut edge = run_system(&small_config(System::EdgeCache), SimDuration::from_mins(5));
+        let ape_s = ape.summary();
+        let edge_s = edge.summary();
+        assert!(
+            ape_s.app_latency_ms < edge_s.app_latency_ms,
+            "APE {} vs Edge {}",
+            ape_s.app_latency_ms,
+            edge_s.app_latency_ms
+        );
+        assert_eq!(edge_s.hit_ratio, 0.0, "edge baseline never hits the AP");
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let run = || {
+            let mut r = run_system(&small_config(System::ApeCache), SimDuration::from_mins(2));
+            let s = r.summary();
+            (s.executions, s.hit_ratio.to_bits(), s.app_latency_ms.to_bits())
+        };
+        assert_eq!(run(), run());
+    }
+}

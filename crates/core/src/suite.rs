@@ -1,0 +1,58 @@
+//! The paper's 30-app evaluation suite: MovieTrailer, VirtualHome, and 28
+//! synthesized apps (§V-A).
+
+use ape_appdag::{generate_app, movie_trailer, virtual_home, AppId, AppSpec, DummyAppConfig};
+use ape_simnet::SimRng;
+
+/// Builds the full 30-app suite with the given synthetic-app parameters.
+///
+/// App ids 0 and 1 are MovieTrailer and VirtualHome; 2..30 are synthetic.
+pub fn paper_suite(dummy: &DummyAppConfig, seed: u64) -> Vec<AppSpec> {
+    let mut rng = SimRng::seed_from(seed);
+    let mut apps = vec![movie_trailer(AppId::new(0)), virtual_home(AppId::new(1))];
+    for i in 2..30 {
+        apps.push(generate_app(AppId::new(i), dummy, &mut rng));
+    }
+    apps
+}
+
+/// Builds a suite of `n` synthetic apps only (for the sweep experiments,
+/// where app quantity varies).
+pub fn synthetic_suite(n: usize, dummy: &DummyAppConfig, seed: u64) -> Vec<AppSpec> {
+    let mut rng = SimRng::seed_from(seed);
+    (0..n)
+        .map(|i| generate_app(AppId::new(i as u32), dummy, &mut rng))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_suite_has_30_apps_with_real_apps_first() {
+        let suite = paper_suite(&DummyAppConfig::default(), 1);
+        assert_eq!(suite.len(), 30);
+        assert_eq!(suite[0].name(), "MovieTrailer");
+        assert_eq!(suite[1].name(), "VirtualHome");
+        // Ids are dense and unique.
+        let mut ids: Vec<u32> = suite.iter().map(|a| a.id().get()).collect();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), 30);
+    }
+
+    #[test]
+    fn synthetic_suite_sizes() {
+        for n in [5, 10, 30] {
+            assert_eq!(synthetic_suite(n, &DummyAppConfig::default(), 2).len(), n);
+        }
+    }
+
+    #[test]
+    fn suites_are_deterministic() {
+        let a = paper_suite(&DummyAppConfig::default(), 9);
+        let b = paper_suite(&DummyAppConfig::default(), 9);
+        assert_eq!(a, b);
+    }
+}

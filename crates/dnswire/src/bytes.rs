@@ -1,0 +1,161 @@
+//! Minimal big-endian byte reader/writer used by the wire codec.
+
+use crate::error::WireError;
+
+/// Sequential big-endian writer over a growable buffer.
+#[derive(Debug, Default)]
+pub(crate) struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    pub fn new() -> Self {
+        Writer::default()
+    }
+
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    pub fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    pub fn bytes(&mut self, v: &[u8]) {
+        self.buf.extend_from_slice(v);
+    }
+
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Overwrites a previously written big-endian u16 at `pos`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos + 2` exceeds the buffer (internal misuse).
+    pub fn patch_u16(&mut self, pos: usize, v: u16) {
+        self.buf[pos..pos + 2].copy_from_slice(&v.to_be_bytes());
+    }
+
+    pub fn into_vec(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Sequential big-endian reader with bounds checking.
+#[derive(Debug, Clone)]
+pub(crate) struct Reader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    pub fn new(data: &'a [u8]) -> Self {
+        Reader { data, pos: 0 }
+    }
+
+    pub fn pos(&self) -> usize {
+        self.pos
+    }
+
+    /// Repositions the cursor (used for compression pointers).
+    pub fn seek(&mut self, pos: usize) -> Result<(), WireError> {
+        if pos > self.data.len() {
+            return Err(WireError::BadPointer(pos as u16));
+        }
+        self.pos = pos;
+        Ok(())
+    }
+
+    pub fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    pub fn u8(&mut self) -> Result<u8, WireError> {
+        let v = *self.data.get(self.pos).ok_or(WireError::Truncated)?;
+        self.pos += 1;
+        Ok(v)
+    }
+
+    pub fn u16(&mut self) -> Result<u16, WireError> {
+        let b = self.take(2)?;
+        Ok(u16::from_be_bytes([b[0], b[1]]))
+    }
+
+    pub fn u32(&mut self) -> Result<u32, WireError> {
+        let b = self.take(4)?;
+        Ok(u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    pub fn u64(&mut self) -> Result<u64, WireError> {
+        let b = self.take(8)?;
+        let mut arr = [0u8; 8];
+        arr.copy_from_slice(b);
+        Ok(u64::from_be_bytes(arr))
+    }
+
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::Truncated);
+        }
+        let out = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writer_reader_roundtrip() {
+        let mut w = Writer::new();
+        w.u8(0xAB);
+        w.u16(0x1234);
+        w.u32(0xDEADBEEF);
+        w.u64(0x0102030405060708);
+        w.bytes(b"xy");
+        let buf = w.into_vec();
+
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.u8().unwrap(), 0xAB);
+        assert_eq!(r.u16().unwrap(), 0x1234);
+        assert_eq!(r.u32().unwrap(), 0xDEADBEEF);
+        assert_eq!(r.u64().unwrap(), 0x0102030405060708);
+        assert_eq!(r.take(2).unwrap(), b"xy");
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn reader_detects_truncation() {
+        let mut r = Reader::new(&[0x01]);
+        assert_eq!(r.u16(), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn patch_u16_overwrites() {
+        let mut w = Writer::new();
+        w.u16(0);
+        w.u8(9);
+        w.patch_u16(0, 0xBEEF);
+        assert_eq!(w.into_vec(), vec![0xBE, 0xEF, 9]);
+    }
+
+    #[test]
+    fn seek_bounds_checked() {
+        let data = [0u8; 4];
+        let mut r = Reader::new(&data);
+        assert!(r.seek(4).is_ok());
+        assert!(r.seek(5).is_err());
+    }
+}

@@ -1,0 +1,77 @@
+//! Error type for DNS wire-format parsing and construction.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while encoding or decoding DNS messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum WireError {
+    /// Input ended before the structure was complete.
+    Truncated,
+    /// A label exceeded 63 bytes.
+    LabelTooLong(usize),
+    /// A full domain name exceeded 255 bytes on the wire.
+    NameTooLong(usize),
+    /// A label contained a byte outside the permitted hostname set.
+    BadLabel(u8),
+    /// A compression pointer pointed forward or at itself.
+    BadPointer(u16),
+    /// Compression pointers formed a loop.
+    PointerLoop,
+    /// Bytes remained after the complete message was parsed.
+    TrailingBytes(usize),
+    /// An RDATA section did not match its RDLENGTH or record type.
+    BadRdata(&'static str),
+    /// A count field implies more records than the input can hold.
+    BadCount,
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "message truncated"),
+            WireError::LabelTooLong(n) => write!(f, "label of {n} bytes exceeds 63"),
+            WireError::NameTooLong(n) => write!(f, "name of {n} bytes exceeds 255"),
+            WireError::BadLabel(b) => write!(f, "invalid label byte {b:#04x}"),
+            WireError::BadPointer(off) => write!(f, "invalid compression pointer to {off}"),
+            WireError::PointerLoop => write!(f, "compression pointer loop"),
+            WireError::TrailingBytes(n) => write!(f, "{n} trailing bytes after message"),
+            WireError::BadRdata(what) => write!(f, "malformed rdata: {what}"),
+            WireError::BadCount => write!(f, "section count exceeds message size"),
+        }
+    }
+}
+
+impl Error for WireError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_nonempty() {
+        let errs = [
+            WireError::Truncated,
+            WireError::LabelTooLong(70),
+            WireError::NameTooLong(300),
+            WireError::BadLabel(0xFF),
+            WireError::BadPointer(12),
+            WireError::PointerLoop,
+            WireError::TrailingBytes(4),
+            WireError::BadRdata("cache tuple"),
+            WireError::BadCount,
+        ];
+        for e in errs {
+            let text = e.to_string();
+            assert!(!text.is_empty());
+            assert!(!text.chars().next().unwrap().is_uppercase());
+        }
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<WireError>();
+    }
+}

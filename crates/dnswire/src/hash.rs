@@ -1,0 +1,76 @@
+//! Stable URL hashing for DNS-Cache tuples.
+//!
+//! The paper transmits `HASH(URL)` rather than the raw URL "to maintain
+//! confidentiality, as DNS messages are unencrypted" (§IV-B). We use FNV-1a
+//! (64-bit): stable across platforms and runs, cheap on router-class CPUs.
+
+/// A 64-bit stable hash of a URL, as carried in DNS-Cache RDATA tuples.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct UrlHash(pub u64);
+
+impl UrlHash {
+    /// Hashes a URL string.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ape_dnswire::UrlHash;
+    ///
+    /// let a = UrlHash::of("http://api.movie.example/id?name=dune");
+    /// let b = UrlHash::of("http://api.movie.example/id?name=dune");
+    /// assert_eq!(a, b);
+    /// ```
+    pub fn of(url: &str) -> Self {
+        UrlHash(fnv1a_64(url.as_bytes()))
+    }
+
+    /// The raw hash value.
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for UrlHash {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+/// FNV-1a 64-bit hash.
+pub fn fnv1a_64(data: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf29ce484222325;
+    const PRIME: u64 = 0x100000001b3;
+    let mut hash = OFFSET;
+    for &b in data {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(PRIME);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_fnv_vectors() {
+        // Standard FNV-1a test vectors.
+        assert_eq!(fnv1a_64(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a_64(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(fnv1a_64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn url_hash_is_stable_and_distinct() {
+        let a = UrlHash::of("http://x/1");
+        let b = UrlHash::of("http://x/2");
+        assert_ne!(a, b);
+        assert_eq!(a, UrlHash::of("http://x/1"));
+    }
+
+    #[test]
+    fn display_is_fixed_width_hex() {
+        let h = UrlHash(0xab);
+        assert_eq!(h.to_string(), "00000000000000ab");
+    }
+}

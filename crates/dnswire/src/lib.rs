@@ -1,0 +1,53 @@
+//! # ape-dnswire — DNS messages with the APE-CACHE DNS-Cache extension
+//!
+//! An RFC1035-subset DNS message model and wire codec, extended with the
+//! paper's **DNS-Cache** record (§IV-B, Fig. 8): a new RR TYPE (**300**)
+//! whose CLASS field is overloaded to `REQUEST` / `RESPONSE` and whose RDATA
+//! is a list of `⟨HASH(URL), FLAG⟩` tuples. Clients piggyback AP cache
+//! lookups onto the DNS queries they must send anyway to locate edge cache
+//! servers; APs answer with per-URL cache status for *every* URL under the
+//! queried domain (the paper's batching rule).
+//!
+//! The codec produces real RFC1035-shaped packets (header, four sections,
+//! RDLENGTH-framed records, name compression on decode), so the simulated
+//! runtimes in `ape-nodes` exchange byte-accurate messages and the reported
+//! wire sizes drive the network model honestly.
+//!
+//! ## Example
+//!
+//! ```
+//! use ape_dnswire::{CacheFlag, CacheTuple, DnsMessage, UrlHash};
+//! use std::net::Ipv4Addr;
+//!
+//! // Client: DNS query for the object's domain + piggybacked cache lookup.
+//! let url = "http://api.movie.example/id?name=dune";
+//! let query = DnsMessage::dns_cache_request(
+//!     41,
+//!     "api.movie.example".parse()?,
+//!     &[UrlHash::of(url)],
+//! );
+//!
+//! // AP: answers the DNS part and reports cache status for the URL.
+//! let tuples = vec![CacheTuple::new(UrlHash::of(url), CacheFlag::Hit)];
+//! let response = DnsMessage::dns_cache_response(&query, Ipv4Addr::new(10, 0, 0, 2), 30, tuples);
+//!
+//! let parsed = DnsMessage::decode(&response.encode())?;
+//! assert_eq!(parsed.cache_response_tuples()[0].flag, CacheFlag::Hit);
+//! # Ok::<(), ape_dnswire::WireError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bytes;
+mod error;
+mod hash;
+mod message;
+mod name;
+mod rr;
+
+pub use error::WireError;
+pub use hash::{fnv1a_64, UrlHash};
+pub use message::{DnsMessage, Header, Question, Rcode};
+pub use name::DomainName;
+pub use rr::{CacheFlag, CacheTuple, RData, ResourceRecord, RrClass, RrType};

@@ -1,0 +1,347 @@
+//! Domain names and their RFC1035 wire representation.
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::bytes::{Reader, Writer};
+use crate::error::WireError;
+
+/// Maximum bytes in one label.
+const MAX_LABEL: usize = 63;
+/// Maximum bytes in a full encoded name.
+const MAX_NAME: usize = 255;
+/// Upper bound on pointer chase depth (RFC names fit in far fewer).
+const MAX_POINTER_HOPS: usize = 32;
+
+/// A validated, case-insensitive DNS domain name.
+///
+/// Stored in lowercase; comparison and hashing are therefore
+/// case-insensitive, matching DNS semantics.
+///
+/// # Examples
+///
+/// ```
+/// use ape_dnswire::DomainName;
+///
+/// let name: DomainName = "WWW.Apple.COM".parse()?;
+/// assert_eq!(name.to_string(), "www.apple.com");
+/// assert_eq!(name.labels().count(), 3);
+/// # Ok::<(), ape_dnswire::WireError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DomainName {
+    /// Lowercased labels, without separators. Empty vec is the root name.
+    labels: Vec<Box<[u8]>>,
+}
+
+impl DomainName {
+    /// The DNS root (empty) name.
+    pub fn root() -> Self {
+        DomainName { labels: Vec::new() }
+    }
+
+    /// Parses a dotted name, validating label lengths and characters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::LabelTooLong`], [`WireError::NameTooLong`] or
+    /// [`WireError::BadLabel`] for invalid input.
+    pub fn parse(s: &str) -> Result<Self, WireError> {
+        let trimmed = s.strip_suffix('.').unwrap_or(s);
+        if trimmed.is_empty() {
+            return Ok(DomainName::root());
+        }
+        let mut labels = Vec::new();
+        for label in trimmed.split('.') {
+            if label.len() > MAX_LABEL {
+                return Err(WireError::LabelTooLong(label.len()));
+            }
+            if label.is_empty() {
+                return Err(WireError::BadLabel(b'.'));
+            }
+            let mut bytes = Vec::with_capacity(label.len());
+            for b in label.bytes() {
+                if !(b.is_ascii_alphanumeric() || b == b'-' || b == b'_') {
+                    return Err(WireError::BadLabel(b));
+                }
+                bytes.push(b.to_ascii_lowercase());
+            }
+            labels.push(bytes.into_boxed_slice());
+        }
+        let name = DomainName { labels };
+        let encoded = name.encoded_len();
+        if encoded > MAX_NAME {
+            return Err(WireError::NameTooLong(encoded));
+        }
+        Ok(name)
+    }
+
+    /// Whether this is the root name.
+    pub fn is_root(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Iterates the labels as UTF-8 strings (labels are ASCII by
+    /// construction).
+    pub fn labels(&self) -> impl Iterator<Item = &str> {
+        self.labels
+            .iter()
+            .map(|l| std::str::from_utf8(l).expect("labels are ascii"))
+    }
+
+    /// Number of labels.
+    pub fn label_count(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// The registrable-ish suffix: last `n` labels as a new name.
+    pub fn suffix(&self, n: usize) -> DomainName {
+        let skip = self.labels.len().saturating_sub(n);
+        DomainName {
+            labels: self.labels[skip..].to_vec(),
+        }
+    }
+
+    /// Whether `self` equals `other` or is a subdomain of it.
+    pub fn is_subdomain_of(&self, other: &DomainName) -> bool {
+        if other.labels.len() > self.labels.len() {
+            return false;
+        }
+        let offset = self.labels.len() - other.labels.len();
+        self.labels[offset..] == other.labels[..]
+    }
+
+    /// Length of the uncompressed wire encoding (length bytes + terminator).
+    pub fn encoded_len(&self) -> usize {
+        1 + self.labels.iter().map(|l| 1 + l.len()).sum::<usize>()
+    }
+
+    /// Appends the uncompressed wire encoding.
+    pub(crate) fn encode(&self, w: &mut Writer) {
+        for label in &self.labels {
+            w.u8(label.len() as u8);
+            w.bytes(label);
+        }
+        w.u8(0);
+    }
+
+    /// Decodes a (possibly compressed) name from the reader.
+    ///
+    /// Compression pointers must point strictly backwards, per RFC1035
+    /// deployment practice; forward pointers are rejected.
+    pub(crate) fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let mut labels = Vec::new();
+        let mut total = 1usize; // terminator
+        let mut hops = 0usize;
+        // Position to restore after following pointers: end of the first
+        // pointer encountered.
+        let mut resume: Option<usize> = None;
+        loop {
+            let len = r.u8()?;
+            match len {
+                0 => break,
+                1..=63 => {
+                    let bytes = r.take(len as usize)?;
+                    total += 1 + bytes.len();
+                    if total > MAX_NAME {
+                        return Err(WireError::NameTooLong(total));
+                    }
+                    let mut owned = Vec::with_capacity(bytes.len());
+                    for &b in bytes {
+                        if !(b.is_ascii_alphanumeric() || b == b'-' || b == b'_') {
+                            return Err(WireError::BadLabel(b));
+                        }
+                        owned.push(b.to_ascii_lowercase());
+                    }
+                    labels.push(owned.into_boxed_slice());
+                }
+                b if b & 0xC0 == 0xC0 => {
+                    let low = r.u8()?;
+                    let target = (((b & 0x3F) as u16) << 8 | low as u16) as usize;
+                    // The pointer occupied [pos-2, pos); it must point
+                    // strictly before itself.
+                    if target >= r.pos() - 2 {
+                        return Err(WireError::BadPointer(target as u16));
+                    }
+                    hops += 1;
+                    if hops > MAX_POINTER_HOPS {
+                        return Err(WireError::PointerLoop);
+                    }
+                    if resume.is_none() {
+                        resume = Some(r.pos());
+                    }
+                    r.seek(target)?;
+                }
+                b => return Err(WireError::BadLabel(b)),
+            }
+        }
+        if let Some(pos) = resume {
+            r.seek(pos)?;
+        }
+        Ok(DomainName { labels })
+    }
+}
+
+impl fmt::Display for DomainName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.labels.is_empty() {
+            return write!(f, ".");
+        }
+        let mut first = true;
+        for label in self.labels() {
+            if !first {
+                write!(f, ".")?;
+            }
+            first = false;
+            write!(f, "{label}")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for DomainName {
+    type Err = WireError;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        DomainName::parse(s)
+    }
+}
+
+impl TryFrom<&str> for DomainName {
+    type Error = WireError;
+    fn try_from(s: &str) -> Result<Self, Self::Error> {
+        DomainName::parse(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(name: &DomainName) -> DomainName {
+        let mut w = Writer::new();
+        name.encode(&mut w);
+        let buf = w.into_vec();
+        let mut r = Reader::new(&buf);
+        let out = DomainName::decode(&mut r).unwrap();
+        assert_eq!(r.remaining(), 0);
+        out
+    }
+
+    #[test]
+    fn parse_and_display_lowercases() {
+        let n = DomainName::parse("WWW.Apple.COM").unwrap();
+        assert_eq!(n.to_string(), "www.apple.com");
+        assert_eq!(n.label_count(), 3);
+    }
+
+    #[test]
+    fn trailing_dot_is_accepted() {
+        assert_eq!(
+            DomainName::parse("a.b.").unwrap(),
+            DomainName::parse("a.b").unwrap()
+        );
+    }
+
+    #[test]
+    fn root_name() {
+        let root = DomainName::parse("").unwrap();
+        assert!(root.is_root());
+        assert_eq!(root.to_string(), ".");
+        assert_eq!(root.encoded_len(), 1);
+        assert_eq!(roundtrip(&root), root);
+    }
+
+    #[test]
+    fn rejects_bad_labels() {
+        assert!(matches!(
+            DomainName::parse("a..b"),
+            Err(WireError::BadLabel(_))
+        ));
+        assert!(matches!(
+            DomainName::parse("sp ace.com"),
+            Err(WireError::BadLabel(b' '))
+        ));
+        let long = "x".repeat(64);
+        assert!(matches!(
+            DomainName::parse(&long),
+            Err(WireError::LabelTooLong(64))
+        ));
+    }
+
+    #[test]
+    fn rejects_over_long_names() {
+        let label = "x".repeat(60);
+        let name = vec![label.as_str(); 5].join(".");
+        assert!(matches!(
+            DomainName::parse(&name),
+            Err(WireError::NameTooLong(_))
+        ));
+    }
+
+    #[test]
+    fn wire_roundtrip() {
+        let n = DomainName::parse("cdn.edge-key_1.example.com").unwrap();
+        assert_eq!(roundtrip(&n), n);
+    }
+
+    #[test]
+    fn encoded_len_matches_encoding() {
+        let n = DomainName::parse("a.bc.def").unwrap();
+        let mut w = Writer::new();
+        n.encode(&mut w);
+        assert_eq!(w.len(), n.encoded_len());
+    }
+
+    #[test]
+    fn decode_follows_backward_pointer() {
+        // "example.com" at offset 0, then a name "www" + pointer to 0.
+        let mut w = Writer::new();
+        DomainName::parse("example.com").unwrap().encode(&mut w);
+        let ptr_name_start = w.len();
+        w.u8(3);
+        w.bytes(b"www");
+        w.u16(0xC000); // pointer to offset 0
+        let buf = w.into_vec();
+        let mut r = Reader::new(&buf);
+        r.seek(ptr_name_start).unwrap();
+        let n = DomainName::decode(&mut r).unwrap();
+        assert_eq!(n.to_string(), "www.example.com");
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn decode_rejects_forward_and_self_pointers() {
+        // Pointer at offset 0 pointing to itself.
+        let buf = [0xC0, 0x00];
+        let mut r = Reader::new(&buf);
+        assert!(matches!(
+            DomainName::decode(&mut r),
+            Err(WireError::BadPointer(_))
+        ));
+    }
+
+    #[test]
+    fn subdomain_relation() {
+        let apex = DomainName::parse("apple.com").unwrap();
+        let www = DomainName::parse("www.apple.com").unwrap();
+        assert!(www.is_subdomain_of(&apex));
+        assert!(www.is_subdomain_of(&www));
+        assert!(!apex.is_subdomain_of(&www));
+        let other = DomainName::parse("www.orange.com").unwrap();
+        assert!(!other.is_subdomain_of(&apex));
+    }
+
+    #[test]
+    fn suffix_extracts_apex() {
+        let www = DomainName::parse("www.apple.com").unwrap();
+        assert_eq!(www.suffix(2).to_string(), "apple.com");
+        assert_eq!(www.suffix(9), www);
+    }
+
+    #[test]
+    fn comparison_is_case_insensitive_via_lowercasing() {
+        let a: DomainName = "API.Example.com".parse().unwrap();
+        let b: DomainName = "api.example.COM".parse().unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,1306 @@
+//! The APE-CACHE access-point runtime.
+//!
+//! One node plays the GL-MT1300 router: a dnsmasq-style DNS forwarder with
+//! a TTL cache, extended with the paper's DNS-Cache handling (§IV-B); an
+//! HTTP server for cache hits; a delegation fetcher that retrieves objects
+//! from the edge on clients' behalf and admits them through the configured
+//! eviction policy (PACM or LRU); and CPU/memory meters so the overhead
+//! experiments (Fig. 2, Fig. 14) measure a load-dependent device rather
+//! than a free abstraction.
+//!
+//! Design accommodations from §IV-B3 are all here and individually
+//! switchable for ablations:
+//! * **batching** — a DNS-Cache response reports status for *every* URL the
+//!   AP knows under the queried domain, not just the requested hashes;
+//! * **short-circuit** — when all requested URLs are cached, the AP answers
+//!   with a dummy IP (TTL 0) instead of waiting for upstream resolution;
+//! * **no proactive refresh** — the AP only ever contacts the remote server
+//!   when a client triggers a delegation.
+
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+use ape_cachealg::{
+    AdmitOutcome, CacheManager, CacheStore, EvictionPolicy, Lookup, LruPolicy, ObjectMeta,
+    PacmConfig, PacmPolicy, Priority,
+};
+use ape_dnswire::{CacheFlag, CacheTuple, DnsMessage, DomainName, UrlHash};
+use ape_httpsim::{Body, HttpRequest, HttpResponse, Url};
+use ape_proto::{CacheOp, ConnId, IpMap, Msg, RequestId};
+use ape_simnet::{
+    Context, CpuMeter, MemMeter, Node, NodeId, SimDuration, SimTime, TimerToken,
+};
+
+/// Which eviction policy the AP runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ApPolicy {
+    /// Priority-Aware Cache Management (APE-CACHE).
+    Pacm,
+    /// PACM with the fairness constraint disabled (ablation).
+    PacmNoFairness,
+    /// Least-recently-used (Wi-Cache / APE-CACHE-LRU).
+    Lru,
+}
+
+/// AP configuration; defaults follow the paper's evaluation settings.
+#[derive(Debug, Clone)]
+pub struct ApConfig {
+    /// Cache memory granted to APE-CACHE (paper: 5 MB).
+    pub cache_capacity: u64,
+    /// Block-list threshold (paper: 500 KB).
+    pub block_threshold: u64,
+    /// Eviction policy.
+    pub policy: ApPolicy,
+    /// PACM tuning (ignored for LRU).
+    pub pacm: PacmConfig,
+    /// CPU time per DNS message handled.
+    pub dns_processing: SimDuration,
+    /// Extra CPU for DNS-Cache queries over plain DNS (Fig. 11b's 0.02 ms).
+    pub dnscache_extra: SimDuration,
+    /// CPU time per HTTP message handled.
+    pub http_processing: SimDuration,
+    /// CPU time per PACM/LRU eviction run.
+    pub eviction_processing: SimDuration,
+    /// Frequency-window roll and expiry-purge interval.
+    pub window: SimDuration,
+    /// Resource sampling interval (None disables sampling).
+    pub sample_interval: Option<SimDuration>,
+    /// Dummy-IP short-circuit enabled (§IV-B3).
+    pub short_circuit: bool,
+    /// Per-domain flag batching enabled (§IV-B3).
+    pub batch_domain_flags: bool,
+    /// Router cores (MT7621A: 2 cores at 880 MHz).
+    pub cores: u32,
+    /// Baseline firmware/OS memory, bytes.
+    pub mem_baseline: u64,
+    /// Static memory cost of the APE-CACHE components themselves.
+    pub ape_code_overhead: u64,
+    /// Per-cached-entry metadata overhead, bytes.
+    pub per_entry_overhead: u64,
+}
+
+impl Default for ApConfig {
+    fn default() -> Self {
+        ApConfig {
+            cache_capacity: 5_000_000,
+            block_threshold: 500_000,
+            policy: ApPolicy::Pacm,
+            pacm: PacmConfig::default(),
+            dns_processing: SimDuration::from_micros(150),
+            dnscache_extra: SimDuration::from_micros(20),
+            http_processing: SimDuration::from_micros(400),
+            eviction_processing: SimDuration::from_micros(1_500),
+            window: SimDuration::from_secs(60),
+            sample_interval: Some(SimDuration::from_secs(1)),
+            short_circuit: true,
+            batch_domain_flags: true,
+            cores: 2,
+            mem_baseline: 60_000_000,
+            ape_code_overhead: 4_000_000,
+            per_entry_overhead: 512,
+        }
+    }
+}
+
+/// Cache metadata the AP has learned for a URL through delegation.
+#[derive(Debug, Clone)]
+struct RegisteredUrl {
+    op: CacheOp,
+}
+
+/// One client (or probe) waiting for a delegated object.
+#[derive(Debug, Clone, Copy)]
+struct Waiter {
+    node: NodeId,
+    conn: ConnId,
+    req: RequestId,
+}
+
+/// State of an in-flight delegation fetch.
+#[derive(Debug)]
+struct Delegation {
+    url: Url,
+    op: CacheOp,
+    waiters: Vec<Waiter>,
+    /// When the AP started the upstream fetch (drives `l_d`).
+    started: SimTime,
+    /// Whether the fetched object should be admitted to the cache.
+    cache_result: bool,
+}
+
+/// A DNS query forwarded upstream, awaiting the answer.
+#[derive(Debug)]
+struct PendingForward {
+    client: NodeId,
+    query: DnsMessage,
+    /// Whether the client asked via DNS-Cache (flags ride on the relay).
+    extra_flags: bool,
+    /// True for the AP's own delegation resolutions (no client to relay to).
+    internal: bool,
+}
+
+const TICK_WINDOW: TimerToken = TimerToken::new(1);
+const TICK_SAMPLE: TimerToken = TimerToken::new(2);
+
+/// Wi-Cache integration settings for an AP.
+#[derive(Debug, Clone, Copy)]
+pub struct WiCacheLink {
+    /// The controller node.
+    pub controller: NodeId,
+    /// This AP's address as known to the controller.
+    pub own_address: Ipv4Addr,
+}
+
+/// The AP node.
+pub struct ApNode {
+    config: ApConfig,
+    upstream: NodeId,
+    ip_map: IpMap,
+    cache: CacheManager<Box<dyn EvictionPolicy>>,
+    dns_cache: HashMap<DomainName, (Ipv4Addr, SimTime, u32)>,
+    registry: HashMap<UrlHash, RegisteredUrl>,
+    domain_urls: HashMap<DomainName, Vec<UrlHash>>,
+    pending_forwards: HashMap<u16, PendingForward>,
+    delegations: HashMap<UrlHash, Delegation>,
+    delegation_reqs: HashMap<RequestId, UrlHash>,
+    /// Delegations blocked on resolving their domain first.
+    awaiting_dns: HashMap<DomainName, Vec<UrlHash>>,
+    wicache: Option<WiCacheLink>,
+    cpu: CpuMeter,
+    mem: MemMeter,
+    next_txn: u16,
+    next_conn: u64,
+    next_req: u64,
+}
+
+impl std::fmt::Debug for ApNode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ApNode")
+            .field("cached_objects", &self.cache.store().len())
+            .field("used_bytes", &self.cache.store().used())
+            .field("registry", &self.registry.len())
+            .finish()
+    }
+}
+
+impl ApNode {
+    /// Creates an AP forwarding DNS to `upstream` (the LDNS) and dialling
+    /// resolved addresses through `ip_map`.
+    pub fn new(config: ApConfig, upstream: NodeId, ip_map: IpMap) -> Self {
+        let store = CacheStore::new(config.cache_capacity, config.block_threshold);
+        let policy: Box<dyn EvictionPolicy> = match config.policy {
+            ApPolicy::Pacm => Box::new(PacmPolicy::new(config.pacm)),
+            ApPolicy::PacmNoFairness => {
+                Box::new(PacmPolicy::new(config.pacm).without_fairness())
+            }
+            ApPolicy::Lru => Box::new(LruPolicy::new()),
+        };
+        let cores = config.cores;
+        let baseline = config.mem_baseline;
+        ApNode {
+            config,
+            upstream,
+            ip_map,
+            cache: CacheManager::new(store, policy),
+            dns_cache: HashMap::new(),
+            registry: HashMap::new(),
+            domain_urls: HashMap::new(),
+            pending_forwards: HashMap::new(),
+            delegations: HashMap::new(),
+            delegation_reqs: HashMap::new(),
+            awaiting_dns: HashMap::new(),
+            wicache: None,
+            cpu: CpuMeter::new(cores),
+            mem: MemMeter::with_baseline(baseline),
+            next_txn: 1,
+            next_conn: 1,
+            next_req: 1,
+        }
+    }
+
+    /// Enables Wi-Cache advertisements to a controller.
+    pub fn with_wicache(mut self, link: WiCacheLink) -> Self {
+        self.wicache = Some(link);
+        self
+    }
+
+    /// Number of objects currently cached (for tests).
+    pub fn cached_objects(&self) -> usize {
+        self.cache.store().len()
+    }
+
+    /// Bytes currently cached (for tests).
+    pub fn cached_bytes(&self) -> u64 {
+        self.cache.store().used()
+    }
+
+    /// Simulates a cache wipe (AP reboot / OOM): every cached object and
+    /// DNS entry is dropped while the block list and URL registry persist
+    /// in flash, exactly the state a restarted dnsmasq-based AP would
+    /// recover with. Clients holding stale `Cache-Hit` flags fall back to
+    /// the delegation path transparently.
+    pub fn flush_cache(&mut self) {
+        let store = CacheStore::new(
+            self.config.cache_capacity,
+            self.config.block_threshold,
+        );
+        let policy: Box<dyn EvictionPolicy> = match self.config.policy {
+            ApPolicy::Pacm => Box::new(PacmPolicy::new(self.config.pacm)),
+            ApPolicy::PacmNoFairness => {
+                Box::new(PacmPolicy::new(self.config.pacm).without_fairness())
+            }
+            ApPolicy::Lru => Box::new(LruPolicy::new()),
+        };
+        self.cache = CacheManager::new(store, policy);
+        self.dns_cache.clear();
+    }
+
+    /// Cached bytes split by priority `(high, low)` — diagnostic for the
+    /// PACM-vs-LRU composition analysis.
+    pub fn cached_bytes_by_priority(&self) -> (u64, u64) {
+        let mut high = 0;
+        let mut low = 0;
+        for entry in self.cache.store().iter() {
+            if entry.meta.priority.is_high() {
+                high += entry.meta.size;
+            } else {
+                low += entry.meta.size;
+            }
+        }
+        (high, low)
+    }
+
+    /// Memory footprint of the APE-CACHE components right now: code, cache
+    /// contents, and per-entry/registry metadata.
+    pub fn ape_memory_bytes(&self) -> u64 {
+        self.config.ape_code_overhead
+            + self.cache.store().used()
+            + self.cache.store().len() as u64 * self.config.per_entry_overhead
+            + self.registry.len() as u64 * 160
+            + self.dns_cache.len() as u64 * 96
+    }
+
+    /// Charges CPU work and returns the latency until it completes
+    /// (queueing + service), so responses reflect device load.
+    fn work(&mut self, now: SimTime, cost: SimDuration) -> SimDuration {
+        let done = self.cpu.charge(now, cost);
+        done - now
+    }
+
+    fn flag_for(&self, key: UrlHash, now: SimTime) -> CacheFlag {
+        match self.cache.peek(key, now) {
+            Lookup::Hit => CacheFlag::Hit,
+            Lookup::Blocked => CacheFlag::Miss,
+            Lookup::Expired | Lookup::Absent => CacheFlag::Delegation,
+        }
+    }
+
+    /// Builds the DNS-Cache response tuples for a query about `domain`:
+    /// requested hashes plus (with batching) every URL known under the
+    /// domain (§IV-B3).
+    fn tuples_for(
+        &self,
+        domain: &DomainName,
+        requested: &[UrlHash],
+        now: SimTime,
+    ) -> Vec<CacheTuple> {
+        let mut keys: Vec<UrlHash> = requested.to_vec();
+        if self.config.batch_domain_flags {
+            if let Some(known) = self.domain_urls.get(domain) {
+                for k in known {
+                    if !keys.contains(k) {
+                        keys.push(*k);
+                    }
+                }
+            }
+        }
+        keys.into_iter()
+            .map(|k| CacheTuple::new(k, self.flag_for(k, now)))
+            .collect()
+    }
+
+    fn remember_domain_url(&mut self, domain: DomainName, key: UrlHash) {
+        let list = self.domain_urls.entry(domain).or_default();
+        if !list.contains(&key) {
+            list.push(key);
+        }
+    }
+
+    fn advertise(&mut self, ctx: &mut Context<'_, Msg>, added: Vec<UrlHash>, removed: Vec<UrlHash>) {
+        if added.is_empty() && removed.is_empty() {
+            return;
+        }
+        if let Some(link) = self.wicache {
+            ctx.send(link.controller, Msg::WiCacheAdvertise { added, removed });
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // DNS handling
+    // ------------------------------------------------------------------
+
+    fn handle_dns_query(&mut self, ctx: &mut Context<'_, Msg>, from: NodeId, query: DnsMessage) {
+        let now = ctx.now();
+        let is_cache_query = query.is_dns_cache_query();
+        let mut cost = self.config.dns_processing;
+        if is_cache_query {
+            cost += self.config.dnscache_extra;
+            ctx.metrics().incr("ap.dns_cache_queries", 1);
+        } else {
+            ctx.metrics().incr("ap.dns_queries", 1);
+        }
+        let latency = self.work(now, cost);
+        let Some(domain) = query.question_name().cloned() else {
+            return;
+        };
+        let requested = query.cache_request_hashes();
+        for k in &requested {
+            self.remember_domain_url(domain.clone(), *k);
+        }
+
+        let tuples = if is_cache_query {
+            self.tuples_for(&domain, &requested, now)
+        } else {
+            Vec::new()
+        };
+
+        // Short-circuit: if every *requested* URL is already cached, the
+        // client will fetch from the AP anyway — skip upstream resolution
+        // and answer a dummy IP with TTL 0 (§IV-B3).
+        if is_cache_query
+            && self.config.short_circuit
+            && !requested.is_empty()
+            && requested
+                .iter()
+                .all(|k| self.cache.peek(*k, now) == Lookup::Hit)
+        {
+            ctx.metrics().incr("ap.short_circuits", 1);
+            let response = DnsMessage::dns_cache_response(&query, IpMap::DUMMY, 0, tuples);
+            ctx.send_after(latency, from, Msg::Dns(response));
+            return;
+        }
+
+        // dnsmasq cache.
+        if let Some((ip, expires, _)) = self.dns_cache.get(&domain) {
+            if *expires > now {
+                ctx.metrics().incr("ap.dns_cache_hits", 1);
+                let remaining = (*expires - now).as_secs_f64() as u32;
+                let response =
+                    DnsMessage::dns_cache_response(&query, *ip, remaining.max(1), tuples);
+                ctx.send_after(latency, from, Msg::Dns(response));
+                return;
+            }
+        }
+
+        // Forward upstream; flags are recomputed when the answer returns.
+        ctx.metrics().incr("ap.dns_forwards", 1);
+        let txn = self.next_txn;
+        self.next_txn = self.next_txn.wrapping_add(1).max(1);
+        self.pending_forwards.insert(
+            txn,
+            PendingForward {
+                client: from,
+                query,
+                extra_flags: is_cache_query,
+                internal: false,
+            },
+        );
+        let upstream_query = DnsMessage::query(txn, domain);
+        ctx.send_after(latency, self.upstream, Msg::Dns(upstream_query));
+    }
+
+    fn handle_dns_response(&mut self, ctx: &mut Context<'_, Msg>, response: DnsMessage) {
+        let now = ctx.now();
+        let latency = self.work(now, self.config.dns_processing);
+        let Some(pending) = self.pending_forwards.remove(&response.header.id) else {
+            return;
+        };
+        let Some(domain) = response.question_name().cloned() else {
+            return;
+        };
+        let answer = response.answer_ip().map(|ip| {
+            let ttl = response.answers.first().map(|a| a.ttl).unwrap_or(1).max(1);
+            (ip, ttl)
+        });
+        if let Some((ip, ttl)) = answer {
+            self.dns_cache.insert(
+                domain.clone(),
+                (ip, now + SimDuration::from_secs(ttl as u64), ttl),
+            );
+        }
+
+        // Resume delegations that were waiting for this resolution — or
+        // fail them when the domain did not resolve; re-entering the fetch
+        // path on a permanent NXDOMAIN would re-query upstream forever.
+        if let Some(keys) = self.awaiting_dns.remove(&domain) {
+            for key in keys {
+                if answer.is_some() {
+                    self.start_upstream_fetch(ctx, key);
+                } else if let Some(delegation) = self.delegations.remove(&key) {
+                    ctx.metrics().incr("ap.delegation_dns_failures", 1);
+                    for w in delegation.waiters {
+                        ctx.send(
+                            w.node,
+                            Msg::HttpRsp {
+                                conn: w.conn,
+                                req: w.req,
+                                response: HttpResponse::gateway_timeout(),
+                                from_cache: false,
+                            },
+                        );
+                    }
+                }
+            }
+        }
+
+        // Relay to the querying client (if this forward had one).
+        if pending.internal {
+            return;
+        }
+        let requested = pending.query.cache_request_hashes();
+        let tuples = if pending.extra_flags {
+            self.tuples_for(&domain, &requested, now)
+        } else {
+            Vec::new()
+        };
+        let response_to_client = match answer {
+            Some((ip, ttl)) => DnsMessage::dns_cache_response(&pending.query, ip, ttl, tuples),
+            None => {
+                let mut r = DnsMessage::dns_cache_response(
+                    &pending.query,
+                    Ipv4Addr::UNSPECIFIED,
+                    0,
+                    tuples,
+                );
+                r.answers.clear();
+                r.header.rcode = response.header.rcode;
+                r
+            }
+        };
+        ctx.send_after(latency, pending.client, Msg::Dns(response_to_client));
+    }
+
+    // ------------------------------------------------------------------
+    // Data path
+    // ------------------------------------------------------------------
+
+    fn handle_http_request(
+        &mut self,
+        ctx: &mut Context<'_, Msg>,
+        from: NodeId,
+        conn: ConnId,
+        req: RequestId,
+        request: HttpRequest,
+        cache_op: Option<CacheOp>,
+    ) {
+        let now = ctx.now();
+        let latency = self.work(now, self.config.http_processing);
+        let key = request.url.hash();
+        let domain = request.url.host().clone();
+        self.remember_domain_url(domain, key);
+
+        // Feed PACM's frequency signal.
+        let op = cache_op.or_else(|| self.registry.get(&key).map(|r| r.op));
+        if let Some(op) = op {
+            self.cache.note_request(op.app);
+        }
+        ctx.metrics().incr("ap.data_requests", 1);
+
+        match self.cache.lookup(key, now) {
+            Lookup::Hit => {
+                let size = self
+                    .cache
+                    .store()
+                    .get(key)
+                    .map(|e| e.meta.size)
+                    .expect("hit entry exists");
+                ctx.metrics().incr("ap.cache_hits", 1);
+                ctx.send_after(
+                    latency,
+                    from,
+                    Msg::HttpRsp {
+                        conn,
+                        req,
+                        response: HttpResponse::ok(Body::synthetic(size)),
+                        from_cache: true,
+                    },
+                );
+            }
+            Lookup::Blocked => {
+                // Block-listed: fetch-and-forward without caching.
+                ctx.metrics().incr("ap.blocked_serves", 1);
+                self.enqueue_delegation(ctx, from, conn, req, request.url, op, false);
+            }
+            Lookup::Expired | Lookup::Absent => {
+                ctx.metrics().incr("ap.delegations", 1);
+                self.enqueue_delegation(ctx, from, conn, req, request.url, op, true);
+            }
+        }
+    }
+
+    /// Adds a waiter for `url`; starts the upstream fetch when none is
+    /// already in flight.
+    #[allow(clippy::too_many_arguments)]
+    fn enqueue_delegation(
+        &mut self,
+        ctx: &mut Context<'_, Msg>,
+        from: NodeId,
+        conn: ConnId,
+        req: RequestId,
+        url: Url,
+        op: Option<CacheOp>,
+        cache_result: bool,
+    ) {
+        let key = url.hash();
+        let waiter = Waiter {
+            node: from,
+            conn,
+            req,
+        };
+        if let Some(existing) = self.delegations.get_mut(&key) {
+            existing.waiters.push(waiter);
+            return;
+        }
+        let op = op.unwrap_or(CacheOp {
+            ttl: SimDuration::from_mins(10),
+            priority: Priority::LOW,
+            app: ape_cachealg::AppId::new(u32::MAX),
+        });
+        self.registry.insert(key, RegisteredUrl { op });
+        self.delegations.insert(
+            key,
+            Delegation {
+                url,
+                op,
+                waiters: vec![waiter],
+                started: ctx.now(),
+                cache_result,
+            },
+        );
+        self.start_upstream_fetch(ctx, key);
+    }
+
+    /// Dials the object's server (resolving its domain first if needed) and
+    /// issues the upstream request.
+    fn start_upstream_fetch(&mut self, ctx: &mut Context<'_, Msg>, key: UrlHash) {
+        let Some(delegation) = self.delegations.get_mut(&key) else {
+            return;
+        };
+        delegation.started = ctx.now();
+        let domain = delegation.url.host().clone();
+        let now = ctx.now();
+        let target_ip = match self.dns_cache.get(&domain) {
+            Some((ip, expires, _)) if *expires > now => *ip,
+            _ => {
+                // Resolve first; the fetch resumes from
+                // `handle_dns_response`.
+                let waiting = self.awaiting_dns.entry(domain.clone()).or_default();
+                if waiting.is_empty() {
+                    let txn = self.next_txn;
+                    self.next_txn = self.next_txn.wrapping_add(1).max(1);
+                    self.pending_forwards.insert(
+                        txn,
+                        PendingForward {
+                            client: ctx.self_id(),
+                            query: DnsMessage::query(txn, domain.clone()),
+                            extra_flags: false,
+                            internal: true,
+                        },
+                    );
+                    ctx.send(self.upstream, Msg::Dns(DnsMessage::query(txn, domain.clone())));
+                }
+                waiting.push(key);
+                return;
+            }
+        };
+        let Some(target) = self.ip_map.node_of(target_ip) else {
+            // Resolution produced an address outside the testbed; fail all
+            // waiters.
+            let delegation = self.delegations.remove(&key).expect("present above");
+            for w in delegation.waiters {
+                ctx.send(
+                    w.node,
+                    Msg::HttpRsp {
+                        conn: w.conn,
+                        req: w.req,
+                        response: HttpResponse::gateway_timeout(),
+                        from_cache: false,
+                    },
+                );
+            }
+            return;
+        };
+        let conn = ConnId(self.next_conn);
+        self.next_conn += 1;
+        let up_req = RequestId(self.next_req);
+        self.next_req += 1;
+        self.delegation_reqs.insert(up_req, key);
+        let handshake = ctx.link_rtt(target).unwrap_or(SimDuration::ZERO);
+        ctx.send(target, Msg::TcpSyn { conn });
+        ctx.send_after(
+            handshake,
+            target,
+            Msg::HttpReq {
+                conn,
+                req: up_req,
+                request: HttpRequest::get(delegation.url.clone()),
+                cache_op: None,
+            },
+        );
+    }
+
+    fn handle_upstream_response(
+        &mut self,
+        ctx: &mut Context<'_, Msg>,
+        req: RequestId,
+        response: HttpResponse,
+    ) {
+        let now = ctx.now();
+        let latency = self.work(now, self.config.http_processing);
+        let Some(key) = self.delegation_reqs.remove(&req) else {
+            return;
+        };
+        let Some(delegation) = self.delegations.remove(&key) else {
+            return;
+        };
+        let fetch_latency = now - delegation.started;
+        ctx.metrics()
+            .observe("ap.delegation_fetch_ms", fetch_latency.as_millis_f64());
+
+        if response.status.is_success() && delegation.cache_result {
+            let admit_latency = self.work(now, self.config.eviction_processing);
+            let meta = ObjectMeta {
+                key,
+                app: delegation.op.app,
+                size: response.body.size(),
+                priority: delegation.op.priority,
+                expires_at: now + delegation.op.ttl,
+                fetch_latency,
+            };
+            match self.cache.admit(meta, now) {
+                AdmitOutcome::Stored { evicted } => {
+                    ctx.metrics().incr("ap.admissions", 1);
+                    ctx.metrics().incr("ap.evictions", evicted.len() as u64);
+                    self.advertise(ctx, vec![key], evicted);
+                }
+                AdmitOutcome::Blocked => {
+                    ctx.metrics().incr("ap.block_listed", 1);
+                }
+                AdmitOutcome::Declined => {
+                    ctx.metrics().incr("ap.admit_declined", 1);
+                }
+            }
+            let _ = admit_latency;
+        }
+
+        for w in delegation.waiters {
+            ctx.send_after(
+                latency,
+                w.node,
+                Msg::HttpRsp {
+                    conn: w.conn,
+                    req: w.req,
+                    response: response.clone(),
+                    from_cache: false,
+                },
+            );
+        }
+    }
+
+    /// Extension (paper §VI): proactively delegate the objects a client
+    /// says it will request next, so the follow-up requests hit.
+    fn handle_prefetch_hints(&mut self, ctx: &mut Context<'_, Msg>, hints: Vec<ape_proto::PrefetchHint>) {
+        let now = ctx.now();
+        let latency = self.work(now, self.config.http_processing);
+        let _ = latency; // prefetching is off the client's critical path
+        for hint in hints {
+            let key = hint.url.hash();
+            match self.cache.peek(key, now) {
+                Lookup::Hit | Lookup::Blocked => continue,
+                Lookup::Expired | Lookup::Absent => {}
+            }
+            if self.delegations.contains_key(&key) {
+                continue; // already being fetched
+            }
+            ctx.metrics().incr("ap.prefetches", 1);
+            self.registry.insert(key, RegisteredUrl { op: hint.op });
+            self.delegations.insert(
+                key,
+                Delegation {
+                    url: hint.url,
+                    op: hint.op,
+                    waiters: Vec::new(),
+                    started: now,
+                    cache_result: true,
+                },
+            );
+            self.start_upstream_fetch(ctx, key);
+        }
+    }
+
+    fn sample_resources(&mut self, ctx: &mut Context<'_, Msg>) {
+        let now = ctx.now();
+        let cpu = self.cpu.sample_utilization(now);
+        let ape_mem = self.ape_memory_bytes();
+        self.mem.alloc(0); // keep the meter's peak tracking coherent
+        ctx.metrics().record_point("ap.cpu", now, cpu);
+        ctx.metrics()
+            .record_point("ap.ape_mem_mb", now, ape_mem as f64 / 1e6);
+        ctx.metrics().record_point(
+            "ap.total_mem_mb",
+            now,
+            (self.config.mem_baseline + ape_mem) as f64 / 1e6,
+        );
+    }
+}
+
+impl Node<Msg> for ApNode {
+    fn on_start(&mut self, ctx: &mut Context<'_, Msg>) {
+        ctx.schedule(self.config.window, TICK_WINDOW);
+        if let Some(interval) = self.config.sample_interval {
+            ctx.schedule(interval, TICK_SAMPLE);
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_, Msg>, from: NodeId, msg: Msg) {
+        match msg {
+            Msg::Dns(dns) if dns.header.response => self.handle_dns_response(ctx, dns),
+            Msg::Dns(dns) => self.handle_dns_query(ctx, from, dns),
+            Msg::TcpSyn { conn } => {
+                let latency = self.work(ctx.now(), self.config.http_processing);
+                ctx.send_after(latency, from, Msg::TcpSynAck { conn });
+            }
+            Msg::TcpSynAck { .. } => {}
+            Msg::HttpReq {
+                conn,
+                req,
+                request,
+                cache_op,
+            } => self.handle_http_request(ctx, from, conn, req, request, cache_op),
+            Msg::HttpRsp { req, response, .. } => {
+                self.handle_upstream_response(ctx, req, response)
+            }
+            Msg::PrefetchHints { hints } => self.handle_prefetch_hints(ctx, hints),
+            Msg::WiCacheLookup { .. } | Msg::WiCacheResult { .. } | Msg::WiCacheAdvertise { .. } => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, Msg>, token: TimerToken) {
+        match token {
+            TICK_WINDOW => {
+                let now = ctx.now();
+                self.cache.roll_window(now);
+                let purged = self.cache.purge_expired(now);
+                ctx.metrics().incr("ap.ttl_purges", purged.len() as u64);
+                self.advertise(ctx, Vec::new(), purged);
+                ctx.schedule(self.config.window, TICK_WINDOW);
+            }
+            TICK_SAMPLE => {
+                self.sample_resources(ctx);
+                if let Some(interval) = self.config.sample_interval {
+                    ctx.schedule(interval, TICK_SAMPLE);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// APs re-arm periodic timers, so the queue never drains; run long
+    /// enough for all request/response traffic to settle instead.
+    fn settle(world: &mut World<Msg>) {
+        world.run_for(SimDuration::from_secs(2));
+    }
+
+    use crate::server::{Catalog, CatalogEntry, EdgeNode, OriginNode};
+    use ape_simnet::{LinkSpec, World};
+
+    /// Scripted prober standing in for a client.
+    #[derive(Debug, Default)]
+    struct Probe {
+        dns_responses: Vec<DnsMessage>,
+        http_responses: Vec<(RequestId, HttpResponse, bool)>,
+        last_at: Option<SimTime>,
+    }
+
+    impl Node<Msg> for Probe {
+        fn on_message(&mut self, ctx: &mut Context<'_, Msg>, _from: NodeId, msg: Msg) {
+            self.last_at = Some(ctx.now());
+            match msg {
+                Msg::Dns(m) => self.dns_responses.push(m),
+                Msg::HttpRsp {
+                    req,
+                    response,
+                    from_cache,
+                    ..
+                } => self.http_responses.push((req, response, from_cache)),
+                _ => {}
+            }
+        }
+    }
+
+    struct Bed {
+        world: World<Msg>,
+        probe: NodeId,
+        ap: NodeId,
+        #[allow(dead_code)]
+        edge: NodeId,
+    }
+
+    fn url() -> Url {
+        Url::parse("http://app0.dummy.example/obj0?v=1").unwrap()
+    }
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.add(
+            "http://app0.dummy.example/obj0",
+            CatalogEntry {
+                size: 40_000,
+                extra_latency: SimDuration::from_millis(30),
+            },
+        );
+        c.add(
+            "http://app0.dummy.example/big",
+            CatalogEntry {
+                size: 600_000,
+                extra_latency: SimDuration::from_millis(30),
+            },
+        );
+        c
+    }
+
+    /// probe —1.5ms— AP —8ms— LDNS; AP —14ms— edge —24ms— origin.
+    fn bed(config: ApConfig) -> Bed {
+        use crate::resolver::{AuthDnsNode, LdnsNode, ZoneAnswer};
+        let mut w = World::new(11);
+        let probe = w.add_node("probe", Probe::default());
+        let origin = w.add_node(
+            "origin",
+            OriginNode::new(catalog(), SimDuration::from_micros(500)),
+        );
+        let mut edge = EdgeNode::new(origin, catalog(), SimDuration::from_micros(500));
+        edge.prewarm();
+        let edge_id = w.add_node("edge", edge);
+
+        let mut ip_map = IpMap::new();
+        let edge_ip = ip_map.assign(edge_id);
+
+        let mut cdn = AuthDnsNode::new(SimDuration::from_micros(300));
+        cdn.wildcard(
+            DomainName::parse("dummy.example").unwrap(),
+            ZoneAnswer::A { ip: edge_ip, ttl: 20 },
+        );
+        let cdn_id = w.add_node("cdn-dns", cdn);
+        let ldns = w.add_node(
+            "ldns",
+            LdnsNode::new(
+                SimDuration::from_micros(200),
+                vec![(DomainName::parse("dummy.example").unwrap(), cdn_id)],
+            ),
+        );
+        let ap = w.add_node("ap", ApNode::new(config, ldns, ip_map));
+
+        w.connect(probe, ap, LinkSpec::from_rtt(1, SimDuration::from_millis(3)));
+        w.connect(ap, ldns, LinkSpec::from_rtt(4, SimDuration::from_millis(8)));
+        w.connect(ldns, cdn_id, LinkSpec::from_rtt(9, SimDuration::from_millis(20)));
+        w.connect(ap, edge_id, LinkSpec::from_rtt(7, SimDuration::from_millis(14)));
+        w.connect(edge_id, origin, LinkSpec::from_rtt(8, SimDuration::from_millis(24)));
+        Bed {
+            world: w,
+            probe,
+            ap,
+            edge: edge_id,
+        }
+    }
+
+    fn dns_cache_query(id: u16, hashes: &[UrlHash]) -> Msg {
+        Msg::Dns(DnsMessage::dns_cache_request(
+            id,
+            DomainName::parse("app0.dummy.example").unwrap(),
+            hashes,
+        ))
+    }
+
+    fn delegation_op() -> CacheOp {
+        CacheOp {
+            ttl: SimDuration::from_mins(10),
+            priority: Priority::HIGH,
+            app: ape_cachealg::AppId::new(0),
+        }
+    }
+
+    #[test]
+    fn unknown_url_reports_delegation_flag() {
+        let mut bed = bed(ApConfig::default());
+        bed.world
+            .post(bed.probe, bed.ap, dns_cache_query(1, &[url().hash()]));
+        settle(&mut bed.world);
+        let probe = bed.world.node::<Probe>(bed.probe);
+        let resp = probe.dns_responses.last().unwrap();
+        let tuples = resp.cache_response_tuples();
+        assert_eq!(tuples.len(), 1);
+        assert_eq!(tuples[0].flag, CacheFlag::Delegation);
+        // Unknown domain forced upstream resolution: a real IP came back.
+        assert!(resp.answer_ip().is_some());
+        assert!(!IpMap::is_dummy(resp.answer_ip().unwrap()));
+    }
+
+    #[test]
+    fn delegation_fetches_caches_and_replies() {
+        let mut bed = bed(ApConfig::default());
+        // Resolve first so the AP has the edge address cached.
+        bed.world
+            .post(bed.probe, bed.ap, dns_cache_query(1, &[url().hash()]));
+        settle(&mut bed.world);
+        // Open TCP + delegation request.
+        bed.world.post(bed.probe, bed.ap, Msg::TcpSyn { conn: ConnId(1) });
+        settle(&mut bed.world);
+        bed.world.post(
+            bed.probe,
+            bed.ap,
+            Msg::HttpReq {
+                conn: ConnId(1),
+                req: RequestId(7),
+                request: HttpRequest::get(url()),
+                cache_op: Some(delegation_op()),
+            },
+        );
+        settle(&mut bed.world);
+        let probe = bed.world.node::<Probe>(bed.probe);
+        let (req, response, from_cache) = probe.http_responses.last().unwrap();
+        assert_eq!(*req, RequestId(7));
+        assert!(response.status.is_success());
+        assert_eq!(response.body.size(), 40_000);
+        assert!(!from_cache, "first fetch is a delegation");
+        assert_eq!(bed.world.node::<ApNode>(bed.ap).cached_objects(), 1);
+    }
+
+    #[test]
+    fn second_fetch_is_served_from_ap_cache() {
+        let mut bed = bed(ApConfig::default());
+        bed.world
+            .post(bed.probe, bed.ap, dns_cache_query(1, &[url().hash()]));
+        settle(&mut bed.world);
+        bed.world.post(
+            bed.probe,
+            bed.ap,
+            Msg::HttpReq {
+                conn: ConnId(1),
+                req: RequestId(1),
+                request: HttpRequest::get(url()),
+                cache_op: Some(delegation_op()),
+            },
+        );
+        settle(&mut bed.world);
+        let t0 = bed.world.now();
+        bed.world.post(
+            bed.probe,
+            bed.ap,
+            Msg::HttpReq {
+                conn: ConnId(2),
+                req: RequestId(2),
+                request: HttpRequest::get(url()),
+                cache_op: Some(delegation_op()),
+            },
+        );
+        settle(&mut bed.world);
+        let probe = bed.world.node::<Probe>(bed.probe);
+        let (_, response, from_cache) = probe.http_responses.last().unwrap();
+        assert!(from_cache, "second fetch hits the AP cache");
+        assert!(response.status.is_success());
+        let elapsed = (probe.last_at.unwrap() - t0).as_millis_f64();
+        assert!(elapsed < 6.0, "cache hit took {elapsed}ms");
+        assert_eq!(
+            bed.world.metrics().counter("ap.cache_hits"),
+            1
+        );
+    }
+
+    #[test]
+    fn cached_urls_short_circuit_dns_with_dummy_ip() {
+        let mut bed = bed(ApConfig::default());
+        // Prime: resolve + delegate once.
+        bed.world
+            .post(bed.probe, bed.ap, dns_cache_query(1, &[url().hash()]));
+        settle(&mut bed.world);
+        bed.world.post(
+            bed.probe,
+            bed.ap,
+            Msg::HttpReq {
+                conn: ConnId(1),
+                req: RequestId(1),
+                request: HttpRequest::get(url()),
+                cache_op: Some(delegation_op()),
+            },
+        );
+        settle(&mut bed.world);
+        // Let the AP's dnsmasq entry (TTL 20s) expire so only the
+        // short-circuit can avoid an upstream round trip.
+        bed.world.run_until(SimTime::from_secs(30));
+        let t0 = bed.world.now();
+        bed.world
+            .post(bed.probe, bed.ap, dns_cache_query(2, &[url().hash()]));
+        settle(&mut bed.world);
+        let probe = bed.world.node::<Probe>(bed.probe);
+        let resp = probe.dns_responses.last().unwrap();
+        assert_eq!(resp.answer_ip(), Some(IpMap::DUMMY));
+        assert_eq!(resp.answers[0].ttl, 0);
+        assert_eq!(resp.cache_response_tuples()[0].flag, CacheFlag::Hit);
+        let elapsed = (probe.last_at.unwrap() - t0).as_millis_f64();
+        assert!(elapsed < 5.0, "short-circuit lookup took {elapsed}ms");
+        assert_eq!(bed.world.metrics().counter("ap.short_circuits"), 1);
+    }
+
+    #[test]
+    fn short_circuit_can_be_disabled() {
+        let config = ApConfig {
+            short_circuit: false,
+            ..ApConfig::default()
+        };
+        let mut bed = bed(config);
+        bed.world
+            .post(bed.probe, bed.ap, dns_cache_query(1, &[url().hash()]));
+        settle(&mut bed.world);
+        bed.world.post(
+            bed.probe,
+            bed.ap,
+            Msg::HttpReq {
+                conn: ConnId(1),
+                req: RequestId(1),
+                request: HttpRequest::get(url()),
+                cache_op: Some(delegation_op()),
+            },
+        );
+        settle(&mut bed.world);
+        bed.world.run_until(SimTime::from_secs(30));
+        bed.world
+            .post(bed.probe, bed.ap, dns_cache_query(2, &[url().hash()]));
+        settle(&mut bed.world);
+        let resp = bed
+            .world
+            .node::<Probe>(bed.probe)
+            .dns_responses
+            .last()
+            .cloned()
+            .unwrap();
+        // Flags still present, but a real upstream-resolved IP.
+        assert_eq!(resp.cache_response_tuples()[0].flag, CacheFlag::Hit);
+        assert!(!IpMap::is_dummy(resp.answer_ip().unwrap()));
+        assert_eq!(bed.world.metrics().counter("ap.short_circuits"), 0);
+    }
+
+    #[test]
+    fn batched_flags_cover_sibling_urls() {
+        let mut bed = bed(ApConfig::default());
+        let sibling = Url::parse("http://app0.dummy.example/obj0?v=2").unwrap();
+        // Teach the AP both URLs exist by delegating both.
+        bed.world
+            .post(bed.probe, bed.ap, dns_cache_query(1, &[url().hash()]));
+        settle(&mut bed.world);
+        for (i, u) in [url(), sibling.clone()].into_iter().enumerate() {
+            bed.world.post(
+                bed.probe,
+                bed.ap,
+                Msg::HttpReq {
+                    conn: ConnId(i as u64 + 1),
+                    req: RequestId(i as u64 + 1),
+                    request: HttpRequest::get(u),
+                    cache_op: Some(delegation_op()),
+                },
+            );
+            settle(&mut bed.world);
+        }
+        // Ask about only one hash; batching must report both.
+        bed.world
+            .post(bed.probe, bed.ap, dns_cache_query(2, &[url().hash()]));
+        settle(&mut bed.world);
+        let resp = bed
+            .world
+            .node::<Probe>(bed.probe)
+            .dns_responses
+            .last()
+            .cloned()
+            .unwrap();
+        let tuples = resp.cache_response_tuples();
+        assert_eq!(tuples.len(), 2, "{tuples:?}");
+        assert!(tuples.iter().all(|t| t.flag == CacheFlag::Hit));
+        assert!(tuples.iter().any(|t| t.url_hash == sibling.hash()));
+    }
+
+    #[test]
+    fn oversized_objects_get_block_listed_and_flagged_miss() {
+        let mut bed = bed(ApConfig::default());
+        let big = Url::parse("http://app0.dummy.example/big?v=1").unwrap();
+        bed.world
+            .post(bed.probe, bed.ap, dns_cache_query(1, &[big.hash()]));
+        settle(&mut bed.world);
+        bed.world.post(
+            bed.probe,
+            bed.ap,
+            Msg::HttpReq {
+                conn: ConnId(1),
+                req: RequestId(1),
+                request: HttpRequest::get(big.clone()),
+                cache_op: Some(delegation_op()),
+            },
+        );
+        settle(&mut bed.world);
+        // Data delivered despite being uncacheable.
+        let probe = bed.world.node::<Probe>(bed.probe);
+        let (_, response, _) = probe.http_responses.last().unwrap();
+        assert_eq!(response.body.size(), 600_000);
+        assert_eq!(bed.world.node::<ApNode>(bed.ap).cached_objects(), 0);
+        // Next lookup reports Cache-Miss.
+        bed.world
+            .post(bed.probe, bed.ap, dns_cache_query(2, &[big.hash()]));
+        settle(&mut bed.world);
+        let resp = bed
+            .world
+            .node::<Probe>(bed.probe)
+            .dns_responses
+            .last()
+            .cloned()
+            .unwrap();
+        assert_eq!(resp.cache_response_tuples()[0].flag, CacheFlag::Miss);
+    }
+
+    #[test]
+    fn concurrent_delegations_coalesce_into_one_fetch() {
+        let mut bed = bed(ApConfig::default());
+        bed.world
+            .post(bed.probe, bed.ap, dns_cache_query(1, &[url().hash()]));
+        settle(&mut bed.world);
+        for i in 0..3u64 {
+            bed.world.post(
+                bed.probe,
+                bed.ap,
+                Msg::HttpReq {
+                    conn: ConnId(i + 1),
+                    req: RequestId(i + 1),
+                    request: HttpRequest::get(url()),
+                    cache_op: Some(delegation_op()),
+                },
+            );
+        }
+        settle(&mut bed.world);
+        let probe = bed.world.node::<Probe>(bed.probe);
+        assert_eq!(probe.http_responses.len(), 3, "all waiters answered");
+        assert_eq!(bed.world.metrics().counter("edge.origin_fetches"), 0);
+        // Only one upstream request reached the edge for the three waiters.
+        assert_eq!(bed.world.node::<ApNode>(bed.ap).cached_objects(), 1);
+        let delegation_fetches = bed
+            .world
+            .metrics()
+            .histogram("ap.delegation_fetch_ms")
+            .unwrap()
+            .count();
+        assert_eq!(delegation_fetches, 1);
+    }
+
+    #[test]
+    fn delegation_without_prior_dns_resolves_inline() {
+        let mut bed = bed(ApConfig::default());
+        // Straight to delegation; the AP must resolve the domain itself.
+        bed.world.post(
+            bed.probe,
+            bed.ap,
+            Msg::HttpReq {
+                conn: ConnId(1),
+                req: RequestId(1),
+                request: HttpRequest::get(url()),
+                cache_op: Some(delegation_op()),
+            },
+        );
+        settle(&mut bed.world);
+        let probe = bed.world.node::<Probe>(bed.probe);
+        let (_, response, _) = probe.http_responses.last().unwrap();
+        assert!(response.status.is_success());
+        assert_eq!(bed.world.node::<ApNode>(bed.ap).cached_objects(), 1);
+    }
+
+    #[test]
+    fn expired_objects_are_purged_on_window_tick() {
+        let config = ApConfig {
+            window: SimDuration::from_secs(30),
+            ..ApConfig::default()
+        };
+        let mut bed = bed(config);
+        bed.world.post(
+            bed.probe,
+            bed.ap,
+            Msg::HttpReq {
+                conn: ConnId(1),
+                req: RequestId(1),
+                request: HttpRequest::get(url()),
+                cache_op: Some(CacheOp {
+                    ttl: SimDuration::from_secs(10),
+                    priority: Priority::LOW,
+                    app: ape_cachealg::AppId::new(0),
+                }),
+            },
+        );
+        settle(&mut bed.world);
+        assert_eq!(bed.world.node::<ApNode>(bed.ap).cached_objects(), 1);
+        bed.world.run_until(SimTime::from_secs(31));
+        assert_eq!(bed.world.node::<ApNode>(bed.ap).cached_objects(), 0);
+        assert!(bed.world.metrics().counter("ap.ttl_purges") >= 1);
+    }
+
+    #[test]
+    fn resource_sampling_records_series() {
+        let mut bed = bed(ApConfig::default());
+        bed.world
+            .post(bed.probe, bed.ap, dns_cache_query(1, &[url().hash()]));
+        bed.world.run_until(SimTime::from_secs(5));
+        let cpu = bed.world.metrics().time_series("ap.cpu").unwrap();
+        assert!(cpu.len() >= 4);
+        let mem = bed.world.metrics().time_series("ap.ape_mem_mb").unwrap();
+        assert!(mem.mean() > 3.9, "APE code overhead visible: {}", mem.mean());
+        assert!(mem.mean() < 15.0, "within the paper's 13MB envelope");
+    }
+
+    #[test]
+    fn ape_memory_grows_with_cache_contents() {
+        let mut bed = bed(ApConfig::default());
+        let before = bed.world.node::<ApNode>(bed.ap).ape_memory_bytes();
+        bed.world.post(
+            bed.probe,
+            bed.ap,
+            Msg::HttpReq {
+                conn: ConnId(1),
+                req: RequestId(1),
+                request: HttpRequest::get(url()),
+                cache_op: Some(delegation_op()),
+            },
+        );
+        settle(&mut bed.world);
+        let after = bed.world.node::<ApNode>(bed.ap).ape_memory_bytes();
+        assert!(after > before + 40_000, "before {before} after {after}");
+    }
+
+    #[test]
+    fn lru_policy_variant_works_end_to_end() {
+        let config = ApConfig {
+            policy: ApPolicy::Lru,
+            ..ApConfig::default()
+        };
+        let mut bed = bed(config);
+        bed.world.post(
+            bed.probe,
+            bed.ap,
+            Msg::HttpReq {
+                conn: ConnId(1),
+                req: RequestId(1),
+                request: HttpRequest::get(url()),
+                cache_op: Some(delegation_op()),
+            },
+        );
+        settle(&mut bed.world);
+        assert_eq!(bed.world.node::<ApNode>(bed.ap).cached_objects(), 1);
+    }
+}

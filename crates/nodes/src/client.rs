@@ -1,0 +1,971 @@
+//! The client runtime: the paper's enhanced HTTP client library.
+//!
+//! Two modules from Fig. 5 live here. *Programming support* holds the
+//! `Cacheable` registry (base URL → priority/TTL, mirroring the Java
+//! annotations) and intercepts outgoing requests whose base URL matches.
+//! *Cache lookup & fetching* implements the strategy-specific retrieval
+//! workflows:
+//!
+//! * **APE-CACHE** — piggyback the AP cache lookup on the DNS query
+//!   (DNS-Cache), then fetch from the AP (`Cache-Hit`), delegate to it
+//!   (`Delegation`), or fall back to the edge (`Cache-Miss`);
+//! * **Wi-Cache** — ask the remote controller who holds the object, then
+//!   fetch from the AP or delegate through it on a miss;
+//! * **Edge Cache** — resolve the CDN name through the local DNS and fetch
+//!   from the edge server.
+//!
+//! The client also executes app DAGs: an execution starts at the roots,
+//! each completed object releases its dependents, and app-level latency is
+//! the time until the last object lands (the "composeUI" moment).
+
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+use ape_appdag::{AppSpec, ObjIdx};
+use ape_cachealg::Priority;
+use ape_dnswire::{CacheFlag, DnsMessage, DomainName, Rcode, UrlHash};
+use ape_httpsim::{HttpRequest, HttpResponse, Url};
+use ape_proto::{CacheOp, ConnId, IpMap, Msg, RequestId};
+use ape_simnet::{Context, Node, NodeId, SimDuration, SimTime, TimerToken};
+use ape_workload::Execution;
+
+/// Which caching system the client runs against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// APE-CACHE (and APE-CACHE-LRU — the difference is the AP's policy).
+    ApeCache,
+    /// The Wi-Cache baseline: controller-mediated lookups.
+    WiCache,
+    /// The Edge Cache baseline: plain DNS + edge fetch.
+    EdgeCache,
+}
+
+/// How APE-CACHE cache lookups are issued (Fig. 11b ablation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LookupMode {
+    /// Piggybacked on the DNS query (the paper's design).
+    #[default]
+    Piggybacked,
+    /// A separate cache query after a regular DNS query.
+    Standalone,
+}
+
+/// Client configuration and wiring.
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Retrieval strategy.
+    pub strategy: Strategy,
+    /// Lookup mode (APE-CACHE only).
+    pub lookup_mode: LookupMode,
+    /// Where DNS queries go: the AP for APE-CACHE (it *is* the resolver on
+    /// real LANs), the LDNS for the Edge Cache baseline.
+    pub dns_server: NodeId,
+    /// The AP serving cache hits and delegations.
+    pub ap: NodeId,
+    /// The Wi-Cache controller (Wi-Cache strategy only).
+    pub controller: Option<NodeId>,
+    /// Address book for dialling resolved IPs.
+    pub ip_map: IpMap,
+    /// Client-side processing per protocol step (Android runtime overhead).
+    pub processing: SimDuration,
+    /// DNS retry timeout.
+    pub dns_timeout: SimDuration,
+    /// DNS retries before a fetch fails.
+    pub dns_retries: u32,
+    /// Whether resolved addresses are reused until their TTL expires.
+    /// APE-CACHE needs this (flags ride on the DNS entries); the Edge
+    /// Cache baseline follows the paper's Fig. 1 workflow, where every
+    /// object access initiates its own DNS resolution.
+    pub cache_dns: bool,
+    /// Extension (paper §VI): ship request-dependency information to the
+    /// AP so it prefetches the objects this execution will need next.
+    pub prefetch_hints: bool,
+}
+
+impl ClientConfig {
+    /// Baseline config for `strategy`; callers fill in the wiring ids.
+    pub fn new(strategy: Strategy, dns_server: NodeId, ap: NodeId, ip_map: IpMap) -> Self {
+        ClientConfig {
+            strategy,
+            lookup_mode: LookupMode::Piggybacked,
+            dns_server,
+            ap,
+            controller: None,
+            ip_map,
+            processing: SimDuration::from_micros(300),
+            dns_timeout: SimDuration::from_secs(3),
+            dns_retries: 2,
+            cache_dns: !matches!(strategy, Strategy::EdgeCache),
+            prefetch_hints: false,
+        }
+    }
+}
+
+/// What the registry knows about a cacheable object family — the runtime
+/// image of one `@Cacheable` annotation.
+#[derive(Debug, Clone, Copy)]
+struct CacheableSpec {
+    priority: Priority,
+    ttl: SimDuration,
+    app: ape_cachealg::AppId,
+}
+
+/// How a fetch will retrieve its object once the lookup resolved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FetchMode {
+    ApHit,
+    Delegation,
+    Edge,
+}
+
+#[derive(Debug)]
+enum Phase {
+    /// Waiting on a DNS (or DNS-Cache) response for the domain.
+    AwaitingDns,
+    /// Waiting on the Wi-Cache controller.
+    AwaitingController,
+    /// TCP SYN sent.
+    Connecting { target: NodeId, mode: FetchMode },
+    /// Request sent on the established connection.
+    Fetching { mode: FetchMode },
+}
+
+/// One in-flight object fetch.
+#[derive(Debug)]
+struct Fetch {
+    exec: u64,
+    obj: ObjIdx,
+    app_idx: usize,
+    url: Url,
+    key: UrlHash,
+    started: SimTime,
+    lookup_started: SimTime,
+    /// Set when the lookup needed an actual network query.
+    lookup_was_query: bool,
+    retrieval_started: Option<SimTime>,
+    phase: Phase,
+}
+
+/// One running app execution.
+#[derive(Debug)]
+struct Exec {
+    app_idx: usize,
+    started: SimTime,
+    remaining: usize,
+    /// Outstanding dependency count per object (`usize::MAX` = cancelled).
+    deps_left: Vec<usize>,
+    variant: u32,
+    failed: bool,
+}
+
+/// A DNS(-Cache) query in flight for a domain.
+#[derive(Debug)]
+struct PendingDns {
+    txn: u16,
+    waiting: Vec<RequestId>,
+    retries: u32,
+    /// Hashes included in the query (DNS-Cache mode).
+    hashes: Vec<UrlHash>,
+    /// Standalone second-stage query flag.
+    cache_stage: bool,
+}
+
+/// Client-side outcome counters, exposed for harnesses and tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClientReport {
+    /// Cacheable object fetches completed.
+    pub requests: u64,
+    /// Fetches served from the AP cache.
+    pub hits: u64,
+    /// High-priority fetches completed.
+    pub high_requests: u64,
+    /// High-priority fetches served from the AP cache.
+    pub high_hits: u64,
+    /// Fetches that failed (DNS give-up or upstream error).
+    pub failures: u64,
+    /// App executions completed.
+    pub executions: u64,
+}
+
+impl ClientReport {
+    /// Overall AP-cache hit ratio.
+    pub fn hit_ratio(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.requests as f64
+        }
+    }
+
+    /// High-priority AP-cache hit ratio.
+    pub fn high_priority_hit_ratio(&self) -> f64 {
+        if self.high_requests == 0 {
+            0.0
+        } else {
+            self.high_hits as f64 / self.high_requests as f64
+        }
+    }
+
+    /// Adds another report's counters.
+    pub fn merge(&mut self, other: &ClientReport) {
+        self.requests += other.requests;
+        self.hits += other.hits;
+        self.high_requests += other.high_requests;
+        self.high_hits += other.high_hits;
+        self.failures += other.failures;
+        self.executions += other.executions;
+    }
+}
+
+/// The client node.
+#[derive(Debug)]
+pub struct ClientNode {
+    config: ClientConfig,
+    apps: Vec<AppSpec>,
+    /// Dependents per app per object (reverse edges of the DAG).
+    children: Vec<Vec<Vec<ObjIdx>>>,
+    registry: HashMap<String, CacheableSpec>,
+    schedule: Vec<Execution>,
+    /// App id → index into `apps`.
+    app_index: HashMap<u32, usize>,
+    dns_cache: HashMap<DomainName, (Ipv4Addr, SimTime)>,
+    /// Per-domain cached flags and their validity horizon.
+    flags: HashMap<DomainName, (HashMap<UrlHash, CacheFlag>, SimTime)>,
+    pending_dns: HashMap<DomainName, PendingDns>,
+    txn_domains: HashMap<u16, DomainName>,
+    fetches: HashMap<RequestId, Fetch>,
+    conns: HashMap<ConnId, RequestId>,
+    execs: HashMap<u64, Exec>,
+    report: ClientReport,
+    next_txn: u16,
+    next_req: u64,
+    next_conn: u64,
+    next_exec: u64,
+}
+
+/// Timer-token namespaces.
+const TOKEN_DNS_BASE: u64 = 1 << 32;
+
+impl ClientNode {
+    /// Creates a client running `apps` on `schedule` (entries refer to apps
+    /// by [`AppId`](ape_cachealg::AppId); entries for unknown apps are
+    /// ignored).
+    pub fn new(config: ClientConfig, apps: Vec<AppSpec>, schedule: Vec<Execution>) -> Self {
+        let mut registry = HashMap::new();
+        let mut app_index = HashMap::new();
+        let mut children = Vec::with_capacity(apps.len());
+        for (i, app) in apps.iter().enumerate() {
+            app_index.insert(app.id().get(), i);
+            let dag = app.dag();
+            let mut kids = vec![Vec::new(); dag.len()];
+            for (idx, _) in dag.iter() {
+                for dep in dag.deps(idx) {
+                    kids[dep.get()].push(idx);
+                }
+            }
+            children.push(kids);
+            for (_, obj) in dag.iter() {
+                registry.insert(
+                    obj.url.base_id(),
+                    CacheableSpec {
+                        priority: obj.priority,
+                        ttl: obj.ttl,
+                        app: app.id(),
+                    },
+                );
+            }
+        }
+        ClientNode {
+            config,
+            apps,
+            children,
+            registry,
+            schedule,
+            app_index,
+            dns_cache: HashMap::new(),
+            flags: HashMap::new(),
+            pending_dns: HashMap::new(),
+            txn_domains: HashMap::new(),
+            fetches: HashMap::new(),
+            conns: HashMap::new(),
+            execs: HashMap::new(),
+            report: ClientReport::default(),
+            next_txn: 1,
+            next_req: 1,
+            next_conn: 1,
+            next_exec: 1,
+        }
+    }
+
+    /// The outcome counters.
+    pub fn report(&self) -> ClientReport {
+        self.report
+    }
+
+    /// Kicks off one execution of app `app_idx` immediately (tests and
+    /// micro-benches; scheduled runs use the construction-time schedule).
+    pub fn trigger_execution(&mut self, ctx: &mut Context<'_, Msg>, app_idx: usize) {
+        let dag = self.apps[app_idx].dag();
+        let exec_id = self.next_exec;
+        self.next_exec += 1;
+        let variants = self.apps[app_idx].variants();
+        let variant = if variants <= 1 {
+            0
+        } else {
+            ctx.rng().uniform_u64(0, variants as u64 - 1) as u32
+        };
+        let deps_left: Vec<usize> = dag.iter().map(|(idx, _)| dag.deps(idx).len()).collect();
+        let roots = dag.roots();
+        let len = dag.len();
+        self.execs.insert(
+            exec_id,
+            Exec {
+                app_idx,
+                started: ctx.now(),
+                remaining: len,
+                deps_left,
+                variant,
+                failed: false,
+            },
+        );
+        if len == 0 {
+            self.finish_exec(ctx, exec_id);
+            return;
+        }
+        for root in roots {
+            self.start_fetch(ctx, exec_id, root);
+        }
+    }
+
+    fn finish_exec(&mut self, ctx: &mut Context<'_, Msg>, exec_id: u64) {
+        let Some(exec) = self.execs.remove(&exec_id) else {
+            return;
+        };
+        self.report.executions += 1;
+        let latency = (ctx.now() - exec.started).as_millis_f64();
+        let name = self.apps[exec.app_idx].name().to_owned();
+        ctx.metrics().observe("client.app_latency_ms", latency);
+        ctx.metrics()
+            .observe(&format!("client.app_latency_ms.{name}"), latency);
+        if exec.failed {
+            ctx.metrics().incr("client.failed_executions", 1);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Fetch lifecycle
+    // ------------------------------------------------------------------
+
+    fn start_fetch(&mut self, ctx: &mut Context<'_, Msg>, exec_id: u64, obj: ObjIdx) {
+        let exec = &self.execs[&exec_id];
+        let app_idx = exec.app_idx;
+        let variant = exec.variant;
+        let spec = self.apps[app_idx].dag().object(obj).clone();
+        let url = spec.url.with_query(format!("v={variant}"));
+        let key = url.hash();
+        let req = RequestId(self.next_req);
+        self.next_req += 1;
+        let now = ctx.now();
+        let fetch = Fetch {
+            exec: exec_id,
+            obj,
+            app_idx,
+            url,
+            key,
+            started: now,
+            lookup_started: now,
+            lookup_was_query: false,
+            retrieval_started: None,
+            phase: Phase::AwaitingDns,
+        };
+        self.fetches.insert(req, fetch);
+        ctx.metrics().incr("client.fetches", 1);
+
+        match self.config.strategy {
+            Strategy::ApeCache => self.lookup_ape(ctx, req),
+            Strategy::EdgeCache => self.lookup_edge(ctx, req),
+            Strategy::WiCache => self.lookup_wicache(ctx, req),
+        }
+    }
+
+    /// APE-CACHE lookup: use fresh local flags, else join/send a DNS-Cache
+    /// query to the AP.
+    fn lookup_ape(&mut self, ctx: &mut Context<'_, Msg>, req: RequestId) {
+        let now = ctx.now();
+        let (domain, key) = {
+            let f = &self.fetches[&req];
+            (f.url.host().clone(), f.key)
+        };
+        if let Some((table, valid_until)) = self.flags.get(&domain) {
+            if *valid_until > now {
+                let flag = table.get(&key).copied().unwrap_or(CacheFlag::Delegation);
+                let ip = self.fresh_dns_ip(&domain, now);
+                self.act_on_flag(ctx, req, flag, ip);
+                return;
+            }
+        }
+        self.join_or_send_dns(ctx, req, domain, true);
+    }
+
+    /// Edge Cache lookup: plain DNS against the configured resolver.
+    fn lookup_edge(&mut self, ctx: &mut Context<'_, Msg>, req: RequestId) {
+        let now = ctx.now();
+        let domain = self.fetches[&req].url.host().clone();
+        if self.config.cache_dns {
+            if let Some(ip) = self.fresh_dns_ip(&domain, now) {
+                self.act_on_flag(ctx, req, CacheFlag::Miss, Some(ip));
+                return;
+            }
+        }
+        self.join_or_send_dns(ctx, req, domain, false);
+    }
+
+    /// Wi-Cache lookup: ask the controller.
+    fn lookup_wicache(&mut self, ctx: &mut Context<'_, Msg>, req: RequestId) {
+        let Some(controller) = self.config.controller else {
+            self.fail_fetch(ctx, req);
+            return;
+        };
+        let key = self.fetches[&req].key;
+        if let Some(f) = self.fetches.get_mut(&req) {
+            f.lookup_was_query = true;
+            f.phase = Phase::AwaitingController;
+        }
+        ctx.metrics().incr("client.wicache_lookups", 1);
+        ctx.send_after(
+            self.config.processing,
+            controller,
+            Msg::WiCacheLookup { req, url_hash: key },
+        );
+    }
+
+    fn fresh_dns_ip(&self, domain: &DomainName, now: SimTime) -> Option<Ipv4Addr> {
+        match self.dns_cache.get(domain) {
+            Some((ip, expires)) if *expires > now => Some(*ip),
+            _ => None,
+        }
+    }
+
+    fn join_or_send_dns(
+        &mut self,
+        ctx: &mut Context<'_, Msg>,
+        req: RequestId,
+        domain: DomainName,
+        dns_cache_query: bool,
+    ) {
+        if let Some(f) = self.fetches.get_mut(&req) {
+            f.lookup_was_query = true;
+            f.phase = Phase::AwaitingDns;
+        }
+        if let Some(pending) = self.pending_dns.get_mut(&domain) {
+            pending.waiting.push(req);
+            return;
+        }
+        let txn = self.next_txn;
+        self.next_txn = self.next_txn.wrapping_add(1).max(1);
+        let hashes = if dns_cache_query && self.config.lookup_mode == LookupMode::Piggybacked {
+            vec![self.fetches[&req].key]
+        } else {
+            Vec::new()
+        };
+        let query = if hashes.is_empty() {
+            DnsMessage::query(txn, domain.clone())
+        } else {
+            DnsMessage::dns_cache_request(txn, domain.clone(), &hashes)
+        };
+        self.pending_dns.insert(
+            domain.clone(),
+            PendingDns {
+                txn,
+                waiting: vec![req],
+                retries: 0,
+                hashes,
+                cache_stage: false,
+            },
+        );
+        self.txn_domains.insert(txn, domain);
+        ctx.metrics().incr("client.dns_queries", 1);
+        ctx.send_after(self.config.processing, self.config.dns_server, Msg::Dns(query));
+        ctx.schedule(
+            self.config.dns_timeout,
+            TimerToken::new(TOKEN_DNS_BASE | txn as u64),
+        );
+    }
+
+    /// Applies a resolved cache flag: dial the AP (hit/delegation) or the
+    /// edge (miss).
+    fn act_on_flag(
+        &mut self,
+        ctx: &mut Context<'_, Msg>,
+        req: RequestId,
+        flag: CacheFlag,
+        ip: Option<Ipv4Addr>,
+    ) {
+        let now = ctx.now();
+        let Some(fetch) = self.fetches.get(&req) else {
+            return;
+        };
+        if fetch.lookup_was_query {
+            let lookup_ms = (now - fetch.lookup_started).as_millis_f64();
+            ctx.metrics().observe("client.lookup_query_ms", lookup_ms);
+        }
+        ctx.metrics().observe(
+            "client.lookup_op_ms",
+            (now - fetch.lookup_started).as_millis_f64(),
+        );
+        let mode = match flag {
+            CacheFlag::Hit => FetchMode::ApHit,
+            CacheFlag::Delegation | CacheFlag::Query => FetchMode::Delegation,
+            CacheFlag::Miss => FetchMode::Edge,
+        };
+        let target = match mode {
+            FetchMode::ApHit | FetchMode::Delegation => self.config.ap,
+            FetchMode::Edge => {
+                let Some(node) = ip.and_then(|ip| self.config.ip_map.node_of(ip)) else {
+                    self.fail_fetch(ctx, req);
+                    return;
+                };
+                node
+            }
+        };
+        let conn = ConnId(self.next_conn);
+        self.next_conn += 1;
+        let fetch = self.fetches.get_mut(&req).expect("checked above");
+        fetch.retrieval_started = Some(now);
+        fetch.phase = Phase::Connecting { target, mode };
+        self.conns.insert(conn, req);
+        ctx.send_after(self.config.processing, target, Msg::TcpSyn { conn });
+        if self.config.prefetch_hints && target == self.config.ap {
+            self.send_prefetch_hints(ctx, req);
+        }
+    }
+
+    /// Extension (paper §VI): tell the AP which objects this execution
+    /// will request once the current fetch completes — its DAG dependents.
+    fn send_prefetch_hints(&mut self, ctx: &mut Context<'_, Msg>, req: RequestId) {
+        let Some(fetch) = self.fetches.get(&req) else {
+            return;
+        };
+        let Some(exec) = self.execs.get(&fetch.exec) else {
+            return;
+        };
+        let variant = exec.variant;
+        let dag = self.apps[fetch.app_idx].dag();
+        let hints: Vec<ape_proto::PrefetchHint> = self.children[fetch.app_idx][fetch.obj.get()]
+            .iter()
+            .take(4)
+            .filter_map(|child| {
+                let spec = dag.object(*child);
+                let url = spec.url.with_query(format!("v={variant}"));
+                let cacheable = self.registry.get(&url.base_id())?;
+                Some(ape_proto::PrefetchHint {
+                    url,
+                    op: CacheOp {
+                        ttl: cacheable.ttl,
+                        priority: cacheable.priority,
+                        app: cacheable.app,
+                    },
+                })
+            })
+            .collect();
+        if !hints.is_empty() {
+            ctx.metrics().incr("client.prefetch_hints", hints.len() as u64);
+            ctx.send_after(self.config.processing, self.config.ap, Msg::PrefetchHints { hints });
+        }
+    }
+
+    fn fail_fetch(&mut self, ctx: &mut Context<'_, Msg>, req: RequestId) {
+        let Some(fetch) = self.fetches.remove(&req) else {
+            return;
+        };
+        self.report.failures += 1;
+        ctx.metrics().incr("client.fetch_failures", 1);
+        if self.execs.contains_key(&fetch.exec) {
+            {
+                let exec = self.execs.get_mut(&fetch.exec).expect("checked");
+                exec.failed = true;
+                exec.remaining -= 1;
+            }
+            // Dependents can never run; cancel them so the execution ends.
+            let mut cancelled = vec![fetch.obj];
+            while let Some(obj) = cancelled.pop() {
+                for &child in &self.children[fetch.app_idx][obj.get()] {
+                    let exec = self.execs.get_mut(&fetch.exec).expect("checked");
+                    if exec.deps_left[child.get()] == usize::MAX {
+                        continue;
+                    }
+                    exec.deps_left[child.get()] = usize::MAX;
+                    exec.remaining -= 1;
+                    cancelled.push(child);
+                }
+            }
+            if self.execs[&fetch.exec].remaining == 0 {
+                self.finish_exec(ctx, fetch.exec);
+            }
+        }
+    }
+
+    fn complete_fetch(
+        &mut self,
+        ctx: &mut Context<'_, Msg>,
+        req: RequestId,
+        response: HttpResponse,
+        from_cache: bool,
+    ) {
+        let now = ctx.now();
+        if !response.status.is_success() {
+            self.fail_fetch(ctx, req);
+            return;
+        }
+        let Some(fetch) = self.fetches.remove(&req) else {
+            return;
+        };
+        let mode = match &fetch.phase {
+            Phase::Fetching { mode } => *mode,
+            _ => FetchMode::Edge,
+        };
+        let spec = self
+            .registry
+            .get(&fetch.url.base_id())
+            .copied()
+            .expect("fetched objects are registered");
+
+        self.report.requests += 1;
+        if spec.priority.is_high() {
+            self.report.high_requests += 1;
+        }
+        let served_by_ap_cache = from_cache && mode != FetchMode::Edge;
+        if served_by_ap_cache {
+            self.report.hits += 1;
+            if spec.priority.is_high() {
+                self.report.high_hits += 1;
+            }
+            ctx.metrics().incr("client.cache_hits", 1);
+        }
+        if let Some(retrieval_started) = fetch.retrieval_started {
+            let retrieval_ms = (now - retrieval_started).as_millis_f64();
+            match mode {
+                FetchMode::ApHit => {
+                    ctx.metrics().observe("client.retrieval_hit_ms", retrieval_ms)
+                }
+                FetchMode::Delegation => ctx
+                    .metrics()
+                    .observe("client.retrieval_delegation_ms", retrieval_ms),
+                FetchMode::Edge => {
+                    ctx.metrics().observe("client.retrieval_edge_ms", retrieval_ms)
+                }
+            }
+            ctx.metrics().observe("client.retrieval_ms", retrieval_ms);
+        }
+        ctx.metrics()
+            .observe("client.object_total_ms", (now - fetch.started).as_millis_f64());
+
+        // Release dependents.
+        let exec_id = fetch.exec;
+        if self.execs.contains_key(&exec_id) {
+            let mut ready = Vec::new();
+            {
+                let exec = self.execs.get_mut(&exec_id).expect("checked");
+                exec.remaining -= 1;
+                for &child in &self.children[fetch.app_idx][fetch.obj.get()] {
+                    if exec.deps_left[child.get()] == usize::MAX {
+                        continue;
+                    }
+                    exec.deps_left[child.get()] -= 1;
+                    if exec.deps_left[child.get()] == 0 {
+                        ready.push(child);
+                    }
+                }
+            }
+            for child in ready {
+                self.start_fetch(ctx, exec_id, child);
+            }
+            if self.execs[&exec_id].remaining == 0 {
+                self.finish_exec(ctx, exec_id);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Message handling
+    // ------------------------------------------------------------------
+
+    fn handle_dns_response(&mut self, ctx: &mut Context<'_, Msg>, response: DnsMessage) {
+        let txn = response.header.id;
+        let Some(domain) = self.txn_domains.remove(&txn) else {
+            return;
+        };
+        let Some(mut pending) = self.pending_dns.remove(&domain) else {
+            return;
+        };
+        if pending.txn != txn {
+            // Stale retry answer; put the live query back.
+            self.txn_domains.insert(pending.txn, domain.clone());
+            self.pending_dns.insert(domain, pending);
+            return;
+        }
+        let now = ctx.now();
+
+        let answer = response
+            .answer_ip()
+            .map(|ip| (ip, response.answers.first().map(|a| a.ttl).unwrap_or(0)));
+        let mut flag_horizon = now;
+        if let Some((ip, ttl)) = answer {
+            if !IpMap::is_dummy(ip) {
+                self.dns_cache
+                    .insert(domain.clone(), (ip, now + SimDuration::from_secs(ttl as u64)));
+            }
+            flag_horizon = now + SimDuration::from_secs(ttl as u64);
+        }
+
+        // Standalone mode: plain stage answered → issue the cache query.
+        if self.config.strategy == Strategy::ApeCache
+            && self.config.lookup_mode == LookupMode::Standalone
+            && !pending.cache_stage
+            && response.cache_response_tuples().is_empty()
+        {
+            let txn2 = self.next_txn;
+            self.next_txn = self.next_txn.wrapping_add(1).max(1);
+            let hashes: Vec<UrlHash> = pending
+                .waiting
+                .iter()
+                .filter_map(|r| self.fetches.get(r).map(|f| f.key))
+                .collect();
+            let query = DnsMessage::dns_cache_request(txn2, domain.clone(), &hashes);
+            pending.txn = txn2;
+            pending.cache_stage = true;
+            pending.hashes = hashes;
+            self.txn_domains.insert(txn2, domain.clone());
+            self.pending_dns.insert(domain, pending);
+            ctx.metrics().incr("client.dns_queries", 1);
+            ctx.send_after(self.config.processing, self.config.dns_server, Msg::Dns(query));
+            ctx.schedule(
+                self.config.dns_timeout,
+                TimerToken::new(TOKEN_DNS_BASE | txn2 as u64),
+            );
+            return;
+        }
+
+        // Record flags (DNS-Cache responses carry them; plain ones do not).
+        let tuples = response.cache_response_tuples();
+        if !tuples.is_empty() {
+            let table = tuples
+                .iter()
+                .map(|t| (t.url_hash, t.flag))
+                .collect::<HashMap<_, _>>();
+            // Dummy-IP (TTL 0) responses: flags serve the waiting fetches
+            // only; the horizon collapses to `now`.
+            self.flags.insert(domain.clone(), (table, flag_horizon));
+        }
+
+        let failed = response.header.rcode != Rcode::NoError;
+        let ip = answer.map(|(ip, _)| ip).filter(|ip| !IpMap::is_dummy(*ip));
+        let flag_table = self.flags.get(&domain).map(|(t, _)| t.clone());
+        for req in pending.waiting {
+            if failed {
+                self.fail_fetch(ctx, req);
+                continue;
+            }
+            let flag = match self.config.strategy {
+                Strategy::ApeCache => {
+                    let key = self.fetches.get(&req).map(|f| f.key);
+                    key.and_then(|k| flag_table.as_ref().and_then(|t| t.get(&k).copied()))
+                        .unwrap_or(CacheFlag::Delegation)
+                }
+                _ => CacheFlag::Miss,
+            };
+            self.act_on_flag(ctx, req, flag, ip);
+        }
+    }
+
+    fn handle_dns_timeout(&mut self, ctx: &mut Context<'_, Msg>, txn: u16) {
+        let Some(domain) = self.txn_domains.get(&txn).cloned() else {
+            return; // Answered already.
+        };
+        let Some(pending) = self.pending_dns.get_mut(&domain) else {
+            return;
+        };
+        if pending.txn != txn {
+            return;
+        }
+        if pending.retries >= self.config.dns_retries {
+            let pending = self.pending_dns.remove(&domain).expect("present above");
+            self.txn_domains.remove(&txn);
+            ctx.metrics().incr("client.dns_give_ups", 1);
+            for req in pending.waiting {
+                self.fail_fetch(ctx, req);
+            }
+            return;
+        }
+        pending.retries += 1;
+        ctx.metrics().incr("client.dns_retries", 1);
+        let query = if pending.hashes.is_empty() {
+            DnsMessage::query(txn, domain.clone())
+        } else {
+            DnsMessage::dns_cache_request(txn, domain.clone(), &pending.hashes)
+        };
+        ctx.send_after(self.config.processing, self.config.dns_server, Msg::Dns(query));
+        ctx.schedule(
+            self.config.dns_timeout,
+            TimerToken::new(TOKEN_DNS_BASE | txn as u64),
+        );
+    }
+
+    fn handle_wicache_result(
+        &mut self,
+        ctx: &mut Context<'_, Msg>,
+        req: RequestId,
+        holder: Option<Ipv4Addr>,
+    ) {
+        if !self.fetches.contains_key(&req) {
+            return;
+        }
+        // Holder known → the object sits on our AP (single-AP testbed):
+        // fetch it. Unknown → delegate through the AP so the Wi-Cache
+        // fleet's cache fills, mirroring the paper's adaptation of
+        // Wi-Cache to small cacheable objects.
+        let flag = if holder.is_some() {
+            CacheFlag::Hit
+        } else {
+            CacheFlag::Delegation
+        };
+        self.act_on_flag(ctx, req, flag, None);
+    }
+}
+
+impl Node<Msg> for ClientNode {
+    fn on_start(&mut self, ctx: &mut Context<'_, Msg>) {
+        for (i, exec) in self.schedule.iter().enumerate() {
+            let delay = exec.at - SimTime::ZERO;
+            ctx.schedule(delay, TimerToken::new(i as u64));
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_, Msg>, _from: NodeId, msg: Msg) {
+        match msg {
+            Msg::Dns(dns) if dns.header.response => self.handle_dns_response(ctx, dns),
+            Msg::Dns(_) => {}
+            Msg::TcpSynAck { conn } => {
+                let Some(&req) = self.conns.get(&conn) else {
+                    return;
+                };
+                let Some(fetch) = self.fetches.get_mut(&req) else {
+                    return;
+                };
+                let Phase::Connecting { target, mode } = fetch.phase else {
+                    return;
+                };
+                fetch.phase = Phase::Fetching { mode };
+                let cache_op = if mode == FetchMode::Delegation {
+                    self.registry
+                        .get(&fetch.url.base_id())
+                        .map(|s| CacheOp {
+                            ttl: s.ttl,
+                            priority: s.priority,
+                            app: s.app,
+                        })
+                } else {
+                    None
+                };
+                let request = HttpRequest::get(fetch.url.clone());
+                ctx.send_after(
+                    self.config.processing,
+                    target,
+                    Msg::HttpReq {
+                        conn,
+                        req,
+                        request,
+                        cache_op,
+                    },
+                );
+            }
+            Msg::HttpRsp {
+                conn,
+                req,
+                response,
+                from_cache,
+            } => {
+                self.conns.remove(&conn);
+                self.complete_fetch(ctx, req, response, from_cache);
+            }
+            Msg::WiCacheResult { req, holder } => self.handle_wicache_result(ctx, req, holder),
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, Msg>, token: TimerToken) {
+        let raw = token.get();
+        if raw & TOKEN_DNS_BASE != 0 {
+            self.handle_dns_timeout(ctx, (raw & 0xFFFF) as u16);
+            return;
+        }
+        let idx = raw as usize;
+        if idx < self.schedule.len() {
+            let app_id = self.schedule[idx].app;
+            if let Some(&app_idx) = self.app_index.get(&app_id.get()) {
+                self.trigger_execution(ctx, app_idx);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ape_appdag::{movie_trailer, AppId};
+
+    fn client(strategy: Strategy) -> ClientNode {
+        ClientNode::new(
+            ClientConfig::new(
+                strategy,
+                NodeId::from_raw(0),
+                NodeId::from_raw(0),
+                IpMap::new(),
+            ),
+            vec![movie_trailer(AppId::new(1))],
+            Vec::new(),
+        )
+    }
+
+    #[test]
+    fn registry_is_built_from_annotations() {
+        let c = client(Strategy::ApeCache);
+        assert_eq!(c.registry.len(), 5);
+        let thumb = c
+            .registry
+            .get("http://api.movietrailer.example/thumbnail")
+            .unwrap();
+        assert!(thumb.priority.is_high());
+        assert_eq!(c.report(), ClientReport::default());
+    }
+
+    #[test]
+    fn children_reverse_edges_match_dag() {
+        let c = client(Strategy::EdgeCache);
+        let kids = &c.children[0];
+        let total: usize = kids.iter().map(Vec::len).sum();
+        assert_eq!(total, 4);
+        assert_eq!(kids[0].len(), 4);
+    }
+
+    #[test]
+    fn report_ratios() {
+        let r = ClientReport {
+            requests: 10,
+            hits: 4,
+            high_requests: 5,
+            high_hits: 5,
+            failures: 0,
+            executions: 2,
+        };
+        assert!((r.hit_ratio() - 0.4).abs() < 1e-12);
+        assert!((r.high_priority_hit_ratio() - 1.0).abs() < 1e-12);
+        let empty = ClientReport::default();
+        assert_eq!(empty.hit_ratio(), 0.0);
+        assert_eq!(empty.high_priority_hit_ratio(), 0.0);
+        let mut merged = r;
+        merged.merge(&r);
+        assert_eq!(merged.requests, 20);
+        assert_eq!(merged.executions, 4);
+    }
+}

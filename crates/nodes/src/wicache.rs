@@ -1,0 +1,183 @@
+//! The Wi-Cache controller (baseline, §V-A).
+//!
+//! Wi-Cache routes every cache request through a centralized controller
+//! that knows which AP holds which object. The paper deploys it on EC2,
+//! 12 hops from the AP — which is exactly why its cache *lookup* latency
+//! exceeds 22 ms while APE-CACHE's stays under 8 ms.
+
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+use ape_dnswire::UrlHash;
+use ape_proto::Msg;
+use ape_simnet::{Context, Node, NodeId, SimDuration};
+
+/// The controller: a registry of object → AP placements, updated by AP
+/// advertisements, answering client lookups.
+#[derive(Debug)]
+pub struct WiCacheControllerNode {
+    placements: HashMap<UrlHash, Ipv4Addr>,
+    /// Address of each advertising AP (learned from the testbed builder).
+    ap_addresses: HashMap<NodeId, Ipv4Addr>,
+    processing: SimDuration,
+    lookups: u64,
+    hits: u64,
+}
+
+impl WiCacheControllerNode {
+    /// Creates a controller with the given per-request processing time.
+    pub fn new(processing: SimDuration) -> Self {
+        WiCacheControllerNode {
+            placements: HashMap::new(),
+            ap_addresses: HashMap::new(),
+            processing,
+            lookups: 0,
+            hits: 0,
+        }
+    }
+
+    /// Registers an AP and its address so advertisements can be attributed.
+    pub fn register_ap(&mut self, ap: NodeId, address: Ipv4Addr) {
+        self.ap_addresses.insert(ap, address);
+    }
+
+    /// Total lookups served.
+    pub fn lookups(&self) -> u64 {
+        self.lookups
+    }
+
+    /// Lookups that found a holder.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Number of tracked placements (for tests).
+    pub fn placement_count(&self) -> usize {
+        self.placements.len()
+    }
+}
+
+impl Node<Msg> for WiCacheControllerNode {
+    fn on_message(&mut self, ctx: &mut Context<'_, Msg>, from: NodeId, msg: Msg) {
+        match msg {
+            Msg::WiCacheLookup { req, url_hash } => {
+                self.lookups += 1;
+                let holder = self.placements.get(&url_hash).copied();
+                if holder.is_some() {
+                    self.hits += 1;
+                }
+                ctx.send_after(self.processing, from, Msg::WiCacheResult { req, holder });
+            }
+            Msg::WiCacheAdvertise { added, removed } => {
+                let Some(&address) = self.ap_addresses.get(&from) else {
+                    return; // Unregistered AP; drop silently.
+                };
+                for key in added {
+                    self.placements.insert(key, address);
+                }
+                for key in removed {
+                    // Only clear if this AP still owns the placement.
+                    if self.placements.get(&key) == Some(&address) {
+                        self.placements.remove(&key);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ape_proto::RequestId;
+    use ape_simnet::{LinkSpec, World};
+
+    #[derive(Debug, Default)]
+    struct Probe {
+        results: Vec<(RequestId, Option<Ipv4Addr>)>,
+    }
+
+    impl Node<Msg> for Probe {
+        fn on_message(&mut self, _ctx: &mut Context<'_, Msg>, _from: NodeId, msg: Msg) {
+            if let Msg::WiCacheResult { req, holder } = msg {
+                self.results.push((req, holder));
+            }
+        }
+    }
+
+    fn world() -> (World<Msg>, NodeId, NodeId, NodeId) {
+        let mut w = World::new(4);
+        let probe = w.add_node("probe", Probe::default());
+        let ap = w.add_node("ap", Probe::default()); // stands in for an AP
+        let controller = w.add_node(
+            "controller",
+            WiCacheControllerNode::new(SimDuration::from_micros(300)),
+        );
+        w.connect(probe, controller, LinkSpec::from_rtt(12, SimDuration::from_millis(24)));
+        w.connect(ap, controller, LinkSpec::from_rtt(12, SimDuration::from_millis(24)));
+        (w, probe, ap, controller)
+    }
+
+    #[test]
+    fn lookup_miss_then_hit_after_advertisement() {
+        let (mut w, probe, ap, controller) = world();
+        let ap_ip = Ipv4Addr::new(10, 0, 0, 3);
+        w.node_mut::<WiCacheControllerNode>(controller).register_ap(ap, ap_ip);
+
+        let key = UrlHash::of("http://a/x");
+        w.post(probe, controller, Msg::WiCacheLookup { req: RequestId(1), url_hash: key });
+        w.run_to_idle();
+        assert_eq!(
+            w.node::<Probe>(probe).results,
+            vec![(RequestId(1), None)]
+        );
+
+        w.post(ap, controller, Msg::WiCacheAdvertise { added: vec![key], removed: vec![] });
+        w.run_to_idle();
+        w.post(probe, controller, Msg::WiCacheLookup { req: RequestId(2), url_hash: key });
+        w.run_to_idle();
+        let results = &w.node::<Probe>(probe).results;
+        assert_eq!(results[1], (RequestId(2), Some(ap_ip)));
+        let c = w.node::<WiCacheControllerNode>(controller);
+        assert_eq!(c.lookups(), 2);
+        assert_eq!(c.hits(), 1);
+    }
+
+    #[test]
+    fn removal_clears_placement() {
+        let (mut w, probe, ap, controller) = world();
+        let ap_ip = Ipv4Addr::new(10, 0, 0, 3);
+        w.node_mut::<WiCacheControllerNode>(controller).register_ap(ap, ap_ip);
+        let key = UrlHash::of("http://a/x");
+        w.post(ap, controller, Msg::WiCacheAdvertise { added: vec![key], removed: vec![] });
+        w.run_to_idle();
+        assert_eq!(w.node::<WiCacheControllerNode>(controller).placement_count(), 1);
+        w.post(ap, controller, Msg::WiCacheAdvertise { added: vec![], removed: vec![key] });
+        w.run_to_idle();
+        assert_eq!(w.node::<WiCacheControllerNode>(controller).placement_count(), 0);
+        w.post(probe, controller, Msg::WiCacheLookup { req: RequestId(3), url_hash: key });
+        w.run_to_idle();
+        assert_eq!(w.node::<Probe>(probe).results.last().unwrap().1, None);
+    }
+
+    #[test]
+    fn unregistered_ap_advertisements_ignored() {
+        let (mut w, _probe, ap, controller) = world();
+        let key = UrlHash::of("http://a/x");
+        w.post(ap, controller, Msg::WiCacheAdvertise { added: vec![key], removed: vec![] });
+        w.run_to_idle();
+        assert_eq!(w.node::<WiCacheControllerNode>(controller).placement_count(), 0);
+    }
+
+    #[test]
+    fn lookup_round_trip_pays_controller_distance() {
+        let (mut w, probe, _ap, controller) = world();
+        let key = UrlHash::of("http://a/x");
+        let start = w.now();
+        w.post(probe, controller, Msg::WiCacheLookup { req: RequestId(1), url_hash: key });
+        w.run_to_idle();
+        let elapsed = (w.now() - start).as_millis_f64();
+        assert!(elapsed >= 24.0, "lookup took {elapsed}ms");
+    }
+}

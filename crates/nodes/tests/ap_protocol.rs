@@ -1,0 +1,275 @@
+//! Protocol-level AP tests: DNS edge cases and delegation defaults that
+//! the happy-path suites don't reach.
+
+use ape_cachealg::{AppId, Priority};
+use ape_dnswire::{CacheFlag, DnsMessage, DomainName, Rcode};
+use ape_httpsim::{HttpRequest, HttpResponse, Url};
+use ape_nodes::{ApConfig, ApNode, AuthDnsNode, Catalog, CatalogEntry, LdnsNode, OriginNode, ZoneAnswer};
+use ape_proto::{CacheOp, ConnId, IpMap, Msg, RequestId};
+use ape_simnet::{Context, LinkSpec, Node, NodeId, SimDuration, SimTime, World};
+
+#[derive(Debug, Default)]
+struct Probe {
+    dns: Vec<DnsMessage>,
+    http: Vec<(RequestId, HttpResponse, bool)>,
+}
+
+impl Node<Msg> for Probe {
+    fn on_message(&mut self, _ctx: &mut Context<'_, Msg>, _from: NodeId, msg: Msg) {
+        match msg {
+            Msg::Dns(m) if m.header.response => self.dns.push(m),
+            Msg::HttpRsp { req, response, from_cache, .. } => {
+                self.http.push((req, response, from_cache))
+            }
+            _ => {}
+        }
+    }
+}
+
+struct Bed {
+    world: World<Msg>,
+    probe: NodeId,
+    ap: NodeId,
+}
+
+fn bed() -> Bed {
+    let mut world = World::new(3);
+    let probe = world.add_node("probe", Probe::default());
+
+    let mut catalog = Catalog::new();
+    catalog.add(
+        "http://known.zone.example/obj",
+        CatalogEntry {
+            size: 10_000,
+            extra_latency: SimDuration::from_millis(25),
+        },
+    );
+    let origin = world.add_node(
+        "origin",
+        OriginNode::new(catalog, SimDuration::from_micros(300)),
+    );
+    let mut ip_map = IpMap::new();
+    let origin_ip = ip_map.assign(origin);
+
+    let mut adns = AuthDnsNode::new(SimDuration::from_micros(300));
+    adns.wildcard(
+        "zone.example".parse().expect("static"),
+        ZoneAnswer::A { ip: origin_ip, ttl: 30 },
+    );
+    let adns = world.add_node("adns", adns);
+    let ldns = world.add_node(
+        "ldns",
+        LdnsNode::new(
+            SimDuration::from_micros(200),
+            vec![("zone.example".parse().expect("static"), adns)],
+        ),
+    );
+    let ap = world.add_node("ap", ApNode::new(ApConfig::default(), ldns, ip_map));
+
+    world.connect(probe, ap, LinkSpec::from_rtt(1, SimDuration::from_millis(3)));
+    world.connect(ap, ldns, LinkSpec::from_rtt(5, SimDuration::from_millis(13)));
+    world.connect(ldns, adns, LinkSpec::from_rtt(12, SimDuration::from_millis(30)));
+    world.connect(ap, origin, LinkSpec::from_rtt(9, SimDuration::from_millis(20)));
+    Bed { world, probe, ap }
+}
+
+fn settle(world: &mut World<Msg>) {
+    world.run_for(SimDuration::from_secs(2));
+}
+
+#[test]
+fn nxdomain_relays_through_the_forwarder() {
+    let mut bed = bed();
+    let name: DomainName = "nope.zone.example".parse().expect("static");
+    // The wildcard answers any zone.example subdomain; use a foreign zone.
+    let missing: DomainName = "else.where.example".parse().expect("static");
+    let _ = name;
+    bed.world.post(bed.probe, bed.ap, Msg::Dns(DnsMessage::query(7, missing)));
+    settle(&mut bed.world);
+    let probe = bed.world.node::<Probe>(bed.probe);
+    let resp = probe.dns.last().expect("relayed");
+    assert_eq!(resp.header.id, 7);
+    assert_eq!(resp.header.rcode, Rcode::ServFail);
+    assert_eq!(resp.answer_ip(), None);
+}
+
+#[test]
+fn delegation_without_cache_op_uses_defaults() {
+    let mut bed = bed();
+    let url = Url::parse("http://known.zone.example/obj?v=1").expect("static");
+    // No prior DNS, no cache_op: the AP must resolve and apply default
+    // metadata (low priority, 10-minute TTL).
+    bed.world.post(
+        bed.probe,
+        bed.ap,
+        Msg::HttpReq {
+            conn: ConnId(1),
+            req: RequestId(1),
+            request: HttpRequest::get(url.clone()),
+            cache_op: None,
+        },
+    );
+    settle(&mut bed.world);
+    let probe = bed.world.node::<Probe>(bed.probe);
+    let (_, response, from_cache) = probe.http.last().expect("answered");
+    assert!(response.status.is_success());
+    assert!(!from_cache);
+    assert_eq!(bed.world.node::<ApNode>(bed.ap).cached_objects(), 1);
+
+    // Cached under default TTL: still present at +9 min, gone at +11.
+    bed.world.run_until(SimTime::from_secs(9 * 60));
+    bed.world.post(
+        bed.probe,
+        bed.ap,
+        Msg::Dns(DnsMessage::dns_cache_request(
+            2,
+            "known.zone.example".parse().expect("static"),
+            &[url.hash()],
+        )),
+    );
+    settle(&mut bed.world);
+    let flag = bed.world.node::<Probe>(bed.probe).dns.last().unwrap().cache_response_tuples()[0].flag;
+    assert_eq!(flag, CacheFlag::Hit);
+
+    bed.world.run_until(SimTime::from_secs(11 * 60));
+    bed.world.post(
+        bed.probe,
+        bed.ap,
+        Msg::Dns(DnsMessage::dns_cache_request(
+            3,
+            "known.zone.example".parse().expect("static"),
+            &[url.hash()],
+        )),
+    );
+    settle(&mut bed.world);
+    let flag = bed.world.node::<Probe>(bed.probe).dns.last().unwrap().cache_response_tuples()[0].flag;
+    assert_eq!(flag, CacheFlag::Delegation, "expired after the default TTL");
+}
+
+#[test]
+fn prefetch_hints_populate_without_any_client_request() {
+    let mut bed = bed();
+    let url = Url::parse("http://known.zone.example/obj?v=9").expect("static");
+    bed.world.post(
+        bed.probe,
+        bed.ap,
+        Msg::PrefetchHints {
+            hints: vec![ape_proto::PrefetchHint {
+                url: url.clone(),
+                op: CacheOp {
+                    ttl: SimDuration::from_mins(20),
+                    priority: Priority::HIGH,
+                    app: AppId::new(0),
+                },
+            }],
+        },
+    );
+    settle(&mut bed.world);
+    assert_eq!(bed.world.node::<ApNode>(bed.ap).cached_objects(), 1);
+    assert_eq!(bed.world.metrics().counter("ap.prefetches"), 1);
+    // A subsequent lookup reports Hit with zero delegations by the client.
+    bed.world.post(
+        bed.probe,
+        bed.ap,
+        Msg::Dns(DnsMessage::dns_cache_request(
+            4,
+            "known.zone.example".parse().expect("static"),
+            &[url.hash()],
+        )),
+    );
+    settle(&mut bed.world);
+    let flag = bed.world.node::<Probe>(bed.probe).dns.last().unwrap().cache_response_tuples()[0].flag;
+    assert_eq!(flag, CacheFlag::Hit);
+}
+
+#[test]
+fn duplicate_prefetch_hints_fetch_once() {
+    let mut bed = bed();
+    let url = Url::parse("http://known.zone.example/obj?v=2").expect("static");
+    let hint = ape_proto::PrefetchHint {
+        url,
+        op: CacheOp {
+            ttl: SimDuration::from_mins(20),
+            priority: Priority::LOW,
+            app: AppId::new(0),
+        },
+    };
+    bed.world.post(
+        bed.probe,
+        bed.ap,
+        Msg::PrefetchHints { hints: vec![hint.clone(), hint.clone()] },
+    );
+    bed.world.post(bed.probe, bed.ap, Msg::PrefetchHints { hints: vec![hint] });
+    settle(&mut bed.world);
+    assert_eq!(bed.world.node::<ApNode>(bed.ap).cached_objects(), 1);
+    // Only the first hint started a fetch; the rest were deduplicated
+    // against the in-flight delegation or the cached copy.
+    assert_eq!(bed.world.node::<OriginNode>(NodeId::from_raw(1)).served(), 1);
+}
+
+#[test]
+fn frequency_window_rolls_update_pacm_rates() {
+    let mut bed = bed();
+    let url = Url::parse("http://known.zone.example/obj?v=3").expect("static");
+    // Issue several data requests for app 5, then cross a window boundary.
+    for i in 0..6u64 {
+        bed.world.post(
+            bed.probe,
+            bed.ap,
+            Msg::HttpReq {
+                conn: ConnId(i),
+                req: RequestId(i),
+                request: HttpRequest::get(url.clone()),
+                cache_op: Some(CacheOp {
+                    ttl: SimDuration::from_mins(20),
+                    priority: Priority::LOW,
+                    app: AppId::new(5),
+                }),
+            },
+        );
+        settle(&mut bed.world);
+    }
+    // Past the 60 s window the AP rolled at least once; the run proceeds
+    // without issue and requests were all answered.
+    bed.world.run_until(SimTime::from_secs(65));
+    let probe = bed.world.node::<Probe>(bed.probe);
+    assert_eq!(probe.http.len(), 6);
+    // First was a delegation, the rest cache hits.
+    assert!(!probe.http[0].2);
+    assert!(probe.http[1..].iter().all(|(_, _, from_cache)| *from_cache));
+}
+
+#[test]
+fn delegation_for_unresolvable_domain_fails_instead_of_looping() {
+    let mut bed = bed();
+    // A domain outside every delegation: resolution SERVFAILs.
+    let url = Url::parse("http://nowhere.void.example/x").expect("static");
+    bed.world.post(
+        bed.probe,
+        bed.ap,
+        Msg::HttpReq {
+            conn: ConnId(1),
+            req: RequestId(1),
+            request: HttpRequest::get(url),
+            cache_op: Some(CacheOp {
+                ttl: SimDuration::from_mins(10),
+                priority: Priority::LOW,
+                app: AppId::new(0),
+            }),
+        },
+    );
+    // Long horizon: a livelock would keep the event queue busy forever.
+    let report = bed.world.run_until(SimTime::from_secs(30));
+    assert!(
+        report.events < 1_000,
+        "resolution failure must not spin: {} events",
+        report.events
+    );
+    let probe = bed.world.node::<Probe>(bed.probe);
+    let (_, response, _) = probe.http.last().expect("waiter answered");
+    assert!(!response.status.is_success(), "gateway timeout returned");
+    assert_eq!(
+        bed.world.metrics().counter("ap.delegation_dns_failures"),
+        1
+    );
+}

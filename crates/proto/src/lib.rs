@@ -1,0 +1,28 @@
+//! # ape-proto — the simulation wire protocol
+//!
+//! The single message enum ([`Msg`]) exchanged between every simulated node
+//! in the APE-CACHE testbed, together with IP addressing helpers. Keeping
+//! the protocol in one crate lets the client, AP, resolver, edge and
+//! Wi-Cache node implementations live in `ape-nodes` without circular
+//! dependencies.
+//!
+//! Three protocol families share the enum:
+//!
+//! * **UDP DNS** — [`Msg::Dns`] carries full `ape-dnswire` messages,
+//!   including DNS-Cache requests/responses; its wire size is the actual
+//!   encoded packet length.
+//! * **TCP/HTTP** — connections are modelled with an explicit
+//!   SYN / SYN-ACK handshake (one RTT) followed by request/response, so
+//!   "cache retrieval latency" includes connection establishment exactly as
+//!   the paper measures it.
+//! * **Wi-Cache control** — the baseline's client ↔ controller lookup and
+//!   the AP → controller content advertisements.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ipmap;
+mod msg;
+
+pub use ipmap::IpMap;
+pub use msg::{CacheOp, ConnId, Msg, PrefetchHint, RequestId};

@@ -1,0 +1,205 @@
+//! The message enum and its identifiers.
+
+use ape_cachealg::{AppId, Priority};
+use ape_dnswire::{DnsMessage, UrlHash};
+use ape_httpsim::{HttpRequest, HttpResponse};
+use ape_simnet::{Message, SimDuration};
+use std::net::Ipv4Addr;
+
+/// Identifies a TCP connection; unique per initiating node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ConnId(pub u64);
+
+/// Correlates a request with its response across the simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RequestId(pub u64);
+
+/// Delegation metadata a client attaches when asking the AP to fetch and
+/// cache an object on its behalf (paper §IV-B2: "the client sends the raw
+/// URL of the request, along with its TTL and priority level, to the AP").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheOp {
+    /// Developer TTL for the object.
+    pub ttl: SimDuration,
+    /// Developer priority.
+    pub priority: Priority,
+    /// App the object belongs to.
+    pub app: AppId,
+}
+
+/// A single prefetch suggestion: an object the client expects to request
+/// soon (a dependent of the object it just asked for), with the cache
+/// metadata the AP needs to delegate it proactively.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PrefetchHint {
+    /// Concrete URL the upcoming request will use.
+    pub url: ape_httpsim::Url,
+    /// Delegation metadata for the object.
+    pub op: CacheOp,
+}
+
+/// Every message a node can receive in the APE-CACHE testbed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Msg {
+    /// A UDP DNS packet (query or response, plain or DNS-Cache).
+    Dns(DnsMessage),
+    /// TCP connection request.
+    TcpSyn {
+        /// Connection being opened.
+        conn: ConnId,
+    },
+    /// TCP connection accept.
+    TcpSynAck {
+        /// Connection being accepted.
+        conn: ConnId,
+    },
+    /// An HTTP request on an established connection. `cache_op` is present
+    /// when this is a delegation request to an APE-CACHE AP.
+    HttpReq {
+        /// Connection the request travels on.
+        conn: ConnId,
+        /// Request correlation id.
+        req: RequestId,
+        /// The request itself.
+        request: HttpRequest,
+        /// Delegation metadata (AP-bound requests only).
+        cache_op: Option<CacheOp>,
+    },
+    /// An HTTP response.
+    HttpRsp {
+        /// Connection the response travels on.
+        conn: ConnId,
+        /// Correlation id of the request being answered.
+        req: RequestId,
+        /// The response itself.
+        response: HttpResponse,
+        /// True when the responder served the object from its local cache
+        /// (drives the client-side hit-ratio accounting).
+        from_cache: bool,
+    },
+    /// Wi-Cache: client asks the controller which AP holds an object.
+    WiCacheLookup {
+        /// Request correlation id.
+        req: RequestId,
+        /// Hash of the wanted URL.
+        url_hash: UrlHash,
+    },
+    /// Wi-Cache: controller answer; `holder` is the AP's address when some
+    /// AP caches the object.
+    WiCacheResult {
+        /// Correlation id of the lookup being answered.
+        req: RequestId,
+        /// Address of the caching AP, if any.
+        holder: Option<Ipv4Addr>,
+    },
+    /// Wi-Cache: AP advertises cache contents changes to the controller.
+    WiCacheAdvertise {
+        /// Keys now cached on the advertising AP.
+        added: Vec<UrlHash>,
+        /// Keys no longer cached.
+        removed: Vec<UrlHash>,
+    },
+    /// Extension (paper §VI): request-dependency information sent to the
+    /// AP so it can prefetch the objects the app will ask for next.
+    PrefetchHints {
+        /// Upcoming objects, at most a handful per request.
+        hints: Vec<PrefetchHint>,
+    },
+}
+
+impl Message for Msg {
+    fn wire_size(&self) -> usize {
+        match self {
+            // Real encoded packet length + UDP/IP headers.
+            Msg::Dns(m) => m.wire_len() + 28,
+            // TCP header (no payload) + IP header.
+            Msg::TcpSyn { .. } | Msg::TcpSynAck { .. } => 40,
+            Msg::HttpReq { request, cache_op, .. } => {
+                request.wire_size() + 40 + if cache_op.is_some() { 24 } else { 0 }
+            }
+            Msg::HttpRsp { response, .. } => response.wire_size() + 40,
+            Msg::WiCacheLookup { .. } => 28 + 16,
+            Msg::WiCacheResult { .. } => 28 + 8,
+            Msg::WiCacheAdvertise { added, removed } => 28 + 8 * (added.len() + removed.len()),
+            Msg::PrefetchHints { hints } => {
+                28 + hints
+                    .iter()
+                    .map(|h| h.url.to_string().len() + 24)
+                    .sum::<usize>()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ape_dnswire::DomainName;
+    use ape_httpsim::{Body, Url};
+
+    #[test]
+    fn dns_wire_size_tracks_encoding() {
+        let name = DomainName::parse("www.apple.com").unwrap();
+        let m = Msg::Dns(DnsMessage::query(1, name));
+        let Msg::Dns(inner) = &m else { unreachable!() };
+        assert_eq!(m.wire_size(), inner.wire_len() + 28);
+    }
+
+    #[test]
+    fn handshake_messages_are_header_sized() {
+        assert_eq!(Msg::TcpSyn { conn: ConnId(1) }.wire_size(), 40);
+        assert_eq!(Msg::TcpSynAck { conn: ConnId(1) }.wire_size(), 40);
+    }
+
+    #[test]
+    fn http_response_dominated_by_body() {
+        let rsp = Msg::HttpRsp {
+            conn: ConnId(1),
+            req: RequestId(1),
+            response: HttpResponse::ok(Body::synthetic(50_000)),
+            from_cache: true,
+        };
+        assert!(rsp.wire_size() > 50_000);
+    }
+
+    #[test]
+    fn delegation_request_carries_extra_bytes() {
+        let url = Url::parse("http://a.b/c").unwrap();
+        let plain = Msg::HttpReq {
+            conn: ConnId(1),
+            req: RequestId(1),
+            request: HttpRequest::get(url.clone()),
+            cache_op: None,
+        };
+        let delegated = Msg::HttpReq {
+            conn: ConnId(1),
+            req: RequestId(1),
+            request: HttpRequest::get(url),
+            cache_op: Some(CacheOp {
+                ttl: SimDuration::from_mins(10),
+                priority: Priority::HIGH,
+                app: AppId::new(1),
+            }),
+        };
+        assert_eq!(delegated.wire_size() - plain.wire_size(), 24);
+    }
+
+    #[test]
+    fn advertise_scales_with_keys() {
+        let small = Msg::WiCacheAdvertise {
+            added: vec![UrlHash(1)],
+            removed: vec![],
+        };
+        let large = Msg::WiCacheAdvertise {
+            added: vec![UrlHash(1); 10],
+            removed: vec![UrlHash(2); 5],
+        };
+        assert!(large.wire_size() > small.wire_size());
+    }
+
+    #[test]
+    fn ids_are_ordered() {
+        assert!(ConnId(1) < ConnId(2));
+        assert!(RequestId(1) < RequestId(2));
+    }
+}

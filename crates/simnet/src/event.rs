@@ -1,0 +1,136 @@
+//! The event queue driving the discrete-event loop.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::node::{NodeId, TimerToken};
+use crate::time::SimTime;
+
+/// What happens when an event fires.
+#[derive(Debug)]
+pub(crate) enum EventKind<M> {
+    /// Deliver `msg` (sent by `from`) to node `to`.
+    Deliver { to: NodeId, from: NodeId, msg: M },
+    /// Fire a timer on `node`.
+    Timer { node: NodeId, token: TimerToken },
+}
+
+#[derive(Debug)]
+pub(crate) struct ScheduledEvent<M> {
+    pub at: SimTime,
+    /// Tie-breaker preserving scheduling order for simultaneous events.
+    pub seq: u64,
+    pub kind: EventKind<M>,
+}
+
+impl<M> PartialEq for ScheduledEvent<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<M> Eq for ScheduledEvent<M> {}
+
+impl<M> PartialOrd for ScheduledEvent<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<M> Ord for ScheduledEvent<M> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap but we need earliest-first.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// Earliest-first queue of scheduled events.
+#[derive(Debug)]
+pub(crate) struct EventQueue<M> {
+    heap: BinaryHeap<ScheduledEvent<M>>,
+    next_seq: u64,
+}
+
+impl<M> Default for EventQueue<M> {
+    fn default() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+}
+
+impl<M> EventQueue<M> {
+    pub fn new() -> Self {
+        EventQueue::default()
+    }
+
+    pub fn push(&mut self, at: SimTime, kind: EventKind<M>) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(ScheduledEvent { at, seq, kind });
+    }
+
+    pub fn pop(&mut self) -> Option<ScheduledEvent<M>> {
+        self.heap.pop()
+    }
+
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    #[cfg(test)]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn deliver(to: u32) -> EventKind<u8> {
+        EventKind::Deliver {
+            to: NodeId::from_raw(to),
+            from: NodeId::from_raw(0),
+            msg: 0,
+        }
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_millis(5), deliver(1));
+        q.push(SimTime::from_millis(1), deliver(2));
+        q.push(SimTime::from_millis(3), deliver(3));
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|e| e.at.as_nanos() / 1_000_000)
+            .collect();
+        assert_eq!(order, vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn simultaneous_events_keep_fifo_order() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_millis(1);
+        for i in 0..10 {
+            q.push(t, deliver(i));
+        }
+        let seqs: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|e| e.seq).collect();
+        assert_eq!(seqs, (0..10).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn peek_and_len() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        q.push(SimTime::from_millis(2), deliver(0));
+        assert_eq!(q.peek_time(), Some(SimTime::from_millis(2)));
+        assert_eq!(q.len(), 1);
+    }
+}

@@ -1,0 +1,396 @@
+//! Measurement collection for simulation runs.
+//!
+//! Nodes record observations into a [`Metrics`] registry owned by the
+//! [`World`](crate::World). After a run completes, experiment harnesses read
+//! counters, latency histograms and resource time series out of the registry
+//! to produce the paper's tables and figures.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::time::SimTime;
+
+/// A set of latency samples with percentile queries.
+///
+/// Samples are stored exactly (simulation scale keeps sample counts modest),
+/// so `mean`/`percentile` are exact rather than bucketed approximations.
+///
+/// # Examples
+///
+/// ```
+/// use ape_simnet::Histogram;
+///
+/// let mut h = Histogram::new();
+/// for v in [1.0, 2.0, 3.0, 4.0] {
+///     h.record(v);
+/// }
+/// assert_eq!(h.mean(), 2.5);
+/// assert_eq!(h.percentile(50.0), 2.0);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Histogram {
+    samples: Vec<f64>,
+    sorted: bool,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Records one observation. Non-finite values are ignored.
+    pub fn record(&mut self, value: f64) {
+        if value.is_finite() {
+            self.samples.push(value);
+            self.sorted = false;
+        }
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether no observations have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Arithmetic mean, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.samples.iter().sum::<f64>() / self.samples.len() as f64
+        }
+    }
+
+    /// Smallest observation, or 0.0 when empty.
+    pub fn min(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.samples.iter().copied().fold(f64::INFINITY, f64::min)
+        }
+    }
+
+    /// Largest observation, or 0.0 when empty.
+    pub fn max(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.samples.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+        }
+    }
+
+    /// The `p`-th percentile (nearest-rank), `p` in `[0, 100]`.
+    ///
+    /// Returns 0.0 when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 100]`.
+    pub fn percentile(&mut self, p: f64) -> f64 {
+        assert!((0.0..=100.0).contains(&p), "percentile {p} out of range");
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        if !self.sorted {
+            self.samples
+                .sort_by(|a, b| a.partial_cmp(b).expect("non-finite sample"));
+            self.sorted = true;
+        }
+        let n = self.samples.len();
+        let rank = ((p / 100.0) * n as f64).ceil() as usize;
+        self.samples[rank.clamp(1, n) - 1]
+    }
+
+    /// All recorded samples, in insertion or sorted order.
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+
+    /// Merges another histogram's samples into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        self.samples.extend_from_slice(&other.samples);
+        self.sorted = false;
+    }
+}
+
+/// A time series of `(time, value)` points, e.g. CPU utilization samples.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TimeSeries {
+    points: Vec<(SimTime, f64)>,
+}
+
+impl TimeSeries {
+    /// Creates an empty series.
+    pub fn new() -> Self {
+        TimeSeries::default()
+    }
+
+    /// Appends a point. Points should be appended in time order.
+    pub fn record(&mut self, at: SimTime, value: f64) {
+        self.points.push((at, value));
+    }
+
+    /// All recorded points.
+    pub fn points(&self) -> &[(SimTime, f64)] {
+        &self.points
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the series is empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Mean of the values, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.points.is_empty() {
+            0.0
+        } else {
+            self.points.iter().map(|(_, v)| v).sum::<f64>() / self.points.len() as f64
+        }
+    }
+
+    /// Maximum value, or 0.0 when empty.
+    pub fn max(&self) -> f64 {
+        if self.points.is_empty() {
+            0.0
+        } else {
+            self.points
+                .iter()
+                .map(|(_, v)| *v)
+                .fold(f64::NEG_INFINITY, f64::max)
+        }
+    }
+}
+
+/// Central metric registry for a simulation run.
+///
+/// Metrics are keyed by string names; harnesses use stable, documented names
+/// such as `"client.lookup_latency_ms"`.
+#[derive(Debug, Clone, Default)]
+pub struct Metrics {
+    counters: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, Histogram>,
+    series: BTreeMap<String, TimeSeries>,
+}
+
+impl Metrics {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// Adds `delta` to the named counter, creating it at zero first.
+    pub fn incr(&mut self, name: &str, delta: u64) {
+        *self.counters.entry(name.to_owned()).or_insert(0) += delta;
+    }
+
+    /// Current value of a counter (0 if never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Records an observation into the named histogram.
+    pub fn observe(&mut self, name: &str, value: f64) {
+        self.histograms
+            .entry(name.to_owned())
+            .or_default()
+            .record(value);
+    }
+
+    /// Read access to a histogram, if it exists.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Mutable access (needed for percentile queries, which sort lazily).
+    pub fn histogram_mut(&mut self, name: &str) -> Option<&mut Histogram> {
+        self.histograms.get_mut(name)
+    }
+
+    /// Mean of a histogram, or 0.0 if absent.
+    pub fn mean(&self, name: &str) -> f64 {
+        self.histograms.get(name).map_or(0.0, Histogram::mean)
+    }
+
+    /// Percentile of a histogram, or 0.0 if absent.
+    pub fn percentile(&mut self, name: &str, p: f64) -> f64 {
+        self.histograms
+            .get_mut(name)
+            .map_or(0.0, |h| h.percentile(p))
+    }
+
+    /// Appends a point to the named time series.
+    pub fn record_point(&mut self, name: &str, at: SimTime, value: f64) {
+        self.series.entry(name.to_owned()).or_default().record(at, value);
+    }
+
+    /// Read access to a time series, if it exists.
+    pub fn time_series(&self, name: &str) -> Option<&TimeSeries> {
+        self.series.get(name)
+    }
+
+    /// Names of all histograms currently registered.
+    pub fn histogram_names(&self) -> impl Iterator<Item = &str> {
+        self.histograms.keys().map(String::as_str)
+    }
+
+    /// Names of all counters currently registered.
+    pub fn counter_names(&self) -> impl Iterator<Item = &str> {
+        self.counters.keys().map(String::as_str)
+    }
+
+    /// Merges another registry into this one (counters add, samples append).
+    pub fn merge(&mut self, other: &Metrics) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, h) in &other.histograms {
+            self.histograms.entry(k.clone()).or_default().merge(h);
+        }
+        for (k, s) in &other.series {
+            let dst = self.series.entry(k.clone()).or_default();
+            for (t, v) in s.points() {
+                dst.record(*t, *v);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Metrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (k, v) in &self.counters {
+            writeln!(f, "counter {k} = {v}")?;
+        }
+        for (k, h) in &self.histograms {
+            writeln!(f, "hist {k}: n={} mean={:.3}", h.count(), h.mean())?;
+        }
+        for (k, s) in &self.series {
+            writeln!(f, "series {k}: n={} mean={:.3}", s.len(), s.mean())?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_percentiles_nearest_rank() {
+        let mut h = Histogram::new();
+        for v in 1..=100 {
+            h.record(v as f64);
+        }
+        assert_eq!(h.percentile(50.0), 50.0);
+        assert_eq!(h.percentile(95.0), 95.0);
+        assert_eq!(h.percentile(100.0), 100.0);
+        assert_eq!(h.percentile(0.0), 1.0);
+    }
+
+    #[test]
+    fn histogram_ignores_non_finite() {
+        let mut h = Histogram::new();
+        h.record(f64::NAN);
+        h.record(f64::INFINITY);
+        h.record(2.0);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.mean(), 2.0);
+    }
+
+    #[test]
+    fn histogram_empty_is_zeroed() {
+        let mut h = Histogram::new();
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.percentile(99.0), 0.0);
+        assert_eq!(h.min(), 0.0);
+        assert_eq!(h.max(), 0.0);
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn histogram_min_max_merge() {
+        let mut a = Histogram::new();
+        a.record(5.0);
+        let mut b = Histogram::new();
+        b.record(1.0);
+        b.record(9.0);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.min(), 1.0);
+        assert_eq!(a.max(), 9.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile")]
+    fn percentile_rejects_out_of_range() {
+        let mut h = Histogram::new();
+        h.record(1.0);
+        h.percentile(101.0);
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let mut m = Metrics::new();
+        m.incr("x", 2);
+        m.incr("x", 3);
+        assert_eq!(m.counter("x"), 5);
+        assert_eq!(m.counter("missing"), 0);
+    }
+
+    #[test]
+    fn registry_histograms_and_series() {
+        let mut m = Metrics::new();
+        m.observe("lat", 4.0);
+        m.observe("lat", 6.0);
+        assert_eq!(m.mean("lat"), 5.0);
+        assert_eq!(m.percentile("lat", 100.0), 6.0);
+        m.record_point("cpu", SimTime::from_secs(1), 0.25);
+        assert_eq!(m.time_series("cpu").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn registry_merge_adds() {
+        let mut a = Metrics::new();
+        a.incr("c", 1);
+        a.observe("h", 1.0);
+        let mut b = Metrics::new();
+        b.incr("c", 2);
+        b.observe("h", 3.0);
+        b.record_point("s", SimTime::ZERO, 1.0);
+        a.merge(&b);
+        assert_eq!(a.counter("c"), 3);
+        assert_eq!(a.histogram("h").unwrap().count(), 2);
+        assert_eq!(a.time_series("s").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn time_series_stats() {
+        let mut s = TimeSeries::new();
+        assert_eq!(s.mean(), 0.0);
+        s.record(SimTime::ZERO, 2.0);
+        s.record(SimTime::from_secs(1), 4.0);
+        assert_eq!(s.mean(), 3.0);
+        assert_eq!(s.max(), 4.0);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn display_lists_entries() {
+        let mut m = Metrics::new();
+        m.incr("c", 1);
+        m.observe("h", 1.0);
+        let text = format!("{m}");
+        assert!(text.contains("counter c = 1"));
+        assert!(text.contains("hist h"));
+    }
+}

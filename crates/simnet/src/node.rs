@@ -1,0 +1,128 @@
+//! Node identity and behaviour traits.
+
+use std::any::Any;
+use std::fmt;
+
+/// Identifies a node within a [`World`](crate::World).
+///
+/// Ids are assigned densely in insertion order by
+/// [`World::add_node`](crate::World::add_node).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// Constructs an id from its raw index. Only useful in tests and
+    /// builders; normal code receives ids from `World::add_node`.
+    pub const fn from_raw(raw: u32) -> Self {
+        NodeId(raw)
+    }
+
+    /// The raw index of this id.
+    pub const fn as_raw(self) -> u32 {
+        self.0
+    }
+
+    /// The index into the world's node table.
+    pub(crate) fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node#{}", self.0)
+    }
+}
+
+/// An opaque timer handle a node uses to distinguish its own timers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct TimerToken(u64);
+
+impl TimerToken {
+    /// Creates a token from a raw value chosen by the node.
+    pub const fn new(raw: u64) -> Self {
+        TimerToken(raw)
+    }
+
+    /// The raw value.
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+}
+
+impl From<u64> for TimerToken {
+    fn from(raw: u64) -> Self {
+        TimerToken(raw)
+    }
+}
+
+/// Messages exchanged between nodes.
+///
+/// `wire_size` drives transfer-time and bandwidth modelling; it should be the
+/// approximate on-the-wire size in bytes (headers included).
+pub trait Message: fmt::Debug + 'static {
+    /// Approximate serialized size in bytes.
+    fn wire_size(&self) -> usize;
+}
+
+/// Blanket helper allowing `dyn Node` values to be downcast after a run.
+pub trait AsAny {
+    /// Upcasts to `&dyn Any`.
+    fn as_any(&self) -> &dyn Any;
+    /// Upcasts to `&mut dyn Any`.
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+impl<T: Any> AsAny for T {
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// Behaviour of a simulated node.
+///
+/// Nodes are single-threaded state machines driven by the world's event
+/// loop: they receive messages from linked peers and timer callbacks they
+/// scheduled themselves, and react by mutating local state and emitting new
+/// messages or timers through the [`Context`](crate::Context).
+pub trait Node<M: Message>: AsAny {
+    /// Called once before the first event is processed.
+    fn on_start(&mut self, _ctx: &mut crate::Context<'_, M>) {}
+
+    /// Called when a message from `from` arrives.
+    fn on_message(&mut self, ctx: &mut crate::Context<'_, M>, from: NodeId, msg: M);
+
+    /// Called when a timer scheduled by this node fires.
+    fn on_timer(&mut self, _ctx: &mut crate::Context<'_, M>, _token: TimerToken) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_roundtrip() {
+        let id = NodeId::from_raw(5);
+        assert_eq!(id.as_raw(), 5);
+        assert_eq!(id.index(), 5);
+        assert_eq!(format!("{id}"), "node#5");
+    }
+
+    #[test]
+    fn timer_token_roundtrip() {
+        let t = TimerToken::from(9u64);
+        assert_eq!(t.get(), 9);
+        assert_eq!(TimerToken::new(9), t);
+    }
+
+    #[test]
+    fn as_any_downcasts() {
+        struct S(u8);
+        let s = S(3);
+        let any: &dyn AsAny = &s;
+        assert_eq!(any.as_any().downcast_ref::<S>().unwrap().0, 3);
+    }
+}

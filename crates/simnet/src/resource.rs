@@ -1,0 +1,208 @@
+//! CPU and memory accounting for simulated devices.
+//!
+//! The paper's feasibility study (Fig. 2) and overhead evaluation (Fig. 14)
+//! measure CPU utilization and memory footprint of the WiFi AP. Simulated
+//! nodes charge work against a [`CpuMeter`] and allocate against a
+//! [`MemMeter`]; harnesses sample both into time series.
+
+use crate::time::{SimDuration, SimTime};
+
+/// Tracks how much of the wall clock a device's processor has spent busy.
+///
+/// Work is charged as busy intervals; utilization over a sampling window is
+/// `busy_time_in_window / window`. A device with `cores > 1` can absorb that
+/// many seconds of work per second before saturating.
+#[derive(Debug, Clone)]
+pub struct CpuMeter {
+    cores: u32,
+    /// Completed busy time since the last sample.
+    busy_in_window: SimDuration,
+    window_start: SimTime,
+    /// Time until which the (single logical queue of the) processor is busy.
+    busy_until: SimTime,
+    total_busy: SimDuration,
+}
+
+impl CpuMeter {
+    /// Creates a meter for a device with the given core count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` is zero.
+    pub fn new(cores: u32) -> Self {
+        assert!(cores > 0, "cores must be positive");
+        CpuMeter {
+            cores,
+            busy_in_window: SimDuration::ZERO,
+            window_start: SimTime::ZERO,
+            busy_until: SimTime::ZERO,
+            total_busy: SimDuration::ZERO,
+        }
+    }
+
+    /// Charges `work` of CPU time beginning no earlier than `now`, modelling
+    /// a FIFO service queue. Returns the time at which the work completes.
+    pub fn charge(&mut self, now: SimTime, work: SimDuration) -> SimTime {
+        let start = now.max(self.busy_until);
+        // With multiple cores the same amount of work occupies the queue for
+        // a proportionally shorter time.
+        let occupancy = work / self.cores as u64;
+        self.busy_until = start + occupancy;
+        self.busy_in_window += work;
+        self.total_busy += work;
+        self.busy_until
+    }
+
+    /// Utilization in `[0, 1]` over the window since the last call, then
+    /// resets the window. `now` must not precede the previous sample time.
+    pub fn sample_utilization(&mut self, now: SimTime) -> f64 {
+        let window = now - self.window_start;
+        self.window_start = now;
+        let busy = std::mem::replace(&mut self.busy_in_window, SimDuration::ZERO);
+        if window.is_zero() {
+            return 0.0;
+        }
+        (busy.as_secs_f64() / (window.as_secs_f64() * self.cores as f64)).min(1.0)
+    }
+
+    /// Total CPU time charged since creation.
+    pub fn total_busy(&self) -> SimDuration {
+        self.total_busy
+    }
+
+    /// Queueing delay a request arriving at `now` would experience before
+    /// service begins.
+    pub fn queue_delay(&self, now: SimTime) -> SimDuration {
+        self.busy_until.saturating_since(now)
+    }
+}
+
+/// Tracks current and peak memory use of a simulated device, in bytes.
+#[derive(Debug, Clone, Default)]
+pub struct MemMeter {
+    current: u64,
+    peak: u64,
+}
+
+impl MemMeter {
+    /// Creates an empty meter.
+    pub fn new() -> Self {
+        MemMeter::default()
+    }
+
+    /// Creates a meter with a fixed baseline allocation (OS, firmware, ...).
+    pub fn with_baseline(baseline: u64) -> Self {
+        MemMeter {
+            current: baseline,
+            peak: baseline,
+        }
+    }
+
+    /// Allocates `bytes`.
+    pub fn alloc(&mut self, bytes: u64) {
+        self.current = self.current.saturating_add(bytes);
+        self.peak = self.peak.max(self.current);
+    }
+
+    /// Frees `bytes`, saturating at zero.
+    pub fn free(&mut self, bytes: u64) {
+        self.current = self.current.saturating_sub(bytes);
+    }
+
+    /// Current allocation in bytes.
+    pub fn current(&self) -> u64 {
+        self.current
+    }
+
+    /// Current allocation in megabytes.
+    pub fn current_mb(&self) -> f64 {
+        self.current as f64 / 1_000_000.0
+    }
+
+    /// High-water mark in bytes.
+    pub fn peak(&self) -> u64 {
+        self.peak
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn utilization_reflects_charged_work() {
+        let mut cpu = CpuMeter::new(1);
+        cpu.charge(SimTime::ZERO, SimDuration::from_millis(250));
+        let u = cpu.sample_utilization(SimTime::from_secs(1));
+        assert!((u - 0.25).abs() < 1e-9, "utilization {u}");
+        // Window resets.
+        let u2 = cpu.sample_utilization(SimTime::from_secs(2));
+        assert_eq!(u2, 0.0);
+    }
+
+    #[test]
+    fn multicore_divides_occupancy() {
+        let mut cpu = CpuMeter::new(4);
+        let done = cpu.charge(SimTime::ZERO, SimDuration::from_millis(400));
+        assert_eq!(done, SimTime::from_millis(100));
+        let u = cpu.sample_utilization(SimTime::from_secs(1));
+        assert!((u - 0.1).abs() < 1e-9, "utilization {u}");
+    }
+
+    #[test]
+    fn queueing_serializes_work() {
+        let mut cpu = CpuMeter::new(1);
+        let d1 = cpu.charge(SimTime::ZERO, SimDuration::from_millis(10));
+        let d2 = cpu.charge(SimTime::ZERO, SimDuration::from_millis(10));
+        assert_eq!(d1, SimTime::from_millis(10));
+        assert_eq!(d2, SimTime::from_millis(20));
+        assert_eq!(
+            cpu.queue_delay(SimTime::from_millis(5)),
+            SimDuration::from_millis(15)
+        );
+    }
+
+    #[test]
+    fn utilization_saturates_at_one() {
+        let mut cpu = CpuMeter::new(1);
+        cpu.charge(SimTime::ZERO, SimDuration::from_secs(10));
+        assert_eq!(cpu.sample_utilization(SimTime::from_secs(1)), 1.0);
+    }
+
+    #[test]
+    fn zero_window_is_zero_utilization() {
+        let mut cpu = CpuMeter::new(1);
+        assert_eq!(cpu.sample_utilization(SimTime::ZERO), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cores")]
+    fn zero_cores_rejected() {
+        let _ = CpuMeter::new(0);
+    }
+
+    #[test]
+    fn memory_tracks_peak() {
+        let mut mem = MemMeter::with_baseline(1_000_000);
+        mem.alloc(2_000_000);
+        mem.free(500_000);
+        assert_eq!(mem.current(), 2_500_000);
+        assert_eq!(mem.peak(), 3_000_000);
+        assert!((mem.current_mb() - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn memory_free_saturates() {
+        let mut mem = MemMeter::new();
+        mem.free(100);
+        assert_eq!(mem.current(), 0);
+    }
+
+    #[test]
+    fn total_busy_accumulates() {
+        let mut cpu = CpuMeter::new(2);
+        cpu.charge(SimTime::ZERO, SimDuration::from_millis(10));
+        cpu.charge(SimTime::ZERO, SimDuration::from_millis(30));
+        assert_eq!(cpu.total_busy(), SimDuration::from_millis(40));
+    }
+}

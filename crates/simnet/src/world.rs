@@ -1,0 +1,594 @@
+//! The simulation world: node table, topology, clock and event loop.
+
+use crate::event::{EventKind, EventQueue};
+use crate::link::{LinkSpec, Topology};
+use crate::metrics::Metrics;
+use crate::node::{Message, Node, NodeId, TimerToken};
+use crate::rng::SimRng;
+use crate::time::{SimDuration, SimTime};
+
+/// Why a call to [`World::run_until`] returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// The event queue drained before the deadline.
+    Idle,
+    /// The deadline was reached with events still pending.
+    Deadline,
+    /// The configured event cap was hit (runaway protection).
+    EventCap,
+}
+
+/// Summary of one `run_*` call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunReport {
+    /// Number of events processed during this call.
+    pub events: u64,
+    /// Why the loop stopped.
+    pub reason: StopReason,
+    /// Clock value when the loop stopped.
+    pub now: SimTime,
+}
+
+/// The execution environment handed to node callbacks.
+///
+/// Nodes use the context to read the clock, send messages over topology
+/// links, arm timers on themselves, draw randomness and record metrics.
+pub struct Context<'a, M: Message> {
+    now: SimTime,
+    self_id: NodeId,
+    queue: &'a mut EventQueue<M>,
+    topology: &'a Topology,
+    rng: &'a mut SimRng,
+    metrics: &'a mut Metrics,
+}
+
+impl<'a, M: Message> Context<'a, M> {
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The id of the node whose callback is running.
+    pub fn self_id(&self) -> NodeId {
+        self.self_id
+    }
+
+    /// Sends `msg` to `to` over the registered link, applying propagation
+    /// delay, transfer time, jitter and loss.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no link connects this node to `to`; topology is static, so
+    /// that is a wiring bug in the experiment builder.
+    pub fn send(&mut self, to: NodeId, msg: M) {
+        self.send_after(SimDuration::ZERO, to, msg);
+    }
+
+    /// Like [`send`](Self::send) but the message leaves this node only after
+    /// `local_delay` (modelling local processing before transmission).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no link connects this node to `to`.
+    pub fn send_after(&mut self, local_delay: SimDuration, to: NodeId, msg: M) {
+        let link = self
+            .topology
+            .link(self.self_id, to)
+            .unwrap_or_else(|| panic!("no link {} -> {}", self.self_id, to));
+        if link.sample_loss(self.rng) {
+            self.metrics.incr("net.dropped", 1);
+            return;
+        }
+        let owd = link.sample_owd(msg.wire_size(), self.rng);
+        self.metrics.incr("net.messages", 1);
+        self.metrics.incr("net.bytes", msg.wire_size() as u64);
+        self.queue.push(
+            self.now + local_delay + owd,
+            EventKind::Deliver {
+                to,
+                from: self.self_id,
+                msg,
+            },
+        );
+    }
+
+    /// Whether a link to `to` exists.
+    pub fn has_link(&self, to: NodeId) -> bool {
+        self.topology.link(self.self_id, to).is_some()
+    }
+
+    /// Nominal RTT of the link to `to`, if one exists.
+    pub fn link_rtt(&self, to: NodeId) -> Option<SimDuration> {
+        self.topology.link(self.self_id, to).map(LinkSpec::nominal_rtt)
+    }
+
+    /// Arms a timer on this node that fires after `delay`.
+    pub fn schedule(&mut self, delay: SimDuration, token: TimerToken) {
+        self.queue.push(
+            self.now + delay,
+            EventKind::Timer {
+                node: self.self_id,
+                token,
+            },
+        );
+    }
+
+    /// Deterministic randomness shared by the run.
+    pub fn rng(&mut self) -> &mut SimRng {
+        self.rng
+    }
+
+    /// The run's metric registry.
+    pub fn metrics(&mut self) -> &mut Metrics {
+        self.metrics
+    }
+}
+
+/// A complete simulated deployment: nodes, links, clock and metrics.
+///
+/// # Examples
+///
+/// ```
+/// use ape_simnet::{Context, LinkSpec, Message, Node, NodeId, SimDuration, World};
+///
+/// #[derive(Debug)]
+/// struct Ping(u32);
+/// impl Message for Ping {
+///     fn wire_size(&self) -> usize { 64 }
+/// }
+///
+/// struct Echo;
+/// impl Node<Ping> for Echo {
+///     fn on_message(&mut self, ctx: &mut Context<'_, Ping>, from: NodeId, msg: Ping) {
+///         if msg.0 > 0 {
+///             ctx.send(from, Ping(msg.0 - 1));
+///         }
+///     }
+/// }
+///
+/// let mut world = World::new(42);
+/// let a = world.add_node("a", Echo);
+/// let b = world.add_node("b", Echo);
+/// world.connect(a, b, LinkSpec::new(1, SimDuration::from_millis(1)));
+/// world.post(a, b, Ping(3));
+/// let report = world.run_to_idle();
+/// assert_eq!(report.events, 4);
+/// ```
+pub struct World<M: Message> {
+    clock: SimTime,
+    queue: EventQueue<M>,
+    nodes: Vec<Option<Box<dyn Node<M>>>>,
+    names: Vec<String>,
+    topology: Topology,
+    rng: SimRng,
+    metrics: Metrics,
+    started: bool,
+    event_cap: u64,
+}
+
+impl<M: Message> World<M> {
+    /// Creates an empty world with the given RNG seed.
+    pub fn new(seed: u64) -> Self {
+        World {
+            clock: SimTime::ZERO,
+            queue: EventQueue::new(),
+            nodes: Vec::new(),
+            names: Vec::new(),
+            topology: Topology::new(),
+            rng: SimRng::seed_from(seed),
+            metrics: Metrics::new(),
+            started: false,
+            event_cap: u64::MAX,
+        }
+    }
+
+    /// Limits the total number of events a run may process. Exceeding the
+    /// cap stops the loop with [`StopReason::EventCap`].
+    pub fn set_event_cap(&mut self, cap: u64) {
+        self.event_cap = cap;
+    }
+
+    /// Registers a node and returns its id.
+    pub fn add_node(&mut self, name: impl Into<String>, node: impl Node<M> + 'static) -> NodeId {
+        let id = NodeId::from_raw(self.nodes.len() as u32);
+        self.nodes.push(Some(Box::new(node)));
+        self.names.push(name.into());
+        id
+    }
+
+    /// Registers a symmetric link between two nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either id was not returned by [`add_node`](Self::add_node).
+    pub fn connect(&mut self, a: NodeId, b: NodeId, spec: LinkSpec) {
+        assert!(a.index() < self.nodes.len(), "unknown node {a}");
+        assert!(b.index() < self.nodes.len(), "unknown node {b}");
+        self.topology.connect(a, b, spec);
+    }
+
+    /// Injects a message from `from` to `to` at the current time, as if
+    /// `from` had sent it (link delays apply). Useful to seed a run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no link connects the two nodes.
+    pub fn post(&mut self, from: NodeId, to: NodeId, msg: M) {
+        let link = self
+            .topology
+            .link(from, to)
+            .unwrap_or_else(|| panic!("no link {from} -> {to}"));
+        let owd = link.sample_owd(msg.wire_size(), &mut self.rng);
+        self.queue
+            .push(self.clock + owd, EventKind::Deliver { to, from, msg });
+    }
+
+    /// Arms a timer on `node` that fires after `delay`.
+    pub fn schedule_timer(&mut self, node: NodeId, delay: SimDuration, token: TimerToken) {
+        self.queue.push(
+            self.clock + delay,
+            EventKind::Timer { node, token },
+        );
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.clock
+    }
+
+    /// Number of registered nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The registered name of a node.
+    pub fn node_name(&self, id: NodeId) -> &str {
+        &self.names[id.index()]
+    }
+
+    /// Read access to the run's metrics.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Mutable access to the run's metrics (percentile queries sort lazily).
+    pub fn metrics_mut(&mut self) -> &mut Metrics {
+        &mut self.metrics
+    }
+
+    /// Downcasts a node to its concrete type.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is unknown, the node is mid-dispatch, or the type
+    /// does not match.
+    pub fn node<T: 'static>(&self, id: NodeId) -> &T {
+        self.nodes[id.index()]
+            .as_ref()
+            .expect("node is mid-dispatch")
+            .as_any()
+            .downcast_ref::<T>()
+            .unwrap_or_else(|| panic!("node {id} is not a {}", std::any::type_name::<T>()))
+    }
+
+    /// Mutable variant of [`node`](Self::node).
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`node`](Self::node).
+    pub fn node_mut<T: 'static>(&mut self, id: NodeId) -> &mut T {
+        self.nodes[id.index()]
+            .as_mut()
+            .expect("node is mid-dispatch")
+            .as_any_mut()
+            .downcast_mut::<T>()
+            .unwrap_or_else(|| panic!("node {id} is not a {}", std::any::type_name::<T>()))
+    }
+
+    fn start_if_needed(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        for idx in 0..self.nodes.len() {
+            let id = NodeId::from_raw(idx as u32);
+            self.with_node(id, |node, ctx| node.on_start(ctx));
+        }
+    }
+
+    fn with_node(&mut self, id: NodeId, f: impl FnOnce(&mut dyn Node<M>, &mut Context<'_, M>)) {
+        let mut node = self.nodes[id.index()]
+            .take()
+            .unwrap_or_else(|| panic!("re-entrant dispatch on {id}"));
+        {
+            let mut ctx = Context {
+                now: self.clock,
+                self_id: id,
+                queue: &mut self.queue,
+                topology: &self.topology,
+                rng: &mut self.rng,
+                metrics: &mut self.metrics,
+            };
+            f(node.as_mut(), &mut ctx);
+        }
+        self.nodes[id.index()] = Some(node);
+    }
+
+    /// Runs until the queue drains or the clock reaches `deadline`.
+    pub fn run_until(&mut self, deadline: SimTime) -> RunReport {
+        self.start_if_needed();
+        let mut events = 0u64;
+        loop {
+            let Some(next_at) = self.queue.peek_time() else {
+                // With a finite deadline, idle time still passes: advance the
+                // clock so sampling loops built on `run_for` stay aligned.
+                if deadline < SimTime::MAX {
+                    self.clock = deadline;
+                }
+                return RunReport {
+                    events,
+                    reason: StopReason::Idle,
+                    now: self.clock,
+                };
+            };
+            if next_at > deadline {
+                self.clock = deadline;
+                return RunReport {
+                    events,
+                    reason: StopReason::Deadline,
+                    now: self.clock,
+                };
+            }
+            if events >= self.event_cap {
+                return RunReport {
+                    events,
+                    reason: StopReason::EventCap,
+                    now: self.clock,
+                };
+            }
+            let ev = self.queue.pop().expect("peeked event vanished");
+            self.clock = ev.at;
+            events += 1;
+            match ev.kind {
+                EventKind::Deliver { to, from, msg } => {
+                    self.with_node(to, |node, ctx| node.on_message(ctx, from, msg));
+                }
+                EventKind::Timer { node, token } => {
+                    self.with_node(node, |n, ctx| n.on_timer(ctx, token));
+                }
+            }
+        }
+    }
+
+    /// Runs for `span` of simulated time from the current clock.
+    pub fn run_for(&mut self, span: SimDuration) -> RunReport {
+        let deadline = self.clock + span;
+        self.run_until(deadline)
+    }
+
+    /// Runs until the event queue is empty.
+    pub fn run_to_idle(&mut self) -> RunReport {
+        self.run_until(SimTime::MAX)
+    }
+
+    /// Number of pending events.
+    pub fn pending_events(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+impl<M: Message> std::fmt::Debug for World<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("World")
+            .field("clock", &self.clock)
+            .field("nodes", &self.names)
+            .field("pending_events", &self.queue.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq)]
+    struct Num(u64);
+    impl Message for Num {
+        fn wire_size(&self) -> usize {
+            8
+        }
+    }
+
+    /// Counts received messages; replies until the payload reaches zero.
+    struct Counter {
+        received: u64,
+        timers: u64,
+    }
+
+    impl Counter {
+        fn new() -> Self {
+            Counter {
+                received: 0,
+                timers: 0,
+            }
+        }
+    }
+
+    impl Node<Num> for Counter {
+        fn on_message(&mut self, ctx: &mut Context<'_, Num>, from: NodeId, msg: Num) {
+            self.received += 1;
+            ctx.metrics().incr("msgs", 1);
+            if msg.0 > 0 {
+                ctx.send(from, Num(msg.0 - 1));
+            }
+        }
+
+        fn on_timer(&mut self, _ctx: &mut Context<'_, Num>, _token: TimerToken) {
+            self.timers += 1;
+        }
+    }
+
+    fn two_node_world() -> (World<Num>, NodeId, NodeId) {
+        let mut w = World::new(1);
+        let a = w.add_node("a", Counter::new());
+        let b = w.add_node("b", Counter::new());
+        w.connect(a, b, LinkSpec::new(1, SimDuration::from_millis(1)));
+        (w, a, b)
+    }
+
+    #[test]
+    fn ping_pong_round_trips() {
+        let (mut w, a, b) = two_node_world();
+        w.post(a, b, Num(3));
+        let r = w.run_to_idle();
+        assert_eq!(r.reason, StopReason::Idle);
+        assert_eq!(r.events, 4);
+        assert_eq!(w.node::<Counter>(b).received, 2);
+        assert_eq!(w.node::<Counter>(a).received, 2);
+        assert_eq!(w.metrics().counter("msgs"), 4);
+        // 4 deliveries: 1ms propagation + 80ns transfer (8 B at 100 MB/s) each.
+        assert_eq!(w.now(), SimTime::from_nanos(4 * (1_000_000 + 80)));
+    }
+
+    #[test]
+    fn deadline_stops_midway() {
+        let (mut w, a, b) = two_node_world();
+        w.post(a, b, Num(100));
+        let r = w.run_until(SimTime::from_millis(5));
+        assert_eq!(r.reason, StopReason::Deadline);
+        assert_eq!(w.now(), SimTime::from_millis(5));
+        assert!(w.pending_events() > 0);
+        // Resume where we left off.
+        let r2 = w.run_to_idle();
+        assert_eq!(r2.reason, StopReason::Idle);
+    }
+
+    #[test]
+    fn event_cap_halts_runaway() {
+        let (mut w, a, b) = two_node_world();
+        w.set_event_cap(10);
+        w.post(a, b, Num(1_000_000));
+        let r = w.run_to_idle();
+        assert_eq!(r.reason, StopReason::EventCap);
+        assert_eq!(r.events, 10);
+    }
+
+    #[test]
+    fn timers_fire_on_the_right_node() {
+        let (mut w, a, _b) = two_node_world();
+        w.schedule_timer(a, SimDuration::from_millis(2), TimerToken::new(1));
+        w.schedule_timer(a, SimDuration::from_millis(4), TimerToken::new(2));
+        w.run_to_idle();
+        assert_eq!(w.node::<Counter>(a).timers, 2);
+        assert_eq!(w.now(), SimTime::from_millis(4));
+    }
+
+    #[test]
+    fn identical_seeds_are_deterministic() {
+        let run = |seed| {
+            let mut w = World::new(seed);
+            let a = w.add_node("a", Counter::new());
+            let b = w.add_node("b", Counter::new());
+            w.connect(
+                a,
+                b,
+                LinkSpec::new(3, SimDuration::from_micros(700))
+                    .jitter_mean(SimDuration::from_micros(300)),
+            );
+            w.post(a, b, Num(50));
+            w.run_to_idle();
+            w.now()
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9), run(10));
+    }
+
+    #[test]
+    fn lossy_link_drops_and_counts() {
+        let mut w = World::new(3);
+        let a = w.add_node("a", Counter::new());
+        let b = w.add_node("b", Counter::new());
+        w.connect(
+            a,
+            b,
+            LinkSpec::new(1, SimDuration::from_millis(1)).loss_probability(0.9),
+        );
+        for _ in 0..100 {
+            w.post(a, b, Num(0));
+        }
+        // post() does not sample loss (it seeds the run); sends from nodes do.
+        w.run_to_idle();
+        let b_node = w.node::<Counter>(b);
+        assert_eq!(b_node.received, 100);
+    }
+
+    #[test]
+    fn node_send_applies_loss() {
+        struct Spammer {
+            peer: Option<NodeId>,
+        }
+        impl Node<Num> for Spammer {
+            fn on_start(&mut self, ctx: &mut Context<'_, Num>) {
+                if let Some(peer) = self.peer {
+                    for _ in 0..1000 {
+                        ctx.send(peer, Num(0));
+                    }
+                }
+            }
+            fn on_message(&mut self, _: &mut Context<'_, Num>, _: NodeId, _: Num) {}
+        }
+        let mut w = World::new(3);
+        let b = w.add_node("sink", Counter::new());
+        let a = w.add_node(
+            "spammer",
+            Spammer {
+                peer: Some(b),
+            },
+        );
+        w.connect(
+            a,
+            b,
+            LinkSpec::new(1, SimDuration::from_millis(1)).loss_probability(0.5),
+        );
+        w.run_to_idle();
+        let dropped = w.metrics().counter("net.dropped");
+        assert!((300..700).contains(&(dropped as usize)), "dropped {dropped}");
+        assert_eq!(w.node::<Counter>(b).received + dropped, 1000);
+    }
+
+    #[test]
+    #[should_panic(expected = "no link")]
+    fn sending_without_link_panics() {
+        let mut w: World<Num> = World::new(1);
+        let a = w.add_node("a", Counter::new());
+        let b = w.add_node("b", Counter::new());
+        w.post(a, b, Num(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "is not a")]
+    fn downcast_to_wrong_type_panics() {
+        let (w, a, _) = two_node_world();
+        struct Other;
+        let _ = w.node::<Other>(a);
+    }
+
+    #[test]
+    fn names_and_counts() {
+        let (w, a, b) = two_node_world();
+        assert_eq!(w.node_count(), 2);
+        assert_eq!(w.node_name(a), "a");
+        assert_eq!(w.node_name(b), "b");
+        assert!(format!("{w:?}").contains("World"));
+    }
+
+    #[test]
+    fn run_for_advances_relative_span() {
+        let (mut w, a, b) = two_node_world();
+        w.post(a, b, Num(0));
+        w.run_for(SimDuration::from_millis(10));
+        assert_eq!(w.now(), SimTime::from_millis(10));
+        w.run_for(SimDuration::from_millis(5));
+        assert_eq!(w.now(), SimTime::from_millis(15));
+    }
+}

@@ -1,0 +1,179 @@
+//! Property tests of the discrete-event substrate: causality, determinism
+//! and clock discipline must hold for arbitrary workloads.
+
+use ape_simnet::{
+    Context, LinkSpec, Message, Node, NodeId, SimDuration, SimTime, TimerToken, World,
+};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone, PartialEq)]
+struct Tagged {
+    hops_left: u8,
+    payload: u64,
+}
+
+impl Message for Tagged {
+    fn wire_size(&self) -> usize {
+        32 + (self.payload % 512) as usize
+    }
+}
+
+/// Records every receipt time and bounces messages until exhausted.
+#[derive(Debug, Default)]
+struct Recorder {
+    receipts: Vec<(SimTime, u64)>,
+    timer_fires: Vec<SimTime>,
+}
+
+impl Node<Tagged> for Recorder {
+    fn on_message(&mut self, ctx: &mut Context<'_, Tagged>, from: NodeId, msg: Tagged) {
+        self.receipts.push((ctx.now(), msg.payload));
+        if msg.hops_left > 0 {
+            ctx.send(
+                from,
+                Tagged {
+                    hops_left: msg.hops_left - 1,
+                    payload: msg.payload.wrapping_mul(31),
+                },
+            );
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, Tagged>, _token: TimerToken) {
+        self.timer_fires.push(ctx.now());
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Workload {
+    seed: u64,
+    messages: Vec<(u8, u64)>,
+    timers: Vec<u64>,
+    link_us: u64,
+    jitter_us: u64,
+}
+
+fn arb_workload() -> impl Strategy<Value = Workload> {
+    (
+        any::<u64>(),
+        proptest::collection::vec((0u8..6, any::<u64>()), 1..25),
+        proptest::collection::vec(1u64..5_000_000, 0..10),
+        100u64..5_000,
+        0u64..1_000,
+    )
+        .prop_map(|(seed, messages, timers, link_us, jitter_us)| Workload {
+            seed,
+            messages,
+            timers,
+            link_us,
+            jitter_us,
+        })
+}
+
+fn run(w: &Workload) -> (Vec<(SimTime, u64)>, Vec<SimTime>, SimTime, u64) {
+    let mut world = World::new(w.seed);
+    let a = world.add_node("a", Recorder::default());
+    let b = world.add_node("b", Recorder::default());
+    world.connect(
+        a,
+        b,
+        LinkSpec::new(1, SimDuration::from_micros(w.link_us))
+            .jitter_mean(SimDuration::from_micros(w.jitter_us)),
+    );
+    for (hops, payload) in &w.messages {
+        world.post(
+            a,
+            b,
+            Tagged {
+                hops_left: *hops,
+                payload: *payload,
+            },
+        );
+    }
+    for (i, &delay) in w.timers.iter().enumerate() {
+        world.schedule_timer(a, SimDuration::from_micros(delay), TimerToken::new(i as u64));
+    }
+    let report = world.run_to_idle();
+    let mut receipts = world.node::<Recorder>(a).receipts.clone();
+    receipts.extend(world.node::<Recorder>(b).receipts.iter().copied());
+    receipts.sort();
+    let timer_fires = world.node::<Recorder>(a).timer_fires.clone();
+    (receipts, timer_fires, world.now(), report.events)
+}
+
+proptest! {
+    #[test]
+    fn identical_workloads_replay_identically(w in arb_workload()) {
+        let (r1, t1, now1, e1) = run(&w);
+        let (r2, t2, now2, e2) = run(&w);
+        prop_assert_eq!(r1, r2);
+        prop_assert_eq!(t1, t2);
+        prop_assert_eq!(now1, now2);
+        prop_assert_eq!(e1, e2);
+    }
+
+    #[test]
+    fn clock_never_runs_backwards(w in arb_workload()) {
+        let (receipts, _, end, _) = run(&w);
+        for pair in receipts.windows(2) {
+            prop_assert!(pair[0].0 <= pair[1].0);
+        }
+        if let Some(last) = receipts.last() {
+            prop_assert!(last.0 <= end);
+        }
+    }
+
+    #[test]
+    fn every_bounce_is_delivered(w in arb_workload()) {
+        let (receipts, timers, _, events) = run(&w);
+        // Each posted message with h hops produces h+1 receipts total.
+        let expected: usize = w.messages.iter().map(|(h, _)| *h as usize + 1).sum();
+        prop_assert_eq!(receipts.len(), expected);
+        prop_assert_eq!(timers.len(), w.timers.len());
+        // Event count = deliveries + timer fires.
+        prop_assert_eq!(events as usize, expected + w.timers.len());
+    }
+
+    #[test]
+    fn timers_fire_at_or_after_their_deadline(w in arb_workload()) {
+        let (_, timer_fires, _, _) = run(&w);
+        let mut sorted_delays = w.timers.clone();
+        sorted_delays.sort();
+        let mut fires = timer_fires.clone();
+        fires.sort();
+        for (fire, delay) in fires.iter().zip(sorted_delays.iter()) {
+            prop_assert!(
+                fire.as_nanos() >= delay * 1_000,
+                "fired {fire} before {delay}us"
+            );
+        }
+    }
+
+    #[test]
+    fn deadline_runs_split_cleanly(w in arb_workload(), split_us in 1u64..1_000_000) {
+        // Running to a deadline and resuming must equal one uninterrupted run.
+        let uninterrupted = run(&w);
+
+        let mut world = World::new(w.seed);
+        let a = world.add_node("a", Recorder::default());
+        let b = world.add_node("b", Recorder::default());
+        world.connect(
+            a,
+            b,
+            LinkSpec::new(1, SimDuration::from_micros(w.link_us))
+                .jitter_mean(SimDuration::from_micros(w.jitter_us)),
+        );
+        for (hops, payload) in &w.messages {
+            world.post(a, b, Tagged { hops_left: *hops, payload: *payload });
+        }
+        for (i, &delay) in w.timers.iter().enumerate() {
+            world.schedule_timer(a, SimDuration::from_micros(delay), TimerToken::new(i as u64));
+        }
+        world.run_until(SimTime::from_nanos(split_us * 1_000));
+        world.run_to_idle();
+        let mut receipts = world.node::<Recorder>(a).receipts.clone();
+        receipts.extend(world.node::<Recorder>(b).receipts.iter().copied());
+        receipts.sort();
+        prop_assert_eq!(receipts, uninterrupted.0);
+    }
+}

@@ -1,0 +1,172 @@
+//! App execution schedules.
+//!
+//! Each app executes repeatedly during a run; the paper draws inter-
+//! execution intervals from a Zipf-skewed popularity model with the
+//! *average* frequency across apps fixed (3 executions/minute by default).
+//! Arrivals within an app are Poisson.
+
+use ape_cachealg::AppId;
+use ape_simnet::{SimDuration, SimRng, SimTime};
+
+use crate::zipf::ZipfSampler;
+
+/// One scheduled app execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Execution {
+    /// When the execution starts.
+    pub at: SimTime,
+    /// Which app runs.
+    pub app: AppId,
+}
+
+/// Parameters for a schedule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScheduleConfig {
+    /// Number of apps.
+    pub apps: usize,
+    /// Average executions per minute *per app*, averaged over all apps
+    /// (paper default: 3).
+    pub avg_per_minute: f64,
+    /// Zipf exponent skewing popularity across apps.
+    pub zipf_exponent: f64,
+    /// Schedule horizon.
+    pub duration: SimDuration,
+}
+
+impl Default for ScheduleConfig {
+    fn default() -> Self {
+        ScheduleConfig {
+            apps: 30,
+            avg_per_minute: 3.0,
+            zipf_exponent: 0.8,
+            duration: SimDuration::from_mins(60),
+        }
+    }
+}
+
+/// Generates a time-sorted execution schedule.
+///
+/// The total arrival rate is `apps × avg_per_minute`; each arrival is
+/// assigned to an app by Zipf popularity, so individual apps see dissimilar
+/// usage frequencies while the fleet-wide average matches the config.
+///
+/// # Panics
+///
+/// Panics if `apps` is zero or `avg_per_minute` is not positive.
+pub fn generate_schedule(config: &ScheduleConfig, rng: &mut SimRng) -> Vec<Execution> {
+    assert!(config.apps > 0, "schedule needs at least one app");
+    assert!(
+        config.avg_per_minute > 0.0,
+        "average frequency must be positive"
+    );
+    let zipf = ZipfSampler::new(config.apps, config.zipf_exponent);
+    let total_rate_per_sec = config.apps as f64 * config.avg_per_minute / 60.0;
+    let mean_gap = 1.0 / total_rate_per_sec;
+    let mut schedule = Vec::new();
+    let mut t = SimTime::ZERO;
+    loop {
+        t += SimDuration::from_secs_f64(rng.exponential(mean_gap));
+        if t > SimTime::ZERO + config.duration {
+            break;
+        }
+        let app = AppId::new(zipf.sample(rng) as u32);
+        schedule.push(Execution { at: t, app });
+    }
+    schedule
+}
+
+/// Per-app execution counts of a schedule (for tests and reports).
+pub fn per_app_counts(schedule: &[Execution], apps: usize) -> Vec<usize> {
+    let mut counts = vec![0usize; apps];
+    for e in schedule {
+        let idx = e.app.get() as usize;
+        if idx < apps {
+            counts[idx] += 1;
+        }
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> SimRng {
+        SimRng::seed_from(77)
+    }
+
+    #[test]
+    fn schedule_is_time_sorted_within_horizon() {
+        let config = ScheduleConfig::default();
+        let s = generate_schedule(&config, &mut rng());
+        assert!(!s.is_empty());
+        for pair in s.windows(2) {
+            assert!(pair[0].at <= pair[1].at);
+        }
+        let horizon = SimTime::ZERO + config.duration;
+        assert!(s.iter().all(|e| e.at <= horizon));
+    }
+
+    #[test]
+    fn average_frequency_matches_config() {
+        let config = ScheduleConfig {
+            apps: 30,
+            avg_per_minute: 3.0,
+            zipf_exponent: 0.8,
+            duration: SimDuration::from_mins(60),
+        };
+        let s = generate_schedule(&config, &mut rng());
+        // Expected executions: 30 apps × 3/min × 60 min = 5400.
+        let expected = 5400.0;
+        let got = s.len() as f64;
+        assert!(
+            (got - expected).abs() / expected < 0.05,
+            "got {got}, expected ≈{expected}"
+        );
+    }
+
+    #[test]
+    fn popularity_is_skewed() {
+        let config = ScheduleConfig::default();
+        let s = generate_schedule(&config, &mut rng());
+        let counts = per_app_counts(&s, config.apps);
+        // The most popular app should fire several times more often than
+        // the least popular.
+        let max = counts.iter().max().copied().unwrap();
+        let min = counts.iter().min().copied().unwrap();
+        assert!(max as f64 > 3.0 * (min.max(1) as f64), "max {max} min {min}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let config = ScheduleConfig::default();
+        let a = generate_schedule(&config, &mut rng());
+        let b = generate_schedule(&config, &mut rng());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn low_frequency_yields_fewer_runs() {
+        let slow = ScheduleConfig {
+            avg_per_minute: 1.0,
+            ..ScheduleConfig::default()
+        };
+        let fast = ScheduleConfig {
+            avg_per_minute: 3.0,
+            ..ScheduleConfig::default()
+        };
+        let a = generate_schedule(&slow, &mut rng()).len();
+        let b = generate_schedule(&fast, &mut rng()).len();
+        assert!(b > 2 * a, "slow {a} fast {b}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one app")]
+    fn zero_apps_rejected() {
+        let config = ScheduleConfig {
+            apps: 0,
+            ..ScheduleConfig::default()
+        };
+        let _ = generate_schedule(&config, &mut rng());
+    }
+}

@@ -1,0 +1,241 @@
+//! Synthetic WiFi traffic traces matching Table II of the paper.
+//!
+//! The paper replays two pre-captured public WiFi traces (Tcpreplay sample
+//! captures) against a GL-MT1300 router to establish CPU/memory headroom
+//! (Fig. 2). The captures themselves are not redistributable, so we
+//! synthesize packet streams whose *statistics* match the published
+//! Table II rows exactly: total size, packet count, flow count, average
+//! packet size, duration, and app count.
+
+use ape_simnet::{SimDuration, SimRng, SimTime};
+
+use crate::zipf::ZipfSampler;
+
+/// Published statistics of one replay trace (a Table II column).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceSpec {
+    /// Trace label ("low" / "high").
+    pub name: &'static str,
+    /// Total bytes across all packets.
+    pub total_bytes: u64,
+    /// Number of packets.
+    pub packets: u64,
+    /// Number of distinct flows.
+    pub flows: u64,
+    /// Capture duration.
+    pub duration: SimDuration,
+    /// Number of distinct apps observed.
+    pub apps: u64,
+}
+
+impl TraceSpec {
+    /// Table II "Low Traffic Rate": 9.4 MB, 14 261 packets, 1 209 flows,
+    /// 646-byte average packets, 5 minutes, 28 apps.
+    pub fn low_rate() -> Self {
+        TraceSpec {
+            name: "low",
+            total_bytes: 9_400_000,
+            packets: 14_261,
+            flows: 1_209,
+            duration: SimDuration::from_mins(5),
+            apps: 28,
+        }
+    }
+
+    /// Table II "High Traffic Rate": 368 MB, 791 615 packets, 40 686 flows,
+    /// 449-byte average packets, 5 minutes, 132 apps.
+    pub fn high_rate() -> Self {
+        TraceSpec {
+            name: "high",
+            total_bytes: 368_000_000,
+            packets: 791_615,
+            flows: 40_686,
+            duration: SimDuration::from_mins(5),
+            apps: 132,
+        }
+    }
+
+    /// Average packet size implied by the totals.
+    pub fn avg_packet_size(&self) -> u64 {
+        self.total_bytes / self.packets
+    }
+}
+
+/// One synthesized packet arrival.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Packet {
+    /// Arrival time.
+    pub at: SimTime,
+    /// Size in bytes.
+    pub size: u32,
+    /// Flow the packet belongs to.
+    pub flow: u32,
+    /// True for the first packet of its flow (conntrack allocation).
+    pub starts_flow: bool,
+}
+
+/// Synthesizes a packet stream matching `spec`.
+///
+/// Packets arrive uniformly spread with exponential jitter, sizes are drawn
+/// around the trace's average, and flow membership is Zipf-skewed (elephant
+/// and mice flows). Every flow id in `0..spec.flows` appears at least once
+/// so the flow count matches the table.
+pub fn generate_trace(spec: &TraceSpec, rng: &mut SimRng) -> Vec<Packet> {
+    let n = spec.packets as usize;
+    let avg_gap = spec.duration.as_secs_f64() / n as f64;
+    let avg_size = spec.avg_packet_size() as f64;
+    let zipf = ZipfSampler::new(spec.flows as usize, 1.0);
+    let mut seen = vec![false; spec.flows as usize];
+    let mut packets = Vec::with_capacity(n);
+    let mut t = 0.0f64;
+    // New flows open at a steady rate across the capture (as in real
+    // traffic) rather than clustering at the start; repeat packets follow
+    // Zipf popularity over the flows opened so far.
+    let spacing = (n / spec.flows as usize).max(1);
+    let mut opened = 0usize;
+    for i in 0..n {
+        t += rng.exponential(avg_gap);
+        let flow = if i % spacing == 0 && opened < spec.flows as usize {
+            opened += 1;
+            opened - 1
+        } else {
+            zipf.sample(rng) % opened.max(1)
+        };
+        let starts_flow = !seen[flow];
+        seen[flow] = true;
+        // Bimodal sizes: small ACK-ish packets and near-MTU data packets,
+        // calibrated so the mean matches the trace average.
+        let size = if rng.chance(0.35) {
+            rng.uniform_f64(60.0, 120.0)
+        } else {
+            let data_mean = (avg_size - 0.35 * 90.0) / 0.65;
+            rng.uniform_f64((data_mean - 300.0).max(120.0), (data_mean + 300.0).min(1514.0))
+        };
+        packets.push(Packet {
+            at: SimTime::ZERO + SimDuration::from_secs_f64(t.min(spec.duration.as_secs_f64())),
+            size: size as u32,
+            flow: flow as u32,
+            starts_flow,
+        });
+    }
+    packets
+}
+
+/// Statistics recomputed from a synthesized stream (to print Table II).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceStats {
+    /// Sum of packet sizes.
+    pub total_bytes: u64,
+    /// Packet count.
+    pub packets: u64,
+    /// Distinct flows.
+    pub flows: u64,
+    /// Mean packet size.
+    pub avg_packet_size: f64,
+    /// Last arrival time.
+    pub duration: SimDuration,
+}
+
+/// Computes [`TraceStats`] for a stream.
+pub fn trace_stats(packets: &[Packet]) -> TraceStats {
+    let total_bytes: u64 = packets.iter().map(|p| p.size as u64).sum();
+    let flows = packets.iter().filter(|p| p.starts_flow).count() as u64;
+    let duration = packets
+        .last()
+        .map(|p| p.at - SimTime::ZERO)
+        .unwrap_or(SimDuration::ZERO);
+    TraceStats {
+        total_bytes,
+        packets: packets.len() as u64,
+        flows,
+        avg_packet_size: if packets.is_empty() {
+            0.0
+        } else {
+            total_bytes as f64 / packets.len() as f64
+        },
+        duration,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> SimRng {
+        SimRng::seed_from(11)
+    }
+
+    #[test]
+    fn table2_constants_match_paper() {
+        let low = TraceSpec::low_rate();
+        assert_eq!(low.packets, 14_261);
+        assert_eq!(low.flows, 1_209);
+        assert_eq!(low.apps, 28);
+        assert_eq!(low.avg_packet_size(), 659); // 9.4 MB / 14261 ≈ 646–659 B
+        let high = TraceSpec::high_rate();
+        assert_eq!(high.packets, 791_615);
+        assert_eq!(high.flows, 40_686);
+        assert_eq!(high.apps, 132);
+        assert_eq!(high.avg_packet_size(), 464);
+    }
+
+    #[test]
+    fn generated_low_trace_matches_spec_statistics() {
+        let spec = TraceSpec::low_rate();
+        let packets = generate_trace(&spec, &mut rng());
+        let stats = trace_stats(&packets);
+        assert_eq!(stats.packets, spec.packets);
+        assert_eq!(stats.flows, spec.flows);
+        let size_err =
+            (stats.avg_packet_size - spec.avg_packet_size() as f64).abs() / spec.avg_packet_size() as f64;
+        assert!(size_err < 0.1, "avg size off by {size_err}");
+        assert!(stats.duration <= spec.duration);
+        assert!(stats.duration.as_secs_f64() > spec.duration.as_secs_f64() * 0.9);
+    }
+
+    #[test]
+    fn packets_are_time_ordered() {
+        let packets = generate_trace(&TraceSpec::low_rate(), &mut rng());
+        for pair in packets.windows(2) {
+            assert!(pair[0].at <= pair[1].at);
+        }
+    }
+
+    #[test]
+    fn every_flow_appears() {
+        let spec = TraceSpec::low_rate();
+        let packets = generate_trace(&spec, &mut rng());
+        let mut seen = vec![false; spec.flows as usize];
+        for p in &packets {
+            seen[p.flow as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn flow_popularity_is_skewed() {
+        let spec = TraceSpec::low_rate();
+        let packets = generate_trace(&spec, &mut rng());
+        let mut counts = vec![0usize; spec.flows as usize];
+        for p in &packets {
+            counts[p.flow as usize] += 1;
+        }
+        let max = counts.iter().max().copied().unwrap();
+        assert!(max > 50, "elephant flow expected, max {max}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let spec = TraceSpec::low_rate();
+        let a = generate_trace(&spec, &mut rng());
+        let b = generate_trace(&spec, &mut rng());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_stats() {
+        let stats = trace_stats(&[]);
+        assert_eq!(stats.packets, 0);
+        assert_eq!(stats.avg_packet_size, 0.0);
+    }
+}

@@ -1,0 +1,157 @@
+//! Zipf popularity sampling.
+//!
+//! The paper draws app usage from a Zipf distribution (§V-A, citing content
+//! demand studies): a few apps are used constantly, a long tail rarely.
+
+use ape_simnet::SimRng;
+
+/// Samples indices `0..n` with probability proportional to
+/// `1 / (rank + 1)^exponent`.
+///
+/// # Examples
+///
+/// ```
+/// use ape_simnet::SimRng;
+/// use ape_workload::ZipfSampler;
+///
+/// let zipf = ZipfSampler::new(10, 1.0);
+/// let mut rng = SimRng::seed_from(1);
+/// let idx = zipf.sample(&mut rng);
+/// assert!(idx < 10);
+/// assert!(zipf.weight(0) > zipf.weight(9));
+/// ```
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    /// Normalized per-index probabilities.
+    weights: Vec<f64>,
+    /// Cumulative distribution for inverse sampling.
+    cumulative: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Creates a sampler over `n` items with the given exponent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or `exponent` is negative/non-finite.
+    pub fn new(n: usize, exponent: f64) -> Self {
+        assert!(n > 0, "zipf needs at least one item");
+        assert!(
+            exponent.is_finite() && exponent >= 0.0,
+            "exponent must be non-negative"
+        );
+        let raw: Vec<f64> = (0..n).map(|i| 1.0 / ((i + 1) as f64).powf(exponent)).collect();
+        let total: f64 = raw.iter().sum();
+        let weights: Vec<f64> = raw.iter().map(|w| w / total).collect();
+        let mut cumulative = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for w in &weights {
+            acc += w;
+            cumulative.push(acc);
+        }
+        // Guard against floating-point shortfall at the top end.
+        if let Some(last) = cumulative.last_mut() {
+            *last = 1.0;
+        }
+        ZipfSampler {
+            weights,
+            cumulative,
+        }
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Whether the sampler is over zero items (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.weights.is_empty()
+    }
+
+    /// Probability mass of item `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn weight(&self, i: usize) -> f64 {
+        self.weights[i]
+    }
+
+    /// Draws one index.
+    pub fn sample(&self, rng: &mut SimRng) -> usize {
+        let u = rng.unit();
+        match self
+            .cumulative
+            .binary_search_by(|c| c.partial_cmp(&u).expect("finite cumulative"))
+        {
+            Ok(i) => (i + 1).min(self.len() - 1),
+            Err(i) => i.min(self.len() - 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weights_sum_to_one_and_decrease() {
+        let z = ZipfSampler::new(20, 1.0);
+        let sum: f64 = (0..20).map(|i| z.weight(i)).sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        for i in 1..20 {
+            assert!(z.weight(i) < z.weight(i - 1));
+        }
+    }
+
+    #[test]
+    fn exponent_zero_is_uniform() {
+        let z = ZipfSampler::new(4, 0.0);
+        for i in 0..4 {
+            assert!((z.weight(i) - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn empirical_frequencies_match_weights() {
+        let z = ZipfSampler::new(5, 1.0);
+        let mut rng = SimRng::seed_from(9);
+        let n = 100_000;
+        let mut counts = [0usize; 5];
+        for _ in 0..n {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for i in 0..5 {
+            let observed = counts[i] as f64 / n as f64;
+            assert!(
+                (observed - z.weight(i)).abs() < 0.01,
+                "item {i}: observed {observed}, expected {}",
+                z.weight(i)
+            );
+        }
+    }
+
+    #[test]
+    fn single_item_always_sampled() {
+        let z = ZipfSampler::new(1, 1.0);
+        let mut rng = SimRng::seed_from(3);
+        for _ in 0..100 {
+            assert_eq!(z.sample(&mut rng), 0);
+        }
+        assert_eq!(z.len(), 1);
+        assert!(!z.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_items_rejected() {
+        let _ = ZipfSampler::new(0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exponent")]
+    fn negative_exponent_rejected() {
+        let _ = ZipfSampler::new(3, -1.0);
+    }
+}

@@ -1,0 +1,89 @@
+//! Anatomy of a DNS-Cache exchange on the wire (§IV-B, Fig. 7/8).
+//!
+//! ```text
+//! cargo run --release --example dns_cache_wire
+//! ```
+//!
+//! Crafts the exact packets an APE-CACHE client and AP exchange: a DNS
+//! query carrying a piggybacked cache lookup in its Additional section,
+//! and the AP's response with per-URL flags — then decodes them back and
+//! hexdumps the bytes so the RFC1035 framing is visible.
+
+use ape_dnswire::{CacheFlag, CacheTuple, DnsMessage, DomainName, UrlHash};
+use std::net::Ipv4Addr;
+
+fn hexdump(bytes: &[u8]) {
+    for (i, chunk) in bytes.chunks(16).enumerate() {
+        let hex: Vec<String> = chunk.iter().map(|b| format!("{b:02x}")).collect();
+        let ascii: String = chunk
+            .iter()
+            .map(|&b| if b.is_ascii_graphic() { b as char } else { '.' })
+            .collect();
+        println!("  {:04x}  {:<47}  {ascii}", i * 16, hex.join(" "));
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let domain: DomainName = "api.movietrailer.example".parse()?;
+    let urls = [
+        "http://api.movietrailer.example/movieID?v=3",
+        "http://api.movietrailer.example/thumbnail?v=3",
+        "http://api.movietrailer.example/plot?v=3",
+    ];
+    let hashes: Vec<UrlHash> = urls.iter().map(|u| UrlHash::of(u)).collect();
+
+    println!("1. Client → AP: DNS-Cache request");
+    println!("   question: {domain} A?");
+    for (url, hash) in urls.iter().zip(&hashes) {
+        println!("   tuple: HASH({url}) = {hash}");
+    }
+    let query = DnsMessage::dns_cache_request(0x4242, domain, &hashes);
+    let query_wire = query.encode();
+    println!("   {} bytes on the wire:", query_wire.len());
+    hexdump(&query_wire);
+
+    println!("\n2. AP → Client: DNS answer + cache status for the whole domain");
+    let tuples = vec![
+        CacheTuple::new(hashes[0], CacheFlag::Hit),
+        CacheTuple::new(hashes[1], CacheFlag::Hit),
+        CacheTuple::new(hashes[2], CacheFlag::Delegation),
+    ];
+    let response =
+        DnsMessage::dns_cache_response(&query, Ipv4Addr::new(10, 0, 0, 2), 60, tuples);
+    let response_wire = response.encode();
+    println!("   {} bytes on the wire:", response_wire.len());
+    hexdump(&response_wire);
+
+    println!("\n3. Client decodes and routes each fetch:");
+    let parsed = DnsMessage::decode(&response_wire)?;
+    println!(
+        "   edge server: {} (ttl {}s)",
+        parsed.answer_ip().expect("answer present"),
+        parsed.answers[0].ttl
+    );
+    for tuple in parsed.cache_response_tuples() {
+        let action = match tuple.flag {
+            CacheFlag::Hit => "fetch from the AP cache",
+            CacheFlag::Miss => "fetch from the edge server",
+            CacheFlag::Delegation => "delegate the fetch to the AP",
+            CacheFlag::Query => "unreachable in responses",
+        };
+        println!("   {} → {} → {action}", tuple.url_hash, tuple.flag);
+    }
+
+    println!("\n4. The short-circuit: when everything asked for is cached,");
+    println!("   the AP answers a dummy IP with TTL 0 and skips upstream DNS:");
+    let sc = DnsMessage::dns_cache_response(
+        &query,
+        Ipv4Addr::UNSPECIFIED,
+        0,
+        vec![CacheTuple::new(hashes[0], CacheFlag::Hit)],
+    );
+    println!(
+        "   answer {} ttl {} ({} bytes)",
+        sc.answer_ip().expect("answer"),
+        sc.answers[0].ttl,
+        sc.wire_len()
+    );
+    Ok(())
+}

@@ -1,0 +1,65 @@
+//! The paper's motivating example (§III-A): MovieTrailer.
+//!
+//! ```text
+//! cargo run --release --example movie_trailer
+//! ```
+//!
+//! Shows the app's request DAG and critical path, the priorities the
+//! declarative programming model assigns, and the app-level latency under
+//! all four evaluated systems (Fig. 12's left panel).
+
+use ape_appdag::{movie_trailer, virtual_home, AppId};
+use ape_simnet::SimDuration;
+use ape_workload::ScheduleConfig;
+use apecache::{run_system, System, TestbedConfig};
+
+fn main() {
+    let movie = movie_trailer(AppId::new(0));
+    let home = virtual_home(AppId::new(1));
+
+    println!("MovieTrailer request DAG (Fig. 3):");
+    for (idx, obj) in movie.dag().iter() {
+        let deps: Vec<&str> = movie
+            .dag()
+            .deps(idx)
+            .iter()
+            .map(|d| movie.dag().object(*d).name.as_str())
+            .collect();
+        println!(
+            "  {:<10} {:>7} bytes, ttl {:>4.0} min, priority {:<4} deps: {:?}",
+            obj.name,
+            obj.size,
+            obj.ttl.as_secs_f64() / 60.0,
+            obj.priority.to_string(),
+            deps
+        );
+    }
+    let (path, estimate) = movie.dag().critical_path();
+    let names: Vec<&str> = path.iter().map(|i| movie.dag().object(*i).name.as_str()).collect();
+    println!("  critical path: {} (≈{estimate} uncached)\n", names.join(" → "));
+
+    println!("Running both real-world apps under each system (10 simulated minutes):\n");
+    println!(
+        "{:<14} {:>14} {:>12} {:>14} {:>12}",
+        "system", "MovieTrailer", "(p95)", "VirtualHome", "(p95)"
+    );
+    let apps = vec![movie, home];
+    for system in System::ALL {
+        let mut config = TestbedConfig::new(system, apps.clone());
+        config.schedule = ScheduleConfig {
+            apps: 2,
+            avg_per_minute: 6.0,
+            ..ScheduleConfig::default()
+        };
+        let mut result = run_system(&config, SimDuration::from_mins(10));
+        let s = result.summary();
+        let m = s.per_app_latency_ms.get("MovieTrailer").copied().unwrap_or_default();
+        let v = s.per_app_latency_ms.get("VirtualHome").copied().unwrap_or_default();
+        println!(
+            "{:<14} {:>11.1} ms {:>9.1} ms {:>11.1} ms {:>9.1} ms",
+            s.system, m.0, m.1, v.0, v.1
+        );
+    }
+    println!("\nmovieID and thumbnail sit on the critical path, so APE-CACHE pins");
+    println!("them to the AP: the app composes its UI without waiting on the edge.");
+}

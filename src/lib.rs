@@ -1,0 +1,15 @@
+//! Umbrella crate for the APE-CACHE reproduction workspace.
+//!
+//! This root package hosts the runnable [examples](https://github.com/apecache/apecache/tree/main/examples)
+//! and the cross-crate integration tests; the library surface simply
+//! re-exports the workspace crates so examples and tests can use one import.
+
+pub use ape_appdag as appdag;
+pub use ape_cachealg as cachealg;
+pub use ape_dnswire as dnswire;
+pub use ape_httpsim as httpsim;
+pub use ape_nodes as nodes;
+pub use ape_proto as proto;
+pub use ape_simnet as simnet;
+pub use ape_workload as workload;
+pub use apecache as core;

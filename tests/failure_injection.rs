@@ -1,0 +1,147 @@
+//! Failure injection: the system must degrade gracefully, not fall over.
+
+use ape_appdag::{AppDag, AppId, AppSpec, DummyAppConfig, ObjectSpec};
+use ape_cachealg::Priority;
+use ape_httpsim::Url;
+use ape_nodes::ApNode;
+use ape_simnet::{LinkSpec, SimDuration};
+use ape_workload::ScheduleConfig;
+use apecache::{build, collect, synthetic_suite, System, TestbedConfig};
+
+fn config(system: System, apps: usize) -> TestbedConfig {
+    let suite = synthetic_suite(apps, &DummyAppConfig::default(), 13);
+    let mut config = TestbedConfig::new(system, suite);
+    config.schedule = ScheduleConfig {
+        apps,
+        avg_per_minute: 3.0,
+        zipf_exponent: 0.8,
+        duration: SimDuration::from_mins(8),
+    };
+    config
+}
+
+#[test]
+fn lossy_upstream_dns_triggers_retries_not_collapse() {
+    let cfg = config(System::ApeCache, 6);
+    let mut bed = build(&cfg);
+    bed.world.connect(
+        bed.ap,
+        bed.ldns,
+        LinkSpec::from_rtt(5, SimDuration::from_millis(13)).loss_probability(0.3),
+    );
+    bed.world.run_for(SimDuration::from_mins(8));
+    let result = collect(System::ApeCache, &mut bed);
+    // Most executions still complete; retries absorbed the loss.
+    assert!(
+        result.report.executions as f64 > 0.9 * (8.0 * 6.0 * 3.0) * 0.8,
+        "executions {}",
+        result.report.executions
+    );
+    let failure_rate = result.report.failures as f64 / result.report.requests.max(1) as f64;
+    assert!(failure_rate < 0.10, "failure rate {failure_rate}");
+    assert!(result.metrics.counter("net.dropped") > 0, "loss was injected");
+}
+
+#[test]
+fn fully_dead_dns_fails_fetches_without_hanging() {
+    let cfg = config(System::EdgeCache, 4);
+    let mut bed = build(&cfg);
+    // Client↔LDNS path drops 95% of packets: most resolutions exhaust
+    // their retries.
+    for &client in &bed.clients.clone() {
+        bed.world.connect(
+            client,
+            bed.ldns,
+            LinkSpec::from_rtt(6, SimDuration::from_millis(16)).loss_probability(0.95),
+        );
+    }
+    bed.world.run_for(SimDuration::from_mins(8));
+    let result = collect(System::EdgeCache, &mut bed);
+    assert!(
+        result.metrics.counter("client.dns_give_ups") > 0,
+        "give-ups recorded"
+    );
+    assert!(result.report.failures > 0);
+    // The run terminated (we got here) and executions still finish —
+    // failed objects cancel their dependents rather than hanging.
+    assert!(result.report.executions > 0);
+}
+
+#[test]
+fn tiny_cache_thrashes_but_stays_correct() {
+    let mut cfg = config(System::ApeCache, 10);
+    cfg.ap.cache_capacity = 200_000; // 0.2 MB instead of 5 MB
+    let mut bed = build(&cfg);
+    bed.world.run_for(SimDuration::from_mins(8));
+    let ap_bytes = bed.world.node::<ApNode>(bed.ap).cached_bytes();
+    assert!(ap_bytes <= 200_000, "capacity respected: {ap_bytes}");
+    let result = collect(System::ApeCache, &mut bed);
+    assert_eq!(result.report.failures, 0, "thrash is slow, not wrong");
+    let hit = result.report.hit_ratio();
+    assert!(hit < 0.5, "tiny cache cannot sustain a high hit ratio: {hit}");
+    assert!(result.metrics.counter("ap.evictions") > 0, "evictions happened");
+}
+
+#[test]
+fn oversized_objects_are_block_listed_and_served_via_edge_path() {
+    // One app whose single object exceeds the 500 KB block threshold.
+    let url = Url::parse("http://bigapp.dummy.example/blob").expect("static url");
+    let mut b = AppDag::builder();
+    b.object(ObjectSpec {
+        name: "blob".into(),
+        url,
+        size: 800_000,
+        ttl: SimDuration::from_mins(30),
+        remote_latency: SimDuration::from_millis(30),
+        priority: Priority::HIGH,
+    });
+    let app = AppSpec::new(AppId::new(0), "BigApp", b.build().expect("single node"));
+    let mut cfg = TestbedConfig::new(System::ApeCache, vec![app]);
+    cfg.schedule = ScheduleConfig {
+        apps: 1,
+        avg_per_minute: 6.0,
+        zipf_exponent: 0.8,
+        duration: SimDuration::from_mins(5),
+    };
+    let mut bed = build(&cfg);
+    bed.world.run_for(SimDuration::from_mins(5));
+    assert_eq!(
+        bed.world.node::<ApNode>(bed.ap).cached_objects(),
+        0,
+        "oversized object never cached"
+    );
+    let result = collect(System::ApeCache, &mut bed);
+    assert!(result.metrics.counter("ap.block_listed") >= 1);
+    assert_eq!(result.report.failures, 0, "object still delivered");
+    assert!(result.report.requests > 10);
+    assert_eq!(result.report.hits, 0);
+}
+
+#[test]
+fn short_ttls_expire_and_refetch() {
+    // Objects with 1-minute TTLs over an 8-minute run: every object
+    // expires repeatedly and the AP purges + re-delegates.
+    let dummy = DummyAppConfig {
+        ttl_minutes: (1, 1),
+        ..DummyAppConfig::default()
+    };
+    let suite = synthetic_suite(5, &dummy, 17);
+    let mut cfg = TestbedConfig::new(System::ApeCache, suite);
+    cfg.schedule = ScheduleConfig {
+        apps: 5,
+        avg_per_minute: 3.0,
+        zipf_exponent: 0.8,
+        duration: SimDuration::from_mins(8),
+    };
+    let mut bed = build(&cfg);
+    bed.world.run_for(SimDuration::from_mins(8));
+    let result = collect(System::ApeCache, &mut bed);
+    assert!(
+        result.metrics.counter("ap.ttl_purges") > 0,
+        "expired objects purged"
+    );
+    // Hit ratio suffers relative to long TTLs but stays positive.
+    let hit = result.report.hit_ratio();
+    assert!(hit > 0.1 && hit < 0.9, "hit ratio {hit}");
+    assert_eq!(result.report.failures, 0);
+}

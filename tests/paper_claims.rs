@@ -1,0 +1,159 @@
+//! The paper's headline claims (EQ1–EQ3), pinned as qualitative shape
+//! assertions against the full simulated testbed.
+//!
+//! These are deliberately banded, not exact: the substrate is a simulator
+//! calibrated to the paper's measured path characteristics, so "who wins,
+//! by roughly what factor" must hold even though absolute milliseconds
+//! differ. `EXPERIMENTS.md` records the measured-vs-paper numbers.
+
+use ape_appdag::DummyAppConfig;
+use ape_simnet::SimDuration;
+use ape_workload::ScheduleConfig;
+use apecache::{paper_suite, run_system, Summary, System, TestbedConfig};
+
+const SIM_MINUTES: u64 = 10;
+const APPS: usize = 30;
+
+fn run(system: System) -> Summary {
+    let mut suite = paper_suite(&DummyAppConfig::default(), 42);
+    suite.truncate(APPS);
+    let mut config = TestbedConfig::new(system, suite);
+    config.schedule = ScheduleConfig {
+        apps: APPS,
+        avg_per_minute: 3.0,
+        zipf_exponent: 0.8,
+        duration: SimDuration::from_mins(SIM_MINUTES),
+    };
+    let mut result = run_system(&config, SimDuration::from_mins(SIM_MINUTES));
+    result.summary()
+}
+
+fn object_level(s: &Summary) -> f64 {
+    let retrieval = if s.retrieval_hit_ms > 0.0 {
+        s.retrieval_hit_ms
+    } else {
+        s.retrieval_edge_ms
+    };
+    s.lookup_ms + retrieval
+}
+
+#[test]
+fn eq1_object_level_latency_ordering_and_reductions() {
+    let ape = run(System::ApeCache);
+    let wicache = run(System::WiCache);
+    let edge = run(System::EdgeCache);
+
+    let (a, w, e) = (object_level(&ape), object_level(&wicache), object_level(&edge));
+    assert!(a < w && w < e, "object-level ordering: ape {a:.1} wicache {w:.1} edge {e:.1}");
+
+    // Paper: 51.7% vs Wi-Cache and 74.5% vs Edge Cache. Bands: 30–70% and
+    // 50–85%.
+    let vs_wicache = 1.0 - a / w;
+    let vs_edge = 1.0 - a / e;
+    assert!(
+        (0.30..0.70).contains(&vs_wicache),
+        "reduction vs Wi-Cache {vs_wicache:.2}"
+    );
+    assert!((0.50..0.85).contains(&vs_edge), "reduction vs Edge {vs_edge:.2}");
+
+    // Lookup anatomy: APE-CACHE's piggybacked lookup is millisecond-level;
+    // Wi-Cache pays its remote controller on every lookup.
+    assert!(ape.lookup_ms < 15.0, "APE lookup {:.1}", ape.lookup_ms);
+    assert!(wicache.lookup_ms > 20.0, "Wi-Cache lookup {:.1}", wicache.lookup_ms);
+    // Retrieval anatomy: AP-served hits are several times faster than
+    // edge fetches.
+    assert!(
+        ape.retrieval_hit_ms * 2.5 < edge.retrieval_edge_ms,
+        "hit {:.1} vs edge {:.1}",
+        ape.retrieval_hit_ms,
+        edge.retrieval_edge_ms
+    );
+}
+
+#[test]
+fn eq2_app_level_latency_ordering() {
+    let ape = run(System::ApeCache);
+    let lru = run(System::ApeCacheLru);
+    let wicache = run(System::WiCache);
+    let edge = run(System::EdgeCache);
+
+    // PACM's latency edge over LRU is small at short horizons (the paper
+    // reports 30 vs 42 ms over an hour); assert it never *loses* beyond
+    // noise while its hit-ratio advantage — the mechanism — is strict.
+    assert!(
+        ape.app_latency_ms < lru.app_latency_ms * 1.05,
+        "PACM vs LRU latency: {:.1} vs {:.1}",
+        ape.app_latency_ms,
+        lru.app_latency_ms
+    );
+    assert!(
+        ape.hit_ratio > lru.hit_ratio,
+        "PACM hit {:.3} vs LRU {:.3}",
+        ape.hit_ratio,
+        lru.hit_ratio
+    );
+    assert!(
+        ape.app_latency_ms < wicache.app_latency_ms,
+        "APE beats Wi-Cache: {:.1} vs {:.1}",
+        ape.app_latency_ms,
+        wicache.app_latency_ms
+    );
+    // Paper: 76% reduction vs Edge Cache; band: ≥ 35%.
+    let vs_edge = 1.0 - ape.app_latency_ms / edge.app_latency_ms;
+    assert!(vs_edge > 0.35, "app-level reduction vs Edge {vs_edge:.2}");
+
+    // Tail latency improves too (Fig. 12's p95 bars).
+    assert!(
+        ape.app_latency_p95_ms < edge.app_latency_p95_ms,
+        "p95: {:.1} vs {:.1}",
+        ape.app_latency_p95_ms,
+        edge.app_latency_p95_ms
+    );
+}
+
+#[test]
+fn eq2_real_apps_improve() {
+    let ape = run(System::ApeCache);
+    let edge = run(System::EdgeCache);
+    for app in ["MovieTrailer", "VirtualHome"] {
+        let a = ape.per_app_latency_ms.get(app).expect("app ran").0;
+        let e = edge.per_app_latency_ms.get(app).expect("app ran").0;
+        assert!(a < e, "{app}: APE {a:.1} vs Edge {e:.1}");
+    }
+}
+
+#[test]
+fn pacm_prioritizes_high_priority_objects() {
+    let pacm = run(System::ApeCache);
+    let lru = run(System::ApeCacheLru);
+    // The paper's Tables IV–VI claim: PACM's high-priority hit ratio
+    // consistently exceeds LRU's.
+    assert!(
+        pacm.high_priority_hit_ratio > lru.high_priority_hit_ratio + 0.05,
+        "high-priority: PACM {:.3} vs LRU {:.3}",
+        pacm.high_priority_hit_ratio,
+        lru.high_priority_hit_ratio
+    );
+    // And PACM's high-priority ratio exceeds its own average.
+    assert!(
+        pacm.high_priority_hit_ratio > pacm.hit_ratio,
+        "PACM high {:.3} vs avg {:.3}",
+        pacm.high_priority_hit_ratio,
+        pacm.hit_ratio
+    );
+}
+
+#[test]
+fn eq3_ap_overhead_is_modest() {
+    let ape = run(System::ApeCache);
+    // Paper: at most +6% CPU and 13 MB of memory on the AP.
+    assert!(ape.ap_cpu_max < 0.10, "peak AP cpu {:.3}", ape.ap_cpu_max);
+    assert!(
+        ape.ape_mem_mb_max < 15.0,
+        "peak APE memory {:.1} MB",
+        ape.ape_mem_mb_max
+    );
+    // And the cache actually worked while staying cheap.
+    assert!(ape.hit_ratio > 0.4, "hit ratio {:.3}", ape.hit_ratio);
+    assert_eq!(ape.failures, 0, "no failed fetches on a healthy network");
+}

@@ -1,0 +1,120 @@
+//! Sweep-shape tests: the trends behind Tables IV–VI and Fig. 13 must
+//! point the right way (crossovers and monotonic directions, not exact
+//! values).
+
+use ape_appdag::DummyAppConfig;
+use ape_simnet::SimDuration;
+use ape_workload::ScheduleConfig;
+use apecache::{paper_suite, run_system, Summary, System, TestbedConfig};
+
+const MINUTES: u64 = 8;
+
+fn run(system: System, dummy: &DummyAppConfig, apps: usize, frequency: f64) -> Summary {
+    let mut suite = paper_suite(dummy, 42);
+    suite.truncate(apps);
+    let mut config = TestbedConfig::new(system, suite);
+    config.schedule = ScheduleConfig {
+        apps,
+        avg_per_minute: frequency,
+        zipf_exponent: 0.8,
+        duration: SimDuration::from_mins(MINUTES),
+    };
+    let mut result = run_system(&config, SimDuration::from_mins(MINUTES));
+    result.summary()
+}
+
+#[test]
+fn table4_shape_hit_ratio_falls_as_objects_grow() {
+    // Three points of the size sweep; the hit ratio must fall hard from
+    // 1–100 kb to 1–500 kb (paper: 0.632 → 0.226).
+    let small = run(
+        System::ApeCache,
+        &DummyAppConfig::default().with_size_range(1_000, 100_000),
+        30,
+        3.0,
+    );
+    let large = run(
+        System::ApeCache,
+        &DummyAppConfig::default().with_size_range(1_000, 500_000),
+        30,
+        3.0,
+    );
+    assert!(
+        small.hit_ratio > large.hit_ratio + 0.2,
+        "small {:.3} vs large {:.3}",
+        small.hit_ratio,
+        large.hit_ratio
+    );
+    // High-priority stays above average at both points (PACM's claim).
+    assert!(small.high_priority_hit_ratio >= small.hit_ratio);
+    assert!(large.high_priority_hit_ratio >= large.hit_ratio);
+}
+
+#[test]
+fn table6_shape_few_apps_fit_entirely() {
+    // With 5 apps everything fits: hit ratio near its ceiling
+    // (paper: 0.965); with 30 apps the cache is oversubscribed.
+    let few = run(System::ApeCache, &DummyAppConfig::default(), 5, 3.0);
+    let many = run(System::ApeCache, &DummyAppConfig::default(), 30, 3.0);
+    assert!(few.hit_ratio > 0.85, "few-apps hit {:.3}", few.hit_ratio);
+    assert!(
+        few.hit_ratio > many.hit_ratio + 0.15,
+        "few {:.3} vs many {:.3}",
+        few.hit_ratio,
+        many.hit_ratio
+    );
+}
+
+#[test]
+fn fig13a_shape_latency_rises_with_object_size() {
+    let small = run(
+        System::ApeCache,
+        &DummyAppConfig::default().with_size_range(1_000, 100_000),
+        30,
+        3.0,
+    );
+    let large = run(
+        System::ApeCache,
+        &DummyAppConfig::default().with_size_range(1_000, 400_000),
+        30,
+        3.0,
+    );
+    assert!(
+        large.app_latency_ms > small.app_latency_ms,
+        "large {:.1} vs small {:.1}",
+        large.app_latency_ms,
+        small.app_latency_ms
+    );
+}
+
+#[test]
+fn fig13c_shape_latency_rises_with_app_quantity() {
+    let few = run(System::ApeCache, &DummyAppConfig::default(), 5, 3.0);
+    let many = run(System::ApeCache, &DummyAppConfig::default(), 30, 3.0);
+    assert!(
+        many.app_latency_ms > few.app_latency_ms,
+        "many {:.1} vs few {:.1}",
+        many.app_latency_ms,
+        few.app_latency_ms
+    );
+    // APE-CACHE stays ahead of the Edge baseline at both ends.
+    let edge_few = run(System::EdgeCache, &DummyAppConfig::default(), 5, 3.0);
+    let edge_many = run(System::EdgeCache, &DummyAppConfig::default(), 30, 3.0);
+    assert!(few.app_latency_ms < edge_few.app_latency_ms);
+    assert!(many.app_latency_ms < edge_many.app_latency_ms);
+}
+
+#[test]
+fn table5_shape_frequency_helps_or_holds() {
+    // Lower usage frequency lets objects expire before re-use; the hit
+    // ratio at 1/min must not exceed the one at 3/min by any margin
+    // (paper: 0.507 at 1/min vs 0.632 at 3/min).
+    let slow = run(System::ApeCache, &DummyAppConfig::default(), 30, 1.0);
+    let fast = run(System::ApeCache, &DummyAppConfig::default(), 30, 3.0);
+    assert!(
+        fast.hit_ratio + 0.02 >= slow.hit_ratio,
+        "fast {:.3} vs slow {:.3}",
+        fast.hit_ratio,
+        slow.hit_ratio
+    );
+}
