@@ -211,8 +211,10 @@ mod tests {
     #[test]
     #[should_panic]
     fn inverted_ranges_rejected() {
-        let mut c = DummyAppConfig::default();
-        c.size_bytes = (10, 5);
+        let c = DummyAppConfig {
+            size_bytes: (10, 5),
+            ..Default::default()
+        };
         let _ = generate_app(AppId::new(0), &c, &mut rng());
     }
 }

@@ -71,7 +71,7 @@ mod tests {
     #[test]
     fn accessors() {
         let dag = AppDag::builder().build().unwrap();
-        let mut spec = AppSpec::new(AppId::new(4), "test", dag.clone());
+        let spec = AppSpec::new(AppId::new(4), "test", dag.clone());
         assert_eq!(spec.id(), AppId::new(4));
         assert_eq!(spec.name(), "test");
         assert_eq!(spec.dag(), &dag);

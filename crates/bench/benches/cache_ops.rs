@@ -2,20 +2,20 @@
 //! costs on the AP's data path (lookup, admit) and the per-window costs
 //! (EWMA roll, Gini).
 
+use ape_bench::microbench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ape_cachealg::{
-    gini, AdmitOutcome, AppId, CacheManager, CacheStore, FrequencyTracker, ObjectMeta,
-    PacmConfig, PacmPolicy, Priority,
+    gini, AdmitOutcome, AppId, CacheManager, CacheStore, FrequencyTracker, ObjectMeta, PacmConfig,
+    PacmPolicy, Priority,
 };
 use ape_dnswire::UrlHash;
 use ape_simnet::{SimDuration, SimRng, SimTime};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn meta(i: usize, size: u64) -> ObjectMeta {
     ObjectMeta {
         key: UrlHash::of(&format!("http://bench/{i}")),
         app: AppId::new((i % 30) as u32),
         size,
-        priority: if i % 3 == 0 {
+        priority: if i.is_multiple_of(3) {
             Priority::HIGH
         } else {
             Priority::LOW

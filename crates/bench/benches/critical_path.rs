@@ -2,10 +2,10 @@
 //! priority derivation — the compile-time side of the programming model.
 
 use ape_appdag::{generate_app, movie_trailer, AppDag, AppId, DummyAppConfig, ObjectSpec};
+use ape_bench::microbench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ape_cachealg::Priority;
 use ape_httpsim::Url;
 use ape_simnet::{SimDuration, SimRng};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 /// A wide layered DAG with `layers` stages of `width` objects each.
 fn layered_dag(layers: usize, width: usize) -> AppDag {
@@ -67,5 +67,10 @@ fn bench_generation(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_critical_path, bench_derive_priorities, bench_generation);
+criterion_group!(
+    benches,
+    bench_critical_path,
+    bench_derive_priorities,
+    bench_generation
+);
 criterion_main!(benches);

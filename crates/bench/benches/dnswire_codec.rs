@@ -2,8 +2,8 @@
 //! pays per DNS-Cache message (the paper measured +0.02 ms per query on
 //! an 880 MHz MIPS core; the codec must be far below that).
 
+use ape_bench::microbench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ape_dnswire::{CacheFlag, CacheTuple, DnsMessage, DomainName, UrlHash};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn request(tuples: usize) -> DnsMessage {
     let name: DomainName = "api.movietrailer.example".parse().expect("static");

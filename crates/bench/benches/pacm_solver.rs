@@ -7,13 +7,13 @@
 //! hundreds of objects is comfortably within that envelope on commodity
 //! hardware (and the greedy is an order of magnitude cheaper).
 
+use ape_bench::microbench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ape_cachealg::{
     solve_exact, solve_greedy, AppId, CacheStore, EvictionPolicy, KnapsackItem, LruPolicy,
     ObjectMeta, PacmConfig, PacmPolicy, Priority,
 };
 use ape_dnswire::UrlHash;
 use ape_simnet::{SimDuration, SimRng, SimTime};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn items(n: usize, seed: u64) -> Vec<KnapsackItem> {
     let mut rng = SimRng::seed_from(seed);

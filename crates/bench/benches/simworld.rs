@@ -2,10 +2,10 @@
 //! full testbed-minute, which bounds how fast the repro harness can sweep.
 
 use ape_appdag::DummyAppConfig;
+use ape_bench::microbench::{criterion_group, criterion_main, Criterion};
 use ape_simnet::{Context, LinkSpec, Message, Node, NodeId, SimDuration, World};
 use ape_workload::ScheduleConfig;
 use apecache::{build, synthetic_suite, System, TestbedConfig};
-use criterion::{criterion_group, criterion_main, Criterion};
 
 #[derive(Debug)]
 struct Token(u32);

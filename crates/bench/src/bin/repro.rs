@@ -1,24 +1,33 @@
 //! `repro` — regenerate the APE-CACHE paper's tables and figures.
 //!
 //! ```text
-//! repro [--quick] [--minutes N] [--trials N] [--seed N] <artifact>...
+//! repro [--quick] [--minutes N] [--trials N] [--micro-trials N]
+//!       [--threads N] [--seed N] <artifact>...
 //!
 //! artifacts:
 //!   table1 table2 table4 table5 table6 table7
 //!   fig2 fig11a fig11b fig11c fig12 fig13a fig13b fig13c fig14
-//!   object-level ablations all
+//!   object-level ablations speedup all
 //! ```
+//!
+//! `--trials N` replicates every sweep point over N seeds (pooled before
+//! summarizing); `--threads N` sizes the parallel runner's worker pool
+//! (0 = auto). Results are bitwise identical for any `--threads` value.
+
+use std::time::Instant;
 
 use ape_bench::{
     ablations, fig11a, fig11b, fig11c, fig12, fig13a, fig13b, fig13c, fig14, fig2, object_level,
-    table1, table2, table4, table5, table6, table7, ReproOptions,
+    speedup, table1, table2, table4, table5, table6, table7, ReproOptions,
 };
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro [--quick] [--minutes N] [--trials N] [--seed N] <artifact>...\n\
+        "usage: repro [--quick] [--minutes N] [--trials N] [--micro-trials N]\n\
+         \u{20}            [--threads N] [--seed N] <artifact>...\n\
          artifacts: table1 table2 table4 table5 table6 table7 fig2 fig11a fig11b\n\
-         \u{20}          fig11c fig12 fig13a fig13b fig13c fig14 object-level ablations all"
+         \u{20}          fig11c fig12 fig13a fig13b fig13c fig14 object-level\n\
+         \u{20}          ablations speedup all"
     );
     std::process::exit(2);
 }
@@ -42,6 +51,18 @@ fn main() {
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage())
             }
+            "--micro-trials" => {
+                opts.micro_trials = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--threads" => {
+                opts.threads = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
             "--seed" => {
                 opts.seed = args
                     .next()
@@ -58,14 +79,30 @@ fn main() {
     }
     if artifacts.iter().any(|a| a == "all") {
         artifacts = [
-            "table1", "table2", "fig2", "object-level", "fig11a", "fig11b", "fig11c", "table4",
-            "table5", "table6", "fig12", "fig13a", "fig13b", "fig13c", "fig14", "table7",
+            "table1",
+            "table2",
+            "fig2",
+            "object-level",
+            "fig11a",
+            "fig11b",
+            "fig11c",
+            "table4",
+            "table5",
+            "table6",
+            "fig12",
+            "fig13a",
+            "fig13b",
+            "fig13c",
+            "fig14",
+            "table7",
             "ablations",
+            "speedup",
         ]
         .iter()
         .map(|s| s.to_string())
         .collect();
     }
+    let started = Instant::now();
     for artifact in &artifacts {
         let output = match artifact.as_str() {
             "table1" => table1(&opts),
@@ -85,6 +122,7 @@ fn main() {
             "fig14" => fig14(&opts),
             "object-level" => object_level(&opts),
             "ablations" => ablations(&opts),
+            "speedup" => speedup(&opts),
             other => {
                 eprintln!("unknown artifact: {other}");
                 usage();
@@ -93,4 +131,11 @@ fn main() {
         println!("{output}");
         println!("{}", "=".repeat(72));
     }
+    println!(
+        "total wall-clock: {:.2} s ({} artifacts, {} runner threads, {} trial(s)/point)",
+        started.elapsed().as_secs_f64(),
+        artifacts.len(),
+        opts.resolved_threads(),
+        opts.trials.max(1),
+    );
 }

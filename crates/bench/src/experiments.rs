@@ -5,8 +5,8 @@ use ape_appdag::DummyAppConfig;
 use ape_simnet::SimDuration;
 use ape_workload::{generate_trace, trace_stats, ScheduleConfig, TraceSpec};
 use apecache::{
-    paper_suite, replay_summary, replay_trace, run_system, RouterModel, Summary, System,
-    TestbedConfig,
+    paper_suite, replay_summary, replay_trace, ParallelRunner, RouterModel, RunJob, Summary,
+    System, TestbedConfig,
 };
 
 /// Knobs shared by all repro experiments.
@@ -15,8 +15,13 @@ pub struct ReproOptions {
     /// Simulated duration of each run, minutes (the paper runs one hour;
     /// 20 minutes reaches the same steady state far faster).
     pub minutes: u64,
-    /// Trials for the Table I / Fig. 11b micro-measurements.
+    /// Replicated trials per sweep point (seeds `seed`, `seed + 1`, …);
+    /// metrics are pooled in trial order before summarizing.
     pub trials: usize,
+    /// Samples for the Table I / Fig. 11b micro-measurements.
+    pub micro_trials: usize,
+    /// Worker threads for the parallel runner; `0` = auto-detect.
+    pub threads: usize,
     /// Root seed.
     pub seed: u64,
 }
@@ -25,7 +30,9 @@ impl Default for ReproOptions {
     fn default() -> Self {
         ReproOptions {
             minutes: 20,
-            trials: 100,
+            trials: 1,
+            micro_trials: 100,
+            threads: 0,
             seed: 42,
         }
     }
@@ -36,13 +43,25 @@ impl ReproOptions {
     pub fn quick() -> Self {
         ReproOptions {
             minutes: 6,
-            trials: 25,
+            trials: 1,
+            micro_trials: 25,
+            threads: 0,
             seed: 42,
         }
     }
 
     fn duration(&self) -> SimDuration {
         SimDuration::from_mins(self.minutes)
+    }
+
+    fn runner(&self) -> ParallelRunner {
+        ParallelRunner::with_threads(self.threads)
+    }
+
+    /// The worker-pool size the runner will actually use (resolves `0`
+    /// to the machine's available parallelism).
+    pub fn resolved_threads(&self) -> usize {
+        self.runner().threads()
     }
 }
 
@@ -75,52 +94,80 @@ fn base_config(
     config
 }
 
-fn run_one(
+fn point_config(
     system: System,
     opts: &ReproOptions,
     dummy: &DummyAppConfig,
     apps: usize,
     frequency: f64,
-) -> (System, Summary) {
+) -> TestbedConfig {
     let mut config = base_config(system, opts, dummy, apps);
     config.schedule.avg_per_minute = frequency;
-    let mut result = run_system(&config, opts.duration());
-    (system, result.summary())
+    config
+}
+
+/// Expands one point configuration into `opts.trials` replica jobs with
+/// consecutive seeds (mirroring the core runner's replication scheme).
+fn replica_jobs(config: &TestbedConfig, opts: &ReproOptions) -> Vec<RunJob> {
+    (0..opts.trials.max(1))
+        .map(|trial| {
+            let mut config = config.clone();
+            config.seed = config.seed.wrapping_add(trial as u64);
+            RunJob::new(config, opts.duration())
+        })
+        .collect()
+}
+
+/// Runs a batch of point configurations through the parallel runner —
+/// `opts.trials` replicas each — and returns one pooled [`Summary`] per
+/// configuration, in input order.
+fn run_batch(opts: &ReproOptions, configs: &[TestbedConfig]) -> Vec<Summary> {
+    let trials = opts.trials.max(1);
+    let jobs: Vec<RunJob> = configs.iter().flat_map(|c| replica_jobs(c, opts)).collect();
+    let mut results = opts.runner().run_many(&jobs).into_iter();
+    configs
+        .iter()
+        .map(|_| {
+            let mut merged = results.next().expect("one result per job");
+            for _ in 1..trials {
+                merged.merge(&results.next().expect("one result per job"));
+            }
+            merged.summary()
+        })
+        .collect()
 }
 
 /// Runs `systems` across `params`, producing one [`SweepRow`] per
 /// parameter value. `configure` maps a parameter to (dummy config, app
 /// count, frequency).
-fn sweep<P: Copy + Send + Sync>(
+///
+/// Every `(system × point × trial)` job goes through one
+/// [`ParallelRunner::run_many`] call, so the whole sweep load-balances
+/// across the thread pool while results stay in deterministic job order.
+fn sweep<P: Copy>(
     opts: &ReproOptions,
     systems: &[System],
     params: &[(String, P)],
-    configure: impl Fn(P) -> (DummyAppConfig, usize, f64) + Send + Sync,
+    configure: impl Fn(P) -> (DummyAppConfig, usize, f64),
 ) -> Vec<SweepRow> {
-    let mut rows = Vec::new();
-    crossbeam::scope(|scope| {
-        let mut handles = Vec::new();
-        for (label, p) in params {
-            let configure = &configure;
-            let handle = scope.spawn(move |_| {
-                let (dummy, apps, freq) = configure(*p);
-                let summaries: Vec<(System, Summary)> = systems
-                    .iter()
-                    .map(|&system| run_one(system, opts, &dummy, apps, freq))
-                    .collect();
-                SweepRow {
-                    param: label.clone(),
-                    summaries,
-                }
-            });
-            handles.push(handle);
+    let mut configs = Vec::with_capacity(params.len() * systems.len());
+    for (_, p) in params {
+        let (dummy, apps, freq) = configure(*p);
+        for &system in systems {
+            configs.push(point_config(system, opts, &dummy, apps, freq));
         }
-        for handle in handles {
-            rows.push(handle.join().expect("sweep worker panicked"));
-        }
-    })
-    .expect("crossbeam scope");
-    rows
+    }
+    let mut summaries = run_batch(opts, &configs).into_iter();
+    params
+        .iter()
+        .map(|(label, _)| SweepRow {
+            param: label.clone(),
+            summaries: systems
+                .iter()
+                .map(|&system| (system, summaries.next().expect("one summary per point")))
+                .collect(),
+        })
+        .collect()
 }
 
 // ---------------------------------------------------------------------
@@ -164,16 +211,18 @@ pub fn fig11c(opts: &ReproOptions) -> String {
 
 /// §V-B summary: overall single-object latency per system at defaults.
 pub fn object_level(opts: &ReproOptions) -> String {
-    let mut out = String::from(
-        "Object-level caching latency at default parameters (§V-B summary)\n\n",
-    );
+    let mut out =
+        String::from("Object-level caching latency at default parameters (§V-B summary)\n\n");
     out.push_str(&format!(
         "{:<14} {:>12} {:>14} {:>12}\n",
         "System", "Lookup (ms)", "Retrieval (ms)", "Overall (ms)"
     ));
+    let configs: Vec<TestbedConfig> = FIG11_SYSTEMS
+        .iter()
+        .map(|&system| point_config(system, opts, &DummyAppConfig::default(), 30, 3.0))
+        .collect();
     let mut overall = Vec::new();
-    for &system in &FIG11_SYSTEMS {
-        let (_, summary) = run_one(system, opts, &DummyAppConfig::default(), 30, 3.0);
+    for (&system, summary) in FIG11_SYSTEMS.iter().zip(run_batch(opts, &configs)) {
         let retrieval = retrieval_for(&summary);
         out.push_str(&format!(
             "{:<14} {:>12.2} {:>14.2} {:>12.2}\n",
@@ -218,7 +267,11 @@ fn size_params() -> Vec<(String, u64)> {
 /// The object-size sweep shared by Table IV and Fig. 13a.
 pub fn size_sweep(opts: &ReproOptions, systems: &[System]) -> Vec<SweepRow> {
     sweep(opts, systems, &size_params(), |hi| {
-        (DummyAppConfig::default().with_size_range(1_000, hi), 30, 3.0)
+        (
+            DummyAppConfig::default().with_size_range(1_000, hi),
+            30,
+            3.0,
+        )
     })
 }
 
@@ -343,8 +396,11 @@ pub fn fig12(opts: &ReproOptions) -> String {
         "{:<14} {:>16} {:>16} {:>16} {:>16}\n",
         "System", "MovieTrailer avg", "MovieTrailer p95", "VirtualHome avg", "VirtualHome p95"
     ));
-    for &system in &System::ALL {
-        let (_, summary) = run_one(system, opts, &DummyAppConfig::default(), 30, 3.0);
+    let configs: Vec<TestbedConfig> = System::ALL
+        .iter()
+        .map(|&system| point_config(system, opts, &DummyAppConfig::default(), 30, 3.0))
+        .collect();
+    for summary in run_batch(opts, &configs) {
         let movie = summary
             .per_app_latency_ms
             .get("MovieTrailer")
@@ -468,23 +524,33 @@ pub fn fig14(opts: &ReproOptions) -> String {
     ));
     let mut ape_extra_cpu = 0.0;
     let mut ape_extra_mem = 0.0;
-    for (label, system) in [
+    let deployments = [
         ("APE-CACHE-enabled", System::ApeCache),
         ("regular (edge only)", System::EdgeCache),
-    ] {
-        let config = base_config(system, opts, &DummyAppConfig::default(), 30);
-        let mut result = run_system(&config, opts.duration());
+    ];
+    let configs: Vec<TestbedConfig> = deployments
+        .iter()
+        .map(|&(_, system)| base_config(system, opts, &DummyAppConfig::default(), 30))
+        .collect();
+    let trials = opts.trials.max(1);
+    let jobs: Vec<RunJob> = configs.iter().flat_map(|c| replica_jobs(c, opts)).collect();
+    let mut results = opts.runner().run_many(&jobs).into_iter();
+    for &(label, system) in &deployments {
+        let mut result = results.next().expect("one result per job");
+        for _ in 1..trials {
+            result.merge(&results.next().expect("one result per job"));
+        }
         let summary = result.summary();
-        // Forwarding estimate shared by both deployments.
+        // Forwarding estimate shared by both deployments. Counters are
+        // pooled over all trials, so normalize by the pooled duration.
         let bytes = result.metrics.counter("net.bytes") as f64;
         let msgs = result.metrics.counter("net.messages") as f64;
-        let secs = opts.duration().as_secs_f64();
-        let fwd = (bytes * model.per_byte_cpu_ns / 1e9
-            + msgs * model.per_packet_cpu.as_secs_f64())
+        let secs = opts.duration().as_secs_f64() * trials as f64;
+        let fwd = (bytes * model.per_byte_cpu_ns / 1e9 + msgs * model.per_packet_cpu.as_secs_f64())
             / (secs * model.cores as f64);
         let mem_series = result.metrics.time_series("ap.ape_mem_mb").cloned();
         let (mem_avg, mem_max) = match (system, mem_series) {
-            (System::ApeCache, Some(s)) => (s.mean(), s.max()),
+            (System::ApeCache, Some(s)) => (s.time_weighted_mean(), s.max()),
             // The regular AP runs no APE components.
             _ => (0.0, 0.0),
         };
@@ -524,31 +590,81 @@ pub fn ablations(opts: &ReproOptions) -> String {
         "{:<34} {:>10} {:>10} {:>12} {:>12}\n",
         "Variant", "hit", "high hit", "lookup ms", "app ms"
     ));
-    let mut run_variant = |label: &str, mutate: &dyn Fn(&mut TestbedConfig)| {
-        let mut config = base_config(System::ApeCache, opts, &DummyAppConfig::default(), 30);
-        mutate(&mut config);
-        let mut result = run_system(&config, opts.duration());
-        let s = result.summary();
+    type Variant<'a> = (&'a str, &'a dyn Fn(&mut TestbedConfig));
+    let variants: [Variant<'_>; 6] = [
+        ("APE-CACHE (all accommodations)", &|_| {}),
+        ("  - fairness repair off", &|c| {
+            c.ap.policy = ape_nodes::ApPolicy::PacmNoFairness;
+        }),
+        ("  - short-circuit off", &|c| {
+            c.ap.short_circuit = false;
+        }),
+        ("  - per-domain batching off", &|c| {
+            c.ap.batch_domain_flags = false;
+        }),
+        ("  - LRU instead of PACM", &|c| {
+            c.ap.policy = ape_nodes::ApPolicy::Lru;
+        }),
+        ("  + dependency prefetching (ext.)", &|c| {
+            c.prefetch_hints = true;
+        }),
+    ];
+    let configs: Vec<TestbedConfig> = variants
+        .iter()
+        .map(|(_, mutate)| {
+            let mut config = base_config(System::ApeCache, opts, &DummyAppConfig::default(), 30);
+            mutate(&mut config);
+            config
+        })
+        .collect();
+    for ((label, _), s) in variants.iter().zip(run_batch(opts, &configs)) {
         out.push_str(&format!(
             "{:<34} {:>10.3} {:>10.3} {:>12.2} {:>12.2}\n",
             label, s.hit_ratio, s.high_priority_hit_ratio, s.lookup_ms, s.app_latency_ms
         ));
-    };
-    run_variant("APE-CACHE (all accommodations)", &|_| {});
-    run_variant("  - fairness repair off", &|c| {
-        c.ap.policy = ape_nodes::ApPolicy::PacmNoFairness;
-    });
-    run_variant("  - short-circuit off", &|c| {
-        c.ap.short_circuit = false;
-    });
-    run_variant("  - per-domain batching off", &|c| {
-        c.ap.batch_domain_flags = false;
-    });
-    run_variant("  - LRU instead of PACM", &|c| {
-        c.ap.policy = ape_nodes::ApPolicy::Lru;
-    });
-    run_variant("  + dependency prefetching (ext.)", &|c| {
-        c.prefetch_hints = true;
-    });
+    }
     out
+}
+
+// ---------------------------------------------------------------------
+// Parallel-runner wall-clock speedup
+// ---------------------------------------------------------------------
+
+/// Times the Fig. 11 frequency sweep sequentially (`--threads 1`) and on
+/// the configured pool, reports the wall-clock speedup, and verifies the
+/// two passes produced bitwise-identical summaries.
+pub fn speedup(opts: &ReproOptions) -> String {
+    use std::time::Instant;
+
+    let mut sequential_opts = *opts;
+    sequential_opts.threads = 1;
+    let threads = opts.runner().threads();
+
+    let t0 = Instant::now();
+    let sequential = frequency_sweep(&sequential_opts, &FIG11_SYSTEMS);
+    let sequential_secs = t0.elapsed().as_secs_f64();
+
+    let t1 = Instant::now();
+    let parallel = frequency_sweep(opts, &FIG11_SYSTEMS);
+    let parallel_secs = t1.elapsed().as_secs_f64();
+
+    let identical = sequential.len() == parallel.len()
+        && sequential.iter().zip(&parallel).all(|(a, b)| {
+            a.param == b.param
+                && a.summaries.iter().zip(&b.summaries).all(|(x, y)| {
+                    x.0 == y.0
+                        && x.1.app_latency_ms.to_bits() == y.1.app_latency_ms.to_bits()
+                        && x.1.lookup_ms.to_bits() == y.1.lookup_ms.to_bits()
+                        && x.1.hit_ratio.to_bits() == y.1.hit_ratio.to_bits()
+                })
+        });
+
+    format!(
+        "Parallel experiment runner: wall-clock speedup on the Fig. 11 sweep\n\n\
+         sequential (1 thread):  {sequential_secs:>7.2} s\n\
+         parallel   ({threads} threads): {parallel_secs:>7.2} s\n\
+         speedup: {:.2}x, results bitwise identical: {}\n",
+        sequential_secs / parallel_secs.max(1e-9),
+        if identical { "yes" } else { "NO (bug!)" },
+    )
 }

@@ -14,11 +14,12 @@
 
 mod experiments;
 mod lookup_overhead;
+pub mod microbench;
 pub mod progmodel;
 
 pub use experiments::{
-    ablations, fig11a, fig11c, fig12, fig13a, fig13b, fig13c, fig14, fig2, object_level, table2,
-    table4, table5, table6, ReproOptions, SweepRow,
+    ablations, fig11a, fig11c, fig12, fig13a, fig13b, fig13c, fig14, fig2, object_level, speedup,
+    table2, table4, table5, table6, ReproOptions, SweepRow,
 };
 pub use lookup_overhead::fig11b;
 
@@ -36,7 +37,7 @@ pub fn table1(opts: &ReproOptions) -> String {
         "{:<20} {:<10} {:>14} {:>10} {:>6}\n",
         "Location", "Site", "DNS res. (ms)", "RTT (ms)", "Hops"
     ));
-    for cell in measure_table1(opts.trials, opts.seed) {
+    for cell in measure_table1(opts.micro_trials, opts.seed) {
         out.push_str(&format!(
             "{:<20} {:<10} {:>14.1} {:>10.1} {:>6}\n",
             cell.region, cell.site, cell.dns_resolution_ms, cell.rtt_ms, cell.hops

@@ -77,10 +77,15 @@ pub fn measure(opts: &ReproOptions) -> LookupOverhead {
     bed.world.post(
         probe,
         bed.ap,
-        Msg::Dns(DnsMessage::dns_cache_request(9999, domain.clone(), &[url.hash()])),
+        Msg::Dns(DnsMessage::dns_cache_request(
+            9999,
+            domain.clone(),
+            &[url.hash()],
+        )),
     );
     bed.world.run_for(SimDuration::from_secs(1));
-    bed.world.post(probe, bed.ap, Msg::TcpSyn { conn: ConnId(1) });
+    bed.world
+        .post(probe, bed.ap, Msg::TcpSyn { conn: ConnId(1) });
     bed.world.run_for(SimDuration::from_secs(1));
     bed.world.post(
         probe,
@@ -104,7 +109,7 @@ pub fn measure(opts: &ReproOptions) -> LookupOverhead {
     let uncached = Url::parse("http://app2.dummy.example/obj0?v=77").expect("suite url");
     let mut totals = [0.0f64; 5];
     // One discarded warm-up pass (trial 0) settles post-priming state.
-    for trial in 0..=opts.trials as u16 {
+    for trial in 0..=opts.micro_trials as u16 {
         let queries: [DnsMessage; 5] = [
             // regular (hit)
             DnsMessage::query(trial, domain.clone()),
@@ -135,7 +140,7 @@ pub fn measure(opts: &ReproOptions) -> LookupOverhead {
             }
         }
     }
-    let mean = |slot: usize| totals[slot] / opts.trials as f64;
+    let mean = |slot: usize| totals[slot] / opts.micro_trials as f64;
     let regular_hit_ms = mean(0);
     let dns_cache_ms = mean(1);
     let dns_cache_short_circuit_ms = mean(2);
@@ -143,7 +148,7 @@ pub fn measure(opts: &ReproOptions) -> LookupOverhead {
 
     // Misses: fresh subdomains force upstream recursion each trial.
     let mut total = 0.0;
-    for trial in 0..opts.trials {
+    for trial in 0..opts.micro_trials {
         let fresh: DomainName = format!("m{trial}.app2.dummy.example")
             .parse()
             .expect("fresh subdomain");
@@ -157,7 +162,7 @@ pub fn measure(opts: &ReproOptions) -> LookupOverhead {
         let done = bed.world.node::<Probe>(probe).dns_at.expect("answered");
         total += (done - start).as_millis_f64();
     }
-    let regular_miss_ms = total / opts.trials as f64;
+    let regular_miss_ms = total / opts.micro_trials as f64;
 
     LookupOverhead {
         regular_hit_ms,
@@ -181,12 +186,18 @@ pub fn fig11b(opts: &ReproOptions) -> String {
          {:<44} {:>10.3}\n\n\
          DNS-Cache overhead vs regular DNS (hit): {:+.3} ms (paper: +0.02 ms)\n\
          standalone pair vs piggybacked:          {:+.3} ms (paper: +7.02 ms)\n",
-        "query type", "mean (ms)",
-        "regular DNS query (AP cache hit)", m.regular_hit_ms,
-        "regular DNS query (miss, recursive)", m.regular_miss_ms,
-        "DNS-Cache query (piggybacked)", m.dns_cache_ms,
-        "DNS-Cache query (short-circuited)", m.dns_cache_short_circuit_ms,
-        "two standalone queries (DNS + cache)", m.standalone_pair_ms,
+        "query type",
+        "mean (ms)",
+        "regular DNS query (AP cache hit)",
+        m.regular_hit_ms,
+        "regular DNS query (miss, recursive)",
+        m.regular_miss_ms,
+        "DNS-Cache query (piggybacked)",
+        m.dns_cache_ms,
+        "DNS-Cache query (short-circuited)",
+        m.dns_cache_short_circuit_ms,
+        "two standalone queries (DNS + cache)",
+        m.standalone_pair_ms,
         m.dns_cache_ms - m.regular_hit_ms,
         m.standalone_pair_ms - m.dns_cache_ms,
     )

@@ -197,10 +197,19 @@ pub fn table7() -> String {
         .split("pub mod api_based")
         .nth(1)
         .expect("module order");
-    let decl_movie = section(declarative_src, "movie_trailer").matches("@cacheable").count();
-    let decl_home = section(declarative_src, "virtual_home").matches("@cacheable").count();
-    let api_movie = section(api_src, "movie_trailer").matches("@rewritten").count() + 3; // x4 note
-    let api_home = section(api_src, "virtual_home").matches("@rewritten").count();
+    let decl_movie = section(declarative_src, "movie_trailer")
+        .matches("@cacheable")
+        .count();
+    let decl_home = section(declarative_src, "virtual_home")
+        .matches("@cacheable")
+        .count();
+    let api_movie = section(api_src, "movie_trailer")
+        .matches("@rewritten")
+        .count()
+        + 3; // x4 note
+    let api_home = section(api_src, "virtual_home")
+        .matches("@rewritten")
+        .count();
 
     let mut out = String::from("Table VII: Programming Efforts Comparison\n\n");
     out.push_str(&format!(
@@ -273,18 +282,27 @@ mod tests {
         assert!(text.contains("VirtualHome"));
         // Declarative impact is far smaller than the API rewrite.
         let decl_movie = section(
-            include_str!("progmodel.rs").split("pub mod api_based").next().unwrap(),
+            include_str!("progmodel.rs")
+                .split("pub mod api_based")
+                .next()
+                .unwrap(),
             "movie_trailer",
         )
         .matches("@cacheable")
         .count();
         let api_movie = section(
-            include_str!("progmodel.rs").split("pub mod api_based").nth(1).unwrap(),
+            include_str!("progmodel.rs")
+                .split("pub mod api_based")
+                .nth(1)
+                .unwrap(),
             "movie_trailer",
         )
         .matches("@rewritten")
         .count();
         assert_eq!(decl_movie, 5, "paper: 5 annotation lines");
-        assert!(api_movie >= 3 * decl_movie, "api {api_movie} vs decl {decl_movie}");
+        assert!(
+            api_movie >= 3 * decl_movie,
+            "api {api_movie} vs decl {decl_movie}"
+        );
     }
 }

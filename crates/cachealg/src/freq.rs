@@ -54,8 +54,17 @@ impl FrequencyTracker {
         *self.window_counts.entry(app).or_insert(0) += 1;
     }
 
+    /// Rates decayed below this are dropped from the table entirely: a
+    /// long-quiet app's EWMA approaches zero geometrically but never
+    /// reaches it, so without a floor the map grows monotonically for the
+    /// AP's whole uptime. 1e-6 is far below any rate PACM's utility
+    /// function can distinguish from zero.
+    const DROP_EPSILON: f64 = 1e-6;
+
     /// Closes the current window at `now` and folds its counts into the
-    /// per-app EWMA. Apps seen before but quiet this window decay.
+    /// per-app EWMA. Apps seen before but quiet this window decay, and
+    /// apps whose rate has decayed to (effectively) zero are dropped so
+    /// the table tracks only live apps.
     pub fn roll(&mut self, now: SimTime) {
         let counts = std::mem::take(&mut self.window_counts);
         // Decay every known app; quiet apps contribute zero new requests.
@@ -68,8 +77,12 @@ impl FrequencyTracker {
         for app in apps {
             let fresh = counts.get(&app).copied().unwrap_or(0) as f64;
             let prev = self.rates.get(&app).copied().unwrap_or(0.0);
-            self.rates
-                .insert(app, (1.0 - self.alpha) * prev + self.alpha * fresh);
+            let next = (1.0 - self.alpha) * prev + self.alpha * fresh;
+            if next < Self::DROP_EPSILON {
+                self.rates.remove(&app);
+            } else {
+                self.rates.insert(app, next);
+            }
         }
         self.last_roll = now;
     }
@@ -160,5 +173,41 @@ mod tests {
     #[should_panic(expected = "alpha")]
     fn zero_alpha_rejected() {
         let _ = FrequencyTracker::new(0.0);
+    }
+
+    #[test]
+    fn decayed_quiet_apps_are_dropped() {
+        let mut t = FrequencyTracker::new(0.7);
+        let quiet = AppId::new(1);
+        let busy = AppId::new(2);
+        t.record(quiet);
+        t.record(busy);
+        t.roll(SimTime::from_secs(60));
+        assert_eq!(t.tracked_apps(), 2);
+
+        // 0.7 * 0.3^k drops below 1e-6 after k = 12 quiet windows; the
+        // busy app keeps getting requests and must survive every roll.
+        for round in 2..=20 {
+            t.record(busy);
+            t.roll(SimTime::from_secs(round * 60));
+        }
+        assert_eq!(t.tracked_apps(), 1, "quiet app should have been dropped");
+        assert_eq!(t.rate(quiet), 0.0);
+        assert!(t.rate(busy) > 0.5);
+    }
+
+    #[test]
+    fn dropped_app_returns_when_active_again() {
+        let mut t = FrequencyTracker::new(1.0); // alpha 1: one quiet roll drops
+        let a = AppId::new(7);
+        t.record(a);
+        t.roll(SimTime::from_secs(60));
+        assert_eq!(t.tracked_apps(), 1);
+        t.roll(SimTime::from_secs(120));
+        assert_eq!(t.tracked_apps(), 0);
+        t.record(a);
+        t.roll(SimTime::from_secs(180));
+        assert_eq!(t.tracked_apps(), 1);
+        assert_eq!(t.rate(a), 1.0);
     }
 }

@@ -95,10 +95,7 @@ mod tests {
             &[2.0, 2.0],
         ];
         for c in cases {
-            assert!(
-                (gini(c) - gini_naive(c)).abs() < 1e-12,
-                "mismatch on {c:?}"
-            );
+            assert!((gini(c) - gini_naive(c)).abs() < 1e-12, "mismatch on {c:?}");
         }
     }
 

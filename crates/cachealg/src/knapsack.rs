@@ -121,7 +121,9 @@ pub fn solve_brute_force(items: &[KnapsackItem], capacity: u64) -> KnapsackSolut
             best_mask = mask;
         }
     }
-    let keep: Vec<bool> = (0..items.len()).map(|i| best_mask & (1 << i) != 0).collect();
+    let keep: Vec<bool> = (0..items.len())
+        .map(|i| best_mask & (1 << i) != 0)
+        .collect();
     finish(items, keep)
 }
 
@@ -172,7 +174,9 @@ mod tests {
         // Deterministic pseudo-random instances.
         let mut state = 12345u64;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             state >> 33
         };
         for _ in 0..50 {
@@ -190,6 +194,60 @@ mod tests {
                 brute.total_value
             );
             assert!(exact.total_weight <= capacity);
+        }
+    }
+
+    #[test]
+    fn exact_matches_brute_force_with_coarse_granularity() {
+        // Cross-check `solve_exact` at granularity > 1 on random instances.
+        // The DP solves the *rounded* instance (weights rounded up to
+        // granularity units) exactly, so it must (a) never exceed the byte
+        // capacity, (b) never beat the true byte-resolution optimum, and
+        // (c) exactly match a brute-force solve of the rounded instance.
+        let mut state = 987654321u64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        for granularity in [7u64, 64, 1000] {
+            for _ in 0..25 {
+                let n = (next() % 9 + 2) as usize;
+                let items: Vec<KnapsackItem> = (0..n)
+                    .map(|_| item(next() % 5000 + 1, (next() % 100) as f64))
+                    .collect();
+                let capacity = next() % 12_000 + 500;
+                let exact = solve_exact(&items, capacity, granularity);
+
+                assert!(
+                    exact.total_weight <= capacity,
+                    "capacity exceeded: {} > {capacity} (granularity {granularity})",
+                    exact.total_weight
+                );
+
+                let brute_bytes = solve_brute_force(&items, capacity);
+                assert!(
+                    exact.total_value <= brute_bytes.total_value + 1e-9,
+                    "coarse DP {} beat byte-optimal {} on {items:?}",
+                    exact.total_value,
+                    brute_bytes.total_value
+                );
+
+                let rounded: Vec<KnapsackItem> = items
+                    .iter()
+                    .map(|it| item(it.weight.div_ceil(granularity) * granularity, it.value))
+                    .collect();
+                let brute_rounded =
+                    solve_brute_force(&rounded, (capacity / granularity) * granularity);
+                assert!(
+                    (exact.total_value - brute_rounded.total_value).abs() < 1e-9,
+                    "DP {} != rounded-instance optimum {} on {items:?} \
+                     cap {capacity} granularity {granularity}",
+                    exact.total_value,
+                    brute_rounded.total_value
+                );
+            }
         }
     }
 

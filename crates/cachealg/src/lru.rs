@@ -81,7 +81,10 @@ mod tests {
         m.admit(meta("a", 100), SimTime::from_secs(1));
         m.admit(meta("b", 100), SimTime::from_secs(2));
         // Touch "a" so "b" becomes the LRU victim.
-        assert_eq!(m.lookup(UrlHash::of("a"), SimTime::from_secs(3)), Lookup::Hit);
+        assert_eq!(
+            m.lookup(UrlHash::of("a"), SimTime::from_secs(3)),
+            Lookup::Hit
+        );
         let out = m.admit(meta("c", 100), SimTime::from_secs(4));
         assert_eq!(
             out,
@@ -89,8 +92,14 @@ mod tests {
                 evicted: vec![UrlHash::of("b")]
             }
         );
-        assert_eq!(m.lookup(UrlHash::of("a"), SimTime::from_secs(5)), Lookup::Hit);
-        assert_eq!(m.lookup(UrlHash::of("b"), SimTime::from_secs(5)), Lookup::Absent);
+        assert_eq!(
+            m.lookup(UrlHash::of("a"), SimTime::from_secs(5)),
+            Lookup::Hit
+        );
+        assert_eq!(
+            m.lookup(UrlHash::of("b"), SimTime::from_secs(5)),
+            Lookup::Absent
+        );
     }
 
     #[test]

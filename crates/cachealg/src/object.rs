@@ -154,7 +154,10 @@ mod tests {
             m.remaining_ttl(SimTime::from_millis(40)),
             SimDuration::from_millis(60)
         );
-        assert_eq!(m.remaining_ttl(SimTime::from_millis(200)), SimDuration::ZERO);
+        assert_eq!(
+            m.remaining_ttl(SimTime::from_millis(200)),
+            SimDuration::ZERO
+        );
         assert!(m.is_expired(SimTime::from_millis(100)));
         assert!(!m.is_expired(SimTime::from_millis(99)));
     }

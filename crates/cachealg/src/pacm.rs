@@ -240,9 +240,9 @@ impl EvictionPolicy for PacmPolicy {
 mod tests {
     use super::*;
     use crate::object::Priority;
-    use ape_simnet::SimDuration;
     use crate::policy::{AdmitOutcome, CacheManager};
     use crate::store::Lookup;
+    use ape_simnet::SimDuration;
 
     fn meta_for(url: &str, app: u32, size: u64, priority: Priority, expires_s: u64) -> ObjectMeta {
         ObjectMeta {
@@ -317,12 +317,12 @@ mod tests {
             fairness_theta: 1.0, // isolate the frequency effect
             ..PacmConfig::default()
         };
-        let mut m = CacheManager::new(
-            CacheStore::new(4_000, 500_000),
-            PacmPolicy::new(config),
-        );
+        let mut m = CacheManager::new(CacheStore::new(4_000, 500_000), PacmPolicy::new(config));
         m.admit(meta_for("hot", 1, 1500, Priority::LOW, 3600), SimTime::ZERO);
-        m.admit(meta_for("cold", 2, 1500, Priority::LOW, 3600), SimTime::ZERO);
+        m.admit(
+            meta_for("cold", 2, 1500, Priority::LOW, 3600),
+            SimTime::ZERO,
+        );
         for _ in 0..20 {
             m.note_request(AppId::new(1));
         }
@@ -337,7 +337,10 @@ mod tests {
                 evicted: vec![UrlHash::of("cold")]
             }
         );
-        assert_eq!(m.lookup(UrlHash::of("hot"), SimTime::from_secs(62)), Lookup::Hit);
+        assert_eq!(
+            m.lookup(UrlHash::of("hot"), SimTime::from_secs(62)),
+            Lookup::Hit
+        );
     }
 
     #[test]
@@ -353,7 +356,10 @@ mod tests {
         long.fetch_latency = SimDuration::from_millis(30);
         m.admit(short, SimTime::ZERO);
         m.admit(long, SimTime::ZERO);
-        let out = m.admit(meta_for("new", 1, 1500, Priority::LOW, 3600), SimTime::from_secs(1));
+        let out = m.admit(
+            meta_for("new", 1, 1500, Priority::LOW, 3600),
+            SimTime::from_secs(1),
+        );
         assert_eq!(
             out,
             AdmitOutcome::Stored {
@@ -454,5 +460,4 @@ mod tests {
             ..PacmConfig::default()
         });
     }
-
 }

@@ -12,7 +12,10 @@ use crate::store::{CacheStore, Lookup};
 /// Implementations must be deterministic: given the same store state and
 /// inputs they must return the same victims (the reproduction's determinism
 /// tests rely on it).
-pub trait EvictionPolicy: std::fmt::Debug {
+///
+/// `Send` is required so nodes owning a boxed policy can move between the
+/// parallel experiment runner's worker threads.
+pub trait EvictionPolicy: std::fmt::Debug + Send {
     /// Short policy name for reports ("pacm", "lru").
     fn name(&self) -> &'static str;
 

@@ -162,7 +162,8 @@ impl CacheStore {
     pub fn insert(&mut self, meta: ObjectMeta, now: SimTime) {
         assert!(
             !self.exceeds_block_threshold(meta.size),
-            "object of {} bytes exceeds block threshold", meta.size
+            "object of {} bytes exceeds block threshold",
+            meta.size
         );
         if let Some(old) = self.entries.remove(&meta.key) {
             self.used -= old.meta.size;
@@ -255,7 +256,10 @@ mod tests {
     fn insert_lookup_hit() {
         let mut s = CacheStore::new(1000, 500);
         s.insert(meta("a", 100, 60), SimTime::ZERO);
-        assert_eq!(s.lookup(UrlHash::of("a"), SimTime::from_secs(1)), Lookup::Hit);
+        assert_eq!(
+            s.lookup(UrlHash::of("a"), SimTime::from_secs(1)),
+            Lookup::Hit
+        );
         assert_eq!(s.used(), 100);
         assert_eq!(s.len(), 1);
         assert_eq!(s.get(UrlHash::of("a")).unwrap().hits, 1);
@@ -334,10 +338,7 @@ mod tests {
         s.insert(meta("a", 100, 60), SimTime::ZERO);
         assert_eq!(s.peek(UrlHash::of("a"), SimTime::from_secs(1)), Lookup::Hit);
         assert_eq!(s.get(UrlHash::of("a")).unwrap().hits, 0);
-        assert_eq!(
-            s.get(UrlHash::of("a")).unwrap().last_access,
-            SimTime::ZERO
-        );
+        assert_eq!(s.get(UrlHash::of("a")).unwrap().last_access, SimTime::ZERO);
     }
 
     #[test]

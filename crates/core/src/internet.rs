@@ -36,7 +36,7 @@ pub struct PathSpec {
 }
 
 /// One row cell of Table I, as measured through the simulation.
-#[derive(Debug, Clone, serde::Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table1Cell {
     /// Vantage-point region.
     pub region: &'static str,
@@ -126,7 +126,13 @@ pub fn measure_cell(path: &PathSpec, trials: usize, seed: u64) -> Table1Cell {
     let adns_id = world.add_node("adns", adns);
 
     let mut cdn = AuthDnsNode::new(SimDuration::from_micros(300));
-    cdn.record(cdn_name, ZoneAnswer::A { ip: server_ip, ttl: 20 });
+    cdn.record(
+        cdn_name,
+        ZoneAnswer::A {
+            ip: server_ip,
+            ttl: 20,
+        },
+    );
     let cdn_id = world.add_node("cdn-dns", cdn);
 
     let ldns = world.add_node(
@@ -154,8 +160,7 @@ pub fn measure_cell(path: &PathSpec, trials: usize, seed: u64) -> Table1Cell {
     world.connect(
         ldns,
         cdn_id,
-        LinkSpec::from_rtt(8, ms(path.cdn_dns_rtt_ms))
-            .jitter_mean(ms(path.cdn_dns_rtt_ms * 0.06)),
+        LinkSpec::from_rtt(8, ms(path.cdn_dns_rtt_ms)).jitter_mean(ms(path.cdn_dns_rtt_ms * 0.06)),
     );
     world.connect(
         probe,
@@ -181,7 +186,13 @@ pub fn measure_cell(path: &PathSpec, trials: usize, seed: u64) -> Table1Cell {
         dns_total += (dns_done - start).as_millis_f64();
 
         let t0 = world.now();
-        world.post(probe, server, Msg::TcpSyn { conn: ConnId(trial as u64) });
+        world.post(
+            probe,
+            server,
+            Msg::TcpSyn {
+                conn: ConnId(trial as u64),
+            },
+        );
         world.run_to_idle();
         let syn_done = world
             .node::<ProbeNode>(probe)
@@ -250,11 +261,8 @@ mod tests {
         assert_eq!(table.len(), 9);
         // Average DNS resolution across cells lands in the tens of ms
         // (paper: 22 ms average excluding the São Paulo outlier).
-        let non_outlier_mean: f64 = table[..8]
-            .iter()
-            .map(|c| c.dns_resolution_ms)
-            .sum::<f64>()
-            / 8.0;
+        let non_outlier_mean: f64 =
+            table[..8].iter().map(|c| c.dns_resolution_ms).sum::<f64>() / 8.0;
         assert!(
             (10.0..35.0).contains(&non_outlier_mean),
             "mean {non_outlier_mean}"

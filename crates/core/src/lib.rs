@@ -49,7 +49,9 @@ mod testbed;
 
 pub use internet::{measure_cell, measure_table1, table1_paths, PathSpec, Table1Cell};
 pub use router::{replay_summary, replay_trace, RouterModel, RouterSample};
-pub use run::{collect, compare_systems, run_system, RunResult, Summary};
+pub use run::{
+    collect, compare_systems, run_many, run_system, ParallelRunner, RunJob, RunResult, Summary,
+};
 pub use suite::{paper_suite, synthetic_suite};
 pub use system::System;
 pub use testbed::{build, Testbed, TestbedConfig};

@@ -47,7 +47,7 @@ impl Default for RouterModel {
 }
 
 /// One per-second sample of the replay.
-#[derive(Debug, Clone, Copy, serde::Serialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct RouterSample {
     /// Seconds since replay start.
     pub at_secs: f64,
@@ -117,7 +117,10 @@ mod tests {
         let samples = replay_trace(&TraceSpec::high_rate(), &RouterModel::default(), 5);
         let (mean_cpu, max_cpu, final_mem) = replay_summary(&samples);
         // Paper: CPU well below 50 %, memory hovering around 120 MB.
-        assert!(mean_cpu > 0.05, "high traffic visibly loads the CPU: {mean_cpu}");
+        assert!(
+            mean_cpu > 0.05,
+            "high traffic visibly loads the CPU: {mean_cpu}"
+        );
         assert!(max_cpu < 0.5, "max cpu {max_cpu}");
         assert!(
             (100.0..140.0).contains(&final_mem),

@@ -1,6 +1,19 @@
-//! Executing a testbed and summarizing its measurements.
+//! Executing testbeds — sequentially or across a thread pool — and
+//! summarizing their measurements.
+//!
+//! # Determinism contract
+//!
+//! Every run owns its own seeded [`World`](ape_simnet::World), so a job's
+//! [`RunResult`] depends only on its `(config, duration)` pair — never on
+//! which worker thread executed it or what ran beside it. [`run_many`]
+//! returns results in job order, and replicated runs merge trial metrics in
+//! trial order, so all derived [`Summary`] numbers are **bitwise identical**
+//! across thread counts (`--threads 1` vs `--threads N`). A test in this
+//! module pins that property via `f64::to_bits`.
 
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::thread;
 
 use ape_nodes::ClientNode;
 use ape_simnet::{Metrics, SimDuration};
@@ -21,7 +34,7 @@ pub struct RunResult {
 }
 
 /// Headline numbers extracted from a run, named after the paper's plots.
-#[derive(Debug, Clone, serde::Serialize)]
+#[derive(Debug, Clone)]
 pub struct Summary {
     /// System label.
     pub system: String,
@@ -119,30 +132,207 @@ impl RunResult {
             high_priority_hit_ratio: self.report.high_priority_hit_ratio(),
             executions: self.report.executions,
             failures: self.report.failures,
-            ap_cpu_mean: cpu.mean(),
+            // Time-weighted: CPU/memory are sampled states, not events, so
+            // the average must weight each sample by how long it was held.
+            ap_cpu_mean: cpu.time_weighted_mean(),
             ap_cpu_max: cpu.max(),
             ape_mem_mb_max: mem.max(),
         }
     }
+
+    /// Merges another run's raw measurements into this one (counters add,
+    /// histogram samples and series points append in call order).
+    ///
+    /// Used to pool `trials` replicas of one sweep point before extracting
+    /// a [`Summary`]: means and percentiles are then computed over the
+    /// pooled samples. Merge order must be deterministic (trial order) for
+    /// the bitwise-determinism contract to hold.
+    pub fn merge(&mut self, other: &RunResult) {
+        debug_assert_eq!(self.system, other.system, "merging across systems");
+        self.metrics.merge(&other.metrics);
+        self.report.merge(&other.report);
+    }
 }
 
-/// Runs all four systems under identical workloads and returns their
-/// summaries in the paper's presentation order.
-pub fn compare_systems(
-    base: &TestbedConfig,
-    duration: SimDuration,
-) -> Vec<(System, Summary)> {
-    System::ALL
-        .iter()
-        .map(|&system| {
+/// One independent simulation to execute: a full testbed configuration
+/// (including its seed) plus how long to run it.
+#[derive(Debug, Clone)]
+pub struct RunJob {
+    /// Testbed configuration; `config.seed` makes the job self-contained.
+    pub config: TestbedConfig,
+    /// Simulated time to run for.
+    pub duration: SimDuration,
+}
+
+impl RunJob {
+    /// Convenience constructor.
+    pub fn new(config: TestbedConfig, duration: SimDuration) -> Self {
+        RunJob { config, duration }
+    }
+}
+
+/// Fans independent `(system × sweep-point × seed)` jobs across a pool of
+/// OS threads.
+///
+/// Workers pull jobs off a shared atomic cursor (dynamic load balancing —
+/// sweep points differ wildly in event count) and write each result into
+/// the slot indexed by its job position, so the output order is the input
+/// order no matter how the OS schedules the workers.
+#[derive(Debug, Clone, Copy)]
+pub struct ParallelRunner {
+    threads: usize,
+}
+
+impl Default for ParallelRunner {
+    fn default() -> Self {
+        ParallelRunner::new()
+    }
+}
+
+impl ParallelRunner {
+    /// A runner sized to the machine's available parallelism.
+    pub fn new() -> Self {
+        ParallelRunner::with_threads(0)
+    }
+
+    /// A runner with an explicit pool size; `0` means auto-detect.
+    pub fn with_threads(threads: usize) -> Self {
+        let threads = if threads == 0 {
+            thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            threads
+        };
+        ParallelRunner { threads }
+    }
+
+    /// The worker-pool size this runner will use.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Executes every job and returns results in job order.
+    ///
+    /// Results are bitwise independent of the pool size: each job runs in
+    /// its own freshly seeded `World`, and slot `i` of the output always
+    /// holds job `i`'s result.
+    pub fn run_many(&self, jobs: &[RunJob]) -> Vec<RunResult> {
+        if jobs.is_empty() {
+            return Vec::new();
+        }
+        let workers = self.threads.min(jobs.len()).max(1);
+        if workers == 1 {
+            return jobs
+                .iter()
+                .map(|job| run_system(&job.config, job.duration))
+                .collect();
+        }
+
+        let cursor = AtomicUsize::new(0);
+        let mut slots: Vec<Option<RunResult>> = Vec::new();
+        slots.resize_with(jobs.len(), || None);
+
+        thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(workers);
+            for _ in 0..workers {
+                handles.push(scope.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(job) = jobs.get(idx) else { break };
+                        local.push((idx, run_system(&job.config, job.duration)));
+                    }
+                    local
+                }));
+            }
+            for handle in handles {
+                for (idx, result) in handle.join().expect("runner worker panicked") {
+                    slots[idx] = Some(result);
+                }
+            }
+        });
+
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("every job produces a result"))
+            .collect()
+    }
+
+    /// Runs `trials` replicas of `config` — seeds `config.seed`,
+    /// `config.seed + 1`, … — in parallel and merges them (in trial order)
+    /// into one pooled [`RunResult`].
+    pub fn run_replicated(
+        &self,
+        config: &TestbedConfig,
+        duration: SimDuration,
+        trials: usize,
+    ) -> RunResult {
+        let jobs = replicate_jobs(config, duration, trials);
+        let results = self.run_many(&jobs);
+        merge_trials(results)
+    }
+
+    /// Runs all four systems under identical workloads, `trials` replicas
+    /// each, and returns their summaries in the paper's presentation order.
+    pub fn compare_systems(
+        &self,
+        base: &TestbedConfig,
+        duration: SimDuration,
+        trials: usize,
+    ) -> Vec<(System, Summary)> {
+        let mut jobs = Vec::new();
+        for &system in System::ALL.iter() {
             let config = TestbedConfig {
                 system,
                 ..base.clone()
             };
-            let mut result = run_system(&config, duration);
-            (system, result.summary())
+            jobs.extend(replicate_jobs(&config, duration, trials));
+        }
+        let mut results = self.run_many(&jobs);
+        System::ALL
+            .iter()
+            .map(|&system| {
+                let rest = results.split_off(trials.max(1));
+                let mut merged = merge_trials(std::mem::replace(&mut results, rest));
+                (system, merged.summary())
+            })
+            .collect()
+    }
+}
+
+/// Expands one configuration into `trials` jobs with consecutive seeds.
+fn replicate_jobs(config: &TestbedConfig, duration: SimDuration, trials: usize) -> Vec<RunJob> {
+    (0..trials.max(1))
+        .map(|trial| {
+            let mut config = config.clone();
+            config.seed = config.seed.wrapping_add(trial as u64);
+            RunJob::new(config, duration)
         })
         .collect()
+}
+
+/// Folds trial results (already in trial order) into one pooled result.
+fn merge_trials(results: Vec<RunResult>) -> RunResult {
+    let mut iter = results.into_iter();
+    let mut merged = iter.next().expect("at least one trial");
+    for result in iter {
+        merged.merge(&result);
+    }
+    merged
+}
+
+/// Executes jobs across `threads` worker threads (0 = auto), returning
+/// results in job order. Free-function form of [`ParallelRunner::run_many`].
+pub fn run_many(jobs: &[RunJob], threads: usize) -> Vec<RunResult> {
+    ParallelRunner::with_threads(threads).run_many(jobs)
+}
+
+/// Runs all four systems under identical workloads and returns their
+/// summaries in the paper's presentation order.
+///
+/// Single-trial wrapper over [`ParallelRunner::compare_systems`]; the
+/// summaries are bitwise identical to running each system sequentially.
+pub fn compare_systems(base: &TestbedConfig, duration: SimDuration) -> Vec<(System, Summary)> {
+    ParallelRunner::new().compare_systems(base, duration, 1)
 }
 
 #[cfg(test)]
@@ -198,8 +388,93 @@ mod tests {
         let run = || {
             let mut r = run_system(&small_config(System::ApeCache), SimDuration::from_mins(2));
             let s = r.summary();
-            (s.executions, s.hit_ratio.to_bits(), s.app_latency_ms.to_bits())
+            (
+                s.executions,
+                s.hit_ratio.to_bits(),
+                s.app_latency_ms.to_bits(),
+            )
         };
         assert_eq!(run(), run());
+    }
+
+    /// Flattens every float in a summary to its bit pattern so equality is
+    /// exact, not epsilon-based.
+    fn summary_bits(s: &Summary) -> Vec<u64> {
+        let mut bits = vec![
+            s.lookup_ms.to_bits(),
+            s.retrieval_ms.to_bits(),
+            s.retrieval_hit_ms.to_bits(),
+            s.retrieval_edge_ms.to_bits(),
+            s.object_level_ms.to_bits(),
+            s.app_latency_ms.to_bits(),
+            s.app_latency_p95_ms.to_bits(),
+            s.hit_ratio.to_bits(),
+            s.high_priority_hit_ratio.to_bits(),
+            s.executions,
+            s.failures,
+            s.ap_cpu_mean.to_bits(),
+            s.ap_cpu_max.to_bits(),
+            s.ape_mem_mb_max.to_bits(),
+        ];
+        for (name, (mean, p95)) in &s.per_app_latency_ms {
+            bits.push(name.len() as u64);
+            bits.push(mean.to_bits());
+            bits.push(p95.to_bits());
+        }
+        bits
+    }
+
+    #[test]
+    fn parallel_runner_is_bitwise_identical_to_sequential() {
+        let base = small_config(System::ApeCache);
+        let duration = SimDuration::from_mins(2);
+        let trials = 3;
+
+        let compare = |threads: usize| {
+            ParallelRunner::with_threads(threads).compare_systems(&base, duration, trials)
+        };
+        let sequential = compare(1);
+        let parallel = compare(4);
+
+        assert_eq!(sequential.len(), parallel.len());
+        for ((sys_a, sum_a), (sys_b, sum_b)) in sequential.iter().zip(parallel.iter()) {
+            assert_eq!(sys_a, sys_b);
+            assert_eq!(sum_a.system, sum_b.system);
+            assert_eq!(
+                summary_bits(sum_a),
+                summary_bits(sum_b),
+                "summaries for {sys_a:?} differ between 1 and 4 threads"
+            );
+        }
+    }
+
+    #[test]
+    fn run_many_preserves_job_order() {
+        let duration = SimDuration::from_mins(1);
+        let jobs: Vec<RunJob> = [System::ApeCache, System::EdgeCache, System::ApeCacheLru]
+            .iter()
+            .map(|&system| RunJob::new(small_config(system), duration))
+            .collect();
+        let results = run_many(&jobs, 3);
+        let systems: Vec<System> = results.iter().map(|r| r.system).collect();
+        assert_eq!(
+            systems,
+            vec![System::ApeCache, System::EdgeCache, System::ApeCacheLru]
+        );
+    }
+
+    #[test]
+    fn replication_pools_trials() {
+        let config = small_config(System::ApeCache);
+        let duration = SimDuration::from_mins(2);
+        let runner = ParallelRunner::with_threads(2);
+        let one = runner.run_replicated(&config, duration, 1);
+        let three = runner.run_replicated(&config, duration, 3);
+        assert!(
+            three.report.executions > one.report.executions,
+            "pooled trials should accumulate executions ({} vs {})",
+            three.report.executions,
+            one.report.executions
+        );
     }
 }

@@ -3,7 +3,7 @@
 use std::fmt;
 
 /// One of the paper's evaluated systems.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum System {
     /// APE-CACHE: DNS-piggybacked AP cache with PACM eviction.
     ApeCache,

@@ -172,10 +172,8 @@ pub fn build(config: &TestbedConfig) -> Testbed {
     );
     let cdn_dns_id = world.add_node("cdn-dns", cdn_dns);
 
-    let mut delegations: Vec<(DomainName, NodeId)> = vec![(
-        "edgekey.example".parse().expect("static name"),
-        cdn_dns_id,
-    )];
+    let mut delegations: Vec<(DomainName, NodeId)> =
+        vec![("edgekey.example".parse().expect("static name"), cdn_dns_id)];
     for app in &config.apps {
         for (_, obj) in app.dag().iter() {
             let host = obj.url.host().clone();

@@ -368,7 +368,11 @@ impl fmt::Display for DnsMessage {
         write!(
             f,
             "{} id={} q={} an={} ar={}",
-            if self.header.response { "resp" } else { "query" },
+            if self.header.response {
+                "resp"
+            } else {
+                "query"
+            },
             self.header.id,
             self.questions.len(),
             self.answers.len(),
@@ -399,10 +403,7 @@ mod tests {
 
     #[test]
     fn dns_cache_request_roundtrip() {
-        let hashes = [
-            UrlHash::of("http://api/a"),
-            UrlHash::of("http://api/b"),
-        ];
+        let hashes = [UrlHash::of("http://api/a"), UrlHash::of("http://api/b")];
         let q = DnsMessage::dns_cache_request(9, name("api.example.com"), &hashes);
         let parsed = DnsMessage::decode(&q.encode()).unwrap();
         assert!(parsed.is_dns_cache_query());
@@ -473,7 +474,10 @@ mod tests {
         let back = Header::from_flags_word(77, w);
         assert_eq!(back, h);
         h.rcode = Rcode::ServFail;
-        assert_ne!(Header::from_flags_word(77, h.flags_word()).rcode, Rcode::NxDomain);
+        assert_ne!(
+            Header::from_flags_word(77, h.flags_word()).rcode,
+            Rcode::NxDomain
+        );
     }
 
     #[test]

@@ -271,7 +271,7 @@ mod tests {
     #[test]
     fn rejects_over_long_names() {
         let label = "x".repeat(60);
-        let name = vec![label.as_str(); 5].join(".");
+        let name = [label.as_str(); 5].join(".");
         assert!(matches!(
             DomainName::parse(&name),
             Err(WireError::NameTooLong(_))

@@ -282,7 +282,7 @@ impl RData {
             }
             RrType::Opt => RData::Opt(r.take(rdlength)?.to_vec()),
             RrType::DnsCache => {
-                if rdlength % CacheTuple::WIRE_LEN != 0 {
+                if !rdlength.is_multiple_of(CacheTuple::WIRE_LEN) {
                     return Err(WireError::BadRdata("cache rdata not multiple of 9"));
                 }
                 let count = rdlength / CacheTuple::WIRE_LEN;

@@ -4,8 +4,8 @@
 use std::net::Ipv4Addr;
 
 use ape_dnswire::{
-    CacheFlag, CacheTuple, DnsMessage, DomainName, Header, Question, RData, Rcode,
-    ResourceRecord, RrClass, RrType, UrlHash,
+    CacheFlag, CacheTuple, DnsMessage, DomainName, Header, Question, RData, Rcode, ResourceRecord,
+    RrClass, RrType, UrlHash,
 };
 use proptest::prelude::*;
 
@@ -64,7 +64,14 @@ fn arb_question() -> impl Strategy<Value = Question> {
 }
 
 fn arb_header() -> impl Strategy<Value = Header> {
-    (any::<u16>(), any::<bool>(), any::<bool>(), any::<bool>(), any::<bool>(), any::<bool>())
+    (
+        any::<u16>(),
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+    )
         .prop_map(|(id, response, aa, tc, rd, ra)| Header {
             id,
             response,
@@ -84,13 +91,15 @@ fn arb_message() -> impl Strategy<Value = DnsMessage> {
         proptest::collection::vec(arb_record(), 0..2),
         proptest::collection::vec(arb_record(), 0..3),
     )
-        .prop_map(|(header, questions, answers, authorities, additionals)| DnsMessage {
-            header,
-            questions,
-            answers,
-            authorities,
-            additionals,
-        })
+        .prop_map(
+            |(header, questions, answers, authorities, additionals)| DnsMessage {
+                header,
+                questions,
+                answers,
+                authorities,
+                additionals,
+            },
+        )
 }
 
 proptest! {

@@ -7,8 +7,7 @@
 
 use std::fmt;
 
-use bytes::Bytes;
-
+use crate::bytes::Bytes;
 use crate::url::Url;
 
 /// HTTP method (the paper's workloads only GET cacheable objects, but the
@@ -225,7 +224,10 @@ mod tests {
         assert!(Status::Ok.is_success());
         assert!(!Status::NotFound.is_success());
         assert_eq!(HttpResponse::not_found().status, Status::NotFound);
-        assert_eq!(HttpResponse::gateway_timeout().status, Status::GatewayTimeout);
+        assert_eq!(
+            HttpResponse::gateway_timeout().status,
+            Status::GatewayTimeout
+        );
     }
 
     #[test]

@@ -20,8 +20,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod bytes;
 mod http;
 mod url;
 
+pub use bytes::Bytes;
 pub use http::{Body, HttpRequest, HttpResponse, Method, Status};
 pub use url::{ParseUrlError, Scheme, Url};

@@ -187,11 +187,7 @@ mod tests {
 
     #[test]
     fn display_roundtrips() {
-        for s in [
-            "http://a.b/c?d=e",
-            "http://a.b/c",
-            "https://x.y.z/",
-        ] {
+        for s in ["http://a.b/c?d=e", "http://a.b/c", "https://x.y.z/"] {
             let u = Url::parse(s).unwrap();
             assert_eq!(u.to_string(), s);
             assert_eq!(Url::parse(&u.to_string()).unwrap(), u);

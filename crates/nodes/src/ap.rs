@@ -27,9 +27,7 @@ use ape_cachealg::{
 use ape_dnswire::{CacheFlag, CacheTuple, DnsMessage, DomainName, UrlHash};
 use ape_httpsim::{Body, HttpRequest, HttpResponse, Url};
 use ape_proto::{CacheOp, ConnId, IpMap, Msg, RequestId};
-use ape_simnet::{
-    Context, CpuMeter, MemMeter, Node, NodeId, SimDuration, SimTime, TimerToken,
-};
+use ape_simnet::{Context, CpuMeter, MemMeter, Node, NodeId, SimDuration, SimTime, TimerToken};
 
 /// Which eviction policy the AP runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -190,9 +188,7 @@ impl ApNode {
         let store = CacheStore::new(config.cache_capacity, config.block_threshold);
         let policy: Box<dyn EvictionPolicy> = match config.policy {
             ApPolicy::Pacm => Box::new(PacmPolicy::new(config.pacm)),
-            ApPolicy::PacmNoFairness => {
-                Box::new(PacmPolicy::new(config.pacm).without_fairness())
-            }
+            ApPolicy::PacmNoFairness => Box::new(PacmPolicy::new(config.pacm).without_fairness()),
             ApPolicy::Lru => Box::new(LruPolicy::new()),
         };
         let cores = config.cores;
@@ -240,10 +236,7 @@ impl ApNode {
     /// recover with. Clients holding stale `Cache-Hit` flags fall back to
     /// the delegation path transparently.
     pub fn flush_cache(&mut self) {
-        let store = CacheStore::new(
-            self.config.cache_capacity,
-            self.config.block_threshold,
-        );
+        let store = CacheStore::new(self.config.cache_capacity, self.config.block_threshold);
         let policy: Box<dyn EvictionPolicy> = match self.config.policy {
             ApPolicy::Pacm => Box::new(PacmPolicy::new(self.config.pacm)),
             ApPolicy::PacmNoFairness => {
@@ -326,7 +319,12 @@ impl ApNode {
         }
     }
 
-    fn advertise(&mut self, ctx: &mut Context<'_, Msg>, added: Vec<UrlHash>, removed: Vec<UrlHash>) {
+    fn advertise(
+        &mut self,
+        ctx: &mut Context<'_, Msg>,
+        added: Vec<UrlHash>,
+        removed: Vec<UrlHash>,
+    ) {
         if added.is_empty() && removed.is_empty() {
             return;
         }
@@ -607,7 +605,10 @@ impl ApNode {
                             internal: true,
                         },
                     );
-                    ctx.send(self.upstream, Msg::Dns(DnsMessage::query(txn, domain.clone())));
+                    ctx.send(
+                        self.upstream,
+                        Msg::Dns(DnsMessage::query(txn, domain.clone())),
+                    );
                 }
                 waiting.push(key);
                 return;
@@ -709,7 +710,11 @@ impl ApNode {
 
     /// Extension (paper §VI): proactively delegate the objects a client
     /// says it will request next, so the follow-up requests hit.
-    fn handle_prefetch_hints(&mut self, ctx: &mut Context<'_, Msg>, hints: Vec<ape_proto::PrefetchHint>) {
+    fn handle_prefetch_hints(
+        &mut self,
+        ctx: &mut Context<'_, Msg>,
+        hints: Vec<ape_proto::PrefetchHint>,
+    ) {
         let now = ctx.now();
         let latency = self.work(now, self.config.http_processing);
         let _ = latency; // prefetching is off the client's critical path
@@ -777,11 +782,11 @@ impl Node<Msg> for ApNode {
                 request,
                 cache_op,
             } => self.handle_http_request(ctx, from, conn, req, request, cache_op),
-            Msg::HttpRsp { req, response, .. } => {
-                self.handle_upstream_response(ctx, req, response)
-            }
+            Msg::HttpRsp { req, response, .. } => self.handle_upstream_response(ctx, req, response),
             Msg::PrefetchHints { hints } => self.handle_prefetch_hints(ctx, hints),
-            Msg::WiCacheLookup { .. } | Msg::WiCacheResult { .. } | Msg::WiCacheAdvertise { .. } => {}
+            Msg::WiCacheLookup { .. }
+            | Msg::WiCacheResult { .. }
+            | Msg::WiCacheAdvertise { .. } => {}
         }
     }
 
@@ -893,7 +898,10 @@ mod tests {
         let mut cdn = AuthDnsNode::new(SimDuration::from_micros(300));
         cdn.wildcard(
             DomainName::parse("dummy.example").unwrap(),
-            ZoneAnswer::A { ip: edge_ip, ttl: 20 },
+            ZoneAnswer::A {
+                ip: edge_ip,
+                ttl: 20,
+            },
         );
         let cdn_id = w.add_node("cdn-dns", cdn);
         let ldns = w.add_node(
@@ -905,11 +913,27 @@ mod tests {
         );
         let ap = w.add_node("ap", ApNode::new(config, ldns, ip_map));
 
-        w.connect(probe, ap, LinkSpec::from_rtt(1, SimDuration::from_millis(3)));
+        w.connect(
+            probe,
+            ap,
+            LinkSpec::from_rtt(1, SimDuration::from_millis(3)),
+        );
         w.connect(ap, ldns, LinkSpec::from_rtt(4, SimDuration::from_millis(8)));
-        w.connect(ldns, cdn_id, LinkSpec::from_rtt(9, SimDuration::from_millis(20)));
-        w.connect(ap, edge_id, LinkSpec::from_rtt(7, SimDuration::from_millis(14)));
-        w.connect(edge_id, origin, LinkSpec::from_rtt(8, SimDuration::from_millis(24)));
+        w.connect(
+            ldns,
+            cdn_id,
+            LinkSpec::from_rtt(9, SimDuration::from_millis(20)),
+        );
+        w.connect(
+            ap,
+            edge_id,
+            LinkSpec::from_rtt(7, SimDuration::from_millis(14)),
+        );
+        w.connect(
+            edge_id,
+            origin,
+            LinkSpec::from_rtt(8, SimDuration::from_millis(24)),
+        );
         Bed {
             world: w,
             probe,
@@ -958,7 +982,8 @@ mod tests {
             .post(bed.probe, bed.ap, dns_cache_query(1, &[url().hash()]));
         settle(&mut bed.world);
         // Open TCP + delegation request.
-        bed.world.post(bed.probe, bed.ap, Msg::TcpSyn { conn: ConnId(1) });
+        bed.world
+            .post(bed.probe, bed.ap, Msg::TcpSyn { conn: ConnId(1) });
         settle(&mut bed.world);
         bed.world.post(
             bed.probe,
@@ -1015,10 +1040,7 @@ mod tests {
         assert!(response.status.is_success());
         let elapsed = (probe.last_at.unwrap() - t0).as_millis_f64();
         assert!(elapsed < 6.0, "cache hit took {elapsed}ms");
-        assert_eq!(
-            bed.world.metrics().counter("ap.cache_hits"),
-            1
-        );
+        assert_eq!(bed.world.metrics().counter("ap.cache_hits"), 1);
     }
 
     #[test]
@@ -1260,7 +1282,11 @@ mod tests {
         let cpu = bed.world.metrics().time_series("ap.cpu").unwrap();
         assert!(cpu.len() >= 4);
         let mem = bed.world.metrics().time_series("ap.ape_mem_mb").unwrap();
-        assert!(mem.mean() > 3.9, "APE code overhead visible: {}", mem.mean());
+        assert!(
+            mem.mean() > 3.9,
+            "APE code overhead visible: {}",
+            mem.mean()
+        );
         assert!(mem.mean() < 15.0, "within the paper's 13MB envelope");
     }
 

@@ -485,7 +485,11 @@ impl ClientNode {
         );
         self.txn_domains.insert(txn, domain);
         ctx.metrics().incr("client.dns_queries", 1);
-        ctx.send_after(self.config.processing, self.config.dns_server, Msg::Dns(query));
+        ctx.send_after(
+            self.config.processing,
+            self.config.dns_server,
+            Msg::Dns(query),
+        );
         ctx.schedule(
             self.config.dns_timeout,
             TimerToken::new(TOKEN_DNS_BASE | txn as u64),
@@ -569,8 +573,13 @@ impl ClientNode {
             })
             .collect();
         if !hints.is_empty() {
-            ctx.metrics().incr("client.prefetch_hints", hints.len() as u64);
-            ctx.send_after(self.config.processing, self.config.ap, Msg::PrefetchHints { hints });
+            ctx.metrics()
+                .incr("client.prefetch_hints", hints.len() as u64);
+            ctx.send_after(
+                self.config.processing,
+                self.config.ap,
+                Msg::PrefetchHints { hints },
+            );
         }
     }
 
@@ -645,20 +654,22 @@ impl ClientNode {
         if let Some(retrieval_started) = fetch.retrieval_started {
             let retrieval_ms = (now - retrieval_started).as_millis_f64();
             match mode {
-                FetchMode::ApHit => {
-                    ctx.metrics().observe("client.retrieval_hit_ms", retrieval_ms)
-                }
+                FetchMode::ApHit => ctx
+                    .metrics()
+                    .observe("client.retrieval_hit_ms", retrieval_ms),
                 FetchMode::Delegation => ctx
                     .metrics()
                     .observe("client.retrieval_delegation_ms", retrieval_ms),
-                FetchMode::Edge => {
-                    ctx.metrics().observe("client.retrieval_edge_ms", retrieval_ms)
-                }
+                FetchMode::Edge => ctx
+                    .metrics()
+                    .observe("client.retrieval_edge_ms", retrieval_ms),
             }
             ctx.metrics().observe("client.retrieval_ms", retrieval_ms);
         }
-        ctx.metrics()
-            .observe("client.object_total_ms", (now - fetch.started).as_millis_f64());
+        ctx.metrics().observe(
+            "client.object_total_ms",
+            (now - fetch.started).as_millis_f64(),
+        );
 
         // Release dependents.
         let exec_id = fetch.exec;
@@ -712,8 +723,10 @@ impl ClientNode {
         let mut flag_horizon = now;
         if let Some((ip, ttl)) = answer {
             if !IpMap::is_dummy(ip) {
-                self.dns_cache
-                    .insert(domain.clone(), (ip, now + SimDuration::from_secs(ttl as u64)));
+                self.dns_cache.insert(
+                    domain.clone(),
+                    (ip, now + SimDuration::from_secs(ttl as u64)),
+                );
             }
             flag_horizon = now + SimDuration::from_secs(ttl as u64);
         }
@@ -738,7 +751,11 @@ impl ClientNode {
             self.txn_domains.insert(txn2, domain.clone());
             self.pending_dns.insert(domain, pending);
             ctx.metrics().incr("client.dns_queries", 1);
-            ctx.send_after(self.config.processing, self.config.dns_server, Msg::Dns(query));
+            ctx.send_after(
+                self.config.processing,
+                self.config.dns_server,
+                Msg::Dns(query),
+            );
             ctx.schedule(
                 self.config.dns_timeout,
                 TimerToken::new(TOKEN_DNS_BASE | txn2 as u64),
@@ -804,7 +821,11 @@ impl ClientNode {
         } else {
             DnsMessage::dns_cache_request(txn, domain.clone(), &pending.hashes)
         };
-        ctx.send_after(self.config.processing, self.config.dns_server, Msg::Dns(query));
+        ctx.send_after(
+            self.config.processing,
+            self.config.dns_server,
+            Msg::Dns(query),
+        );
         ctx.schedule(
             self.config.dns_timeout,
             TimerToken::new(TOKEN_DNS_BASE | txn as u64),
@@ -857,13 +878,11 @@ impl Node<Msg> for ClientNode {
                 };
                 fetch.phase = Phase::Fetching { mode };
                 let cache_op = if mode == FetchMode::Delegation {
-                    self.registry
-                        .get(&fetch.url.base_id())
-                        .map(|s| CacheOp {
-                            ttl: s.ttl,
-                            priority: s.priority,
-                            app: s.app,
-                        })
+                    self.registry.get(&fetch.url.base_id()).map(|s| CacheOp {
+                        ttl: s.ttl,
+                        priority: s.priority,
+                        app: s.app,
+                    })
                 } else {
                     None
                 };

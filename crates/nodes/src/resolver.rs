@@ -134,8 +134,15 @@ impl Node<Msg> for AuthDnsNode {
 /// A cached record at the LDNS.
 #[derive(Debug, Clone)]
 enum CachedAnswer {
-    A { ip: Ipv4Addr, expires: SimTime, ttl: u32 },
-    Cname { target: DomainName, expires: SimTime },
+    A {
+        ip: Ipv4Addr,
+        expires: SimTime,
+        ttl: u32,
+    },
+    Cname {
+        target: DomainName,
+        expires: SimTime,
+    },
 }
 
 /// One in-flight recursive resolution.
@@ -436,9 +443,21 @@ mod tests {
         );
         let ldns_id = w.add_node("ldns", ldns);
 
-        w.connect(probe, ldns_id, LinkSpec::from_rtt(4, SimDuration::from_millis(8)));
-        w.connect(ldns_id, adns_id, LinkSpec::from_rtt(12, SimDuration::from_millis(30)));
-        w.connect(ldns_id, cdn_id, LinkSpec::from_rtt(9, SimDuration::from_millis(20)));
+        w.connect(
+            probe,
+            ldns_id,
+            LinkSpec::from_rtt(4, SimDuration::from_millis(8)),
+        );
+        w.connect(
+            ldns_id,
+            adns_id,
+            LinkSpec::from_rtt(12, SimDuration::from_millis(30)),
+        );
+        w.connect(
+            ldns_id,
+            cdn_id,
+            LinkSpec::from_rtt(9, SimDuration::from_millis(20)),
+        );
         (w, probe, ldns_id, adns_id, cdn_id)
     }
 
@@ -462,10 +481,18 @@ mod tests {
     #[test]
     fn second_query_hits_ldns_cache() {
         let (mut w, probe, ldns, _adns, _cdn) = testbed();
-        w.post(probe, ldns, Msg::Dns(DnsMessage::query(1, name("www.apple.example"))));
+        w.post(
+            probe,
+            ldns,
+            Msg::Dns(DnsMessage::query(1, name("www.apple.example"))),
+        );
         w.run_to_idle();
         let t1 = w.node::<Probe>(probe).received_at.unwrap();
-        w.post(probe, ldns, Msg::Dns(DnsMessage::query(2, name("www.apple.example"))));
+        w.post(
+            probe,
+            ldns,
+            Msg::Dns(DnsMessage::query(2, name("www.apple.example"))),
+        );
         w.run_to_idle();
         let t2 = w.node::<Probe>(probe).received_at.unwrap();
         // Warm query only pays the client↔LDNS RTT.
@@ -477,13 +504,21 @@ mod tests {
     #[test]
     fn short_ttl_expires_and_forces_recursion() {
         let (mut w, probe, ldns, _adns, cdn) = testbed();
-        w.post(probe, ldns, Msg::Dns(DnsMessage::query(1, name("www.apple.example"))));
+        w.post(
+            probe,
+            ldns,
+            Msg::Dns(DnsMessage::query(1, name("www.apple.example"))),
+        );
         w.run_to_idle();
         assert_eq!(w.node::<AuthDnsNode>(cdn).served(), 1);
         // After 25 s the 20 s A record expired but the 300 s CNAME is fresh:
         // resolution goes straight to the CDN DNS, not the site ADNS.
         w.run_until(SimTime::from_secs(25));
-        w.post(probe, ldns, Msg::Dns(DnsMessage::query(2, name("www.apple.example"))));
+        w.post(
+            probe,
+            ldns,
+            Msg::Dns(DnsMessage::query(2, name("www.apple.example"))),
+        );
         w.run_to_idle();
         assert_eq!(w.node::<AuthDnsNode>(cdn).served(), 2);
         let ldns_node = w.node::<LdnsNode>(ldns);
@@ -493,7 +528,11 @@ mod tests {
     #[test]
     fn unknown_domain_servfails() {
         let (mut w, probe, ldns, _adns, _cdn) = testbed();
-        w.post(probe, ldns, Msg::Dns(DnsMessage::query(7, name("nosuch.zone.example"))));
+        w.post(
+            probe,
+            ldns,
+            Msg::Dns(DnsMessage::query(7, name("nosuch.zone.example"))),
+        );
         w.run_to_idle();
         let resp = w.node::<Probe>(probe).last.as_ref().unwrap();
         assert_eq!(resp.header.rcode, Rcode::ServFail);
@@ -504,7 +543,11 @@ mod tests {
     fn nxdomain_propagates() {
         let (mut w, probe, ldns, _adns, _cdn) = testbed();
         // apple.example zone exists but the name does not.
-        w.post(probe, ldns, Msg::Dns(DnsMessage::query(8, name("missing.apple.example"))));
+        w.post(
+            probe,
+            ldns,
+            Msg::Dns(DnsMessage::query(8, name("missing.apple.example"))),
+        );
         w.run_to_idle();
         let resp = w.node::<Probe>(probe).last.as_ref().unwrap();
         assert_eq!(resp.header.rcode, Rcode::NxDomain);
@@ -536,13 +579,20 @@ mod tests {
             "ldns",
             LdnsNode::new(
                 SimDuration::ZERO,
-                vec![(name("example"), coarse_id), (name("special.example"), fine_id)],
+                vec![
+                    (name("example"), coarse_id),
+                    (name("special.example"), fine_id),
+                ],
             ),
         );
         for (a, b) in [(probe, ldns), (ldns, coarse_id), (ldns, fine_id)] {
             w.connect(a, b, LinkSpec::new(1, SimDuration::from_millis(1)));
         }
-        w.post(probe, ldns, Msg::Dns(DnsMessage::query(1, name("x.special.example"))));
+        w.post(
+            probe,
+            ldns,
+            Msg::Dns(DnsMessage::query(1, name("x.special.example"))),
+        );
         w.run_to_idle();
         assert_eq!(
             w.node::<Probe>(probe).last.as_ref().unwrap().answer_ip(),

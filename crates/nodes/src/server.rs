@@ -86,7 +86,9 @@ impl Node<Msg> for OriginNode {
             Msg::TcpSyn { conn } => {
                 ctx.send_after(self.processing, from, Msg::TcpSynAck { conn });
             }
-            Msg::HttpReq { conn, req, request, .. } => {
+            Msg::HttpReq {
+                conn, req, request, ..
+            } => {
                 self.served += 1;
                 let (response, delay) = match self.catalog.entry_for(&request.url) {
                     Some(entry) => (
@@ -171,7 +173,14 @@ impl EdgeNode {
         self.misses
     }
 
-    fn serve(&self, ctx: &mut Context<'_, Msg>, to: NodeId, conn: ConnId, req: RequestId, url: &Url) {
+    fn serve(
+        &self,
+        ctx: &mut Context<'_, Msg>,
+        to: NodeId,
+        conn: ConnId,
+        req: RequestId,
+        url: &Url,
+    ) {
         let response = match self.catalog.entry_for(url) {
             Some(entry) => HttpResponse::ok(Body::synthetic(entry.size)),
             None => HttpResponse::not_found(),
@@ -199,7 +208,9 @@ impl Node<Msg> for EdgeNode {
                 // Connection to origin accepted; our upstream requests are
                 // sent eagerly below, so nothing to do.
             }
-            Msg::HttpReq { conn, req, request, .. } => {
+            Msg::HttpReq {
+                conn, req, request, ..
+            } => {
                 if self.cached.contains(&request.url.base_id())
                     || self.catalog.entry_for(&request.url).is_none()
                 {
@@ -229,9 +240,7 @@ impl Node<Msg> for EdgeNode {
                 // One RTT after the SYN the handshake is done; issue the
                 // request with that extra delay so timing matches a real
                 // connect-then-request exchange.
-                let handshake = ctx
-                    .link_rtt(self.origin)
-                    .unwrap_or(SimDuration::ZERO);
+                let handshake = ctx.link_rtt(self.origin).unwrap_or(SimDuration::ZERO);
                 ctx.send_after(
                     self.processing + handshake,
                     self.origin,
@@ -311,7 +320,11 @@ mod tests {
                         },
                     );
                 }
-                Msg::HttpRsp { response, from_cache, .. } => {
+                Msg::HttpRsp {
+                    response,
+                    from_cache,
+                    ..
+                } => {
                     self.response = Some((response, from_cache));
                     self.finished_at = Some(ctx.now());
                 }
@@ -346,7 +359,11 @@ mod tests {
         );
         probe.target = Some(origin);
         let probe_id = w.add_node("probe", probe);
-        w.connect(probe_id, origin, LinkSpec::from_rtt(10, SimDuration::from_millis(20)));
+        w.connect(
+            probe_id,
+            origin,
+            LinkSpec::from_rtt(10, SimDuration::from_millis(20)),
+        );
         w.run_to_idle();
         let p = w.node::<FetchProbe>(probe_id);
         let (rsp, from_cache) = p.response.as_ref().expect("got response");
@@ -369,7 +386,11 @@ mod tests {
         );
         probe.target = Some(origin);
         let probe_id = w.add_node("probe", probe);
-        w.connect(probe_id, origin, LinkSpec::new(1, SimDuration::from_millis(1)));
+        w.connect(
+            probe_id,
+            origin,
+            LinkSpec::new(1, SimDuration::from_millis(1)),
+        );
         w.run_to_idle();
         let (rsp, _) = w.node::<FetchProbe>(probe_id).response.as_ref().unwrap();
         assert!(!rsp.status.is_success());
@@ -389,8 +410,16 @@ mod tests {
         let mut probe = FetchProbe::new(url());
         probe.target = Some(edge_id);
         let probe_id = w.add_node("probe", probe);
-        w.connect(probe_id, edge_id, LinkSpec::from_rtt(7, SimDuration::from_millis(14)));
-        w.connect(edge_id, origin, LinkSpec::from_rtt(8, SimDuration::from_millis(24)));
+        w.connect(
+            probe_id,
+            edge_id,
+            LinkSpec::from_rtt(7, SimDuration::from_millis(14)),
+        );
+        w.connect(
+            edge_id,
+            origin,
+            LinkSpec::from_rtt(8, SimDuration::from_millis(24)),
+        );
         (w, edge_id, probe_id)
     }
 
@@ -426,7 +455,11 @@ mod tests {
         let mut probe2 = FetchProbe::new(url());
         probe2.target = Some(edge);
         let probe2_id = w.add_node("probe2", probe2);
-        w.connect(probe2_id, edge, LinkSpec::from_rtt(7, SimDuration::from_millis(14)));
+        w.connect(
+            probe2_id,
+            edge,
+            LinkSpec::from_rtt(7, SimDuration::from_millis(14)),
+        );
         let start = w.now();
         w.post(probe2_id, edge, Msg::TcpSyn { conn: ConnId(5) });
         w.run_to_idle();

@@ -114,8 +114,16 @@ mod tests {
             "controller",
             WiCacheControllerNode::new(SimDuration::from_micros(300)),
         );
-        w.connect(probe, controller, LinkSpec::from_rtt(12, SimDuration::from_millis(24)));
-        w.connect(ap, controller, LinkSpec::from_rtt(12, SimDuration::from_millis(24)));
+        w.connect(
+            probe,
+            controller,
+            LinkSpec::from_rtt(12, SimDuration::from_millis(24)),
+        );
+        w.connect(
+            ap,
+            controller,
+            LinkSpec::from_rtt(12, SimDuration::from_millis(24)),
+        );
         (w, probe, ap, controller)
     }
 
@@ -123,19 +131,38 @@ mod tests {
     fn lookup_miss_then_hit_after_advertisement() {
         let (mut w, probe, ap, controller) = world();
         let ap_ip = Ipv4Addr::new(10, 0, 0, 3);
-        w.node_mut::<WiCacheControllerNode>(controller).register_ap(ap, ap_ip);
+        w.node_mut::<WiCacheControllerNode>(controller)
+            .register_ap(ap, ap_ip);
 
         let key = UrlHash::of("http://a/x");
-        w.post(probe, controller, Msg::WiCacheLookup { req: RequestId(1), url_hash: key });
-        w.run_to_idle();
-        assert_eq!(
-            w.node::<Probe>(probe).results,
-            vec![(RequestId(1), None)]
+        w.post(
+            probe,
+            controller,
+            Msg::WiCacheLookup {
+                req: RequestId(1),
+                url_hash: key,
+            },
         );
-
-        w.post(ap, controller, Msg::WiCacheAdvertise { added: vec![key], removed: vec![] });
         w.run_to_idle();
-        w.post(probe, controller, Msg::WiCacheLookup { req: RequestId(2), url_hash: key });
+        assert_eq!(w.node::<Probe>(probe).results, vec![(RequestId(1), None)]);
+
+        w.post(
+            ap,
+            controller,
+            Msg::WiCacheAdvertise {
+                added: vec![key],
+                removed: vec![],
+            },
+        );
+        w.run_to_idle();
+        w.post(
+            probe,
+            controller,
+            Msg::WiCacheLookup {
+                req: RequestId(2),
+                url_hash: key,
+            },
+        );
         w.run_to_idle();
         let results = &w.node::<Probe>(probe).results;
         assert_eq!(results[1], (RequestId(2), Some(ap_ip)));
@@ -148,15 +175,45 @@ mod tests {
     fn removal_clears_placement() {
         let (mut w, probe, ap, controller) = world();
         let ap_ip = Ipv4Addr::new(10, 0, 0, 3);
-        w.node_mut::<WiCacheControllerNode>(controller).register_ap(ap, ap_ip);
+        w.node_mut::<WiCacheControllerNode>(controller)
+            .register_ap(ap, ap_ip);
         let key = UrlHash::of("http://a/x");
-        w.post(ap, controller, Msg::WiCacheAdvertise { added: vec![key], removed: vec![] });
+        w.post(
+            ap,
+            controller,
+            Msg::WiCacheAdvertise {
+                added: vec![key],
+                removed: vec![],
+            },
+        );
         w.run_to_idle();
-        assert_eq!(w.node::<WiCacheControllerNode>(controller).placement_count(), 1);
-        w.post(ap, controller, Msg::WiCacheAdvertise { added: vec![], removed: vec![key] });
+        assert_eq!(
+            w.node::<WiCacheControllerNode>(controller)
+                .placement_count(),
+            1
+        );
+        w.post(
+            ap,
+            controller,
+            Msg::WiCacheAdvertise {
+                added: vec![],
+                removed: vec![key],
+            },
+        );
         w.run_to_idle();
-        assert_eq!(w.node::<WiCacheControllerNode>(controller).placement_count(), 0);
-        w.post(probe, controller, Msg::WiCacheLookup { req: RequestId(3), url_hash: key });
+        assert_eq!(
+            w.node::<WiCacheControllerNode>(controller)
+                .placement_count(),
+            0
+        );
+        w.post(
+            probe,
+            controller,
+            Msg::WiCacheLookup {
+                req: RequestId(3),
+                url_hash: key,
+            },
+        );
         w.run_to_idle();
         assert_eq!(w.node::<Probe>(probe).results.last().unwrap().1, None);
     }
@@ -165,9 +222,20 @@ mod tests {
     fn unregistered_ap_advertisements_ignored() {
         let (mut w, _probe, ap, controller) = world();
         let key = UrlHash::of("http://a/x");
-        w.post(ap, controller, Msg::WiCacheAdvertise { added: vec![key], removed: vec![] });
+        w.post(
+            ap,
+            controller,
+            Msg::WiCacheAdvertise {
+                added: vec![key],
+                removed: vec![],
+            },
+        );
         w.run_to_idle();
-        assert_eq!(w.node::<WiCacheControllerNode>(controller).placement_count(), 0);
+        assert_eq!(
+            w.node::<WiCacheControllerNode>(controller)
+                .placement_count(),
+            0
+        );
     }
 
     #[test]
@@ -175,7 +243,14 @@ mod tests {
         let (mut w, probe, _ap, controller) = world();
         let key = UrlHash::of("http://a/x");
         let start = w.now();
-        w.post(probe, controller, Msg::WiCacheLookup { req: RequestId(1), url_hash: key });
+        w.post(
+            probe,
+            controller,
+            Msg::WiCacheLookup {
+                req: RequestId(1),
+                url_hash: key,
+            },
+        );
         w.run_to_idle();
         let elapsed = (w.now() - start).as_millis_f64();
         assert!(elapsed >= 24.0, "lookup took {elapsed}ms");

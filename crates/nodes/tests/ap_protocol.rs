@@ -4,7 +4,9 @@
 use ape_cachealg::{AppId, Priority};
 use ape_dnswire::{CacheFlag, DnsMessage, DomainName, Rcode};
 use ape_httpsim::{HttpRequest, HttpResponse, Url};
-use ape_nodes::{ApConfig, ApNode, AuthDnsNode, Catalog, CatalogEntry, LdnsNode, OriginNode, ZoneAnswer};
+use ape_nodes::{
+    ApConfig, ApNode, AuthDnsNode, Catalog, CatalogEntry, LdnsNode, OriginNode, ZoneAnswer,
+};
 use ape_proto::{CacheOp, ConnId, IpMap, Msg, RequestId};
 use ape_simnet::{Context, LinkSpec, Node, NodeId, SimDuration, SimTime, World};
 
@@ -18,9 +20,12 @@ impl Node<Msg> for Probe {
     fn on_message(&mut self, _ctx: &mut Context<'_, Msg>, _from: NodeId, msg: Msg) {
         match msg {
             Msg::Dns(m) if m.header.response => self.dns.push(m),
-            Msg::HttpRsp { req, response, from_cache, .. } => {
-                self.http.push((req, response, from_cache))
-            }
+            Msg::HttpRsp {
+                req,
+                response,
+                from_cache,
+                ..
+            } => self.http.push((req, response, from_cache)),
             _ => {}
         }
     }
@@ -54,7 +59,10 @@ fn bed() -> Bed {
     let mut adns = AuthDnsNode::new(SimDuration::from_micros(300));
     adns.wildcard(
         "zone.example".parse().expect("static"),
-        ZoneAnswer::A { ip: origin_ip, ttl: 30 },
+        ZoneAnswer::A {
+            ip: origin_ip,
+            ttl: 30,
+        },
     );
     let adns = world.add_node("adns", adns);
     let ldns = world.add_node(
@@ -66,10 +74,26 @@ fn bed() -> Bed {
     );
     let ap = world.add_node("ap", ApNode::new(ApConfig::default(), ldns, ip_map));
 
-    world.connect(probe, ap, LinkSpec::from_rtt(1, SimDuration::from_millis(3)));
-    world.connect(ap, ldns, LinkSpec::from_rtt(5, SimDuration::from_millis(13)));
-    world.connect(ldns, adns, LinkSpec::from_rtt(12, SimDuration::from_millis(30)));
-    world.connect(ap, origin, LinkSpec::from_rtt(9, SimDuration::from_millis(20)));
+    world.connect(
+        probe,
+        ap,
+        LinkSpec::from_rtt(1, SimDuration::from_millis(3)),
+    );
+    world.connect(
+        ap,
+        ldns,
+        LinkSpec::from_rtt(5, SimDuration::from_millis(13)),
+    );
+    world.connect(
+        ldns,
+        adns,
+        LinkSpec::from_rtt(12, SimDuration::from_millis(30)),
+    );
+    world.connect(
+        ap,
+        origin,
+        LinkSpec::from_rtt(9, SimDuration::from_millis(20)),
+    );
     Bed { world, probe, ap }
 }
 
@@ -84,7 +108,8 @@ fn nxdomain_relays_through_the_forwarder() {
     // The wildcard answers any zone.example subdomain; use a foreign zone.
     let missing: DomainName = "else.where.example".parse().expect("static");
     let _ = name;
-    bed.world.post(bed.probe, bed.ap, Msg::Dns(DnsMessage::query(7, missing)));
+    bed.world
+        .post(bed.probe, bed.ap, Msg::Dns(DnsMessage::query(7, missing)));
     settle(&mut bed.world);
     let probe = bed.world.node::<Probe>(bed.probe);
     let resp = probe.dns.last().expect("relayed");
@@ -128,7 +153,14 @@ fn delegation_without_cache_op_uses_defaults() {
         )),
     );
     settle(&mut bed.world);
-    let flag = bed.world.node::<Probe>(bed.probe).dns.last().unwrap().cache_response_tuples()[0].flag;
+    let flag = bed
+        .world
+        .node::<Probe>(bed.probe)
+        .dns
+        .last()
+        .unwrap()
+        .cache_response_tuples()[0]
+        .flag;
     assert_eq!(flag, CacheFlag::Hit);
 
     bed.world.run_until(SimTime::from_secs(11 * 60));
@@ -142,7 +174,14 @@ fn delegation_without_cache_op_uses_defaults() {
         )),
     );
     settle(&mut bed.world);
-    let flag = bed.world.node::<Probe>(bed.probe).dns.last().unwrap().cache_response_tuples()[0].flag;
+    let flag = bed
+        .world
+        .node::<Probe>(bed.probe)
+        .dns
+        .last()
+        .unwrap()
+        .cache_response_tuples()[0]
+        .flag;
     assert_eq!(flag, CacheFlag::Delegation, "expired after the default TTL");
 }
 
@@ -178,7 +217,14 @@ fn prefetch_hints_populate_without_any_client_request() {
         )),
     );
     settle(&mut bed.world);
-    let flag = bed.world.node::<Probe>(bed.probe).dns.last().unwrap().cache_response_tuples()[0].flag;
+    let flag = bed
+        .world
+        .node::<Probe>(bed.probe)
+        .dns
+        .last()
+        .unwrap()
+        .cache_response_tuples()[0]
+        .flag;
     assert_eq!(flag, CacheFlag::Hit);
 }
 
@@ -197,14 +243,20 @@ fn duplicate_prefetch_hints_fetch_once() {
     bed.world.post(
         bed.probe,
         bed.ap,
-        Msg::PrefetchHints { hints: vec![hint.clone(), hint.clone()] },
+        Msg::PrefetchHints {
+            hints: vec![hint.clone(), hint.clone()],
+        },
     );
-    bed.world.post(bed.probe, bed.ap, Msg::PrefetchHints { hints: vec![hint] });
+    bed.world
+        .post(bed.probe, bed.ap, Msg::PrefetchHints { hints: vec![hint] });
     settle(&mut bed.world);
     assert_eq!(bed.world.node::<ApNode>(bed.ap).cached_objects(), 1);
     // Only the first hint started a fetch; the rest were deduplicated
     // against the in-flight delegation or the cached copy.
-    assert_eq!(bed.world.node::<OriginNode>(NodeId::from_raw(1)).served(), 1);
+    assert_eq!(
+        bed.world.node::<OriginNode>(NodeId::from_raw(1)).served(),
+        1
+    );
 }
 
 #[test]
@@ -268,8 +320,5 @@ fn delegation_for_unresolvable_domain_fails_instead_of_looping() {
     let probe = bed.world.node::<Probe>(bed.probe);
     let (_, response, _) = probe.http.last().expect("waiter answered");
     assert!(!response.status.is_success(), "gateway timeout returned");
-    assert_eq!(
-        bed.world.metrics().counter("ap.delegation_dns_failures"),
-        1
-    );
+    assert_eq!(bed.world.metrics().counter("ap.delegation_dns_failures"), 1);
 }

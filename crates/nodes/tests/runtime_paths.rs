@@ -82,7 +82,10 @@ fn mini_bed_multi(
     }
     cdn.wildcard(
         "edgekey.example".parse().expect("static"),
-        ZoneAnswer::A { ip: edge_ip, ttl: 60 },
+        ZoneAnswer::A {
+            ip: edge_ip,
+            ttl: 60,
+        },
     );
     let adns = world.add_node("adns", adns);
     let cdn = world.add_node("cdn-dns", cdn);
@@ -93,10 +96,7 @@ fn mini_bed_multi(
     }
     let ldns = world.add_node("ldns", LdnsNode::new(SimDuration::from_micros(200), table));
 
-    let ap = world.add_node(
-        "ap",
-        ApNode::new(ApConfig::default(), ldns, ip_map.clone()),
-    );
+    let ap = world.add_node("ap", ApNode::new(ApConfig::default(), ldns, ip_map.clone()));
 
     let mut clients = Vec::new();
     for (i, schedule) in schedules.into_iter().enumerate() {
@@ -109,15 +109,43 @@ fn mini_bed_multi(
             format!("client{i}"),
             ClientNode::new(client_config, apps.clone(), schedule),
         );
-        world.connect(client, ap, LinkSpec::from_rtt(1, SimDuration::from_millis(3)));
-        world.connect(client, edge, LinkSpec::from_rtt(7, SimDuration::from_millis(15)));
-        world.connect(client, ldns, LinkSpec::from_rtt(6, SimDuration::from_millis(16)));
+        world.connect(
+            client,
+            ap,
+            LinkSpec::from_rtt(1, SimDuration::from_millis(3)),
+        );
+        world.connect(
+            client,
+            edge,
+            LinkSpec::from_rtt(7, SimDuration::from_millis(15)),
+        );
+        world.connect(
+            client,
+            ldns,
+            LinkSpec::from_rtt(6, SimDuration::from_millis(16)),
+        );
         clients.push(client);
     }
-    world.connect(ap, ldns, LinkSpec::from_rtt(5, SimDuration::from_millis(13)));
-    world.connect(ap, edge, LinkSpec::from_rtt(7, SimDuration::from_millis(14)));
-    world.connect(ldns, adns, LinkSpec::from_rtt(12, SimDuration::from_millis(30)));
-    world.connect(ldns, cdn, LinkSpec::from_rtt(9, SimDuration::from_millis(20)));
+    world.connect(
+        ap,
+        ldns,
+        LinkSpec::from_rtt(5, SimDuration::from_millis(13)),
+    );
+    world.connect(
+        ap,
+        edge,
+        LinkSpec::from_rtt(7, SimDuration::from_millis(14)),
+    );
+    world.connect(
+        ldns,
+        adns,
+        LinkSpec::from_rtt(12, SimDuration::from_millis(30)),
+    );
+    world.connect(
+        ldns,
+        cdn,
+        LinkSpec::from_rtt(9, SimDuration::from_millis(20)),
+    );
     MiniBed {
         world,
         client: clients[0],
@@ -229,8 +257,7 @@ fn dead_resolver_exhausts_retries_then_fails() {
     bed.world.run_until(SimTime::from_secs(60));
     let metrics = bed.world.metrics();
     assert!(
-        metrics.counter("client.dns_retries") > 0
-            || metrics.counter("client.dns_give_ups") > 0,
+        metrics.counter("client.dns_retries") > 0 || metrics.counter("client.dns_give_ups") > 0,
         "retry machinery engaged"
     );
     let report = bed.world.node::<ClientNode>(bed.client).report();
@@ -266,7 +293,11 @@ fn standalone_mode_doubles_dns_queries() {
     );
     // Both deliver the data.
     assert_eq!(
-        standalone.world.node::<ClientNode>(standalone.client).report().failures,
+        standalone
+            .world
+            .node::<ClientNode>(standalone.client)
+            .report()
+            .failures,
         0
     );
 }
@@ -323,7 +354,6 @@ fn ap_cache_flush_recovers_via_delegation() {
     );
 }
 
-
 #[test]
 fn clients_share_the_ap_cache() {
     // A synthetic single-variant app: client A runs it first, client B
@@ -350,9 +380,6 @@ fn clients_share_the_ap_cache() {
     assert_eq!(a.executions, 1);
     assert_eq!(b.executions, 1);
     assert_eq!(a.hits, 0, "first client populated the cache");
-    assert_eq!(
-        b.hits, b.requests,
-        "second client hit everything: {b:?}"
-    );
+    assert_eq!(b.hits, b.requests, "second client hit everything: {b:?}");
     assert_eq!(a.failures + b.failures, 0);
 }

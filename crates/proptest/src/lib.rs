@@ -1,0 +1,724 @@
+//! # proptest (in-repo shim)
+//!
+//! A minimal, dependency-free re-implementation of the slice of the
+//! [proptest](https://docs.rs/proptest) API this workspace's property tests
+//! use. The build environment has no access to a crates.io registry, so the
+//! real crate cannot be fetched; rather than rewriting (and weakening) the
+//! property tests, this shim keeps them compiling and running unchanged.
+//!
+//! Differences from real proptest, deliberately accepted:
+//!
+//! * **No shrinking.** A failing case reports its inputs (via `Debug` in the
+//!   assertion message) and the deterministic case seed, but is not
+//!   minimized.
+//! * **Deterministic seeds.** Cases are derived from the test name and case
+//!   index, so failures always reproduce exactly — there is no persistence
+//!   file because none is needed.
+//! * **Tiny regex subset.** String strategies accept exactly the
+//!   `[class]{lo,hi}` shape (single character class with a bounded repeat),
+//!   which is all the workspace uses.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::ops::Range;
+
+// ---------------------------------------------------------------------
+// Deterministic RNG (xoshiro256++ seeded through SplitMix64)
+// ---------------------------------------------------------------------
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// Deterministic random source handed to strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: [u64; 4],
+}
+
+impl TestRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn seed_from(seed: u64) -> Self {
+        let mut sm = seed;
+        TestRng {
+            state: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
+        }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.state;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform value in `[0, n)`; `n` must be positive.
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform bool.
+    pub fn flip(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+}
+
+// ---------------------------------------------------------------------
+// Errors and config
+// ---------------------------------------------------------------------
+
+/// Why a single test case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// An assertion failed; the case is a real failure.
+    Fail(String),
+    /// The case's inputs were rejected by `prop_assume!`; try another.
+    Reject,
+}
+
+impl TestCaseError {
+    /// Constructs a failure with the given message.
+    pub fn fail(message: String) -> Self {
+        TestCaseError::Fail(message)
+    }
+}
+
+/// Subset of proptest's run configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Real proptest's default.
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Drives the case loop for one `proptest!`-generated test. Called by the
+/// macro expansion, not by user code.
+pub fn run_cases(
+    name: &str,
+    config: &ProptestConfig,
+    mut case: impl FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+) {
+    // FNV-1a over the test name anchors the seed sequence per test.
+    let mut base = 0xcbf29ce484222325u64;
+    for b in name.bytes() {
+        base ^= b as u64;
+        base = base.wrapping_mul(0x100000001b3);
+    }
+    let mut passed = 0u32;
+    let mut attempt = 0u64;
+    let max_attempts = config.cases as u64 * 16 + 64;
+    while passed < config.cases {
+        assert!(
+            attempt < max_attempts,
+            "proptest '{name}': too many rejected cases ({attempt} attempts for {} passes)",
+            passed
+        );
+        let seed = base ^ attempt.wrapping_mul(0x2545F4914F6CDD1D);
+        let mut rng = TestRng::seed_from(seed);
+        attempt += 1;
+        match case(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject) => {}
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("proptest '{name}' failed at case {passed} (seed {seed:#x}): {msg}")
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Strategy core
+// ---------------------------------------------------------------------
+
+/// Generates values of an output type from randomness.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+impl<V> Strategy for Box<dyn Strategy<Value = V>> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        (**self).generate(rng)
+    }
+}
+
+/// Boxes a strategy for use in heterogeneous unions (`prop_oneof!`).
+pub fn boxed<S: Strategy + 'static>(s: S) -> Box<dyn Strategy<Value = S::Value>> {
+    Box::new(s)
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Strategy producing a fixed value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice between boxed strategies of a common value type.
+pub struct Union<V> {
+    arms: Vec<Box<dyn Strategy<Value = V>>>,
+}
+
+impl<V> Union<V> {
+    /// Creates a union over `arms`; each arm is equally likely.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arms` is empty.
+    pub fn new(arms: Vec<Box<dyn Strategy<Value = V>>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let idx = rng.below(self.arms.len() as u64) as usize;
+        self.arms[idx].generate(rng)
+    }
+}
+
+// --- Ranges -----------------------------------------------------------
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end - self.start) as u64;
+                self.start + rng.below(span) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        let v = self.start + rng.unit() * (self.end - self.start);
+        if v < self.end {
+            v
+        } else {
+            self.start
+        }
+    }
+}
+
+// --- any::<T>() -------------------------------------------------------
+
+/// Types with a canonical full-range strategy.
+pub trait Arbitrary {
+    /// Draws an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! int_arbitrary {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+int_arbitrary!(u8, u16, u32, u64, usize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.flip()
+    }
+}
+
+impl<const N: usize> Arbitrary for [u8; N] {
+    fn arbitrary(rng: &mut TestRng) -> [u8; N] {
+        let mut out = [0u8; N];
+        for b in &mut out {
+            *b = rng.next_u64() as u8;
+        }
+        out
+    }
+}
+
+/// Strategy for [`Arbitrary`] types; returned by [`any`].
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+/// The canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+// --- Tuples -----------------------------------------------------------
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident . $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7)
+}
+
+// --- Strings (regex subset) -------------------------------------------
+
+/// Error from [`string::string_regex`] on an unsupported pattern.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegexError(pub String);
+
+impl fmt::Display for RegexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unsupported regex: {}", self.0)
+    }
+}
+
+impl std::error::Error for RegexError {}
+
+/// Compiled `[class]{lo,hi}` pattern.
+#[derive(Debug, Clone)]
+pub struct StringRegex {
+    chars: Vec<char>,
+    lo: usize,
+    hi: usize,
+}
+
+fn parse_char_class(pattern: &str) -> Result<StringRegex, RegexError> {
+    let err = || RegexError(pattern.to_owned());
+    let rest = pattern.strip_prefix('[').ok_or_else(err)?;
+    let close = rest.find(']').ok_or_else(err)?;
+    let class: Vec<char> = rest[..close].chars().collect();
+    let mut chars = Vec::new();
+    let mut i = 0;
+    while i < class.len() {
+        // `a-z` is a range unless `-` is the final character of the class.
+        if i + 2 < class.len() && class[i + 1] == '-' {
+            let (lo, hi) = (class[i] as u32, class[i + 2] as u32);
+            if lo > hi {
+                return Err(err());
+            }
+            for c in lo..=hi {
+                chars.push(char::from_u32(c).ok_or_else(err)?);
+            }
+            i += 3;
+        } else {
+            chars.push(class[i]);
+            i += 1;
+        }
+    }
+    if chars.is_empty() {
+        return Err(err());
+    }
+    let quant = rest[close + 1..]
+        .strip_prefix('{')
+        .and_then(|q| q.strip_suffix('}'))
+        .ok_or_else(err)?;
+    let (lo, hi) = match quant.split_once(',') {
+        Some((lo, hi)) => (
+            lo.parse().map_err(|_| err())?,
+            hi.parse().map_err(|_| err())?,
+        ),
+        None => {
+            let n = quant.parse().map_err(|_| err())?;
+            (n, n)
+        }
+    };
+    if lo > hi {
+        return Err(err());
+    }
+    Ok(StringRegex { chars, lo, hi })
+}
+
+impl Strategy for StringRegex {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let len = self.lo + rng.below((self.hi - self.lo + 1) as u64) as usize;
+        (0..len)
+            .map(|_| self.chars[rng.below(self.chars.len() as u64) as usize])
+            .collect()
+    }
+}
+
+/// String literals act as regex strategies, as in real proptest.
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        parse_char_class(self)
+            .unwrap_or_else(|e| panic!("{e}"))
+            .generate(rng)
+    }
+}
+
+/// String strategies.
+pub mod string {
+    use super::{parse_char_class, RegexError, StringRegex};
+
+    /// Compiles `pattern` (subset: `[class]{lo,hi}`) into a strategy.
+    pub fn string_regex(pattern: &str) -> Result<StringRegex, RegexError> {
+        parse_char_class(pattern)
+    }
+}
+
+// --- Collections ------------------------------------------------------
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Vectors of `element` values with length in `size` (half-open).
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty vec size range");
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.end - self.size.start) as u64;
+            let len = self.size.start + rng.below(span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+// --- Options ----------------------------------------------------------
+
+/// Option strategies.
+pub mod option {
+    use super::{Strategy, TestRng};
+
+    /// Strategy for `Option<S::Value>`.
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// `Some` three times out of four, `None` otherwise.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.below(4) > 0 {
+                Some(self.inner.generate(rng))
+            } else {
+                None
+            }
+        }
+    }
+}
+
+// --- Samples ----------------------------------------------------------
+
+/// Sampling helpers (`prop::sample`).
+pub mod sample {
+    use super::{Arbitrary, TestRng};
+
+    /// An index into a collection whose length is unknown at generation
+    /// time; resolved against a concrete length with [`Index::index`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct Index(u64);
+
+    impl Index {
+        /// Resolves to a position in `[0, len)`.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `len` is zero.
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "Index::index on empty collection");
+            (self.0 % len as u64) as usize
+        }
+    }
+
+    impl Arbitrary for Index {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            Index(rng.next_u64())
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------
+
+/// Declares property tests. See real proptest for the full syntax; this
+/// shim supports the `arg in strategy` form plus an optional leading
+/// `#![proptest_config(...)]`.
+#[macro_export]
+macro_rules! proptest {
+    (@with_config ($cfg:expr) $(
+        #[test]
+        fn $name:ident($($arg:pat in $strategy:expr),+ $(,)?) $body:block
+    )*) => {$(
+        #[test]
+        fn $name() {
+            let config = $cfg;
+            $crate::run_cases(stringify!($name), &config, |rng| {
+                $(let $arg = $crate::Strategy::generate(&($strategy), rng);)+
+                let out: ::std::result::Result<(), $crate::TestCaseError> = (|| {
+                    $body
+                    Ok(())
+                })();
+                out
+            });
+        }
+    )*};
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_config ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Fails the current case unless the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *a == *b,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($a), stringify!($b), a, b
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        if !(*a == *b) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(
+                format!("{}\n  left: {:?}\n right: {:?}", format!($($fmt)+), a, b),
+            ));
+        }
+    }};
+}
+
+/// Fails the current case if the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *a != *b,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($a), stringify!($b), a
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        if !(*a != *b) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(
+                format!("{}\n  both: {:?}", format!($($fmt)+), a),
+            ));
+        }
+    }};
+}
+
+/// Rejects the current case (resampled, not counted) unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Uniform choice among several strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::boxed($arm)),+])
+    };
+}
+
+/// The glob-importable prelude, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        Arbitrary, Just, ProptestConfig, Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn regex_subset_parses() {
+        let s = crate::string::string_regex("[a-z0-9_-]{1,12}").expect("supported");
+        let mut rng = crate::TestRng::seed_from(1);
+        for _ in 0..200 {
+            let out = crate::Strategy::generate(&s, &mut rng);
+            assert!((1..=12).contains(&out.len()), "{out:?}");
+            assert!(out
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_' || c == '-'));
+        }
+        // Printable-ASCII range class.
+        let s = crate::string::string_regex("[ -~]{0,60}").expect("supported");
+        for _ in 0..200 {
+            let out = crate::Strategy::generate(&s, &mut rng);
+            assert!(out.len() <= 60);
+            assert!(out.chars().all(|c| (' '..='~').contains(&c)));
+        }
+        assert!(crate::string::string_regex("foo*").is_err());
+    }
+
+    #[test]
+    fn deterministic_per_test_name() {
+        let mut a = crate::TestRng::seed_from(9);
+        let mut b = crate::TestRng::seed_from(9);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_generates_and_asserts(x in 1u64..100, v in crate::collection::vec(0u8..10, 0..5)) {
+            prop_assert!((1..100).contains(&x));
+            prop_assert!(v.len() < 5);
+            for b in &v {
+                prop_assert!(*b < 10);
+            }
+        }
+
+        #[test]
+        fn oneof_and_assume(flag in prop_oneof![Just(1u8), Just(2u8)], y in 0u32..50) {
+            prop_assume!(y != 13);
+            prop_assert!(flag == 1 || flag == 2);
+            prop_assert_ne!(y, 13);
+            prop_assert_eq!(y.wrapping_add(u32::from(flag)) - u32::from(flag), y);
+        }
+
+        #[test]
+        fn tuples_options_and_maps(
+            pair in (0u8..4, 0u8..4).prop_map(|(a, b)| (a as u16) * 4 + b as u16),
+            opt in crate::option::of(0u8..3),
+            idx in any::<prop::sample::Index>(),
+        ) {
+            prop_assert!(pair < 16);
+            if let Some(v) = opt {
+                prop_assert!(v < 3);
+            }
+            prop_assert!(idx.index(7) < 7);
+        }
+    }
+}

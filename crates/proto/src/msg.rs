@@ -114,9 +114,9 @@ impl Message for Msg {
             Msg::Dns(m) => m.wire_len() + 28,
             // TCP header (no payload) + IP header.
             Msg::TcpSyn { .. } | Msg::TcpSynAck { .. } => 40,
-            Msg::HttpReq { request, cache_op, .. } => {
-                request.wire_size() + 40 + if cache_op.is_some() { 24 } else { 0 }
-            }
+            Msg::HttpReq {
+                request, cache_op, ..
+            } => request.wire_size() + 40 + if cache_op.is_some() { 24 } else { 0 },
             Msg::HttpRsp { response, .. } => response.wire_size() + 40,
             Msg::WiCacheLookup { .. } => 28 + 16,
             Msg::WiCacheResult { .. } => 28 + 8,

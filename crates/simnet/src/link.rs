@@ -201,8 +201,8 @@ mod tests {
 
     #[test]
     fn jitter_adds_nonnegative_tail() {
-        let l = LinkSpec::new(1, SimDuration::from_millis(1))
-            .jitter_mean(SimDuration::from_millis(2));
+        let l =
+            LinkSpec::new(1, SimDuration::from_millis(1)).jitter_mean(SimDuration::from_millis(2));
         let mut r = rng();
         let base = SimDuration::from_millis(1);
         let mean: f64 = (0..5_000)

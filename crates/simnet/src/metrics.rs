@@ -80,7 +80,10 @@ impl Histogram {
         if self.samples.is_empty() {
             0.0
         } else {
-            self.samples.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+            self.samples
+                .iter()
+                .copied()
+                .fold(f64::NEG_INFINITY, f64::max)
         }
     }
 
@@ -159,6 +162,35 @@ impl TimeSeries {
         }
     }
 
+    /// Time-weighted (trapezoidal) mean of the values, or the point mean
+    /// when fewer than two points span a positive interval.
+    ///
+    /// Unlike [`TimeSeries::mean`], which weights every sample equally
+    /// regardless of spacing, this integrates the piecewise-linear curve
+    /// through the points and divides by the covered time span — the right
+    /// notion of "average CPU/memory" when sampling is uneven. Segments
+    /// whose time does not advance (duplicate timestamps, or the backward
+    /// jump where one trial's series was appended after another's via
+    /// [`Metrics::merge`]) contribute nothing and are skipped.
+    pub fn time_weighted_mean(&self) -> f64 {
+        let mut area = 0.0;
+        let mut span = 0.0;
+        for pair in self.points.windows(2) {
+            let (t1, v1) = pair[0];
+            let (t2, v2) = pair[1];
+            if t2 > t1 {
+                let dt = t2.saturating_since(t1).as_secs_f64();
+                area += 0.5 * (v1 + v2) * dt;
+                span += dt;
+            }
+        }
+        if span > 0.0 {
+            area / span
+        } else {
+            self.mean()
+        }
+    }
+
     /// Maximum value, or 0.0 when empty.
     pub fn max(&self) -> f64 {
         if self.points.is_empty() {
@@ -231,7 +263,10 @@ impl Metrics {
 
     /// Appends a point to the named time series.
     pub fn record_point(&mut self, name: &str, at: SimTime, value: f64) {
-        self.series.entry(name.to_owned()).or_default().record(at, value);
+        self.series
+            .entry(name.to_owned())
+            .or_default()
+            .record(at, value);
     }
 
     /// Read access to a time series, if it exists.
@@ -284,6 +319,47 @@ impl fmt::Display for Metrics {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn time_weighted_mean_weights_by_interval() {
+        let mut s = TimeSeries::new();
+        // 0.0 held for 9 s, then 1.0 for 1 s: point mean is ~0.5 but the
+        // trapezoidal mean must reflect the long quiet stretch.
+        s.record(SimTime::from_secs(0), 0.0);
+        s.record(SimTime::from_secs(9), 0.0);
+        s.record(SimTime::from_secs(10), 1.0);
+        let tw = s.time_weighted_mean();
+        assert!((tw - 0.05).abs() < 1e-12, "tw {tw}");
+        assert!((s.mean() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn time_weighted_mean_degenerate_cases() {
+        let empty = TimeSeries::new();
+        assert_eq!(empty.time_weighted_mean(), 0.0);
+
+        let mut single = TimeSeries::new();
+        single.record(SimTime::from_secs(1), 4.0);
+        assert_eq!(single.time_weighted_mean(), 4.0);
+
+        // Duplicate timestamps span no time: falls back to the point mean.
+        let mut dup = TimeSeries::new();
+        dup.record(SimTime::from_secs(1), 2.0);
+        dup.record(SimTime::from_secs(1), 6.0);
+        assert_eq!(dup.time_weighted_mean(), 4.0);
+    }
+
+    #[test]
+    fn time_weighted_mean_skips_backward_merge_seams() {
+        // Two trials merged back-to-back: the seam (t jumps backward) must
+        // not poison the integral.
+        let mut s = TimeSeries::new();
+        s.record(SimTime::from_secs(0), 2.0);
+        s.record(SimTime::from_secs(10), 2.0);
+        s.record(SimTime::from_secs(0), 4.0);
+        s.record(SimTime::from_secs(10), 4.0);
+        assert!((s.time_weighted_mean() - 3.0).abs() < 1e-12);
+    }
 
     #[test]
     fn histogram_percentiles_nearest_rank() {

@@ -60,7 +60,11 @@ impl From<u64> for TimerToken {
 ///
 /// `wire_size` drives transfer-time and bandwidth modelling; it should be the
 /// approximate on-the-wire size in bytes (headers included).
-pub trait Message: fmt::Debug + 'static {
+///
+/// Messages are `Send` so a whole [`World`](crate::World) — including its
+/// pending event queue — can be handed to a worker thread by the parallel
+/// experiment runner.
+pub trait Message: fmt::Debug + Send + 'static {
     /// Approximate serialized size in bytes.
     fn wire_size(&self) -> usize;
 }
@@ -88,7 +92,11 @@ impl<T: Any> AsAny for T {
 /// loop: they receive messages from linked peers and timer callbacks they
 /// scheduled themselves, and react by mutating local state and emitting new
 /// messages or timers through the [`Context`](crate::Context).
-pub trait Node<M: Message>: AsAny {
+///
+/// Nodes are `Send` (but not `Sync`): each [`World`](crate::World) owns its
+/// nodes exclusively, and the parallel experiment runner moves whole worlds
+/// onto worker threads. No node is ever shared between threads.
+pub trait Node<M: Message>: AsAny + Send {
     /// Called once before the first event is processed.
     fn on_start(&mut self, _ctx: &mut crate::Context<'_, M>) {}
 

@@ -1,16 +1,33 @@
 //! Deterministic randomness for simulations.
 //!
 //! Every run of the simulator is seeded explicitly, so identical seeds give
-//! identical event sequences. [`SimRng`] wraps a seedable PRNG and adds the
-//! sampling helpers the rest of the workspace needs (uniform ranges,
-//! exponential jitter, normal variates via Box–Muller).
-
-use rand::rngs::StdRng;
-use rand::{Rng, RngCore, SeedableRng};
+//! identical event sequences. [`SimRng`] wraps a self-contained xoshiro256++
+//! generator (no external dependencies, so streams are stable across
+//! toolchains and environments) and adds the sampling helpers the rest of
+//! the workspace needs (uniform ranges, exponential jitter, normal variates
+//! via Box–Muller).
 
 use crate::time::SimDuration;
 
+/// Advances a SplitMix64 state and returns the next output.
+///
+/// Used for seed expansion: it diffuses low-entropy seeds (0, 1, 2, …)
+/// into well-distributed xoshiro state words.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
 /// Deterministic pseudo-random source used throughout a simulation run.
+///
+/// The core generator is xoshiro256++ (Blackman & Vigna), seeded through
+/// SplitMix64. It is fast, passes the usual statistical batteries, and —
+/// because it is implemented in-repo — produces bit-identical streams on
+/// every platform, which the bitwise-determinism contract of the parallel
+/// experiment runner relies on.
 ///
 /// # Examples
 ///
@@ -23,14 +40,20 @@ use crate::time::SimDuration;
 /// ```
 #[derive(Debug, Clone)]
 pub struct SimRng {
-    inner: StdRng,
+    state: [u64; 4],
 }
 
 impl SimRng {
     /// Creates a generator from a 64-bit seed.
     pub fn seed_from(seed: u64) -> Self {
+        let mut sm = seed;
         SimRng {
-            inner: StdRng::seed_from_u64(seed),
+            state: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
         }
     }
 
@@ -39,20 +62,29 @@ impl SimRng {
     pub fn fork(&mut self, stream: u64) -> SimRng {
         // Mix the stream id through SplitMix64 so forks with nearby ids do
         // not produce correlated child seeds.
-        let mut z = self.inner.next_u64() ^ stream.wrapping_mul(0x9E3779B97F4A7C15);
+        let mut z = self.next_u64() ^ stream.wrapping_mul(0x9E3779B97F4A7C15);
         z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
         z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
         SimRng::seed_from(z ^ (z >> 31))
     }
 
-    /// Next raw 64-bit value.
+    /// Next raw 64-bit value (xoshiro256++ step).
     pub fn next_u64(&mut self) -> u64 {
-        self.inner.next_u64()
+        let s = &mut self.state;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
     }
 
-    /// Uniform float in `[0, 1)`.
+    /// Uniform float in `[0, 1)` with 53 bits of precision.
     pub fn unit(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Uniform integer in `[lo, hi]` (inclusive).
@@ -62,7 +94,14 @@ impl SimRng {
     /// Panics if `lo > hi`.
     pub fn uniform_u64(&mut self, lo: u64, hi: u64) -> u64 {
         assert!(lo <= hi, "uniform_u64: lo {lo} > hi {hi}");
-        self.inner.gen_range(lo..=hi)
+        let span = hi - lo;
+        if span == u64::MAX {
+            return self.next_u64();
+        }
+        // Multiply-shift maps the raw draw onto [0, span]; the bias for
+        // simulation-scale spans (≪ 2^64) is immeasurably small.
+        let range = span + 1;
+        lo + ((self.next_u64() as u128 * range as u128) >> 64) as u64
     }
 
     /// Uniform float in `[lo, hi)`.
@@ -71,12 +110,21 @@ impl SimRng {
     ///
     /// Panics if `lo > hi` or either bound is non-finite.
     pub fn uniform_f64(&mut self, lo: f64, hi: f64) -> f64 {
-        assert!(lo.is_finite() && hi.is_finite(), "uniform_f64: bounds must be finite");
+        assert!(
+            lo.is_finite() && hi.is_finite(),
+            "uniform_f64: bounds must be finite"
+        );
         assert!(lo <= hi, "uniform_f64: lo {lo} > hi {hi}");
         if lo == hi {
             return lo;
         }
-        self.inner.gen_range(lo..hi)
+        let v = lo + self.unit() * (hi - lo);
+        // Guard against rounding landing exactly on the open upper bound.
+        if v < hi {
+            v
+        } else {
+            lo
+        }
     }
 
     /// Bernoulli trial with probability `p` (clamped to `[0, 1]`).

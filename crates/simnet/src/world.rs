@@ -99,7 +99,9 @@ impl<'a, M: Message> Context<'a, M> {
 
     /// Nominal RTT of the link to `to`, if one exists.
     pub fn link_rtt(&self, to: NodeId) -> Option<SimDuration> {
-        self.topology.link(self.self_id, to).map(LinkSpec::nominal_rtt)
+        self.topology
+            .link(self.self_id, to)
+            .map(LinkSpec::nominal_rtt)
     }
 
     /// Arms a timer on this node that fires after `delay`.
@@ -208,7 +210,12 @@ impl<M: Message> World<M> {
     }
 
     /// Injects a message from `from` to `to` at the current time, as if
-    /// `from` had sent it (link delays apply). Useful to seed a run.
+    /// `from` had sent it (link delays apply, loss does not — injected
+    /// messages always arrive). Useful to seed a run.
+    ///
+    /// Counts toward `net.messages`/`net.bytes` like any node-sent
+    /// message, so traffic accounting is consistent however a message
+    /// entered the network.
     ///
     /// # Panics
     ///
@@ -219,16 +226,16 @@ impl<M: Message> World<M> {
             .link(from, to)
             .unwrap_or_else(|| panic!("no link {from} -> {to}"));
         let owd = link.sample_owd(msg.wire_size(), &mut self.rng);
+        self.metrics.incr("net.messages", 1);
+        self.metrics.incr("net.bytes", msg.wire_size() as u64);
         self.queue
             .push(self.clock + owd, EventKind::Deliver { to, from, msg });
     }
 
     /// Arms a timer on `node` that fires after `delay`.
     pub fn schedule_timer(&mut self, node: NodeId, delay: SimDuration, token: TimerToken) {
-        self.queue.push(
-            self.clock + delay,
-            EventKind::Timer { node, token },
-        );
+        self.queue
+            .push(self.clock + delay, EventKind::Timer { node, token });
     }
 
     /// Current simulation time.
@@ -523,6 +530,20 @@ mod tests {
     }
 
     #[test]
+    fn post_counts_traffic_like_node_sends() {
+        let (mut w, a, b) = two_node_world();
+        w.post(a, b, Num(2));
+        // The injected message is on the books before the run starts…
+        assert_eq!(w.metrics().counter("net.messages"), 1);
+        assert_eq!(w.metrics().counter("net.bytes"), 8);
+        // …and the two node-sent replies (2 → 1 → 0) accumulate on top,
+        // so injected and node-sent traffic share one consistent tally.
+        w.run_to_idle();
+        assert_eq!(w.metrics().counter("net.messages"), 3);
+        assert_eq!(w.metrics().counter("net.bytes"), 24);
+    }
+
+    #[test]
     fn node_send_applies_loss() {
         struct Spammer {
             peer: Option<NodeId>,
@@ -539,12 +560,7 @@ mod tests {
         }
         let mut w = World::new(3);
         let b = w.add_node("sink", Counter::new());
-        let a = w.add_node(
-            "spammer",
-            Spammer {
-                peer: Some(b),
-            },
-        );
+        let a = w.add_node("spammer", Spammer { peer: Some(b) });
         w.connect(
             a,
             b,
@@ -552,7 +568,10 @@ mod tests {
         );
         w.run_to_idle();
         let dropped = w.metrics().counter("net.dropped");
-        assert!((300..700).contains(&(dropped as usize)), "dropped {dropped}");
+        assert!(
+            (300..700).contains(&(dropped as usize)),
+            "dropped {dropped}"
+        );
         assert_eq!(w.node::<Counter>(b).received + dropped, 1000);
     }
 

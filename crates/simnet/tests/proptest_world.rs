@@ -91,7 +91,11 @@ fn run(w: &Workload) -> (Vec<(SimTime, u64)>, Vec<SimTime>, SimTime, u64) {
         );
     }
     for (i, &delay) in w.timers.iter().enumerate() {
-        world.schedule_timer(a, SimDuration::from_micros(delay), TimerToken::new(i as u64));
+        world.schedule_timer(
+            a,
+            SimDuration::from_micros(delay),
+            TimerToken::new(i as u64),
+        );
     }
     let report = world.run_to_idle();
     let mut receipts = world.node::<Recorder>(a).receipts.clone();

@@ -134,7 +134,10 @@ mod tests {
         // the least popular.
         let max = counts.iter().max().copied().unwrap();
         let min = counts.iter().min().copied().unwrap();
-        assert!(max as f64 > 3.0 * (min.max(1) as f64), "max {max} min {min}");
+        assert!(
+            max as f64 > 3.0 * (min.max(1) as f64),
+            "max {max} min {min}"
+        );
     }
 
     #[test]

@@ -109,7 +109,10 @@ pub fn generate_trace(spec: &TraceSpec, rng: &mut SimRng) -> Vec<Packet> {
             rng.uniform_f64(60.0, 120.0)
         } else {
             let data_mean = (avg_size - 0.35 * 90.0) / 0.65;
-            rng.uniform_f64((data_mean - 300.0).max(120.0), (data_mean + 300.0).min(1514.0))
+            rng.uniform_f64(
+                (data_mean - 300.0).max(120.0),
+                (data_mean + 300.0).min(1514.0),
+            )
         };
         packets.push(Packet {
             at: SimTime::ZERO + SimDuration::from_secs_f64(t.min(spec.duration.as_secs_f64())),
@@ -186,8 +189,8 @@ mod tests {
         let stats = trace_stats(&packets);
         assert_eq!(stats.packets, spec.packets);
         assert_eq!(stats.flows, spec.flows);
-        let size_err =
-            (stats.avg_packet_size - spec.avg_packet_size() as f64).abs() / spec.avg_packet_size() as f64;
+        let size_err = (stats.avg_packet_size - spec.avg_packet_size() as f64).abs()
+            / spec.avg_packet_size() as f64;
         assert!(size_err < 0.1, "avg size off by {size_err}");
         assert!(stats.duration <= spec.duration);
         assert!(stats.duration.as_secs_f64() > spec.duration.as_secs_f64() * 0.9);

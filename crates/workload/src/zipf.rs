@@ -40,7 +40,9 @@ impl ZipfSampler {
             exponent.is_finite() && exponent >= 0.0,
             "exponent must be non-negative"
         );
-        let raw: Vec<f64> = (0..n).map(|i| 1.0 / ((i + 1) as f64).powf(exponent)).collect();
+        let raw: Vec<f64> = (0..n)
+            .map(|i| 1.0 / ((i + 1) as f64).powf(exponent))
+            .collect();
         let total: f64 = raw.iter().sum();
         let weights: Vec<f64> = raw.iter().map(|w| w / total).collect();
         let mut cumulative = Vec::with_capacity(n);
@@ -122,8 +124,8 @@ mod tests {
         for _ in 0..n {
             counts[z.sample(&mut rng)] += 1;
         }
-        for i in 0..5 {
-            let observed = counts[i] as f64 / n as f64;
+        for (i, &count) in counts.iter().enumerate() {
+            let observed = count as f64 / n as f64;
             assert!(
                 (observed - z.weight(i)).abs() < 0.01,
                 "item {i}: observed {observed}, expected {}",

@@ -32,7 +32,15 @@ fn main() {
         let mut result = collect(system, &mut bed);
         let s = result.summary();
 
-        println!("{} ({}):", s.system, if system == System::ApeCache { "PACM" } else { "LRU" });
+        println!(
+            "{} ({}):",
+            s.system,
+            if system == System::ApeCache {
+                "PACM"
+            } else {
+                "LRU"
+            }
+        );
         println!(
             "  cache contents: {:.2} MB high-priority, {:.2} MB low-priority",
             high as f64 / 1e6,
@@ -51,7 +59,12 @@ fn main() {
             .metrics
             .histogram_names()
             .filter(|n| n.starts_with("client.app_latency_ms."))
-            .map(|n| result.metrics.histogram(n).map_or(0.0, |h| h.count() as f64))
+            .map(|n| {
+                result
+                    .metrics
+                    .histogram(n)
+                    .map_or(0.0, |h| h.count() as f64)
+            })
             .collect();
         println!("  per-app usage Gini: {:.3}\n", gini(&shares));
     }

@@ -48,8 +48,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         CacheTuple::new(hashes[1], CacheFlag::Hit),
         CacheTuple::new(hashes[2], CacheFlag::Delegation),
     ];
-    let response =
-        DnsMessage::dns_cache_response(&query, Ipv4Addr::new(10, 0, 0, 2), 60, tuples);
+    let response = DnsMessage::dns_cache_response(&query, Ipv4Addr::new(10, 0, 0, 2), 60, tuples);
     let response_wire = response.encode();
     println!("   {} bytes on the wire:", response_wire.len());
     hexdump(&response_wire);

@@ -35,8 +35,14 @@ fn main() {
         );
     }
     let (path, estimate) = movie.dag().critical_path();
-    let names: Vec<&str> = path.iter().map(|i| movie.dag().object(*i).name.as_str()).collect();
-    println!("  critical path: {} (≈{estimate} uncached)\n", names.join(" → "));
+    let names: Vec<&str> = path
+        .iter()
+        .map(|i| movie.dag().object(*i).name.as_str())
+        .collect();
+    println!(
+        "  critical path: {} (≈{estimate} uncached)\n",
+        names.join(" → ")
+    );
 
     println!("Running both real-world apps under each system (10 simulated minutes):\n");
     println!(
@@ -53,8 +59,16 @@ fn main() {
         };
         let mut result = run_system(&config, SimDuration::from_mins(10));
         let s = result.summary();
-        let m = s.per_app_latency_ms.get("MovieTrailer").copied().unwrap_or_default();
-        let v = s.per_app_latency_ms.get("VirtualHome").copied().unwrap_or_default();
+        let m = s
+            .per_app_latency_ms
+            .get("MovieTrailer")
+            .copied()
+            .unwrap_or_default();
+        let v = s
+            .per_app_latency_ms
+            .get("VirtualHome")
+            .copied()
+            .unwrap_or_default();
         println!(
             "{:<14} {:>11.1} ms {:>9.1} ms {:>11.1} ms {:>9.1} ms",
             s.system, m.0, m.1, v.0, v.1

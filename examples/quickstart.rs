@@ -37,9 +37,15 @@ fn main() {
         let mut result = run_system(&config, SimDuration::from_mins(5));
         let s = result.summary();
         println!("{}:", s.system);
-        println!("  app-level latency: {:.1} ms avg, {:.1} ms p95", s.app_latency_ms, s.app_latency_p95_ms);
+        println!(
+            "  app-level latency: {:.1} ms avg, {:.1} ms p95",
+            s.app_latency_ms, s.app_latency_p95_ms
+        );
         println!("  AP cache hit ratio: {:.1}%", s.hit_ratio * 100.0);
-        println!("  executions: {} ({} failed fetches)", s.executions, s.failures);
+        println!(
+            "  executions: {} ({} failed fetches)",
+            s.executions, s.failures
+        );
         println!();
     }
     println!("APE-CACHE serves cacheable objects from the WiFi AP one hop away;");

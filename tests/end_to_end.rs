@@ -68,7 +68,11 @@ fn wicache_controller_learns_placements() {
         "AP advertisements registered"
     );
     let result = collect(System::WiCache, &mut bed);
-    assert!(result.report.hit_ratio() > 0.3, "hit ratio {}", result.report.hit_ratio());
+    assert!(
+        result.report.hit_ratio() > 0.3,
+        "hit ratio {}",
+        result.report.hit_ratio()
+    );
 }
 
 #[test]
@@ -155,7 +159,12 @@ fn per_app_latencies_cover_every_app() {
     let cfg = config(System::ApeCache, 6, 8);
     let mut result = run_system(&cfg, SimDuration::from_mins(8));
     let s = result.summary();
-    assert_eq!(s.per_app_latency_ms.len(), 6, "{:?}", s.per_app_latency_ms.keys());
+    assert_eq!(
+        s.per_app_latency_ms.len(),
+        6,
+        "{:?}",
+        s.per_app_latency_ms.keys()
+    );
     for (name, (avg, p95)) in &s.per_app_latency_ms {
         assert!(*avg > 0.0, "{name} avg");
         // Nearest-rank p95 can dip just below a heavily right-skewed mean,

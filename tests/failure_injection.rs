@@ -39,7 +39,10 @@ fn lossy_upstream_dns_triggers_retries_not_collapse() {
     );
     let failure_rate = result.report.failures as f64 / result.report.requests.max(1) as f64;
     assert!(failure_rate < 0.10, "failure rate {failure_rate}");
-    assert!(result.metrics.counter("net.dropped") > 0, "loss was injected");
+    assert!(
+        result.metrics.counter("net.dropped") > 0,
+        "loss was injected"
+    );
 }
 
 #[test]
@@ -78,8 +81,14 @@ fn tiny_cache_thrashes_but_stays_correct() {
     let result = collect(System::ApeCache, &mut bed);
     assert_eq!(result.report.failures, 0, "thrash is slow, not wrong");
     let hit = result.report.hit_ratio();
-    assert!(hit < 0.5, "tiny cache cannot sustain a high hit ratio: {hit}");
-    assert!(result.metrics.counter("ap.evictions") > 0, "evictions happened");
+    assert!(
+        hit < 0.5,
+        "tiny cache cannot sustain a high hit ratio: {hit}"
+    );
+    assert!(
+        result.metrics.counter("ap.evictions") > 0,
+        "evictions happened"
+    );
 }
 
 #[test]

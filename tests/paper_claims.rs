@@ -43,8 +43,15 @@ fn eq1_object_level_latency_ordering_and_reductions() {
     let wicache = run(System::WiCache);
     let edge = run(System::EdgeCache);
 
-    let (a, w, e) = (object_level(&ape), object_level(&wicache), object_level(&edge));
-    assert!(a < w && w < e, "object-level ordering: ape {a:.1} wicache {w:.1} edge {e:.1}");
+    let (a, w, e) = (
+        object_level(&ape),
+        object_level(&wicache),
+        object_level(&edge),
+    );
+    assert!(
+        a < w && w < e,
+        "object-level ordering: ape {a:.1} wicache {w:.1} edge {e:.1}"
+    );
 
     // Paper: 51.7% vs Wi-Cache and 74.5% vs Edge Cache. Bands: 30–70% and
     // 50–85%.
@@ -54,12 +61,19 @@ fn eq1_object_level_latency_ordering_and_reductions() {
         (0.30..0.70).contains(&vs_wicache),
         "reduction vs Wi-Cache {vs_wicache:.2}"
     );
-    assert!((0.50..0.85).contains(&vs_edge), "reduction vs Edge {vs_edge:.2}");
+    assert!(
+        (0.50..0.85).contains(&vs_edge),
+        "reduction vs Edge {vs_edge:.2}"
+    );
 
     // Lookup anatomy: APE-CACHE's piggybacked lookup is millisecond-level;
     // Wi-Cache pays its remote controller on every lookup.
     assert!(ape.lookup_ms < 15.0, "APE lookup {:.1}", ape.lookup_ms);
-    assert!(wicache.lookup_ms > 20.0, "Wi-Cache lookup {:.1}", wicache.lookup_ms);
+    assert!(
+        wicache.lookup_ms > 20.0,
+        "Wi-Cache lookup {:.1}",
+        wicache.lookup_ms
+    );
     // Retrieval anatomy: AP-served hits are several times faster than
     // edge fetches.
     assert!(

@@ -32,14 +32,16 @@ fn arb_scenario() -> impl Strategy<Value = Scenario> {
         2u64..4,
         any::<u64>(),
     )
-        .prop_map(|(system, apps, size_hi, frequency, minutes, seed)| Scenario {
-            system,
-            apps,
-            size_hi,
-            frequency,
-            minutes,
-            seed,
-        })
+        .prop_map(
+            |(system, apps, size_hi, frequency, minutes, seed)| Scenario {
+                system,
+                apps,
+                size_hi,
+                frequency,
+                minutes,
+                seed,
+            },
+        )
 }
 
 fn run(scenario: &Scenario) -> (apecache::RunResult, u64, u64) {
