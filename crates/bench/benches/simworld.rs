@@ -1,9 +1,11 @@
 //! Simulator-substrate benchmarks: raw event throughput and the cost of a
 //! full testbed-minute, which bounds how fast the repro harness can sweep.
 
+use std::time::{Duration, Instant};
+
 use ape_appdag::DummyAppConfig;
 use ape_bench::microbench::{criterion_group, criterion_main, Criterion};
-use ape_simnet::{Context, LinkSpec, Message, Node, NodeId, SimDuration, World};
+use ape_simnet::{Context, LinkSpec, Message, Node, NodeId, SimDuration, TraceConfig, World};
 use ape_workload::ScheduleConfig;
 use apecache::{build, synthetic_suite, System, TestbedConfig};
 
@@ -65,5 +67,53 @@ fn bench_testbed_minute(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_event_throughput, bench_testbed_minute);
+/// Guard: span tracing is pay-for-what-you-use. With tracing off (the
+/// default), a testbed minute must be no slower than the same run with
+/// tracing fully on, within measurement noise — min-of-trials on both
+/// sides, interleaved to cancel machine drift.
+fn bench_trace_overhead(_c: &mut Criterion) {
+    fn run_minute(trace: TraceConfig) -> Duration {
+        let apps = synthetic_suite(10, &DummyAppConfig::default(), 3);
+        let mut config = TestbedConfig::new(System::ApeCache, apps);
+        config.schedule = ScheduleConfig {
+            apps: 10,
+            duration: SimDuration::from_mins(1),
+            ..ScheduleConfig::default()
+        };
+        config.trace = trace;
+        let mut bed = build(&config);
+        let start = Instant::now();
+        bed.world.run_for(SimDuration::from_mins(1));
+        start.elapsed()
+    }
+
+    const TRIALS: usize = 5;
+    let mut off = Duration::MAX;
+    let mut on = Duration::MAX;
+    for _ in 0..TRIALS {
+        off = off.min(run_minute(TraceConfig::default()));
+        on = on.min(run_minute(TraceConfig::enabled()));
+    }
+    println!(
+        "bench testbed/minute_trace_off {:>26} min-of-{TRIALS}",
+        format!("{off:?}")
+    );
+    println!(
+        "bench testbed/minute_trace_on  {:>26} min-of-{TRIALS}",
+        format!("{on:?}")
+    );
+    let budget = on.mul_f64(1.05) + Duration::from_millis(10);
+    assert!(
+        off <= budget,
+        "tracing-off run ({off:?}) exceeds traced run + 5% + 10ms ({budget:?}) — \
+         the disabled-tracing fast path regressed"
+    );
+}
+
+criterion_group!(
+    benches,
+    bench_event_throughput,
+    bench_testbed_minute,
+    bench_trace_overhead
+);
 criterion_main!(benches);

@@ -2,32 +2,48 @@
 //!
 //! ```text
 //! repro [--quick] [--minutes N] [--trials N] [--micro-trials N]
-//!       [--threads N] [--seed N] <artifact>...
+//!       [--threads N] [--seed N] [--trace-out DIR] <artifact>...
 //!
 //! artifacts:
 //!   table1 table2 table4 table5 table6 table7
 //!   fig2 fig11a fig11b fig11c fig12 fig13a fig13b fig13c fig14
-//!   object-level ablations speedup all
+//!   object-level ablations speedup trace all
 //! ```
 //!
 //! `--trials N` replicates every sweep point over N seeds (pooled before
 //! summarizing); `--threads N` sizes the parallel runner's worker pool
 //! (0 = auto). Results are bitwise identical for any `--threads` value.
+//!
+//! The `trace` artifact runs all four systems with span tracing enabled
+//! and prints per-request latency attribution plus critical-path reports;
+//! with `--trace-out DIR` it also writes `trace.jsonl` (one span event per
+//! line), `metrics.prom` (Prometheus text format), and
+//! `critical-paths.txt` to that directory.
 
+use std::path::PathBuf;
 use std::time::Instant;
 
 use ape_bench::{
     ablations, fig11a, fig11b, fig11c, fig12, fig13a, fig13b, fig13c, fig14, fig2, object_level,
-    speedup, table1, table2, table4, table5, table6, table7, ReproOptions,
+    speedup, table1, table2, table4, table5, table6, table7, trace_artifacts, ReproOptions,
+    TraceArtifacts,
 };
+
+fn write_trace_files(dir: &std::path::Path, artifacts: &TraceArtifacts) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    std::fs::write(dir.join("trace.jsonl"), &artifacts.jsonl)?;
+    std::fs::write(dir.join("metrics.prom"), &artifacts.prometheus)?;
+    std::fs::write(dir.join("critical-paths.txt"), &artifacts.report)?;
+    Ok(())
+}
 
 fn usage() -> ! {
     eprintln!(
         "usage: repro [--quick] [--minutes N] [--trials N] [--micro-trials N]\n\
-         \u{20}            [--threads N] [--seed N] <artifact>...\n\
+         \u{20}            [--threads N] [--seed N] [--trace-out DIR] <artifact>...\n\
          artifacts: table1 table2 table4 table5 table6 table7 fig2 fig11a fig11b\n\
          \u{20}          fig11c fig12 fig13a fig13b fig13c fig14 object-level\n\
-         \u{20}          ablations speedup all"
+         \u{20}          ablations speedup trace all"
     );
     std::process::exit(2);
 }
@@ -35,10 +51,14 @@ fn usage() -> ! {
 fn main() {
     let mut opts = ReproOptions::default();
     let mut artifacts: Vec<String> = Vec::new();
+    let mut trace_out: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" => opts = ReproOptions::quick(),
+            "--trace-out" => {
+                trace_out = Some(PathBuf::from(args.next().unwrap_or_else(|| usage())))
+            }
             "--minutes" => {
                 opts.minutes = args
                     .next()
@@ -97,6 +117,7 @@ fn main() {
             "table7",
             "ablations",
             "speedup",
+            "trace",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -123,6 +144,19 @@ fn main() {
             "object-level" => object_level(&opts),
             "ablations" => ablations(&opts),
             "speedup" => speedup(&opts),
+            "trace" => {
+                let artifacts = trace_artifacts(&opts);
+                if let Some(dir) = &trace_out {
+                    if let Err(err) = write_trace_files(dir, &artifacts) {
+                        eprintln!(
+                            "failed to write trace artifacts to {}: {err}",
+                            dir.display()
+                        );
+                        std::process::exit(1);
+                    }
+                }
+                artifacts.report
+            }
             other => {
                 eprintln!("unknown artifact: {other}");
                 usage();

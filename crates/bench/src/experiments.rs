@@ -2,6 +2,7 @@
 //! Fig. 11, Tables IV–VI, Figs. 12–14, plus the Fig. 2 feasibility replay.
 
 use ape_appdag::DummyAppConfig;
+use ape_proto::names;
 use ape_simnet::SimDuration;
 use ape_workload::{generate_trace, trace_stats, ScheduleConfig, TraceSpec};
 use apecache::{
@@ -50,11 +51,11 @@ impl ReproOptions {
         }
     }
 
-    fn duration(&self) -> SimDuration {
+    pub(crate) fn duration(&self) -> SimDuration {
         SimDuration::from_mins(self.minutes)
     }
 
-    fn runner(&self) -> ParallelRunner {
+    pub(crate) fn runner(&self) -> ParallelRunner {
         ParallelRunner::with_threads(self.threads)
     }
 
@@ -75,7 +76,7 @@ pub struct SweepRow {
     pub summaries: Vec<(System, Summary)>,
 }
 
-fn base_config(
+pub(crate) fn base_config(
     system: System,
     opts: &ReproOptions,
     dummy: &DummyAppConfig,
@@ -108,7 +109,7 @@ fn point_config(
 
 /// Expands one point configuration into `opts.trials` replica jobs with
 /// consecutive seeds (mirroring the core runner's replication scheme).
-fn replica_jobs(config: &TestbedConfig, opts: &ReproOptions) -> Vec<RunJob> {
+pub(crate) fn replica_jobs(config: &TestbedConfig, opts: &ReproOptions) -> Vec<RunJob> {
     (0..opts.trials.max(1))
         .map(|trial| {
             let mut config = config.clone();
@@ -543,12 +544,12 @@ pub fn fig14(opts: &ReproOptions) -> String {
         let summary = result.summary();
         // Forwarding estimate shared by both deployments. Counters are
         // pooled over all trials, so normalize by the pooled duration.
-        let bytes = result.metrics.counter("net.bytes") as f64;
-        let msgs = result.metrics.counter("net.messages") as f64;
+        let bytes = result.metrics.counter(names::NET_BYTES) as f64;
+        let msgs = result.metrics.counter(names::NET_MESSAGES) as f64;
         let secs = opts.duration().as_secs_f64() * trials as f64;
         let fwd = (bytes * model.per_byte_cpu_ns / 1e9 + msgs * model.per_packet_cpu.as_secs_f64())
             / (secs * model.cores as f64);
-        let mem_series = result.metrics.time_series("ap.ape_mem_mb").cloned();
+        let mem_series = result.metrics.time_series(names::AP_APE_MEM_MB).cloned();
         let (mem_avg, mem_max) = match (system, mem_series) {
             (System::ApeCache, Some(s)) => (s.time_weighted_mean(), s.max()),
             // The regular AP runs no APE components.

@@ -16,12 +16,14 @@ mod experiments;
 mod lookup_overhead;
 pub mod microbench;
 pub mod progmodel;
+mod tracing;
 
 pub use experiments::{
     ablations, fig11a, fig11c, fig12, fig13a, fig13b, fig13c, fig14, fig2, object_level, speedup,
     table2, table4, table5, table6, ReproOptions, SweepRow,
 };
 pub use lookup_overhead::fig11b;
+pub use tracing::{trace_artifacts, traced_config, TraceArtifacts};
 
 use apecache::measure_table1;
 

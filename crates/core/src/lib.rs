@@ -46,6 +46,7 @@ mod run;
 mod suite;
 mod system;
 mod testbed;
+mod trace;
 
 pub use internet::{measure_cell, measure_table1, table1_paths, PathSpec, Table1Cell};
 pub use router::{replay_summary, replay_trace, RouterModel, RouterSample};
@@ -55,3 +56,4 @@ pub use run::{
 pub use suite::{paper_suite, synthetic_suite};
 pub use system::System;
 pub use testbed::{build, Testbed, TestbedConfig};
+pub use trace::{prometheus_snapshot, Attribution, BucketStat, TraceLog, TraceRecord};

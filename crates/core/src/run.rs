@@ -16,10 +16,12 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::thread;
 
 use ape_nodes::ClientNode;
-use ape_simnet::{Metrics, SimDuration};
+use ape_proto::names;
+use ape_simnet::{Metrics, NodeId, SimDuration};
 
 use crate::system::System;
 use crate::testbed::{build, Testbed, TestbedConfig};
+use crate::trace::{Attribution, TraceLog};
 
 /// Raw result of one run: the full metric registry plus merged client
 /// counters.
@@ -31,6 +33,8 @@ pub struct RunResult {
     pub metrics: Metrics,
     /// Merged per-client outcome counters.
     pub report: ape_nodes::ClientReport,
+    /// The run's span events, when tracing was enabled in the config.
+    pub trace: Option<TraceLog>,
 }
 
 /// Headline numbers extracted from a run, named after the paper's plots.
@@ -51,8 +55,12 @@ pub struct Summary {
     pub object_level_ms: f64,
     /// Mean app-level latency (Fig. 12/13).
     pub app_latency_ms: f64,
+    /// Median app-level latency.
+    pub app_latency_p50_ms: f64,
     /// 95th-percentile app-level latency (Fig. 12 tail).
     pub app_latency_p95_ms: f64,
+    /// 99th-percentile app-level latency.
+    pub app_latency_p99_ms: f64,
     /// Per-app mean and p95 latency, keyed by app name.
     pub per_app_latency_ms: BTreeMap<String, (f64, f64)>,
     /// AP cache hit ratio across all cacheable fetches.
@@ -69,6 +77,8 @@ pub struct Summary {
     pub ap_cpu_max: f64,
     /// Peak APE-CACHE memory on the AP, MB.
     pub ape_mem_mb_max: f64,
+    /// Latency attribution from request traces (when tracing was on).
+    pub attribution: Option<Attribution>,
 }
 
 /// Builds the testbed for `config`, runs it for `duration`, and collects
@@ -85,10 +95,17 @@ pub fn collect(system: System, bed: &mut Testbed) -> RunResult {
     for &client in &bed.clients {
         report.merge(&bed.world.node::<ClientNode>(client).report());
     }
+    let trace = bed.world.trace().is_enabled().then(|| {
+        let names: Vec<String> = (0..bed.world.node_count())
+            .map(|i| bed.world.node_name(NodeId::from_raw(i as u32)).to_owned())
+            .collect();
+        TraceLog::from_run(names, bed.world.take_trace_events())
+    });
     RunResult {
         system,
         metrics: bed.world.metrics().clone(),
         report,
+        trace,
     }
 }
 
@@ -96,27 +113,39 @@ impl RunResult {
     /// Extracts the headline summary (sorting histograms as needed).
     pub fn summary(&mut self) -> Summary {
         let m = &mut self.metrics;
-        let lookup_ms = m.mean("client.lookup_query_ms");
-        let retrieval_ms = m.mean("client.retrieval_ms");
-        let retrieval_hit_ms = m.mean("client.retrieval_hit_ms");
-        let retrieval_edge_ms = m.mean("client.retrieval_edge_ms");
-        let app_latency_ms = m.mean("client.app_latency_ms");
-        let app_latency_p95_ms = m.percentile("client.app_latency_ms", 95.0);
+        let lookup_ms = m.mean(names::CLIENT_LOOKUP_QUERY_MS);
+        let retrieval_ms = m.mean(names::CLIENT_RETRIEVAL_MS);
+        let retrieval_hit_ms = m.mean(names::CLIENT_RETRIEVAL_HIT_MS);
+        let retrieval_edge_ms = m.mean(names::CLIENT_RETRIEVAL_EDGE_MS);
+        let app_latency_ms = m.mean(names::CLIENT_APP_LATENCY_MS);
+        let app_latency_p50_ms = m.quantile(names::CLIENT_APP_LATENCY_MS, 0.50);
+        let app_latency_p95_ms = m.quantile(names::CLIENT_APP_LATENCY_MS, 0.95);
+        let app_latency_p99_ms = m.quantile(names::CLIENT_APP_LATENCY_MS, 0.99);
 
         let mut per_app_latency_ms = BTreeMap::new();
         let app_names: Vec<String> = m
             .histogram_names()
-            .filter_map(|n| n.strip_prefix("client.app_latency_ms.").map(str::to_owned))
+            .filter_map(|n| {
+                n.strip_prefix(names::CLIENT_APP_LATENCY_MS_PREFIX)
+                    .map(str::to_owned)
+            })
             .collect();
         for name in app_names {
-            let key = format!("client.app_latency_ms.{name}");
+            let key = names::client_app_latency_ms(&name);
             let mean = m.mean(&key);
-            let p95 = m.percentile(&key, 95.0);
+            let p95 = m.quantile(&key, 0.95);
             per_app_latency_ms.insert(name, (mean, p95));
         }
 
-        let cpu = m.time_series("ap.cpu").cloned().unwrap_or_default();
-        let mem = m.time_series("ap.ape_mem_mb").cloned().unwrap_or_default();
+        let cpu = m.time_series(names::AP_CPU).cloned().unwrap_or_default();
+        let mem = m
+            .time_series(names::AP_APE_MEM_MB)
+            .cloned()
+            .unwrap_or_default();
+        let attribution = self
+            .trace
+            .as_ref()
+            .map(|t| t.attribution(self.system.label()));
 
         Summary {
             system: self.system.label().to_owned(),
@@ -126,7 +155,9 @@ impl RunResult {
             retrieval_edge_ms,
             object_level_ms: lookup_ms + retrieval_ms,
             app_latency_ms,
+            app_latency_p50_ms,
             app_latency_p95_ms,
+            app_latency_p99_ms,
             per_app_latency_ms,
             hit_ratio: self.report.hit_ratio(),
             high_priority_hit_ratio: self.report.high_priority_hit_ratio(),
@@ -137,6 +168,7 @@ impl RunResult {
             ap_cpu_mean: cpu.time_weighted_mean(),
             ap_cpu_max: cpu.max(),
             ape_mem_mb_max: mem.max(),
+            attribution,
         }
     }
 
@@ -151,6 +183,11 @@ impl RunResult {
         debug_assert_eq!(self.system, other.system, "merging across systems");
         self.metrics.merge(&other.metrics);
         self.report.merge(&other.report);
+        match (&mut self.trace, &other.trace) {
+            (Some(mine), Some(theirs)) => mine.merge(theirs),
+            (mine @ None, Some(theirs)) => *mine = Some(theirs.clone()),
+            (_, None) => {}
+        }
     }
 }
 
@@ -407,7 +444,9 @@ mod tests {
             s.retrieval_edge_ms.to_bits(),
             s.object_level_ms.to_bits(),
             s.app_latency_ms.to_bits(),
+            s.app_latency_p50_ms.to_bits(),
             s.app_latency_p95_ms.to_bits(),
+            s.app_latency_p99_ms.to_bits(),
             s.hit_ratio.to_bits(),
             s.high_priority_hit_ratio.to_bits(),
             s.executions,
@@ -421,12 +460,28 @@ mod tests {
             bits.push(mean.to_bits());
             bits.push(p95.to_bits());
         }
+        if let Some(a) = &s.attribution {
+            bits.push(a.traces);
+            bits.push(a.completed);
+            for (stage, stat) in &a.stages {
+                bits.push(stage.len() as u64);
+                bits.push(stat.count);
+                bits.push(stat.total_ms.to_bits());
+                bits.push(stat.mean_ms.to_bits());
+                bits.push(stat.p50_ms.to_bits());
+                bits.push(stat.p95_ms.to_bits());
+                bits.push(stat.p99_ms.to_bits());
+            }
+        }
         bits
     }
 
     #[test]
     fn parallel_runner_is_bitwise_identical_to_sequential() {
-        let base = small_config(System::ApeCache);
+        // Tracing stays on here so the pin also covers span recording and
+        // the attribution numbers derived from it.
+        let mut base = small_config(System::ApeCache);
+        base.trace = ape_simnet::TraceConfig::enabled();
         let duration = SimDuration::from_mins(2);
         let trials = 3;
 
@@ -446,6 +501,48 @@ mod tests {
                 "summaries for {sys_a:?} differ between 1 and 4 threads"
             );
         }
+    }
+
+    #[test]
+    fn traced_runs_export_identical_jsonl_across_thread_counts() {
+        let mut base = small_config(System::ApeCache);
+        base.trace = ape_simnet::TraceConfig::enabled();
+        let duration = SimDuration::from_mins(2);
+        let export = |threads: usize| {
+            let result = ParallelRunner::with_threads(threads).run_replicated(&base, duration, 2);
+            let log = result.trace.as_ref().expect("tracing was enabled");
+            assert_eq!(log.runs(), 2);
+            log.to_jsonl(base.system.label())
+        };
+        let sequential = export(1);
+        let parallel = export(4);
+        assert!(!sequential.is_empty(), "traced run recorded no events");
+        assert_eq!(sequential, parallel, "JSONL differs across thread counts");
+    }
+
+    #[test]
+    fn untraced_runs_carry_no_trace_log() {
+        let result = run_system(&small_config(System::ApeCache), SimDuration::from_mins(1));
+        assert!(result.trace.is_none());
+    }
+
+    #[test]
+    fn traced_run_attributes_latency_to_stages() {
+        let mut config = small_config(System::ApeCache);
+        config.trace = ape_simnet::TraceConfig::enabled();
+        let mut result = run_system(&config, SimDuration::from_mins(5));
+        let summary = result.summary();
+        let a = summary.attribution.as_ref().expect("tracing was enabled");
+        assert!(a.traces > 30, "traces {}", a.traces);
+        assert!(a.completed > 30, "completed {}", a.completed);
+        let fetch = a.stage(ape_proto::SpanKind::Fetch);
+        let lookup = a.stage(ape_proto::SpanKind::Lookup);
+        let hit = a.stage(ape_proto::SpanKind::RetrievalHit);
+        assert_eq!(fetch.count, a.completed);
+        assert!(lookup.count > 0 && hit.count > 0);
+        // Stages nest inside the root fetch span.
+        assert!(lookup.mean_ms < fetch.mean_ms);
+        assert!(hit.p95_ms <= fetch.p95_ms);
     }
 
     #[test]

@@ -16,7 +16,7 @@ use ape_nodes::{
     ZoneAnswer,
 };
 use ape_proto::{IpMap, Msg};
-use ape_simnet::{LinkSpec, NodeId, SimDuration, SimRng, World};
+use ape_simnet::{LinkSpec, NodeId, SimDuration, SimRng, TraceConfig, World};
 use ape_workload::{generate_schedule, Execution, ScheduleConfig};
 
 use crate::system::System;
@@ -43,6 +43,9 @@ pub struct TestbedConfig {
     /// Extension (paper §VI): clients send request-dependency information
     /// so the AP prefetches upcoming objects.
     pub prefetch_hints: bool,
+    /// Request-tracing knobs (disabled by default; enabling records causal
+    /// spans for every sampled client fetch).
+    pub trace: TraceConfig,
     /// Root seed for all randomness in the run.
     pub seed: u64,
 }
@@ -59,6 +62,7 @@ impl TestbedConfig {
             lookup_mode: LookupMode::Piggybacked,
             prewarm_edge: true,
             prefetch_hints: false,
+            trace: TraceConfig::default(),
             seed: 42,
         }
     }
@@ -112,6 +116,7 @@ pub fn build(config: &TestbedConfig) -> Testbed {
     assert!(!config.apps.is_empty(), "testbed needs at least one app");
     assert!(config.clients > 0, "testbed needs at least one client");
     let mut world = World::new(config.seed);
+    world.set_trace_config(config.trace);
 
     // --- Catalog shared by origin and edge -----------------------------
     let mut catalog = Catalog::new();

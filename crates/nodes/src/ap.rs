@@ -26,8 +26,10 @@ use ape_cachealg::{
 };
 use ape_dnswire::{CacheFlag, CacheTuple, DnsMessage, DomainName, UrlHash};
 use ape_httpsim::{Body, HttpRequest, HttpResponse, Url};
-use ape_proto::{CacheOp, ConnId, IpMap, Msg, RequestId};
-use ape_simnet::{Context, CpuMeter, MemMeter, Node, NodeId, SimDuration, SimTime, TimerToken};
+use ape_proto::{names, CacheOp, ConnId, IpMap, Msg, RequestId, SpanKind};
+use ape_simnet::{
+    Context, CpuMeter, MemMeter, Node, NodeId, SimDuration, SimTime, SpanCtx, TimerToken,
+};
 
 /// Which eviction policy the AP runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -124,6 +126,9 @@ struct Delegation {
     started: SimTime,
     /// Whether the fetched object should be admitted to the cache.
     cache_result: bool,
+    /// WAN-fetch span, attributed to the waiter that triggered the fetch
+    /// (prefetch delegations are untraced).
+    span: Option<SpanCtx>,
 }
 
 /// A DNS query forwarded upstream, awaiting the answer.
@@ -135,6 +140,8 @@ struct PendingForward {
     extra_flags: bool,
     /// True for the AP's own delegation resolutions (no client to relay to).
     internal: bool,
+    /// Upstream-resolution span, child of the querying client's lookup.
+    span: Option<SpanCtx>,
 }
 
 const TICK_WINDOW: TimerToken = TimerToken::new(1);
@@ -343,9 +350,9 @@ impl ApNode {
         let mut cost = self.config.dns_processing;
         if is_cache_query {
             cost += self.config.dnscache_extra;
-            ctx.metrics().incr("ap.dns_cache_queries", 1);
+            ctx.metrics().incr(names::AP_DNS_CACHE_QUERIES, 1);
         } else {
-            ctx.metrics().incr("ap.dns_queries", 1);
+            ctx.metrics().incr(names::AP_DNS_QUERIES, 1);
         }
         let latency = self.work(now, cost);
         let Some(domain) = query.question_name().cloned() else {
@@ -372,7 +379,7 @@ impl ApNode {
                 .iter()
                 .all(|k| self.cache.peek(*k, now) == Lookup::Hit)
         {
-            ctx.metrics().incr("ap.short_circuits", 1);
+            ctx.metrics().incr(names::AP_SHORT_CIRCUITS, 1);
             let response = DnsMessage::dns_cache_response(&query, IpMap::DUMMY, 0, tuples);
             ctx.send_after(latency, from, Msg::Dns(response));
             return;
@@ -381,7 +388,7 @@ impl ApNode {
         // dnsmasq cache.
         if let Some((ip, expires, _)) = self.dns_cache.get(&domain) {
             if *expires > now {
-                ctx.metrics().incr("ap.dns_cache_hits", 1);
+                ctx.metrics().incr(names::AP_DNS_CACHE_HITS, 1);
                 let remaining = (*expires - now).as_secs_f64() as u32;
                 let response =
                     DnsMessage::dns_cache_response(&query, *ip, remaining.max(1), tuples);
@@ -391,7 +398,8 @@ impl ApNode {
         }
 
         // Forward upstream; flags are recomputed when the answer returns.
-        ctx.metrics().incr("ap.dns_forwards", 1);
+        ctx.metrics().incr(names::AP_DNS_FORWARDS, 1);
+        let span = ctx.span_start(SpanKind::DnsUpstream.as_str());
         let txn = self.next_txn;
         self.next_txn = self.next_txn.wrapping_add(1).max(1);
         self.pending_forwards.insert(
@@ -401,6 +409,7 @@ impl ApNode {
                 query,
                 extra_flags: is_cache_query,
                 internal: false,
+                span,
             },
         );
         let upstream_query = DnsMessage::query(txn, domain);
@@ -430,12 +439,18 @@ impl ApNode {
         // Resume delegations that were waiting for this resolution — or
         // fail them when the domain did not resolve; re-entering the fetch
         // path on a permanent NXDOMAIN would re-query upstream forever.
+        // Each resumed fetch switches the span context to its own
+        // delegation, so restore the responder's context for the relay.
+        let relay_span = ctx.span_ctx();
         if let Some(keys) = self.awaiting_dns.remove(&domain) {
             for key in keys {
                 if answer.is_some() {
                     self.start_upstream_fetch(ctx, key);
                 } else if let Some(delegation) = self.delegations.remove(&key) {
-                    ctx.metrics().incr("ap.delegation_dns_failures", 1);
+                    ctx.metrics().incr(names::AP_DELEGATION_DNS_FAILURES, 1);
+                    if let Some(span) = delegation.span {
+                        ctx.span_end(span, SpanKind::WanFetch.as_str());
+                    }
                     for w in delegation.waiters {
                         ctx.send(
                             w.node,
@@ -450,8 +465,12 @@ impl ApNode {
                 }
             }
         }
+        ctx.set_span_ctx(relay_span);
 
         // Relay to the querying client (if this forward had one).
+        if let Some(span) = pending.span {
+            ctx.span_end(span, SpanKind::DnsUpstream.as_str());
+        }
         if pending.internal {
             return;
         }
@@ -502,7 +521,7 @@ impl ApNode {
         if let Some(op) = op {
             self.cache.note_request(op.app);
         }
-        ctx.metrics().incr("ap.data_requests", 1);
+        ctx.metrics().incr(names::AP_DATA_REQUESTS, 1);
 
         match self.cache.lookup(key, now) {
             Lookup::Hit => {
@@ -512,7 +531,7 @@ impl ApNode {
                     .get(key)
                     .map(|e| e.meta.size)
                     .expect("hit entry exists");
-                ctx.metrics().incr("ap.cache_hits", 1);
+                ctx.metrics().incr(names::AP_CACHE_HITS, 1);
                 ctx.send_after(
                     latency,
                     from,
@@ -526,11 +545,11 @@ impl ApNode {
             }
             Lookup::Blocked => {
                 // Block-listed: fetch-and-forward without caching.
-                ctx.metrics().incr("ap.blocked_serves", 1);
+                ctx.metrics().incr(names::AP_BLOCKED_SERVES, 1);
                 self.enqueue_delegation(ctx, from, conn, req, request.url, op, false);
             }
             Lookup::Expired | Lookup::Absent => {
-                ctx.metrics().incr("ap.delegations", 1);
+                ctx.metrics().incr(names::AP_DELEGATIONS, 1);
                 self.enqueue_delegation(ctx, from, conn, req, request.url, op, true);
             }
         }
@@ -565,6 +584,9 @@ impl ApNode {
             app: ape_cachealg::AppId::new(u32::MAX),
         });
         self.registry.insert(key, RegisteredUrl { op });
+        // The WAN fetch is a child of the triggering waiter's retrieval
+        // span; later coalesced waiters share the same upstream fetch.
+        let span = ctx.span_start(SpanKind::WanFetch.as_str());
         self.delegations.insert(
             key,
             Delegation {
@@ -573,6 +595,7 @@ impl ApNode {
                 waiters: vec![waiter],
                 started: ctx.now(),
                 cache_result,
+                span,
             },
         );
         self.start_upstream_fetch(ctx, key);
@@ -585,6 +608,9 @@ impl ApNode {
             return;
         };
         delegation.started = ctx.now();
+        // Everything sent on behalf of this delegation — the inline DNS
+        // resolution and the upstream request — belongs to its WAN span.
+        ctx.set_span_ctx(delegation.span);
         let domain = delegation.url.host().clone();
         let now = ctx.now();
         let target_ip = match self.dns_cache.get(&domain) {
@@ -603,6 +629,8 @@ impl ApNode {
                             query: DnsMessage::query(txn, domain.clone()),
                             extra_flags: false,
                             internal: true,
+                            // Resolution time is inside the WAN-fetch span.
+                            span: None,
                         },
                     );
                     ctx.send(
@@ -618,6 +646,9 @@ impl ApNode {
             // Resolution produced an address outside the testbed; fail all
             // waiters.
             let delegation = self.delegations.remove(&key).expect("present above");
+            if let Some(span) = delegation.span {
+                ctx.span_end(span, SpanKind::WanFetch.as_str());
+            }
             for w in delegation.waiters {
                 ctx.send(
                     w.node,
@@ -666,7 +697,10 @@ impl ApNode {
         };
         let fetch_latency = now - delegation.started;
         ctx.metrics()
-            .observe("ap.delegation_fetch_ms", fetch_latency.as_millis_f64());
+            .observe(names::AP_DELEGATION_FETCH_MS, fetch_latency.as_millis_f64());
+        if let Some(span) = delegation.span {
+            ctx.span_end(span, SpanKind::WanFetch.as_str());
+        }
 
         if response.status.is_success() && delegation.cache_result {
             let admit_latency = self.work(now, self.config.eviction_processing);
@@ -680,15 +714,16 @@ impl ApNode {
             };
             match self.cache.admit(meta, now) {
                 AdmitOutcome::Stored { evicted } => {
-                    ctx.metrics().incr("ap.admissions", 1);
-                    ctx.metrics().incr("ap.evictions", evicted.len() as u64);
+                    ctx.metrics().incr(names::AP_ADMISSIONS, 1);
+                    ctx.metrics()
+                        .incr(names::AP_EVICTIONS, evicted.len() as u64);
                     self.advertise(ctx, vec![key], evicted);
                 }
                 AdmitOutcome::Blocked => {
-                    ctx.metrics().incr("ap.block_listed", 1);
+                    ctx.metrics().incr(names::AP_BLOCK_LISTED, 1);
                 }
                 AdmitOutcome::Declined => {
-                    ctx.metrics().incr("ap.admit_declined", 1);
+                    ctx.metrics().incr(names::AP_ADMIT_DECLINED, 1);
                 }
             }
             let _ = admit_latency;
@@ -718,6 +753,9 @@ impl ApNode {
         let now = ctx.now();
         let latency = self.work(now, self.config.http_processing);
         let _ = latency; // prefetching is off the client's critical path
+                         // Prefetch fetches serve no specific request: detach them from the
+                         // hinting client's trace so attribution only sees demand fetches.
+        ctx.set_span_ctx(None);
         for hint in hints {
             let key = hint.url.hash();
             match self.cache.peek(key, now) {
@@ -727,7 +765,7 @@ impl ApNode {
             if self.delegations.contains_key(&key) {
                 continue; // already being fetched
             }
-            ctx.metrics().incr("ap.prefetches", 1);
+            ctx.metrics().incr(names::AP_PREFETCHES, 1);
             self.registry.insert(key, RegisteredUrl { op: hint.op });
             self.delegations.insert(
                 key,
@@ -737,6 +775,7 @@ impl ApNode {
                     waiters: Vec::new(),
                     started: now,
                     cache_result: true,
+                    span: None,
                 },
             );
             self.start_upstream_fetch(ctx, key);
@@ -748,11 +787,11 @@ impl ApNode {
         let cpu = self.cpu.sample_utilization(now);
         let ape_mem = self.ape_memory_bytes();
         self.mem.alloc(0); // keep the meter's peak tracking coherent
-        ctx.metrics().record_point("ap.cpu", now, cpu);
+        ctx.metrics().record_point(names::AP_CPU, now, cpu);
         ctx.metrics()
-            .record_point("ap.ape_mem_mb", now, ape_mem as f64 / 1e6);
+            .record_point(names::AP_APE_MEM_MB, now, ape_mem as f64 / 1e6);
         ctx.metrics().record_point(
-            "ap.total_mem_mb",
+            names::AP_TOTAL_MEM_MB,
             now,
             (self.config.mem_baseline + ape_mem) as f64 / 1e6,
         );
@@ -796,7 +835,8 @@ impl Node<Msg> for ApNode {
                 let now = ctx.now();
                 self.cache.roll_window(now);
                 let purged = self.cache.purge_expired(now);
-                ctx.metrics().incr("ap.ttl_purges", purged.len() as u64);
+                ctx.metrics()
+                    .incr(names::AP_TTL_PURGES, purged.len() as u64);
                 self.advertise(ctx, Vec::new(), purged);
                 ctx.schedule(self.config.window, TICK_WINDOW);
             }
@@ -1040,7 +1080,7 @@ mod tests {
         assert!(response.status.is_success());
         let elapsed = (probe.last_at.unwrap() - t0).as_millis_f64();
         assert!(elapsed < 6.0, "cache hit took {elapsed}ms");
-        assert_eq!(bed.world.metrics().counter("ap.cache_hits"), 1);
+        assert_eq!(bed.world.metrics().counter(names::AP_CACHE_HITS), 1);
     }
 
     #[test]
@@ -1075,7 +1115,7 @@ mod tests {
         assert_eq!(resp.cache_response_tuples()[0].flag, CacheFlag::Hit);
         let elapsed = (probe.last_at.unwrap() - t0).as_millis_f64();
         assert!(elapsed < 5.0, "short-circuit lookup took {elapsed}ms");
-        assert_eq!(bed.world.metrics().counter("ap.short_circuits"), 1);
+        assert_eq!(bed.world.metrics().counter(names::AP_SHORT_CIRCUITS), 1);
     }
 
     #[test]
@@ -1113,7 +1153,7 @@ mod tests {
         // Flags still present, but a real upstream-resolved IP.
         assert_eq!(resp.cache_response_tuples()[0].flag, CacheFlag::Hit);
         assert!(!IpMap::is_dummy(resp.answer_ip().unwrap()));
-        assert_eq!(bed.world.metrics().counter("ap.short_circuits"), 0);
+        assert_eq!(bed.world.metrics().counter(names::AP_SHORT_CIRCUITS), 0);
     }
 
     #[test]
@@ -1212,13 +1252,13 @@ mod tests {
         settle(&mut bed.world);
         let probe = bed.world.node::<Probe>(bed.probe);
         assert_eq!(probe.http_responses.len(), 3, "all waiters answered");
-        assert_eq!(bed.world.metrics().counter("edge.origin_fetches"), 0);
+        assert_eq!(bed.world.metrics().counter(names::EDGE_ORIGIN_FETCHES), 0);
         // Only one upstream request reached the edge for the three waiters.
         assert_eq!(bed.world.node::<ApNode>(bed.ap).cached_objects(), 1);
         let delegation_fetches = bed
             .world
             .metrics()
-            .histogram("ap.delegation_fetch_ms")
+            .histogram(names::AP_DELEGATION_FETCH_MS)
             .unwrap()
             .count();
         assert_eq!(delegation_fetches, 1);
@@ -1270,7 +1310,7 @@ mod tests {
         assert_eq!(bed.world.node::<ApNode>(bed.ap).cached_objects(), 1);
         bed.world.run_until(SimTime::from_secs(31));
         assert_eq!(bed.world.node::<ApNode>(bed.ap).cached_objects(), 0);
-        assert!(bed.world.metrics().counter("ap.ttl_purges") >= 1);
+        assert!(bed.world.metrics().counter(names::AP_TTL_PURGES) >= 1);
     }
 
     #[test]
@@ -1279,9 +1319,13 @@ mod tests {
         bed.world
             .post(bed.probe, bed.ap, dns_cache_query(1, &[url().hash()]));
         bed.world.run_until(SimTime::from_secs(5));
-        let cpu = bed.world.metrics().time_series("ap.cpu").unwrap();
+        let cpu = bed.world.metrics().time_series(names::AP_CPU).unwrap();
         assert!(cpu.len() >= 4);
-        let mem = bed.world.metrics().time_series("ap.ape_mem_mb").unwrap();
+        let mem = bed
+            .world
+            .metrics()
+            .time_series(names::AP_APE_MEM_MB)
+            .unwrap();
         assert!(
             mem.mean() > 3.9,
             "APE code overhead visible: {}",

@@ -25,8 +25,8 @@ use ape_appdag::{AppSpec, ObjIdx};
 use ape_cachealg::Priority;
 use ape_dnswire::{CacheFlag, DnsMessage, DomainName, Rcode, UrlHash};
 use ape_httpsim::{HttpRequest, HttpResponse, Url};
-use ape_proto::{CacheOp, ConnId, IpMap, Msg, RequestId};
-use ape_simnet::{Context, Node, NodeId, SimDuration, SimTime, TimerToken};
+use ape_proto::{names, CacheOp, ConnId, IpMap, Msg, RequestId, SpanKind};
+use ape_simnet::{Context, Node, NodeId, SimDuration, SimTime, SpanCtx, TimerToken};
 use ape_workload::Execution;
 
 /// Which caching system the client runs against.
@@ -144,6 +144,12 @@ struct Fetch {
     lookup_was_query: bool,
     retrieval_started: Option<SimTime>,
     phase: Phase,
+    /// Root span of this fetch's trace (tracing enabled + sampled only).
+    root_span: Option<SpanCtx>,
+    /// Open lookup-stage span; taken when the stage ends.
+    lookup_span: Option<SpanCtx>,
+    /// Open retrieval-stage span and its kind; taken when the fetch ends.
+    retrieval_span: Option<(SpanCtx, SpanKind)>,
 }
 
 /// One running app execution.
@@ -344,11 +350,11 @@ impl ClientNode {
         self.report.executions += 1;
         let latency = (ctx.now() - exec.started).as_millis_f64();
         let name = self.apps[exec.app_idx].name().to_owned();
-        ctx.metrics().observe("client.app_latency_ms", latency);
+        ctx.metrics().observe(names::CLIENT_APP_LATENCY_MS, latency);
         ctx.metrics()
-            .observe(&format!("client.app_latency_ms.{name}"), latency);
+            .observe(&names::client_app_latency_ms(&name), latency);
         if exec.failed {
-            ctx.metrics().incr("client.failed_executions", 1);
+            ctx.metrics().incr(names::CLIENT_FAILED_EXECUTIONS, 1);
         }
     }
 
@@ -366,6 +372,10 @@ impl ClientNode {
         let req = RequestId(self.next_req);
         self.next_req += 1;
         let now = ctx.now();
+        // Every fetch is a trace root; the messages sent below inherit the
+        // root context, so downstream nodes land their spans in this trace.
+        let root_span = ctx.begin_trace(SpanKind::Fetch.as_str());
+        let lookup_span = ctx.span_start(SpanKind::Lookup.as_str());
         let fetch = Fetch {
             exec: exec_id,
             obj,
@@ -377,9 +387,12 @@ impl ClientNode {
             lookup_was_query: false,
             retrieval_started: None,
             phase: Phase::AwaitingDns,
+            root_span,
+            lookup_span,
+            retrieval_span: None,
         };
         self.fetches.insert(req, fetch);
-        ctx.metrics().incr("client.fetches", 1);
+        ctx.metrics().incr(names::CLIENT_FETCHES, 1);
 
         match self.config.strategy {
             Strategy::ApeCache => self.lookup_ape(ctx, req),
@@ -431,7 +444,7 @@ impl ClientNode {
             f.lookup_was_query = true;
             f.phase = Phase::AwaitingController;
         }
-        ctx.metrics().incr("client.wicache_lookups", 1);
+        ctx.metrics().incr(names::CLIENT_WICACHE_LOOKUPS, 1);
         ctx.send_after(
             self.config.processing,
             controller,
@@ -484,7 +497,7 @@ impl ClientNode {
             },
         );
         self.txn_domains.insert(txn, domain);
-        ctx.metrics().incr("client.dns_queries", 1);
+        ctx.metrics().incr(names::CLIENT_DNS_QUERIES, 1);
         ctx.send_after(
             self.config.processing,
             self.config.dns_server,
@@ -509,12 +522,16 @@ impl ClientNode {
         let Some(fetch) = self.fetches.get(&req) else {
             return;
         };
+        // One DNS answer can resolve several waiting fetches; re-anchor the
+        // trace context to this fetch so its sends land in its own trace.
+        ctx.set_span_ctx(fetch.root_span);
         if fetch.lookup_was_query {
             let lookup_ms = (now - fetch.lookup_started).as_millis_f64();
-            ctx.metrics().observe("client.lookup_query_ms", lookup_ms);
+            ctx.metrics()
+                .observe(names::CLIENT_LOOKUP_QUERY_MS, lookup_ms);
         }
         ctx.metrics().observe(
-            "client.lookup_op_ms",
+            names::CLIENT_LOOKUP_OP_MS,
             (now - fetch.lookup_started).as_millis_f64(),
         );
         let mode = match flag {
@@ -537,7 +554,21 @@ impl ClientNode {
         let fetch = self.fetches.get_mut(&req).expect("checked above");
         fetch.retrieval_started = Some(now);
         fetch.phase = Phase::Connecting { target, mode };
+        let lookup_span = fetch.lookup_span.take();
         self.conns.insert(conn, req);
+        if let Some(span) = lookup_span {
+            ctx.span_end(span, SpanKind::Lookup.as_str());
+        }
+        let retrieval_kind = match mode {
+            FetchMode::ApHit => SpanKind::RetrievalHit,
+            FetchMode::Delegation => SpanKind::RetrievalDelegation,
+            FetchMode::Edge => SpanKind::RetrievalEdge,
+        };
+        let retrieval_span = ctx.span_start(retrieval_kind.as_str());
+        self.fetches
+            .get_mut(&req)
+            .expect("checked above")
+            .retrieval_span = retrieval_span.map(|s| (s, retrieval_kind));
         ctx.send_after(self.config.processing, target, Msg::TcpSyn { conn });
         if self.config.prefetch_hints && target == self.config.ap {
             self.send_prefetch_hints(ctx, req);
@@ -574,7 +605,7 @@ impl ClientNode {
             .collect();
         if !hints.is_empty() {
             ctx.metrics()
-                .incr("client.prefetch_hints", hints.len() as u64);
+                .incr(names::CLIENT_PREFETCH_HINTS, hints.len() as u64);
             ctx.send_after(
                 self.config.processing,
                 self.config.ap,
@@ -588,7 +619,16 @@ impl ClientNode {
             return;
         };
         self.report.failures += 1;
-        ctx.metrics().incr("client.fetch_failures", 1);
+        ctx.metrics().incr(names::CLIENT_FETCH_FAILURES, 1);
+        if let Some(span) = fetch.lookup_span {
+            ctx.span_end(span, SpanKind::Lookup.as_str());
+        }
+        if let Some((span, kind)) = fetch.retrieval_span {
+            ctx.span_end(span, kind.as_str());
+        }
+        if let Some(root) = fetch.root_span {
+            ctx.span_end(root, SpanKind::Fetch.as_str());
+        }
         if self.execs.contains_key(&fetch.exec) {
             {
                 let exec = self.execs.get_mut(&fetch.exec).expect("checked");
@@ -633,6 +673,12 @@ impl ClientNode {
             Phase::Fetching { mode } => *mode,
             _ => FetchMode::Edge,
         };
+        if let Some((span, kind)) = fetch.retrieval_span {
+            ctx.span_end(span, kind.as_str());
+        }
+        if let Some(root) = fetch.root_span {
+            ctx.span_end(root, SpanKind::Fetch.as_str());
+        }
         let spec = self
             .registry
             .get(&fetch.url.base_id())
@@ -649,25 +695,26 @@ impl ClientNode {
             if spec.priority.is_high() {
                 self.report.high_hits += 1;
             }
-            ctx.metrics().incr("client.cache_hits", 1);
+            ctx.metrics().incr(names::CLIENT_CACHE_HITS, 1);
         }
         if let Some(retrieval_started) = fetch.retrieval_started {
             let retrieval_ms = (now - retrieval_started).as_millis_f64();
             match mode {
                 FetchMode::ApHit => ctx
                     .metrics()
-                    .observe("client.retrieval_hit_ms", retrieval_ms),
+                    .observe(names::CLIENT_RETRIEVAL_HIT_MS, retrieval_ms),
                 FetchMode::Delegation => ctx
                     .metrics()
-                    .observe("client.retrieval_delegation_ms", retrieval_ms),
+                    .observe(names::CLIENT_RETRIEVAL_DELEGATION_MS, retrieval_ms),
                 FetchMode::Edge => ctx
                     .metrics()
-                    .observe("client.retrieval_edge_ms", retrieval_ms),
+                    .observe(names::CLIENT_RETRIEVAL_EDGE_MS, retrieval_ms),
             }
-            ctx.metrics().observe("client.retrieval_ms", retrieval_ms);
+            ctx.metrics()
+                .observe(names::CLIENT_RETRIEVAL_MS, retrieval_ms);
         }
         ctx.metrics().observe(
-            "client.object_total_ms",
+            names::CLIENT_OBJECT_TOTAL_MS,
             (now - fetch.started).as_millis_f64(),
         );
 
@@ -750,7 +797,7 @@ impl ClientNode {
             pending.hashes = hashes;
             self.txn_domains.insert(txn2, domain.clone());
             self.pending_dns.insert(domain, pending);
-            ctx.metrics().incr("client.dns_queries", 1);
+            ctx.metrics().incr(names::CLIENT_DNS_QUERIES, 1);
             ctx.send_after(
                 self.config.processing,
                 self.config.dns_server,
@@ -808,14 +855,14 @@ impl ClientNode {
         if pending.retries >= self.config.dns_retries {
             let pending = self.pending_dns.remove(&domain).expect("present above");
             self.txn_domains.remove(&txn);
-            ctx.metrics().incr("client.dns_give_ups", 1);
+            ctx.metrics().incr(names::CLIENT_DNS_GIVE_UPS, 1);
             for req in pending.waiting {
                 self.fail_fetch(ctx, req);
             }
             return;
         }
         pending.retries += 1;
-        ctx.metrics().incr("client.dns_retries", 1);
+        ctx.metrics().incr(names::CLIENT_DNS_RETRIES, 1);
         let query = if pending.hashes.is_empty() {
             DnsMessage::query(txn, domain.clone())
         } else {
@@ -986,5 +1033,61 @@ mod tests {
         merged.merge(&r);
         assert_eq!(merged.requests, 20);
         assert_eq!(merged.executions, 4);
+    }
+
+    #[test]
+    fn report_merge_with_default_is_identity() {
+        let r = ClientReport {
+            requests: 7,
+            hits: 3,
+            high_requests: 2,
+            high_hits: 1,
+            failures: 4,
+            executions: 5,
+        };
+        let mut left = r;
+        left.merge(&ClientReport::default());
+        assert_eq!(left, r);
+        let mut right = ClientReport::default();
+        right.merge(&r);
+        assert_eq!(right, r);
+    }
+
+    #[test]
+    fn report_merge_sums_every_field_and_commutes() {
+        let a = ClientReport {
+            requests: 1,
+            hits: 2,
+            high_requests: 3,
+            high_hits: 4,
+            failures: 5,
+            executions: 6,
+        };
+        let b = ClientReport {
+            requests: 10,
+            hits: 20,
+            high_requests: 30,
+            high_hits: 40,
+            failures: 50,
+            executions: 60,
+        };
+        let mut ab = a;
+        ab.merge(&b);
+        let mut ba = b;
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(
+            ab,
+            ClientReport {
+                requests: 11,
+                hits: 22,
+                high_requests: 33,
+                high_hits: 44,
+                failures: 55,
+                executions: 66,
+            }
+        );
+        // Ratios derive from the merged counters, not an average of ratios.
+        assert!((ab.hit_ratio() - 2.0).abs() < 1e-12);
     }
 }

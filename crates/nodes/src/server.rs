@@ -10,8 +10,8 @@
 use std::collections::{HashMap, HashSet};
 
 use ape_httpsim::{Body, HttpRequest, HttpResponse, Url};
-use ape_proto::{ConnId, Msg, RequestId};
-use ape_simnet::{Context, Node, NodeId, SimDuration};
+use ape_proto::{names, ConnId, Msg, RequestId, SpanKind};
+use ape_simnet::{Context, Node, NodeId, SimDuration, SpanCtx};
 
 /// What the origin knows about one object family (keyed by base id).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -120,6 +120,8 @@ struct PendingOriginFetch {
     conn: ConnId,
     req: RequestId,
     url: Url,
+    /// Origin-fill span, child of whatever span the request carried.
+    span: Option<SpanCtx>,
 }
 
 /// The edge cache server.
@@ -222,7 +224,8 @@ impl Node<Msg> for EdgeNode {
                 // handshake is modelled by a SYN the origin answers while
                 // the request is already queued behind it.
                 self.misses += 1;
-                ctx.metrics().incr("edge.origin_fetches", 1);
+                ctx.metrics().incr(names::EDGE_ORIGIN_FETCHES, 1);
+                let span = ctx.span_start(SpanKind::OriginFetch.as_str());
                 let up_conn = ConnId(self.next_conn);
                 self.next_conn += 1;
                 let up_req = RequestId(self.next_req);
@@ -234,6 +237,7 @@ impl Node<Msg> for EdgeNode {
                         conn,
                         req,
                         url: request.url.clone(),
+                        span,
                     },
                 );
                 ctx.send_after(self.processing, self.origin, Msg::TcpSyn { conn: up_conn });
@@ -257,6 +261,9 @@ impl Node<Msg> for EdgeNode {
                 let Some(pending) = self.pending.remove(&req) else {
                     return;
                 };
+                if let Some(span) = pending.span {
+                    ctx.span_end(span, SpanKind::OriginFetch.as_str());
+                }
                 if response.status.is_success() {
                     self.cached.insert(pending.url.base_id());
                 }

@@ -7,7 +7,7 @@ use ape_httpsim::{HttpRequest, HttpResponse, Url};
 use ape_nodes::{
     ApConfig, ApNode, AuthDnsNode, Catalog, CatalogEntry, LdnsNode, OriginNode, ZoneAnswer,
 };
-use ape_proto::{CacheOp, ConnId, IpMap, Msg, RequestId};
+use ape_proto::{names, CacheOp, ConnId, IpMap, Msg, RequestId};
 use ape_simnet::{Context, LinkSpec, Node, NodeId, SimDuration, SimTime, World};
 
 #[derive(Debug, Default)]
@@ -205,7 +205,7 @@ fn prefetch_hints_populate_without_any_client_request() {
     );
     settle(&mut bed.world);
     assert_eq!(bed.world.node::<ApNode>(bed.ap).cached_objects(), 1);
-    assert_eq!(bed.world.metrics().counter("ap.prefetches"), 1);
+    assert_eq!(bed.world.metrics().counter(names::AP_PREFETCHES), 1);
     // A subsequent lookup reports Hit with zero delegations by the client.
     bed.world.post(
         bed.probe,
@@ -320,5 +320,10 @@ fn delegation_for_unresolvable_domain_fails_instead_of_looping() {
     let probe = bed.world.node::<Probe>(bed.probe);
     let (_, response, _) = probe.http.last().expect("waiter answered");
     assert!(!response.status.is_success(), "gateway timeout returned");
-    assert_eq!(bed.world.metrics().counter("ap.delegation_dns_failures"), 1);
+    assert_eq!(
+        bed.world
+            .metrics()
+            .counter(names::AP_DELEGATION_DNS_FAILURES),
+        1
+    );
 }

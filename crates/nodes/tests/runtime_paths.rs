@@ -8,7 +8,7 @@ use ape_nodes::{
     ApConfig, ApNode, AuthDnsNode, Catalog, CatalogEntry, ClientConfig, ClientNode, EdgeNode,
     LdnsNode, LookupMode, OriginNode, Strategy, ZoneAnswer,
 };
-use ape_proto::{IpMap, Msg};
+use ape_proto::{names, IpMap, Msg};
 use ape_simnet::{LinkSpec, NodeId, SimDuration, SimTime, World};
 use ape_workload::Execution;
 
@@ -257,7 +257,8 @@ fn dead_resolver_exhausts_retries_then_fails() {
     bed.world.run_until(SimTime::from_secs(60));
     let metrics = bed.world.metrics();
     assert!(
-        metrics.counter("client.dns_retries") > 0 || metrics.counter("client.dns_give_ups") > 0,
+        metrics.counter(names::CLIENT_DNS_RETRIES) > 0
+            || metrics.counter(names::CLIENT_DNS_GIVE_UPS) > 0,
         "retry machinery engaged"
     );
     let report = bed.world.node::<ClientNode>(bed.client).report();
@@ -276,7 +277,7 @@ fn standalone_mode_doubles_dns_queries() {
         LookupMode::Piggybacked,
     );
     piggy.world.run_until(SimTime::from_secs(700));
-    let piggy_queries = piggy.world.metrics().counter("client.dns_queries");
+    let piggy_queries = piggy.world.metrics().counter(names::CLIENT_DNS_QUERIES);
 
     let mut standalone = mini_bed(
         apps,
@@ -285,7 +286,10 @@ fn standalone_mode_doubles_dns_queries() {
         LookupMode::Standalone,
     );
     standalone.world.run_until(SimTime::from_secs(700));
-    let standalone_queries = standalone.world.metrics().counter("client.dns_queries");
+    let standalone_queries = standalone
+        .world
+        .metrics()
+        .counter(names::CLIENT_DNS_QUERIES);
 
     assert!(
         standalone_queries >= piggy_queries * 2,
@@ -320,7 +324,7 @@ fn edge_strategy_resolves_per_fetch_and_skips_ap() {
     assert_eq!(bed.world.node::<ApNode>(bed.ap).cached_objects(), 0);
     // Per-fetch resolution: at least one DNS query per object fetch that
     // could not coalesce; far more than one per execution.
-    let queries = bed.world.metrics().counter("client.dns_queries");
+    let queries = bed.world.metrics().counter(names::CLIENT_DNS_QUERIES);
     assert!(queries >= 10, "queries {queries}");
 }
 

@@ -23,6 +23,9 @@
 
 mod ipmap;
 mod msg;
+pub mod names;
+mod span;
 
 pub use ipmap::IpMap;
 pub use msg::{CacheOp, ConnId, Msg, PrefetchHint, RequestId};
+pub use span::SpanKind;

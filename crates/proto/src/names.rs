@@ -1,0 +1,120 @@
+//! The canonical metric-name registry.
+//!
+//! Every metric key used by the testbed nodes and harnesses lives here (the
+//! three `net.*` keys are owned by `ape_simnet`, which records them, and are
+//! re-exported so this module is the single import point). Using constants
+//! instead of inline string literals means a typo fails to compile instead
+//! of silently reporting zero.
+
+pub use ape_simnet::keys::{NET_BYTES, NET_DROPPED, NET_MESSAGES};
+
+// --- AP (access point) --------------------------------------------------
+
+/// DNS queries of any kind arriving at the AP.
+pub const AP_DNS_QUERIES: &str = "ap.dns_queries";
+/// DNS-Cache (piggybacked) queries arriving at the AP.
+pub const AP_DNS_CACHE_QUERIES: &str = "ap.dns_cache_queries";
+/// DNS queries answered from the AP's dnsmasq record cache (no upstream).
+pub const AP_DNS_CACHE_HITS: &str = "ap.dns_cache_hits";
+/// DNS-Cache queries answered with a dummy IP, all requested URLs cached.
+pub const AP_SHORT_CIRCUITS: &str = "ap.short_circuits";
+/// DNS queries forwarded to the upstream resolver.
+pub const AP_DNS_FORWARDS: &str = "ap.dns_forwards";
+/// Objects served straight from the AP cache.
+pub const AP_CACHE_HITS: &str = "ap.cache_hits";
+/// Data (HTTP) requests arriving at the AP.
+pub const AP_DATA_REQUESTS: &str = "ap.data_requests";
+/// Requests the AP served by fetching without caching (block-listed).
+pub const AP_BLOCKED_SERVES: &str = "ap.blocked_serves";
+/// Delegated fetches the AP started on behalf of clients.
+pub const AP_DELEGATIONS: &str = "ap.delegations";
+/// Delegations abandoned because upstream DNS resolution failed.
+pub const AP_DELEGATION_DNS_FAILURES: &str = "ap.delegation_dns_failures";
+/// Upstream fetch time of delegated objects, milliseconds (histogram).
+pub const AP_DELEGATION_FETCH_MS: &str = "ap.delegation_fetch_ms";
+/// Objects admitted into the AP cache.
+pub const AP_ADMISSIONS: &str = "ap.admissions";
+/// Objects evicted from the AP cache.
+pub const AP_EVICTIONS: &str = "ap.evictions";
+/// Objects the admission policy declined to cache.
+pub const AP_ADMIT_DECLINED: &str = "ap.admit_declined";
+/// Objects added to the block list (too large to cache).
+pub const AP_BLOCK_LISTED: &str = "ap.block_listed";
+/// Cache entries purged by TTL expiry sweeps.
+pub const AP_TTL_PURGES: &str = "ap.ttl_purges";
+/// Prefetch delegations started from client hints.
+pub const AP_PREFETCHES: &str = "ap.prefetches";
+/// AP CPU utilization samples, 0..1 (time series).
+pub const AP_CPU: &str = "ap.cpu";
+/// APE-CACHE memory on the AP, MB (time series).
+pub const AP_APE_MEM_MB: &str = "ap.ape_mem_mb";
+/// Total AP memory in use, MB (time series).
+pub const AP_TOTAL_MEM_MB: &str = "ap.total_mem_mb";
+
+// --- Client -------------------------------------------------------------
+
+/// Object fetches started.
+pub const CLIENT_FETCHES: &str = "client.fetches";
+/// Fetches that failed (DNS give-up, HTTP error…).
+pub const CLIENT_FETCH_FAILURES: &str = "client.fetch_failures";
+/// App executions abandoned because a fetch failed.
+pub const CLIENT_FAILED_EXECUTIONS: &str = "client.failed_executions";
+/// DNS queries sent.
+pub const CLIENT_DNS_QUERIES: &str = "client.dns_queries";
+/// DNS retransmissions after timeout.
+pub const CLIENT_DNS_RETRIES: &str = "client.dns_retries";
+/// DNS queries abandoned after the retry budget.
+pub const CLIENT_DNS_GIVE_UPS: &str = "client.dns_give_ups";
+/// Wi-Cache controller lookups sent.
+pub const CLIENT_WICACHE_LOOKUPS: &str = "client.wicache_lookups";
+/// Fetches answered from the AP cache (client-observed).
+pub const CLIENT_CACHE_HITS: &str = "client.cache_hits";
+/// Prefetch-hint messages sent to the AP.
+pub const CLIENT_PREFETCH_HINTS: &str = "client.prefetch_hints";
+/// Cache-lookup latency over actual lookup operations, ms (histogram).
+pub const CLIENT_LOOKUP_QUERY_MS: &str = "client.lookup_query_ms";
+/// Lookup-stage latency over all fetches (0 when skipped), ms (histogram).
+pub const CLIENT_LOOKUP_OP_MS: &str = "client.lookup_op_ms";
+/// Retrieval latency over all fetches, ms (histogram).
+pub const CLIENT_RETRIEVAL_MS: &str = "client.retrieval_ms";
+/// Retrieval latency of AP cache hits, ms (histogram).
+pub const CLIENT_RETRIEVAL_HIT_MS: &str = "client.retrieval_hit_ms";
+/// Retrieval latency of delegated fetches, ms (histogram).
+pub const CLIENT_RETRIEVAL_DELEGATION_MS: &str = "client.retrieval_delegation_ms";
+/// Retrieval latency of edge fetches, ms (histogram).
+pub const CLIENT_RETRIEVAL_EDGE_MS: &str = "client.retrieval_edge_ms";
+/// Whole-object latency (lookup + retrieval), ms (histogram).
+pub const CLIENT_OBJECT_TOTAL_MS: &str = "client.object_total_ms";
+/// App-level latency across all apps, ms (histogram).
+pub const CLIENT_APP_LATENCY_MS: &str = "client.app_latency_ms";
+/// Prefix of the per-app latency histograms (`client.app_latency_ms.<app>`).
+pub const CLIENT_APP_LATENCY_MS_PREFIX: &str = "client.app_latency_ms.";
+
+/// Per-app latency histogram key for `app`.
+pub fn client_app_latency_ms(app: &str) -> String {
+    format!("{CLIENT_APP_LATENCY_MS_PREFIX}{app}")
+}
+
+// --- Edge ---------------------------------------------------------------
+
+/// Edge cache misses filled from the origin.
+pub const EDGE_ORIGIN_FETCHES: &str = "edge.origin_fetches";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_app_key_round_trips_through_prefix() {
+        let key = client_app_latency_ms("news");
+        assert_eq!(key, "client.app_latency_ms.news");
+        assert_eq!(key.strip_prefix(CLIENT_APP_LATENCY_MS_PREFIX), Some("news"));
+    }
+
+    #[test]
+    fn net_keys_are_reexported() {
+        assert_eq!(NET_MESSAGES, "net.messages");
+        assert_eq!(NET_BYTES, "net.bytes");
+        assert_eq!(NET_DROPPED, "net.dropped");
+    }
+}

@@ -5,14 +5,28 @@ use std::collections::BinaryHeap;
 
 use crate::node::{NodeId, TimerToken};
 use crate::time::SimTime;
+use crate::trace::SpanCtx;
 
 /// What happens when an event fires.
+///
+/// Every event carries the span context active when it was scheduled, so
+/// trace causality survives message hops and timer re-arms. The context is
+/// `None` whenever tracing is disabled (the default).
 #[derive(Debug)]
 pub(crate) enum EventKind<M> {
     /// Deliver `msg` (sent by `from`) to node `to`.
-    Deliver { to: NodeId, from: NodeId, msg: M },
+    Deliver {
+        to: NodeId,
+        from: NodeId,
+        msg: M,
+        span: Option<SpanCtx>,
+    },
     /// Fire a timer on `node`.
-    Timer { node: NodeId, token: TimerToken },
+    Timer {
+        node: NodeId,
+        token: TimerToken,
+        span: Option<SpanCtx>,
+    },
 }
 
 #[derive(Debug)]
@@ -98,6 +112,7 @@ mod tests {
             to: NodeId::from_raw(to),
             from: NodeId::from_raw(0),
             msg: 0,
+            span: None,
         }
     }
 

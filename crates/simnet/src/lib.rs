@@ -57,12 +57,14 @@ mod node;
 mod resource;
 mod rng;
 mod time;
+mod trace;
 mod world;
 
 pub use link::{LinkSpec, Topology};
-pub use metrics::{Histogram, Metrics, TimeSeries};
+pub use metrics::{keys, Histogram, Metrics, TimeSeries};
 pub use node::{AsAny, Message, Node, NodeId, TimerToken};
 pub use resource::{CpuMeter, MemMeter};
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};
+pub use trace::{SpanCtx, SpanId, TraceConfig, TraceEvent, TraceId, TracePhase, TraceSink};
 pub use world::{Context, RunReport, StopReason, World};

@@ -10,6 +10,20 @@ use std::fmt;
 
 use crate::time::SimTime;
 
+/// Metric names owned by the simulator itself.
+///
+/// Application-level names (`ap.*`, `client.*`, `edge.*`) live with the
+/// protocol crate (`ape_proto::names`), which re-exports these network
+/// constants so harness code can import every key from one module.
+pub mod keys {
+    /// Messages that entered the network (sent or injected).
+    pub const NET_MESSAGES: &str = "net.messages";
+    /// Total wire bytes that entered the network.
+    pub const NET_BYTES: &str = "net.bytes";
+    /// Messages dropped by link loss.
+    pub const NET_DROPPED: &str = "net.dropped";
+}
+
 /// A set of latency samples with percentile queries.
 ///
 /// Samples are stored exactly (simulation scale keeps sample counts modest),
@@ -96,6 +110,18 @@ impl Histogram {
     /// Panics if `p` is outside `[0, 100]`.
     pub fn percentile(&mut self, p: f64) -> f64 {
         assert!((0.0..=100.0).contains(&p), "percentile {p} out of range");
+        self.quantile(p / 100.0)
+    }
+
+    /// The `q`-quantile (nearest-rank), `q` in `[0, 1]`.
+    ///
+    /// Returns 0.0 when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&mut self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile {q} out of range");
         if self.samples.is_empty() {
             return 0.0;
         }
@@ -105,8 +131,23 @@ impl Histogram {
             self.sorted = true;
         }
         let n = self.samples.len();
-        let rank = ((p / 100.0) * n as f64).ceil() as usize;
+        let rank = (q * n as f64).ceil() as usize;
         self.samples[rank.clamp(1, n) - 1]
+    }
+
+    /// Median (50th percentile).
+    pub fn p50(&mut self) -> f64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th percentile.
+    pub fn p95(&mut self) -> f64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&mut self) -> f64 {
+        self.quantile(0.99)
     }
 
     /// All recorded samples, in insertion or sorted order.
@@ -259,6 +300,11 @@ impl Metrics {
         self.histograms
             .get_mut(name)
             .map_or(0.0, |h| h.percentile(p))
+    }
+
+    /// Quantile (`q` in `[0, 1]`) of a histogram, or 0.0 if absent.
+    pub fn quantile(&mut self, name: &str, q: f64) -> f64 {
+        self.histograms.get_mut(name).map_or(0.0, |h| h.quantile(q))
     }
 
     /// Appends a point to the named time series.
@@ -447,6 +493,107 @@ mod tests {
         assert_eq!(a.counter("c"), 3);
         assert_eq!(a.histogram("h").unwrap().count(), 2);
         assert_eq!(a.time_series("s").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn quantile_matches_percentile_and_shortcuts() {
+        let mut h = Histogram::new();
+        for v in 1..=100 {
+            h.record(v as f64);
+        }
+        assert_eq!(h.quantile(0.5), h.percentile(50.0));
+        assert_eq!(h.p50(), 50.0);
+        assert_eq!(h.p95(), 95.0);
+        assert_eq!(h.p99(), 99.0);
+        assert_eq!(h.quantile(0.0), 1.0);
+        assert_eq!(h.quantile(1.0), 100.0);
+
+        let mut m = Metrics::new();
+        m.observe("lat", 1.0);
+        m.observe("lat", 9.0);
+        assert_eq!(m.quantile("lat", 0.5), 1.0);
+        assert_eq!(m.quantile("missing", 0.5), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile")]
+    fn quantile_rejects_out_of_range() {
+        let mut h = Histogram::new();
+        h.record(1.0);
+        h.quantile(1.5);
+    }
+
+    #[test]
+    fn merge_empty_into_nonempty_is_identity() {
+        let mut a = Metrics::new();
+        a.incr("c", 7);
+        a.observe("h", 1.0);
+        a.record_point("s", SimTime::ZERO, 2.0);
+        let before = format!("{a}");
+        a.merge(&Metrics::new());
+        assert_eq!(format!("{a}"), before);
+    }
+
+    #[test]
+    fn merge_nonempty_into_empty_copies_everything() {
+        let mut src = Metrics::new();
+        src.incr("c", 7);
+        src.observe("h", 1.0);
+        src.observe("h", 3.0);
+        src.record_point("s", SimTime::from_secs(1), 2.0);
+        let mut dst = Metrics::new();
+        dst.merge(&src);
+        assert_eq!(dst.counter("c"), 7);
+        assert_eq!(dst.histogram("h").unwrap().count(), 2);
+        assert_eq!(dst.time_series("s").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn merge_disjoint_keys_unions() {
+        let mut a = Metrics::new();
+        a.incr("only.a", 1);
+        a.observe("hist.a", 1.0);
+        let mut b = Metrics::new();
+        b.incr("only.b", 2);
+        b.observe("hist.b", 5.0);
+        a.merge(&b);
+        assert_eq!(a.counter("only.a"), 1);
+        assert_eq!(a.counter("only.b"), 2);
+        assert_eq!(a.histogram("hist.a").unwrap().count(), 1);
+        assert_eq!(a.histogram("hist.b").unwrap().count(), 1);
+    }
+
+    #[test]
+    fn merged_histogram_quantiles_pool_samples() {
+        // Samples are stored exactly, so a merge must behave as if both
+        // sample sets were recorded into one histogram — no bucket
+        // alignment error is possible by construction.
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut pooled = Histogram::new();
+        for v in 1..=50 {
+            a.record(v as f64);
+            pooled.record(v as f64);
+        }
+        for v in 51..=100 {
+            b.record(v as f64);
+            pooled.record(v as f64);
+        }
+        // Sorting `a` first must not perturb the merge result.
+        let _ = a.p50();
+        a.merge(&b);
+        for q in [0.0, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0] {
+            assert_eq!(a.quantile(q).to_bits(), pooled.quantile(q).to_bits());
+        }
+        assert_eq!(a.count(), pooled.count());
+        assert_eq!(a.mean().to_bits(), pooled.mean().to_bits());
+    }
+
+    #[test]
+    fn net_keys_are_stable() {
+        assert_eq!(keys::NET_MESSAGES, "net.messages");
+        assert_eq!(keys::NET_BYTES, "net.bytes");
+        assert_eq!(keys::NET_DROPPED, "net.dropped");
     }
 
     #[test]

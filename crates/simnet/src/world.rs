@@ -2,10 +2,11 @@
 
 use crate::event::{EventKind, EventQueue};
 use crate::link::{LinkSpec, Topology};
-use crate::metrics::Metrics;
+use crate::metrics::{keys, Metrics};
 use crate::node::{Message, Node, NodeId, TimerToken};
 use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
+use crate::trace::{SpanCtx, TraceConfig, TraceEvent, TracePhase, TraceSink};
 
 /// Why a call to [`World::run_until`] returned.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -40,6 +41,10 @@ pub struct Context<'a, M: Message> {
     topology: &'a Topology,
     rng: &'a mut SimRng,
     metrics: &'a mut Metrics,
+    trace: &'a mut TraceSink,
+    /// Span context of the event being dispatched; attached to every
+    /// message/timer this callback schedules so causality propagates.
+    span: Option<SpanCtx>,
 }
 
 impl<'a, M: Message> Context<'a, M> {
@@ -76,18 +81,19 @@ impl<'a, M: Message> Context<'a, M> {
             .link(self.self_id, to)
             .unwrap_or_else(|| panic!("no link {} -> {}", self.self_id, to));
         if link.sample_loss(self.rng) {
-            self.metrics.incr("net.dropped", 1);
+            self.metrics.incr(keys::NET_DROPPED, 1);
             return;
         }
         let owd = link.sample_owd(msg.wire_size(), self.rng);
-        self.metrics.incr("net.messages", 1);
-        self.metrics.incr("net.bytes", msg.wire_size() as u64);
+        self.metrics.incr(keys::NET_MESSAGES, 1);
+        self.metrics.incr(keys::NET_BYTES, msg.wire_size() as u64);
         self.queue.push(
             self.now + local_delay + owd,
             EventKind::Deliver {
                 to,
                 from: self.self_id,
                 msg,
+                span: self.span,
             },
         );
     }
@@ -111,6 +117,7 @@ impl<'a, M: Message> Context<'a, M> {
             EventKind::Timer {
                 node: self.self_id,
                 token,
+                span: self.span,
             },
         );
     }
@@ -123,6 +130,111 @@ impl<'a, M: Message> Context<'a, M> {
     /// The run's metric registry.
     pub fn metrics(&mut self) -> &mut Metrics {
         self.metrics
+    }
+
+    // --- Tracing ---------------------------------------------------------
+
+    /// Whether the world's trace sink is recording.
+    pub fn tracing_enabled(&self) -> bool {
+        self.trace.is_enabled()
+    }
+
+    /// The span context of the event being dispatched (propagated from the
+    /// sender/scheduler), if any.
+    pub fn span_ctx(&self) -> Option<SpanCtx> {
+        self.span
+    }
+
+    /// Overrides the active span context for the rest of this callback.
+    /// Messages and timers scheduled afterwards carry the new context.
+    /// Nodes multiplexing several logical requests in one callback (e.g.
+    /// answering all waiters of a coalesced fetch) use this to attribute
+    /// each send to the right trace.
+    pub fn set_span_ctx(&mut self, span: Option<SpanCtx>) {
+        self.span = span;
+    }
+
+    /// Starts a new trace rooted at a span of the given kind, makes it the
+    /// active context, and returns it.
+    ///
+    /// Returns `None` — and clears the active context, so the new logical
+    /// operation never inherits its trigger's trace — when tracing is
+    /// disabled or this trace was sampled out.
+    pub fn begin_trace(&mut self, kind: &'static str) -> Option<SpanCtx> {
+        self.span = None;
+        let trace = self.trace.try_begin_trace()?;
+        let span = self.trace.next_span_id();
+        let ctx = SpanCtx { trace, span };
+        self.trace.push(TraceEvent {
+            at: self.now,
+            trace,
+            span,
+            parent: None,
+            node: self.self_id,
+            kind,
+            phase: TracePhase::Start,
+        });
+        self.span = Some(ctx);
+        Some(ctx)
+    }
+
+    /// Opens a child span of the active context and returns its context
+    /// (for a later [`span_end`](Self::span_end)). The active context is
+    /// left unchanged. Returns `None` when there is no active traced
+    /// context.
+    pub fn span_start(&mut self, kind: &'static str) -> Option<SpanCtx> {
+        let parent = self.span?;
+        if !self.trace.is_enabled() {
+            return None;
+        }
+        let span = self.trace.next_span_id();
+        self.trace.push(TraceEvent {
+            at: self.now,
+            trace: parent.trace,
+            span,
+            parent: Some(parent.span),
+            node: self.self_id,
+            kind,
+            phase: TracePhase::Start,
+        });
+        Some(SpanCtx {
+            trace: parent.trace,
+            span,
+        })
+    }
+
+    /// Closes a span previously opened with [`begin_trace`](Self::begin_trace)
+    /// or [`span_start`](Self::span_start).
+    pub fn span_end(&mut self, ctx: SpanCtx, kind: &'static str) {
+        if !self.trace.is_enabled() {
+            return;
+        }
+        self.trace.push(TraceEvent {
+            at: self.now,
+            trace: ctx.trace,
+            span: ctx.span,
+            parent: None,
+            node: self.self_id,
+            kind,
+            phase: TracePhase::End,
+        });
+    }
+
+    /// Records a point-in-time marker inside the active span, if any.
+    pub fn span_instant(&mut self, kind: &'static str) {
+        let Some(ctx) = self.span else { return };
+        if !self.trace.is_enabled() {
+            return;
+        }
+        self.trace.push(TraceEvent {
+            at: self.now,
+            trace: ctx.trace,
+            span: ctx.span,
+            parent: None,
+            node: self.self_id,
+            kind,
+            phase: TracePhase::Instant,
+        });
     }
 }
 
@@ -164,6 +276,7 @@ pub struct World<M: Message> {
     topology: Topology,
     rng: SimRng,
     metrics: Metrics,
+    trace: TraceSink,
     started: bool,
     event_cap: u64,
 }
@@ -179,9 +292,26 @@ impl<M: Message> World<M> {
             topology: Topology::new(),
             rng: SimRng::seed_from(seed),
             metrics: Metrics::new(),
+            trace: TraceSink::default(),
             started: false,
             event_cap: u64::MAX,
         }
+    }
+
+    /// Configures the trace sink (enable/disable, capacity, sampling).
+    /// Normally called once, before the run starts.
+    pub fn set_trace_config(&mut self, config: TraceConfig) {
+        self.trace.set_config(config);
+    }
+
+    /// Read access to the trace sink.
+    pub fn trace(&self) -> &TraceSink {
+        &self.trace
+    }
+
+    /// Removes and returns all buffered trace events, oldest first.
+    pub fn take_trace_events(&mut self) -> Vec<TraceEvent> {
+        self.trace.drain()
     }
 
     /// Limits the total number of events a run may process. Exceeding the
@@ -226,16 +356,29 @@ impl<M: Message> World<M> {
             .link(from, to)
             .unwrap_or_else(|| panic!("no link {from} -> {to}"));
         let owd = link.sample_owd(msg.wire_size(), &mut self.rng);
-        self.metrics.incr("net.messages", 1);
-        self.metrics.incr("net.bytes", msg.wire_size() as u64);
-        self.queue
-            .push(self.clock + owd, EventKind::Deliver { to, from, msg });
+        self.metrics.incr(keys::NET_MESSAGES, 1);
+        self.metrics.incr(keys::NET_BYTES, msg.wire_size() as u64);
+        self.queue.push(
+            self.clock + owd,
+            EventKind::Deliver {
+                to,
+                from,
+                msg,
+                span: None,
+            },
+        );
     }
 
     /// Arms a timer on `node` that fires after `delay`.
     pub fn schedule_timer(&mut self, node: NodeId, delay: SimDuration, token: TimerToken) {
-        self.queue
-            .push(self.clock + delay, EventKind::Timer { node, token });
+        self.queue.push(
+            self.clock + delay,
+            EventKind::Timer {
+                node,
+                token,
+                span: None,
+            },
+        );
     }
 
     /// Current simulation time.
@@ -299,11 +442,16 @@ impl<M: Message> World<M> {
         self.started = true;
         for idx in 0..self.nodes.len() {
             let id = NodeId::from_raw(idx as u32);
-            self.with_node(id, |node, ctx| node.on_start(ctx));
+            self.with_node(id, None, |node, ctx| node.on_start(ctx));
         }
     }
 
-    fn with_node(&mut self, id: NodeId, f: impl FnOnce(&mut dyn Node<M>, &mut Context<'_, M>)) {
+    fn with_node(
+        &mut self,
+        id: NodeId,
+        span: Option<SpanCtx>,
+        f: impl FnOnce(&mut dyn Node<M>, &mut Context<'_, M>),
+    ) {
         let mut node = self.nodes[id.index()]
             .take()
             .unwrap_or_else(|| panic!("re-entrant dispatch on {id}"));
@@ -315,6 +463,8 @@ impl<M: Message> World<M> {
                 topology: &self.topology,
                 rng: &mut self.rng,
                 metrics: &mut self.metrics,
+                trace: &mut self.trace,
+                span,
             };
             f(node.as_mut(), &mut ctx);
         }
@@ -357,11 +507,16 @@ impl<M: Message> World<M> {
             self.clock = ev.at;
             events += 1;
             match ev.kind {
-                EventKind::Deliver { to, from, msg } => {
-                    self.with_node(to, |node, ctx| node.on_message(ctx, from, msg));
+                EventKind::Deliver {
+                    to,
+                    from,
+                    msg,
+                    span,
+                } => {
+                    self.with_node(to, span, |node, ctx| node.on_message(ctx, from, msg));
                 }
-                EventKind::Timer { node, token } => {
-                    self.with_node(node, |n, ctx| n.on_timer(ctx, token));
+                EventKind::Timer { node, token, span } => {
+                    self.with_node(node, span, |n, ctx| n.on_timer(ctx, token));
                 }
             }
         }
@@ -397,6 +552,7 @@ impl<M: Message> std::fmt::Debug for World<M> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::trace::{SpanId, TraceId};
 
     #[derive(Debug, PartialEq)]
     struct Num(u64);
@@ -599,6 +755,135 @@ mod tests {
         assert_eq!(w.node_name(a), "a");
         assert_eq!(w.node_name(b), "b");
         assert!(format!("{w:?}").contains("World"));
+    }
+
+    /// Begins a trace on start, expects the reply and a timer to carry it.
+    struct Requester {
+        peer: Option<NodeId>,
+        root: Option<SpanCtx>,
+        reply_had_ctx: bool,
+        timer_had_ctx: bool,
+    }
+
+    impl Node<Num> for Requester {
+        fn on_start(&mut self, ctx: &mut Context<'_, Num>) {
+            self.root = ctx.begin_trace("fetch");
+            if let Some(peer) = self.peer {
+                ctx.send(peer, Num(1));
+            }
+        }
+        fn on_message(&mut self, ctx: &mut Context<'_, Num>, _from: NodeId, _msg: Num) {
+            self.reply_had_ctx = ctx.span_ctx() == self.root && self.root.is_some();
+            ctx.schedule(SimDuration::from_millis(1), TimerToken::new(7));
+        }
+        fn on_timer(&mut self, ctx: &mut Context<'_, Num>, _token: TimerToken) {
+            self.timer_had_ctx = ctx.span_ctx() == self.root && self.root.is_some();
+            if let Some(root) = self.root {
+                ctx.span_end(root, "fetch");
+            }
+        }
+    }
+
+    /// Opens a child span under whatever context arrived, then replies.
+    struct Responder;
+
+    impl Node<Num> for Responder {
+        fn on_message(&mut self, ctx: &mut Context<'_, Num>, from: NodeId, _msg: Num) {
+            if let Some(child) = ctx.span_start("serve") {
+                ctx.span_end(child, "serve");
+            }
+            ctx.send(from, Num(0));
+        }
+    }
+
+    fn traced_pair() -> (World<Num>, NodeId) {
+        let mut w = World::new(1);
+        let b = w.add_node("b", Responder);
+        let a = w.add_node(
+            "a",
+            Requester {
+                peer: Some(b),
+                root: None,
+                reply_had_ctx: false,
+                timer_had_ctx: false,
+            },
+        );
+        w.connect(a, b, LinkSpec::new(1, SimDuration::from_millis(1)));
+        (w, a)
+    }
+
+    #[test]
+    fn spans_propagate_across_hops_and_timers() {
+        let (mut w, a) = traced_pair();
+        w.set_trace_config(TraceConfig::enabled());
+        w.run_to_idle();
+        let requester = w.node::<Requester>(a);
+        assert!(requester.reply_had_ctx, "reply lost the span context");
+        assert!(requester.timer_had_ctx, "timer lost the span context");
+
+        let events: Vec<(&str, TracePhase, Option<SpanId>)> = w
+            .trace()
+            .events()
+            .map(|e| (e.kind, e.phase, e.parent))
+            .collect();
+        assert_eq!(
+            events,
+            vec![
+                ("fetch", TracePhase::Start, None),
+                ("serve", TracePhase::Start, Some(SpanId(0))),
+                ("serve", TracePhase::End, None),
+                ("fetch", TracePhase::End, None),
+            ]
+        );
+        assert!(w.trace().events().all(|e| e.trace == TraceId(0)));
+        assert_eq!(w.trace().dropped(), 0);
+    }
+
+    #[test]
+    fn tracing_disabled_records_nothing_and_sets_no_context() {
+        let (mut w, a) = traced_pair();
+        w.run_to_idle();
+        let requester = w.node::<Requester>(a);
+        assert_eq!(requester.root, None, "begin_trace must return None");
+        assert!(!requester.reply_had_ctx);
+        assert!(w.trace().is_empty());
+        assert_eq!(w.trace().traces_started(), 0);
+    }
+
+    #[test]
+    fn begin_trace_clears_inherited_context() {
+        /// Starts a fresh trace for every message it receives.
+        struct PerMessage {
+            roots: Vec<Option<SpanCtx>>,
+        }
+        impl Node<Num> for PerMessage {
+            fn on_message(&mut self, ctx: &mut Context<'_, Num>, _from: NodeId, _msg: Num) {
+                self.roots.push(ctx.begin_trace("op"));
+            }
+        }
+        let mut w = World::new(1);
+        let sink = w.add_node("sink", PerMessage { roots: Vec::new() });
+        let src = w.add_node(
+            "src",
+            Requester {
+                peer: Some(sink),
+                root: None,
+                reply_had_ctx: false,
+                timer_had_ctx: false,
+            },
+        );
+        w.connect(src, sink, LinkSpec::new(1, SimDuration::from_millis(1)));
+        // Sample every 2nd trace: src's root is trace 0, the sink's first
+        // op is sampled out but must NOT inherit src's context.
+        w.set_trace_config(TraceConfig {
+            enabled: true,
+            sample_every: 2,
+            ..TraceConfig::default()
+        });
+        w.run_to_idle();
+        let roots = &w.node::<PerMessage>(sink).roots;
+        assert_eq!(roots.len(), 1);
+        assert_eq!(roots[0], None, "sampled-out trace must clear the context");
     }
 
     #[test]

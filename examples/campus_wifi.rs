@@ -12,6 +12,7 @@
 use ape_appdag::DummyAppConfig;
 use ape_cachealg::gini;
 use ape_nodes::ApNode;
+use ape_proto::names;
 use ape_simnet::SimDuration;
 use ape_workload::ScheduleConfig;
 use apecache::{build, collect, paper_suite, System, TestbedConfig};
@@ -58,7 +59,7 @@ fn main() {
         let shares: Vec<f64> = result
             .metrics
             .histogram_names()
-            .filter(|n| n.starts_with("client.app_latency_ms."))
+            .filter(|n| n.starts_with(names::CLIENT_APP_LATENCY_MS_PREFIX))
             .map(|n| {
                 result
                     .metrics

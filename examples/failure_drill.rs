@@ -10,6 +10,7 @@
 //! never leave the LAN — keep working throughout.
 
 use ape_appdag::DummyAppConfig;
+use ape_proto::names;
 use ape_simnet::{LinkSpec, SimDuration};
 use ape_workload::ScheduleConfig;
 use apecache::{build, collect, synthetic_suite, System, TestbedConfig};
@@ -41,8 +42,8 @@ fn main() {
             result.report.executions,
             result.report.failures,
             result.report.hit_ratio(),
-            result.metrics.counter("client.dns_retries"),
-            result.metrics.counter("client.dns_give_ups"),
+            result.metrics.counter(names::CLIENT_DNS_RETRIES),
+            result.metrics.counter(names::CLIENT_DNS_GIVE_UPS),
         );
     }
     println!("\nCached objects keep flowing from the AP even when upstream DNS");

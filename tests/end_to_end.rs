@@ -3,6 +3,7 @@
 
 use ape_appdag::DummyAppConfig;
 use ape_nodes::{ApNode, LookupMode, WiCacheControllerNode};
+use ape_proto::names;
 use ape_simnet::SimDuration;
 use ape_workload::ScheduleConfig;
 use apecache::{build, collect, run_system, synthetic_suite, System, TestbedConfig};
@@ -35,9 +36,9 @@ fn delegations_populate_the_ap_cache() {
     );
     // Delegations and subsequent hits both happened.
     let m = bed.world.metrics();
-    assert!(m.counter("ap.delegations") > 0);
-    assert!(m.counter("ap.cache_hits") > 0);
-    assert!(m.counter("ap.dns_cache_queries") > 0);
+    assert!(m.counter(names::AP_DELEGATIONS) > 0);
+    assert!(m.counter(names::AP_CACHE_HITS) > 0);
+    assert!(m.counter(names::AP_DNS_CACHE_QUERIES) > 0);
 }
 
 #[test]
@@ -45,7 +46,7 @@ fn short_circuit_fires_once_objects_are_cached() {
     let cfg = config(System::ApeCache, 5, 10);
     let mut result = run_system(&cfg, SimDuration::from_mins(10));
     assert!(
-        result.metrics.counter("ap.short_circuits") > 0,
+        result.metrics.counter(names::AP_SHORT_CIRCUITS) > 0,
         "short-circuit fired"
     );
     // The summary is well-formed.
@@ -121,7 +122,7 @@ fn identical_configs_produce_identical_runs() {
             s.hit_ratio.to_bits(),
             s.app_latency_ms.to_bits(),
             s.lookup_ms.to_bits(),
-            result.metrics.counter("net.messages"),
+            result.metrics.counter(names::NET_MESSAGES),
         )
     };
     assert_eq!(run(1), run(1), "same seed, same world");
@@ -134,7 +135,7 @@ fn cold_edge_warms_through_origin() {
     cfg.prewarm_edge = false;
     let result = run_system(&cfg, SimDuration::from_mins(5));
     assert!(
-        result.metrics.counter("edge.origin_fetches") > 0,
+        result.metrics.counter(names::EDGE_ORIGIN_FETCHES) > 0,
         "cold edge filled from origin"
     );
     assert_eq!(result.report.failures, 0);
@@ -144,12 +145,12 @@ fn cold_edge_warms_through_origin() {
 fn ap_resources_are_sampled_and_bounded() {
     let cfg = config(System::ApeCache, 10, 5);
     let result = run_system(&cfg, SimDuration::from_mins(5));
-    let cpu = result.metrics.time_series("ap.cpu").expect("sampled");
+    let cpu = result.metrics.time_series(names::AP_CPU).expect("sampled");
     assert!(cpu.len() >= 290, "samples {}", cpu.len());
     assert!(cpu.points().iter().all(|(_, v)| (0.0..=1.0).contains(v)));
     let mem = result
         .metrics
-        .time_series("ap.ape_mem_mb")
+        .time_series(names::AP_APE_MEM_MB)
         .expect("sampled");
     assert!(mem.max() < 15.0, "ape memory {:.1} MB", mem.max());
 }
@@ -186,7 +187,7 @@ fn prefetch_extension_raises_hit_ratio() {
     let p = plain.summary();
     let q = prefetched.summary();
     assert!(
-        prefetched.metrics.counter("ap.prefetches") > 0,
+        prefetched.metrics.counter(names::AP_PREFETCHES) > 0,
         "prefetches happened"
     );
     assert!(

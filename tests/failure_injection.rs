@@ -4,6 +4,7 @@ use ape_appdag::{AppDag, AppId, AppSpec, DummyAppConfig, ObjectSpec};
 use ape_cachealg::Priority;
 use ape_httpsim::Url;
 use ape_nodes::ApNode;
+use ape_proto::names;
 use ape_simnet::{LinkSpec, SimDuration};
 use ape_workload::ScheduleConfig;
 use apecache::{build, collect, synthetic_suite, System, TestbedConfig};
@@ -40,7 +41,7 @@ fn lossy_upstream_dns_triggers_retries_not_collapse() {
     let failure_rate = result.report.failures as f64 / result.report.requests.max(1) as f64;
     assert!(failure_rate < 0.10, "failure rate {failure_rate}");
     assert!(
-        result.metrics.counter("net.dropped") > 0,
+        result.metrics.counter(names::NET_DROPPED) > 0,
         "loss was injected"
     );
 }
@@ -61,7 +62,7 @@ fn fully_dead_dns_fails_fetches_without_hanging() {
     bed.world.run_for(SimDuration::from_mins(8));
     let result = collect(System::EdgeCache, &mut bed);
     assert!(
-        result.metrics.counter("client.dns_give_ups") > 0,
+        result.metrics.counter(names::CLIENT_DNS_GIVE_UPS) > 0,
         "give-ups recorded"
     );
     assert!(result.report.failures > 0);
@@ -86,7 +87,7 @@ fn tiny_cache_thrashes_but_stays_correct() {
         "tiny cache cannot sustain a high hit ratio: {hit}"
     );
     assert!(
-        result.metrics.counter("ap.evictions") > 0,
+        result.metrics.counter(names::AP_EVICTIONS) > 0,
         "evictions happened"
     );
 }
@@ -120,7 +121,7 @@ fn oversized_objects_are_block_listed_and_served_via_edge_path() {
         "oversized object never cached"
     );
     let result = collect(System::ApeCache, &mut bed);
-    assert!(result.metrics.counter("ap.block_listed") >= 1);
+    assert!(result.metrics.counter(names::AP_BLOCK_LISTED) >= 1);
     assert_eq!(result.report.failures, 0, "object still delivered");
     assert!(result.report.requests > 10);
     assert_eq!(result.report.hits, 0);
@@ -146,7 +147,7 @@ fn short_ttls_expire_and_refetch() {
     bed.world.run_for(SimDuration::from_mins(8));
     let result = collect(System::ApeCache, &mut bed);
     assert!(
-        result.metrics.counter("ap.ttl_purges") > 0,
+        result.metrics.counter(names::AP_TTL_PURGES) > 0,
         "expired objects purged"
     );
     // Hit ratio suffers relative to long TTLs but stays positive.

@@ -3,6 +3,7 @@
 
 use ape_appdag::DummyAppConfig;
 use ape_nodes::ApNode;
+use ape_proto::names;
 use ape_simnet::SimDuration;
 use ape_workload::ScheduleConfig;
 use apecache::{build, collect, synthetic_suite, System, TestbedConfig};
@@ -99,8 +100,8 @@ proptest! {
         prop_assert_eq!(a.report, b.report);
         prop_assert_eq!(a_bytes, b_bytes);
         prop_assert_eq!(
-            a.metrics.counter("net.messages"),
-            b.metrics.counter("net.messages")
+            a.metrics.counter(names::NET_MESSAGES),
+            b.metrics.counter(names::NET_MESSAGES)
         );
     }
 }
