@@ -41,6 +41,7 @@ impl Criterion {
 }
 
 /// A group of related benchmarks.
+#[derive(Debug)]
 pub struct BenchmarkGroup<'a> {
     _parent: &'a mut Criterion,
     name: String,

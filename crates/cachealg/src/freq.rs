@@ -4,7 +4,7 @@
 //! where `r_a(Δt)` is the number of requests for app `a` observed since the
 //! previous round and `α` (0.7 in the paper) weights recent measurements.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use ape_simnet::SimTime;
 
@@ -28,8 +28,8 @@ use crate::object::AppId;
 #[derive(Debug, Clone)]
 pub struct FrequencyTracker {
     alpha: f64,
-    rates: HashMap<AppId, f64>,
-    window_counts: HashMap<AppId, u64>,
+    rates: BTreeMap<AppId, f64>,
+    window_counts: BTreeMap<AppId, u64>,
     last_roll: SimTime,
 }
 
@@ -43,8 +43,8 @@ impl FrequencyTracker {
         assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
         FrequencyTracker {
             alpha,
-            rates: HashMap::new(),
-            window_counts: HashMap::new(),
+            rates: BTreeMap::new(),
+            window_counts: BTreeMap::new(),
             last_roll: SimTime::ZERO,
         }
     }
@@ -68,7 +68,9 @@ impl FrequencyTracker {
     pub fn roll(&mut self, now: SimTime) {
         let counts = std::mem::take(&mut self.window_counts);
         // Decay every known app; quiet apps contribute zero new requests.
-        let apps: Vec<AppId> = self
+        // The set union also dedups apps present in both maps — chaining
+        // the key iterators raw would fold such apps twice per roll.
+        let apps: BTreeSet<AppId> = self
             .rates
             .keys()
             .copied()

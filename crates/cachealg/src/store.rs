@@ -1,6 +1,10 @@
 //! The AP's object cache store: bounded capacity, TTL expiry, block list.
+//!
+//! Entries live in ordered maps so every walk (expiry purge, eviction
+//! scans, per-priority accounting) visits objects in key order — part of
+//! the simulator's bitwise-determinism contract (lint rule `map-iter`).
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 use ape_dnswire::UrlHash;
 use ape_simnet::SimTime;
@@ -62,8 +66,8 @@ pub enum Lookup {
 pub struct CacheStore {
     capacity: u64,
     used: u64,
-    entries: HashMap<UrlHash, Entry>,
-    block_list: HashSet<UrlHash>,
+    entries: BTreeMap<UrlHash, Entry>,
+    block_list: BTreeSet<UrlHash>,
     block_threshold: u64,
 }
 
@@ -80,8 +84,8 @@ impl CacheStore {
         CacheStore {
             capacity,
             used: 0,
-            entries: HashMap::new(),
-            block_list: HashSet::new(),
+            entries: BTreeMap::new(),
+            block_list: BTreeSet::new(),
             block_threshold,
         }
     }
@@ -218,7 +222,7 @@ impl CacheStore {
         expired
     }
 
-    /// Iterates over current entries in unspecified order.
+    /// Iterates over current entries in key order.
     pub fn iter(&self) -> impl Iterator<Item = &Entry> {
         self.entries.values()
     }
@@ -228,8 +232,8 @@ impl CacheStore {
         self.entries.get(&key)
     }
 
-    /// Keys of all fresh (non-expired) objects belonging to URLs for which
-    /// the given predicate holds. Used by the AP to batch per-domain flags.
+    /// Keys of all cached objects, in key order. Used by the AP to batch
+    /// per-domain flags.
     pub fn keys(&self) -> impl Iterator<Item = UrlHash> + '_ {
         self.entries.keys().copied()
     }

@@ -65,7 +65,7 @@ pub fn replay_trace(spec: &TraceSpec, model: &RouterModel, seed: u64) -> Vec<Rou
     let packets = generate_trace(spec, &mut rng);
     let mut cpu = CpuMeter::new(model.cores);
     // flow id → last-seen time.
-    let mut flows: std::collections::HashMap<u32, SimTime> = std::collections::HashMap::new();
+    let mut flows: std::collections::BTreeMap<u32, SimTime> = std::collections::BTreeMap::new();
     let mut carried_bytes = 0u64;
     let mut samples = Vec::new();
     let mut idx = 0usize;

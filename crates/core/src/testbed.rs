@@ -48,6 +48,12 @@ pub struct TestbedConfig {
     pub trace: TraceConfig,
     /// Root seed for all randomness in the run.
     pub seed: u64,
+    /// Schedule-perturbation key for the race detector: when set, the
+    /// world's same-timestamp tie-breaks follow a seeded permutation
+    /// instead of FIFO order (see
+    /// [`World::set_tie_perturbation`](ape_simnet::World::set_tie_perturbation)).
+    /// `None` — the default — is the production FIFO order.
+    pub tie_perturbation: Option<u64>,
 }
 
 impl TestbedConfig {
@@ -64,6 +70,7 @@ impl TestbedConfig {
             prefetch_hints: false,
             trace: TraceConfig::default(),
             seed: 42,
+            tie_perturbation: None,
         }
     }
 }
@@ -116,6 +123,9 @@ pub fn build(config: &TestbedConfig) -> Testbed {
     assert!(!config.apps.is_empty(), "testbed needs at least one app");
     assert!(config.clients > 0, "testbed needs at least one client");
     let mut world = World::new(config.seed);
+    if let Some(key) = config.tie_perturbation {
+        world.set_tie_perturbation(key);
+    }
     world.set_trace_config(config.trace);
 
     // --- Catalog shared by origin and edge -----------------------------

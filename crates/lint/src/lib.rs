@@ -1,0 +1,940 @@
+//! # ape-lint — determinism & protocol-invariant analysis for APE-CACHE
+//!
+//! Every result in this workspace is simulation-derived, so the simulator's
+//! bitwise-determinism contract *is* the result. This crate enforces the
+//! source-level half of that contract (the runtime half is
+//! `ape_simnet::World::check_determinism`): a self-contained line/token
+//! scanner — no `syn`, no registry dependencies — that walks the workspace
+//! sources and reports violations of four rules:
+//!
+//! - **`map-iter` (D1)** — no unordered iteration (`.iter()`, `.keys()`,
+//!   `.values()`, `.drain()`, `for _ in &map`, …) over `HashMap`/`HashSet`
+//!   in sim-state crates. Use `BTreeMap`/`BTreeSet` or a sorted snapshot.
+//! - **`wall-clock` (D2)** — no wall-clock reads (`Instant::now`,
+//!   `SystemTime`) or ambient randomness (`thread_rng`, `from_entropy`, …)
+//!   outside `crates/bench`. All time is `SimTime`; all randomness flows
+//!   through the seeded `SimRng`.
+//! - **`metric-name` (D3)** — no bare string literals at metric/span
+//!   instrumentation call sites (`.incr("…")`, `.observe("…")`,
+//!   `ctx.begin_trace("…")`, …). Names must reference the
+//!   `ape_proto::names` constants (or `SpanKind::…::as_str()`), so the
+//!   vocabulary stays greppable and collision-free.
+//! - **`float-fold` (D4)** — no `f32`/`f64` accumulation (`.sum::<f64>()`,
+//!   `.fold(0.0, …)`) over unordered collections: float addition is not
+//!   associative, so an unordered reduction is nondeterministic even when
+//!   the element set is identical.
+//!
+//! ## Waivers
+//!
+//! A violation can be waived with an explicit comment on the same line or
+//! the line directly above:
+//!
+//! ```text
+//! // ape-lint: allow(map-iter) -- point-lookup table, never iterated for results
+//! ```
+//!
+//! The reason after `--` is mandatory; `ape-lint check --list-waivers`
+//! prints every waiver so reviewers can audit the accumulated debt.
+//!
+//! ## Scope and honesty about the approach
+//!
+//! The scanner strips comments and string literals with a small state
+//! machine, skips `#[cfg(test)]` modules (test assertions may use literal
+//! metric names), and tracks which identifiers are declared with a
+//! `HashMap`/`HashSet` type *within each file*. It has no type inference:
+//! a hash map smuggled across a function boundary under a type alias will
+//! not be tracked, and `float-fold` only recognizes explicit `.sum::` /
+//! `.fold(0.0` reductions attached to a tracked-map iteration. That is the
+//! deliberate trade-off for a zero-dependency tool the repo can always
+//! build; the runtime race detector covers what the static side misses.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Crates whose state participates in simulation results: rule `map-iter`
+/// applies to these only (the bench harness may use hash maps for its own
+/// bookkeeping; iteration order there never feeds a simulated outcome).
+pub const SIM_STATE_CRATES: &[&str] = &[
+    "simnet", "nodes", "cachealg", "core", "proto", "dnswire", "appdag", "workload",
+];
+
+/// Crates allowed to read the wall clock / OS entropy (rule `wall-clock`
+/// is skipped for these): only the measurement harness.
+pub const WALL_CLOCK_CRATES: &[&str] = &["bench"];
+
+/// The four rules the scanner enforces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// D1: unordered iteration over `HashMap`/`HashSet` in sim-state code.
+    MapIter,
+    /// D2: wall-clock or ambient randomness outside `crates/bench`.
+    WallClock,
+    /// D3: bare metric/span name literal at an instrumentation call site.
+    MetricName,
+    /// D4: float accumulation over an unordered collection.
+    FloatFold,
+    /// A malformed `ape-lint:` waiver comment (never waivable itself).
+    WaiverSyntax,
+}
+
+impl Rule {
+    /// The waiver/CLI name of the rule.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Rule::MapIter => "map-iter",
+            Rule::WallClock => "wall-clock",
+            Rule::MetricName => "metric-name",
+            Rule::FloatFold => "float-fold",
+            Rule::WaiverSyntax => "waiver-syntax",
+        }
+    }
+
+    /// Parses a waiver rule name. `waiver-syntax` is intentionally not
+    /// parseable: a broken waiver cannot waive itself.
+    pub fn parse(s: &str) -> Option<Rule> {
+        match s {
+            "map-iter" => Some(Rule::MapIter),
+            "wall-clock" => Some(Rule::WallClock),
+            "metric-name" => Some(Rule::MetricName),
+            "float-fold" => Some(Rule::FloatFold),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One rule violation at a source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Path relative to the workspace root.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// The rule violated.
+    pub rule: Rule,
+    /// Human-readable description (includes the offending snippet).
+    pub message: String,
+    /// Whether a matching waiver covered this violation.
+    pub waived: bool,
+}
+
+/// One `// ape-lint: allow(rule) -- reason` waiver comment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Waiver {
+    /// Path relative to the workspace root.
+    pub file: String,
+    /// 1-based line the comment is on (covers this line and the next).
+    pub line: usize,
+    /// The rule waived.
+    pub rule: Rule,
+    /// The mandatory justification after `--`.
+    pub reason: String,
+    /// Whether any violation actually matched this waiver.
+    pub used: bool,
+}
+
+/// Scan result over one file or a whole workspace.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// All violations found, waived ones included (flagged).
+    pub violations: Vec<Violation>,
+    /// All waivers found, unused ones included (flagged).
+    pub waivers: Vec<Waiver>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// Violations not covered by a waiver — these fail the build.
+    pub fn unwaived(&self) -> impl Iterator<Item = &Violation> {
+        self.violations.iter().filter(|v| !v.waived)
+    }
+
+    /// Whether the scan is clean (no unwaived violations).
+    pub fn is_clean(&self) -> bool {
+        self.unwaived().next().is_none()
+    }
+
+    /// Serializes the report as a stable JSON document (hand-rolled — the
+    /// workspace has no registry access, hence no serde).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"files_scanned\": ");
+        out.push_str(&self.files_scanned.to_string());
+        out.push_str(",\n  \"clean\": ");
+        out.push_str(if self.is_clean() { "true" } else { "false" });
+        out.push_str(",\n  \"violations\": [");
+        for (i, v) in self.violations.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"file\": {}, \"line\": {}, \"rule\": {}, \"waived\": {}, \"message\": {}}}",
+                json_str(&v.file),
+                v.line,
+                json_str(v.rule.as_str()),
+                v.waived,
+                json_str(&v.message)
+            ));
+        }
+        out.push_str(if self.violations.is_empty() {
+            "],\n"
+        } else {
+            "\n  ],\n"
+        });
+        out.push_str("  \"waivers\": [");
+        for (i, w) in self.waivers.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"file\": {}, \"line\": {}, \"rule\": {}, \"used\": {}, \"reason\": {}}}",
+                json_str(&w.file),
+                w.line,
+                json_str(w.rule.as_str()),
+                w.used,
+                json_str(&w.reason)
+            ));
+        }
+        out.push_str(if self.waivers.is_empty() {
+            "]\n}"
+        } else {
+            "\n  ]\n}"
+        });
+        out
+    }
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Which rules apply to the file being scanned.
+#[derive(Debug, Clone, Copy)]
+pub struct FileContext {
+    /// Apply `map-iter` (file belongs to a sim-state crate).
+    pub sim_state: bool,
+    /// Skip `wall-clock` (file belongs to the measurement harness).
+    pub allow_wall_clock: bool,
+}
+
+impl FileContext {
+    /// Context for a path under the workspace root, derived from the
+    /// `crates/<name>/` component.
+    pub fn for_path(rel: &str) -> FileContext {
+        let crate_name = rel
+            .strip_prefix("crates/")
+            .and_then(|r| r.split('/').next())
+            .unwrap_or("");
+        FileContext {
+            sim_state: SIM_STATE_CRATES.contains(&crate_name),
+            allow_wall_clock: WALL_CLOCK_CRATES.contains(&crate_name),
+        }
+    }
+}
+
+// --- Source preprocessing -------------------------------------------------
+
+/// A file after comment/string stripping: per-line code text (strings
+/// collapsed to `""`, comments blanked) plus the waivers harvested from the
+/// comments before they were blanked.
+struct Stripped {
+    code_lines: Vec<String>,
+    waivers: Vec<(usize, Rule, String)>, // (1-based line, rule, reason)
+    bad_waivers: Vec<(usize, String)>,   // malformed waiver comments
+}
+
+/// Strips comments (line, nested block) and string literals (plain, raw,
+/// byte) from Rust source, preserving line structure so reported line
+/// numbers match the file. String literals are replaced by `""` so "a call
+/// site passes a literal" remains detectable without its content.
+fn strip(source: &str) -> Stripped {
+    let bytes: Vec<char> = source.chars().collect();
+    let mut code = String::with_capacity(source.len());
+    let mut comments = String::with_capacity(64);
+    let mut waivers = Vec::new();
+    let mut bad_waivers = Vec::new();
+    let mut i = 0;
+    let n = bytes.len();
+    while i < n {
+        let c = bytes[i];
+        let next = if i + 1 < n { bytes[i + 1] } else { '\0' };
+        if c == '/' && next == '/' {
+            // Line comment: harvest for waivers, blank from code.
+            let start = i;
+            while i < n && bytes[i] != '\n' {
+                i += 1;
+            }
+            let text: String = bytes[start..i].iter().collect();
+            comments.push_str(&text);
+            comments.push('\n');
+            // Waivers live in plain `//` comments only: doc comments are
+            // prose (and may legitimately *show* waiver syntax).
+            if !text.starts_with("///") && !text.starts_with("//!") {
+                let line_no = code.matches('\n').count() + 1;
+                parse_waiver(&text, line_no, &mut waivers, &mut bad_waivers);
+            }
+        } else if c == '/' && next == '*' {
+            // Block comment, nested per Rust. Preserve newlines.
+            let mut depth = 1;
+            i += 2;
+            while i < n && depth > 0 {
+                if bytes[i] == '/' && i + 1 < n && bytes[i + 1] == '*' {
+                    depth += 1;
+                    i += 2;
+                } else if bytes[i] == '*' && i + 1 < n && bytes[i + 1] == '/' {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    if bytes[i] == '\n' {
+                        code.push('\n');
+                    }
+                    i += 1;
+                }
+            }
+        } else if c == 'r' && (next == '"' || next == '#') && is_raw_string_start(&bytes, i) {
+            // Raw string r"…" / r#"…"# (any hash depth). Also reached for
+            // br"…" via the 'b' branch below.
+            i = skip_raw_string(&bytes, i, &mut code);
+        } else if c == 'b' && next == '"' {
+            code.push_str("\"\"");
+            i = skip_plain_string(&bytes, i + 1, &mut code);
+        } else if c == 'b' && next == 'r' && is_raw_string_start(&bytes, i + 1) {
+            i = skip_raw_string(&bytes, i + 1, &mut code);
+        } else if c == '"' {
+            code.push_str("\"\"");
+            i = skip_plain_string(&bytes, i, &mut code);
+        } else if c == '\'' {
+            // Char literal vs lifetime. 'x' or '\…' is a literal; 'ident
+            // (no closing quote nearby) is a lifetime.
+            if let Some(end) = char_literal_end(&bytes, i) {
+                code.push_str("' '");
+                for &b in &bytes[i..end] {
+                    if b == '\n' {
+                        code.push('\n');
+                    }
+                }
+                i = end;
+            } else {
+                code.push(c);
+                i += 1;
+            }
+        } else {
+            code.push(c);
+            i += 1;
+        }
+    }
+    Stripped {
+        code_lines: code.lines().map(str::to_owned).collect(),
+        waivers,
+        bad_waivers,
+    }
+}
+
+fn is_raw_string_start(bytes: &[char], i: usize) -> bool {
+    // bytes[i] == 'r'; raw string if followed by zero or more '#' then '"'.
+    let mut j = i + 1;
+    while j < bytes.len() && bytes[j] == '#' {
+        j += 1;
+    }
+    j < bytes.len() && bytes[j] == '"'
+}
+
+/// Skips `r##"…"##` starting at the `r`; emits `""` to `code`, preserving
+/// newlines. Returns the index just past the closing delimiter.
+fn skip_raw_string(bytes: &[char], i: usize, code: &mut String) -> usize {
+    let mut j = i + 1;
+    let mut hashes = 0;
+    while j < bytes.len() && bytes[j] == '#' {
+        hashes += 1;
+        j += 1;
+    }
+    j += 1; // past opening quote
+    code.push_str("\"\"");
+    while j < bytes.len() {
+        if bytes[j] == '"' {
+            let mut k = j + 1;
+            let mut seen = 0;
+            while k < bytes.len() && seen < hashes && bytes[k] == '#' {
+                seen += 1;
+                k += 1;
+            }
+            if seen == hashes {
+                return k;
+            }
+        }
+        if bytes[j] == '\n' {
+            code.push('\n');
+        }
+        j += 1;
+    }
+    j
+}
+
+/// Skips a plain string starting at the opening quote index; preserves
+/// newlines. Returns the index just past the closing quote.
+fn skip_plain_string(bytes: &[char], i: usize, code: &mut String) -> usize {
+    let mut j = i + 1;
+    while j < bytes.len() {
+        match bytes[j] {
+            '\\' => j += 2,
+            '"' => return j + 1,
+            '\n' => {
+                code.push('\n');
+                j += 1;
+            }
+            _ => j += 1,
+        }
+    }
+    j
+}
+
+/// If a char literal starts at `i` (which holds `'`), returns the index
+/// just past its closing quote; `None` for lifetimes.
+fn char_literal_end(bytes: &[char], i: usize) -> Option<usize> {
+    let n = bytes.len();
+    if i + 1 >= n {
+        return None;
+    }
+    if bytes[i + 1] == '\\' {
+        // Escape: scan to the closing quote (handles '\n', '\u{…}').
+        let mut j = i + 2;
+        while j < n && bytes[j] != '\'' && j - i < 12 {
+            j += 1;
+        }
+        return (j < n && bytes[j] == '\'').then_some(j + 1);
+    }
+    // One non-quote char then a quote → literal; otherwise a lifetime.
+    (i + 2 < n && bytes[i + 1] != '\'' && bytes[i + 2] == '\'').then_some(i + 3)
+}
+
+fn parse_waiver(
+    comment: &str,
+    line: usize,
+    waivers: &mut Vec<(usize, Rule, String)>,
+    bad: &mut Vec<(usize, String)>,
+) {
+    let Some(idx) = comment.find("ape-lint:") else {
+        return;
+    };
+    let rest = comment[idx + "ape-lint:".len()..].trim_start();
+    let Some(rest) = rest.strip_prefix("allow(") else {
+        bad.push((line, "expected `allow(<rule>)` after `ape-lint:`".into()));
+        return;
+    };
+    let Some(close) = rest.find(')') else {
+        bad.push((line, "unclosed `allow(`".into()));
+        return;
+    };
+    let rule_name = rest[..close].trim();
+    let Some(rule) = Rule::parse(rule_name) else {
+        bad.push((line, format!("unknown rule `{rule_name}`")));
+        return;
+    };
+    let after = rest[close + 1..].trim_start();
+    let reason = after.strip_prefix("--").map(str::trim).unwrap_or("");
+    if reason.is_empty() {
+        bad.push((
+            line,
+            format!("waiver for `{rule_name}` needs a reason: `-- <why>`"),
+        ));
+        return;
+    }
+    waivers.push((line, rule, reason.to_owned()));
+}
+
+// --- Test-region masking --------------------------------------------------
+
+/// Returns, per line, whether the line lies inside a `#[cfg(test)]` item
+/// (typically `mod tests { … }`), tracked by brace depth on stripped code.
+fn test_mask(code_lines: &[String]) -> Vec<bool> {
+    let mut mask = vec![false; code_lines.len()];
+    let mut pending_cfg = false;
+    let mut skip_depth: Option<i64> = None;
+    let mut depth: i64 = 0;
+    for (idx, line) in code_lines.iter().enumerate() {
+        let opens = line.matches('{').count() as i64;
+        let closes = line.matches('}').count() as i64;
+        if let Some(until) = skip_depth {
+            mask[idx] = true;
+            depth += opens - closes;
+            if depth <= until {
+                skip_depth = None;
+            }
+            continue;
+        }
+        if pending_cfg && opens > 0 {
+            // The cfg(test) item's body starts here.
+            mask[idx] = true;
+            let before = depth;
+            depth += opens - closes;
+            if depth > before {
+                skip_depth = Some(before);
+            }
+            pending_cfg = false;
+            continue;
+        }
+        if line.contains("#[cfg(test)]") || line.contains("#[cfg(all(test") {
+            mask[idx] = true;
+            let before = depth;
+            depth += opens - closes;
+            if depth > before {
+                // `#[cfg(test)] mod tests {` on one line.
+                skip_depth = Some(before);
+            } else {
+                pending_cfg = true;
+            }
+            continue;
+        }
+        if pending_cfg && line.trim().is_empty() {
+            continue;
+        }
+        if pending_cfg && !line.trim_start().starts_with("#[") && opens == 0 {
+            // e.g. `mod tests;` — nothing to mask beyond the declaration.
+            mask[idx] = true;
+            pending_cfg = false;
+        }
+        depth += opens - closes;
+    }
+    mask
+}
+
+// --- Identifier tracking --------------------------------------------------
+
+fn is_ident_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+/// Collects identifiers declared with a `HashMap`/`HashSet` type in this
+/// file: struct fields and `let` bindings with an explicit annotation,
+/// `= HashMap::new()` initializers, and `let x = … .collect::<HashMap…>()`.
+fn tracked_hash_idents(code_lines: &[String]) -> BTreeMap<String, usize> {
+    let mut tracked = BTreeMap::new();
+    for (idx, line) in code_lines.iter().enumerate() {
+        for ty in ["HashMap", "HashSet"] {
+            // `ident: HashMap<` (field / annotated let / fn param).
+            let mut from = 0;
+            while let Some(pos) = line[from..].find(ty) {
+                let at = from + pos;
+                from = at + ty.len();
+                // Reject identifiers merely containing the type name.
+                let before_ok = at == 0 || !is_ident_char(line.as_bytes()[at - 1] as char);
+                let after = line[at + ty.len()..].chars().next().unwrap_or(' ');
+                if !before_ok || is_ident_char(after) {
+                    continue;
+                }
+                if let Some(name) = ident_before_colon(line, at) {
+                    tracked.entry(name).or_insert(idx + 1);
+                } else if let Some(name) = let_binding_target(line) {
+                    // `let x = HashMap::new()` / `let x: … = … HashMap …`.
+                    tracked.entry(name).or_insert(idx + 1);
+                }
+            }
+        }
+    }
+    tracked
+}
+
+/// For `foo: HashMap<…>` (also `foo: &HashMap<…>` / `&mut HashMap<…>`) at
+/// `type_pos`, returns `foo`.
+fn ident_before_colon(line: &str, type_pos: usize) -> Option<String> {
+    let mut prefix = line[..type_pos].trim_end();
+    loop {
+        if let Some(p) = prefix.strip_suffix("mut") {
+            prefix = p.trim_end();
+        } else if let Some(p) = prefix.strip_suffix('&') {
+            prefix = p.trim_end();
+        } else {
+            break;
+        }
+    }
+    let prefix = prefix.strip_suffix(':')?.trim_end();
+    let end = prefix.len();
+    let start = prefix
+        .char_indices()
+        .rev()
+        .take_while(|(_, c)| is_ident_char(*c))
+        .map(|(i, _)| i)
+        .last()?;
+    let name = &prefix[start..end];
+    (!name.is_empty() && !name.chars().next().unwrap().is_ascii_digit()).then(|| name.to_owned())
+}
+
+/// For `let (mut) x = …`, returns `x`.
+fn let_binding_target(line: &str) -> Option<String> {
+    let t = line.trim_start();
+    let rest = t.strip_prefix("let ")?;
+    let rest = rest.strip_prefix("mut ").unwrap_or(rest);
+    let name: String = rest.chars().take_while(|c| is_ident_char(*c)).collect();
+    (!name.is_empty()).then_some(name)
+}
+
+// --- Rule detection -------------------------------------------------------
+
+const ITER_METHODS: &[&str] = &[
+    ".iter()",
+    ".iter_mut()",
+    ".keys()",
+    ".values()",
+    ".values_mut()",
+    ".drain()",
+    ".into_iter()",
+    ".into_keys()",
+    ".into_values()",
+];
+
+const WALL_CLOCK_PATTERNS: &[&str] = &[
+    "Instant::now",
+    "SystemTime",
+    "thread_rng",
+    "from_entropy",
+    "rand::random",
+    "getrandom",
+    "RandomState",
+];
+
+const METRIC_METHODS: &[&str] = &[
+    ".incr(",
+    ".observe(",
+    ".record_point(",
+    ".counter(",
+    ".begin_trace(",
+    ".span_start(",
+    ".span_end(",
+    ".span_instant(",
+];
+
+const FLOAT_FOLD_PATTERNS: &[&str] = &[".sum::<f64", ".sum::<f32", ".fold(0.0", ".fold(0f"];
+
+/// Returns the receiver identifier of a method call ending at `dot_pos`
+/// (the index of the `.`): for `self.entries.keys()` → `entries`.
+fn receiver_ident(line: &str, dot_pos: usize) -> Option<String> {
+    let prefix = &line[..dot_pos];
+    let end = prefix.len();
+    let start = prefix
+        .char_indices()
+        .rev()
+        .take_while(|(_, c)| is_ident_char(*c))
+        .map(|(i, _)| i)
+        .last()?;
+    let name = &prefix[start..end];
+    (!name.is_empty()).then(|| name.to_owned())
+}
+
+/// The statement window starting at `idx`: the line plus up to `extra`
+/// following lines, stopping once a `;` or `{` closes the statement.
+fn statement_window(code_lines: &[String], idx: usize, extra: usize) -> String {
+    let mut window = code_lines[idx].clone();
+    let mut j = idx;
+    while !window.contains(';')
+        && !window.ends_with('{')
+        && j + 1 < code_lines.len()
+        && j - idx < extra
+    {
+        j += 1;
+        window.push(' ');
+        window.push_str(&code_lines[j]);
+    }
+    window
+}
+
+/// Scans one file's source. `rel_path` is used only for reporting and
+/// waiver bookkeeping; `ctx` selects which rules apply.
+pub fn scan_source(rel_path: &str, source: &str, ctx: FileContext) -> Report {
+    let stripped = strip(source);
+    let mask = test_mask(&stripped.code_lines);
+    let tracked = tracked_hash_idents(&stripped.code_lines);
+    let mut violations = Vec::new();
+
+    for (idx, line) in stripped.code_lines.iter().enumerate() {
+        if mask[idx] {
+            continue;
+        }
+        let line_no = idx + 1;
+
+        // D1 map-iter + D4 float-fold share the tracked-receiver hit.
+        let mut hash_iter_hit = false;
+        for pat in ITER_METHODS {
+            let mut from = 0;
+            while let Some(pos) = line[from..].find(pat) {
+                let at = from + pos;
+                from = at + pat.len();
+                if let Some(recv) = receiver_ident(line, at) {
+                    if tracked.contains_key(&recv) {
+                        hash_iter_hit = true;
+                        if ctx.sim_state {
+                            violations.push(Violation {
+                                file: rel_path.to_owned(),
+                                line: line_no,
+                                rule: Rule::MapIter,
+                                message: format!(
+                                    "unordered iteration `{recv}{pat}` over a HashMap/HashSet \
+                                     (declared line {}); use BTreeMap/BTreeSet or a sorted \
+                                     snapshot",
+                                    tracked[&recv]
+                                ),
+                                waived: false,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        // `for x in &map` / `for x in map` forms.
+        if let Some(recv) = for_loop_hash_receiver(line, &tracked) {
+            hash_iter_hit = true;
+            if ctx.sim_state {
+                violations.push(Violation {
+                    file: rel_path.to_owned(),
+                    line: line_no,
+                    rule: Rule::MapIter,
+                    message: format!(
+                        "unordered `for … in {recv}` over a HashMap/HashSet (declared line {}); \
+                         use BTreeMap/BTreeSet or a sorted snapshot",
+                        tracked[&recv]
+                    ),
+                    waived: false,
+                });
+            }
+        }
+
+        if hash_iter_hit {
+            let window = statement_window(&stripped.code_lines, idx, 4);
+            for pat in FLOAT_FOLD_PATTERNS {
+                if window.contains(pat) {
+                    violations.push(Violation {
+                        file: rel_path.to_owned(),
+                        line: line_no,
+                        rule: Rule::FloatFold,
+                        message: format!(
+                            "float accumulation `{pat}…` over an unordered collection; float \
+                             addition is order-sensitive — collect and sort first"
+                        ),
+                        waived: false,
+                    });
+                    break;
+                }
+            }
+        }
+
+        // D2 wall-clock / ambient randomness.
+        if !ctx.allow_wall_clock {
+            for pat in WALL_CLOCK_PATTERNS {
+                if let Some(pos) = line.find(pat) {
+                    let before_ok = pos == 0 || !is_ident_char(line.as_bytes()[pos - 1] as char);
+                    if before_ok {
+                        violations.push(Violation {
+                            file: rel_path.to_owned(),
+                            line: line_no,
+                            rule: Rule::WallClock,
+                            message: format!(
+                                "`{pat}` outside crates/bench; simulated code must use \
+                                 SimTime/SimRng so runs are replayable"
+                            ),
+                            waived: false,
+                        });
+                    }
+                }
+            }
+        }
+
+        // D3 bare metric/span name literals.
+        for pat in METRIC_METHODS {
+            let mut from = 0;
+            while let Some(pos) = line[from..].find(pat) {
+                let at = from + pos;
+                from = at + pat.len();
+                let window = statement_window(&stripped.code_lines, idx, 2);
+                let wpos = window.find(pat).map(|p| p + pat.len()).unwrap_or(0);
+                if first_arglist_has_literal(&window[wpos..]) {
+                    violations.push(Violation {
+                        file: rel_path.to_owned(),
+                        line: line_no,
+                        rule: Rule::MetricName,
+                        message: format!(
+                            "bare name literal in `{}…)` call; reference an \
+                             `ape_proto::names` constant (or SpanKind::…::as_str()) instead",
+                            &pat[..pat.len() - 1]
+                        ),
+                        waived: false,
+                    });
+                    break;
+                }
+            }
+        }
+    }
+
+    // Waiver application: a waiver on line L covers violations on L and L+1.
+    let mut waivers: Vec<Waiver> = stripped
+        .waivers
+        .into_iter()
+        .map(|(line, rule, reason)| Waiver {
+            file: rel_path.to_owned(),
+            line,
+            rule,
+            reason,
+            used: false,
+        })
+        .collect();
+    for v in &mut violations {
+        for w in &mut waivers {
+            if w.rule == v.rule && (w.line == v.line || w.line + 1 == v.line) {
+                v.waived = true;
+                w.used = true;
+            }
+        }
+    }
+    for (line, msg) in stripped.bad_waivers {
+        violations.push(Violation {
+            file: rel_path.to_owned(),
+            line,
+            rule: Rule::WaiverSyntax,
+            message: format!("malformed ape-lint waiver: {msg}"),
+            waived: false,
+        });
+    }
+
+    Report {
+        violations,
+        waivers,
+        files_scanned: 1,
+    }
+}
+
+/// Detects `for pat in [&mut |&]ident {` over a tracked hash collection and
+/// returns the identifier.
+fn for_loop_hash_receiver(line: &str, tracked: &BTreeMap<String, usize>) -> Option<String> {
+    let for_pos = find_keyword(line, "for ")?;
+    let after_for = &line[for_pos + 4..];
+    let in_pos = find_keyword(after_for, " in ")?;
+    let expr = after_for[in_pos + 4..].trim();
+    let expr = expr.split('{').next()?.trim();
+    let expr = expr.strip_prefix("&mut ").unwrap_or(expr);
+    let expr = expr.strip_prefix('&').unwrap_or(expr);
+    let expr = expr.strip_prefix("self.").unwrap_or(expr);
+    if !expr.is_empty() && expr.chars().all(is_ident_char) && tracked.contains_key(expr) {
+        Some(expr.to_owned())
+    } else {
+        None
+    }
+}
+
+/// Finds `kw` at a word boundary (so `before ` doesn't match `therefore `).
+fn find_keyword(line: &str, kw: &str) -> Option<usize> {
+    let mut from = 0;
+    while let Some(pos) = line[from..].find(kw) {
+        let at = from + pos;
+        let boundary = at == 0 || !is_ident_char(line.as_bytes()[at - 1] as char);
+        let first_is_space = kw.starts_with(' ');
+        if boundary || first_is_space {
+            return Some(at);
+        }
+        from = at + kw.len();
+    }
+    None
+}
+
+/// Whether the argument list starting right after `(` contains a string
+/// literal at any nesting depth before the call's closing paren. Stripped
+/// code collapses every literal to `""`, so one `"` suffices.
+fn first_arglist_has_literal(args: &str) -> bool {
+    let mut depth = 1;
+    for c in args.chars() {
+        match c {
+            '(' => depth += 1,
+            ')' => {
+                depth -= 1;
+                if depth == 0 {
+                    return false;
+                }
+            }
+            '"' => return true,
+            _ => {}
+        }
+    }
+    false
+}
+
+// --- Workspace walking ----------------------------------------------------
+
+/// Scans every crate source file under `root` (`crates/*/src/**/*.rs` and
+/// the umbrella `src/`), merging per-file reports. Test directories and
+/// `target/` are out of scope: rules govern shipping simulation code.
+pub fn scan_workspace(root: &Path) -> std::io::Result<Report> {
+    let mut files: Vec<PathBuf> = Vec::new();
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<PathBuf> = std::fs::read_dir(&crates_dir)?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.is_dir())
+        .collect();
+    crate_dirs.sort();
+    for dir in crate_dirs {
+        collect_rs(&dir.join("src"), &mut files)?;
+    }
+    collect_rs(&root.join("src"), &mut files)?;
+    files.sort();
+
+    let mut report = Report::default();
+    for file in &files {
+        let rel = file
+            .strip_prefix(root)
+            .unwrap_or(file)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let source = std::fs::read_to_string(file)?;
+        let ctx = FileContext::for_path(&rel);
+        let file_report = scan_source(&rel, &source, ctx);
+        report.violations.extend(file_report.violations);
+        report.waivers.extend(file_report.waivers);
+        report.files_scanned += 1;
+    }
+    Ok(report)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// The workspace root, resolved from this crate's manifest directory so
+/// `cargo run -p ape-lint` works from any working directory.
+pub fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/lint has a workspace root two levels up")
+        .to_path_buf()
+}

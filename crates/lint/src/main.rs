@@ -1,0 +1,124 @@
+//! `ape-lint` CLI: `cargo run -p ape-lint -- check [--json] [--list-waivers]`.
+
+use std::process::ExitCode;
+
+use ape_lint::{scan_workspace, workspace_root, Report};
+
+const USAGE: &str = "\
+ape-lint — determinism & protocol-invariant analyzer for the APE-CACHE workspace
+
+USAGE:
+    cargo run -p ape-lint -- check [--json]
+    cargo run -p ape-lint -- check --list-waivers [--json]
+
+COMMANDS:
+    check            Scan crates/*/src and src/ for rule violations.
+                     Exits 1 if any unwaived violation is found.
+
+OPTIONS:
+    --json           Machine-readable output.
+    --list-waivers   Print the waiver ledger (file, line, rule, reason)
+                     instead of violations. Unused waivers are flagged.
+
+RULES:
+    map-iter      no unordered HashMap/HashSet iteration in sim-state crates
+    wall-clock    no Instant/SystemTime/ambient randomness outside crates/bench
+    metric-name   no bare metric/span name literals at instrumentation sites
+    float-fold    no f32/f64 accumulation over unordered collections
+
+WAIVERS:
+    // ape-lint: allow(<rule>) -- <reason>      (same line or line above)
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut check = false;
+    let mut json = false;
+    let mut list_waivers = false;
+    for arg in &args {
+        match arg.as_str() {
+            "check" => check = true,
+            "--json" => json = true,
+            "--list-waivers" => list_waivers = true,
+            "--help" | "-h" | "help" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("ape-lint: unknown argument `{other}`\n");
+                print!("{USAGE}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if !check && !list_waivers {
+        print!("{USAGE}");
+        return ExitCode::FAILURE;
+    }
+
+    let root = workspace_root();
+    let report = match scan_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("ape-lint: scan failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if list_waivers {
+        print_waivers(&report, json);
+        return ExitCode::SUCCESS;
+    }
+    print_check(&report, json);
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn print_check(report: &Report, json: bool) {
+    if json {
+        println!("{}", report.to_json());
+        return;
+    }
+    for v in &report.violations {
+        let tag = if v.waived { " (waived)" } else { "" };
+        println!("{}:{}: [{}]{} {}", v.file, v.line, v.rule, tag, v.message);
+    }
+    let unwaived = report.unwaived().count();
+    let waived = report.violations.len() - unwaived;
+    println!(
+        "ape-lint: {} files scanned, {} violation(s) ({} waived), {} waiver(s)",
+        report.files_scanned,
+        report.violations.len(),
+        waived,
+        report.waivers.len()
+    );
+    if unwaived > 0 {
+        println!(
+            "ape-lint: FAIL — fix the violations or add `// ape-lint: allow(<rule>) -- <why>`"
+        );
+    } else {
+        println!("ape-lint: OK");
+    }
+}
+
+fn print_waivers(report: &Report, json: bool) {
+    if json {
+        println!("{}", report.to_json());
+        return;
+    }
+    if report.waivers.is_empty() {
+        println!("ape-lint: no waivers in the workspace");
+        return;
+    }
+    for w in &report.waivers {
+        let tag = if w.used { "" } else { " (UNUSED)" };
+        println!(
+            "{}:{}: allow({}){} -- {}",
+            w.file, w.line, w.rule, tag, w.reason
+        );
+    }
+    println!("ape-lint: {} waiver(s)", report.waivers.len());
+}

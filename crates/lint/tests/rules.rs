@@ -1,0 +1,351 @@
+//! Fixture tests: one positive and one negative snippet per rule, waiver
+//! parsing, and a self-check that the real workspace scans clean.
+
+use ape_lint::{scan_source, scan_workspace, workspace_root, FileContext, Rule};
+
+const SIM: FileContext = FileContext {
+    sim_state: true,
+    allow_wall_clock: false,
+};
+
+const HARNESS: FileContext = FileContext {
+    sim_state: false,
+    allow_wall_clock: true,
+};
+
+const NON_SIM: FileContext = FileContext {
+    sim_state: false,
+    allow_wall_clock: false,
+};
+
+fn rules_of(report: &ape_lint::Report) -> Vec<Rule> {
+    report.violations.iter().map(|v| v.rule).collect()
+}
+
+// --- D1 map-iter ----------------------------------------------------------
+
+#[test]
+fn d1_flags_hashmap_method_iteration() {
+    let src = r#"
+use std::collections::HashMap;
+struct Cache {
+    entries: HashMap<u64, u64>,
+}
+impl Cache {
+    fn total(&self) -> u64 {
+        self.entries.values().sum()
+    }
+    fn all(&self) -> Vec<u64> {
+        self.entries.keys().copied().collect()
+    }
+}
+"#;
+    let report = scan_source("crates/nodes/src/fixture.rs", src, SIM);
+    let rules = rules_of(&report);
+    assert_eq!(rules.iter().filter(|r| **r == Rule::MapIter).count(), 2);
+    assert!(report.violations.iter().all(|v| !v.waived));
+    assert!(!report.is_clean());
+}
+
+#[test]
+fn d1_flags_for_loop_over_hashmap() {
+    let src = r#"
+use std::collections::HashSet;
+fn walk(pending: &HashSet<u32>) {
+    for id in pending {
+        drop(id);
+    }
+}
+fn walk2() {
+    let mut seen: HashSet<u32> = HashSet::new();
+    for id in &seen {
+        drop(id);
+    }
+    drop(&mut seen);
+}
+"#;
+    let report = scan_source("crates/simnet/src/fixture.rs", src, SIM);
+    assert_eq!(
+        rules_of(&report),
+        vec![Rule::MapIter, Rule::MapIter],
+        "{:?}",
+        report.violations
+    );
+}
+
+#[test]
+fn d1_ignores_btreemap_and_point_lookups() {
+    let src = r#"
+use std::collections::{BTreeMap, HashMap};
+struct S {
+    ordered: BTreeMap<u64, u64>,
+    table: HashMap<u64, u64>,
+}
+impl S {
+    fn get(&self, k: u64) -> Option<u64> {
+        self.table.get(&k).copied()
+    }
+    fn walk(&self) -> u64 {
+        self.ordered.values().sum()
+    }
+}
+"#;
+    let report = scan_source("crates/core/src/fixture.rs", src, SIM);
+    assert!(report.is_clean(), "{:?}", report.violations);
+}
+
+#[test]
+fn d1_is_scoped_to_sim_state_crates() {
+    let src = r#"
+use std::collections::HashMap;
+fn tally(counts: HashMap<String, u64>) -> u64 {
+    counts.values().sum()
+}
+"#;
+    let report = scan_source("crates/bench/src/fixture.rs", src, HARNESS);
+    assert!(report.is_clean(), "{:?}", report.violations);
+}
+
+// --- D2 wall-clock --------------------------------------------------------
+
+#[test]
+fn d2_flags_wall_clock_and_ambient_randomness() {
+    let src = r#"
+fn now_ms() -> u128 {
+    let t = std::time::Instant::now();
+    let _ = std::time::SystemTime::now();
+    t.elapsed().as_millis()
+}
+"#;
+    let report = scan_source("crates/simnet/src/fixture.rs", src, SIM);
+    let wall: Vec<_> = rules_of(&report)
+        .into_iter()
+        .filter(|r| *r == Rule::WallClock)
+        .collect();
+    assert_eq!(wall.len(), 2, "{:?}", report.violations); // Instant::now + SystemTime::now
+}
+
+#[test]
+fn d2_allows_bench_and_simtime() {
+    let bench = r#"
+fn measure() -> std::time::Instant {
+    std::time::Instant::now()
+}
+"#;
+    assert!(scan_source("crates/bench/src/fixture.rs", bench, HARNESS).is_clean());
+
+    let sim = r#"
+use ape_simnet::{SimRng, SimTime};
+fn t(rng: &mut SimRng) -> SimTime {
+    let _ = rng.next_u64();
+    SimTime::from_secs(1)
+}
+"#;
+    assert!(scan_source("crates/simnet/src/fixture.rs", sim, SIM).is_clean());
+}
+
+// --- D3 metric-name -------------------------------------------------------
+
+#[test]
+fn d3_flags_bare_name_literals() {
+    let src = r#"
+fn record(m: &mut ape_simnet::Metrics) {
+    m.incr("ap.dns_queries", 1);
+    m.observe(
+        "client.lookup_latency_ms",
+        4.0,
+    );
+}
+"#;
+    let report = scan_source("crates/nodes/src/fixture.rs", src, SIM);
+    assert_eq!(
+        rules_of(&report),
+        vec![Rule::MetricName, Rule::MetricName],
+        "{:?}",
+        report.violations
+    );
+}
+
+#[test]
+fn d3_accepts_names_constants_and_skips_tests() {
+    let src = r#"
+use ape_proto::names;
+fn record(m: &mut ape_simnet::Metrics) {
+    m.incr(names::AP_DNS_QUERIES, 1);
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn literals_are_fine_in_tests() {
+        let mut m = ape_simnet::Metrics::new();
+        m.incr("test.counter", 1);
+        assert_eq!(m.counter("test.counter"), 1);
+    }
+}
+"#;
+    let report = scan_source("crates/nodes/src/fixture.rs", src, SIM);
+    assert!(report.is_clean(), "{:?}", report.violations);
+}
+
+// --- D4 float-fold --------------------------------------------------------
+
+#[test]
+fn d4_flags_float_sum_over_hash_collections() {
+    let src = r#"
+use std::collections::HashMap;
+fn mean(rates: &HashMap<u32, f64>) -> f64 {
+    rates.values().sum::<f64>() / rates.len() as f64
+}
+fn folded(rates: &HashMap<u32, f64>) -> f64 {
+    rates.values().fold(0.0, |acc, v| acc + v)
+}
+"#;
+    // Non-sim-state context isolates D4 from D1.
+    let report = scan_source("crates/httpsim/src/fixture.rs", src, NON_SIM);
+    assert_eq!(
+        rules_of(&report),
+        vec![Rule::FloatFold, Rule::FloatFold],
+        "{:?}",
+        report.violations
+    );
+}
+
+#[test]
+fn d4_ignores_integer_sums_and_ordered_maps() {
+    let src = r#"
+use std::collections::{BTreeMap, HashMap};
+fn count(c: &HashMap<u32, u64>) -> u64 {
+    c.values().sum::<u64>()
+}
+fn mean(rates: &BTreeMap<u32, f64>) -> f64 {
+    rates.values().sum::<f64>() / rates.len() as f64
+}
+"#;
+    let report = scan_source("crates/httpsim/src/fixture.rs", src, NON_SIM);
+    assert!(report.is_clean(), "{:?}", report.violations);
+}
+
+// --- Waivers --------------------------------------------------------------
+
+#[test]
+fn waiver_on_line_above_suppresses_and_is_marked_used() {
+    let src = r#"
+use std::collections::HashMap;
+struct S {
+    table: HashMap<u64, u64>,
+}
+impl S {
+    fn snapshot(&self) -> Vec<u64> {
+        // ape-lint: allow(map-iter) -- sorted immediately below
+        let mut v: Vec<u64> = self.table.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+}
+"#;
+    let report = scan_source("crates/cachealg/src/fixture.rs", src, SIM);
+    assert_eq!(report.violations.len(), 1);
+    assert!(report.violations[0].waived);
+    assert!(report.is_clean());
+    assert_eq!(report.waivers.len(), 1);
+    assert!(report.waivers[0].used);
+    assert_eq!(report.waivers[0].reason, "sorted immediately below");
+}
+
+#[test]
+fn same_line_waiver_works() {
+    let src = r#"
+use std::collections::HashMap;
+fn f(m: &HashMap<u32, u32>) -> usize {
+    m.keys().count() // ape-lint: allow(map-iter) -- count is order-free
+}
+"#;
+    let report = scan_source("crates/proto/src/fixture.rs", src, SIM);
+    assert_eq!(report.violations.len(), 1);
+    assert!(report.violations[0].waived);
+    assert!(report.is_clean());
+}
+
+#[test]
+fn waiver_for_wrong_rule_does_not_suppress() {
+    let src = r#"
+use std::collections::HashMap;
+fn f(m: &HashMap<u32, u32>) -> usize {
+    // ape-lint: allow(wall-clock) -- wrong rule on purpose
+    m.keys().count()
+}
+"#;
+    let report = scan_source("crates/proto/src/fixture.rs", src, SIM);
+    assert!(!report.is_clean());
+    assert!(!report.waivers[0].used);
+}
+
+#[test]
+fn malformed_waivers_are_violations() {
+    let missing_reason = "// ape-lint: allow(map-iter)\nfn f() {}\n";
+    let report = scan_source("crates/core/src/fixture.rs", missing_reason, SIM);
+    assert_eq!(rules_of(&report), vec![Rule::WaiverSyntax]);
+
+    let unknown_rule = "// ape-lint: allow(hash-stuff) -- nope\nfn f() {}\n";
+    let report = scan_source("crates/core/src/fixture.rs", unknown_rule, SIM);
+    assert_eq!(rules_of(&report), vec![Rule::WaiverSyntax]);
+}
+
+// --- Preprocessing robustness --------------------------------------------
+
+#[test]
+fn strings_comments_and_doc_examples_do_not_trigger() {
+    let src = r##"
+fn f() -> &'static str {
+    // let x: HashMap<u32, u32> = HashMap::new(); x.keys();
+    /* Instant::now() inside a block comment */
+    let s = "m.incr(\"ap.dns\", 1) and Instant::now()";
+    let r = r#"rates.values().sum::<f64>()"#;
+    let _ = (s, r);
+    "SystemTime"
+}
+
+/// Doc example:
+/// ```
+/// let t = std::time::Instant::now();
+/// ```
+fn g() {}
+"##;
+    let report = scan_source("crates/simnet/src/fixture.rs", src, SIM);
+    assert!(report.is_clean(), "{:?}", report.violations);
+    assert!(report.violations.is_empty());
+}
+
+#[test]
+fn json_output_is_well_formed_enough_to_grep() {
+    let src = r#"
+use std::collections::HashMap;
+fn f(m: &HashMap<u32, u32>) -> usize {
+    m.keys().count()
+}
+"#;
+    let report = scan_source("crates/core/src/fixture.rs", src, SIM);
+    let json = report.to_json();
+    assert!(json.contains("\"rule\": \"map-iter\""));
+    assert!(json.contains("\"clean\": false"));
+    assert!(json.starts_with('{') && json.ends_with('}'));
+}
+
+// --- Self-check -----------------------------------------------------------
+
+#[test]
+fn workspace_scans_clean() {
+    let report = scan_workspace(&workspace_root()).expect("workspace scan");
+    assert!(report.files_scanned > 50, "suspiciously few files scanned");
+    let unwaived: Vec<_> = report.unwaived().collect();
+    assert!(
+        unwaived.is_empty(),
+        "workspace has unwaived lint violations: {unwaived:#?}"
+    );
+    assert!(
+        report.waivers.len() <= 5,
+        "waiver budget exceeded: {:#?}",
+        report.waivers
+    );
+}

@@ -17,7 +17,7 @@
 //! * **no proactive refresh** — the AP only ever contacts the remote server
 //!   when a client triggers a delegation.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::net::Ipv4Addr;
 
 use ape_cachealg::{
@@ -162,14 +162,14 @@ pub struct ApNode {
     upstream: NodeId,
     ip_map: IpMap,
     cache: CacheManager<Box<dyn EvictionPolicy>>,
-    dns_cache: HashMap<DomainName, (Ipv4Addr, SimTime, u32)>,
-    registry: HashMap<UrlHash, RegisteredUrl>,
-    domain_urls: HashMap<DomainName, Vec<UrlHash>>,
-    pending_forwards: HashMap<u16, PendingForward>,
-    delegations: HashMap<UrlHash, Delegation>,
-    delegation_reqs: HashMap<RequestId, UrlHash>,
+    dns_cache: BTreeMap<DomainName, (Ipv4Addr, SimTime, u32)>,
+    registry: BTreeMap<UrlHash, RegisteredUrl>,
+    domain_urls: BTreeMap<DomainName, Vec<UrlHash>>,
+    pending_forwards: BTreeMap<u16, PendingForward>,
+    delegations: BTreeMap<UrlHash, Delegation>,
+    delegation_reqs: BTreeMap<RequestId, UrlHash>,
     /// Delegations blocked on resolving their domain first.
-    awaiting_dns: HashMap<DomainName, Vec<UrlHash>>,
+    awaiting_dns: BTreeMap<DomainName, Vec<UrlHash>>,
     wicache: Option<WiCacheLink>,
     cpu: CpuMeter,
     mem: MemMeter,
@@ -205,13 +205,13 @@ impl ApNode {
             upstream,
             ip_map,
             cache: CacheManager::new(store, policy),
-            dns_cache: HashMap::new(),
-            registry: HashMap::new(),
-            domain_urls: HashMap::new(),
-            pending_forwards: HashMap::new(),
-            delegations: HashMap::new(),
-            delegation_reqs: HashMap::new(),
-            awaiting_dns: HashMap::new(),
+            dns_cache: BTreeMap::new(),
+            registry: BTreeMap::new(),
+            domain_urls: BTreeMap::new(),
+            pending_forwards: BTreeMap::new(),
+            delegations: BTreeMap::new(),
+            delegation_reqs: BTreeMap::new(),
+            awaiting_dns: BTreeMap::new(),
             wicache: None,
             cpu: CpuMeter::new(cores),
             mem: MemMeter::with_baseline(baseline),

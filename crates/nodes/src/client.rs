@@ -18,7 +18,7 @@
 //! each completed object releases its dependents, and app-level latency is
 //! the time until the last object lands (the "composeUI" moment).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::net::Ipv4Addr;
 
 use ape_appdag::{AppSpec, ObjIdx};
@@ -230,18 +230,18 @@ pub struct ClientNode {
     apps: Vec<AppSpec>,
     /// Dependents per app per object (reverse edges of the DAG).
     children: Vec<Vec<Vec<ObjIdx>>>,
-    registry: HashMap<String, CacheableSpec>,
+    registry: BTreeMap<String, CacheableSpec>,
     schedule: Vec<Execution>,
     /// App id → index into `apps`.
-    app_index: HashMap<u32, usize>,
-    dns_cache: HashMap<DomainName, (Ipv4Addr, SimTime)>,
+    app_index: BTreeMap<u32, usize>,
+    dns_cache: BTreeMap<DomainName, (Ipv4Addr, SimTime)>,
     /// Per-domain cached flags and their validity horizon.
-    flags: HashMap<DomainName, (HashMap<UrlHash, CacheFlag>, SimTime)>,
-    pending_dns: HashMap<DomainName, PendingDns>,
-    txn_domains: HashMap<u16, DomainName>,
-    fetches: HashMap<RequestId, Fetch>,
-    conns: HashMap<ConnId, RequestId>,
-    execs: HashMap<u64, Exec>,
+    flags: BTreeMap<DomainName, (BTreeMap<UrlHash, CacheFlag>, SimTime)>,
+    pending_dns: BTreeMap<DomainName, PendingDns>,
+    txn_domains: BTreeMap<u16, DomainName>,
+    fetches: BTreeMap<RequestId, Fetch>,
+    conns: BTreeMap<ConnId, RequestId>,
+    execs: BTreeMap<u64, Exec>,
     report: ClientReport,
     next_txn: u16,
     next_req: u64,
@@ -257,8 +257,8 @@ impl ClientNode {
     /// by [`AppId`](ape_cachealg::AppId); entries for unknown apps are
     /// ignored).
     pub fn new(config: ClientConfig, apps: Vec<AppSpec>, schedule: Vec<Execution>) -> Self {
-        let mut registry = HashMap::new();
-        let mut app_index = HashMap::new();
+        let mut registry = BTreeMap::new();
+        let mut app_index = BTreeMap::new();
         let mut children = Vec::with_capacity(apps.len());
         for (i, app) in apps.iter().enumerate() {
             app_index.insert(app.id().get(), i);
@@ -288,13 +288,13 @@ impl ClientNode {
             registry,
             schedule,
             app_index,
-            dns_cache: HashMap::new(),
-            flags: HashMap::new(),
-            pending_dns: HashMap::new(),
-            txn_domains: HashMap::new(),
-            fetches: HashMap::new(),
-            conns: HashMap::new(),
-            execs: HashMap::new(),
+            dns_cache: BTreeMap::new(),
+            flags: BTreeMap::new(),
+            pending_dns: BTreeMap::new(),
+            txn_domains: BTreeMap::new(),
+            fetches: BTreeMap::new(),
+            conns: BTreeMap::new(),
+            execs: BTreeMap::new(),
             report: ClientReport::default(),
             next_txn: 1,
             next_req: 1,
@@ -816,7 +816,7 @@ impl ClientNode {
             let table = tuples
                 .iter()
                 .map(|t| (t.url_hash, t.flag))
-                .collect::<HashMap<_, _>>();
+                .collect::<BTreeMap<_, _>>();
             // Dummy-IP (TTL 0) responses: flags serve the waiting fetches
             // only; the horizon collapses to `now`.
             self.flags.insert(domain.clone(), (table, flag_horizon));

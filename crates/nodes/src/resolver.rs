@@ -9,7 +9,7 @@
 //! (Akamai uses ~20 s), which is why cache lookups stay expensive in the
 //! baseline.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::net::Ipv4Addr;
 
 use ape_dnswire::{DnsMessage, DomainName, RData, Rcode, ResourceRecord};
@@ -42,7 +42,7 @@ pub enum ZoneAnswer {
 /// static per testbed, as in the paper's single-region deployments).
 #[derive(Debug)]
 pub struct AuthDnsNode {
-    zone: HashMap<DomainName, ZoneAnswer>,
+    zone: BTreeMap<DomainName, ZoneAnswer>,
     /// Wildcard suffix answers: any subdomain of the key resolves to the
     /// value (keeps 30-app zones terse).
     wildcard: Vec<(DomainName, ZoneAnswer)>,
@@ -55,7 +55,7 @@ impl AuthDnsNode {
     /// processing time.
     pub fn new(processing: SimDuration) -> Self {
         AuthDnsNode {
-            zone: HashMap::new(),
+            zone: BTreeMap::new(),
             wildcard: Vec::new(),
             processing,
             served: 0,
@@ -165,8 +165,8 @@ pub struct LdnsNode {
     /// Longest-suffix-match delegation table: which server is authoritative
     /// for which namespace.
     delegations: Vec<(DomainName, NodeId)>,
-    cache: HashMap<DomainName, CachedAnswer>,
-    pending: HashMap<u16, PendingResolution>,
+    cache: BTreeMap<DomainName, CachedAnswer>,
+    pending: BTreeMap<u16, PendingResolution>,
     processing: SimDuration,
     next_id: u16,
     /// Count of queries answered from cache (for tests/metrics).
@@ -182,8 +182,8 @@ impl LdnsNode {
     pub fn new(processing: SimDuration, delegations: Vec<(DomainName, NodeId)>) -> Self {
         LdnsNode {
             delegations,
-            cache: HashMap::new(),
-            pending: HashMap::new(),
+            cache: BTreeMap::new(),
+            pending: BTreeMap::new(),
             processing,
             next_id: 1,
             cache_hits: 0,

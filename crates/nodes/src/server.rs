@@ -7,7 +7,7 @@
 //! "the edge server's cache capacity was ample enough to store all
 //! cacheable objects"), and fetches from the origin on first touch.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 use ape_httpsim::{Body, HttpRequest, HttpResponse, Url};
 use ape_proto::{names, ConnId, Msg, RequestId, SpanKind};
@@ -25,7 +25,7 @@ pub struct CatalogEntry {
 /// The object catalog shared by origin and edge: base-URL → entry.
 #[derive(Debug, Clone, Default)]
 pub struct Catalog {
-    entries: HashMap<String, CatalogEntry>,
+    entries: BTreeMap<String, CatalogEntry>,
 }
 
 impl Catalog {
@@ -133,8 +133,8 @@ struct PendingOriginFetch {
 pub struct EdgeNode {
     origin: NodeId,
     catalog: Catalog,
-    cached: HashSet<String>,
-    pending: HashMap<RequestId, PendingOriginFetch>,
+    cached: BTreeSet<String>,
+    pending: BTreeMap<RequestId, PendingOriginFetch>,
     processing: SimDuration,
     next_conn: u64,
     next_req: u64,
@@ -148,8 +148,8 @@ impl EdgeNode {
         EdgeNode {
             origin,
             catalog,
-            cached: HashSet::new(),
-            pending: HashMap::new(),
+            cached: BTreeSet::new(),
+            pending: BTreeMap::new(),
             processing,
             next_conn: 1_000_000,
             next_req: 1_000_000,

@@ -5,7 +5,7 @@
 //! 12 hops from the AP — which is exactly why its cache *lookup* latency
 //! exceeds 22 ms while APE-CACHE's stays under 8 ms.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::net::Ipv4Addr;
 
 use ape_dnswire::UrlHash;
@@ -16,9 +16,9 @@ use ape_simnet::{Context, Node, NodeId, SimDuration};
 /// advertisements, answering client lookups.
 #[derive(Debug)]
 pub struct WiCacheControllerNode {
-    placements: HashMap<UrlHash, Ipv4Addr>,
+    placements: BTreeMap<UrlHash, Ipv4Addr>,
     /// Address of each advertising AP (learned from the testbed builder).
-    ap_addresses: HashMap<NodeId, Ipv4Addr>,
+    ap_addresses: BTreeMap<NodeId, Ipv4Addr>,
     processing: SimDuration,
     lookups: u64,
     hits: u64,
@@ -28,8 +28,8 @@ impl WiCacheControllerNode {
     /// Creates a controller with the given per-request processing time.
     pub fn new(processing: SimDuration) -> Self {
         WiCacheControllerNode {
-            placements: HashMap::new(),
-            ap_addresses: HashMap::new(),
+            placements: BTreeMap::new(),
+            ap_addresses: BTreeMap::new(),
             processing,
             lookups: 0,
             hits: 0,

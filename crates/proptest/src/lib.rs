@@ -19,6 +19,9 @@
 //!   which is all the workspace uses.
 
 #![forbid(unsafe_code)]
+// Strategy types wrap closures and trait objects whose Debug output would be
+// meaningless; real proptest derives little here either.
+#![allow(missing_debug_implementations)]
 
 use std::fmt;
 use std::ops::Range;

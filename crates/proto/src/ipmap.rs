@@ -5,7 +5,7 @@
 //! from `10.0.0.0/8` and hands the map to clients and APs so a resolved IP
 //! can be dialled.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::net::Ipv4Addr;
 
 use ape_simnet::NodeId;
@@ -25,8 +25,8 @@ use ape_simnet::NodeId;
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct IpMap {
-    ip_to_node: HashMap<Ipv4Addr, NodeId>,
-    node_to_ip: HashMap<NodeId, Ipv4Addr>,
+    ip_to_node: BTreeMap<Ipv4Addr, NodeId>,
+    node_to_ip: BTreeMap<NodeId, Ipv4Addr>,
     next_host: u32,
 }
 

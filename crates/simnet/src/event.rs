@@ -4,6 +4,7 @@ use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 use crate::node::{NodeId, TimerToken};
+use crate::rng::mix64;
 use crate::time::SimTime;
 use crate::trace::SpanCtx;
 
@@ -32,7 +33,10 @@ pub(crate) enum EventKind<M> {
 #[derive(Debug)]
 pub(crate) struct ScheduledEvent<M> {
     pub at: SimTime,
-    /// Tie-breaker preserving scheduling order for simultaneous events.
+    /// Tie-breaker for simultaneous events. Without perturbation this is the
+    /// scheduling sequence number (FIFO among ties); under a perturbation key
+    /// it is a bijective scramble of that number, so ties pop in a seeded
+    /// permutation while distinct-timestamp ordering is untouched.
     pub seq: u64,
     pub kind: EventKind<M>,
 }
@@ -63,6 +67,9 @@ impl<M> Ord for ScheduledEvent<M> {
 pub(crate) struct EventQueue<M> {
     heap: BinaryHeap<ScheduledEvent<M>>,
     next_seq: u64,
+    /// Schedule-perturbation key (see [`World::set_tie_perturbation`]
+    /// (crate::World::set_tie_perturbation)). `None` means FIFO tie-breaks.
+    perturbation: Option<u64>,
 }
 
 impl<M> Default for EventQueue<M> {
@@ -70,6 +77,7 @@ impl<M> Default for EventQueue<M> {
         EventQueue {
             heap: BinaryHeap::new(),
             next_seq: 0,
+            perturbation: None,
         }
     }
 }
@@ -79,9 +87,24 @@ impl<M> EventQueue<M> {
         EventQueue::default()
     }
 
+    /// Sets (or clears) the tie-break perturbation key for subsequently
+    /// pushed events. Because `mix64` is a bijection, scrambled tie-break
+    /// keys remain unique, so the schedule stays a total order.
+    pub fn set_perturbation(&mut self, key: Option<u64>) {
+        self.perturbation = key;
+    }
+
+    pub fn perturbation(&self) -> Option<u64> {
+        self.perturbation
+    }
+
     pub fn push(&mut self, at: SimTime, kind: EventKind<M>) {
         let seq = self.next_seq;
         self.next_seq += 1;
+        let seq = match self.perturbation {
+            Some(key) => mix64(seq ^ key),
+            None => seq,
+        };
         self.heap.push(ScheduledEvent { at, seq, kind });
     }
 
@@ -97,7 +120,6 @@ impl<M> EventQueue<M> {
         self.heap.len()
     }
 
-    #[cfg(test)]
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
     }
@@ -137,6 +159,45 @@ mod tests {
         }
         let seqs: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|e| e.seq).collect();
         assert_eq!(seqs, (0..10).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn perturbed_ties_pop_in_a_seeded_permutation() {
+        let run = |key: Option<u64>| {
+            let mut q = EventQueue::new();
+            q.set_perturbation(key);
+            let t = SimTime::from_millis(1);
+            for i in 0..10 {
+                q.push(t, deliver(i));
+            }
+            std::iter::from_fn(|| q.pop())
+                .map(|e| match e.kind {
+                    EventKind::Deliver { to, .. } => to.index() as u64,
+                    EventKind::Timer { .. } => unreachable!(),
+                })
+                .collect::<Vec<u64>>()
+        };
+        let fifo = run(None);
+        assert_eq!(fifo, (0..10).collect::<Vec<u64>>());
+        let scrambled = run(Some(0xA5A5));
+        assert_eq!(scrambled, run(Some(0xA5A5)), "same key, same permutation");
+        assert_ne!(scrambled, fifo, "this key should reorder the ties");
+        let mut sorted = scrambled.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, fifo, "scramble must be a permutation");
+    }
+
+    #[test]
+    fn perturbation_leaves_distinct_timestamps_ordered() {
+        let mut q = EventQueue::new();
+        q.set_perturbation(Some(7));
+        q.push(SimTime::from_millis(5), deliver(1));
+        q.push(SimTime::from_millis(1), deliver(2));
+        q.push(SimTime::from_millis(3), deliver(3));
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|e| e.at.as_nanos() / 1_000_000)
+            .collect();
+        assert_eq!(order, vec![1, 3, 5]);
     }
 
     #[test]

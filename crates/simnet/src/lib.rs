@@ -50,6 +50,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod determinism;
 mod event;
 mod link;
 mod metrics;
@@ -60,6 +61,7 @@ mod time;
 mod trace;
 mod world;
 
+pub use determinism::{DeterminismReport, Fingerprint, PerturbedRun};
 pub use link::{LinkSpec, Topology};
 pub use metrics::{keys, Histogram, Metrics, TimeSeries};
 pub use node::{AsAny, Message, Node, NodeId, TimerToken};

@@ -330,6 +330,43 @@ impl Metrics {
         self.counters.keys().map(String::as_str)
     }
 
+    /// Stable 64-bit digest of the registry's full content, used by the
+    /// schedule-perturbation race detector to compare runs.
+    ///
+    /// Counters and time series hash in key/insertion order. Histogram
+    /// samples hash as an order-independent fold over their bit patterns:
+    /// percentile queries sort the sample vector lazily, and a digest must
+    /// not change just because someone asked for a p99 first.
+    pub fn digest(&self) -> u64 {
+        use crate::determinism::Fnv64;
+        use crate::rng::mix64;
+        let mut h = Fnv64::new();
+        h.write_u64(self.counters.len() as u64);
+        for (k, v) in &self.counters {
+            h.write(k.as_bytes());
+            h.write_u64(*v);
+        }
+        h.write_u64(self.histograms.len() as u64);
+        for (k, hist) in &self.histograms {
+            h.write(k.as_bytes());
+            h.write_u64(hist.count() as u64);
+            let mut fold = 0u64;
+            for s in hist.samples() {
+                fold = fold.wrapping_add(mix64(s.to_bits()));
+            }
+            h.write_u64(fold);
+        }
+        h.write_u64(self.series.len() as u64);
+        for (k, s) in &self.series {
+            h.write(k.as_bytes());
+            for (t, v) in s.points() {
+                h.write_u64(t.as_nanos());
+                h.write_u64(v.to_bits());
+            }
+        }
+        h.finish()
+    }
+
     /// Merges another registry into this one (counters add, samples append).
     pub fn merge(&mut self, other: &Metrics) {
         for (k, v) in &other.counters {

@@ -21,6 +21,16 @@ fn splitmix64(state: &mut u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// One-shot SplitMix64 finalizer: a bijective `u64 -> u64` mixing function.
+///
+/// Shared by seed expansion, the event queue's tie-break perturbation (the
+/// bijectivity guarantees scrambled tie-break keys stay unique) and the
+/// run-fingerprint hashing in [`crate::determinism`].
+pub(crate) fn mix64(x: u64) -> u64 {
+    let mut state = x;
+    splitmix64(&mut state)
+}
+
 /// Deterministic pseudo-random source used throughout a simulation run.
 ///
 /// The core generator is xoshiro256++ (Blackman & Vigna), seeded through

@@ -241,6 +241,31 @@ impl TraceSink {
     pub fn drain(&mut self) -> Vec<TraceEvent> {
         self.events.drain(..).collect()
     }
+
+    /// Stable 64-bit digest of the buffered event log (order-sensitive)
+    /// plus the drop/candidate counters, used by the schedule-perturbation
+    /// race detector to compare runs. Returns 0 when the sink has never
+    /// recorded anything, so untraced runs compare trivially equal.
+    pub fn digest(&self) -> u64 {
+        if self.events.is_empty() && self.dropped == 0 && self.candidates == 0 {
+            return 0;
+        }
+        let mut h = crate::determinism::Fnv64::new();
+        h.write_u64(self.dropped);
+        h.write_u64(self.candidates);
+        h.write_u64(self.next_trace);
+        h.write_u64(self.next_span);
+        for e in &self.events {
+            h.write_u64(e.at.as_nanos());
+            h.write_u64(e.trace.0);
+            h.write_u64(e.span.0);
+            h.write_u64(e.parent.map_or(u64::MAX, |p| p.0));
+            h.write_u64(e.node.index() as u64);
+            h.write(e.kind.as_bytes());
+            h.write(e.phase.as_str().as_bytes());
+        }
+        h.finish()
+    }
 }
 
 #[cfg(test)]

@@ -1,5 +1,6 @@
 //! The simulation world: node table, topology, clock and event loop.
 
+use crate::determinism::{perturbation_key, DeterminismReport, Fingerprint, PerturbedRun};
 use crate::event::{EventKind, EventQueue};
 use crate::link::{LinkSpec, Topology};
 use crate::metrics::{keys, Metrics};
@@ -45,6 +46,16 @@ pub struct Context<'a, M: Message> {
     /// Span context of the event being dispatched; attached to every
     /// message/timer this callback schedules so causality propagates.
     span: Option<SpanCtx>,
+}
+
+impl<M: Message> std::fmt::Debug for Context<'_, M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Context")
+            .field("now", &self.now)
+            .field("self_id", &self.self_id)
+            .field("span", &self.span)
+            .finish_non_exhaustive()
+    }
 }
 
 impl<'a, M: Message> Context<'a, M> {
@@ -279,6 +290,8 @@ pub struct World<M: Message> {
     trace: TraceSink,
     started: bool,
     event_cap: u64,
+    /// Events processed across all `run_*` calls (for fingerprints).
+    processed: u64,
 }
 
 impl<M: Message> World<M> {
@@ -295,7 +308,80 @@ impl<M: Message> World<M> {
             trace: TraceSink::default(),
             started: false,
             event_cap: u64::MAX,
+            processed: 0,
         }
+    }
+
+    /// Replaces FIFO tie-breaking for same-timestamp events with a seeded
+    /// bijective permutation. Events at distinct timestamps are unaffected.
+    ///
+    /// This is the schedule-perturbation race detector's knob (normally
+    /// driven via [`check_determinism`](Self::check_determinism)): a world
+    /// whose results change under a perturbed tie-break order has an
+    /// event-ordering race.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the world has already started or has pending events —
+    /// perturbation must cover the whole schedule to be meaningful.
+    pub fn set_tie_perturbation(&mut self, key: u64) {
+        assert!(
+            !self.started && self.queue.is_empty(),
+            "set_tie_perturbation must be called before any event is scheduled"
+        );
+        self.queue.set_perturbation(Some(key));
+    }
+
+    /// The active tie-break perturbation key, if any.
+    pub fn tie_perturbation(&self) -> Option<u64> {
+        self.queue.perturbation()
+    }
+
+    /// Digest of everything the determinism contract covers: metric
+    /// content, trace log, final clock and events processed.
+    pub fn fingerprint(&self) -> Fingerprint {
+        Fingerprint {
+            clock_ns: self.clock.as_nanos(),
+            events: self.processed,
+            metrics: self.metrics.digest(),
+            trace: self.trace.digest(),
+        }
+    }
+
+    /// Runs `scenario` once with FIFO tie-breaking and `perturbations`
+    /// more times under distinct seeded tie-break permutations, comparing
+    /// run [`Fingerprint`]s.
+    ///
+    /// `scenario` receives a freshly seeded empty world each time and must
+    /// build and run it (add nodes, connect links, call `run_*`). Any
+    /// divergence between a perturbed run and the baseline means the
+    /// scenario's results depend on the processing order of same-timestamp
+    /// events — a hidden ordering race. See the [`determinism`]
+    /// (crate::determinism) module docs for the RNG-coupling caveat.
+    pub fn check_determinism(
+        seed: u64,
+        perturbations: u32,
+        mut scenario: impl FnMut(&mut World<M>),
+    ) -> DeterminismReport {
+        let mut run = |key: Option<u64>| {
+            let mut world = World::new(seed);
+            if let Some(key) = key {
+                world.set_tie_perturbation(key);
+            }
+            scenario(&mut world);
+            world.fingerprint()
+        };
+        let baseline = run(None);
+        let runs = (0..perturbations)
+            .map(|n| {
+                let key = perturbation_key(seed, n);
+                PerturbedRun {
+                    key,
+                    fingerprint: run(Some(key)),
+                }
+            })
+            .collect();
+        DeterminismReport { baseline, runs }
     }
 
     /// Configures the trace sink (enable/disable, capacity, sampling).
@@ -506,6 +592,7 @@ impl<M: Message> World<M> {
             let ev = self.queue.pop().expect("peeked event vanished");
             self.clock = ev.at;
             events += 1;
+            self.processed += 1;
             match ev.kind {
                 EventKind::Deliver {
                     to,
@@ -884,6 +971,100 @@ mod tests {
         let roots = &w.node::<PerMessage>(sink).roots;
         assert_eq!(roots.len(), 1);
         assert_eq!(roots[0], None, "sampled-out trace must clear the context");
+    }
+
+    /// Order-insensitive sink: tallies arrivals, ignores who came first.
+    struct Tally;
+    impl Node<Num> for Tally {
+        fn on_message(&mut self, ctx: &mut Context<'_, Num>, _from: NodeId, _msg: Num) {
+            ctx.metrics().incr("arrivals", 1);
+        }
+    }
+
+    /// Order-SENSITIVE sink: records the full arrival order of its peers,
+    /// position-weighted so any transposition changes a metric value. This
+    /// is the synthetic ordering race the detector must catch.
+    struct FirstWins {
+        position: u64,
+    }
+    impl Node<Num> for FirstWins {
+        fn on_message(&mut self, ctx: &mut Context<'_, Num>, from: NodeId, _msg: Num) {
+            self.position += 1;
+            let weighted = self.position * 100 + from.index() as u64;
+            ctx.metrics().observe("arrival.order", weighted as f64);
+        }
+    }
+
+    /// Star topology: `n` identical zero-jitter links into one sink, one
+    /// same-size message posted from each spoke at t=0 — so all arrivals
+    /// tie at exactly the same virtual instant.
+    fn tied_star(w: &mut World<Num>, sink: NodeId, n: u32) {
+        for i in 0..n {
+            let src = w.add_node(format!("src{i}"), Tally);
+            w.connect(src, sink, LinkSpec::new(1, SimDuration::from_millis(1)));
+            w.post(src, sink, Num(0));
+        }
+    }
+
+    #[test]
+    fn check_determinism_passes_on_order_insensitive_scenario() {
+        let report = World::check_determinism(11, 4, |w| {
+            let sink = w.add_node("sink", Tally);
+            tied_star(w, sink, 8);
+            w.run_to_idle();
+        });
+        assert!(report.is_deterministic(), "{report}");
+        assert_eq!(report.runs.len(), 4);
+    }
+
+    #[test]
+    fn check_determinism_flags_ordering_dependent_node() {
+        let report = World::check_determinism(11, 4, |w| {
+            let sink = w.add_node("sink", FirstWins { position: 0 });
+            tied_star(w, sink, 8);
+            w.run_to_idle();
+        });
+        assert!(
+            !report.is_deterministic(),
+            "an 8-way tie feeding an order-sensitive node must diverge"
+        );
+        assert!(!report.divergent_keys().is_empty());
+        assert!(format!("{report}").contains("ORDERING RACE"));
+        // Only the metric content differs: same events, same final clock.
+        for run in &report.runs {
+            assert_eq!(run.fingerprint.events, report.baseline.events);
+            assert_eq!(run.fingerprint.clock_ns, report.baseline.clock_ns);
+        }
+    }
+
+    #[test]
+    fn fingerprint_is_stable_across_identical_runs() {
+        let fp = |seed| {
+            let mut w = World::new(seed);
+            let a = w.add_node("a", Tally);
+            let b = w.add_node("b", Tally);
+            // Jitter makes the arrival time — hence the fingerprint — a
+            // function of the seed, not just the topology.
+            w.connect(
+                a,
+                b,
+                LinkSpec::new(1, SimDuration::from_millis(1))
+                    .jitter_mean(SimDuration::from_micros(100)),
+            );
+            w.post(a, b, Num(0));
+            w.run_to_idle();
+            w.fingerprint()
+        };
+        assert_eq!(fp(5), fp(5));
+        assert_ne!(fp(5), fp(6));
+    }
+
+    #[test]
+    #[should_panic(expected = "before any event")]
+    fn tie_perturbation_rejected_after_scheduling() {
+        let (mut w, a, b) = two_node_world();
+        w.post(a, b, Num(0));
+        w.set_tie_perturbation(1);
     }
 
     #[test]
