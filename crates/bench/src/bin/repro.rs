@@ -7,7 +7,7 @@
 //! artifacts:
 //!   table1 table2 table4 table5 table6 table7
 //!   fig2 fig11a fig11b fig11c fig12 fig13a fig13b fig13c fig14
-//!   object-level ablations speedup trace all
+//!   object-level ablations speedup trace bench-evict all
 //! ```
 //!
 //! `--trials N` replicates every sweep point over N seeds (pooled before
@@ -19,14 +19,18 @@
 //! with `--trace-out DIR` it also writes `trace.jsonl` (one span event per
 //! line), `metrics.prom` (Prometheus text format), and
 //! `critical-paths.txt` to that directory.
+//!
+//! `bench-evict` is the eviction-cost microbench (writes `BENCH_evict.json`
+//! at the repo root). It times wall-clock and is therefore *not* part of
+//! `all`, whose output is bitwise deterministic.
 
 use std::path::PathBuf;
 use std::time::Instant;
 
 use ape_bench::{
-    ablations, fig11a, fig11b, fig11c, fig12, fig13a, fig13b, fig13c, fig14, fig2, object_level,
-    speedup, table1, table2, table4, table5, table6, table7, trace_artifacts, ReproOptions,
-    TraceArtifacts,
+    ablations, bench_evict, fig11a, fig11b, fig11c, fig12, fig13a, fig13b, fig13c, fig14, fig2,
+    object_level, speedup, table1, table2, table4, table5, table6, table7, trace_artifacts,
+    ReproOptions, TraceArtifacts,
 };
 
 fn write_trace_files(dir: &std::path::Path, artifacts: &TraceArtifacts) -> std::io::Result<()> {
@@ -43,7 +47,7 @@ fn usage() -> ! {
          \u{20}            [--threads N] [--seed N] [--trace-out DIR] <artifact>...\n\
          artifacts: table1 table2 table4 table5 table6 table7 fig2 fig11a fig11b\n\
          \u{20}          fig11c fig12 fig13a fig13b fig13c fig14 object-level\n\
-         \u{20}          ablations speedup trace all"
+         \u{20}          ablations speedup trace bench-evict all"
     );
     std::process::exit(2);
 }
@@ -144,6 +148,7 @@ fn main() {
             "object-level" => object_level(&opts),
             "ablations" => ablations(&opts),
             "speedup" => speedup(&opts),
+            "bench-evict" => bench_evict(&opts),
             "trace" => {
                 let artifacts = trace_artifacts(&opts);
                 if let Some(dir) = &trace_out {

@@ -12,12 +12,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod evict_bench;
 mod experiments;
 mod lookup_overhead;
 pub mod microbench;
 pub mod progmodel;
 mod tracing;
 
+pub use evict_bench::bench_evict;
 pub use experiments::{
     ablations, fig11a, fig11c, fig12, fig13a, fig13b, fig13c, fig14, fig2, object_level, speedup,
     table2, table4, table5, table6, ReproOptions, SweepRow,

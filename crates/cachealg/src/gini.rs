@@ -18,6 +18,17 @@
 /// assert!(gini(&[0.0, 0.0, 12.0]) > 0.6);           // strong inequality
 /// ```
 pub fn gini(shares: &[f64]) -> f64 {
+    let mut sorted: Vec<f64> = shares.to_vec();
+    gini_in_place(&mut sorted)
+}
+
+/// [`gini`] without the defensive copy: sorts `shares` in place.
+///
+/// The allocation-free form used on PACM's eviction hot path, where the
+/// caller owns a reusable scratch buffer. The total is summed over the
+/// *input* order before sorting, so the result is bit-identical to
+/// [`gini`] on the same values.
+pub fn gini_in_place(shares: &mut [f64]) -> f64 {
     let n = shares.len();
     if n <= 1 {
         return 0.0;
@@ -28,9 +39,8 @@ pub fn gini(shares: &[f64]) -> f64 {
     }
     // O(n log n) via the sorted-form identity:
     // Σ_x Σ_y |C_x − C_y| = 2 Σ_i (2i − n + 1) · C_(i)  for sorted C.
-    let mut sorted: Vec<f64> = shares.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("non-finite share"));
-    let pairwise: f64 = sorted
+    shares.sort_by(|a, b| a.partial_cmp(b).expect("non-finite share"));
+    let pairwise: f64 = shares
         .iter()
         .enumerate()
         .map(|(i, c)| (2.0 * i as f64 - n as f64 + 1.0) * c)
@@ -110,5 +120,25 @@ mod tests {
         let a = gini(&[1.0, 2.0, 3.0]);
         let b = gini(&[100.0, 200.0, 300.0]);
         assert!((a - b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn in_place_matches_copying_form_bitwise() {
+        let cases: &[&[f64]] = &[
+            &[],
+            &[7.0],
+            &[0.0, 0.0],
+            &[1.0, 2.0, 3.0],
+            &[10.0, 0.0, 5.0, 5.0, 1.0],
+            &[0.5, 0.5, 9.0, 2.0],
+        ];
+        for c in cases {
+            let mut buf = c.to_vec();
+            assert_eq!(
+                gini(c).to_bits(),
+                gini_in_place(&mut buf).to_bits(),
+                "mismatch on {c:?}"
+            );
+        }
     }
 }

@@ -50,13 +50,17 @@ mod lru;
 mod object;
 mod pacm;
 mod policy;
+pub mod reference;
 mod store;
 
 pub use freq::FrequencyTracker;
-pub use gini::{gini, gini_naive};
-pub use knapsack::{solve_brute_force, solve_exact, solve_greedy, KnapsackItem, KnapsackSolution};
+pub use gini::{gini, gini_in_place, gini_naive};
+pub use knapsack::{
+    solve_brute_force, solve_exact, solve_exact_in, solve_greedy, KnapsackItem, KnapsackSolution,
+    KnapsackWorkspace,
+};
 pub use lru::LruPolicy;
 pub use object::{AppId, ObjectMeta, Priority};
-pub use pacm::{PacmConfig, PacmPolicy};
+pub use pacm::{EvictStats, PacmConfig, PacmPolicy};
 pub use policy::{AdmitOutcome, CacheManager, EvictionPolicy};
 pub use store::{CacheStore, Entry, Lookup};

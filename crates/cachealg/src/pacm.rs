@@ -13,13 +13,45 @@
 //! lowest-utility object of the most over-served app is dropped. The repair
 //! only ever shrinks the kept set, so the capacity constraint stays
 //! satisfied.
+//!
+//! # The incremental eviction engine
+//!
+//! `select_victims` is the simulator's hottest path, so this implementation
+//! is built around a reusable [`KnapsackWorkspace`] and a set of *exact*
+//! pre-solver reductions (see `DESIGN.md` §"PACM hot path" for the
+//! exactness argument):
+//!
+//! * objects with zero utility (expired, zero TTL/latency) or whose rounded
+//!   weight exceeds the knapsack capacity are forced victims — the seed DP
+//!   provably never keeps them;
+//! * when the surviving objects all fit the post-insertion capacity the
+//!   keep-everything solution attains the utility upper bound, so the DP is
+//!   skipped (an absorption-aware scan reproduces the DP's float behavior
+//!   bit for bit);
+//! * otherwise the DP runs on the surviving subset only, in the workspace.
+//!
+//! The fairness repair keeps per-app `(bytes, objects)` aggregates and a
+//! per-app ordered index of kept objects, updating both in place per
+//! evicted object — O(k log k) for the whole repair instead of the seed's
+//! per-iteration map rebuild (O(k² log k)). Store-wide per-app aggregates
+//! are maintained incrementally through the [`EvictionPolicy`] insert and
+//! remove hooks; a `(objects, bytes)` fingerprint detects stores mutated
+//! behind the policy's back (direct `CacheStore` users) and falls back to a
+//! one-shot rescan, so the hooks are an optimization, never a correctness
+//! requirement.
+//!
+//! Every reduction preserves the victim set byte for byte; the
+//! `pacm_equivalence` property suite pins this against the frozen seed
+//! implementation in [`crate::reference`].
+
+use std::collections::{BTreeMap, BTreeSet};
 
 use ape_dnswire::UrlHash;
 use ape_simnet::SimTime;
 
 use crate::freq::FrequencyTracker;
-use crate::gini::gini;
-use crate::knapsack::{solve_exact, solve_greedy, KnapsackItem};
+use crate::gini::gini_in_place;
+use crate::knapsack::{solve_exact_in, solve_greedy, KnapsackItem, KnapsackWorkspace};
 use crate::object::{AppId, ObjectMeta};
 use crate::policy::EvictionPolicy;
 use crate::store::CacheStore;
@@ -38,6 +70,11 @@ pub struct PacmConfig {
     /// Floor applied to `R(a)` in utilities and storage efficiency so
     /// never-measured apps neither zero out nor blow up the formulas.
     pub min_rate: f64,
+    /// Eviction watermark (bytes). When an eviction is needed, PACM evicts
+    /// down to `capacity − evict_headroom` instead of exactly `capacity`,
+    /// so a burst of admissions amortizes one solve across several inserts.
+    /// `0` (the default) reproduces the seed behavior exactly.
+    pub evict_headroom: u64,
 }
 
 impl Default for PacmConfig {
@@ -48,8 +85,66 @@ impl Default for PacmConfig {
             granularity: 1024,
             max_dp_items: 4096,
             min_rate: 0.05,
+            evict_headroom: 0,
         }
     }
+}
+
+/// Counters describing how PACM's `select_victims` reached its answers.
+///
+/// Cumulative over the policy's lifetime; the AP node diffs consecutive
+/// snapshots to attribute per-admission eviction cost in metrics/traces.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EvictStats {
+    /// `select_victims` invocations.
+    pub solver_runs: u64,
+    /// Cached objects examined across all invocations.
+    pub items_considered: u64,
+    /// Invocations solved by the knapsack DP.
+    pub dp_runs: u64,
+    /// Invocations solved by the greedy fallback (large stores).
+    pub greedy_runs: u64,
+    /// Invocations short-circuited because the surviving objects fit.
+    pub short_circuits: u64,
+    /// Objects evicted outright by the pre-solver reductions
+    /// (zero utility — e.g. expired — or larger than the capacity).
+    pub forced_victims: u64,
+    /// Objects evicted by the fairness-repair loop.
+    pub repair_evictions: u64,
+}
+
+/// Orders kept objects by `(utility, key)` inside the repair index.
+///
+/// `total_cmp` matches the seed's `partial_cmp` selection here: utilities
+/// are finite, non-negative products (never `-0.0`), so the two orders
+/// agree, and the trailing key makes every entry unique.
+#[derive(Debug, Clone, Copy)]
+struct UtilityKey(f64);
+
+impl PartialEq for UtilityKey {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.total_cmp(&other.0) == std::cmp::Ordering::Equal
+    }
+}
+impl Eq for UtilityKey {}
+impl PartialOrd for UtilityKey {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for UtilityKey {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// Internal view of a cached object during selection.
+#[derive(Debug, Clone, Copy)]
+struct Candidate {
+    key: UrlHash,
+    app: AppId,
+    size: u64,
+    utility: f64,
 }
 
 /// The PACM eviction policy.
@@ -69,6 +164,27 @@ pub struct PacmPolicy {
     freq: FrequencyTracker,
     /// Disables the fairness repair pass (θ = ∞ ablation).
     fairness_enabled: bool,
+    /// Clamped per-app rates, refreshed once per window roll so the hot
+    /// path reads one map instead of recomputing `max(R(a), min_rate)` per
+    /// object. Apps absent here resolve to the same clamped value lazily.
+    rates: BTreeMap<AppId, f64>,
+    /// Store-wide per-app `(bytes, objects)`, maintained through the
+    /// insert/remove hooks.
+    app_bytes: BTreeMap<AppId, (u64, u32)>,
+    /// Fingerprint of the store state `app_bytes` describes.
+    tracked_objects: usize,
+    tracked_bytes: u64,
+    /// Reusable DP scratch.
+    workspace: KnapsackWorkspace,
+    /// Reusable per-call buffers.
+    candidates: Vec<Candidate>,
+    items: Vec<KnapsackItem>,
+    keep: Vec<bool>,
+    survivors: Vec<(u32, usize)>,
+    kept_apps: Vec<(AppId, u64, u32)>,
+    shares: Vec<f64>,
+    by_app: BTreeMap<AppId, BTreeSet<(UtilityKey, UrlHash, u64)>>,
+    stats: EvictStats,
 }
 
 impl PacmPolicy {
@@ -84,6 +200,19 @@ impl PacmPolicy {
             freq: FrequencyTracker::new(config.alpha),
             config,
             fairness_enabled: true,
+            rates: BTreeMap::new(),
+            app_bytes: BTreeMap::new(),
+            tracked_objects: 0,
+            tracked_bytes: 0,
+            workspace: KnapsackWorkspace::new(),
+            candidates: Vec::new(),
+            items: Vec::new(),
+            keep: Vec::new(),
+            survivors: Vec::new(),
+            kept_apps: Vec::new(),
+            shares: Vec::new(),
+            by_app: BTreeMap::new(),
+            stats: EvictStats::default(),
         }
     }
 
@@ -103,6 +232,17 @@ impl PacmPolicy {
         self.freq.rate(app)
     }
 
+    /// Counters for the eviction engine (cumulative).
+    pub fn stats(&self) -> EvictStats {
+        self.stats
+    }
+
+    /// Buffer-growth events inside the knapsack workspace; flat after
+    /// warm-up (the eviction microbench asserts this).
+    pub fn workspace_allocations(&self) -> u64 {
+        self.workspace.allocations()
+    }
+
     /// Utility `U_d` of an object at `now` under current frequencies.
     pub fn utility(&self, meta: &ObjectMeta, now: SimTime) -> f64 {
         let rate = self.freq.rate(meta.app).max(self.config.min_rate);
@@ -111,32 +251,126 @@ impl PacmPolicy {
         rate * e_d * l_d * meta.priority.get() as f64
     }
 
-    fn clamped_rate(&self, app: AppId) -> f64 {
-        self.freq.rate(app).max(self.config.min_rate)
-    }
-
-    /// Storage-efficiency Gini over a candidate kept set.
-    fn fairness(&self, kept: &[&KeptObject]) -> f64 {
-        use std::collections::BTreeMap;
-        let mut per_app: BTreeMap<AppId, f64> = BTreeMap::new();
-        for obj in kept {
-            *per_app.entry(obj.app).or_insert(0.0) += obj.size as f64;
+    /// `max(R(a), min_rate)` through the per-window cache; identical bits
+    /// to recomputing from the tracker, since rates change only on roll.
+    fn cached_rate(&self, app: AppId) -> f64 {
+        match self.rates.get(&app) {
+            Some(&r) => r,
+            None => self.freq.rate(app).max(self.config.min_rate),
         }
-        let shares: Vec<f64> = per_app
-            .iter()
-            .map(|(app, bytes)| bytes / self.clamped_rate(*app))
-            .collect();
-        gini(&shares)
     }
-}
 
-/// Internal view of a cached object during selection.
-#[derive(Debug, Clone)]
-struct KeptObject {
-    key: UrlHash,
-    app: AppId,
-    size: u64,
-    utility: f64,
+    /// Rebuilds the store-wide per-app aggregates from `store` (the
+    /// fallback when the insert/remove hooks were bypassed).
+    fn resync_aggregates(&mut self, store: &CacheStore) {
+        self.app_bytes.clear();
+        for e in store.iter() {
+            let slot = self.app_bytes.entry(e.meta.app).or_insert((0, 0));
+            slot.0 += e.meta.size;
+            slot.1 += 1;
+        }
+        self.tracked_objects = store.len();
+        self.tracked_bytes = store.used();
+    }
+
+    /// Fairness repair over the kept set, appending victims in place.
+    ///
+    /// Reproduces the seed loop decision for decision: per iteration,
+    /// recompute the Gini of per-app storage efficiency, pick the most
+    /// over-served app (last among equals, as `Iterator::max_by`), and
+    /// evict its `(utility, key)`-minimal kept object. The difference is
+    /// purely representational: per-app aggregates are updated in place and
+    /// the per-app victim choice is a `BTreeSet` pop instead of a rescan.
+    fn repair(&mut self, victims: &mut Vec<UrlHash>) {
+        // Kept per-app (bytes, objects): store-wide aggregates minus the
+        // victims chosen so far. Byte sums are exact u64s; the seed's f64
+        // accumulation is integer-exact in the same range (< 2^53).
+        self.kept_apps.clear();
+        for (&app, &(bytes, count)) in self.app_bytes.iter() {
+            self.kept_apps.push((app, bytes, count));
+        }
+        for (c, &kept) in self.candidates.iter().zip(&self.keep) {
+            if kept {
+                continue;
+            }
+            let slot = self
+                .kept_apps
+                .binary_search_by_key(&c.app, |&(app, _, _)| app)
+                .expect("victim app tracked");
+            let (_, bytes, count) = &mut self.kept_apps[slot];
+            *bytes -= c.size;
+            *count -= 1;
+        }
+        debug_assert!(
+            self.kept_apps.iter().all(|&(_, b, _)| b < (1u64 << 53)),
+            "per-app byte totals must stay f64-integer-exact"
+        );
+
+        let mut indexed = false;
+        loop {
+            // Shares in ascending-app order over apps with kept objects —
+            // the exact sequence the seed feeds to `gini`.
+            self.shares.clear();
+            for &(app, bytes, count) in &self.kept_apps {
+                if count > 0 {
+                    self.shares.push(bytes as f64 / self.cached_rate(app));
+                }
+            }
+            // Loop only while F(A) > θ, like the seed's `while`; Gini is
+            // always finite in [0, 1] so `<=` is its exact negation.
+            if gini_in_place(&mut self.shares) <= self.config.fairness_theta {
+                break;
+            }
+            if self.kept_apps.iter().filter(|&&(_, _, c)| c > 0).count() <= 1 {
+                break;
+            }
+
+            // Most over-served app; `>=` keeps the last among equal maxima,
+            // matching `Iterator::max_by` on the seed's ascending map.
+            let mut worst: Option<(AppId, f64)> = None;
+            for &(app, bytes, count) in &self.kept_apps {
+                if count == 0 {
+                    continue;
+                }
+                let eff = bytes as f64 / self.cached_rate(app);
+                let replace = match worst {
+                    None => true,
+                    Some((_, best)) => eff.partial_cmp(&best).expect("finite efficiency").is_ge(),
+                };
+                if replace {
+                    worst = Some((app, eff));
+                }
+            }
+            let worst_app = worst.expect("non-empty per_app").0;
+
+            // Lazily index kept objects per app, once per repair.
+            if !indexed {
+                self.by_app.clear();
+                for (c, &kept) in self.candidates.iter().zip(&self.keep) {
+                    if kept {
+                        self.by_app.entry(c.app).or_default().insert((
+                            UtilityKey(c.utility),
+                            c.key,
+                            c.size,
+                        ));
+                    }
+                }
+                indexed = true;
+            }
+
+            let set = self.by_app.get_mut(&worst_app).expect("indexed app");
+            let (_, key, size) = set.pop_first().expect("app has kept objects");
+            let slot = self
+                .kept_apps
+                .binary_search_by_key(&worst_app, |&(app, _, _)| app)
+                .expect("worst app tracked");
+            let (_, bytes, count) = &mut self.kept_apps[slot];
+            *bytes -= size;
+            *count -= 1;
+            victims.push(key);
+            self.stats.repair_evictions += 1;
+        }
+    }
 }
 
 impl EvictionPolicy for PacmPolicy {
@@ -150,6 +384,35 @@ impl EvictionPolicy for PacmPolicy {
 
     fn roll_window(&mut self, now: SimTime) {
         self.freq.roll(now);
+        let min_rate = self.config.min_rate;
+        self.rates.clear();
+        for (app, rate) in self.freq.rates() {
+            self.rates.insert(app, rate.max(min_rate));
+        }
+    }
+
+    fn note_insert(&mut self, meta: &ObjectMeta) {
+        let slot = self.app_bytes.entry(meta.app).or_insert((0, 0));
+        slot.0 += meta.size;
+        slot.1 += 1;
+        self.tracked_objects += 1;
+        self.tracked_bytes += meta.size;
+    }
+
+    fn note_remove(&mut self, meta: &ObjectMeta) {
+        if let Some(slot) = self.app_bytes.get_mut(&meta.app) {
+            slot.0 = slot.0.saturating_sub(meta.size);
+            slot.1 = slot.1.saturating_sub(1);
+            if slot.1 == 0 {
+                self.app_bytes.remove(&meta.app);
+            }
+        }
+        self.tracked_objects = self.tracked_objects.saturating_sub(1);
+        self.tracked_bytes = self.tracked_bytes.saturating_sub(meta.size);
+    }
+
+    fn evict_stats(&self) -> Option<EvictStats> {
+        Some(self.stats)
     }
 
     fn select_victims(
@@ -158,79 +421,130 @@ impl EvictionPolicy for PacmPolicy {
         incoming: &ObjectMeta,
         now: SimTime,
     ) -> Vec<UrlHash> {
-        // Candidates sorted by key: hash-map iteration order must not leak
-        // into victim selection.
-        let mut candidates: Vec<KeptObject> = store
-            .iter()
-            .map(|e| KeptObject {
-                key: e.meta.key,
-                app: e.meta.app,
-                size: e.meta.size,
-                utility: self.utility(&e.meta, now),
-            })
-            .collect();
-        candidates.sort_by_key(|o| o.key);
+        self.stats.solver_runs += 1;
+        if self.tracked_objects != store.len() || self.tracked_bytes != store.used() {
+            self.resync_aggregates(store);
+        }
 
-        let capacity = store.capacity().saturating_sub(incoming.size);
-        let items: Vec<KnapsackItem> = candidates
-            .iter()
-            .map(|o| KnapsackItem {
-                weight: o.size,
-                value: o.utility,
-            })
-            .collect();
-        let solution = if candidates.len() <= self.config.max_dp_items {
-            solve_exact(&items, capacity, self.config.granularity)
-        } else {
-            solve_greedy(&items, capacity)
-        };
-
-        let mut kept: Vec<&KeptObject> = candidates
-            .iter()
-            .zip(&solution.keep)
-            .filter(|(_, &k)| k)
-            .map(|(o, _)| o)
-            .collect();
-        let mut victims: Vec<UrlHash> = candidates
-            .iter()
-            .zip(&solution.keep)
-            .filter(|(_, &k)| !k)
-            .map(|(o, _)| o.key)
-            .collect();
-
-        // Fairness repair: drop the cheapest object of the most over-served
-        // app until F(A) ≤ θ (or only one app remains).
-        if self.fairness_enabled {
-            while self.fairness(&kept) > self.config.fairness_theta {
-                let mut per_app: std::collections::BTreeMap<AppId, f64> = Default::default();
-                for obj in &kept {
-                    *per_app.entry(obj.app).or_insert(0.0) += obj.size as f64;
-                }
-                if per_app.len() <= 1 {
-                    break;
-                }
-                let worst_app = per_app
-                    .iter()
-                    .map(|(app, bytes)| (*app, bytes / self.clamped_rate(*app)))
-                    .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite efficiency"))
-                    .map(|(app, _)| app)
-                    .expect("non-empty per_app");
-                let Some(pos) = kept
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, o)| o.app == worst_app)
-                    .min_by(|a, b| {
-                        a.1.utility
-                            .partial_cmp(&b.1.utility)
-                            .expect("finite utility")
-                            .then(a.1.key.cmp(&b.1.key))
-                    })
-                    .map(|(i, _)| i)
-                else {
-                    break;
+        // Candidates in key order (the store iterates its BTreeMap), with
+        // utilities through the per-window rate cache — bit-identical to
+        // `self.utility` since rates only change on `roll_window`.
+        {
+            let rates = &self.rates;
+            let freq = &self.freq;
+            let min_rate = self.config.min_rate;
+            self.candidates.clear();
+            self.candidates.extend(store.iter().map(|e| {
+                let rate = match rates.get(&e.meta.app) {
+                    Some(&r) => r,
+                    None => freq.rate(e.meta.app).max(min_rate),
                 };
-                victims.push(kept.remove(pos).key);
+                let e_d = e.meta.remaining_ttl(now).as_secs_f64();
+                let l_d = e.meta.fetch_latency.as_secs_f64();
+                Candidate {
+                    key: e.meta.key,
+                    app: e.meta.app,
+                    size: e.meta.size,
+                    utility: rate * e_d * l_d * e.meta.priority.get() as f64,
+                }
+            }));
+        }
+        debug_assert!(
+            self.candidates.windows(2).all(|w| w[0].key < w[1].key),
+            "store iteration must be key-ordered"
+        );
+        let n = self.candidates.len();
+        self.stats.items_considered += n as u64;
+
+        let capacity = store
+            .capacity()
+            .saturating_sub(self.config.evict_headroom)
+            .saturating_sub(incoming.size);
+
+        let mut victims: Vec<UrlHash> = Vec::new();
+        if n <= self.config.max_dp_items {
+            let granularity = self.config.granularity;
+            assert!(granularity > 0, "granularity must be positive");
+            let units = (capacity / granularity) as usize;
+
+            // Reduction 1: zero-utility objects (expired) and objects whose
+            // rounded weight exceeds the capacity are forced victims — the
+            // seed DP's strict-improvement rule never keeps either.
+            self.keep.clear();
+            self.keep.resize(n, false);
+            self.survivors.clear();
+            let mut survivor_units = 0usize;
+            for (i, c) in self.candidates.iter().enumerate() {
+                assert!(
+                    c.utility.is_finite() && c.utility >= 0.0,
+                    "item values must be non-negative and finite"
+                );
+                let wi = c.size.div_ceil(granularity) as usize;
+                if c.utility == 0.0 || wi > units {
+                    continue;
+                }
+                self.survivors.push((i as u32, wi));
+                survivor_units = survivor_units.saturating_add(wi);
             }
+            self.stats.forced_victims += (n - self.survivors.len()) as u64;
+
+            if survivor_units <= units {
+                // Reduction 2: every survivor fits, so keeping them all
+                // attains the utility upper bound — provably optimal, DP
+                // skipped. The running-total comparison reproduces the
+                // seed DP's float absorption behavior exactly.
+                self.stats.short_circuits += 1;
+                let mut plateau = 0.0f64;
+                for &(i, _) in &self.survivors {
+                    let candidate = plateau + self.candidates[i as usize].utility;
+                    if candidate > plateau {
+                        self.keep[i as usize] = true;
+                        plateau = candidate;
+                    }
+                }
+            } else {
+                self.stats.dp_runs += 1;
+                self.items.clear();
+                self.items.extend(self.survivors.iter().map(|&(i, _)| {
+                    let c = &self.candidates[i as usize];
+                    KnapsackItem {
+                        weight: c.size,
+                        value: c.utility,
+                    }
+                }));
+                solve_exact_in(&mut self.workspace, &self.items, capacity, granularity);
+                for (&(i, _), &k) in self.survivors.iter().zip(self.workspace.keep()) {
+                    if k {
+                        self.keep[i as usize] = true;
+                    }
+                }
+            }
+        } else {
+            // Greedy fallback for very large stores — unchanged from the
+            // seed (zero-utility objects are *kept* here when they fit, so
+            // the reductions above must not apply).
+            self.stats.greedy_runs += 1;
+            self.items.clear();
+            self.items
+                .extend(self.candidates.iter().map(|c| KnapsackItem {
+                    weight: c.size,
+                    value: c.utility,
+                }));
+            let solution = solve_greedy(&self.items, capacity);
+            self.keep.clear();
+            self.keep.extend_from_slice(&solution.keep);
+        }
+
+        victims.extend(
+            self.candidates
+                .iter()
+                .zip(&self.keep)
+                .filter(|(_, &k)| !k)
+                .map(|(c, _)| c.key),
+        );
+
+        if self.fairness_enabled {
+            self.repair(&mut victims);
         }
         victims
     }
@@ -241,6 +555,7 @@ mod tests {
     use super::*;
     use crate::object::Priority;
     use crate::policy::{AdmitOutcome, CacheManager};
+    use crate::reference::ReferencePacm;
     use crate::store::Lookup;
     use ape_simnet::SimDuration;
 
@@ -400,6 +715,7 @@ mod tests {
             .count();
         assert!(app1_victims >= 1, "victims: {victims:?}");
         assert!(!victims.contains(&UrlHash::of("fair")));
+        assert!(policy.stats().repair_evictions >= 1);
     }
 
     #[test]
@@ -459,5 +775,122 @@ mod tests {
             fairness_theta: -0.1,
             ..PacmConfig::default()
         });
+    }
+
+    #[test]
+    fn expired_objects_alone_skip_the_solver() {
+        // Three live objects (6000 B) + three expired (3600 B) in a
+        // 10 kB store; the incoming 3000 B object needs only the expired
+        // space, so the answer is forced: evict exactly the expired set,
+        // run no DP.
+        let mut policy = PacmPolicy::new(PacmConfig::default());
+        let mut store = CacheStore::new(10_000, 500_000);
+        for i in 0..3 {
+            store.insert(
+                meta_for(&format!("live{i}"), 1, 2000, Priority::LOW, 3600),
+                SimTime::ZERO,
+            );
+            store.insert(
+                meta_for(&format!("dead{i}"), 2, 1200, Priority::LOW, 10),
+                SimTime::ZERO,
+            );
+        }
+        let now = SimTime::from_secs(30);
+        let incoming = meta_for("new", 3, 3000, Priority::LOW, 3600);
+        let mut victims = policy.select_victims(&store, &incoming, now);
+        victims.sort();
+        let mut expected: Vec<UrlHash> = (0..3).map(|i| UrlHash::of(&format!("dead{i}"))).collect();
+        expected.sort();
+        assert_eq!(victims, expected);
+        let stats = policy.stats();
+        assert_eq!(stats.dp_runs, 0, "forced answer must not run the DP");
+        assert_eq!(stats.short_circuits, 1);
+        assert_eq!(stats.forced_victims, 3);
+    }
+
+    #[test]
+    fn evict_headroom_defaults_to_seed_behavior() {
+        assert_eq!(PacmConfig::default().evict_headroom, 0);
+        // With headroom, the budget shrinks: selecting against a store of
+        // equal-utility objects must evict strictly more than without.
+        let base = PacmConfig {
+            fairness_theta: 1.0,
+            ..PacmConfig::default()
+        };
+        let with_headroom = PacmConfig {
+            evict_headroom: 4_000,
+            ..base
+        };
+        let mut store = CacheStore::new(10_000, 500_000);
+        for i in 0..8 {
+            store.insert(
+                meta_for(&format!("o{i}"), 1, 1200, Priority::LOW, 3600),
+                SimTime::ZERO,
+            );
+        }
+        let incoming = meta_for("new", 2, 1200, Priority::LOW, 3600);
+        let mut plain = PacmPolicy::new(base);
+        let mut watermarked = PacmPolicy::new(with_headroom);
+        let v0 = plain.select_victims(&store, &incoming, SimTime::from_secs(1));
+        let v1 = watermarked.select_victims(&store, &incoming, SimTime::from_secs(1));
+        assert!(
+            v1.len() > v0.len(),
+            "headroom must deepen eviction: {} vs {}",
+            v1.len(),
+            v0.len()
+        );
+        // Headroom h is exactly equivalent to the seed solving with an
+        // incoming object h bytes larger.
+        let mut reference = ReferencePacm::new(PacmConfig { ..base });
+        let mut padded = incoming;
+        padded.size += 4_000;
+        let vr = reference.select_victims(&store, &padded, SimTime::from_secs(1));
+        assert_eq!(v1, vr);
+    }
+
+    #[test]
+    fn stats_attribute_solver_paths() {
+        let mut m = pacm_manager(5_000);
+        for i in 0..12 {
+            let _ = m.admit(
+                meta_for(&format!("s{i}"), i % 4, 900, Priority::LOW, 3600),
+                SimTime::from_secs(i as u64),
+            );
+        }
+        let stats = m.policy().evict_stats().expect("pacm reports stats");
+        assert!(stats.solver_runs > 0);
+        assert_eq!(
+            stats.solver_runs,
+            stats.dp_runs + stats.greedy_runs + stats.short_circuits,
+            "every run resolves through exactly one solver path: {stats:?}"
+        );
+        assert!(stats.items_considered > 0);
+    }
+
+    #[test]
+    fn hook_maintained_aggregates_match_rescan() {
+        // Drive a manager (hooks fire), then check the policy's aggregates
+        // against a fresh rescan of the store.
+        let mut m = pacm_manager(8_000);
+        for i in 0..20 {
+            let ttl = if i % 3 == 0 { 5 } else { 3600 };
+            let _ = m.admit(
+                meta_for(&format!("h{i}"), i % 5, 800, Priority::LOW, ttl),
+                SimTime::from_secs(i as u64),
+            );
+        }
+        let _ = m.purge_expired(SimTime::from_secs(400));
+        let mut expected: BTreeMap<AppId, (u64, u32)> = BTreeMap::new();
+        let mut bytes = 0u64;
+        for e in m.store().iter() {
+            let slot = expected.entry(e.meta.app).or_insert((0, 0));
+            slot.0 += e.meta.size;
+            slot.1 += 1;
+            bytes += e.meta.size;
+        }
+        let p = m.policy();
+        assert_eq!(p.app_bytes, expected);
+        assert_eq!(p.tracked_objects, m.store().len());
+        assert_eq!(p.tracked_bytes, bytes);
     }
 }

@@ -5,6 +5,7 @@ use ape_dnswire::UrlHash;
 use ape_simnet::SimTime;
 
 use crate::object::{AppId, ObjectMeta};
+use crate::pacm::EvictStats;
 use crate::store::{CacheStore, Lookup};
 
 /// Chooses which cached objects to evict to admit an incoming object.
@@ -24,6 +25,25 @@ pub trait EvictionPolicy: std::fmt::Debug + Send {
 
     /// Closes the current measurement window at `now` (PACM's EWMA roll).
     fn roll_window(&mut self, _now: SimTime) {}
+
+    /// Observes an object entering the store. [`CacheManager`] calls this
+    /// for every insert so policies can maintain incremental aggregates
+    /// (PACM's per-app byte totals). Purely an optimization hook: policies
+    /// must stay correct when the store is mutated without it (PACM
+    /// fingerprints the store and rescans on mismatch).
+    fn note_insert(&mut self, _meta: &ObjectMeta) {}
+
+    /// Observes an object leaving the store (eviction, expiry purge,
+    /// replacement, or block-listing). Same contract as [`note_insert`].
+    ///
+    /// [`note_insert`]: EvictionPolicy::note_insert
+    fn note_remove(&mut self, _meta: &ObjectMeta) {}
+
+    /// Cumulative eviction-engine counters, when the policy keeps them
+    /// (PACM does; LRU and test policies return `None`).
+    fn evict_stats(&self) -> Option<EvictStats> {
+        None
+    }
 
     /// Returns the keys to evict so that `incoming` fits. Implementations
     /// may assume expired entries were already purged. Must return victims
@@ -46,6 +66,15 @@ impl<P: EvictionPolicy + ?Sized> EvictionPolicy for Box<P> {
     }
     fn roll_window(&mut self, now: SimTime) {
         (**self).roll_window(now);
+    }
+    fn note_insert(&mut self, meta: &ObjectMeta) {
+        (**self).note_insert(meta);
+    }
+    fn note_remove(&mut self, meta: &ObjectMeta) {
+        (**self).note_remove(meta);
+    }
+    fn evict_stats(&self) -> Option<EvictStats> {
+        (**self).evict_stats()
     }
     fn select_victims(
         &mut self,
@@ -125,17 +154,24 @@ impl<P: EvictionPolicy> CacheManager<P> {
     /// Admits a freshly delegated object, evicting per policy when needed.
     pub fn admit(&mut self, meta: ObjectMeta, now: SimTime) -> AdmitOutcome {
         if self.store.exceeds_block_threshold(meta.size) || meta.size > self.store.capacity() {
+            if let Some(old) = self.store.get(meta.key) {
+                let old_meta = old.meta.clone();
+                self.policy.note_remove(&old_meta);
+            }
             self.store.block(meta.key);
             return AdmitOutcome::Blocked;
         }
         // Expired entries are dead weight; reclaim them before consulting
         // the policy so its view matches reality.
-        self.store.purge_expired(now);
+        for purged in self.store.purge_expired(now) {
+            self.policy.note_remove(&purged);
+        }
         let mut evicted = Vec::new();
         if self.store.free() < meta.size {
             let victims = self.policy.select_victims(&self.store, &meta, now);
             for key in victims {
-                if self.store.remove(key).is_some() {
+                if let Some(entry) = self.store.remove(key) {
+                    self.policy.note_remove(&entry.meta);
                     evicted.push(key);
                 }
             }
@@ -143,13 +179,22 @@ impl<P: EvictionPolicy> CacheManager<P> {
                 return AdmitOutcome::Declined;
             }
         }
+        if let Some(old) = self.store.get(meta.key) {
+            let old_meta = old.meta.clone();
+            self.policy.note_remove(&old_meta);
+        }
+        self.policy.note_insert(&meta);
         self.store.insert(meta, now);
         AdmitOutcome::Stored { evicted }
     }
 
-    /// Drops expired objects.
-    pub fn purge_expired(&mut self, now: SimTime) -> Vec<UrlHash> {
-        self.store.purge_expired(now)
+    /// Drops expired objects, returning their metadata in key order.
+    pub fn purge_expired(&mut self, now: SimTime) -> Vec<ObjectMeta> {
+        let purged = self.store.purge_expired(now);
+        for meta in &purged {
+            self.policy.note_remove(meta);
+        }
+        purged
     }
 }
 

@@ -208,18 +208,20 @@ impl CacheStore {
         self.block_list.contains(&key)
     }
 
-    /// Drops every expired object, returning the evicted keys.
-    pub fn purge_expired(&mut self, now: SimTime) -> Vec<UrlHash> {
+    /// Drops every expired object, returning their metadata in key order
+    /// (callers advertise the keys and feed the sizes to policy hooks).
+    pub fn purge_expired(&mut self, now: SimTime) -> Vec<ObjectMeta> {
         let expired: Vec<UrlHash> = self
             .entries
             .iter()
             .filter(|(_, e)| e.meta.is_expired(now))
             .map(|(k, _)| *k)
             .collect();
-        for key in &expired {
-            self.remove(*key);
-        }
         expired
+            .into_iter()
+            .filter_map(|key| self.remove(key))
+            .map(|entry| entry.meta)
+            .collect()
     }
 
     /// Iterates over current entries in key order.
@@ -284,7 +286,10 @@ mod tests {
             Lookup::Expired
         );
         let purged = s.purge_expired(SimTime::from_secs(11));
-        assert_eq!(purged, vec![UrlHash::of("a")]);
+        assert_eq!(
+            purged.iter().map(|m| m.key).collect::<Vec<_>>(),
+            vec![UrlHash::of("a")]
+        );
         assert_eq!(s.used(), 0);
         assert_eq!(
             s.lookup(UrlHash::of("a"), SimTime::from_secs(11)),

@@ -21,8 +21,8 @@ use std::collections::BTreeMap;
 use std::net::Ipv4Addr;
 
 use ape_cachealg::{
-    AdmitOutcome, CacheManager, CacheStore, EvictionPolicy, Lookup, LruPolicy, ObjectMeta,
-    PacmConfig, PacmPolicy, Priority,
+    AdmitOutcome, CacheManager, CacheStore, EvictStats, EvictionPolicy, Lookup, LruPolicy,
+    ObjectMeta, PacmConfig, PacmPolicy, Priority,
 };
 use ape_dnswire::{CacheFlag, CacheTuple, DnsMessage, DomainName, UrlHash};
 use ape_httpsim::{Body, HttpRequest, HttpResponse, Url};
@@ -712,6 +712,12 @@ impl ApNode {
                 expires_at: now + delegation.op.ttl,
                 fetch_latency,
             };
+            // The admission (eviction decision + insert) is charged
+            // `eviction_processing` CPU; the span covers that modeled
+            // interval so `repro trace` attributes eviction cost per
+            // admission.
+            let evict_span = ctx.span_start(SpanKind::CacheEvict.as_str());
+            let stats_before = self.cache.policy().evict_stats();
             match self.cache.admit(meta, now) {
                 AdmitOutcome::Stored { evicted } => {
                     ctx.metrics().incr(names::AP_ADMISSIONS, 1);
@@ -726,7 +732,10 @@ impl ApNode {
                     ctx.metrics().incr(names::AP_ADMIT_DECLINED, 1);
                 }
             }
-            let _ = admit_latency;
+            self.record_evict_stats(ctx, stats_before);
+            if let Some(span) = evict_span {
+                ctx.span_end_at(span, SpanKind::CacheEvict.as_str(), now + admit_latency);
+            }
         }
 
         for w in delegation.waiters {
@@ -782,6 +791,46 @@ impl ApNode {
         }
     }
 
+    /// Publishes the eviction-engine counters advanced by the last
+    /// admission (PACM only; LRU keeps no stats) as metric deltas.
+    fn record_evict_stats(&mut self, ctx: &mut Context<'_, Msg>, before: Option<EvictStats>) {
+        let (Some(before), Some(after)) = (before, self.cache.policy().evict_stats()) else {
+            return;
+        };
+        let deltas = [
+            (
+                names::AP_EVICT_SOLVER_RUNS,
+                after.solver_runs - before.solver_runs,
+            ),
+            (
+                names::AP_EVICT_ITEMS,
+                after.items_considered - before.items_considered,
+            ),
+            (names::AP_EVICT_DP_RUNS, after.dp_runs - before.dp_runs),
+            (
+                names::AP_EVICT_GREEDY_RUNS,
+                after.greedy_runs - before.greedy_runs,
+            ),
+            (
+                names::AP_EVICT_SHORT_CIRCUITS,
+                after.short_circuits - before.short_circuits,
+            ),
+            (
+                names::AP_EVICT_FORCED,
+                after.forced_victims - before.forced_victims,
+            ),
+            (
+                names::AP_EVICT_REPAIRS,
+                after.repair_evictions - before.repair_evictions,
+            ),
+        ];
+        for (name, delta) in deltas {
+            if delta > 0 {
+                ctx.metrics().incr(name, delta);
+            }
+        }
+    }
+
     fn sample_resources(&mut self, ctx: &mut Context<'_, Msg>) {
         let now = ctx.now();
         let cpu = self.cpu.sample_utilization(now);
@@ -834,7 +883,12 @@ impl Node<Msg> for ApNode {
             TICK_WINDOW => {
                 let now = ctx.now();
                 self.cache.roll_window(now);
-                let purged = self.cache.purge_expired(now);
+                let purged: Vec<_> = self
+                    .cache
+                    .purge_expired(now)
+                    .into_iter()
+                    .map(|meta| meta.key)
+                    .collect();
                 ctx.metrics()
                     .incr(names::AP_TTL_PURGES, purged.len() as u64);
                 self.advertise(ctx, Vec::new(), purged);

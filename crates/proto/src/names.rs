@@ -42,6 +42,20 @@ pub const AP_ADMIT_DECLINED: &str = "ap.admit_declined";
 pub const AP_BLOCK_LISTED: &str = "ap.block_listed";
 /// Cache entries purged by TTL expiry sweeps.
 pub const AP_TTL_PURGES: &str = "ap.ttl_purges";
+/// Eviction-solver invocations (PACM `select_victims` calls).
+pub const AP_EVICT_SOLVER_RUNS: &str = "ap.evict_solver_runs";
+/// Cached objects examined by the eviction solver.
+pub const AP_EVICT_ITEMS: &str = "ap.evict_items";
+/// Eviction decisions resolved by the knapsack DP.
+pub const AP_EVICT_DP_RUNS: &str = "ap.evict_dp_runs";
+/// Eviction decisions resolved by the greedy fallback.
+pub const AP_EVICT_GREEDY_RUNS: &str = "ap.evict_greedy_runs";
+/// Eviction decisions short-circuited (survivors fit; DP skipped).
+pub const AP_EVICT_SHORT_CIRCUITS: &str = "ap.evict_short_circuits";
+/// Objects evicted outright by pre-solver reductions (expired/oversized).
+pub const AP_EVICT_FORCED: &str = "ap.evict_forced";
+/// Objects evicted by the fairness-repair loop.
+pub const AP_EVICT_REPAIRS: &str = "ap.evict_repairs";
 /// Prefetch delegations started from client hints.
 pub const AP_PREFETCHES: &str = "ap.prefetches";
 /// AP CPU utilization samples, 0..1 (time series).

@@ -28,11 +28,15 @@ pub enum SpanKind {
     WanFetch,
     /// Edge-side origin fill on an edge cache miss.
     OriginFetch,
+    /// AP-side cache admission of a delegated object, covering the
+    /// eviction decision (PACM solve / LRU scan) and the insert — the
+    /// `eviction_processing` work the AP charges per admission.
+    CacheEvict,
 }
 
 impl SpanKind {
     /// Every kind, in presentation order.
-    pub const ALL: [SpanKind; 8] = [
+    pub const ALL: [SpanKind; 9] = [
         SpanKind::Fetch,
         SpanKind::Lookup,
         SpanKind::RetrievalHit,
@@ -41,6 +45,7 @@ impl SpanKind {
         SpanKind::DnsUpstream,
         SpanKind::WanFetch,
         SpanKind::OriginFetch,
+        SpanKind::CacheEvict,
     ];
 
     /// Stable label recorded in trace events and exported in JSONL.
@@ -54,6 +59,7 @@ impl SpanKind {
             SpanKind::DnsUpstream => "dns.upstream",
             SpanKind::WanFetch => "wan.fetch",
             SpanKind::OriginFetch => "origin.fetch",
+            SpanKind::CacheEvict => "cache.evict",
         }
     }
 

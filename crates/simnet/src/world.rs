@@ -231,6 +231,27 @@ impl<'a, M: Message> Context<'a, M> {
         });
     }
 
+    /// Closes a span at an explicit timestamp instead of the current clock.
+    ///
+    /// For work the node accounts for synchronously but whose simulated
+    /// duration extends past the dispatch instant (e.g. the AP charges
+    /// `eviction_processing` during admission and delays the response by
+    /// it), so the span covers the modeled interval `[start, at]`.
+    pub fn span_end_at(&mut self, ctx: SpanCtx, kind: &'static str, at: SimTime) {
+        if !self.trace.is_enabled() {
+            return;
+        }
+        self.trace.push(TraceEvent {
+            at,
+            trace: ctx.trace,
+            span: ctx.span,
+            parent: None,
+            node: self.self_id,
+            kind,
+            phase: TracePhase::End,
+        });
+    }
+
     /// Records a point-in-time marker inside the active span, if any.
     pub fn span_instant(&mut self, kind: &'static str) {
         let Some(ctx) = self.span else { return };
