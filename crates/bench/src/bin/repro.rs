@@ -7,7 +7,7 @@
 //! artifacts:
 //!   table1 table2 table4 table5 table6 table7
 //!   fig2 fig11a fig11b fig11c fig12 fig13a fig13b fig13c fig14
-//!   object-level ablations speedup trace bench-evict all
+//!   object-level ablations speedup trace bench-evict faults all
 //! ```
 //!
 //! `--trials N` replicates every sweep point over N seeds (pooled before
@@ -23,13 +23,18 @@
 //! `bench-evict` is the eviction-cost microbench (writes `BENCH_evict.json`
 //! at the repo root). It times wall-clock and is therefore *not* part of
 //! `all`, whose output is bitwise deterministic.
+//!
+//! `faults` is the lossy-WiFi resilience sweep (loss rate × caching
+//! strategy plus a composed fault-plan replay). Loss makes its RNG draws
+//! diverge from the lossless baseline, so like `bench-evict` it is *not*
+//! part of `all`.
 
 use std::path::PathBuf;
 use std::time::Instant;
 
 use ape_bench::{
-    ablations, bench_evict, fig11a, fig11b, fig11c, fig12, fig13a, fig13b, fig13c, fig14, fig2,
-    object_level, speedup, table1, table2, table4, table5, table6, table7, trace_artifacts,
+    ablations, bench_evict, faults, fig11a, fig11b, fig11c, fig12, fig13a, fig13b, fig13c, fig14,
+    fig2, object_level, speedup, table1, table2, table4, table5, table6, table7, trace_artifacts,
     ReproOptions, TraceArtifacts,
 };
 
@@ -47,7 +52,7 @@ fn usage() -> ! {
          \u{20}            [--threads N] [--seed N] [--trace-out DIR] <artifact>...\n\
          artifacts: table1 table2 table4 table5 table6 table7 fig2 fig11a fig11b\n\
          \u{20}          fig11c fig12 fig13a fig13b fig13c fig14 object-level\n\
-         \u{20}          ablations speedup trace bench-evict all"
+         \u{20}          ablations speedup trace bench-evict faults all"
     );
     std::process::exit(2);
 }
@@ -149,6 +154,7 @@ fn main() {
             "ablations" => ablations(&opts),
             "speedup" => speedup(&opts),
             "bench-evict" => bench_evict(&opts),
+            "faults" => faults(&opts),
             "trace" => {
                 let artifacts = trace_artifacts(&opts);
                 if let Some(dir) = &trace_out {

@@ -14,6 +14,7 @@
 
 mod evict_bench;
 mod experiments;
+mod faults;
 mod lookup_overhead;
 pub mod microbench;
 pub mod progmodel;
@@ -24,6 +25,7 @@ pub use experiments::{
     ablations, fig11a, fig11c, fig12, fig13a, fig13b, fig13c, fig14, fig2, object_level, speedup,
     table2, table4, table5, table6, ReproOptions, SweepRow,
 };
+pub use faults::faults;
 pub use lookup_overhead::fig11b;
 pub use tracing::{trace_artifacts, traced_config, TraceArtifacts};
 

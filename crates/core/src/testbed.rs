@@ -16,7 +16,7 @@ use ape_nodes::{
     ZoneAnswer,
 };
 use ape_proto::{IpMap, Msg};
-use ape_simnet::{LinkSpec, NodeId, SimDuration, SimRng, TraceConfig, World};
+use ape_simnet::{FaultPlan, LinkSpec, NodeId, SimDuration, SimRng, TraceConfig, World};
 use ape_workload::{generate_schedule, Execution, ScheduleConfig};
 
 use crate::system::System;
@@ -46,6 +46,16 @@ pub struct TestbedConfig {
     /// Request-tracing knobs (disabled by default; enabling records causal
     /// spans for every sampled client fetch).
     pub trace: TraceConfig,
+    /// Steady-state packet-loss probability of the WiFi radio, applied to
+    /// every client link (AP, edge, LDNS, and controller paths all cross
+    /// the radio as their first hop). `0.0` — the default — keeps the
+    /// links lossless and the run's RNG draws, and therefore its outputs,
+    /// bitwise identical to before this knob existed.
+    pub wifi_loss: f64,
+    /// Scheduled link disturbances (partitions, loss bursts, delay
+    /// spikes). The empty default draws no RNG and records no metrics, so
+    /// it is bitwise invisible.
+    pub faults: FaultPlan,
     /// Root seed for all randomness in the run.
     pub seed: u64,
     /// Schedule-perturbation key for the race detector: when set, the
@@ -69,6 +79,8 @@ impl TestbedConfig {
             prewarm_edge: true,
             prefetch_hints: false,
             trace: TraceConfig::default(),
+            wifi_loss: 0.0,
+            faults: FaultPlan::new(),
             seed: 42,
             tie_perturbation: None,
         }
@@ -137,6 +149,9 @@ pub fn build(config: &TestbedConfig) -> Testbed {
         world.set_tie_perturbation(key);
     }
     world.set_trace_config(config.trace);
+    if !config.faults.is_empty() {
+        world.set_fault_plan(config.faults.clone());
+    }
 
     // --- Catalog shared by origin and edge -----------------------------
     let mut catalog = Catalog::new();
@@ -286,9 +301,20 @@ pub fn build(config: &TestbedConfig) -> Testbed {
     }
 
     // --- Links (Fig. 9 distances) ------------------------------------------------
-    let wifi = LinkSpec::from_rtt(1, SimDuration::from_millis(3))
-        .bandwidth_bytes_per_sec(40_000_000)
-        .jitter_mean(SimDuration::from_micros(200));
+    // All client links cross the WiFi radio as their first hop, so the
+    // configured radio loss applies to each of them.
+    let lossy = |link: LinkSpec| {
+        if config.wifi_loss > 0.0 {
+            link.loss_probability(config.wifi_loss)
+        } else {
+            link
+        }
+    };
+    let wifi = lossy(
+        LinkSpec::from_rtt(1, SimDuration::from_millis(3))
+            .bandwidth_bytes_per_sec(40_000_000)
+            .jitter_mean(SimDuration::from_micros(200)),
+    );
     let ap_ldns = LinkSpec::from_rtt(5, SimDuration::from_millis(13))
         .jitter_mean(SimDuration::from_micros(600));
     let ldns_adns = LinkSpec::from_rtt(12, SimDuration::from_millis(30))
@@ -297,13 +323,18 @@ pub fn build(config: &TestbedConfig) -> Testbed {
         .jitter_mean(SimDuration::from_millis(1));
     let ap_edge = LinkSpec::from_rtt(7, SimDuration::from_millis(14))
         .jitter_mean(SimDuration::from_micros(800));
-    let client_edge = LinkSpec::from_rtt(7, SimDuration::from_millis(15))
-        .bandwidth_bytes_per_sec(40_000_000)
-        .jitter_mean(SimDuration::from_micros(800));
-    let client_ldns = LinkSpec::from_rtt(6, SimDuration::from_millis(16))
-        .jitter_mean(SimDuration::from_micros(700));
+    let client_edge = lossy(
+        LinkSpec::from_rtt(7, SimDuration::from_millis(15))
+            .bandwidth_bytes_per_sec(40_000_000)
+            .jitter_mean(SimDuration::from_micros(800)),
+    );
+    let client_ldns = lossy(
+        LinkSpec::from_rtt(6, SimDuration::from_millis(16))
+            .jitter_mean(SimDuration::from_micros(700)),
+    );
     let controller_link = LinkSpec::from_rtt(12, SimDuration::from_millis(24))
         .jitter_mean(SimDuration::from_millis(1));
+    let client_controller = lossy(controller_link);
     let edge_origin = LinkSpec::from_rtt(8, SimDuration::from_millis(24))
         .jitter_mean(SimDuration::from_millis(1));
 
@@ -317,7 +348,7 @@ pub fn build(config: &TestbedConfig) -> Testbed {
         world.connect(client, edge, client_edge);
         world.connect(client, ldns, client_ldns);
         if let Some(controller) = controller {
-            world.connect(client, controller, controller_link);
+            world.connect(client, controller, client_controller);
         }
     }
     if let Some(controller) = controller {

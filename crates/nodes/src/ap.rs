@@ -24,7 +24,7 @@ use ape_cachealg::{
     AdmitOutcome, CacheManager, CacheStore, EvictStats, EvictionPolicy, Lookup, LruPolicy,
     ObjectMeta, PacmConfig, PacmPolicy, Priority,
 };
-use ape_dnswire::{CacheFlag, CacheTuple, DnsMessage, DomainName, UrlHash};
+use ape_dnswire::{CacheFlag, CacheTuple, DnsMessage, DomainName, Rcode, UrlHash};
 use ape_httpsim::{Body, HttpRequest, HttpResponse, Url};
 use ape_proto::{names, CacheOp, ConnId, IpMap, Msg, RequestId, SpanKind};
 use ape_simnet::{
@@ -63,6 +63,15 @@ pub struct ApConfig {
     pub eviction_processing: SimDuration,
     /// Frequency-window roll and expiry-purge interval.
     pub window: SimDuration,
+    /// Pending-state reaper interval (drives the upstream-DNS and
+    /// delegation timeouts below; granularity, not a timeout itself).
+    pub reap_interval: SimDuration,
+    /// Age at which a forwarded DNS query is retransmitted upstream, and
+    /// (after one retransmit) abandoned with SERVFAIL to the client.
+    pub dns_upstream_timeout: SimDuration,
+    /// Age at which a delegated fetch is restarted, and (after one
+    /// restart) abandoned with 504 to its waiters.
+    pub delegation_timeout: SimDuration,
     /// Resource sampling interval (None disables sampling).
     pub sample_interval: Option<SimDuration>,
     /// Dummy-IP short-circuit enabled (§IV-B3).
@@ -91,6 +100,9 @@ impl Default for ApConfig {
             http_processing: SimDuration::from_micros(400),
             eviction_processing: SimDuration::from_micros(1_500),
             window: SimDuration::from_secs(60),
+            reap_interval: SimDuration::from_millis(500),
+            dns_upstream_timeout: SimDuration::from_secs(2),
+            delegation_timeout: SimDuration::from_secs(10),
             sample_interval: Some(SimDuration::from_secs(1)),
             short_circuit: true,
             batch_domain_flags: true,
@@ -129,6 +141,10 @@ struct Delegation {
     /// WAN-fetch span, attributed to the waiter that triggered the fetch
     /// (prefetch delegations are untraced).
     span: Option<SpanCtx>,
+    /// Whether the reaper already restarted this fetch once.
+    retried: bool,
+    /// The in-flight upstream request, so a restart can disown it.
+    upstream_req: Option<RequestId>,
 }
 
 /// A DNS query forwarded upstream, awaiting the answer.
@@ -142,10 +158,22 @@ struct PendingForward {
     internal: bool,
     /// Upstream-resolution span, child of the querying client's lookup.
     span: Option<SpanCtx>,
+    /// When the query was (last) sent upstream.
+    at: SimTime,
+    /// Whether the reaper already retransmitted this query once.
+    retried: bool,
 }
 
 const TICK_WINDOW: TimerToken = TimerToken::new(1);
 const TICK_SAMPLE: TimerToken = TimerToken::new(2);
+const TICK_REAP: TimerToken = TimerToken::new(3);
+
+/// Phase offset for the first reap tick. The window and sample ticks fire
+/// on round-second grids; starting the reaper 137 µs off that grid keeps
+/// its firings from ever tying with them, so tie-break perturbation can
+/// never reorder a reap's retry sends against the window tick's
+/// advertisement sends (both draw link jitter from the shared RNG stream).
+const REAP_PHASE: SimDuration = SimDuration::from_micros(137);
 
 /// Wi-Cache integration settings for an AP.
 #[derive(Debug, Clone, Copy)]
@@ -176,6 +204,11 @@ pub struct ApNode {
     next_txn: u16,
     next_conn: u64,
     next_req: u64,
+    /// When the next frequency-window roll is due. The roll runs lazily
+    /// from whichever periodic tick reaches the due instant first (see
+    /// [`ApNode::roll_window_if_due`]), so same-instant tick ordering can
+    /// never change what the resource sampler observes.
+    next_window_roll: SimTime,
 }
 
 impl std::fmt::Debug for ApNode {
@@ -218,6 +251,7 @@ impl ApNode {
             next_txn: 1,
             next_conn: 1,
             next_req: 1,
+            next_window_roll: SimTime::from_nanos(0),
         }
     }
 
@@ -285,6 +319,34 @@ impl ApNode {
     fn work(&mut self, now: SimTime, cost: SimDuration) -> SimDuration {
         let done = self.cpu.charge(now, cost);
         done - now
+    }
+
+    /// Allocates an upstream DNS transaction id, skipping ids still in
+    /// flight so a wrapped counter cannot collide with (and orphan) an
+    /// older pending forward.
+    fn alloc_txn(&mut self) -> u16 {
+        assert!(
+            self.pending_forwards.len() < u16::MAX as usize,
+            "upstream DNS txn space exhausted"
+        );
+        loop {
+            let txn = self.next_txn;
+            self.next_txn = self.next_txn.wrapping_add(1).max(1);
+            if !self.pending_forwards.contains_key(&txn) {
+                return txn;
+            }
+        }
+    }
+
+    /// Sizes of every pending-state map, labelled — the chaos tests assert
+    /// all of these drain to zero once in-flight traffic settles.
+    pub fn pending_counts(&self) -> [(&'static str, usize); 4] {
+        [
+            ("ap.pending_forwards", self.pending_forwards.len()),
+            ("ap.delegations", self.delegations.len()),
+            ("ap.delegation_reqs", self.delegation_reqs.len()),
+            ("ap.awaiting_dns", self.awaiting_dns.len()),
+        ]
     }
 
     fn flag_for(&self, key: UrlHash, now: SimTime) -> CacheFlag {
@@ -400,8 +462,7 @@ impl ApNode {
         // Forward upstream; flags are recomputed when the answer returns.
         ctx.metrics().incr(names::AP_DNS_FORWARDS, 1);
         let span = ctx.span_start(SpanKind::DnsUpstream.as_str());
-        let txn = self.next_txn;
-        self.next_txn = self.next_txn.wrapping_add(1).max(1);
+        let txn = self.alloc_txn();
         self.pending_forwards.insert(
             txn,
             PendingForward {
@@ -410,6 +471,8 @@ impl ApNode {
                 extra_flags: is_cache_query,
                 internal: false,
                 span,
+                at: now,
+                retried: false,
             },
         );
         let upstream_query = DnsMessage::query(txn, domain);
@@ -422,13 +485,22 @@ impl ApNode {
         let Some(pending) = self.pending_forwards.remove(&response.header.id) else {
             return;
         };
-        let Some(domain) = response.question_name().cloned() else {
-            return;
-        };
-        let answer = response.answer_ip().map(|ip| {
-            let ttl = response.answers.first().map(|a| a.ttl).unwrap_or(1).max(1);
-            (ip, ttl)
-        });
+        // The domain comes from the forwarded query, which always carries a
+        // question; deriving it from the response allowed a malformed (or
+        // mismatched) answer to return early and leak the open DnsUpstream
+        // span. Such answers now count as resolution failures instead.
+        let domain = pending
+            .query
+            .question_name()
+            .cloned()
+            .expect("forwarded queries carry a question");
+        let answer = response
+            .answer_ip()
+            .filter(|_| response.question_name() == Some(&domain))
+            .map(|ip| {
+                let ttl = response.answers.first().map(|a| a.ttl).unwrap_or(1).max(1);
+                (ip, ttl)
+            });
         if let Some((ip, ttl)) = answer {
             self.dns_cache.insert(
                 domain.clone(),
@@ -442,28 +514,14 @@ impl ApNode {
         // Each resumed fetch switches the span context to its own
         // delegation, so restore the responder's context for the relay.
         let relay_span = ctx.span_ctx();
-        if let Some(keys) = self.awaiting_dns.remove(&domain) {
-            for key in keys {
-                if answer.is_some() {
+        if answer.is_some() {
+            if let Some(keys) = self.awaiting_dns.remove(&domain) {
+                for key in keys {
                     self.start_upstream_fetch(ctx, key);
-                } else if let Some(delegation) = self.delegations.remove(&key) {
-                    ctx.metrics().incr(names::AP_DELEGATION_DNS_FAILURES, 1);
-                    if let Some(span) = delegation.span {
-                        ctx.span_end(span, SpanKind::WanFetch.as_str());
-                    }
-                    for w in delegation.waiters {
-                        ctx.send(
-                            w.node,
-                            Msg::HttpRsp {
-                                conn: w.conn,
-                                req: w.req,
-                                response: HttpResponse::gateway_timeout(),
-                                from_cache: false,
-                            },
-                        );
-                    }
                 }
             }
+        } else {
+            self.fail_awaiting_dns(ctx, &domain);
         }
         ctx.set_span_ctx(relay_span);
 
@@ -596,6 +654,8 @@ impl ApNode {
                 started: ctx.now(),
                 cache_result,
                 span,
+                retried: false,
+                upstream_req: None,
             },
         );
         self.start_upstream_fetch(ctx, key);
@@ -618,10 +678,9 @@ impl ApNode {
             _ => {
                 // Resolve first; the fetch resumes from
                 // `handle_dns_response`.
-                let waiting = self.awaiting_dns.entry(domain.clone()).or_default();
-                if waiting.is_empty() {
-                    let txn = self.next_txn;
-                    self.next_txn = self.next_txn.wrapping_add(1).max(1);
+                let first = self.awaiting_dns.get(&domain).is_none_or(|w| w.is_empty());
+                if first {
+                    let txn = self.alloc_txn();
                     self.pending_forwards.insert(
                         txn,
                         PendingForward {
@@ -631,6 +690,8 @@ impl ApNode {
                             internal: true,
                             // Resolution time is inside the WAN-fetch span.
                             span: None,
+                            at: now,
+                            retried: false,
                         },
                     );
                     ctx.send(
@@ -638,7 +699,7 @@ impl ApNode {
                         Msg::Dns(DnsMessage::query(txn, domain.clone())),
                     );
                 }
-                waiting.push(key);
+                self.awaiting_dns.entry(domain).or_default().push(key);
                 return;
             }
         };
@@ -667,6 +728,7 @@ impl ApNode {
         let up_req = RequestId(self.next_req);
         self.next_req += 1;
         self.delegation_reqs.insert(up_req, key);
+        delegation.upstream_req = Some(up_req);
         let handshake = ctx.link_rtt(target).unwrap_or(SimDuration::ZERO);
         ctx.send(target, Msg::TcpSyn { conn });
         ctx.send_after(
@@ -785,6 +847,8 @@ impl ApNode {
                     started: now,
                     cache_result: true,
                     span: None,
+                    retried: false,
+                    upstream_req: None,
                 },
             );
             self.start_upstream_fetch(ctx, key);
@@ -831,6 +895,189 @@ impl ApNode {
         }
     }
 
+    /// Fails every delegation blocked on resolving `domain`: the answer is
+    /// not coming, so the waiters get 504 and the state is dropped.
+    fn fail_awaiting_dns(&mut self, ctx: &mut Context<'_, Msg>, domain: &DomainName) {
+        let Some(keys) = self.awaiting_dns.remove(domain) else {
+            return;
+        };
+        for key in keys {
+            let Some(delegation) = self.delegations.remove(&key) else {
+                continue;
+            };
+            ctx.metrics().incr(names::AP_DELEGATION_DNS_FAILURES, 1);
+            if let Some(span) = delegation.span {
+                ctx.span_end(span, SpanKind::WanFetch.as_str());
+            }
+            for w in delegation.waiters {
+                ctx.send(
+                    w.node,
+                    Msg::HttpRsp {
+                        conn: w.conn,
+                        req: w.req,
+                        response: HttpResponse::gateway_timeout(),
+                        from_cache: false,
+                    },
+                );
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Pending-state reapers
+    // ------------------------------------------------------------------
+    //
+    // A lossy uplink can swallow any upstream message, which without a
+    // timeout would strand `pending_forwards` / `delegations` /
+    // `awaiting_dns` entries (and their waiters) forever. The reaper tick
+    // retries each stuck operation exactly once and then fails it toward
+    // the client — SERVFAIL for DNS forwards, 504 for delegation waiters —
+    // so every pending map provably drains once traffic stops.
+
+    fn reap(&mut self, ctx: &mut Context<'_, Msg>) {
+        let now = ctx.now();
+        self.reap_forwards(ctx, now);
+        self.reap_delegations(ctx, now);
+        ctx.set_span_ctx(None);
+    }
+
+    fn reap_forwards(&mut self, ctx: &mut Context<'_, Msg>, now: SimTime) {
+        let stale: Vec<u16> = self
+            .pending_forwards
+            .iter()
+            .filter(|(_, p)| now - p.at >= self.config.dns_upstream_timeout)
+            .map(|(txn, _)| *txn)
+            .collect();
+        for txn in stale {
+            if !self.pending_forwards[&txn].retried {
+                // Retransmit once, same transaction id: whichever copy's
+                // answer arrives first completes the forward.
+                let upstream = self.upstream;
+                let p = self
+                    .pending_forwards
+                    .get_mut(&txn)
+                    .expect("collected above");
+                p.retried = true;
+                p.at = now;
+                let query = p
+                    .query
+                    .question_name()
+                    .cloned()
+                    .map(|d| DnsMessage::query(txn, d));
+                ctx.metrics().incr(names::AP_DNS_UPSTREAM_RETRIES, 1);
+                ctx.set_span_ctx(self.pending_forwards[&txn].span);
+                if let Some(query) = query {
+                    ctx.send(upstream, Msg::Dns(query));
+                }
+                continue;
+            }
+            let pending = self.pending_forwards.remove(&txn).expect("collected above");
+            ctx.set_span_ctx(None);
+            ctx.metrics().incr(names::AP_DNS_UPSTREAM_GIVE_UPS, 1);
+            if let Some(span) = pending.span {
+                ctx.span_end(span, SpanKind::DnsUpstream.as_str());
+            }
+            let Some(domain) = pending.query.question_name().cloned() else {
+                continue;
+            };
+            if pending.internal {
+                // Delegations blocked on this resolution can never proceed.
+                self.fail_awaiting_dns(ctx, &domain);
+            } else {
+                let tuples = if pending.extra_flags {
+                    self.tuples_for(&domain, &pending.query.cache_request_hashes(), now)
+                } else {
+                    Vec::new()
+                };
+                let mut r = DnsMessage::dns_cache_response(
+                    &pending.query,
+                    Ipv4Addr::UNSPECIFIED,
+                    0,
+                    tuples,
+                );
+                r.answers.clear();
+                r.header.rcode = Rcode::ServFail;
+                ctx.send(pending.client, Msg::Dns(r));
+            }
+        }
+    }
+
+    fn reap_delegations(&mut self, ctx: &mut Context<'_, Msg>, now: SimTime) {
+        // Delegations still waiting on DNS are owned by the forward reaper
+        // (its give-up path drains them via `fail_awaiting_dns`), so only
+        // fetches that actually went upstream are considered here.
+        let stale: Vec<UrlHash> = self
+            .delegations
+            .iter()
+            .filter(|(key, d)| {
+                now - d.started >= self.config.delegation_timeout
+                    && !self
+                        .awaiting_dns
+                        .get(d.url.host())
+                        .is_some_and(|keys| keys.contains(key))
+            })
+            .map(|(key, _)| *key)
+            .collect();
+        for key in stale {
+            if !self.delegations[&key].retried {
+                let d = self.delegations.get_mut(&key).expect("collected above");
+                d.retried = true;
+                // Disown the stale upstream request: if its response ever
+                // arrives it must not complete the restarted fetch too.
+                if let Some(up) = d.upstream_req.take() {
+                    self.delegation_reqs.remove(&up);
+                }
+                ctx.metrics().incr(names::AP_DELEGATION_RETRIES, 1);
+                self.start_upstream_fetch(ctx, key);
+                continue;
+            }
+            let delegation = self.delegations.remove(&key).expect("collected above");
+            ctx.set_span_ctx(None);
+            if let Some(up) = delegation.upstream_req {
+                self.delegation_reqs.remove(&up);
+            }
+            ctx.metrics().incr(names::AP_DELEGATION_REAPS, 1);
+            if let Some(span) = delegation.span {
+                ctx.span_end(span, SpanKind::WanFetch.as_str());
+            }
+            for w in delegation.waiters {
+                ctx.send(
+                    w.node,
+                    Msg::HttpRsp {
+                        conn: w.conn,
+                        req: w.req,
+                        response: HttpResponse::gateway_timeout(),
+                        from_cache: false,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Rolls the frequency window and purges expired objects once the due
+    /// instant is reached. Both the window tick and the sample tick call
+    /// this, so when the two grids land on the same nanosecond the roll
+    /// happens exactly once, before whichever handler the queue runs
+    /// first does its own work — the resource sampler can never observe a
+    /// pre-purge state that tie-break order would otherwise decide.
+    fn roll_window_if_due(&mut self, ctx: &mut Context<'_, Msg>) {
+        let now = ctx.now();
+        if now < self.next_window_roll {
+            return;
+        }
+        self.next_window_roll = now + self.config.window;
+        self.cache.roll_window(now);
+        let purged: Vec<_> = self
+            .cache
+            .purge_expired(now)
+            .into_iter()
+            .map(|meta| meta.key)
+            .collect();
+        ctx.metrics()
+            .incr(names::AP_TTL_PURGES, purged.len() as u64);
+        self.advertise(ctx, Vec::new(), purged);
+    }
+
     fn sample_resources(&mut self, ctx: &mut Context<'_, Msg>) {
         let now = ctx.now();
         let cpu = self.cpu.sample_utilization(now);
@@ -849,10 +1096,12 @@ impl ApNode {
 
 impl Node<Msg> for ApNode {
     fn on_start(&mut self, ctx: &mut Context<'_, Msg>) {
+        self.next_window_roll = ctx.now() + self.config.window;
         ctx.schedule(self.config.window, TICK_WINDOW);
         if let Some(interval) = self.config.sample_interval {
             ctx.schedule(interval, TICK_SAMPLE);
         }
+        ctx.schedule(self.config.reap_interval + REAP_PHASE, TICK_REAP);
     }
 
     fn on_message(&mut self, ctx: &mut Context<'_, Msg>, from: NodeId, msg: Msg) {
@@ -881,24 +1130,19 @@ impl Node<Msg> for ApNode {
     fn on_timer(&mut self, ctx: &mut Context<'_, Msg>, token: TimerToken) {
         match token {
             TICK_WINDOW => {
-                let now = ctx.now();
-                self.cache.roll_window(now);
-                let purged: Vec<_> = self
-                    .cache
-                    .purge_expired(now)
-                    .into_iter()
-                    .map(|meta| meta.key)
-                    .collect();
-                ctx.metrics()
-                    .incr(names::AP_TTL_PURGES, purged.len() as u64);
-                self.advertise(ctx, Vec::new(), purged);
+                self.roll_window_if_due(ctx);
                 ctx.schedule(self.config.window, TICK_WINDOW);
             }
             TICK_SAMPLE => {
+                self.roll_window_if_due(ctx);
                 self.sample_resources(ctx);
                 if let Some(interval) = self.config.sample_interval {
                     ctx.schedule(interval, TICK_SAMPLE);
                 }
+            }
+            TICK_REAP => {
+                self.reap(ctx);
+                ctx.schedule(self.config.reap_interval, TICK_REAP);
             }
             _ => {}
         }
@@ -948,6 +1192,7 @@ mod tests {
         ap: NodeId,
         #[allow(dead_code)]
         edge: NodeId,
+        ldns: NodeId,
     }
 
     fn url() -> Url {
@@ -1033,6 +1278,7 @@ mod tests {
             probe,
             ap,
             edge: edge_id,
+            ldns,
         }
     }
 
@@ -1426,5 +1672,145 @@ mod tests {
         );
         settle(&mut bed.world);
         assert_eq!(bed.world.node::<ApNode>(bed.ap).cached_objects(), 1);
+    }
+
+    fn assert_drained(bed: &Bed) {
+        for (map, n) in bed.world.node::<ApNode>(bed.ap).pending_counts() {
+            assert_eq!(n, 0, "{map} leaked {n} entries");
+        }
+    }
+
+    #[test]
+    fn dead_upstream_forward_is_retried_once_then_servfailed() {
+        use ape_simnet::FaultPlan;
+        let mut bed = bed(ApConfig::default());
+        // Partition the AP from the LDNS for the whole run: the forwarded
+        // query and its single retry both vanish.
+        bed.world.set_fault_plan(FaultPlan::new().link_down(
+            bed.ap,
+            bed.ldns,
+            SimTime::from_nanos(0),
+            SimTime::from_secs(1_000),
+        ));
+        bed.world
+            .post(bed.probe, bed.ap, dns_cache_query(1, &[url().hash()]));
+        // 2 × dns_upstream_timeout (2 s) plus reap-tick slack.
+        bed.world.run_for(SimDuration::from_secs(6));
+        let probe = bed.world.node::<Probe>(bed.probe);
+        let resp = probe.dns_responses.last().expect("client got an answer");
+        assert_eq!(resp.header.rcode, Rcode::ServFail);
+        assert_eq!(
+            bed.world.metrics().counter(names::AP_DNS_UPSTREAM_RETRIES),
+            1
+        );
+        assert_eq!(
+            bed.world.metrics().counter(names::AP_DNS_UPSTREAM_GIVE_UPS),
+            1
+        );
+        assert_drained(&bed);
+    }
+
+    #[test]
+    fn dead_edge_delegation_is_retried_once_then_gateway_timeout() {
+        use ape_simnet::FaultPlan;
+        let mut bed = bed(ApConfig::default());
+        // Resolve first so the delegation dials the edge directly.
+        bed.world
+            .post(bed.probe, bed.ap, dns_cache_query(1, &[url().hash()]));
+        settle(&mut bed.world);
+        // Now partition the AP from the edge and delegate: the upstream
+        // fetch and its retry both vanish.
+        bed.world.set_fault_plan(FaultPlan::new().link_down(
+            bed.ap,
+            bed.edge,
+            bed.world.now(),
+            SimTime::from_secs(10_000),
+        ));
+        bed.world
+            .post(bed.probe, bed.ap, Msg::TcpSyn { conn: ConnId(1) });
+        settle(&mut bed.world);
+        bed.world.post(
+            bed.probe,
+            bed.ap,
+            Msg::HttpReq {
+                conn: ConnId(1),
+                req: RequestId(7),
+                request: HttpRequest::get(url()),
+                cache_op: Some(delegation_op()),
+            },
+        );
+        // 2 × delegation_timeout (10 s) plus reap-tick slack.
+        bed.world.run_for(SimDuration::from_secs(25));
+        let probe = bed.world.node::<Probe>(bed.probe);
+        let (req, response, _) = probe.http_responses.last().expect("waiter was answered");
+        assert_eq!(*req, RequestId(7));
+        assert!(!response.status.is_success(), "504, not a hang");
+        assert_eq!(bed.world.metrics().counter(names::AP_DELEGATION_RETRIES), 1);
+        assert_eq!(bed.world.metrics().counter(names::AP_DELEGATION_REAPS), 1);
+        assert_drained(&bed);
+    }
+
+    #[test]
+    fn dead_upstream_dns_fails_awaiting_delegations() {
+        use ape_simnet::FaultPlan;
+        let mut bed = bed(ApConfig::default());
+        // Partition the AP from the LDNS before anything resolves, then
+        // delegate: the fetch parks in awaiting_dns and must be failed by
+        // the forward reaper, not leak forever.
+        bed.world.set_fault_plan(FaultPlan::new().link_down(
+            bed.ap,
+            bed.ldns,
+            SimTime::from_nanos(0),
+            SimTime::from_secs(1_000),
+        ));
+        bed.world
+            .post(bed.probe, bed.ap, Msg::TcpSyn { conn: ConnId(1) });
+        settle(&mut bed.world);
+        bed.world.post(
+            bed.probe,
+            bed.ap,
+            Msg::HttpReq {
+                conn: ConnId(1),
+                req: RequestId(9),
+                request: HttpRequest::get(url()),
+                cache_op: Some(delegation_op()),
+            },
+        );
+        bed.world.run_for(SimDuration::from_secs(8));
+        let probe = bed.world.node::<Probe>(bed.probe);
+        let (req, response, _) = probe.http_responses.last().expect("waiter was answered");
+        assert_eq!(*req, RequestId(9));
+        assert!(!response.status.is_success());
+        assert!(
+            bed.world
+                .metrics()
+                .counter(names::AP_DELEGATION_DNS_FAILURES)
+                >= 1
+        );
+        assert_drained(&bed);
+    }
+
+    #[test]
+    fn txn_allocation_skips_live_ids_across_wraparound() {
+        let mut ap = ApNode::new(ApConfig::default(), NodeId::from_raw(0), IpMap::new());
+        ap.pending_forwards.insert(
+            7,
+            PendingForward {
+                client: NodeId::from_raw(1),
+                query: DnsMessage::query(7, DomainName::parse("pinned.example").unwrap()),
+                extra_flags: false,
+                internal: false,
+                span: None,
+                at: SimTime::from_nanos(0),
+                retried: false,
+            },
+        );
+        // Four trips around the 16-bit id space: the pinned in-flight
+        // query must never be clobbered and 0 stays reserved.
+        for _ in 0..262_144u32 {
+            let txn = ap.alloc_txn();
+            assert_ne!(txn, 0, "txn 0 is reserved");
+            assert_ne!(txn, 7, "live txn reused after wraparound");
+        }
     }
 }

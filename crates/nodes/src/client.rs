@@ -72,6 +72,11 @@ pub struct ClientConfig {
     pub dns_timeout: SimDuration,
     /// DNS retries before a fetch fails.
     pub dns_retries: u32,
+    /// Base timeout for the retrieval stage (controller lookup, TCP
+    /// connect, HTTP response); doubles per retry (exponential backoff).
+    pub http_timeout: SimDuration,
+    /// Retrieval retries before a fetch fails.
+    pub http_retries: u32,
     /// Whether resolved addresses are reused until their TTL expires.
     /// APE-CACHE needs this (flags ride on the DNS entries); the Edge
     /// Cache baseline follows the paper's Fig. 1 workflow, where every
@@ -95,6 +100,8 @@ impl ClientConfig {
             processing: SimDuration::from_micros(300),
             dns_timeout: SimDuration::from_secs(3),
             dns_retries: 2,
+            http_timeout: SimDuration::from_secs(4),
+            http_retries: 2,
             cache_dns: !matches!(strategy, Strategy::EdgeCache),
             prefetch_hints: false,
         }
@@ -144,6 +151,12 @@ struct Fetch {
     lookup_was_query: bool,
     retrieval_started: Option<SimTime>,
     phase: Phase,
+    /// Retrieval attempts consumed (0 = first try); stale timers and
+    /// responses from earlier attempts are recognized by mismatch.
+    attempt: u32,
+    /// The connection of the current attempt, so abandoning or finishing
+    /// the fetch also drops its `conns` entry.
+    conn: Option<ConnId>,
     /// Root span of this fetch's trace (tracing enabled + sampled only).
     root_span: Option<SpanCtx>,
     /// Open lookup-stage span; taken when the stage ends.
@@ -249,8 +262,29 @@ pub struct ClientNode {
     next_exec: u64,
 }
 
-/// Timer-token namespaces.
+/// Timer-token namespaces. Tokens below `1 << 32` are schedule indices;
+/// bit 32 marks DNS retransmit timers (txn id in the low 16 bits); bit 33
+/// marks HTTP/retrieval timers (request id in the low 32 bits, attempt
+/// number in bits 40+).
 const TOKEN_DNS_BASE: u64 = 1 << 32;
+const TOKEN_HTTP_BASE: u64 = 1 << 33;
+const HTTP_ATTEMPT_SHIFT: u32 = 40;
+
+/// Phase-staggers a watchdog delay so timers armed by the same handler
+/// never share a nanosecond. Fetches launched together share `now`; if
+/// their watchdogs tied, tie-break order would decide which retransmission
+/// draws link jitter from the world's shared RNG stream first, breaking
+/// tie-perturbation invariance under loss. 61 ns per id keeps the skew
+/// under 4 ms — noise against the multi-second timeouts it offsets.
+fn staggered(base: SimDuration, id: u64) -> SimDuration {
+    base + SimDuration::from_nanos((id & 0xFFFF) * 61)
+}
+
+fn http_token(req: RequestId, attempt: u32) -> TimerToken {
+    TimerToken::new(
+        TOKEN_HTTP_BASE | ((attempt as u64) << HTTP_ATTEMPT_SHIFT) | (req.0 & 0xFFFF_FFFF),
+    )
+}
 
 impl ClientNode {
     /// Creates a client running `apps` on `schedule` (entries refer to apps
@@ -387,6 +421,8 @@ impl ClientNode {
             lookup_was_query: false,
             retrieval_started: None,
             phase: Phase::AwaitingDns,
+            attempt: 0,
+            conn: None,
             root_span,
             lookup_span,
             retrieval_span: None,
@@ -450,6 +486,41 @@ impl ClientNode {
             controller,
             Msg::WiCacheLookup { req, url_hash: key },
         );
+        self.arm_http_timer(ctx, req);
+    }
+
+    /// Arms the retrieval watchdog for the fetch's current attempt with
+    /// exponential backoff. Every non-DNS phase is covered by one of these
+    /// timers, so a lost response can never strand the fetch.
+    fn arm_http_timer(&mut self, ctx: &mut Context<'_, Msg>, req: RequestId) {
+        let Some(fetch) = self.fetches.get(&req) else {
+            return;
+        };
+        let backoff = self.config.http_timeout * (1u64 << fetch.attempt.min(16));
+        ctx.schedule(staggered(backoff, req.0), http_token(req, fetch.attempt));
+    }
+
+    /// Allocates a DNS transaction id, skipping ids still live in
+    /// `txn_domains`: after 65 535 queries the counter wraps and would
+    /// otherwise clobber an in-flight query.
+    ///
+    /// # Panics
+    ///
+    /// Panics if all 65 535 ids are in flight at once (the pending-DNS map
+    /// is bounded by the number of distinct domains, so this is a logic
+    /// bug, not load).
+    fn alloc_txn(&mut self) -> u16 {
+        assert!(
+            self.txn_domains.len() < u16::MAX as usize,
+            "DNS txn space exhausted"
+        );
+        loop {
+            let txn = self.next_txn;
+            self.next_txn = self.next_txn.wrapping_add(1).max(1);
+            if !self.txn_domains.contains_key(&txn) {
+                return txn;
+            }
+        }
     }
 
     fn fresh_dns_ip(&self, domain: &DomainName, now: SimTime) -> Option<Ipv4Addr> {
@@ -474,8 +545,7 @@ impl ClientNode {
             pending.waiting.push(req);
             return;
         }
-        let txn = self.next_txn;
-        self.next_txn = self.next_txn.wrapping_add(1).max(1);
+        let txn = self.alloc_txn();
         let hashes = if dns_cache_query && self.config.lookup_mode == LookupMode::Piggybacked {
             vec![self.fetches[&req].key]
         } else {
@@ -504,7 +574,7 @@ impl ClientNode {
             Msg::Dns(query),
         );
         ctx.schedule(
-            self.config.dns_timeout,
+            staggered(self.config.dns_timeout, txn as u64),
             TimerToken::new(TOKEN_DNS_BASE | txn as u64),
         );
     }
@@ -522,18 +592,25 @@ impl ClientNode {
         let Some(fetch) = self.fetches.get(&req) else {
             return;
         };
+        // Wi-Cache fetches armed their watchdog at lookup time; it spans
+        // the whole attempt, so arming another here would double-fire.
+        let watchdog_armed = matches!(fetch.phase, Phase::AwaitingController);
         // One DNS answer can resolve several waiting fetches; re-anchor the
         // trace context to this fetch so its sends land in its own trace.
         ctx.set_span_ctx(fetch.root_span);
-        if fetch.lookup_was_query {
-            let lookup_ms = (now - fetch.lookup_started).as_millis_f64();
-            ctx.metrics()
-                .observe(names::CLIENT_LOOKUP_QUERY_MS, lookup_ms);
+        // Lookup-stage latency counts once per fetch; retry passes would
+        // re-observe it inflated by the timeout that triggered them.
+        if fetch.attempt == 0 {
+            if fetch.lookup_was_query {
+                let lookup_ms = (now - fetch.lookup_started).as_millis_f64();
+                ctx.metrics()
+                    .observe(names::CLIENT_LOOKUP_QUERY_MS, lookup_ms);
+            }
+            ctx.metrics().observe(
+                names::CLIENT_LOOKUP_OP_MS,
+                (now - fetch.lookup_started).as_millis_f64(),
+            );
         }
-        ctx.metrics().observe(
-            names::CLIENT_LOOKUP_OP_MS,
-            (now - fetch.lookup_started).as_millis_f64(),
-        );
         let mode = match flag {
             CacheFlag::Hit => FetchMode::ApHit,
             CacheFlag::Delegation | CacheFlag::Query => FetchMode::Delegation,
@@ -554,6 +631,7 @@ impl ClientNode {
         let fetch = self.fetches.get_mut(&req).expect("checked above");
         fetch.retrieval_started = Some(now);
         fetch.phase = Phase::Connecting { target, mode };
+        fetch.conn = Some(conn);
         let lookup_span = fetch.lookup_span.take();
         self.conns.insert(conn, req);
         if let Some(span) = lookup_span {
@@ -570,6 +648,9 @@ impl ClientNode {
             .expect("checked above")
             .retrieval_span = retrieval_span.map(|s| (s, retrieval_kind));
         ctx.send_after(self.config.processing, target, Msg::TcpSyn { conn });
+        if !watchdog_armed {
+            self.arm_http_timer(ctx, req);
+        }
         if self.config.prefetch_hints && target == self.config.ap {
             self.send_prefetch_hints(ctx, req);
         }
@@ -618,6 +699,9 @@ impl ClientNode {
         let Some(fetch) = self.fetches.remove(&req) else {
             return;
         };
+        if let Some(conn) = fetch.conn {
+            self.conns.remove(&conn);
+        }
         self.report.failures += 1;
         ctx.metrics().incr(names::CLIENT_FETCH_FAILURES, 1);
         if let Some(span) = fetch.lookup_span {
@@ -669,8 +753,14 @@ impl ClientNode {
         let Some(fetch) = self.fetches.remove(&req) else {
             return;
         };
+        // A response from an abandoned attempt can land while the current
+        // attempt is mid-retry; drop whichever conn the fetch now owns so
+        // the connection table drains either way.
+        if let Some(conn) = fetch.conn {
+            self.conns.remove(&conn);
+        }
         let mode = match &fetch.phase {
-            Phase::Fetching { mode } => *mode,
+            Phase::Fetching { mode } | Phase::Connecting { mode, .. } => *mode,
             _ => FetchMode::Edge,
         };
         if let Some((span, kind)) = fetch.retrieval_span {
@@ -770,13 +860,21 @@ impl ClientNode {
         let mut flag_horizon = now;
         if let Some((ip, ttl)) = answer {
             if !IpMap::is_dummy(ip) {
+                // Clamp like the AP does (ap.rs answers use `.max(1)`): a
+                // TTL-0 record would be cached with expiry == now, never
+                // consulted, and never purged.
                 self.dns_cache.insert(
                     domain.clone(),
-                    (ip, now + SimDuration::from_secs(ttl as u64)),
+                    (ip, now + SimDuration::from_secs(ttl.max(1) as u64)),
                 );
             }
+            // Dummy-IP (TTL 0) answers deliberately collapse the flag
+            // horizon to `now`: the flags serve only the waiting fetches.
             flag_horizon = now + SimDuration::from_secs(ttl as u64);
         }
+        // Opportunistic purge: without it, long runs grow the map by one
+        // dead entry per domain whose records expired.
+        self.dns_cache.retain(|_, (_, expires)| *expires > now);
 
         // Standalone mode: plain stage answered → issue the cache query.
         if self.config.strategy == Strategy::ApeCache
@@ -784,8 +882,7 @@ impl ClientNode {
             && !pending.cache_stage
             && response.cache_response_tuples().is_empty()
         {
-            let txn2 = self.next_txn;
-            self.next_txn = self.next_txn.wrapping_add(1).max(1);
+            let txn2 = self.alloc_txn();
             let hashes: Vec<UrlHash> = pending
                 .waiting
                 .iter()
@@ -804,7 +901,7 @@ impl ClientNode {
                 Msg::Dns(query),
             );
             ctx.schedule(
-                self.config.dns_timeout,
+                staggered(self.config.dns_timeout, txn2 as u64),
                 TimerToken::new(TOKEN_DNS_BASE | txn2 as u64),
             );
             return;
@@ -874,9 +971,59 @@ impl ClientNode {
             Msg::Dns(query),
         );
         ctx.schedule(
-            self.config.dns_timeout,
+            staggered(self.config.dns_timeout, txn as u64),
             TimerToken::new(TOKEN_DNS_BASE | txn as u64),
         );
+    }
+
+    /// The retrieval watchdog fired: if the attempt it guarded is still
+    /// in flight, abandon it and retry the whole lookup (backoff doubles),
+    /// or fail the fetch once the retry budget is spent.
+    fn handle_http_timeout(&mut self, ctx: &mut Context<'_, Msg>, req: RequestId, attempt: u32) {
+        let Some(fetch) = self.fetches.get(&req) else {
+            return; // Completed or failed already.
+        };
+        if fetch.attempt != attempt {
+            return; // A newer attempt owns the fetch now.
+        }
+        if matches!(fetch.phase, Phase::AwaitingDns) {
+            // The DNS retry machinery owns this phase; its give-up path
+            // fails the fetch, so a second watchdog would double-fail.
+            return;
+        }
+        ctx.set_span_ctx(fetch.root_span);
+        if fetch.attempt >= self.config.http_retries {
+            ctx.metrics().incr(names::CLIENT_HTTP_GIVE_UPS, 1);
+            self.fail_fetch(ctx, req);
+            return;
+        }
+        let fetch = self.fetches.get_mut(&req).expect("checked above");
+        fetch.attempt += 1;
+        fetch.retrieval_started = None;
+        if let Some(conn) = fetch.conn.take() {
+            self.conns.remove(&conn);
+        }
+        if let Some((span, kind)) = fetch.retrieval_span.take() {
+            ctx.span_end(span, kind.as_str());
+        }
+        ctx.metrics().incr(names::CLIENT_HTTP_RETRIES, 1);
+        match self.config.strategy {
+            Strategy::ApeCache => self.lookup_ape(ctx, req),
+            Strategy::EdgeCache => self.lookup_edge(ctx, req),
+            Strategy::WiCache => self.lookup_wicache(ctx, req),
+        }
+    }
+
+    /// Sizes of every pending-state map, labelled, for drain assertions in
+    /// tests and the fault harness. All zeros once a run has fully drained.
+    pub fn pending_counts(&self) -> [(&'static str, usize); 5] {
+        [
+            ("pending_dns", self.pending_dns.len()),
+            ("txn_domains", self.txn_domains.len()),
+            ("fetches", self.fetches.len()),
+            ("conns", self.conns.len()),
+            ("execs", self.execs.len()),
+        ]
     }
 
     fn handle_wicache_result(
@@ -885,7 +1032,13 @@ impl ClientNode {
         req: RequestId,
         holder: Option<Ipv4Addr>,
     ) {
-        if !self.fetches.contains_key(&req) {
+        // Only act while the fetch is actually waiting on the controller:
+        // with retries, a duplicate result for an abandoned lookup could
+        // otherwise open a second connection for the same fetch.
+        let Some(fetch) = self.fetches.get(&req) else {
+            return;
+        };
+        if !matches!(fetch.phase, Phase::AwaitingController) {
             return;
         }
         // Holder known → the object sits on our AP (single-AP testbed):
@@ -961,6 +1114,14 @@ impl Node<Msg> for ClientNode {
 
     fn on_timer(&mut self, ctx: &mut Context<'_, Msg>, token: TimerToken) {
         let raw = token.get();
+        if raw & TOKEN_HTTP_BASE != 0 {
+            self.handle_http_timeout(
+                ctx,
+                RequestId(raw & 0xFFFF_FFFF),
+                ((raw >> HTTP_ATTEMPT_SHIFT) & 0xFF) as u32,
+            );
+            return;
+        }
         if raw & TOKEN_DNS_BASE != 0 {
             self.handle_dns_timeout(ctx, (raw & 0xFFFF) as u16);
             return;
@@ -1089,5 +1250,20 @@ mod tests {
         );
         // Ratios derive from the merged counters, not an average of ratios.
         assert!((ab.hit_ratio() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn txn_allocation_skips_live_ids_across_wraparound() {
+        let mut c = client(Strategy::ApeCache);
+        // A long-lived in-flight query the wrapped counter must not reuse.
+        c.txn_domains
+            .insert(7, DomainName::parse("pinned.example").unwrap());
+        // Four trips around the 16-bit id space (>65k requests): the live
+        // txn is never clobbered and 0 stays reserved.
+        for _ in 0..262_144u32 {
+            let txn = c.alloc_txn();
+            assert_ne!(txn, 0, "txn 0 is reserved");
+            assert_ne!(txn, 7, "live txn reused after wraparound");
+        }
     }
 }

@@ -6,7 +6,7 @@
 //! instead of inline string literals means a typo fails to compile instead
 //! of silently reporting zero.
 
-pub use ape_simnet::keys::{NET_BYTES, NET_DROPPED, NET_MESSAGES};
+pub use ape_simnet::keys::{NET_BYTES, NET_DROPPED, NET_FAULT_DROPPED, NET_MESSAGES};
 
 // --- AP (access point) --------------------------------------------------
 
@@ -58,6 +58,14 @@ pub const AP_EVICT_FORCED: &str = "ap.evict_forced";
 pub const AP_EVICT_REPAIRS: &str = "ap.evict_repairs";
 /// Prefetch delegations started from client hints.
 pub const AP_PREFETCHES: &str = "ap.prefetches";
+/// Upstream DNS forwards retransmitted by the pending-forward reaper.
+pub const AP_DNS_UPSTREAM_RETRIES: &str = "ap.dns_upstream_retries";
+/// Pending forwards abandoned (client answered SERVFAIL) after the retry.
+pub const AP_DNS_UPSTREAM_GIVE_UPS: &str = "ap.dns_upstream_give_ups";
+/// Stuck delegated fetches restarted by the delegation reaper.
+pub const AP_DELEGATION_RETRIES: &str = "ap.delegation_retries";
+/// Delegations abandoned (waiters answered 504) after the retry.
+pub const AP_DELEGATION_REAPS: &str = "ap.delegation_reaps";
 /// AP CPU utilization samples, 0..1 (time series).
 pub const AP_CPU: &str = "ap.cpu";
 /// APE-CACHE memory on the AP, MB (time series).
@@ -79,6 +87,10 @@ pub const CLIENT_DNS_QUERIES: &str = "client.dns_queries";
 pub const CLIENT_DNS_RETRIES: &str = "client.dns_retries";
 /// DNS queries abandoned after the retry budget.
 pub const CLIENT_DNS_GIVE_UPS: &str = "client.dns_give_ups";
+/// HTTP/lookup requests re-issued after a response timeout.
+pub const CLIENT_HTTP_RETRIES: &str = "client.http_retries";
+/// Fetches abandoned after the HTTP retry budget.
+pub const CLIENT_HTTP_GIVE_UPS: &str = "client.http_give_ups";
 /// Wi-Cache controller lookups sent.
 pub const CLIENT_WICACHE_LOOKUPS: &str = "client.wicache_lookups";
 /// Fetches answered from the AP cache (client-observed).

@@ -1,0 +1,284 @@
+//! Deterministic link-fault injection.
+//!
+//! The paper's premise is the flaky last hop: §V evaluates APE-CACHE under
+//! real WiFi radio conditions where loss and latency spikes are the norm.
+//! [`LinkSpec::loss_probability`](crate::LinkSpec::loss_probability) models
+//! steady-state random loss; a [`FaultPlan`] layers *scheduled* disturbances
+//! on top — link-down windows, loss-rate bursts, and delay spikes, each
+//! scoped to one link and one simulated-time interval.
+//!
+//! A plan is pure data attached to the [`World`](crate::World) before the
+//! run: the same seed and plan always produce the same event sequence, so
+//! faulted runs stay inside the bitwise-determinism contract and replay
+//! exactly under [`check_determinism`](crate::World::check_determinism).
+//! An **empty** plan draws zero randomness and touches no metrics, so a
+//! world without faults is bit-identical to one built before this module
+//! existed.
+//!
+//! Fault windows apply where loss does: on node-initiated sends
+//! ([`Context::send`](crate::Context::send)/`send_after`). Messages injected
+//! with [`World::post`](crate::World::post) bypass faults, like they bypass
+//! loss — they seed the run from outside the network.
+
+use crate::node::NodeId;
+use crate::time::{SimDuration, SimTime};
+
+/// What a fault window does to traversals of its link.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultKind {
+    /// Every traversal during the window is dropped (partition).
+    Down,
+    /// Each traversal is independently dropped with this probability,
+    /// on top of the link's steady-state `loss_probability`.
+    Loss(f64),
+    /// Every traversal is delayed by this much extra one-way delay.
+    Delay(SimDuration),
+}
+
+/// One scheduled disturbance: a [`FaultKind`] active on the link between
+/// two nodes (both directions) over `[start, end)` of simulated time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultWindow {
+    a: NodeId,
+    b: NodeId,
+    start: SimTime,
+    end: SimTime,
+    kind: FaultKind,
+}
+
+impl FaultWindow {
+    fn covers(&self, from: NodeId, to: NodeId, now: SimTime) -> bool {
+        ((self.matches_directed(from, to)) || self.matches_directed(to, from))
+            && self.start <= now
+            && now < self.end
+    }
+
+    fn matches_directed(&self, from: NodeId, to: NodeId) -> bool {
+        self.a == from && self.b == to
+    }
+}
+
+/// The combined effect of every active fault window on one traversal.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkEffect {
+    /// The link is partitioned: drop unconditionally.
+    pub down: bool,
+    /// Combined burst-loss probability (independent of steady-state loss).
+    pub loss: f64,
+    /// Total extra one-way delay.
+    pub extra_delay: SimDuration,
+}
+
+impl LinkEffect {
+    /// The no-fault effect.
+    pub const NONE: LinkEffect = LinkEffect {
+        down: false,
+        loss: 0.0,
+        extra_delay: SimDuration::ZERO,
+    };
+}
+
+/// A deterministic schedule of link disturbances for one run.
+///
+/// Built before the run and attached with
+/// [`World::set_fault_plan`](crate::World::set_fault_plan). Windows may
+/// overlap: concurrent loss bursts compose as independent drop trials
+/// (`1 − ∏(1 − pᵢ)`), delay spikes add, and any active
+/// [`FaultKind::Down`] window wins outright.
+///
+/// # Examples
+///
+/// ```
+/// use ape_simnet::{FaultPlan, NodeId, SimDuration, SimTime};
+///
+/// let a = NodeId::from_raw(0);
+/// let b = NodeId::from_raw(1);
+/// let plan = FaultPlan::new()
+///     .link_down(a, b, SimTime::from_secs(10), SimTime::from_secs(12))
+///     .loss_burst(a, b, SimTime::from_secs(30), SimTime::from_secs(40), 0.25)
+///     .delay_spike(a, b, SimTime::from_secs(50), SimTime::from_secs(55),
+///                  SimDuration::from_millis(80));
+/// assert!(plan.effect(a, b, SimTime::from_secs(11)).down);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    windows: Vec<FaultWindow>,
+}
+
+impl FaultPlan {
+    /// Creates an empty plan (no disturbances).
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Whether the plan schedules no disturbances at all.
+    pub fn is_empty(&self) -> bool {
+        self.windows.is_empty()
+    }
+
+    /// Number of scheduled windows.
+    pub fn len(&self) -> usize {
+        self.windows.len()
+    }
+
+    /// Schedules a full partition of the `a`↔`b` link over `[start, end)`.
+    pub fn link_down(self, a: NodeId, b: NodeId, start: SimTime, end: SimTime) -> Self {
+        self.window(a, b, start, end, FaultKind::Down)
+    }
+
+    /// Schedules a burst of extra loss probability `p` on `a`↔`b` over
+    /// `[start, end)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not within `[0, 1)` — for certain loss use
+    /// [`link_down`](Self::link_down).
+    pub fn loss_burst(self, a: NodeId, b: NodeId, start: SimTime, end: SimTime, p: f64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&p),
+            "burst loss probability must be in [0,1)"
+        );
+        self.window(a, b, start, end, FaultKind::Loss(p))
+    }
+
+    /// Schedules an extra one-way delay on `a`↔`b` over `[start, end)`.
+    pub fn delay_spike(
+        self,
+        a: NodeId,
+        b: NodeId,
+        start: SimTime,
+        end: SimTime,
+        extra: SimDuration,
+    ) -> Self {
+        self.window(a, b, start, end, FaultKind::Delay(extra))
+    }
+
+    /// Adds one window of any kind.
+    pub fn window(
+        mut self,
+        a: NodeId,
+        b: NodeId,
+        start: SimTime,
+        end: SimTime,
+        kind: FaultKind,
+    ) -> Self {
+        assert!(start <= end, "fault window must not end before it starts");
+        self.windows.push(FaultWindow {
+            a,
+            b,
+            start,
+            end,
+            kind,
+        });
+        self
+    }
+
+    /// Resolves the combined effect of all windows active on the
+    /// `from`→`to` traversal at time `now`.
+    ///
+    /// Windows are symmetric (either direction matches). A linear scan is
+    /// deliberate: plans are small (tens of windows) and scan order never
+    /// affects the result, keeping this path determinism-safe.
+    pub fn effect(&self, from: NodeId, to: NodeId, now: SimTime) -> LinkEffect {
+        if self.windows.is_empty() {
+            return LinkEffect::NONE;
+        }
+        let mut effect = LinkEffect::NONE;
+        let mut pass = 1.0f64;
+        for w in &self.windows {
+            if !w.covers(from, to, now) {
+                continue;
+            }
+            match w.kind {
+                FaultKind::Down => effect.down = true,
+                FaultKind::Loss(p) => pass *= 1.0 - p,
+                FaultKind::Delay(extra) => effect.extra_delay += extra,
+            }
+        }
+        effect.loss = 1.0 - pass;
+        effect
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids() -> (NodeId, NodeId, NodeId) {
+        (
+            NodeId::from_raw(0),
+            NodeId::from_raw(1),
+            NodeId::from_raw(2),
+        )
+    }
+
+    #[test]
+    fn empty_plan_has_no_effect() {
+        let (a, b, _) = ids();
+        let plan = FaultPlan::new();
+        assert!(plan.is_empty());
+        assert_eq!(plan.effect(a, b, SimTime::from_secs(5)), LinkEffect::NONE);
+    }
+
+    #[test]
+    fn down_window_is_half_open_and_symmetric() {
+        let (a, b, c) = ids();
+        let plan = FaultPlan::new().link_down(a, b, SimTime::from_secs(10), SimTime::from_secs(20));
+        assert!(!plan.effect(a, b, SimTime::from_nanos(9_999_999_999)).down);
+        assert!(plan.effect(a, b, SimTime::from_secs(10)).down);
+        assert!(plan.effect(b, a, SimTime::from_secs(19)).down);
+        assert!(!plan.effect(a, b, SimTime::from_secs(20)).down);
+        // Other links are untouched.
+        assert!(!plan.effect(a, c, SimTime::from_secs(15)).down);
+    }
+
+    #[test]
+    fn overlapping_loss_bursts_compose_independently() {
+        let (a, b, _) = ids();
+        let plan = FaultPlan::new()
+            .loss_burst(a, b, SimTime::ZERO, SimTime::from_secs(10), 0.5)
+            .loss_burst(a, b, SimTime::from_secs(5), SimTime::from_secs(10), 0.5);
+        let early = plan.effect(a, b, SimTime::from_secs(1));
+        assert!((early.loss - 0.5).abs() < 1e-12);
+        let late = plan.effect(a, b, SimTime::from_secs(7));
+        assert!((late.loss - 0.75).abs() < 1e-12, "loss {}", late.loss);
+    }
+
+    #[test]
+    fn delay_spikes_add() {
+        let (a, b, _) = ids();
+        let plan = FaultPlan::new()
+            .delay_spike(
+                a,
+                b,
+                SimTime::ZERO,
+                SimTime::from_secs(10),
+                SimDuration::from_millis(30),
+            )
+            .delay_spike(
+                a,
+                b,
+                SimTime::ZERO,
+                SimTime::from_secs(10),
+                SimDuration::from_millis(20),
+            );
+        let effect = plan.effect(b, a, SimTime::from_secs(2));
+        assert_eq!(effect.extra_delay, SimDuration::from_millis(50));
+        assert!(!effect.down);
+        assert_eq!(effect.loss, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "burst loss probability")]
+    fn loss_burst_rejects_one() {
+        let (a, b, _) = ids();
+        let _ = FaultPlan::new().loss_burst(a, b, SimTime::ZERO, SimTime::from_secs(1), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not end before")]
+    fn inverted_window_rejected() {
+        let (a, b, _) = ids();
+        let _ = FaultPlan::new().link_down(a, b, SimTime::from_secs(2), SimTime::from_secs(1));
+    }
+}

@@ -52,6 +52,7 @@
 
 mod determinism;
 mod event;
+mod fault;
 mod link;
 mod metrics;
 mod node;
@@ -62,6 +63,7 @@ mod trace;
 mod world;
 
 pub use determinism::{DeterminismReport, Fingerprint, PerturbedRun};
+pub use fault::{FaultKind, FaultPlan, FaultWindow, LinkEffect};
 pub use link::{LinkSpec, Topology};
 pub use metrics::{keys, Histogram, Metrics, TimeSeries};
 pub use node::{AsAny, Message, Node, NodeId, TimerToken};

@@ -22,6 +22,11 @@ pub mod keys {
     pub const NET_BYTES: &str = "net.bytes";
     /// Messages dropped by link loss.
     pub const NET_DROPPED: &str = "net.dropped";
+    /// Messages dropped by an injected fault window (link-down or loss
+    /// burst from a [`FaultPlan`](crate::FaultPlan)); disjoint from
+    /// [`NET_DROPPED`] so experiments can tell scheduled faults from
+    /// steady-state radio loss.
+    pub const NET_FAULT_DROPPED: &str = "net.fault_dropped";
 }
 
 /// A set of latency samples with percentile queries.

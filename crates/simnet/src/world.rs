@@ -2,6 +2,7 @@
 
 use crate::determinism::{perturbation_key, DeterminismReport, Fingerprint, PerturbedRun};
 use crate::event::{EventKind, EventQueue};
+use crate::fault::FaultPlan;
 use crate::link::{LinkSpec, Topology};
 use crate::metrics::{keys, Metrics};
 use crate::node::{Message, Node, NodeId, TimerToken};
@@ -40,6 +41,7 @@ pub struct Context<'a, M: Message> {
     self_id: NodeId,
     queue: &'a mut EventQueue<M>,
     topology: &'a Topology,
+    faults: &'a FaultPlan,
     rng: &'a mut SimRng,
     metrics: &'a mut Metrics,
     trace: &'a mut TraceSink,
@@ -91,6 +93,22 @@ impl<'a, M: Message> Context<'a, M> {
             .topology
             .link(self.self_id, to)
             .unwrap_or_else(|| panic!("no link {} -> {}", self.self_id, to));
+        // Fault windows are evaluated at send time. The empty-plan path
+        // draws no randomness and records no metrics, so a world without a
+        // FaultPlan is bit-identical to one predating fault injection.
+        let mut fault_delay = SimDuration::ZERO;
+        if !self.faults.is_empty() {
+            let effect = self.faults.effect(self.self_id, to, self.now);
+            if effect.down {
+                self.metrics.incr(keys::NET_FAULT_DROPPED, 1);
+                return;
+            }
+            if effect.loss > 0.0 && self.rng.chance(effect.loss) {
+                self.metrics.incr(keys::NET_FAULT_DROPPED, 1);
+                return;
+            }
+            fault_delay = effect.extra_delay;
+        }
         if link.sample_loss(self.rng) {
             self.metrics.incr(keys::NET_DROPPED, 1);
             return;
@@ -99,7 +117,7 @@ impl<'a, M: Message> Context<'a, M> {
         self.metrics.incr(keys::NET_MESSAGES, 1);
         self.metrics.incr(keys::NET_BYTES, msg.wire_size() as u64);
         self.queue.push(
-            self.now + local_delay + owd,
+            self.now + local_delay + owd + fault_delay,
             EventKind::Deliver {
                 to,
                 from: self.self_id,
@@ -306,6 +324,7 @@ pub struct World<M: Message> {
     nodes: Vec<Option<Box<dyn Node<M>>>>,
     names: Vec<String>,
     topology: Topology,
+    faults: FaultPlan,
     rng: SimRng,
     metrics: Metrics,
     trace: TraceSink,
@@ -324,6 +343,7 @@ impl<M: Message> World<M> {
             nodes: Vec::new(),
             names: Vec::new(),
             topology: Topology::new(),
+            faults: FaultPlan::new(),
             rng: SimRng::seed_from(seed),
             metrics: Metrics::new(),
             trace: TraceSink::default(),
@@ -403,6 +423,18 @@ impl<M: Message> World<M> {
             })
             .collect();
         DeterminismReport { baseline, runs }
+    }
+
+    /// Attaches a deterministic fault schedule to the run. Normally called
+    /// once, before the run starts; the plan applies to every node-initiated
+    /// send from then on ([`post`](Self::post) bypasses faults, like loss).
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.faults = plan;
+    }
+
+    /// The active fault schedule (empty by default).
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.faults
     }
 
     /// Configures the trace sink (enable/disable, capacity, sampling).
@@ -568,6 +600,7 @@ impl<M: Message> World<M> {
                 self_id: id,
                 queue: &mut self.queue,
                 topology: &self.topology,
+                faults: &self.faults,
                 rng: &mut self.rng,
                 metrics: &mut self.metrics,
                 trace: &mut self.trace,
@@ -837,6 +870,88 @@ mod tests {
             "dropped {dropped}"
         );
         assert_eq!(w.node::<Counter>(b).received + dropped, 1000);
+    }
+
+    #[test]
+    fn fault_link_down_drops_node_sends() {
+        use crate::fault::FaultPlan;
+        struct Burst {
+            peer: Option<NodeId>,
+        }
+        impl Node<Num> for Burst {
+            fn on_start(&mut self, ctx: &mut Context<'_, Num>) {
+                if let Some(peer) = self.peer {
+                    for _ in 0..10 {
+                        ctx.send(peer, Num(0));
+                    }
+                }
+            }
+            fn on_message(&mut self, _: &mut Context<'_, Num>, _: NodeId, _: Num) {}
+        }
+        let mut w = World::new(3);
+        let b = w.add_node("sink", Counter::new());
+        let a = w.add_node("burst", Burst { peer: Some(b) });
+        w.connect(a, b, LinkSpec::new(1, SimDuration::from_millis(1)));
+        w.set_fault_plan(FaultPlan::new().link_down(a, b, SimTime::ZERO, SimTime::from_secs(1)));
+        w.run_to_idle();
+        assert_eq!(w.node::<Counter>(b).received, 0);
+        assert_eq!(w.metrics().counter(keys::NET_FAULT_DROPPED), 10);
+        assert_eq!(w.metrics().counter(keys::NET_DROPPED), 0);
+        assert_eq!(w.metrics().counter(keys::NET_MESSAGES), 0);
+    }
+
+    #[test]
+    fn fault_delay_spike_postpones_delivery() {
+        use crate::fault::FaultPlan;
+        struct One {
+            peer: Option<NodeId>,
+        }
+        impl Node<Num> for One {
+            fn on_start(&mut self, ctx: &mut Context<'_, Num>) {
+                if let Some(peer) = self.peer {
+                    ctx.send(peer, Num(0));
+                }
+            }
+            fn on_message(&mut self, _: &mut Context<'_, Num>, _: NodeId, _: Num) {}
+        }
+        let mut w = World::new(3);
+        let b = w.add_node("sink", Counter::new());
+        let a = w.add_node("one", One { peer: Some(b) });
+        w.connect(a, b, LinkSpec::new(1, SimDuration::from_millis(1)));
+        w.set_fault_plan(FaultPlan::new().delay_spike(
+            a,
+            b,
+            SimTime::ZERO,
+            SimTime::from_secs(1),
+            SimDuration::from_millis(5),
+        ));
+        w.run_to_idle();
+        assert_eq!(w.node::<Counter>(b).received, 1);
+        // 1 ms propagation + 80 ns transfer (8 B at 100 MB/s) + 5 ms spike.
+        assert_eq!(w.now(), SimTime::from_nanos(1_000_000 + 80 + 5_000_000));
+    }
+
+    #[test]
+    fn empty_fault_plan_is_bitwise_invisible() {
+        let fp = |with_plan: bool| {
+            let mut w = World::new(7);
+            let a = w.add_node("a", Counter::new());
+            let b = w.add_node("b", Counter::new());
+            w.connect(
+                a,
+                b,
+                LinkSpec::new(1, SimDuration::from_millis(1))
+                    .jitter_mean(SimDuration::from_micros(300))
+                    .loss_probability(0.2),
+            );
+            if with_plan {
+                w.set_fault_plan(crate::fault::FaultPlan::new());
+            }
+            w.post(a, b, Num(40));
+            w.run_to_idle();
+            w.fingerprint()
+        };
+        assert_eq!(fp(false), fp(true));
     }
 
     #[test]
