@@ -18,6 +18,7 @@ mod faults;
 mod lookup_overhead;
 pub mod microbench;
 pub mod progmodel;
+mod simworld_bench;
 mod tracing;
 
 pub use evict_bench::bench_evict;
@@ -27,6 +28,7 @@ pub use experiments::{
 };
 pub use faults::faults;
 pub use lookup_overhead::fig11b;
+pub use simworld_bench::bench_simworld;
 pub use tracing::{trace_artifacts, traced_config, TraceArtifacts};
 
 use apecache::measure_table1;

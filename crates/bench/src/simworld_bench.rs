@@ -1,0 +1,290 @@
+//! `repro bench-simworld` — event-queue throughput sweep.
+//!
+//! Sweeps queue populations {1k, 10k, 100k, 1M} (quick mode keeps the two
+//! small cells for CI smoke), timing a fill-then-drain of a synthetic but
+//! simulation-shaped schedule — µs-scale inter-event spacing with tie
+//! bursts and occasional far-future timers — through the timing wheel
+//! ([`ape_simnet::TimerWheel`]) and through the frozen pre-wheel binary
+//! heap ([`ape_simnet::reference::ReferenceEventQueue`]). Both engines see
+//! the identical schedule; before any timing, their full pop sequences are
+//! asserted equal, so the reported speedup is against the code that
+//! actually shipped and on a workload it provably agrees on.
+//!
+//! Per cell the sweep reports push and pop cost per event, pop throughput,
+//! peak queue depth and approximate buffer bytes per queued event. Results
+//! go to `BENCH_simworld.json` at the repo root, next to `BENCH_evict.json`
+//! (PR 4's eviction sweep); `EXPERIMENTS.md` tracks the trajectory.
+//!
+//! The schedule is deterministic in `--seed`; only wall-clock timings vary
+//! run to run (the bench crate is the one place wall-clock is permitted).
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use ape_simnet::reference::ReferenceEventQueue;
+use ape_simnet::{SimRng, SimTime, TimerWheel};
+
+use crate::ReproOptions;
+
+/// Queue populations swept in a full run.
+const SWEEP_FULL: [usize; 4] = [1_000, 10_000, 100_000, 1_000_000];
+
+/// Quick-mode subset (CI smoke: small sizes only).
+const SWEEP_QUICK: [usize; 2] = [1_000, 10_000];
+
+/// Mean inter-event spacing of the synthetic schedule in nanoseconds.
+/// µs-scale link delays dominate simulated traffic (the default testbed's
+/// WiFi hop alone is ~800 µs RTT across many in-flight exchanges).
+const MEAN_SPACING_NS: u64 = 4_096;
+
+/// One `(engine, population)` sweep cell.
+struct Cell {
+    engine: &'static str,
+    events: usize,
+    /// Median per-event cost of the fill phase.
+    push_ns_per_event: u64,
+    /// Median per-event cost of the drain phase.
+    pop_ns_per_event: u64,
+    /// Drain throughput implied by the median pop cost.
+    pops_per_sec: u64,
+    /// High-water mark of queue length (equals `events` here).
+    peak_depth: usize,
+    /// Approximate queue buffer bytes per queued event at peak.
+    bytes_per_event: u64,
+}
+
+/// Builds the synthetic schedule for a cell: `(timestamp, seq)` pairs.
+///
+/// One event in 64 re-uses the previous timestamp (a tie burst: fan-out
+/// scheduled at one instant), one in 64 is a seconds-out timer (TTL expiry
+/// and reap-tick territory, which crosses wheel levels), and the rest land
+/// uniformly in a window sized for `MEAN_SPACING_NS` average spacing.
+fn schedule(n: usize, seed: u64) -> Vec<(SimTime, u64)> {
+    let mut rng = SimRng::seed_from(seed ^ n as u64);
+    let window = n as u64 * MEAN_SPACING_NS;
+    let mut prev = 0u64;
+    (0..n)
+        .map(|i| {
+            let at = match i % 64 {
+                0 => prev,
+                1 => rng.uniform_u64(1_000_000_000, 5_000_000_000),
+                _ => rng.uniform_u64(0, window),
+            };
+            prev = at;
+            (SimTime::from_nanos(at), i as u64)
+        })
+        .collect()
+}
+
+/// Timings of one fill-then-drain pass.
+struct Pass {
+    push_ns: u64,
+    pop_ns: u64,
+    bytes_at_peak: usize,
+    peak_depth: usize,
+}
+
+fn run_wheel_pass(sched: &[(SimTime, u64)]) -> Pass {
+    let mut q = TimerWheel::new();
+    let t = Instant::now();
+    for &(at, seq) in sched {
+        q.push(at, seq, seq);
+    }
+    let push_ns = t.elapsed().as_nanos() as u64;
+    let bytes_at_peak = q.approx_bytes();
+    let peak_depth = q.peak_len();
+    let t = Instant::now();
+    while let Some(e) = q.pop() {
+        std::hint::black_box(e);
+    }
+    let pop_ns = t.elapsed().as_nanos() as u64;
+    Pass {
+        push_ns,
+        pop_ns,
+        bytes_at_peak,
+        peak_depth,
+    }
+}
+
+fn run_heap_pass(sched: &[(SimTime, u64)]) -> Pass {
+    let mut q = ReferenceEventQueue::new();
+    let t = Instant::now();
+    for &(at, seq) in sched {
+        q.push(at, seq, seq);
+    }
+    let push_ns = t.elapsed().as_nanos() as u64;
+    let bytes_at_peak = q.approx_bytes();
+    let peak_depth = q.peak_len();
+    let t = Instant::now();
+    while let Some(e) = q.pop() {
+        std::hint::black_box(e);
+    }
+    let pop_ns = t.elapsed().as_nanos() as u64;
+    Pass {
+        push_ns,
+        pop_ns,
+        bytes_at_peak,
+        peak_depth,
+    }
+}
+
+/// Asserts both engines pop the cell's schedule identically (untimed).
+fn assert_engines_agree(sched: &[(SimTime, u64)]) {
+    let mut wheel = TimerWheel::new();
+    let mut heap = ReferenceEventQueue::new();
+    for &(at, seq) in sched {
+        wheel.push(at, seq, seq);
+        heap.push(at, seq, seq);
+    }
+    loop {
+        let (w, h) = (wheel.pop(), heap.pop());
+        assert_eq!(w, h, "timing wheel diverged from the reference heap");
+        if w.is_none() {
+            break;
+        }
+    }
+}
+
+fn median(mut samples: Vec<u64>) -> u64 {
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+fn run_cell(
+    engine: &'static str,
+    sched: &[(SimTime, u64)],
+    trials: usize,
+    pass: fn(&[(SimTime, u64)]) -> Pass,
+) -> Cell {
+    // Warm-up pass: faults in the schedule and grows allocator arenas.
+    std::hint::black_box(pass(sched));
+    let mut pushes = Vec::with_capacity(trials);
+    let mut pops = Vec::with_capacity(trials);
+    let mut bytes_at_peak = 0;
+    let mut peak_depth = 0;
+    for _ in 0..trials {
+        let p = pass(sched);
+        pushes.push(p.push_ns);
+        pops.push(p.pop_ns);
+        bytes_at_peak = p.bytes_at_peak;
+        peak_depth = p.peak_depth;
+    }
+    let n = sched.len() as u64;
+    let pop_ns_per_event = (median(pops) / n).max(1);
+    Cell {
+        engine,
+        events: sched.len(),
+        push_ns_per_event: (median(pushes) / n).max(1),
+        pop_ns_per_event,
+        pops_per_sec: 1_000_000_000 / pop_ns_per_event,
+        peak_depth,
+        bytes_per_event: bytes_at_peak as u64 / n,
+    }
+}
+
+/// Pop-cost ratio of the heap cell over the wheel cell of the same size.
+fn speedup(cells: &[Cell], events: usize) -> Option<f64> {
+    let of = |engine| {
+        cells
+            .iter()
+            .find(|c| c.engine == engine && c.events == events)
+            .map(|c| c.pop_ns_per_event as f64)
+    };
+    Some(of("heap")? / of("wheel")?)
+}
+
+fn render_json(cells: &[Cell], sizes: &[usize], trials: usize, seed: u64, quick: bool) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"schema\": \"ape-bench/simworld/v1\",");
+    let _ = writeln!(out, "  \"seed\": {seed},");
+    let _ = writeln!(out, "  \"quick\": {quick},");
+    let _ = writeln!(out, "  \"trials_per_cell\": {trials},");
+    out.push_str("  \"cells\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"engine\": \"{}\", \"events\": {}, \"push_ns_per_event\": {}, \
+             \"pop_ns_per_event\": {}, \"pops_per_sec\": {}, \"peak_depth\": {}, \
+             \"bytes_per_event\": {}",
+            c.engine,
+            c.events,
+            c.push_ns_per_event,
+            c.pop_ns_per_event,
+            c.pops_per_sec,
+            c.peak_depth,
+            c.bytes_per_event
+        );
+        if c.engine == "wheel" {
+            let _ = write!(
+                out,
+                ", \"pop_speedup_vs_heap\": {:.2}",
+                speedup(cells, c.events).unwrap_or(0.0)
+            );
+        } else {
+            out.push_str(", \"pop_speedup_vs_heap\": null");
+        }
+        out.push_str(if i + 1 < cells.len() { "},\n" } else { "}\n" });
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"sizes\": [");
+    for (i, s) in sizes.iter().enumerate() {
+        let _ = write!(out, "{}{s}", if i > 0 { ", " } else { "" });
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+/// Runs the event-queue throughput sweep, writes `BENCH_simworld.json` at
+/// the repo root, and returns a human-readable summary.
+pub fn bench_simworld(opts: &ReproOptions) -> String {
+    let quick = opts.micro_trials < ReproOptions::default().micro_trials;
+    let sizes: &[usize] = if quick { &SWEEP_QUICK } else { &SWEEP_FULL };
+    let trials = (opts.micro_trials / 8).clamp(3, 25);
+
+    let mut cells = Vec::new();
+    for &n in sizes {
+        let sched = schedule(n, opts.seed);
+        assert_engines_agree(&sched);
+        cells.push(run_cell("wheel", &sched, trials, run_wheel_pass));
+        cells.push(run_cell("heap", &sched, trials, run_heap_pass));
+    }
+
+    let json = render_json(&cells, sizes, trials, opts.seed, quick);
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_simworld.json");
+    let note = match std::fs::write(&path, &json) {
+        Ok(()) => format!("wrote {}", path.display()),
+        Err(err) => format!("FAILED to write {}: {err}", path.display()),
+    };
+
+    let mut out = String::from(
+        "Simulator event-queue throughput: timing wheel vs frozen heap\n\
+         (fill-then-drain of an identical schedule; medians over trials)\n\n",
+    );
+    let _ = writeln!(
+        out,
+        "{:<7} {:>9} {:>10} {:>9} {:>13} {:>10} {:>9} {:>9}",
+        "engine", "events", "push ns/e", "pop ns/e", "pops/sec", "peak", "bytes/e", "speedup"
+    );
+    for c in &cells {
+        let _ = writeln!(
+            out,
+            "{:<7} {:>9} {:>10} {:>9} {:>13} {:>10} {:>9} {:>9}",
+            c.engine,
+            c.events,
+            c.push_ns_per_event,
+            c.pop_ns_per_event,
+            c.pops_per_sec,
+            c.peak_depth,
+            c.bytes_per_event,
+            if c.engine == "wheel" {
+                speedup(&cells, c.events)
+                    .map(|s| format!("{s:.2}x"))
+                    .unwrap_or_else(|| "-".into())
+            } else {
+                "-".into()
+            },
+        );
+    }
+    let _ = writeln!(out, "\n{note}");
+    out
+}

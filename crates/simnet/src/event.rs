@@ -1,12 +1,17 @@
 //! The event queue driving the discrete-event loop.
-
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+//!
+//! Scheduling order is the total order on `(at, seq)`: time first, then the
+//! tie-break key. Storage is a hierarchical timing wheel
+//! ([`crate::wheel::TimerWheel`]); the pre-wheel binary heap lives on in
+//! [`crate::reference`] as a differential-testing oracle that this queue
+//! can mirror every operation against (see [`EventQueue::enable_oracle`]).
 
 use crate::node::{NodeId, TimerToken};
+use crate::reference::ReferenceEventQueue;
 use crate::rng::mix64;
 use crate::time::SimTime;
 use crate::trace::SpanCtx;
+use crate::wheel::TimerWheel;
 
 /// What happens when an event fires.
 ///
@@ -37,47 +42,35 @@ pub(crate) struct ScheduledEvent<M> {
     /// scheduling sequence number (FIFO among ties); under a perturbation key
     /// it is a bijective scramble of that number, so ties pop in a seeded
     /// permutation while distinct-timestamp ordering is untouched.
+    ///
+    /// The dispatch loop orders on it implicitly (inside the wheel); it is
+    /// surfaced here for tests and diagnostics only.
+    #[cfg_attr(not(test), allow(dead_code))]
     pub seq: u64,
     pub kind: EventKind<M>,
-}
-
-impl<M> PartialEq for ScheduledEvent<M> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-
-impl<M> Eq for ScheduledEvent<M> {}
-
-impl<M> PartialOrd for ScheduledEvent<M> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl<M> Ord for ScheduledEvent<M> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Reversed: BinaryHeap is a max-heap but we need earliest-first.
-        (other.at, other.seq).cmp(&(self.at, self.seq))
-    }
 }
 
 /// Earliest-first queue of scheduled events.
 #[derive(Debug)]
 pub(crate) struct EventQueue<M> {
-    heap: BinaryHeap<ScheduledEvent<M>>,
+    wheel: TimerWheel<EventKind<M>>,
     next_seq: u64,
     /// Schedule-perturbation key (see [`World::set_tie_perturbation`]
     /// (crate::World::set_tie_perturbation)). `None` means FIFO tie-breaks.
     perturbation: Option<u64>,
+    /// Optional mirror of every push/pop against the frozen heap
+    /// implementation; a divergence panics at the first wrong pop. Items
+    /// are not mirrored — `(at, seq)` alone pins the schedule order.
+    oracle: Option<ReferenceEventQueue<()>>,
 }
 
 impl<M> Default for EventQueue<M> {
     fn default() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
+            wheel: TimerWheel::new(),
             next_seq: 0,
             perturbation: None,
+            oracle: None,
         }
     }
 }
@@ -98,6 +91,19 @@ impl<M> EventQueue<M> {
         self.perturbation
     }
 
+    /// Mirrors all subsequent pushes and pops against the frozen
+    /// [`ReferenceEventQueue`]; every pop asserts both engines agree on
+    /// `(at, seq)`. Meant for tests — it doubles queue work.
+    pub fn enable_oracle(&mut self) {
+        if self.oracle.is_none() {
+            assert!(
+                self.wheel.is_empty(),
+                "enable the queue oracle before any event is scheduled"
+            );
+            self.oracle = Some(ReferenceEventQueue::new());
+        }
+    }
+
     pub fn push(&mut self, at: SimTime, kind: EventKind<M>) {
         let seq = self.next_seq;
         self.next_seq += 1;
@@ -105,23 +111,35 @@ impl<M> EventQueue<M> {
             Some(key) => mix64(seq ^ key),
             None => seq,
         };
-        self.heap.push(ScheduledEvent { at, seq, kind });
+        if let Some(oracle) = &mut self.oracle {
+            oracle.push(at, seq, ());
+        }
+        self.wheel.push(at, seq, kind);
     }
 
     pub fn pop(&mut self) -> Option<ScheduledEvent<M>> {
-        self.heap.pop()
+        let popped = self.wheel.pop();
+        if let Some(oracle) = &mut self.oracle {
+            let expect = oracle.pop().map(|(at, seq, ())| (at, seq));
+            assert_eq!(
+                popped.as_ref().map(|&(at, seq, _)| (at, seq)),
+                expect,
+                "timing wheel diverged from the reference heap"
+            );
+        }
+        popped.map(|(at, seq, kind)| ScheduledEvent { at, seq, kind })
     }
 
-    pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|e| e.at)
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        self.wheel.peek_time()
     }
 
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.wheel.len()
     }
 
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.wheel.is_empty()
     }
 }
 
@@ -208,5 +226,24 @@ mod tests {
         q.push(SimTime::from_millis(2), deliver(0));
         assert_eq!(q.peek_time(), Some(SimTime::from_millis(2)));
         assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn oracle_mirrors_a_perturbed_schedule() {
+        let mut q = EventQueue::new();
+        q.enable_oracle();
+        q.set_perturbation(Some(0xDEAD_BEEF));
+        for i in 0..50u32 {
+            q.push(
+                SimTime::from_nanos(((i as u64 * 131) % 900) * 1_000),
+                deliver(i),
+            );
+        }
+        // Every pop is checked against the heap internally.
+        let mut n = 0;
+        while q.pop().is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 50);
     }
 }

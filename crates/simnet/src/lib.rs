@@ -56,10 +56,12 @@ mod fault;
 mod link;
 mod metrics;
 mod node;
+pub mod reference;
 mod resource;
 mod rng;
 mod time;
 mod trace;
+mod wheel;
 mod world;
 
 pub use determinism::{DeterminismReport, Fingerprint, PerturbedRun};
@@ -71,4 +73,5 @@ pub use resource::{CpuMeter, MemMeter};
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};
 pub use trace::{SpanCtx, SpanId, TraceConfig, TraceEvent, TraceId, TracePhase, TraceSink};
+pub use wheel::TimerWheel;
 pub use world::{Context, RunReport, StopReason, World};

@@ -76,11 +76,17 @@ impl LinkSpec {
 
     /// Sets the probability that a single traversal drops the message.
     ///
+    /// `p == 1.0` is valid and models an always-lossy link (useful as a
+    /// degenerate fault fixture): every traversal is dropped.
+    ///
     /// # Panics
     ///
-    /// Panics if `p` is not within `[0, 1)`.
+    /// Panics if `p` is not a finite value within `[0, 1]`.
     pub fn loss_probability(mut self, p: f64) -> Self {
-        assert!((0.0..1.0).contains(&p), "loss probability must be in [0,1)");
+        assert!(
+            p.is_finite() && (0.0..=1.0).contains(&p),
+            "loss probability must be in [0,1]"
+        );
         self.loss_probability = p;
         self
     }
@@ -221,9 +227,25 @@ mod tests {
     }
 
     #[test]
+    fn loss_probability_accepts_one_as_always_lossy() {
+        let l = LinkSpec::new(1, SimDuration::ZERO).loss_probability(1.0);
+        let mut r = rng();
+        assert!((0..1_000).all(|_| l.sample_loss(&mut r)));
+        // The other boundary stays lossless.
+        let l = LinkSpec::new(1, SimDuration::ZERO).loss_probability(0.0);
+        assert!((0..1_000).all(|_| !l.sample_loss(&mut r)));
+    }
+
+    #[test]
     #[should_panic(expected = "loss probability")]
-    fn loss_probability_rejects_one() {
-        let _ = LinkSpec::new(1, SimDuration::ZERO).loss_probability(1.0);
+    fn loss_probability_rejects_above_one() {
+        let _ = LinkSpec::new(1, SimDuration::ZERO).loss_probability(1.0 + f64::EPSILON);
+    }
+
+    #[test]
+    #[should_panic(expected = "loss probability")]
+    fn loss_probability_rejects_nan() {
+        let _ = LinkSpec::new(1, SimDuration::ZERO).loss_probability(f64::NAN);
     }
 
     #[test]

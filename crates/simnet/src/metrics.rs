@@ -50,6 +50,8 @@ pub mod keys {
 pub struct Histogram {
     samples: Vec<f64>,
     sorted: bool,
+    /// Non-finite observations rejected by [`record`](Self::record).
+    dropped: u64,
 }
 
 impl Histogram {
@@ -58,12 +60,28 @@ impl Histogram {
         Histogram::default()
     }
 
-    /// Records one observation. Non-finite values are ignored.
+    /// Records one observation.
+    ///
+    /// A non-finite value is a bug in the producer (latencies and meter
+    /// readings are always finite): debug builds panic on one, release
+    /// builds drop it and count it in
+    /// [`dropped_samples`](Self::dropped_samples) so the corruption stays
+    /// visible instead of poisoning [`quantile`](Self::quantile).
     pub fn record(&mut self, value: f64) {
         if value.is_finite() {
             self.samples.push(value);
             self.sorted = false;
+        } else {
+            debug_assert!(false, "non-finite histogram sample: {value}");
+            self.dropped += 1;
         }
+    }
+
+    /// Number of non-finite observations rejected by
+    /// [`record`](Self::record) (release builds only; debug builds panic
+    /// at the offending `record` call instead).
+    pub fn dropped_samples(&self) -> u64 {
+        self.dropped
     }
 
     /// Number of recorded observations.
@@ -131,8 +149,11 @@ impl Histogram {
             return 0.0;
         }
         if !self.sorted {
-            self.samples
-                .sort_by(|a, b| a.partial_cmp(b).expect("non-finite sample"));
+            // `total_cmp` is a total order on f64, so sorting cannot panic
+            // even if a non-finite sample ever slipped in. (`record`
+            // rejects those, so in practice the order matches the old
+            // `partial_cmp` sort exactly.)
+            self.samples.sort_by(f64::total_cmp);
             self.sorted = true;
         }
         let n = self.samples.len();
@@ -160,10 +181,12 @@ impl Histogram {
         &self.samples
     }
 
-    /// Merges another histogram's samples into this one.
+    /// Merges another histogram's samples (and dropped-sample count) into
+    /// this one.
     pub fn merge(&mut self, other: &Histogram) {
         self.samples.extend_from_slice(&other.samples);
         self.sorted = false;
+        self.dropped += other.dropped;
     }
 }
 
@@ -462,13 +485,28 @@ mod tests {
     }
 
     #[test]
-    fn histogram_ignores_non_finite() {
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "non-finite histogram sample")]
+    fn histogram_panics_on_non_finite_in_debug() {
+        let mut h = Histogram::new();
+        h.record(f64::NAN);
+    }
+
+    #[test]
+    #[cfg(not(debug_assertions))]
+    fn histogram_drops_and_counts_non_finite_in_release() {
         let mut h = Histogram::new();
         h.record(f64::NAN);
         h.record(f64::INFINITY);
         h.record(2.0);
         assert_eq!(h.count(), 1);
         assert_eq!(h.mean(), 2.0);
+        assert_eq!(h.dropped_samples(), 2);
+        // The quantile path stays panic-free regardless.
+        assert_eq!(h.p50(), 2.0);
+        let mut merged = Histogram::new();
+        merged.merge(&h);
+        assert_eq!(merged.dropped_samples(), 2);
     }
 
     #[test]

@@ -1,0 +1,146 @@
+//! Frozen pre-wheel event queue, kept as a differential-testing oracle.
+//!
+//! This is the `BinaryHeap` scheduler the simulator shipped with before the
+//! timing-wheel rewrite ([`crate::TimerWheel`]), re-shaped to the same
+//! generic `(at, seq, item)` interface. Like
+//! `ape_cachealg::reference::ReferencePacm`, it exists so the optimized
+//! engine is checked against the code that actually shipped:
+//!
+//! * the wheel's unit tests and the `wheel_differential` property suite pop
+//!   randomized schedules through both queues and assert identical
+//!   sequences;
+//! * [`World::enable_queue_oracle`](crate::World::enable_queue_oracle)
+//!   mirrors every live push/pop against this heap during a run;
+//! * `repro bench-simworld` times the wheel against it and reports the
+//!   speedup in `BENCH_simworld.json`.
+//!
+//! Do not "improve" this module — its value is that it stays frozen.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+#[derive(Debug)]
+struct RefEntry<T> {
+    at: SimTime,
+    seq: u64,
+    item: T,
+}
+
+impl<T> PartialEq for RefEntry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<T> Eq for RefEntry<T> {}
+
+impl<T> PartialOrd for RefEntry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<T> Ord for RefEntry<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap but we need earliest-first.
+        // This is, verbatim, the ordering the pre-wheel EventQueue used.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// Earliest-`(at, seq)`-first queue backed by a single binary heap — the
+/// seed implementation the timing wheel must reproduce event for event.
+///
+/// # Examples
+///
+/// ```
+/// use ape_simnet::reference::ReferenceEventQueue;
+/// use ape_simnet::SimTime;
+///
+/// let mut q = ReferenceEventQueue::new();
+/// q.push(SimTime::from_millis(5), 0, 'b');
+/// q.push(SimTime::from_millis(1), 1, 'a');
+/// assert_eq!(q.pop(), Some((SimTime::from_millis(1), 1, 'a')));
+/// assert_eq!(q.pop(), Some((SimTime::from_millis(5), 0, 'b')));
+/// assert_eq!(q.pop(), None);
+/// ```
+#[derive(Debug)]
+pub struct ReferenceEventQueue<T> {
+    heap: BinaryHeap<RefEntry<T>>,
+    peak_len: usize,
+}
+
+impl<T> Default for ReferenceEventQueue<T> {
+    fn default() -> Self {
+        ReferenceEventQueue::new()
+    }
+}
+
+impl<T> ReferenceEventQueue<T> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        ReferenceEventQueue {
+            heap: BinaryHeap::new(),
+            peak_len: 0,
+        }
+    }
+
+    /// Queues `item` at time `at` with tie-break key `seq`.
+    pub fn push(&mut self, at: SimTime, seq: u64, item: T) {
+        self.heap.push(RefEntry { at, seq, item });
+        self.peak_len = self.peak_len.max(self.heap.len());
+    }
+
+    /// Removes and returns the earliest `(at, seq)` event.
+    pub fn pop(&mut self) -> Option<(SimTime, u64, T)> {
+        self.heap.pop().map(|e| (e.at, e.seq, e.item))
+    }
+
+    /// Timestamp of the earliest queued event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Number of queued events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are queued.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// High-water mark of [`len`](Self::len) over the queue's lifetime.
+    pub fn peak_len(&self) -> usize {
+        self.peak_len
+    }
+
+    /// Approximate heap footprint of the queue's buffer in bytes (see
+    /// [`TimerWheel::approx_bytes`](crate::TimerWheel::approx_bytes)).
+    pub fn approx_bytes(&self) -> usize {
+        self.heap.capacity() * std::mem::size_of::<RefEntry<T>>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_by_time_then_seq() {
+        let mut q = ReferenceEventQueue::new();
+        q.push(SimTime::from_millis(1), 5, 'c');
+        q.push(SimTime::from_millis(1), 2, 'b');
+        q.push(SimTime::ZERO, 9, 'a');
+        assert_eq!(q.peek_time(), Some(SimTime::ZERO));
+        assert_eq!(q.pop(), Some((SimTime::ZERO, 9, 'a')));
+        assert_eq!(q.pop(), Some((SimTime::from_millis(1), 2, 'b')));
+        assert_eq!(q.pop(), Some((SimTime::from_millis(1), 5, 'c')));
+        assert!(q.is_empty());
+        assert_eq!(q.peak_len(), 3);
+        assert!(q.approx_bytes() > 0);
+    }
+}

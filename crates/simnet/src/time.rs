@@ -119,8 +119,13 @@ impl SimDuration {
 
     /// Creates a duration from a float number of milliseconds.
     ///
-    /// Negative or non-finite inputs are clamped to zero.
+    /// Negative or non-finite inputs are a producer bug: debug builds
+    /// panic, release builds clamp to zero.
     pub fn from_millis_f64(millis: f64) -> Self {
+        debug_assert!(
+            millis.is_finite() && millis >= 0.0,
+            "non-finite or negative duration: {millis} ms"
+        );
         if !millis.is_finite() || millis <= 0.0 {
             return SimDuration::ZERO;
         }
@@ -129,8 +134,13 @@ impl SimDuration {
 
     /// Creates a duration from a float number of seconds.
     ///
-    /// Negative or non-finite inputs are clamped to zero.
+    /// Negative or non-finite inputs are a producer bug: debug builds
+    /// panic, release builds clamp to zero.
     pub fn from_secs_f64(secs: f64) -> Self {
+        debug_assert!(
+            secs.is_finite() && secs >= 0.0,
+            "non-finite or negative duration: {secs} s"
+        );
         if !secs.is_finite() || secs <= 0.0 {
             return SimDuration::ZERO;
         }
@@ -181,6 +191,14 @@ impl SimDuration {
 impl Add<SimDuration> for SimTime {
     type Output = SimTime;
     fn add(self, rhs: SimDuration) -> SimTime {
+        // Saturation at u64::MAX would silently freeze the clock ~584 years
+        // in; debug builds flag the overflow at its source instead.
+        debug_assert!(
+            self.0.checked_add(rhs.0).is_some(),
+            "SimTime overflow: {} ns + {} ns",
+            self.0,
+            rhs.0
+        );
         SimTime(self.0.saturating_add(rhs.0))
     }
 }
@@ -280,10 +298,45 @@ mod tests {
     }
 
     #[test]
-    fn float_constructors_clamp_bad_input() {
+    fn float_constructors_accept_good_input() {
+        assert_eq!(SimDuration::from_millis_f64(2.5).as_nanos(), 2_500_000);
+        assert_eq!(SimDuration::from_millis_f64(0.0), SimDuration::ZERO);
+        assert_eq!(SimDuration::from_secs_f64(1.5).as_nanos(), 1_500_000_000);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "non-finite or negative duration")]
+    fn float_constructors_panic_on_negative_in_debug() {
+        let _ = SimDuration::from_millis_f64(-3.0);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "non-finite or negative duration")]
+    fn float_constructors_panic_on_nan_in_debug() {
+        let _ = SimDuration::from_secs_f64(f64::NAN);
+    }
+
+    #[test]
+    #[cfg(not(debug_assertions))]
+    fn float_constructors_clamp_bad_input_in_release() {
         assert_eq!(SimDuration::from_millis_f64(-3.0), SimDuration::ZERO);
         assert_eq!(SimDuration::from_millis_f64(f64::NAN), SimDuration::ZERO);
-        assert_eq!(SimDuration::from_millis_f64(2.5).as_nanos(), 2_500_000);
+        assert_eq!(SimDuration::from_secs_f64(f64::INFINITY), SimDuration::ZERO);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "SimTime overflow")]
+    fn time_plus_duration_overflow_panics_in_debug() {
+        let _ = SimTime::MAX + SimDuration::from_nanos(1);
+    }
+
+    #[test]
+    #[cfg(not(debug_assertions))]
+    fn time_plus_duration_saturates_in_release() {
+        assert_eq!(SimTime::MAX + SimDuration::from_nanos(1), SimTime::MAX);
     }
 
     #[test]

@@ -1,0 +1,514 @@
+//! Hierarchical timing-wheel scheduler for the discrete-event core.
+//!
+//! The simulator's original event queue was a single `BinaryHeap`; every
+//! push and pop cost `O(log n)` sift steps over one large, cache-hostile
+//! array, which became the wall-clock ceiling once runs queue hundreds of
+//! thousands of events (ROADMAP item 2). [`TimerWheel`] replaces it with a
+//! calendar-queue layout:
+//!
+//! * **Six wheel levels** of 64 slots each. Level 0 buckets are
+//!   2^16 ns ≈ 65.5 µs wide; each higher level is 64× coarser, so the wheel
+//!   spans 2^52 ns ≈ 52 days — enough for DNS TTL windows, reap ticks and
+//!   every timer the testbed arms. A per-level `u64` occupancy bitmap makes
+//!   "next non-empty bucket" a mask-and-`trailing_zeros`.
+//! * **An overflow heap** for events beyond the wheel horizon. It is
+//!   ordered, so jumping the wheel across a long idle gap is `O(log n)` in
+//!   the (tiny) overflow population, not a scan.
+//! * **A ready run** holding only the events of the bucket currently being
+//!   drained, sorted descending by `(at, seq)` so a pop is a plain
+//!   `Vec::pop`. Draining buckets in full `(at, seq)` order is what makes
+//!   the wheel reproduce the *exact* total order of the old `BinaryHeap`:
+//!   within a bucket, events pop by `(at, seq)` — including scrambled
+//!   `seq` values from tie-break perturbation — and across buckets, time
+//!   ranges are disjoint, so the global pop order is identical event for
+//!   event. See `DESIGN.md` §13.
+//!
+//! Cost model: a push lands in its final bucket directly (no sifting); a
+//! pop touches the small ready heap plus, amortized, one bucket cascade per
+//! level crossed. For the near-future traffic that dominates simulation
+//! (sub-millisecond link delays), buckets hold a handful of events and both
+//! operations are effectively `O(1)`.
+//!
+//! The pre-wheel heap survives as [`crate::reference::ReferenceEventQueue`]
+//! and is differentially tested against the wheel (unit tests here, a
+//! randomized-schedule property suite in `tests/wheel_differential.rs`, and
+//! an always-on mirror oracle available via
+//! [`World::enable_queue_oracle`](crate::World::enable_queue_oracle)).
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// log2 of the level-0 bucket width in nanoseconds (2^16 ns ≈ 65.5 µs).
+const GRANULARITY_SHIFT: u32 = 16;
+/// log2 of the slot count per level.
+const LEVEL_BITS: u32 = 6;
+/// Slots per level.
+const SLOTS: usize = 1 << LEVEL_BITS;
+/// Mask selecting a slot index.
+const SLOT_MASK: u64 = SLOTS as u64 - 1;
+/// Number of wheel levels; events past the last level go to overflow.
+const LEVELS: usize = 6;
+
+/// Bit position where level `l`'s slot index starts within a timestamp.
+const fn shift(level: usize) -> u32 {
+    GRANULARITY_SHIFT + LEVEL_BITS * level as u32
+}
+
+/// One queued event: timestamp, tie-break key, payload.
+#[derive(Debug)]
+struct Entry<T> {
+    at: SimTime,
+    seq: u64,
+    item: T,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<T> Eq for Entry<T> {}
+
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap but the ready/overflow heaps
+        // need earliest-(at, seq)-first.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// One wheel level: 64 buckets plus an occupancy bitmap (bit `i` set iff
+/// `slots[i]` is non-empty).
+#[derive(Debug)]
+struct Level<T> {
+    slots: Vec<Vec<Entry<T>>>,
+    occupied: u64,
+}
+
+impl<T> Level<T> {
+    fn new() -> Self {
+        Level {
+            slots: (0..SLOTS).map(|_| Vec::new()).collect(),
+            occupied: 0,
+        }
+    }
+}
+
+/// Hierarchical timing-wheel priority queue ordered by `(at, seq)`.
+///
+/// Drop-in replacement for a min-heap of `(SimTime, u64, T)` triples: pops
+/// always return the entry with the smallest `(at, seq)` among those
+/// currently queued, for *any* interleaving of pushes and pops and any
+/// `seq` assignment (sequential or scrambled). The caller owns `seq`
+/// uniqueness; duplicate `(at, seq)` pairs pop in an unspecified relative
+/// order.
+///
+/// # Examples
+///
+/// ```
+/// use ape_simnet::{SimTime, TimerWheel};
+///
+/// let mut wheel = TimerWheel::new();
+/// wheel.push(SimTime::from_millis(5), 0, "late");
+/// wheel.push(SimTime::from_millis(1), 1, "early");
+/// assert_eq!(wheel.peek_time(), Some(SimTime::from_millis(1)));
+/// assert_eq!(wheel.pop(), Some((SimTime::from_millis(1), 1, "early")));
+/// assert_eq!(wheel.pop(), Some((SimTime::from_millis(5), 0, "late")));
+/// assert_eq!(wheel.pop(), None);
+/// ```
+#[derive(Debug)]
+pub struct TimerWheel<T> {
+    levels: Vec<Level<T>>,
+    /// Events of the bucket being drained, plus late pushes into the
+    /// already-drained range, sorted descending by `(at, seq)` (earliest
+    /// last, so popping is `Vec::pop`). Every queued event with
+    /// `at < base` is here.
+    ready: Vec<Entry<T>>,
+    /// Far-future events beyond the wheel horizon, earliest first.
+    overflow: BinaryHeap<Entry<T>>,
+    /// Drain frontier in nanoseconds, always a level-0 bucket boundary.
+    /// Monotone; wheel and overflow events all have `at >= base`.
+    base: u64,
+    /// Scratch buffer reused for bucket cascades (no per-cascade alloc).
+    scratch: Vec<Entry<T>>,
+    len: usize,
+    peak_len: usize,
+}
+
+impl<T> Default for TimerWheel<T> {
+    fn default() -> Self {
+        TimerWheel::new()
+    }
+}
+
+impl<T> TimerWheel<T> {
+    /// Creates an empty wheel starting at simulation time zero.
+    pub fn new() -> Self {
+        TimerWheel {
+            levels: (0..LEVELS).map(|_| Level::new()).collect(),
+            ready: Vec::new(),
+            overflow: BinaryHeap::new(),
+            base: 0,
+            scratch: Vec::new(),
+            len: 0,
+            peak_len: 0,
+        }
+    }
+
+    /// Number of queued events.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no events are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// High-water mark of [`len`](Self::len) over the wheel's lifetime.
+    pub fn peak_len(&self) -> usize {
+        self.peak_len
+    }
+
+    /// Approximate heap footprint of the queue's buffers in bytes (bucket,
+    /// ready, overflow and scratch capacities; excludes payload-owned
+    /// allocations). Used by `repro bench-simworld` to report bytes per
+    /// queued event.
+    pub fn approx_bytes(&self) -> usize {
+        let entry = std::mem::size_of::<Entry<T>>();
+        let buckets: usize = self
+            .levels
+            .iter()
+            .flat_map(|l| l.slots.iter())
+            .map(Vec::capacity)
+            .sum();
+        (buckets + self.ready.capacity() + self.overflow.capacity() + self.scratch.capacity())
+            * entry
+            + self.levels.len() * SLOTS * std::mem::size_of::<Vec<Entry<T>>>()
+    }
+
+    /// Queues `item` at time `at` with tie-break key `seq`.
+    pub fn push(&mut self, at: SimTime, seq: u64, item: T) {
+        let entry = Entry { at, seq, item };
+        if at.as_nanos() < self.base {
+            // Late push into the drained range (e.g. a zero-delay send
+            // scheduled at the instant being dispatched): sorted-insert
+            // into the ready run, which keeps (at, seq) order among
+            // survivors. The run is bucket-sized and the reversed `Ord`
+            // puts early events near the end, so the shift is short.
+            let pos = self.ready.binary_search(&entry).unwrap_or_else(|p| p);
+            self.ready.insert(pos, entry);
+        } else {
+            self.place(entry);
+        }
+        self.len += 1;
+        self.peak_len = self.peak_len.max(self.len);
+    }
+
+    /// Removes and returns the earliest `(at, seq)` event.
+    pub fn pop(&mut self) -> Option<(SimTime, u64, T)> {
+        if self.ready.is_empty() {
+            self.refill();
+        }
+        let entry = self.ready.pop()?;
+        self.len -= 1;
+        Some((entry.at, entry.seq, entry.item))
+    }
+
+    /// Timestamp of the earliest queued event, if any.
+    ///
+    /// Takes `&mut self` because peeking may advance the wheel's drain
+    /// frontier past empty buckets (pure bookkeeping: no event is removed
+    /// and the observable pop order is unchanged).
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        if self.ready.is_empty() {
+            self.refill();
+        }
+        self.ready.last().map(|e| e.at)
+    }
+
+    /// Inserts an entry with `at >= base` into its wheel level or the
+    /// overflow heap.
+    fn place(&mut self, entry: Entry<T>) {
+        let at = entry.at.as_nanos();
+        debug_assert!(
+            at >= self.base,
+            "place() below the drain frontier: at={at} base={}",
+            self.base
+        );
+        for (l, level) in self.levels.iter_mut().enumerate() {
+            // The event belongs at the lowest level whose coarser prefix
+            // matches the frontier's: the cursor then reaches its slot
+            // before that level wraps, so absolute slot indexing is exact.
+            if at >> shift(l + 1) == self.base >> shift(l + 1) {
+                let slot = ((at >> shift(l)) & SLOT_MASK) as usize;
+                level.slots[slot].push(entry);
+                level.occupied |= 1 << slot;
+                return;
+            }
+        }
+        self.overflow.push(entry);
+    }
+
+    /// Moves the next non-empty bucket into the ready heap, cascading
+    /// higher-level buckets and ingesting overflow as needed. No-op when
+    /// no events remain outside `ready`.
+    fn refill(&mut self) {
+        loop {
+            let Some((level, slot)) = self.next_occupied() else {
+                if !self.ingest_overflow() {
+                    return;
+                }
+                continue;
+            };
+            // Start of the found bucket: frontier's coarser prefix with
+            // this level's slot index substituted and finer bits cleared.
+            let width_shift = shift(level);
+            let slot_start =
+                (self.base & !((1u64 << shift(level + 1)) - 1)) | ((slot as u64) << width_shift);
+            let mut bucket = std::mem::take(&mut self.scratch);
+            std::mem::swap(&mut bucket, &mut self.levels[level].slots[slot]);
+            self.levels[level].occupied &= !(1 << slot);
+            if level == 0 {
+                // Bucket granularity reached: everything in it is ready.
+                // Saturate: the last bucket before u64::MAX has no end.
+                self.base = slot_start.saturating_add(1 << width_shift);
+                // `ready` is empty here (refill's precondition), so the
+                // bucket becomes the new run wholesale; the reversed `Ord`
+                // makes an ascending sort yield descending `(at, seq)`.
+                debug_assert!(self.ready.is_empty());
+                std::mem::swap(&mut self.ready, &mut bucket);
+                self.ready.sort_unstable();
+                self.scratch = bucket;
+                return;
+            }
+            // Coarse bucket: advance the frontier to its start and cascade
+            // its events down (each now lands at a strictly lower level).
+            // `max` keeps the frontier monotone when the bucket straddles
+            // it (its start can equal, never exceed, the current frontier).
+            self.base = self.base.max(slot_start);
+            for entry in bucket.drain(..) {
+                self.place(entry);
+            }
+            self.scratch = bucket;
+        }
+    }
+
+    /// Finds the occupied slot whose bucket starts earliest at or after the
+    /// frontier, preferring the coarsest level on ties.
+    ///
+    /// Earliest-start (not lowest-level) selection matters when the frontier
+    /// sits inside a still-occupied coarse slot: that bucket's start is at or
+    /// before `base`, so it wins and cascades before any finer-level bucket
+    /// is drained. Preferring level 0 here would let a level-0 drain jump
+    /// `base` over events still buried in the coarse bucket.
+    fn next_occupied(&self) -> Option<(usize, usize)> {
+        let mut best: Option<(usize, usize, u64)> = None;
+        for (l, level) in self.levels.iter().enumerate() {
+            let cursor = (self.base >> shift(l)) & SLOT_MASK;
+            let pending = level.occupied & (u64::MAX << cursor);
+            if pending == 0 {
+                continue;
+            }
+            let slot = pending.trailing_zeros() as u64;
+            let slot_start = (self.base & !((1u64 << shift(l + 1)) - 1)) | (slot << shift(l));
+            // `<=` so a coarser level sharing a start time replaces a finer
+            // one: its events redistribute down before the fine slot drains.
+            if best.is_none_or(|(_, _, start)| slot_start <= start) {
+                best = Some((l, slot as usize, slot_start));
+            }
+        }
+        best.map(|(l, slot, _)| (l, slot))
+    }
+
+    /// Jumps the frontier to the earliest overflow event and moves every
+    /// overflow event inside the new wheel horizon onto the wheel. Returns
+    /// `false` when the overflow heap is empty.
+    fn ingest_overflow(&mut self) -> bool {
+        let Some(earliest) = self.overflow.peek() else {
+            return false;
+        };
+        self.base = earliest.at.as_nanos() & !((1u64 << GRANULARITY_SHIFT) - 1);
+        while let Some(entry) = self.overflow.peek() {
+            if entry.at.as_nanos() >> shift(LEVELS) != self.base >> shift(LEVELS) {
+                break;
+            }
+            let entry = self.overflow.pop().expect("peeked overflow entry");
+            self.place(entry);
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::ReferenceEventQueue;
+    use crate::rng::SimRng;
+
+    /// Pops everything, asserting the wheel and the heap oracle agree on
+    /// every single `(at, seq, item)` triple.
+    fn drain_both(wheel: &mut TimerWheel<u32>, heap: &mut ReferenceEventQueue<u32>) {
+        loop {
+            assert_eq!(wheel.peek_time(), heap.peek_time());
+            let (w, h) = (wheel.pop(), heap.pop());
+            assert_eq!(w, h);
+            if w.is_none() {
+                return;
+            }
+        }
+    }
+
+    #[test]
+    fn pops_in_time_then_seq_order() {
+        let mut wheel = TimerWheel::new();
+        wheel.push(SimTime::from_millis(2), 1, 10);
+        wheel.push(SimTime::from_millis(2), 0, 11);
+        wheel.push(SimTime::from_millis(1), 2, 12);
+        assert_eq!(wheel.pop(), Some((SimTime::from_millis(1), 2, 12)));
+        assert_eq!(wheel.pop(), Some((SimTime::from_millis(2), 0, 11)));
+        assert_eq!(wheel.pop(), Some((SimTime::from_millis(2), 1, 10)));
+        assert_eq!(wheel.pop(), None);
+        assert!(wheel.is_empty());
+        assert_eq!(wheel.peak_len(), 3);
+    }
+
+    #[test]
+    fn matches_heap_on_randomized_mixed_horizon_schedule() {
+        let mut rng = SimRng::seed_from(0xC0FFEE);
+        let mut wheel = TimerWheel::new();
+        let mut heap = ReferenceEventQueue::new();
+        let mut last = SimTime::ZERO;
+        for seq in 0..5_000u64 {
+            let at = match seq % 10 {
+                // Tie burst: re-use the previous timestamp.
+                0 => last,
+                // Far future: seconds to hours out (overflow territory).
+                1 => SimTime::from_nanos(rng.uniform_u64(1_000_000_000, 7_200_000_000_000)),
+                // Near future: microseconds to milliseconds.
+                _ => SimTime::from_nanos(rng.uniform_u64(0, 20_000_000)),
+            };
+            last = at;
+            wheel.push(at, seq, seq as u32);
+            heap.push(at, seq, seq as u32);
+        }
+        drain_both(&mut wheel, &mut heap);
+    }
+
+    #[test]
+    fn matches_heap_with_interleaved_pushes_at_the_drain_frontier() {
+        // Models dispatch-time scheduling: after each pop, push new events
+        // at exactly the popped time (zero-delay send) and slightly later.
+        let mut rng = SimRng::seed_from(7);
+        let mut wheel = TimerWheel::new();
+        let mut heap = ReferenceEventQueue::new();
+        let mut seq = 0u64;
+        let mut push = |w: &mut TimerWheel<u32>, h: &mut ReferenceEventQueue<u32>, at| {
+            w.push(at, seq, seq as u32);
+            h.push(at, seq, seq as u32);
+            seq += 1;
+        };
+        for _ in 0..64 {
+            let at = SimTime::from_nanos(rng.uniform_u64(0, 3_000_000));
+            push(&mut wheel, &mut heap, at);
+        }
+        for _ in 0..2_000 {
+            assert_eq!(wheel.peek_time(), heap.peek_time());
+            let (w, h) = (wheel.pop(), heap.pop());
+            assert_eq!(w, h);
+            let Some((at, _, _)) = w else { break };
+            if rng.chance(0.4) {
+                push(&mut wheel, &mut heap, at);
+            }
+            if rng.chance(0.4) {
+                let delta = rng.uniform_u64(0, 400_000);
+                push(
+                    &mut wheel,
+                    &mut heap,
+                    at + crate::SimDuration::from_nanos(delta),
+                );
+            }
+        }
+        drain_both(&mut wheel, &mut heap);
+    }
+
+    #[test]
+    fn matches_heap_under_scrambled_tie_break_keys() {
+        // Perturbed seq values are arbitrary u64s, so a late push can carry
+        // a *smaller* key than an already-popped tie — the wheel must agree
+        // with the heap's min-among-present semantics, not global order.
+        let mut wheel = TimerWheel::new();
+        let mut heap = ReferenceEventQueue::new();
+        let t = SimTime::from_millis(3);
+        for (i, seq) in [0xFFFF_u64, 7, 0x8000_0000, 1, u64::MAX, 0]
+            .into_iter()
+            .enumerate()
+        {
+            wheel.push(t, seq, i as u32);
+            heap.push(t, seq, i as u32);
+        }
+        assert_eq!(wheel.pop(), heap.pop());
+        // Mid-drain push at the same instant with a tiny key.
+        wheel.push(t, 2, 99);
+        heap.push(t, 2, 99);
+        drain_both(&mut wheel, &mut heap);
+    }
+
+    #[test]
+    fn far_future_events_cross_the_overflow_horizon() {
+        let mut wheel = TimerWheel::new();
+        let mut heap = ReferenceEventQueue::new();
+        // Beyond the 2^52 ns wheel horizon (~52 days) and near u64::MAX.
+        let far = [
+            SimTime::from_nanos(1 << 53),
+            SimTime::from_nanos((1 << 53) + 1),
+            SimTime::from_nanos(u64::MAX - 1),
+            SimTime::from_secs(100 * 24 * 3600),
+            SimTime::from_millis(1),
+        ];
+        for (seq, at) in far.into_iter().enumerate() {
+            wheel.push(at, seq as u64, seq as u32);
+            heap.push(at, seq as u64, seq as u32);
+        }
+        drain_both(&mut wheel, &mut heap);
+    }
+
+    #[test]
+    fn long_idle_gap_is_a_jump_not_a_scan() {
+        let mut wheel = TimerWheel::new();
+        wheel.push(SimTime::from_secs(3_600), 0, 1u32);
+        // One peek must land directly on the hour-away event.
+        assert_eq!(wheel.peek_time(), Some(SimTime::from_secs(3_600)));
+        assert_eq!(wheel.pop(), Some((SimTime::from_secs(3_600), 0, 1)));
+        // The frontier advanced; nearer times pushed later still pop fine.
+        wheel.push(SimTime::from_secs(7_200), 1, 2u32);
+        assert_eq!(wheel.pop(), Some((SimTime::from_secs(7_200), 1, 2)));
+    }
+
+    #[test]
+    fn len_and_bytes_accounting() {
+        let mut wheel = TimerWheel::new();
+        assert!(wheel.is_empty());
+        assert_eq!(wheel.peek_time(), None);
+        for seq in 0..100u64 {
+            wheel.push(SimTime::from_nanos(seq * 37_000), seq, seq as u32);
+        }
+        assert_eq!(wheel.len(), 100);
+        assert_eq!(wheel.peak_len(), 100);
+        assert!(wheel.approx_bytes() > 0);
+        for _ in 0..100 {
+            assert!(wheel.pop().is_some());
+        }
+        assert_eq!(wheel.len(), 0);
+        assert_eq!(wheel.peak_len(), 100);
+    }
+}

@@ -378,6 +378,24 @@ impl<M: Message> World<M> {
         self.queue.perturbation()
     }
 
+    /// Mirrors every event-queue operation of this run against the frozen
+    /// pre-wheel heap ([`crate::reference::ReferenceEventQueue`]); the
+    /// first pop where the timing wheel disagrees with the heap panics
+    /// with both `(at, seq)` pairs. A differential-testing knob — it
+    /// roughly doubles scheduler work, so leave it off outside tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if events have already been scheduled — the oracle must see
+    /// the whole schedule to mirror it.
+    pub fn enable_queue_oracle(&mut self) {
+        assert!(
+            !self.started && self.queue.is_empty(),
+            "enable_queue_oracle must be called before any event is scheduled"
+        );
+        self.queue.enable_oracle();
+    }
+
     /// Digest of everything the determinism contract covers: metric
     /// content, trace log, final clock and events processed.
     pub fn fingerprint(&self) -> Fingerprint {

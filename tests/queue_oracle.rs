@@ -1,0 +1,58 @@
+//! Live differential check of the timing-wheel scheduler on the default
+//! testbed.
+//!
+//! [`World::enable_queue_oracle`](ape_simnet::World::enable_queue_oracle)
+//! mirrors every event-queue push and pop of a run against the frozen
+//! pre-wheel binary heap (`ape_simnet::reference`); the first pop where the
+//! wheel and the heap disagree on `(at, seq)` panics inside the queue. This
+//! test drives full APE-CACHE testbed runs through that mirror — under the
+//! unperturbed baseline and all four tie-perturbation keys the determinism
+//! harness sweeps — and additionally pins that mirrored runs produce
+//! bitwise-identical fingerprints to oracle-off runs (the oracle must
+//! observe, never influence).
+
+use ape_appdag::DummyAppConfig;
+use ape_simnet::{SimDuration, TraceConfig};
+use ape_workload::ScheduleConfig;
+use apecache::{build, synthetic_suite, System, TestbedConfig};
+
+/// Same keys as `tests/determinism_perturbation.rs`.
+const PERTURBATION_KEYS: [u64; 4] = [
+    0x9E37_79B9_7F4A_7C15,
+    0xD1B5_4A32_D192_ED03,
+    0xA5A5_A5A5_A5A5_A5A5,
+    0x0123_4567_89AB_CDEF,
+];
+
+/// Runs the default testbed for two simulated minutes and returns the
+/// world fingerprint.
+fn run(key: Option<u64>, oracle: bool) -> String {
+    let suite = synthetic_suite(5, &DummyAppConfig::default(), 11);
+    let mut cfg = TestbedConfig::new(System::ApeCache, suite);
+    cfg.schedule = ScheduleConfig {
+        apps: 5,
+        avg_per_minute: 3.0,
+        zipf_exponent: 0.8,
+        duration: SimDuration::from_mins(2),
+    };
+    cfg.trace = TraceConfig::enabled();
+    cfg.tie_perturbation = key;
+    let mut bed = build(&cfg);
+    if oracle {
+        bed.world.enable_queue_oracle();
+    }
+    bed.world.run_for(SimDuration::from_mins(2));
+    bed.world.fingerprint().to_string()
+}
+
+#[test]
+fn wheel_matches_reference_heap_across_perturbed_testbed_runs() {
+    for key in std::iter::once(None).chain(PERTURBATION_KEYS.into_iter().map(Some)) {
+        let mirrored = run(key, true);
+        let plain = run(key, false);
+        assert_eq!(
+            mirrored, plain,
+            "oracle changed the run it was mirroring (key {key:?})"
+        );
+    }
+}
