@@ -110,10 +110,55 @@ fn bench_trace_overhead(_c: &mut Criterion) {
     );
 }
 
+/// Guard: the self-profiler is zero-cost when off. With the profiler off
+/// (the default), a testbed minute must be no slower than the same run
+/// with profiling fully on, within measurement noise — min-of-trials on
+/// both sides, interleaved to cancel machine drift (the PR 2 trace-guard
+/// recipe).
+fn bench_profiler_overhead(_c: &mut Criterion) {
+    fn run_minute(profiler: bool) -> Duration {
+        let apps = synthetic_suite(10, &DummyAppConfig::default(), 3);
+        let mut config = TestbedConfig::new(System::ApeCache, apps);
+        config.schedule = ScheduleConfig {
+            apps: 10,
+            duration: SimDuration::from_mins(1),
+            ..ScheduleConfig::default()
+        };
+        config.profiler = profiler;
+        let mut bed = build(&config);
+        let start = Instant::now();
+        bed.world.run_for(SimDuration::from_mins(1));
+        start.elapsed()
+    }
+
+    const TRIALS: usize = 5;
+    let mut off = Duration::MAX;
+    let mut on = Duration::MAX;
+    for _ in 0..TRIALS {
+        off = off.min(run_minute(false));
+        on = on.min(run_minute(true));
+    }
+    println!(
+        "bench testbed/minute_profiler_off {:>23} min-of-{TRIALS}",
+        format!("{off:?}")
+    );
+    println!(
+        "bench testbed/minute_profiler_on  {:>23} min-of-{TRIALS}",
+        format!("{on:?}")
+    );
+    let budget = on.mul_f64(1.05) + Duration::from_millis(10);
+    assert!(
+        off <= budget,
+        "profiler-off run ({off:?}) exceeds profiled run + 5% + 10ms ({budget:?}) — \
+         the disabled-profiler fast path regressed"
+    );
+}
+
 criterion_group!(
     benches,
     bench_event_throughput,
     bench_testbed_minute,
-    bench_trace_overhead
+    bench_trace_overhead,
+    bench_profiler_overhead
 );
 criterion_main!(benches);

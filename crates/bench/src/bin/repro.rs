@@ -7,7 +7,8 @@
 //! artifacts:
 //!   table1 table2 table4 table5 table6 table7
 //!   fig2 fig11a fig11b fig11c fig12 fig13a fig13b fig13c fig14
-//!   object-level ablations speedup trace bench-evict bench-simworld faults all
+//!   object-level ablations speedup trace profile
+//!   bench-evict bench-simworld bench-metrics faults all
 //! ```
 //!
 //! `--trials N` replicates every sweep point over N seeds (pooled before
@@ -21,9 +22,12 @@
 //! `critical-paths.txt` to that directory.
 //!
 //! `bench-evict` is the eviction-cost microbench (writes `BENCH_evict.json`
-//! at the repo root) and `bench-simworld` the event-queue throughput sweep
-//! (writes `BENCH_simworld.json`). Both time wall-clock and are therefore
-//! *not* part of `all`, whose output is bitwise deterministic.
+//! at the repo root), `bench-simworld` the event-queue throughput sweep
+//! (writes `BENCH_simworld.json`), and `bench-metrics` the metric-registry
+//! sketch-vs-exact sweep (writes `BENCH_metrics.json`). `profile` runs the
+//! testbed with the sim-loop self-profiler on and prints per-subsystem
+//! host-time attribution. All four time wall-clock and are therefore *not*
+//! part of `all`, whose output is bitwise deterministic.
 //!
 //! `faults` is the lossy-WiFi resilience sweep (loss rate × caching
 //! strategy plus a composed fault-plan replay). Loss makes its RNG draws
@@ -34,9 +38,9 @@ use std::path::PathBuf;
 use std::time::Instant;
 
 use ape_bench::{
-    ablations, bench_evict, bench_simworld, faults, fig11a, fig11b, fig11c, fig12, fig13a, fig13b,
-    fig13c, fig14, fig2, object_level, speedup, table1, table2, table4, table5, table6, table7,
-    trace_artifacts, ReproOptions, TraceArtifacts,
+    ablations, bench_evict, bench_metrics, bench_simworld, faults, fig11a, fig11b, fig11c, fig12,
+    fig13a, fig13b, fig13c, fig14, fig2, object_level, profile, speedup, table1, table2, table4,
+    table5, table6, table7, trace_artifacts, ReproOptions, TraceArtifacts,
 };
 
 fn write_trace_files(dir: &std::path::Path, artifacts: &TraceArtifacts) -> std::io::Result<()> {
@@ -53,7 +57,8 @@ fn usage() -> ! {
          \u{20}            [--threads N] [--seed N] [--trace-out DIR] <artifact>...\n\
          artifacts: table1 table2 table4 table5 table6 table7 fig2 fig11a fig11b\n\
          \u{20}          fig11c fig12 fig13a fig13b fig13c fig14 object-level\n\
-         \u{20}          ablations speedup trace bench-evict bench-simworld faults all"
+         \u{20}          ablations speedup trace profile bench-evict\n\
+         \u{20}          bench-simworld bench-metrics faults all"
     );
     std::process::exit(2);
 }
@@ -156,6 +161,8 @@ fn main() {
             "speedup" => speedup(&opts),
             "bench-evict" => bench_evict(&opts),
             "bench-simworld" => bench_simworld(&opts),
+            "bench-metrics" => bench_metrics(&opts),
+            "profile" => profile(&opts),
             "faults" => faults(&opts),
             "trace" => {
                 let artifacts = trace_artifacts(&opts);

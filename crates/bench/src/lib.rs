@@ -16,7 +16,9 @@ mod evict_bench;
 mod experiments;
 mod faults;
 mod lookup_overhead;
+mod metrics_bench;
 pub mod microbench;
+mod profile;
 pub mod progmodel;
 mod simworld_bench;
 mod tracing;
@@ -28,6 +30,8 @@ pub use experiments::{
 };
 pub use faults::faults;
 pub use lookup_overhead::fig11b;
+pub use metrics_bench::bench_metrics;
+pub use profile::profile;
 pub use simworld_bench::bench_simworld;
 pub use tracing::{trace_artifacts, traced_config, TraceArtifacts};
 

@@ -1,0 +1,323 @@
+//! `repro bench-metrics` — metric-registry throughput and memory sweep.
+//!
+//! Sweeps observation counts {10k, 100k, 1M} (quick mode keeps the two
+//! small cells for CI smoke), recording a simulation-shaped latency
+//! distribution — a sub-millisecond WiFi-hit mode, a ~15 ms edge mode and
+//! an exponential heavy tail — through the registry's two histogram
+//! engines: the fixed-memory sketch ([`ape_simnet::Histogram`] in
+//! [`HistogramMode::Sketch`](ape_simnet::HistogramMode)) and the frozen
+//! sample-hoarding seed ([`ape_simnet::reference::ExactHistogram`], the
+//! code that actually shipped). Observations fan out over eight interned
+//! metric ids through the full [`Metrics::observe_id`] hot path, the way
+//! the testbed nodes record.
+//!
+//! Two per-sample costs are timed. `observe_ns_per_sample` is the bare
+//! recording loop. `live_ns_per_sample` is the same loop with a p99 probe
+//! every 4096 samples — the live-telemetry shape of the AP's periodic
+//! stats report — which is where the exact engine's lazy re-sort hurts and
+//! the sweep's headline `observes_per_sec`/speedup numbers come from.
+//! Before any timing, the sketch's quantiles are checked against the exact
+//! oracle on the identical stream (`max_quantile_rel_err` in the output),
+//! so the reported speedup is against ground truth the sketch provably
+//! tracks. Results go to `BENCH_metrics.json` at the repo root, next to
+//! `BENCH_evict.json` and `BENCH_simworld.json`; `EXPERIMENTS.md` tracks
+//! the trajectory.
+//!
+//! The sample stream is deterministic in `--seed`; only wall-clock timings
+//! vary run to run (the bench crate is the one place wall-clock is
+//! permitted).
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use ape_proto::names;
+use ape_simnet::reference::ExactHistogram;
+use ape_simnet::{Histogram, HistogramMode, MetricId, Metrics, MetricsConfig, SimRng};
+
+use crate::ReproOptions;
+
+/// Observation counts swept in a full run.
+const SWEEP_FULL: [usize; 3] = [10_000, 100_000, 1_000_000];
+
+/// Quick-mode subset (CI smoke: small sizes only).
+const SWEEP_QUICK: [usize; 2] = [10_000, 50_000];
+
+/// Histogram ids the observations fan out over (the registry names the
+/// testbed's latency histograms actually use).
+const IDS: [MetricId; 8] = [
+    names::id::AP_DELEGATION_FETCH_MS,
+    names::id::CLIENT_LOOKUP_QUERY_MS,
+    names::id::CLIENT_LOOKUP_OP_MS,
+    names::id::CLIENT_RETRIEVAL_MS,
+    names::id::CLIENT_RETRIEVAL_HIT_MS,
+    names::id::CLIENT_RETRIEVAL_DELEGATION_MS,
+    names::id::CLIENT_RETRIEVAL_EDGE_MS,
+    names::id::CLIENT_APP_LATENCY_MS,
+];
+
+/// Samples between p99 probes in the live-telemetry loop.
+const QUERY_EVERY: usize = 4_096;
+
+/// Quantiles checked against the exact oracle.
+const CHECK_QUANTILES: [f64; 4] = [0.5, 0.9, 0.99, 0.999];
+
+/// One `(mode, samples)` sweep cell.
+struct Cell {
+    mode: &'static str,
+    samples: usize,
+    /// Median per-sample cost of the bare recording loop.
+    observe_ns_per_sample: u64,
+    /// Median per-sample cost with a p99 probe every [`QUERY_EVERY`].
+    live_ns_per_sample: u64,
+    /// Live-loop throughput implied by the median cost.
+    observes_per_sec: u64,
+    /// Registry heap footprint after the fill.
+    resident_bytes: u64,
+    /// Largest relative quantile error vs the exact oracle (sketch cells).
+    max_quantile_rel_err: f64,
+}
+
+/// Generates the simulation-shaped latency stream, milliseconds.
+///
+/// 60% sub-millisecond (AP cache hits over the WiFi hop), 30% around the
+/// 15 ms edge RTT, 10% exponential with a 120 ms mean (origin fetches and
+/// retry tails) — the three regimes the paper's Fig. 11 latencies live in.
+fn sample_stream(n: usize, seed: u64) -> Vec<f64> {
+    let mut rng = SimRng::seed_from(seed ^ 0x4D45_5452_1C5B_0007);
+    (0..n)
+        .map(|_| match rng.uniform_u64(0, 10) {
+            0..=5 => rng.uniform_f64(0.05, 0.9),
+            6..=8 => rng.normal(15.0, 2.5).abs(),
+            _ => rng.exponential(120.0),
+        })
+        .collect()
+}
+
+/// Asserts the sketch's quantiles track the exact oracle on `stream` and
+/// returns the largest relative error observed (untimed).
+fn check_accuracy(stream: &[f64]) -> f64 {
+    let mut sketch = Histogram::new_sketch(false);
+    let mut exact = ExactHistogram::new();
+    for &v in stream {
+        sketch.record(v);
+        exact.record(v);
+    }
+    let mut worst = 0.0f64;
+    for q in CHECK_QUANTILES {
+        let s = sketch.quantile(q);
+        let e = exact.quantile(q);
+        let rel = (s - e).abs() / e.abs().max(1.0 / 1024.0);
+        assert!(
+            rel <= 0.01 + 1e-9,
+            "sketch p{q} = {s} drifted {rel:.4} from exact {e}"
+        );
+        worst = worst.max(rel);
+    }
+    worst
+}
+
+/// Timings of one fill pass through the full registry path.
+struct Pass {
+    observe_ns: u64,
+    live_ns: u64,
+    resident_bytes: usize,
+}
+
+fn run_pass(mode: HistogramMode, stream: &[f64]) -> Pass {
+    let fresh = || {
+        let mut m = Metrics::new();
+        m.set_config(MetricsConfig {
+            histogram_mode: mode,
+            ..MetricsConfig::default()
+        });
+        m
+    };
+
+    // Bare recording loop.
+    let mut m = fresh();
+    let t = Instant::now();
+    for (i, &v) in stream.iter().enumerate() {
+        m.observe_id(IDS[i % IDS.len()], v);
+    }
+    let observe_ns = t.elapsed().as_nanos() as u64;
+    let resident_bytes = m.approx_bytes();
+
+    // Live-telemetry loop: recording with periodic p99 probes.
+    let mut m = fresh();
+    let probe = names::CLIENT_APP_LATENCY_MS;
+    let t = Instant::now();
+    for (i, &v) in stream.iter().enumerate() {
+        m.observe_id(IDS[i % IDS.len()], v);
+        if i % QUERY_EVERY == QUERY_EVERY - 1 {
+            std::hint::black_box(m.quantile(probe, 0.99));
+        }
+    }
+    let live_ns = t.elapsed().as_nanos() as u64;
+
+    Pass {
+        observe_ns,
+        live_ns,
+        resident_bytes,
+    }
+}
+
+fn median(mut samples: Vec<u64>) -> u64 {
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+fn run_cell(mode: HistogramMode, stream: &[f64], trials: usize, max_quantile_rel_err: f64) -> Cell {
+    // Warm-up pass: faults in the stream and grows allocator arenas.
+    std::hint::black_box(run_pass(mode, stream));
+    let mut observes = Vec::with_capacity(trials);
+    let mut lives = Vec::with_capacity(trials);
+    let mut resident_bytes = 0;
+    for _ in 0..trials {
+        let p = run_pass(mode, stream);
+        observes.push(p.observe_ns);
+        lives.push(p.live_ns);
+        resident_bytes = p.resident_bytes;
+    }
+    let n = stream.len() as u64;
+    let live_ns_per_sample = (median(lives) / n).max(1);
+    Cell {
+        mode: match mode {
+            HistogramMode::ExactCompat => "exact",
+            HistogramMode::Sketch => "sketch",
+        },
+        samples: stream.len(),
+        observe_ns_per_sample: (median(observes) / n).max(1),
+        live_ns_per_sample,
+        observes_per_sec: 1_000_000_000 / live_ns_per_sample,
+        resident_bytes: resident_bytes as u64,
+        max_quantile_rel_err,
+    }
+}
+
+/// `exact` over `sketch` for the given extractor at one cell size.
+fn ratio(cells: &[Cell], samples: usize, of: impl Fn(&Cell) -> f64) -> Option<f64> {
+    let get = |mode| {
+        cells
+            .iter()
+            .find(|c| c.mode == mode && c.samples == samples)
+            .map(&of)
+    };
+    Some(get("exact")? / get("sketch")?)
+}
+
+fn render_json(cells: &[Cell], sizes: &[usize], trials: usize, seed: u64, quick: bool) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"schema\": \"ape-bench/metrics/v1\",");
+    let _ = writeln!(out, "  \"seed\": {seed},");
+    let _ = writeln!(out, "  \"quick\": {quick},");
+    let _ = writeln!(out, "  \"trials_per_cell\": {trials},");
+    let _ = writeln!(out, "  \"histograms\": {},", IDS.len());
+    let _ = writeln!(out, "  \"probe_every\": {QUERY_EVERY},");
+    out.push_str("  \"cells\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"mode\": \"{}\", \"samples\": {}, \"observe_ns_per_sample\": {}, \
+             \"live_ns_per_sample\": {}, \"observes_per_sec\": {}, \"resident_bytes\": {}, \
+             \"max_quantile_rel_err\": {:.6}",
+            c.mode,
+            c.samples,
+            c.observe_ns_per_sample,
+            c.live_ns_per_sample,
+            c.observes_per_sec,
+            c.resident_bytes,
+            c.max_quantile_rel_err,
+        );
+        if c.mode == "sketch" {
+            let _ = write!(
+                out,
+                ", \"throughput_speedup_vs_exact\": {:.2}, \"memory_ratio_vs_exact\": {:.2}",
+                ratio(cells, c.samples, |c| c.live_ns_per_sample as f64).unwrap_or(0.0),
+                ratio(cells, c.samples, |c| c.resident_bytes as f64).unwrap_or(0.0),
+            );
+        } else {
+            out.push_str(
+                ", \"throughput_speedup_vs_exact\": null, \"memory_ratio_vs_exact\": null",
+            );
+        }
+        out.push_str(if i + 1 < cells.len() { "},\n" } else { "}\n" });
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"sizes\": [");
+    for (i, s) in sizes.iter().enumerate() {
+        let _ = write!(out, "{}{s}", if i > 0 { ", " } else { "" });
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+/// Runs the metric-registry sweep, writes `BENCH_metrics.json` at the repo
+/// root, and returns a human-readable summary.
+pub fn bench_metrics(opts: &ReproOptions) -> String {
+    let quick = opts.micro_trials < ReproOptions::default().micro_trials;
+    let sizes: &[usize] = if quick { &SWEEP_QUICK } else { &SWEEP_FULL };
+    let trials = (opts.micro_trials / 8).clamp(3, 15);
+
+    let mut cells = Vec::new();
+    for &n in sizes {
+        let stream = sample_stream(n, opts.seed);
+        let worst = check_accuracy(&stream);
+        cells.push(run_cell(HistogramMode::ExactCompat, &stream, trials, 0.0));
+        cells.push(run_cell(HistogramMode::Sketch, &stream, trials, worst));
+    }
+
+    let json = render_json(&cells, sizes, trials, opts.seed, quick);
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_metrics.json");
+    let note = match std::fs::write(&path, &json) {
+        Ok(()) => format!("wrote {}", path.display()),
+        Err(err) => format!("FAILED to write {}: {err}", path.display()),
+    };
+
+    let mut out = String::from(
+        "Metric registry: fixed-memory sketch vs frozen exact histograms\n\
+         (identical streams over 8 interned ids; live loop probes p99 every \
+         4096 samples; medians over trials)\n\n",
+    );
+    let _ = writeln!(
+        out,
+        "{:<7} {:>9} {:>10} {:>9} {:>13} {:>11} {:>8} {:>8} {:>9}",
+        "mode",
+        "samples",
+        "obs ns/s",
+        "live ns",
+        "obs/sec",
+        "resident",
+        "q-err",
+        "mem-x",
+        "speedup"
+    );
+    for c in &cells {
+        let (mem_x, speedup) = if c.mode == "sketch" {
+            (
+                ratio(&cells, c.samples, |c| c.resident_bytes as f64)
+                    .map(|r| format!("{r:.1}x"))
+                    .unwrap_or_else(|| "-".into()),
+                ratio(&cells, c.samples, |c| c.live_ns_per_sample as f64)
+                    .map(|r| format!("{r:.1}x"))
+                    .unwrap_or_else(|| "-".into()),
+            )
+        } else {
+            ("-".into(), "-".into())
+        };
+        let _ = writeln!(
+            out,
+            "{:<7} {:>9} {:>10} {:>9} {:>13} {:>11} {:>8} {:>8} {:>9}",
+            c.mode,
+            c.samples,
+            c.observe_ns_per_sample,
+            c.live_ns_per_sample,
+            c.observes_per_sec,
+            c.resident_bytes,
+            format!("{:.4}", c.max_quantile_rel_err),
+            mem_x,
+            speedup,
+        );
+    }
+    let _ = writeln!(out, "\n{note}");
+    out
+}

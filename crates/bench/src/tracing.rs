@@ -28,7 +28,10 @@ pub struct TraceArtifacts {
     /// flamegraph-style critical-path breakdowns.
     pub report: String,
     /// One JSON object per span event, all systems concatenated
-    /// (distinguished by the `"system"` field).
+    /// (distinguished by the `"system"` field), followed by one
+    /// `"histogram"` summary object per metric histogram carrying its
+    /// sample count and `dropped_samples` — so release-mode sample
+    /// corruption (non-finite observations) is visible in the artifact.
     pub jsonl: String,
     /// Prometheus text-format snapshot: per-stage latency summaries and
     /// the pooled simulation counters/histograms.
@@ -84,6 +87,21 @@ pub fn trace_artifacts(opts: &ReproOptions) -> TraceArtifacts {
         report.push_str(&log.critical_path_report(label));
 
         jsonl.push_str(&log.to_jsonl(label));
+        // Histogram-health summary lines: registry iteration is sorted, so
+        // these stay byte-deterministic like the span lines above.
+        let names: Vec<String> = merged
+            .metrics
+            .histogram_names()
+            .map(str::to_owned)
+            .collect();
+        for name in names {
+            let hist = merged.metrics.histogram(&name).expect("name from registry");
+            jsonl.push_str(&format!(
+                "{{\"system\":\"{label}\",\"histogram\":\"{name}\",\"count\":{},\"dropped_samples\":{}}}\n",
+                hist.count(),
+                hist.dropped_samples(),
+            ));
+        }
 
         prometheus.push_str(&attribution.prometheus());
         prometheus.push_str(&prometheus_snapshot(&mut merged.metrics, label));

@@ -23,6 +23,20 @@ fn check_jsonl_line(line: &str) {
         line.starts_with("{\"system\":\"") && line.ends_with('}'),
         "malformed JSONL line: {line}"
     );
+    if line.contains("\"histogram\":\"") {
+        // Histogram-health summary line, not a span event.
+        for key in ["\"count\":", "\"dropped_samples\":"] {
+            assert!(line.contains(key), "line missing {key}: {line}");
+        }
+        let dropped = line
+            .rsplit_once("\"dropped_samples\":")
+            .map(|(_, rest)| rest.trim_end_matches('}'))
+            .expect("dropped_samples field");
+        dropped
+            .parse::<u64>()
+            .expect("dropped_samples is an integer");
+        return;
+    }
     for key in [
         "\"run\":",
         "\"trace\":",
@@ -83,6 +97,14 @@ fn trace_artifacts_are_complete_and_deterministic_across_threads() {
     // Both trials contributed events.
     assert!(sequential.jsonl.contains("\"run\":0,"));
     assert!(sequential.jsonl.contains("\"run\":1,"));
+    // Histogram-health summaries rode along, with zero drops on a clean run.
+    assert!(
+        sequential
+            .jsonl
+            .contains("\"histogram\":\"client.app_latency_ms\""),
+        "jsonl missing histogram summaries"
+    );
+    assert!(sequential.jsonl.contains("\"dropped_samples\":0}"));
 
     // Prometheus snapshot exports the stage summaries and run counters.
     for needle in [

@@ -17,7 +17,7 @@ use std::thread;
 
 use ape_nodes::ClientNode;
 use ape_proto::names;
-use ape_simnet::{Metrics, NodeId, SimDuration};
+use ape_simnet::{Metrics, NodeId, ProfileReport, SimDuration};
 
 use crate::system::System;
 use crate::testbed::{build, Testbed, TestbedConfig};
@@ -35,6 +35,9 @@ pub struct RunResult {
     pub report: ape_nodes::ClientReport,
     /// The run's span events, when tracing was enabled in the config.
     pub trace: Option<TraceLog>,
+    /// Host-time attribution from the sim-loop self-profiler (all-zero
+    /// unless the config enabled it).
+    pub profile: ProfileReport,
 }
 
 /// Headline numbers extracted from a run, named after the paper's plots.
@@ -106,6 +109,7 @@ pub fn collect(system: System, bed: &mut Testbed) -> RunResult {
         metrics: bed.world.metrics().clone(),
         report,
         trace,
+        profile: bed.world.profile_report(),
     }
 }
 
@@ -188,6 +192,7 @@ impl RunResult {
             (mine @ None, Some(theirs)) => *mine = Some(theirs.clone()),
             (_, None) => {}
         }
+        self.profile.merge(&other.profile);
     }
 }
 

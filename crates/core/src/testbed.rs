@@ -16,7 +16,9 @@ use ape_nodes::{
     ZoneAnswer,
 };
 use ape_proto::{IpMap, Msg};
-use ape_simnet::{FaultPlan, LinkSpec, NodeId, SimDuration, SimRng, TraceConfig, World};
+use ape_simnet::{
+    FaultPlan, LinkSpec, MetricsConfig, NodeId, SimDuration, SimRng, TraceConfig, World,
+};
 use ape_workload::{generate_schedule, Execution, ScheduleConfig};
 
 use crate::system::System;
@@ -46,6 +48,15 @@ pub struct TestbedConfig {
     /// Request-tracing knobs (disabled by default; enabling records causal
     /// spans for every sampled client fetch).
     pub trace: TraceConfig,
+    /// Metric-registry knobs (histogram representation, sketch oracle,
+    /// series capacity). The default — exact-compat mode, unbounded series
+    /// — is bitwise identical to the pre-sketch registry.
+    pub metrics: MetricsConfig,
+    /// Enables the sim-loop self-profiler (see
+    /// [`World::enable_profiler`](ape_simnet::World::enable_profiler)).
+    /// Off by default; on or off, simulation outputs are unchanged — the
+    /// profiler only attributes host wall-clock.
+    pub profiler: bool,
     /// Steady-state packet-loss probability of the WiFi radio, applied to
     /// every client link (AP, edge, LDNS, and controller paths all cross
     /// the radio as their first hop). `0.0` — the default — keeps the
@@ -79,6 +90,8 @@ impl TestbedConfig {
             prewarm_edge: true,
             prefetch_hints: false,
             trace: TraceConfig::default(),
+            metrics: MetricsConfig::default(),
+            profiler: false,
             wifi_loss: 0.0,
             faults: FaultPlan::new(),
             seed: 42,
@@ -149,6 +162,10 @@ pub fn build(config: &TestbedConfig) -> Testbed {
         world.set_tie_perturbation(key);
     }
     world.set_trace_config(config.trace);
+    world.set_metrics_config(config.metrics.clone());
+    if config.profiler {
+        world.enable_profiler();
+    }
     if !config.faults.is_empty() {
         world.set_fault_plan(config.faults.clone());
     }

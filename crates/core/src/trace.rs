@@ -268,12 +268,11 @@ pub struct BucketStat {
 
 impl BucketStat {
     fn from_histogram(hist: &mut Histogram) -> Self {
-        // `Sum for f64` folds from -0.0; keep empty stages at +0.0.
-        let total_ms = if hist.count() == 0 {
-            0.0
-        } else {
-            hist.samples().iter().sum()
-        };
+        // Incremental and bitwise identical to the seed's
+        // `samples().iter().sum()` (both fold insertion order from -0.0,
+        // with the same empty→+0.0 guard) — and, unlike the seed scan, it
+        // also works for sketch histograms, which keep no samples.
+        let total_ms = hist.sum();
         BucketStat {
             count: hist.count() as u64,
             total_ms,
@@ -394,13 +393,17 @@ pub fn prometheus_snapshot(metrics: &mut Metrics, system: &str) -> String {
             ));
         }
         let hist = metrics.histogram(&name).expect("name from registry");
-        let sum: f64 = hist.samples().iter().sum();
+        let sum: f64 = hist.sum();
         out.push_str(&format!(
             "apecache_{mangled}_sum{{system=\"{system}\"}} {sum}\n"
         ));
         out.push_str(&format!(
             "apecache_{mangled}_count{{system=\"{system}\"}} {}\n",
             hist.count()
+        ));
+        out.push_str(&format!(
+            "apecache_{mangled}_dropped_total{{system=\"{system}\"}} {}\n",
+            hist.dropped_samples()
         ));
     }
     out
@@ -533,6 +536,7 @@ mod tests {
         assert!(prom.contains("apecache_client_app_latency_ms{system=\"TEST\",quantile=\"0.5\"} 5"));
         assert!(prom.contains("apecache_client_app_latency_ms_sum{system=\"TEST\"} 12"));
         assert!(prom.contains("apecache_client_app_latency_ms_count{system=\"TEST\"} 2"));
+        assert!(prom.contains("apecache_client_app_latency_ms_dropped_total{system=\"TEST\"} 0"));
     }
 
     #[test]

@@ -28,7 +28,8 @@ use ape_dnswire::{CacheFlag, CacheTuple, DnsMessage, DomainName, Rcode, UrlHash}
 use ape_httpsim::{Body, HttpRequest, HttpResponse, Url};
 use ape_proto::{names, CacheOp, ConnId, IpMap, Msg, RequestId, SpanKind};
 use ape_simnet::{
-    Context, CpuMeter, MemMeter, Node, NodeId, SimDuration, SimTime, SpanCtx, TimerToken,
+    Context, CpuMeter, MemMeter, Node, NodeId, ProfCategory, SimDuration, SimTime, SpanCtx,
+    TimerToken,
 };
 
 /// Which eviction policy the AP runs.
@@ -412,9 +413,9 @@ impl ApNode {
         let mut cost = self.config.dns_processing;
         if is_cache_query {
             cost += self.config.dnscache_extra;
-            ctx.metrics().incr(names::AP_DNS_CACHE_QUERIES, 1);
+            ctx.metrics().incr_id(names::id::AP_DNS_CACHE_QUERIES, 1);
         } else {
-            ctx.metrics().incr(names::AP_DNS_QUERIES, 1);
+            ctx.metrics().incr_id(names::id::AP_DNS_QUERIES, 1);
         }
         let latency = self.work(now, cost);
         let Some(domain) = query.question_name().cloned() else {
@@ -441,7 +442,7 @@ impl ApNode {
                 .iter()
                 .all(|k| self.cache.peek(*k, now) == Lookup::Hit)
         {
-            ctx.metrics().incr(names::AP_SHORT_CIRCUITS, 1);
+            ctx.metrics().incr_id(names::id::AP_SHORT_CIRCUITS, 1);
             let response = DnsMessage::dns_cache_response(&query, IpMap::DUMMY, 0, tuples);
             ctx.send_after(latency, from, Msg::Dns(response));
             return;
@@ -450,7 +451,7 @@ impl ApNode {
         // dnsmasq cache.
         if let Some((ip, expires, _)) = self.dns_cache.get(&domain) {
             if *expires > now {
-                ctx.metrics().incr(names::AP_DNS_CACHE_HITS, 1);
+                ctx.metrics().incr_id(names::id::AP_DNS_CACHE_HITS, 1);
                 let remaining = (*expires - now).as_secs_f64() as u32;
                 let response =
                     DnsMessage::dns_cache_response(&query, *ip, remaining.max(1), tuples);
@@ -460,7 +461,7 @@ impl ApNode {
         }
 
         // Forward upstream; flags are recomputed when the answer returns.
-        ctx.metrics().incr(names::AP_DNS_FORWARDS, 1);
+        ctx.metrics().incr_id(names::id::AP_DNS_FORWARDS, 1);
         let span = ctx.span_start(SpanKind::DnsUpstream.as_str());
         let txn = self.alloc_txn();
         self.pending_forwards.insert(
@@ -579,7 +580,7 @@ impl ApNode {
         if let Some(op) = op {
             self.cache.note_request(op.app);
         }
-        ctx.metrics().incr(names::AP_DATA_REQUESTS, 1);
+        ctx.metrics().incr_id(names::id::AP_DATA_REQUESTS, 1);
 
         match self.cache.lookup(key, now) {
             Lookup::Hit => {
@@ -589,7 +590,7 @@ impl ApNode {
                     .get(key)
                     .map(|e| e.meta.size)
                     .expect("hit entry exists");
-                ctx.metrics().incr(names::AP_CACHE_HITS, 1);
+                ctx.metrics().incr_id(names::id::AP_CACHE_HITS, 1);
                 ctx.send_after(
                     latency,
                     from,
@@ -603,11 +604,11 @@ impl ApNode {
             }
             Lookup::Blocked => {
                 // Block-listed: fetch-and-forward without caching.
-                ctx.metrics().incr(names::AP_BLOCKED_SERVES, 1);
+                ctx.metrics().incr_id(names::id::AP_BLOCKED_SERVES, 1);
                 self.enqueue_delegation(ctx, from, conn, req, request.url, op, false);
             }
             Lookup::Expired | Lookup::Absent => {
-                ctx.metrics().incr(names::AP_DELEGATIONS, 1);
+                ctx.metrics().incr_id(names::id::AP_DELEGATIONS, 1);
                 self.enqueue_delegation(ctx, from, conn, req, request.url, op, true);
             }
         }
@@ -758,8 +759,10 @@ impl ApNode {
             return;
         };
         let fetch_latency = now - delegation.started;
-        ctx.metrics()
-            .observe(names::AP_DELEGATION_FETCH_MS, fetch_latency.as_millis_f64());
+        ctx.metrics().observe_id(
+            names::id::AP_DELEGATION_FETCH_MS,
+            fetch_latency.as_millis_f64(),
+        );
         if let Some(span) = delegation.span {
             ctx.span_end(span, SpanKind::WanFetch.as_str());
         }
@@ -779,19 +782,22 @@ impl ApNode {
             // interval so `repro trace` attributes eviction cost per
             // admission.
             let evict_span = ctx.span_start(SpanKind::CacheEvict.as_str());
+            let prof = ctx.prof_start();
             let stats_before = self.cache.policy().evict_stats();
-            match self.cache.admit(meta, now) {
+            let outcome = self.cache.admit(meta, now);
+            ctx.prof_end(ProfCategory::Evict, prof);
+            match outcome {
                 AdmitOutcome::Stored { evicted } => {
-                    ctx.metrics().incr(names::AP_ADMISSIONS, 1);
+                    ctx.metrics().incr_id(names::id::AP_ADMISSIONS, 1);
                     ctx.metrics()
-                        .incr(names::AP_EVICTIONS, evicted.len() as u64);
+                        .incr_id(names::id::AP_EVICTIONS, evicted.len() as u64);
                     self.advertise(ctx, vec![key], evicted);
                 }
                 AdmitOutcome::Blocked => {
-                    ctx.metrics().incr(names::AP_BLOCK_LISTED, 1);
+                    ctx.metrics().incr_id(names::id::AP_BLOCK_LISTED, 1);
                 }
                 AdmitOutcome::Declined => {
-                    ctx.metrics().incr(names::AP_ADMIT_DECLINED, 1);
+                    ctx.metrics().incr_id(names::id::AP_ADMIT_DECLINED, 1);
                 }
             }
             self.record_evict_stats(ctx, stats_before);
@@ -836,7 +842,7 @@ impl ApNode {
             if self.delegations.contains_key(&key) {
                 continue; // already being fetched
             }
-            ctx.metrics().incr(names::AP_PREFETCHES, 1);
+            ctx.metrics().incr_id(names::id::AP_PREFETCHES, 1);
             self.registry.insert(key, RegisteredUrl { op: hint.op });
             self.delegations.insert(
                 key,
@@ -863,34 +869,34 @@ impl ApNode {
         };
         let deltas = [
             (
-                names::AP_EVICT_SOLVER_RUNS,
+                names::id::AP_EVICT_SOLVER_RUNS,
                 after.solver_runs - before.solver_runs,
             ),
             (
-                names::AP_EVICT_ITEMS,
+                names::id::AP_EVICT_ITEMS,
                 after.items_considered - before.items_considered,
             ),
-            (names::AP_EVICT_DP_RUNS, after.dp_runs - before.dp_runs),
+            (names::id::AP_EVICT_DP_RUNS, after.dp_runs - before.dp_runs),
             (
-                names::AP_EVICT_GREEDY_RUNS,
+                names::id::AP_EVICT_GREEDY_RUNS,
                 after.greedy_runs - before.greedy_runs,
             ),
             (
-                names::AP_EVICT_SHORT_CIRCUITS,
+                names::id::AP_EVICT_SHORT_CIRCUITS,
                 after.short_circuits - before.short_circuits,
             ),
             (
-                names::AP_EVICT_FORCED,
+                names::id::AP_EVICT_FORCED,
                 after.forced_victims - before.forced_victims,
             ),
             (
-                names::AP_EVICT_REPAIRS,
+                names::id::AP_EVICT_REPAIRS,
                 after.repair_evictions - before.repair_evictions,
             ),
         ];
-        for (name, delta) in deltas {
+        for (id, delta) in deltas {
             if delta > 0 {
-                ctx.metrics().incr(name, delta);
+                ctx.metrics().incr_id(id, delta);
             }
         }
     }
@@ -905,7 +911,8 @@ impl ApNode {
             let Some(delegation) = self.delegations.remove(&key) else {
                 continue;
             };
-            ctx.metrics().incr(names::AP_DELEGATION_DNS_FAILURES, 1);
+            ctx.metrics()
+                .incr_id(names::id::AP_DELEGATION_DNS_FAILURES, 1);
             if let Some(span) = delegation.span {
                 ctx.span_end(span, SpanKind::WanFetch.as_str());
             }
@@ -964,7 +971,7 @@ impl ApNode {
                     .question_name()
                     .cloned()
                     .map(|d| DnsMessage::query(txn, d));
-                ctx.metrics().incr(names::AP_DNS_UPSTREAM_RETRIES, 1);
+                ctx.metrics().incr_id(names::id::AP_DNS_UPSTREAM_RETRIES, 1);
                 ctx.set_span_ctx(self.pending_forwards[&txn].span);
                 if let Some(query) = query {
                     ctx.send(upstream, Msg::Dns(query));
@@ -973,7 +980,8 @@ impl ApNode {
             }
             let pending = self.pending_forwards.remove(&txn).expect("collected above");
             ctx.set_span_ctx(None);
-            ctx.metrics().incr(names::AP_DNS_UPSTREAM_GIVE_UPS, 1);
+            ctx.metrics()
+                .incr_id(names::id::AP_DNS_UPSTREAM_GIVE_UPS, 1);
             if let Some(span) = pending.span {
                 ctx.span_end(span, SpanKind::DnsUpstream.as_str());
             }
@@ -1027,7 +1035,7 @@ impl ApNode {
                 if let Some(up) = d.upstream_req.take() {
                     self.delegation_reqs.remove(&up);
                 }
-                ctx.metrics().incr(names::AP_DELEGATION_RETRIES, 1);
+                ctx.metrics().incr_id(names::id::AP_DELEGATION_RETRIES, 1);
                 self.start_upstream_fetch(ctx, key);
                 continue;
             }
@@ -1036,7 +1044,7 @@ impl ApNode {
             if let Some(up) = delegation.upstream_req {
                 self.delegation_reqs.remove(&up);
             }
-            ctx.metrics().incr(names::AP_DELEGATION_REAPS, 1);
+            ctx.metrics().incr_id(names::id::AP_DELEGATION_REAPS, 1);
             if let Some(span) = delegation.span {
                 ctx.span_end(span, SpanKind::WanFetch.as_str());
             }
@@ -1066,6 +1074,7 @@ impl ApNode {
             return;
         }
         self.next_window_roll = now + self.config.window;
+        let prof = ctx.prof_start();
         self.cache.roll_window(now);
         let purged: Vec<_> = self
             .cache
@@ -1073,8 +1082,9 @@ impl ApNode {
             .into_iter()
             .map(|meta| meta.key)
             .collect();
+        ctx.prof_end(ProfCategory::Evict, prof);
         ctx.metrics()
-            .incr(names::AP_TTL_PURGES, purged.len() as u64);
+            .incr_id(names::id::AP_TTL_PURGES, purged.len() as u64);
         self.advertise(ctx, Vec::new(), purged);
     }
 
@@ -1083,11 +1093,11 @@ impl ApNode {
         let cpu = self.cpu.sample_utilization(now);
         let ape_mem = self.ape_memory_bytes();
         self.mem.alloc(0); // keep the meter's peak tracking coherent
-        ctx.metrics().record_point(names::AP_CPU, now, cpu);
+        ctx.metrics().record_point_id(names::id::AP_CPU, now, cpu);
         ctx.metrics()
-            .record_point(names::AP_APE_MEM_MB, now, ape_mem as f64 / 1e6);
-        ctx.metrics().record_point(
-            names::AP_TOTAL_MEM_MB,
+            .record_point_id(names::id::AP_APE_MEM_MB, now, ape_mem as f64 / 1e6);
+        ctx.metrics().record_point_id(
+            names::id::AP_TOTAL_MEM_MB,
             now,
             (self.config.mem_baseline + ape_mem) as f64 / 1e6,
         );

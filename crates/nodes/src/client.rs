@@ -384,11 +384,13 @@ impl ClientNode {
         self.report.executions += 1;
         let latency = (ctx.now() - exec.started).as_millis_f64();
         let name = self.apps[exec.app_idx].name().to_owned();
-        ctx.metrics().observe(names::CLIENT_APP_LATENCY_MS, latency);
+        ctx.metrics()
+            .observe_id(names::id::CLIENT_APP_LATENCY_MS, latency);
         ctx.metrics()
             .observe(&names::client_app_latency_ms(&name), latency);
         if exec.failed {
-            ctx.metrics().incr(names::CLIENT_FAILED_EXECUTIONS, 1);
+            ctx.metrics()
+                .incr_id(names::id::CLIENT_FAILED_EXECUTIONS, 1);
         }
     }
 
@@ -428,7 +430,7 @@ impl ClientNode {
             retrieval_span: None,
         };
         self.fetches.insert(req, fetch);
-        ctx.metrics().incr(names::CLIENT_FETCHES, 1);
+        ctx.metrics().incr_id(names::id::CLIENT_FETCHES, 1);
 
         match self.config.strategy {
             Strategy::ApeCache => self.lookup_ape(ctx, req),
@@ -480,7 +482,7 @@ impl ClientNode {
             f.lookup_was_query = true;
             f.phase = Phase::AwaitingController;
         }
-        ctx.metrics().incr(names::CLIENT_WICACHE_LOOKUPS, 1);
+        ctx.metrics().incr_id(names::id::CLIENT_WICACHE_LOOKUPS, 1);
         ctx.send_after(
             self.config.processing,
             controller,
@@ -567,7 +569,7 @@ impl ClientNode {
             },
         );
         self.txn_domains.insert(txn, domain);
-        ctx.metrics().incr(names::CLIENT_DNS_QUERIES, 1);
+        ctx.metrics().incr_id(names::id::CLIENT_DNS_QUERIES, 1);
         ctx.send_after(
             self.config.processing,
             self.config.dns_server,
@@ -604,10 +606,10 @@ impl ClientNode {
             if fetch.lookup_was_query {
                 let lookup_ms = (now - fetch.lookup_started).as_millis_f64();
                 ctx.metrics()
-                    .observe(names::CLIENT_LOOKUP_QUERY_MS, lookup_ms);
+                    .observe_id(names::id::CLIENT_LOOKUP_QUERY_MS, lookup_ms);
             }
-            ctx.metrics().observe(
-                names::CLIENT_LOOKUP_OP_MS,
+            ctx.metrics().observe_id(
+                names::id::CLIENT_LOOKUP_OP_MS,
                 (now - fetch.lookup_started).as_millis_f64(),
             );
         }
@@ -686,7 +688,7 @@ impl ClientNode {
             .collect();
         if !hints.is_empty() {
             ctx.metrics()
-                .incr(names::CLIENT_PREFETCH_HINTS, hints.len() as u64);
+                .incr_id(names::id::CLIENT_PREFETCH_HINTS, hints.len() as u64);
             ctx.send_after(
                 self.config.processing,
                 self.config.ap,
@@ -703,7 +705,7 @@ impl ClientNode {
             self.conns.remove(&conn);
         }
         self.report.failures += 1;
-        ctx.metrics().incr(names::CLIENT_FETCH_FAILURES, 1);
+        ctx.metrics().incr_id(names::id::CLIENT_FETCH_FAILURES, 1);
         if let Some(span) = fetch.lookup_span {
             ctx.span_end(span, SpanKind::Lookup.as_str());
         }
@@ -785,26 +787,26 @@ impl ClientNode {
             if spec.priority.is_high() {
                 self.report.high_hits += 1;
             }
-            ctx.metrics().incr(names::CLIENT_CACHE_HITS, 1);
+            ctx.metrics().incr_id(names::id::CLIENT_CACHE_HITS, 1);
         }
         if let Some(retrieval_started) = fetch.retrieval_started {
             let retrieval_ms = (now - retrieval_started).as_millis_f64();
             match mode {
                 FetchMode::ApHit => ctx
                     .metrics()
-                    .observe(names::CLIENT_RETRIEVAL_HIT_MS, retrieval_ms),
+                    .observe_id(names::id::CLIENT_RETRIEVAL_HIT_MS, retrieval_ms),
                 FetchMode::Delegation => ctx
                     .metrics()
-                    .observe(names::CLIENT_RETRIEVAL_DELEGATION_MS, retrieval_ms),
+                    .observe_id(names::id::CLIENT_RETRIEVAL_DELEGATION_MS, retrieval_ms),
                 FetchMode::Edge => ctx
                     .metrics()
-                    .observe(names::CLIENT_RETRIEVAL_EDGE_MS, retrieval_ms),
+                    .observe_id(names::id::CLIENT_RETRIEVAL_EDGE_MS, retrieval_ms),
             }
             ctx.metrics()
-                .observe(names::CLIENT_RETRIEVAL_MS, retrieval_ms);
+                .observe_id(names::id::CLIENT_RETRIEVAL_MS, retrieval_ms);
         }
-        ctx.metrics().observe(
-            names::CLIENT_OBJECT_TOTAL_MS,
+        ctx.metrics().observe_id(
+            names::id::CLIENT_OBJECT_TOTAL_MS,
             (now - fetch.started).as_millis_f64(),
         );
 
@@ -894,7 +896,7 @@ impl ClientNode {
             pending.hashes = hashes;
             self.txn_domains.insert(txn2, domain.clone());
             self.pending_dns.insert(domain, pending);
-            ctx.metrics().incr(names::CLIENT_DNS_QUERIES, 1);
+            ctx.metrics().incr_id(names::id::CLIENT_DNS_QUERIES, 1);
             ctx.send_after(
                 self.config.processing,
                 self.config.dns_server,
@@ -952,14 +954,14 @@ impl ClientNode {
         if pending.retries >= self.config.dns_retries {
             let pending = self.pending_dns.remove(&domain).expect("present above");
             self.txn_domains.remove(&txn);
-            ctx.metrics().incr(names::CLIENT_DNS_GIVE_UPS, 1);
+            ctx.metrics().incr_id(names::id::CLIENT_DNS_GIVE_UPS, 1);
             for req in pending.waiting {
                 self.fail_fetch(ctx, req);
             }
             return;
         }
         pending.retries += 1;
-        ctx.metrics().incr(names::CLIENT_DNS_RETRIES, 1);
+        ctx.metrics().incr_id(names::id::CLIENT_DNS_RETRIES, 1);
         let query = if pending.hashes.is_empty() {
             DnsMessage::query(txn, domain.clone())
         } else {
@@ -993,7 +995,7 @@ impl ClientNode {
         }
         ctx.set_span_ctx(fetch.root_span);
         if fetch.attempt >= self.config.http_retries {
-            ctx.metrics().incr(names::CLIENT_HTTP_GIVE_UPS, 1);
+            ctx.metrics().incr_id(names::id::CLIENT_HTTP_GIVE_UPS, 1);
             self.fail_fetch(ctx, req);
             return;
         }
@@ -1006,7 +1008,7 @@ impl ClientNode {
         if let Some((span, kind)) = fetch.retrieval_span.take() {
             ctx.span_end(span, kind.as_str());
         }
-        ctx.metrics().incr(names::CLIENT_HTTP_RETRIES, 1);
+        ctx.metrics().incr_id(names::id::CLIENT_HTTP_RETRIES, 1);
         match self.config.strategy {
             Strategy::ApeCache => self.lookup_ape(ctx, req),
             Strategy::EdgeCache => self.lookup_edge(ctx, req),

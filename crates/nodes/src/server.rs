@@ -224,7 +224,7 @@ impl Node<Msg> for EdgeNode {
                 // handshake is modelled by a SYN the origin answers while
                 // the request is already queued behind it.
                 self.misses += 1;
-                ctx.metrics().incr(names::EDGE_ORIGIN_FETCHES, 1);
+                ctx.metrics().incr_id(names::id::EDGE_ORIGIN_FETCHES, 1);
                 let span = ctx.span_start(SpanKind::OriginFetch.as_str());
                 let up_conn = ConnId(self.next_conn);
                 self.next_conn += 1;

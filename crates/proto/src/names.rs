@@ -126,9 +126,226 @@ pub fn client_app_latency_ms(app: &str) -> String {
 /// Edge cache misses filled from the origin.
 pub const EDGE_ORIGIN_FETCHES: &str = "edge.origin_fetches";
 
+/// Interned [`MetricId`](ape_simnet::MetricId)s for every static key above.
+///
+/// The hot recording paths (`incr_id`/`observe_id`/`record_point_id`) index
+/// a slot table by these instead of hashing a string, so steady-state metric
+/// recording does zero string work. Indices `0..FIRST_FREE_INDEX` belong to
+/// `ape_simnet` (the `net.*` keys, re-exported here); the rest are allocated
+/// densely in declaration order. Only static keys get ids — the dynamic
+/// per-app histograms ([`client_app_latency_ms`]) stay on the string API.
+pub mod id {
+    use ape_simnet::keys::id::FIRST_FREE_INDEX;
+    pub use ape_simnet::keys::id::{NET_BYTES, NET_DROPPED, NET_FAULT_DROPPED, NET_MESSAGES};
+    use ape_simnet::MetricId;
+
+    const BASE: u16 = FIRST_FREE_INDEX;
+
+    /// Interned [`super::AP_DNS_QUERIES`].
+    pub const AP_DNS_QUERIES: MetricId = MetricId::new(BASE, super::AP_DNS_QUERIES);
+    /// Interned [`super::AP_DNS_CACHE_QUERIES`].
+    pub const AP_DNS_CACHE_QUERIES: MetricId = MetricId::new(BASE + 1, super::AP_DNS_CACHE_QUERIES);
+    /// Interned [`super::AP_DNS_CACHE_HITS`].
+    pub const AP_DNS_CACHE_HITS: MetricId = MetricId::new(BASE + 2, super::AP_DNS_CACHE_HITS);
+    /// Interned [`super::AP_SHORT_CIRCUITS`].
+    pub const AP_SHORT_CIRCUITS: MetricId = MetricId::new(BASE + 3, super::AP_SHORT_CIRCUITS);
+    /// Interned [`super::AP_DNS_FORWARDS`].
+    pub const AP_DNS_FORWARDS: MetricId = MetricId::new(BASE + 4, super::AP_DNS_FORWARDS);
+    /// Interned [`super::AP_CACHE_HITS`].
+    pub const AP_CACHE_HITS: MetricId = MetricId::new(BASE + 5, super::AP_CACHE_HITS);
+    /// Interned [`super::AP_DATA_REQUESTS`].
+    pub const AP_DATA_REQUESTS: MetricId = MetricId::new(BASE + 6, super::AP_DATA_REQUESTS);
+    /// Interned [`super::AP_BLOCKED_SERVES`].
+    pub const AP_BLOCKED_SERVES: MetricId = MetricId::new(BASE + 7, super::AP_BLOCKED_SERVES);
+    /// Interned [`super::AP_DELEGATIONS`].
+    pub const AP_DELEGATIONS: MetricId = MetricId::new(BASE + 8, super::AP_DELEGATIONS);
+    /// Interned [`super::AP_DELEGATION_DNS_FAILURES`].
+    pub const AP_DELEGATION_DNS_FAILURES: MetricId =
+        MetricId::new(BASE + 9, super::AP_DELEGATION_DNS_FAILURES);
+    /// Interned [`super::AP_DELEGATION_FETCH_MS`].
+    pub const AP_DELEGATION_FETCH_MS: MetricId =
+        MetricId::new(BASE + 10, super::AP_DELEGATION_FETCH_MS);
+    /// Interned [`super::AP_ADMISSIONS`].
+    pub const AP_ADMISSIONS: MetricId = MetricId::new(BASE + 11, super::AP_ADMISSIONS);
+    /// Interned [`super::AP_EVICTIONS`].
+    pub const AP_EVICTIONS: MetricId = MetricId::new(BASE + 12, super::AP_EVICTIONS);
+    /// Interned [`super::AP_ADMIT_DECLINED`].
+    pub const AP_ADMIT_DECLINED: MetricId = MetricId::new(BASE + 13, super::AP_ADMIT_DECLINED);
+    /// Interned [`super::AP_BLOCK_LISTED`].
+    pub const AP_BLOCK_LISTED: MetricId = MetricId::new(BASE + 14, super::AP_BLOCK_LISTED);
+    /// Interned [`super::AP_TTL_PURGES`].
+    pub const AP_TTL_PURGES: MetricId = MetricId::new(BASE + 15, super::AP_TTL_PURGES);
+    /// Interned [`super::AP_EVICT_SOLVER_RUNS`].
+    pub const AP_EVICT_SOLVER_RUNS: MetricId =
+        MetricId::new(BASE + 16, super::AP_EVICT_SOLVER_RUNS);
+    /// Interned [`super::AP_EVICT_ITEMS`].
+    pub const AP_EVICT_ITEMS: MetricId = MetricId::new(BASE + 17, super::AP_EVICT_ITEMS);
+    /// Interned [`super::AP_EVICT_DP_RUNS`].
+    pub const AP_EVICT_DP_RUNS: MetricId = MetricId::new(BASE + 18, super::AP_EVICT_DP_RUNS);
+    /// Interned [`super::AP_EVICT_GREEDY_RUNS`].
+    pub const AP_EVICT_GREEDY_RUNS: MetricId =
+        MetricId::new(BASE + 19, super::AP_EVICT_GREEDY_RUNS);
+    /// Interned [`super::AP_EVICT_SHORT_CIRCUITS`].
+    pub const AP_EVICT_SHORT_CIRCUITS: MetricId =
+        MetricId::new(BASE + 20, super::AP_EVICT_SHORT_CIRCUITS);
+    /// Interned [`super::AP_EVICT_FORCED`].
+    pub const AP_EVICT_FORCED: MetricId = MetricId::new(BASE + 21, super::AP_EVICT_FORCED);
+    /// Interned [`super::AP_EVICT_REPAIRS`].
+    pub const AP_EVICT_REPAIRS: MetricId = MetricId::new(BASE + 22, super::AP_EVICT_REPAIRS);
+    /// Interned [`super::AP_PREFETCHES`].
+    pub const AP_PREFETCHES: MetricId = MetricId::new(BASE + 23, super::AP_PREFETCHES);
+    /// Interned [`super::AP_DNS_UPSTREAM_RETRIES`].
+    pub const AP_DNS_UPSTREAM_RETRIES: MetricId =
+        MetricId::new(BASE + 24, super::AP_DNS_UPSTREAM_RETRIES);
+    /// Interned [`super::AP_DNS_UPSTREAM_GIVE_UPS`].
+    pub const AP_DNS_UPSTREAM_GIVE_UPS: MetricId =
+        MetricId::new(BASE + 25, super::AP_DNS_UPSTREAM_GIVE_UPS);
+    /// Interned [`super::AP_DELEGATION_RETRIES`].
+    pub const AP_DELEGATION_RETRIES: MetricId =
+        MetricId::new(BASE + 26, super::AP_DELEGATION_RETRIES);
+    /// Interned [`super::AP_DELEGATION_REAPS`].
+    pub const AP_DELEGATION_REAPS: MetricId = MetricId::new(BASE + 27, super::AP_DELEGATION_REAPS);
+    /// Interned [`super::AP_CPU`].
+    pub const AP_CPU: MetricId = MetricId::new(BASE + 28, super::AP_CPU);
+    /// Interned [`super::AP_APE_MEM_MB`].
+    pub const AP_APE_MEM_MB: MetricId = MetricId::new(BASE + 29, super::AP_APE_MEM_MB);
+    /// Interned [`super::AP_TOTAL_MEM_MB`].
+    pub const AP_TOTAL_MEM_MB: MetricId = MetricId::new(BASE + 30, super::AP_TOTAL_MEM_MB);
+    /// Interned [`super::CLIENT_FETCHES`].
+    pub const CLIENT_FETCHES: MetricId = MetricId::new(BASE + 31, super::CLIENT_FETCHES);
+    /// Interned [`super::CLIENT_FETCH_FAILURES`].
+    pub const CLIENT_FETCH_FAILURES: MetricId =
+        MetricId::new(BASE + 32, super::CLIENT_FETCH_FAILURES);
+    /// Interned [`super::CLIENT_FAILED_EXECUTIONS`].
+    pub const CLIENT_FAILED_EXECUTIONS: MetricId =
+        MetricId::new(BASE + 33, super::CLIENT_FAILED_EXECUTIONS);
+    /// Interned [`super::CLIENT_DNS_QUERIES`].
+    pub const CLIENT_DNS_QUERIES: MetricId = MetricId::new(BASE + 34, super::CLIENT_DNS_QUERIES);
+    /// Interned [`super::CLIENT_DNS_RETRIES`].
+    pub const CLIENT_DNS_RETRIES: MetricId = MetricId::new(BASE + 35, super::CLIENT_DNS_RETRIES);
+    /// Interned [`super::CLIENT_DNS_GIVE_UPS`].
+    pub const CLIENT_DNS_GIVE_UPS: MetricId = MetricId::new(BASE + 36, super::CLIENT_DNS_GIVE_UPS);
+    /// Interned [`super::CLIENT_HTTP_RETRIES`].
+    pub const CLIENT_HTTP_RETRIES: MetricId = MetricId::new(BASE + 37, super::CLIENT_HTTP_RETRIES);
+    /// Interned [`super::CLIENT_HTTP_GIVE_UPS`].
+    pub const CLIENT_HTTP_GIVE_UPS: MetricId =
+        MetricId::new(BASE + 38, super::CLIENT_HTTP_GIVE_UPS);
+    /// Interned [`super::CLIENT_WICACHE_LOOKUPS`].
+    pub const CLIENT_WICACHE_LOOKUPS: MetricId =
+        MetricId::new(BASE + 39, super::CLIENT_WICACHE_LOOKUPS);
+    /// Interned [`super::CLIENT_CACHE_HITS`].
+    pub const CLIENT_CACHE_HITS: MetricId = MetricId::new(BASE + 40, super::CLIENT_CACHE_HITS);
+    /// Interned [`super::CLIENT_PREFETCH_HINTS`].
+    pub const CLIENT_PREFETCH_HINTS: MetricId =
+        MetricId::new(BASE + 41, super::CLIENT_PREFETCH_HINTS);
+    /// Interned [`super::CLIENT_LOOKUP_QUERY_MS`].
+    pub const CLIENT_LOOKUP_QUERY_MS: MetricId =
+        MetricId::new(BASE + 42, super::CLIENT_LOOKUP_QUERY_MS);
+    /// Interned [`super::CLIENT_LOOKUP_OP_MS`].
+    pub const CLIENT_LOOKUP_OP_MS: MetricId = MetricId::new(BASE + 43, super::CLIENT_LOOKUP_OP_MS);
+    /// Interned [`super::CLIENT_RETRIEVAL_MS`].
+    pub const CLIENT_RETRIEVAL_MS: MetricId = MetricId::new(BASE + 44, super::CLIENT_RETRIEVAL_MS);
+    /// Interned [`super::CLIENT_RETRIEVAL_HIT_MS`].
+    pub const CLIENT_RETRIEVAL_HIT_MS: MetricId =
+        MetricId::new(BASE + 45, super::CLIENT_RETRIEVAL_HIT_MS);
+    /// Interned [`super::CLIENT_RETRIEVAL_DELEGATION_MS`].
+    pub const CLIENT_RETRIEVAL_DELEGATION_MS: MetricId =
+        MetricId::new(BASE + 46, super::CLIENT_RETRIEVAL_DELEGATION_MS);
+    /// Interned [`super::CLIENT_RETRIEVAL_EDGE_MS`].
+    pub const CLIENT_RETRIEVAL_EDGE_MS: MetricId =
+        MetricId::new(BASE + 47, super::CLIENT_RETRIEVAL_EDGE_MS);
+    /// Interned [`super::CLIENT_OBJECT_TOTAL_MS`].
+    pub const CLIENT_OBJECT_TOTAL_MS: MetricId =
+        MetricId::new(BASE + 48, super::CLIENT_OBJECT_TOTAL_MS);
+    /// Interned [`super::CLIENT_APP_LATENCY_MS`].
+    pub const CLIENT_APP_LATENCY_MS: MetricId =
+        MetricId::new(BASE + 49, super::CLIENT_APP_LATENCY_MS);
+    /// Interned [`super::EDGE_ORIGIN_FETCHES`].
+    pub const EDGE_ORIGIN_FETCHES: MetricId = MetricId::new(BASE + 50, super::EDGE_ORIGIN_FETCHES);
+
+    /// Every interned id, `net.*` keys included, indexed by
+    /// [`MetricId::index`] — the registry the uniqueness test walks.
+    pub const ALL: [MetricId; BASE as usize + 51] = [
+        NET_MESSAGES,
+        NET_BYTES,
+        NET_DROPPED,
+        NET_FAULT_DROPPED,
+        AP_DNS_QUERIES,
+        AP_DNS_CACHE_QUERIES,
+        AP_DNS_CACHE_HITS,
+        AP_SHORT_CIRCUITS,
+        AP_DNS_FORWARDS,
+        AP_CACHE_HITS,
+        AP_DATA_REQUESTS,
+        AP_BLOCKED_SERVES,
+        AP_DELEGATIONS,
+        AP_DELEGATION_DNS_FAILURES,
+        AP_DELEGATION_FETCH_MS,
+        AP_ADMISSIONS,
+        AP_EVICTIONS,
+        AP_ADMIT_DECLINED,
+        AP_BLOCK_LISTED,
+        AP_TTL_PURGES,
+        AP_EVICT_SOLVER_RUNS,
+        AP_EVICT_ITEMS,
+        AP_EVICT_DP_RUNS,
+        AP_EVICT_GREEDY_RUNS,
+        AP_EVICT_SHORT_CIRCUITS,
+        AP_EVICT_FORCED,
+        AP_EVICT_REPAIRS,
+        AP_PREFETCHES,
+        AP_DNS_UPSTREAM_RETRIES,
+        AP_DNS_UPSTREAM_GIVE_UPS,
+        AP_DELEGATION_RETRIES,
+        AP_DELEGATION_REAPS,
+        AP_CPU,
+        AP_APE_MEM_MB,
+        AP_TOTAL_MEM_MB,
+        CLIENT_FETCHES,
+        CLIENT_FETCH_FAILURES,
+        CLIENT_FAILED_EXECUTIONS,
+        CLIENT_DNS_QUERIES,
+        CLIENT_DNS_RETRIES,
+        CLIENT_DNS_GIVE_UPS,
+        CLIENT_HTTP_RETRIES,
+        CLIENT_HTTP_GIVE_UPS,
+        CLIENT_WICACHE_LOOKUPS,
+        CLIENT_CACHE_HITS,
+        CLIENT_PREFETCH_HINTS,
+        CLIENT_LOOKUP_QUERY_MS,
+        CLIENT_LOOKUP_OP_MS,
+        CLIENT_RETRIEVAL_MS,
+        CLIENT_RETRIEVAL_HIT_MS,
+        CLIENT_RETRIEVAL_DELEGATION_MS,
+        CLIENT_RETRIEVAL_EDGE_MS,
+        CLIENT_OBJECT_TOTAL_MS,
+        CLIENT_APP_LATENCY_MS,
+        EDGE_ORIGIN_FETCHES,
+    ];
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn interned_ids_are_dense_unique_and_named() {
+        for (i, id) in id::ALL.iter().enumerate() {
+            assert_eq!(id.index(), i, "id {:?} out of registry order", id.name());
+        }
+        let mut names: Vec<&str> = id::ALL.iter().map(|id| id.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), id::ALL.len(), "duplicate metric name");
+    }
+
+    #[test]
+    fn interned_ids_carry_their_string_names() {
+        assert_eq!(id::AP_CACHE_HITS.name(), AP_CACHE_HITS);
+        assert_eq!(id::CLIENT_APP_LATENCY_MS.name(), CLIENT_APP_LATENCY_MS);
+        assert_eq!(id::EDGE_ORIGIN_FETCHES.name(), EDGE_ORIGIN_FETCHES);
+        assert_eq!(id::NET_MESSAGES.name(), NET_MESSAGES);
+    }
 
     #[test]
     fn per_app_key_round_trips_through_prefix() {

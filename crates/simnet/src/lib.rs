@@ -56,6 +56,7 @@ mod fault;
 mod link;
 mod metrics;
 mod node;
+mod profiler;
 pub mod reference;
 mod resource;
 mod rng;
@@ -67,8 +68,9 @@ mod world;
 pub use determinism::{DeterminismReport, Fingerprint, PerturbedRun};
 pub use fault::{FaultKind, FaultPlan, FaultWindow, LinkEffect};
 pub use link::{LinkSpec, Topology};
-pub use metrics::{keys, Histogram, Metrics, TimeSeries};
+pub use metrics::{keys, Histogram, HistogramMode, MetricId, Metrics, MetricsConfig, TimeSeries};
 pub use node::{AsAny, Message, Node, NodeId, TimerToken};
+pub use profiler::{ProfCategory, ProfTimer, ProfileReport, Profiler, PROF_CATEGORIES};
 pub use resource::{CpuMeter, MemMeter};
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};

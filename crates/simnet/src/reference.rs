@@ -1,18 +1,26 @@
-//! Frozen pre-wheel event queue, kept as a differential-testing oracle.
+//! Frozen seed implementations, kept as differential-testing oracles.
 //!
-//! This is the `BinaryHeap` scheduler the simulator shipped with before the
-//! timing-wheel rewrite ([`crate::TimerWheel`]), re-shaped to the same
-//! generic `(at, seq, item)` interface. Like
-//! `ape_cachealg::reference::ReferencePacm`, it exists so the optimized
-//! engine is checked against the code that actually shipped:
+//! Two engines live here, both preserved verbatim from the code that
+//! actually shipped, in the `ape_cachealg::reference::ReferencePacm` style:
 //!
-//! * the wheel's unit tests and the `wheel_differential` property suite pop
+//! * [`ReferenceEventQueue`] — the `BinaryHeap` scheduler the simulator
+//!   shipped with before the timing-wheel rewrite ([`crate::TimerWheel`]).
+//!   The wheel's unit tests and the `wheel_differential` property suite pop
 //!   randomized schedules through both queues and assert identical
 //!   sequences;
-//! * [`World::enable_queue_oracle`](crate::World::enable_queue_oracle)
-//!   mirrors every live push/pop against this heap during a run;
-//! * `repro bench-simworld` times the wheel against it and reports the
-//!   speedup in `BENCH_simworld.json`.
+//!   [`World::enable_queue_oracle`](crate::World::enable_queue_oracle)
+//!   mirrors every live push/pop against this heap during a run; and
+//!   `repro bench-simworld` times the wheel against it
+//!   (`BENCH_simworld.json`).
+//! * [`ExactHistogram`] — the sample-hoarding `Vec<f64>` histogram the
+//!   metric registry shipped with before the fixed-memory sketch rewrite
+//!   ([`crate::Histogram`] in [`HistogramMode::Sketch`]
+//!   (crate::HistogramMode)). The `metrics_sketch` property suite records
+//!   randomized and adversarial distributions through both and asserts the
+//!   sketch's quantiles stay within its error bound;
+//!   [`MetricsConfig::sketch_oracle`](crate::MetricsConfig) shadows every
+//!   live sketch with one of these during a run; and `repro bench-metrics`
+//!   times the sketch observe path against it (`BENCH_metrics.json`).
 //!
 //! Do not "improve" this module — its value is that it stays frozen.
 
@@ -125,6 +133,149 @@ impl<T> ReferenceEventQueue<T> {
     }
 }
 
+/// The seed metric histogram: every observation stored exactly in a
+/// `Vec<f64>`, quantiles by lazy sort + nearest rank, `mean`/`min`/`max`
+/// as O(n) scans per query.
+///
+/// This is, verbatim, the `Histogram` the registry shipped with before the
+/// fixed-memory sketch rewrite (modulo renames). It is the ground truth the
+/// sketch is differentially tested against: exact quantiles over the full
+/// sample set, at the cost of unbounded memory — the very cost the sketch
+/// removes.
+///
+/// # Examples
+///
+/// ```
+/// use ape_simnet::reference::ExactHistogram;
+///
+/// let mut h = ExactHistogram::new();
+/// for v in [1.0, 2.0, 3.0, 4.0] {
+///     h.record(v);
+/// }
+/// assert_eq!(h.mean(), 2.5);
+/// assert_eq!(h.quantile(0.5), 2.0);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ExactHistogram {
+    samples: Vec<f64>,
+    sorted: bool,
+    /// Non-finite observations rejected by [`record`](Self::record).
+    dropped: u64,
+}
+
+impl ExactHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        ExactHistogram::default()
+    }
+
+    /// Records one observation; non-finite values are dropped and counted
+    /// (the seed's release-mode behavior — the oracle must keep counting
+    /// where the live histogram would debug-panic, so the two stay
+    /// comparable in release test builds).
+    pub fn record(&mut self, value: f64) {
+        if value.is_finite() {
+            self.samples.push(value);
+            self.sorted = false;
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    /// Number of non-finite observations rejected by [`record`](Self::record).
+    pub fn dropped_samples(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether no observations have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Arithmetic mean, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.samples.iter().sum::<f64>() / self.samples.len() as f64
+        }
+    }
+
+    /// Smallest observation, or 0.0 when empty.
+    pub fn min(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.samples.iter().copied().fold(f64::INFINITY, f64::min)
+        }
+    }
+
+    /// Largest observation, or 0.0 when empty.
+    pub fn max(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.samples
+                .iter()
+                .copied()
+                .fold(f64::NEG_INFINITY, f64::max)
+        }
+    }
+
+    /// Sum of all observations, or 0.0 when empty — the seed's
+    /// insertion-order `iter().sum()` fold.
+    pub fn sum(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.samples.iter().sum()
+        }
+    }
+
+    /// The `q`-quantile (nearest-rank), `q` in `[0, 1]`; 0.0 when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&mut self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile {q} out of range");
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        if !self.sorted {
+            self.samples.sort_by(f64::total_cmp);
+            self.sorted = true;
+        }
+        let n = self.samples.len();
+        let rank = (q * n as f64).ceil() as usize;
+        self.samples[rank.clamp(1, n) - 1]
+    }
+
+    /// All recorded samples, in insertion or sorted order.
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+
+    /// Merges another histogram's samples (and dropped-sample count) into
+    /// this one.
+    pub fn merge(&mut self, other: &ExactHistogram) {
+        self.samples.extend_from_slice(&other.samples);
+        self.sorted = false;
+        self.dropped += other.dropped;
+    }
+
+    /// Heap footprint of the sample buffer in bytes (for the
+    /// `bench-metrics` memory column).
+    pub fn approx_bytes(&self) -> usize {
+        self.samples.capacity() * std::mem::size_of::<f64>()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -142,5 +293,47 @@ mod tests {
         assert!(q.is_empty());
         assert_eq!(q.peak_len(), 3);
         assert!(q.approx_bytes() > 0);
+    }
+
+    #[test]
+    fn exact_histogram_matches_seed_semantics() {
+        let mut h = ExactHistogram::new();
+        for v in 1..=100 {
+            h.record(v as f64);
+        }
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.mean(), 50.5);
+        assert_eq!(h.min(), 1.0);
+        assert_eq!(h.max(), 100.0);
+        assert_eq!(h.quantile(0.5), 50.0);
+        assert_eq!(h.quantile(0.0), 1.0);
+        assert_eq!(h.quantile(1.0), 100.0);
+        assert!(h.approx_bytes() >= 100 * 8);
+    }
+
+    #[test]
+    fn exact_histogram_merge_pools_samples() {
+        let mut a = ExactHistogram::new();
+        let mut b = ExactHistogram::new();
+        a.record(1.0);
+        b.record(3.0);
+        b.record(f64::NAN);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.dropped_samples(), 1);
+        assert_eq!(a.sum(), 4.0);
+        assert_eq!(a.quantile(1.0), 3.0);
+    }
+
+    #[test]
+    fn exact_histogram_empty_is_zeroed() {
+        let mut h = ExactHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.min(), 0.0);
+        assert_eq!(h.max(), 0.0);
+        assert_eq!(h.sum(), 0.0);
+        assert_eq!(h.quantile(0.99), 0.0);
+        assert_eq!(h.samples().len(), 0);
     }
 }

@@ -4,8 +4,9 @@ use crate::determinism::{perturbation_key, DeterminismReport, Fingerprint, Pertu
 use crate::event::{EventKind, EventQueue};
 use crate::fault::FaultPlan;
 use crate::link::{LinkSpec, Topology};
-use crate::metrics::{keys, Metrics};
+use crate::metrics::{keys, Metrics, MetricsConfig};
 use crate::node::{Message, Node, NodeId, TimerToken};
+use crate::profiler::{ProfCategory, ProfTimer, ProfileReport, Profiler};
 use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
 use crate::trace::{SpanCtx, TraceConfig, TraceEvent, TracePhase, TraceSink};
@@ -45,6 +46,7 @@ pub struct Context<'a, M: Message> {
     rng: &'a mut SimRng,
     metrics: &'a mut Metrics,
     trace: &'a mut TraceSink,
+    prof: &'a mut Profiler,
     /// Span context of the event being dispatched; attached to every
     /// message/timer this callback schedules so causality propagates.
     span: Option<SpanCtx>,
@@ -89,6 +91,11 @@ impl<'a, M: Message> Context<'a, M> {
     ///
     /// Panics if no link connects this node to `to`.
     pub fn send_after(&mut self, local_delay: SimDuration, to: NodeId, msg: M) {
+        // Profiler attribution: link lookup, fault/loss/delay resolution
+        // and the queue push charge to `link+fault.resolve`; the metric
+        // increments account for themselves (`metrics.record`), so each
+        // timer stops before recording.
+        let t = self.prof.start();
         let link = self
             .topology
             .link(self.self_id, to)
@@ -100,22 +107,24 @@ impl<'a, M: Message> Context<'a, M> {
         if !self.faults.is_empty() {
             let effect = self.faults.effect(self.self_id, to, self.now);
             if effect.down {
-                self.metrics.incr(keys::NET_FAULT_DROPPED, 1);
+                self.prof.record(ProfCategory::LinkFault, t);
+                self.metrics.incr_id(keys::id::NET_FAULT_DROPPED, 1);
                 return;
             }
             if effect.loss > 0.0 && self.rng.chance(effect.loss) {
-                self.metrics.incr(keys::NET_FAULT_DROPPED, 1);
+                self.prof.record(ProfCategory::LinkFault, t);
+                self.metrics.incr_id(keys::id::NET_FAULT_DROPPED, 1);
                 return;
             }
             fault_delay = effect.extra_delay;
         }
         if link.sample_loss(self.rng) {
-            self.metrics.incr(keys::NET_DROPPED, 1);
+            self.prof.record(ProfCategory::LinkFault, t);
+            self.metrics.incr_id(keys::id::NET_DROPPED, 1);
             return;
         }
-        let owd = link.sample_owd(msg.wire_size(), self.rng);
-        self.metrics.incr(keys::NET_MESSAGES, 1);
-        self.metrics.incr(keys::NET_BYTES, msg.wire_size() as u64);
+        let wire = msg.wire_size();
+        let owd = link.sample_owd(wire, self.rng);
         self.queue.push(
             self.now + local_delay + owd + fault_delay,
             EventKind::Deliver {
@@ -125,6 +134,12 @@ impl<'a, M: Message> Context<'a, M> {
                 span: self.span,
             },
         );
+        self.prof.record(ProfCategory::LinkFault, t);
+        // Counter order relative to the push is digest-invisible (counters
+        // add, the digest walks names sorted); keeping the increments last
+        // keeps them out of the link+fault timing above.
+        self.metrics.incr_id(keys::id::NET_MESSAGES, 1);
+        self.metrics.incr_id(keys::id::NET_BYTES, wire as u64);
     }
 
     /// Whether a link to `to` exists.
@@ -161,6 +176,24 @@ impl<'a, M: Message> Context<'a, M> {
         self.metrics
     }
 
+    // --- Profiling -------------------------------------------------------
+
+    /// Starts a self-profiler measurement (`None`, for free, when the
+    /// profiler is off). Node crates use this to attribute their own
+    /// subsystem time — e.g. the AP charges [`ProfCategory::Evict`] around
+    /// cache admission — without naming any wall-clock type.
+    #[inline]
+    pub fn prof_start(&self) -> Option<ProfTimer> {
+        self.prof.start()
+    }
+
+    /// Stops a measurement from [`prof_start`](Self::prof_start), charging
+    /// the elapsed host time to `category`. A `None` timer is a no-op.
+    #[inline]
+    pub fn prof_end(&mut self, category: ProfCategory, timer: Option<ProfTimer>) {
+        self.prof.record(category, timer);
+    }
+
     // --- Tracing ---------------------------------------------------------
 
     /// Whether the world's trace sink is recording.
@@ -191,7 +224,11 @@ impl<'a, M: Message> Context<'a, M> {
     /// disabled or this trace was sampled out.
     pub fn begin_trace(&mut self, kind: &'static str) -> Option<SpanCtx> {
         self.span = None;
-        let trace = self.trace.try_begin_trace()?;
+        let t = self.prof.start();
+        let Some(trace) = self.trace.try_begin_trace() else {
+            self.prof.record(ProfCategory::Trace, t);
+            return None;
+        };
         let span = self.trace.next_span_id();
         let ctx = SpanCtx { trace, span };
         self.trace.push(TraceEvent {
@@ -204,6 +241,7 @@ impl<'a, M: Message> Context<'a, M> {
             phase: TracePhase::Start,
         });
         self.span = Some(ctx);
+        self.prof.record(ProfCategory::Trace, t);
         Some(ctx)
     }
 
@@ -216,6 +254,7 @@ impl<'a, M: Message> Context<'a, M> {
         if !self.trace.is_enabled() {
             return None;
         }
+        let t = self.prof.start();
         let span = self.trace.next_span_id();
         self.trace.push(TraceEvent {
             at: self.now,
@@ -226,6 +265,7 @@ impl<'a, M: Message> Context<'a, M> {
             kind,
             phase: TracePhase::Start,
         });
+        self.prof.record(ProfCategory::Trace, t);
         Some(SpanCtx {
             trace: parent.trace,
             span,
@@ -238,6 +278,7 @@ impl<'a, M: Message> Context<'a, M> {
         if !self.trace.is_enabled() {
             return;
         }
+        let t = self.prof.start();
         self.trace.push(TraceEvent {
             at: self.now,
             trace: ctx.trace,
@@ -247,6 +288,7 @@ impl<'a, M: Message> Context<'a, M> {
             kind,
             phase: TracePhase::End,
         });
+        self.prof.record(ProfCategory::Trace, t);
     }
 
     /// Closes a span at an explicit timestamp instead of the current clock.
@@ -259,6 +301,7 @@ impl<'a, M: Message> Context<'a, M> {
         if !self.trace.is_enabled() {
             return;
         }
+        let t = self.prof.start();
         self.trace.push(TraceEvent {
             at,
             trace: ctx.trace,
@@ -268,6 +311,7 @@ impl<'a, M: Message> Context<'a, M> {
             kind,
             phase: TracePhase::End,
         });
+        self.prof.record(ProfCategory::Trace, t);
     }
 
     /// Records a point-in-time marker inside the active span, if any.
@@ -276,6 +320,7 @@ impl<'a, M: Message> Context<'a, M> {
         if !self.trace.is_enabled() {
             return;
         }
+        let t = self.prof.start();
         self.trace.push(TraceEvent {
             at: self.now,
             trace: ctx.trace,
@@ -285,6 +330,7 @@ impl<'a, M: Message> Context<'a, M> {
             kind,
             phase: TracePhase::Instant,
         });
+        self.prof.record(ProfCategory::Trace, t);
     }
 }
 
@@ -328,6 +374,7 @@ pub struct World<M: Message> {
     rng: SimRng,
     metrics: Metrics,
     trace: TraceSink,
+    prof: Profiler,
     started: bool,
     event_cap: u64,
     /// Events processed across all `run_*` calls (for fingerprints).
@@ -347,6 +394,7 @@ impl<M: Message> World<M> {
             rng: SimRng::seed_from(seed),
             metrics: Metrics::new(),
             trace: TraceSink::default(),
+            prof: Profiler::new(),
             started: false,
             event_cap: u64::MAX,
             processed: 0,
@@ -461,6 +509,47 @@ impl<M: Message> World<M> {
         self.trace.set_config(config);
     }
 
+    /// Configures the metric registry (histogram mode, sketch oracle,
+    /// series capacity). Must be called before any metric is recorded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run has started or any metric has been recorded —
+    /// mixing histogram representations mid-run would corrupt digests.
+    pub fn set_metrics_config(&mut self, config: MetricsConfig) {
+        assert!(
+            !self.started,
+            "set_metrics_config must be called before the run starts"
+        );
+        self.metrics.set_config(config);
+    }
+
+    /// Turns on the sim-loop self-profiler (see [`crate::Profiler`]): the
+    /// event loop, `Context` hot paths and the metric registry start
+    /// attributing host wall-clock to subsystems. Simulation outputs are
+    /// unaffected — the profiler reads the host clock but never feeds it
+    /// back into sim state.
+    pub fn enable_profiler(&mut self) {
+        self.prof.enable();
+        self.metrics.enable_self_profile();
+    }
+
+    /// Whether the self-profiler is on.
+    pub fn profiler_enabled(&self) -> bool {
+        self.prof.is_enabled()
+    }
+
+    /// Snapshot of the self-profiler's attribution. Metric-registry
+    /// self-time (accumulated inside [`Metrics`]) is folded into the
+    /// [`ProfCategory::Metrics`] row here.
+    pub fn profile_report(&self) -> ProfileReport {
+        let mut report = self.prof.report();
+        let (nanos, calls) = self.metrics.self_profile();
+        report.nanos[ProfCategory::Metrics as usize] += nanos;
+        report.calls[ProfCategory::Metrics as usize] += calls;
+        report
+    }
+
     /// Read access to the trace sink.
     pub fn trace(&self) -> &TraceSink {
         &self.trace
@@ -513,8 +602,9 @@ impl<M: Message> World<M> {
             .link(from, to)
             .unwrap_or_else(|| panic!("no link {from} -> {to}"));
         let owd = link.sample_owd(msg.wire_size(), &mut self.rng);
-        self.metrics.incr(keys::NET_MESSAGES, 1);
-        self.metrics.incr(keys::NET_BYTES, msg.wire_size() as u64);
+        self.metrics.incr_id(keys::id::NET_MESSAGES, 1);
+        self.metrics
+            .incr_id(keys::id::NET_BYTES, msg.wire_size() as u64);
         self.queue.push(
             self.clock + owd,
             EventKind::Deliver {
@@ -609,6 +699,7 @@ impl<M: Message> World<M> {
         span: Option<SpanCtx>,
         f: impl FnOnce(&mut dyn Node<M>, &mut Context<'_, M>),
     ) {
+        let t = self.prof.start();
         let mut node = self.nodes[id.index()]
             .take()
             .unwrap_or_else(|| panic!("re-entrant dispatch on {id}"));
@@ -622,11 +713,13 @@ impl<M: Message> World<M> {
                 rng: &mut self.rng,
                 metrics: &mut self.metrics,
                 trace: &mut self.trace,
+                prof: &mut self.prof,
                 span,
             };
             f(node.as_mut(), &mut ctx);
         }
         self.nodes[id.index()] = Some(node);
+        self.prof.record(ProfCategory::Dispatch, t);
     }
 
     /// Runs until the queue drains or the clock reaches `deadline`.
@@ -661,7 +754,9 @@ impl<M: Message> World<M> {
                     now: self.clock,
                 };
             }
+            let t = self.prof.start();
             let ev = self.queue.pop().expect("peeked event vanished");
+            self.prof.record(ProfCategory::QueuePop, t);
             self.clock = ev.at;
             events += 1;
             self.processed += 1;
@@ -1211,6 +1306,58 @@ mod tests {
         };
         assert_eq!(fp(5), fp(5));
         assert_ne!(fp(5), fp(6));
+    }
+
+    #[test]
+    fn profiler_does_not_change_fingerprints() {
+        let fp = |profile: bool| {
+            let mut w = World::new(5);
+            if profile {
+                w.enable_profiler();
+            }
+            w.set_trace_config(TraceConfig::enabled());
+            let a = w.add_node("a", Tally);
+            let b = w.add_node("b", Tally);
+            w.connect(
+                a,
+                b,
+                LinkSpec::new(1, SimDuration::from_millis(1))
+                    .jitter_mean(SimDuration::from_micros(100)),
+            );
+            w.post(a, b, Num(0));
+            w.run_to_idle();
+            (w.fingerprint(), w.profile_report())
+        };
+        let (fp_off, report_off) = fp(false);
+        let (fp_on, report_on) = fp(true);
+        assert_eq!(fp_off, fp_on, "profiling must not perturb sim state");
+        // Off = all-zero attribution; on = the loop charged something.
+        assert!(!report_off.enabled);
+        assert_eq!(report_off.loop_nanos(), 0);
+        assert!(report_on.enabled);
+        assert!(report_on.calls(ProfCategory::Dispatch) > 0);
+        assert!(report_on.calls(ProfCategory::QueuePop) > 0);
+        assert!(report_on.calls(ProfCategory::Metrics) > 0);
+    }
+
+    #[test]
+    fn metrics_config_flows_into_new_histograms() {
+        let mut w: World<Num> = World::new(1);
+        w.set_metrics_config(MetricsConfig {
+            histogram_mode: crate::metrics::HistogramMode::Sketch,
+            ..MetricsConfig::default()
+        });
+        w.metrics_mut().observe("h", 2.0);
+        assert!(w.metrics().histogram("h").unwrap().is_sketch());
+    }
+
+    #[test]
+    #[should_panic(expected = "before the run starts")]
+    fn metrics_config_rejected_after_start() {
+        let (mut w, a, b) = two_node_world();
+        w.post(a, b, Num(0));
+        w.run_to_idle();
+        w.set_metrics_config(MetricsConfig::default());
     }
 
     #[test]

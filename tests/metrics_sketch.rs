@@ -1,0 +1,274 @@
+//! Sketch-histogram property suite: the fixed-memory engine must track the
+//! frozen sample-hoarding seed ([`ape_simnet::reference::ExactHistogram`])
+//! to within 1% relative quantile error on every distribution shape the
+//! testbed produces — and swapping the whole metrics plane to sketch mode
+//! must leave the simulation itself bitwise tie-break invariant, exactly
+//! like the exact-compat plane (`tests/determinism_perturbation.rs`).
+//!
+//! The relative-error tolerance uses the same floor as `repro
+//! bench-metrics`' untimed accuracy gate: errors are measured against
+//! `max(|exact|, 1/1024)` so near-zero quantiles (inside the sketch's
+//! exact linear range) are compared absolutely at sub-bucket resolution.
+
+use ape_appdag::DummyAppConfig;
+use ape_simnet::reference::ExactHistogram;
+use ape_simnet::{Histogram, HistogramMode, MetricsConfig, SimDuration, SimRng, TraceConfig};
+use ape_workload::ScheduleConfig;
+use apecache::{build, synthetic_suite, System, TestbedConfig};
+use proptest::prelude::*;
+
+/// Quantiles every distribution test checks (matches `bench-metrics`).
+const CHECK_QUANTILES: [f64; 4] = [0.5, 0.9, 0.99, 0.999];
+
+/// Relative-error budget: the sketch's log buckets are 1/128 wide, so 1%
+/// leaves slack for the nearest-rank vs midpoint estimator mismatch.
+const REL_TOL: f64 = 0.01 + 1e-9;
+
+/// Records `stream` into both engines and asserts every checked quantile
+/// agrees to within [`REL_TOL`]; returns the worst error for reporting.
+fn assert_tracks_exact(stream: &[f64], label: &str) -> f64 {
+    let mut sketch = Histogram::new_sketch(false);
+    let mut exact = ExactHistogram::new();
+    for &v in stream {
+        sketch.record(v);
+        exact.record(v);
+    }
+    assert_eq!(sketch.count(), exact.count(), "{label}: counts diverged");
+    let mut worst = 0.0f64;
+    for q in CHECK_QUANTILES {
+        let s = sketch.quantile(q);
+        let e = exact.quantile(q);
+        let rel = (s - e).abs() / e.abs().max(1.0 / 1024.0);
+        assert!(
+            rel <= REL_TOL,
+            "{label}: sketch q={q} was {s}, exact {e} (rel err {rel:.5})"
+        );
+        worst = worst.max(rel);
+    }
+    worst
+}
+
+/// Uniform randomized stream over a seed-dependent range.
+#[test]
+fn sketch_tracks_exact_on_randomized_uniform_streams() {
+    for seed in 0..8u64 {
+        let mut rng = SimRng::seed_from(0x5EED_0001 ^ seed);
+        let hi = rng.uniform_f64(1.0, 500.0);
+        let stream: Vec<f64> = (0..20_000).map(|_| rng.uniform_f64(0.0, hi)).collect();
+        assert_tracks_exact(&stream, &format!("uniform seed {seed}"));
+    }
+}
+
+/// Heavy-tail exponential: the regime where log buckets earn their keep.
+#[test]
+fn sketch_tracks_exact_on_heavy_tail_streams() {
+    for seed in 0..8u64 {
+        let mut rng = SimRng::seed_from(0x5EED_0002 ^ seed);
+        let mean = rng.uniform_f64(5.0, 250.0);
+        let stream: Vec<f64> = (0..20_000).map(|_| rng.exponential(mean)).collect();
+        assert_tracks_exact(&stream, &format!("exponential seed {seed}"));
+    }
+}
+
+/// Bimodal: sub-millisecond WiFi hits plus a ~15 ms edge mode, the shape
+/// the testbed's app-latency histograms actually take.
+#[test]
+fn sketch_tracks_exact_on_bimodal_streams() {
+    for seed in 0..8u64 {
+        let mut rng = SimRng::seed_from(0x5EED_0003 ^ seed);
+        let stream: Vec<f64> = (0..20_000)
+            .map(|_| {
+                if rng.chance(0.6) {
+                    rng.uniform_f64(0.05, 0.9)
+                } else {
+                    rng.normal(15.0, 2.5).abs()
+                }
+            })
+            .collect();
+        assert_tracks_exact(&stream, &format!("bimodal seed {seed}"));
+    }
+}
+
+/// Near-zero values land in the linear sub-millisecond range, where the
+/// sketch's guarantee is *absolute*: quantiles resolve to the 1/1024
+/// bucket grid, so the error budget is one bucket width rather than 1%
+/// relative (1% of a 10 µs quantile would demand sub-bucket resolution
+/// no fixed-memory layout provides).
+#[test]
+fn sketch_tracks_exact_on_near_zero_streams() {
+    for seed in 0..8u64 {
+        let mut rng = SimRng::seed_from(0x5EED_0004 ^ seed);
+        let stream: Vec<f64> = (0..20_000).map(|_| rng.uniform_f64(0.0, 0.02)).collect();
+        let mut sketch = Histogram::new_sketch(false);
+        let mut exact = ExactHistogram::new();
+        for &v in &stream {
+            sketch.record(v);
+            exact.record(v);
+        }
+        for q in CHECK_QUANTILES {
+            let s = sketch.quantile(q);
+            let e = exact.quantile(q);
+            assert!(
+                (s - e).abs() <= 1.0 / 1024.0 + 1e-12,
+                "near-zero seed {seed}: sketch q={q} was {s}, exact {e}"
+            );
+        }
+    }
+}
+
+/// Merged sketches must equal the sketch of the pooled stream, in either
+/// merge order — the order-independence the parallel runner relies on.
+#[test]
+fn sketch_merge_is_order_independent_and_pools_exactly() {
+    let mut rng = SimRng::seed_from(0x5EED_0005);
+    let a: Vec<f64> = (0..10_000).map(|_| rng.exponential(40.0)).collect();
+    let b: Vec<f64> = (0..10_000).map(|_| rng.normal(15.0, 2.5).abs()).collect();
+
+    let mut pooled = Histogram::new_sketch(false);
+    let mut sketch_a = Histogram::new_sketch(false);
+    let mut sketch_b = Histogram::new_sketch(false);
+    for &v in &a {
+        pooled.record(v);
+        sketch_a.record(v);
+    }
+    for &v in &b {
+        pooled.record(v);
+        sketch_b.record(v);
+    }
+
+    let mut ab = sketch_a.clone();
+    ab.merge(&sketch_b);
+    let mut ba = sketch_b.clone();
+    ba.merge(&sketch_a);
+
+    assert_eq!(ab.count(), pooled.count());
+    assert_eq!(ba.count(), pooled.count());
+    for q in CHECK_QUANTILES {
+        let p = pooled.quantile(q);
+        assert_eq!(
+            ab.quantile(q).to_bits(),
+            p.to_bits(),
+            "a+b merge diverged from pooled at q={q}"
+        );
+        assert_eq!(
+            ba.quantile(q).to_bits(),
+            p.to_bits(),
+            "b+a merge diverged from pooled at q={q}"
+        );
+    }
+
+    // And the merged sketch still tracks the pooled exact oracle.
+    let mut exact = ExactHistogram::new();
+    for &v in a.iter().chain(b.iter()) {
+        exact.record(v);
+    }
+    for q in CHECK_QUANTILES {
+        let s = ab.quantile(q);
+        let e = exact.quantile(q);
+        let rel = (s - e).abs() / e.abs().max(1.0 / 1024.0);
+        assert!(rel <= REL_TOL, "merged sketch q={q}: {s} vs exact {e}");
+    }
+}
+
+/// A randomized three-regime mixture: per-regime scales and the stream
+/// length vary with the case.
+#[derive(Debug, Clone)]
+struct Mixture {
+    seed: u64,
+    n: usize,
+}
+
+fn arb_mixture() -> impl Strategy<Value = Mixture> {
+    (any::<u64>(), 2_000usize..12_000).prop_map(|(seed, n)| Mixture { seed, n })
+}
+
+// Arbitrary three-regime mixtures stay inside the error budget: the
+// per-regime scales and stream length are all case-randomized.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn sketch_tracks_exact_on_random_mixtures(mix in arb_mixture()) {
+        let mut rng = SimRng::seed_from(mix.seed);
+        let edge_mean = rng.uniform_f64(2.0, 60.0);
+        let tail_mean = rng.uniform_f64(20.0, 400.0);
+        let stream: Vec<f64> = (0..mix.n)
+            .map(|_| match rng.uniform_u64(0, 10) {
+                0..=5 => rng.uniform_f64(0.01, 0.9),
+                6..=8 => rng.normal(edge_mean, edge_mean / 6.0).abs(),
+                _ => rng.exponential(tail_mean),
+            })
+            .collect();
+        let worst = assert_tracks_exact(&stream, "random mixture");
+        prop_assert!(worst <= REL_TOL);
+    }
+}
+
+/// The live oracle mode (sketch + shadow exact, differential-checked on
+/// every quantile read) must accept a full heavy-tail stream without
+/// tripping its internal assertion.
+#[test]
+fn sketch_oracle_mode_survives_heavy_tail_stream() {
+    let mut registry = ape_simnet::Metrics::new();
+    registry.set_config(MetricsConfig {
+        histogram_mode: HistogramMode::Sketch,
+        sketch_oracle: true,
+        ..MetricsConfig::default()
+    });
+    let mut rng = SimRng::seed_from(0x5EED_0006);
+    for _ in 0..20_000 {
+        registry.observe("oracle.latency_ms", rng.exponential(80.0));
+    }
+    // Each quantile read runs the differential check against the shadow.
+    for q in CHECK_QUANTILES {
+        let v = registry.quantile("oracle.latency_ms", q);
+        assert!(v.is_finite() && v > 0.0);
+    }
+}
+
+// --- Sketch-mode determinism -------------------------------------------
+
+/// Tie-break permutation keys (same set as `determinism_perturbation.rs`).
+const PERTURBATION_KEYS: [u64; 4] = [
+    0x9E37_79B9_7F4A_7C15,
+    0xD1B5_4A32_D192_ED03,
+    0xA5A5_A5A5_A5A5_A5A5,
+    0x0123_4567_89AB_CDEF,
+];
+
+/// Runs the standard determinism testbed with the metrics plane in sketch
+/// mode and returns the world fingerprint.
+fn sketch_fingerprint(key: Option<u64>) -> String {
+    let suite = synthetic_suite(5, &DummyAppConfig::default(), 11);
+    let mut cfg = TestbedConfig::new(System::ApeCache, suite);
+    cfg.schedule = ScheduleConfig {
+        apps: 5,
+        avg_per_minute: 3.0,
+        zipf_exponent: 0.8,
+        duration: SimDuration::from_mins(3),
+    };
+    cfg.trace = TraceConfig::enabled();
+    cfg.metrics = MetricsConfig {
+        histogram_mode: HistogramMode::Sketch,
+        ..MetricsConfig::default()
+    };
+    cfg.tie_perturbation = key;
+    let mut bed = build(&cfg);
+    bed.world.run_for(SimDuration::from_mins(3));
+    bed.world.fingerprint().to_string()
+}
+
+/// The sketch metrics plane must not reintroduce order sensitivity: the
+/// bucket-fold digest has to come out bitwise identical under every
+/// tie-break permutation, just like the exact-compat digest does.
+#[test]
+fn sketch_digest_is_tie_break_invariant() {
+    let baseline = sketch_fingerprint(None);
+    for key in PERTURBATION_KEYS {
+        let fp = sketch_fingerprint(Some(key));
+        assert_eq!(
+            fp, baseline,
+            "sketch-mode fingerprint diverged under tie perturbation {key:#x}"
+        );
+    }
+}
