@@ -70,13 +70,13 @@ pub fn replay_trace(spec: &TraceSpec, model: &RouterModel, seed: u64) -> Vec<Rou
     let mut samples = Vec::new();
     let mut idx = 0usize;
 
-    let total_secs = spec.duration.as_secs_f64() as u64;
+    let total_secs = spec.duration.as_secs();
     for second in 1..=total_secs {
         let boundary = SimTime::from_secs(second);
         while idx < packets.len() && packets[idx].at <= boundary {
             let p = &packets[idx];
             let work = model.per_packet_cpu
-                + SimDuration::from_nanos((p.size as f64 * model.per_byte_cpu_ns) as u64);
+                + SimDuration::from_nanos_f64(p.size as f64 * model.per_byte_cpu_ns);
             cpu.charge(p.at, work);
             carried_bytes += p.size as u64;
             flows.insert(p.flow, p.at);

@@ -1,0 +1,250 @@
+//! The committed violation ledger (`lint-baseline.json`).
+//!
+//! New rules land strict on new code while pre-existing violations burn
+//! down visibly: a baseline entry grants an allowance of `count` matching
+//! violations keyed by `(file, rule, excerpt)` — the *normalized source
+//! line*, not the line number, so the ledger survives unrelated edits above
+//! a violation. A violation beyond its allowance fails the build; an entry
+//! that no longer matches anything is stale and must be pruned (CI also
+//! regenerates the file and diffs it byte-exact).
+//!
+//! The format is a machine-written JSON subset: one entry object per line,
+//! sorted, so `--write-baseline` output is deterministic and the parser
+//! here can stay tiny (the workspace has no serde).
+
+use std::collections::BTreeMap;
+
+use crate::{json_str, Report};
+
+/// One allowance in the ledger.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct BaselineEntry {
+    /// Workspace-relative path.
+    pub file: String,
+    /// Rule name (`as_str` form).
+    pub rule: String,
+    /// Normalized (whitespace-collapsed) source line of the violation.
+    pub excerpt: String,
+    /// How many identical violations are grandfathered.
+    pub count: usize,
+}
+
+/// The parsed ledger.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Baseline {
+    /// Entries, sorted by `(file, rule, excerpt)`.
+    pub entries: Vec<BaselineEntry>,
+}
+
+impl Baseline {
+    /// Builds a ledger from a report's unwaived violations.
+    pub fn from_report(report: &Report) -> Baseline {
+        let mut counts: BTreeMap<(String, String, String), usize> = BTreeMap::new();
+        for v in report.violations.iter().filter(|v| !v.waived) {
+            *counts
+                .entry((
+                    v.file.clone(),
+                    v.rule.as_str().to_owned(),
+                    v.excerpt.clone(),
+                ))
+                .or_insert(0) += 1;
+        }
+        Baseline {
+            entries: counts
+                .into_iter()
+                .map(|((file, rule, excerpt), count)| BaselineEntry {
+                    file,
+                    rule,
+                    excerpt,
+                    count,
+                })
+                .collect(),
+        }
+    }
+
+    /// Serializes the ledger; byte-deterministic for identical entries.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"version\": 1,\n  \"entries\": [");
+        for (i, e) in self.entries.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"file\": {}, \"rule\": {}, \"excerpt\": {}, \"count\": {}}}",
+                json_str(&e.file),
+                json_str(&e.rule),
+                json_str(&e.excerpt),
+                e.count
+            ));
+        }
+        out.push_str(if self.entries.is_empty() {
+            "]\n}\n"
+        } else {
+            "\n  ]\n}\n"
+        });
+        out
+    }
+
+    /// Parses ledger JSON as written by [`Baseline::to_json`]: one entry
+    /// object per line. Anything else is a format error.
+    pub fn parse(json: &str) -> Result<Baseline, String> {
+        let mut entries = Vec::new();
+        for (no, line) in json.lines().enumerate() {
+            let t = line.trim().trim_end_matches(',');
+            if !t.starts_with("{\"file\":") {
+                continue;
+            }
+            let parse = || -> Option<BaselineEntry> {
+                let file = json_field_str(t, "file")?;
+                let rule = json_field_str(t, "rule")?;
+                let excerpt = json_field_str(t, "excerpt")?;
+                let count = json_field_usize(t, "count")?;
+                Some(BaselineEntry {
+                    file,
+                    rule,
+                    excerpt,
+                    count,
+                })
+            };
+            entries.push(parse().ok_or_else(|| format!("baseline line {}: bad entry", no + 1))?);
+        }
+        let mut sorted = entries.clone();
+        sorted.sort();
+        if sorted != entries {
+            return Err("baseline entries are not sorted; regenerate with --write-baseline".into());
+        }
+        Ok(Baseline { entries })
+    }
+
+    /// Marks up to each entry's allowance of matching unwaived violations
+    /// as `baselined`. Returns stale-entry diagnostics: entries whose
+    /// allowance exceeds what actually fires (including zero).
+    pub fn apply(&self, report: &mut Report) -> Vec<String> {
+        let mut remaining: BTreeMap<(&str, &str, &str), usize> = self
+            .entries
+            .iter()
+            .map(|e| {
+                (
+                    (e.file.as_str(), e.rule.as_str(), e.excerpt.as_str()),
+                    e.count,
+                )
+            })
+            .collect();
+        for v in report.violations.iter_mut().filter(|v| !v.waived) {
+            let key = (v.file.as_str(), v.rule.as_str(), v.excerpt.as_str());
+            if let Some(n) = remaining.get_mut(&key) {
+                if *n > 0 {
+                    *n -= 1;
+                    v.baselined = true;
+                }
+            }
+        }
+        remaining
+            .into_iter()
+            .filter(|(_, n)| *n > 0)
+            .map(|((file, rule, excerpt), n)| {
+                format!("stale baseline entry ({n} unmatched): {file} [{rule}] `{excerpt}`")
+            })
+            .collect()
+    }
+}
+
+/// Extracts `"key": "value"` from a single-line JSON object, unescaping.
+fn json_field_str(line: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\": \"");
+    let start = line.find(&pat)? + pat.len();
+    let bytes = line.as_bytes();
+    let mut out = String::new();
+    let mut i = start;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'"' => return Some(out),
+            b'\\' => {
+                let esc = *bytes.get(i + 1)?;
+                match esc {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'n' => out.push('\n'),
+                    b't' => out.push('\t'),
+                    b'u' => {
+                        let hex = line.get(i + 2..i + 6)?;
+                        let cp = u32::from_str_radix(hex, 16).ok()?;
+                        out.push(char::from_u32(cp)?);
+                        i += 4;
+                    }
+                    _ => return None,
+                }
+                i += 2;
+            }
+            _ => {
+                // Multi-byte UTF-8: copy the whole char.
+                let c = line[i..].chars().next()?;
+                out.push(c);
+                i += c.len_utf8();
+            }
+        }
+    }
+    None
+}
+
+/// Extracts `"key": <number>` from a single-line JSON object.
+fn json_field_usize(line: &str, key: &str) -> Option<usize> {
+    let pat = format!("\"{key}\": ");
+    let start = line.find(&pat)? + pat.len();
+    let digits: String = line[start..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect();
+    digits.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(file: &str, rule: &str, excerpt: &str, count: usize) -> BaselineEntry {
+        BaselineEntry {
+            file: file.into(),
+            rule: rule.into(),
+            excerpt: excerpt.into(),
+            count,
+        }
+    }
+
+    #[test]
+    fn json_round_trips_byte_exact() {
+        let b = Baseline {
+            entries: vec![
+                entry("a.rs", "map-iter", "for x in m.keys() {", 2),
+                entry(
+                    "b.rs",
+                    "sim-time-arith",
+                    "let t = \"q\\n\".as_nanos() - 1;",
+                    1,
+                ),
+            ],
+        };
+        let json = b.to_json();
+        let parsed = Baseline::parse(&json).unwrap();
+        assert_eq!(parsed, b);
+        assert_eq!(parsed.to_json(), json);
+    }
+
+    #[test]
+    fn empty_ledger_round_trips() {
+        let b = Baseline::default();
+        let json = b.to_json();
+        assert_eq!(Baseline::parse(&json).unwrap(), b);
+    }
+
+    #[test]
+    fn unsorted_ledger_is_rejected() {
+        let b = Baseline {
+            entries: vec![
+                entry("b.rs", "map-iter", "x", 1),
+                entry("a.rs", "map-iter", "x", 1),
+            ],
+        };
+        assert!(Baseline::parse(&b.to_json()).is_err());
+    }
+}

@@ -1,12 +1,14 @@
-//! # ape-lint — determinism & protocol-invariant analysis for APE-CACHE
+//! # ape-lint — determinism & sim-safety analysis for APE-CACHE
 //!
 //! Every result in this workspace is simulation-derived, so the simulator's
 //! bitwise-determinism contract *is* the result. This crate enforces the
 //! source-level half of that contract (the runtime half is
-//! `ape_simnet::World::check_determinism`): a self-contained line/token
-//! scanner — no `syn`, no registry dependencies — that walks the workspace
-//! sources and reports violations of four rules:
+//! `ape_simnet::World::check_determinism`). v2 is built on a small
+//! self-contained Rust lexer ([`lexer`]) and a brace-matched block tree
+//! ([`tree`]) — no `syn`, no external dependencies — and enforces nine
+//! rules:
 //!
+//! Line rules (v1, now driven by lexer-based blanking):
 //! - **`map-iter` (D1)** — no unordered iteration (`.iter()`, `.keys()`,
 //!   `.values()`, `.drain()`, `for _ in &map`, …) over `HashMap`/`HashSet`
 //!   in sim-state crates. Use `BTreeMap`/`BTreeSet` or a sorted snapshot.
@@ -14,15 +16,35 @@
 //!   `SystemTime`) or ambient randomness (`thread_rng`, `from_entropy`, …)
 //!   outside `crates/bench`. All time is `SimTime`; all randomness flows
 //!   through the seeded `SimRng`.
-//! - **`metric-name` (D3)** — no bare string literals at metric/span
-//!   instrumentation call sites (`.incr("…")`, `.observe("…")`,
-//!   `ctx.begin_trace("…")`, …). Names must reference the
-//!   `ape_proto::names` constants (or `SpanKind::…::as_str()`), so the
-//!   vocabulary stays greppable and collision-free.
+//! - **`metric-name` (D3)** — no bare name literals at *span/trace*
+//!   instrumentation sites (`ctx.begin_trace("…")`, `.span_start("…")`, …).
+//!   Use `SpanKind::…::as_str()`. (Metric-recording sites moved to the
+//!   registry-aware `metric-registry` rule below.)
 //! - **`float-fold` (D4)** — no `f32`/`f64` accumulation (`.sum::<f64>()`,
 //!   `.fold(0.0, …)`) over unordered collections: float addition is not
 //!   associative, so an unordered reduction is nondeterministic even when
 //!   the element set is identical.
+//!
+//! Token rules (v2, see [`rules`]):
+//! - **`span-balance`** — a span binding (started via
+//!   `span_start`/`begin_trace`, or resumed from pending state) that is
+//!   never ended or stored: the PR 5 `handle_dns_response` leak shape.
+//! - **`sim-time-arith`** — raw arithmetic or truncating `as` casts on
+//!   `SimTime`/`SimDuration` accessor results, and inline arithmetic in
+//!   `from_nanos(…)`, outside `crates/simnet/src/time.rs`.
+//! - **`metric-registry`** — metric-name literals at
+//!   `incr`/`observe`/`record_point`/`counter` sites and the const idents
+//!   at `*_id` sites must resolve against `ape_proto::names`
+//!   ([`registry::Registry`]). Exact-match literals carry a `--fix`
+//!   rewrite to the registered constant.
+//! - **`pub-api-debug`** — `pub` sim-state types without `Debug`
+//!   (replacing the blunt workspace-wide `missing_debug_implementations`
+//!   warn with a precise, waiverable rule).
+//! - **`unused-waiver`** — a waiver whose rule no longer fires on its
+//!   line is an error (with a `--fix` removal), keeping the ledger honest.
+//!
+//! Plus the unwaivable **`waiver-syntax`** meta-rule for malformed waiver
+//! comments.
 //!
 //! ## Waivers
 //!
@@ -34,27 +56,43 @@
 //! ```
 //!
 //! The reason after `--` is mandatory; `ape-lint check --list-waivers`
-//! prints every waiver so reviewers can audit the accumulated debt.
+//! prints every waiver (with a used/unused summary) so reviewers can audit
+//! the accumulated debt. `unused-waiver` and `waiver-syntax` cannot be
+//! waived.
+//!
+//! ## Baseline
+//!
+//! [`baseline::Baseline`] is the committed ledger (`lint-baseline.json`)
+//! that lets new rules land strict on new code while pre-existing
+//! violations burn down visibly: baselined violations are reported but do
+//! not fail the build, the ledger may never grow, and stale entries error.
 //!
 //! ## Scope and honesty about the approach
 //!
-//! The scanner strips comments and string literals with a small state
-//! machine, skips `#[cfg(test)]` modules (test assertions may use literal
-//! metric names), and tracks which identifiers are declared with a
-//! `HashMap`/`HashSet` type *within each file*. It has no type inference:
-//! a hash map smuggled across a function boundary under a type alias will
-//! not be tracked, and `float-fold` only recognizes explicit `.sum::` /
-//! `.fold(0.0` reductions attached to a tracked-map iteration. That is the
-//! deliberate trade-off for a zero-dependency tool the repo can always
-//! build; the runtime race detector covers what the static side misses.
+//! The lexer gives exact token boundaries (raw strings, nested block
+//! comments, char/lifetime disambiguation), but there is still no type
+//! inference: a hash map smuggled across a function boundary under a type
+//! alias is not tracked, and span-balance flags the *never-used* leak
+//! shape, not all-paths coverage. That is the deliberate trade-off for a
+//! zero-dependency tool the repo can always build; the runtime race
+//! detector and trace tests cover what the static side misses.
 
 use std::collections::BTreeMap;
 use std::fmt;
 use std::path::{Path, PathBuf};
 
-/// Crates whose state participates in simulation results: rule `map-iter`
-/// applies to these only (the bench harness may use hash maps for its own
-/// bookkeeping; iteration order there never feeds a simulated outcome).
+pub mod baseline;
+pub mod lexer;
+pub mod registry;
+pub mod rules;
+pub mod tree;
+
+pub use registry::Registry;
+
+/// Crates whose state participates in simulation results: rules `map-iter`,
+/// `sim-time-arith` and `pub-api-debug` apply to these only (the bench
+/// harness may use hash maps and host time for its own bookkeeping; nothing
+/// there feeds a simulated outcome).
 pub const SIM_STATE_CRATES: &[&str] = &[
     "simnet", "nodes", "cachealg", "core", "proto", "dnswire", "appdag", "workload",
 ];
@@ -63,18 +101,31 @@ pub const SIM_STATE_CRATES: &[&str] = &[
 /// is skipped for these): only the measurement harness.
 pub const WALL_CLOCK_CRATES: &[&str] = &["bench"];
 
-/// The four rules the scanner enforces.
+/// The file where typed time math lives; exempt from `sim-time-arith`.
+pub const TIME_IMPL_FILE: &str = "crates/simnet/src/time.rs";
+
+/// The rules the scanner enforces.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Rule {
     /// D1: unordered iteration over `HashMap`/`HashSet` in sim-state code.
     MapIter,
     /// D2: wall-clock or ambient randomness outside `crates/bench`.
     WallClock,
-    /// D3: bare metric/span name literal at an instrumentation call site.
+    /// D3: bare span/trace name literal at an instrumentation call site.
     MetricName,
     /// D4: float accumulation over an unordered collection.
     FloatFold,
-    /// A malformed `ape-lint:` waiver comment (never waivable itself).
+    /// Span started/resumed but never ended or stored (leak shape).
+    SpanBalance,
+    /// Raw arithmetic / truncating cast on time values outside time.rs.
+    SimTimeArith,
+    /// Metric name/id does not resolve against `ape_proto::names`.
+    MetricRegistry,
+    /// Public sim-state type without `Debug`.
+    PubApiDebug,
+    /// A waiver whose rule no longer fires on its line (unwaivable).
+    UnusedWaiver,
+    /// A malformed `ape-lint:` waiver comment (unwaivable).
     WaiverSyntax,
 }
 
@@ -86,18 +137,27 @@ impl Rule {
             Rule::WallClock => "wall-clock",
             Rule::MetricName => "metric-name",
             Rule::FloatFold => "float-fold",
+            Rule::SpanBalance => "span-balance",
+            Rule::SimTimeArith => "sim-time-arith",
+            Rule::MetricRegistry => "metric-registry",
+            Rule::PubApiDebug => "pub-api-debug",
+            Rule::UnusedWaiver => "unused-waiver",
             Rule::WaiverSyntax => "waiver-syntax",
         }
     }
 
-    /// Parses a waiver rule name. `waiver-syntax` is intentionally not
-    /// parseable: a broken waiver cannot waive itself.
+    /// Parses a waiver rule name. `unused-waiver` and `waiver-syntax` are
+    /// intentionally not parseable: ledger-honesty rules cannot be waived.
     pub fn parse(s: &str) -> Option<Rule> {
         match s {
             "map-iter" => Some(Rule::MapIter),
             "wall-clock" => Some(Rule::WallClock),
             "metric-name" => Some(Rule::MetricName),
             "float-fold" => Some(Rule::FloatFold),
+            "span-balance" => Some(Rule::SpanBalance),
+            "sim-time-arith" => Some(Rule::SimTimeArith),
+            "metric-registry" => Some(Rule::MetricRegistry),
+            "pub-api-debug" => Some(Rule::PubApiDebug),
             _ => None,
         }
     }
@@ -107,6 +167,18 @@ impl fmt::Display for Rule {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(self.as_str())
     }
+}
+
+/// A mechanical rewrite `--fix` can apply: replace the byte range
+/// `start..end` of the original file with `replacement`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fix {
+    /// Byte offset of the first replaced byte.
+    pub start: usize,
+    /// Byte offset one past the last replaced byte.
+    pub end: usize,
+    /// Replacement text (empty for deletions).
+    pub replacement: String,
 }
 
 /// One rule violation at a source location.
@@ -122,6 +194,34 @@ pub struct Violation {
     pub message: String,
     /// Whether a matching waiver covered this violation.
     pub waived: bool,
+    /// Whether the committed baseline grandfathers this violation.
+    pub baselined: bool,
+    /// The normalized source line (whitespace collapsed) — the baseline key.
+    pub excerpt: String,
+    /// Mechanical rewrite, when one is safe.
+    pub fix: Option<Fix>,
+}
+
+impl Violation {
+    /// A fresh, unwaived violation; `excerpt` is filled in by the scanner.
+    pub fn new(file: &str, line: usize, rule: Rule, message: String) -> Violation {
+        Violation {
+            file: file.to_owned(),
+            line,
+            rule,
+            message,
+            waived: false,
+            baselined: false,
+            excerpt: String::new(),
+            fix: None,
+        }
+    }
+
+    /// Attaches a mechanical fix.
+    pub fn with_fix(mut self, fix: Fix) -> Violation {
+        self.fix = Some(fix);
+        self
+    }
 }
 
 /// One `// ape-lint: allow(rule) -- reason` waiver comment.
@@ -137,12 +237,14 @@ pub struct Waiver {
     pub reason: String,
     /// Whether any violation actually matched this waiver.
     pub used: bool,
+    /// Byte span of the comment in the source (for `--fix` removal).
+    pub span: (usize, usize),
 }
 
 /// Scan result over one file or a whole workspace.
 #[derive(Debug, Clone, Default)]
 pub struct Report {
-    /// All violations found, waived ones included (flagged).
+    /// All violations found, waived/baselined ones included (flagged).
     pub violations: Vec<Violation>,
     /// All waivers found, unused ones included (flagged).
     pub waivers: Vec<Waiver>,
@@ -151,20 +253,34 @@ pub struct Report {
 }
 
 impl Report {
-    /// Violations not covered by a waiver — these fail the build.
+    /// Violations not covered by a waiver (baselined ones included).
     pub fn unwaived(&self) -> impl Iterator<Item = &Violation> {
         self.violations.iter().filter(|v| !v.waived)
     }
 
-    /// Whether the scan is clean (no unwaived violations).
+    /// Violations that fail the build: neither waived nor baselined.
+    pub fn failing(&self) -> impl Iterator<Item = &Violation> {
+        self.violations.iter().filter(|v| !v.waived && !v.baselined)
+    }
+
+    /// Whether the scan is clean (no failing violations).
     pub fn is_clean(&self) -> bool {
-        self.unwaived().next().is_none()
+        self.failing().next().is_none()
+    }
+
+    /// Violations carrying a fix that `--fix` would apply (unwaived only:
+    /// a waiver is an explicit decision to keep the code as written).
+    pub fn fixable(&self) -> impl Iterator<Item = &Violation> {
+        self.violations
+            .iter()
+            .filter(|v| !v.waived && v.fix.is_some())
     }
 
     /// Serializes the report as a stable JSON document (hand-rolled — the
-    /// workspace has no registry access, hence no serde).
+    /// workspace has no registry access, hence no serde). Schema 2; CI
+    /// validates against `docs/lint-report.schema.json`.
     pub fn to_json(&self) -> String {
-        let mut out = String::from("{\n  \"files_scanned\": ");
+        let mut out = String::from("{\n  \"schema\": 2,\n  \"files_scanned\": ");
         out.push_str(&self.files_scanned.to_string());
         out.push_str(",\n  \"clean\": ");
         out.push_str(if self.is_clean() { "true" } else { "false" });
@@ -174,12 +290,16 @@ impl Report {
                 out.push(',');
             }
             out.push_str(&format!(
-                "\n    {{\"file\": {}, \"line\": {}, \"rule\": {}, \"waived\": {}, \"message\": {}}}",
+                "\n    {{\"file\": {}, \"line\": {}, \"rule\": {}, \"waived\": {}, \
+                 \"baselined\": {}, \"fixable\": {}, \"message\": {}, \"excerpt\": {}}}",
                 json_str(&v.file),
                 v.line,
                 json_str(v.rule.as_str()),
                 v.waived,
-                json_str(&v.message)
+                v.baselined,
+                v.fix.is_some(),
+                json_str(&v.message),
+                json_str(&v.excerpt)
             ));
         }
         out.push_str(if self.violations.is_empty() {
@@ -210,7 +330,7 @@ impl Report {
     }
 }
 
-fn json_str(s: &str) -> String {
+pub(crate) fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -230,7 +350,7 @@ fn json_str(s: &str) -> String {
 /// Which rules apply to the file being scanned.
 #[derive(Debug, Clone, Copy)]
 pub struct FileContext {
-    /// Apply `map-iter` (file belongs to a sim-state crate).
+    /// Apply sim-state rules (file belongs to a sim-state crate).
     pub sim_state: bool,
     /// Skip `wall-clock` (file belongs to the measurement harness).
     pub allow_wall_clock: bool,
@@ -251,185 +371,21 @@ impl FileContext {
     }
 }
 
-// --- Source preprocessing -------------------------------------------------
+// --- Waiver harvesting ----------------------------------------------------
 
-/// A file after comment/string stripping: per-line code text (strings
-/// collapsed to `""`, comments blanked) plus the waivers harvested from the
-/// comments before they were blanked.
-struct Stripped {
-    code_lines: Vec<String>,
-    waivers: Vec<(usize, Rule, String)>, // (1-based line, rule, reason)
-    bad_waivers: Vec<(usize, String)>,   // malformed waiver comments
-}
-
-/// Strips comments (line, nested block) and string literals (plain, raw,
-/// byte) from Rust source, preserving line structure so reported line
-/// numbers match the file. String literals are replaced by `""` so "a call
-/// site passes a literal" remains detectable without its content.
-fn strip(source: &str) -> Stripped {
-    let bytes: Vec<char> = source.chars().collect();
-    let mut code = String::with_capacity(source.len());
-    let mut comments = String::with_capacity(64);
-    let mut waivers = Vec::new();
-    let mut bad_waivers = Vec::new();
-    let mut i = 0;
-    let n = bytes.len();
-    while i < n {
-        let c = bytes[i];
-        let next = if i + 1 < n { bytes[i + 1] } else { '\0' };
-        if c == '/' && next == '/' {
-            // Line comment: harvest for waivers, blank from code.
-            let start = i;
-            while i < n && bytes[i] != '\n' {
-                i += 1;
-            }
-            let text: String = bytes[start..i].iter().collect();
-            comments.push_str(&text);
-            comments.push('\n');
-            // Waivers live in plain `//` comments only: doc comments are
-            // prose (and may legitimately *show* waiver syntax).
-            if !text.starts_with("///") && !text.starts_with("//!") {
-                let line_no = code.matches('\n').count() + 1;
-                parse_waiver(&text, line_no, &mut waivers, &mut bad_waivers);
-            }
-        } else if c == '/' && next == '*' {
-            // Block comment, nested per Rust. Preserve newlines.
-            let mut depth = 1;
-            i += 2;
-            while i < n && depth > 0 {
-                if bytes[i] == '/' && i + 1 < n && bytes[i + 1] == '*' {
-                    depth += 1;
-                    i += 2;
-                } else if bytes[i] == '*' && i + 1 < n && bytes[i + 1] == '/' {
-                    depth -= 1;
-                    i += 2;
-                } else {
-                    if bytes[i] == '\n' {
-                        code.push('\n');
-                    }
-                    i += 1;
-                }
-            }
-        } else if c == 'r' && (next == '"' || next == '#') && is_raw_string_start(&bytes, i) {
-            // Raw string r"…" / r#"…"# (any hash depth). Also reached for
-            // br"…" via the 'b' branch below.
-            i = skip_raw_string(&bytes, i, &mut code);
-        } else if c == 'b' && next == '"' {
-            code.push_str("\"\"");
-            i = skip_plain_string(&bytes, i + 1, &mut code);
-        } else if c == 'b' && next == 'r' && is_raw_string_start(&bytes, i + 1) {
-            i = skip_raw_string(&bytes, i + 1, &mut code);
-        } else if c == '"' {
-            code.push_str("\"\"");
-            i = skip_plain_string(&bytes, i, &mut code);
-        } else if c == '\'' {
-            // Char literal vs lifetime. 'x' or '\…' is a literal; 'ident
-            // (no closing quote nearby) is a lifetime.
-            if let Some(end) = char_literal_end(&bytes, i) {
-                code.push_str("' '");
-                for &b in &bytes[i..end] {
-                    if b == '\n' {
-                        code.push('\n');
-                    }
-                }
-                i = end;
-            } else {
-                code.push(c);
-                i += 1;
-            }
-        } else {
-            code.push(c);
-            i += 1;
-        }
-    }
-    Stripped {
-        code_lines: code.lines().map(str::to_owned).collect(),
-        waivers,
-        bad_waivers,
-    }
-}
-
-fn is_raw_string_start(bytes: &[char], i: usize) -> bool {
-    // bytes[i] == 'r'; raw string if followed by zero or more '#' then '"'.
-    let mut j = i + 1;
-    while j < bytes.len() && bytes[j] == '#' {
-        j += 1;
-    }
-    j < bytes.len() && bytes[j] == '"'
-}
-
-/// Skips `r##"…"##` starting at the `r`; emits `""` to `code`, preserving
-/// newlines. Returns the index just past the closing delimiter.
-fn skip_raw_string(bytes: &[char], i: usize, code: &mut String) -> usize {
-    let mut j = i + 1;
-    let mut hashes = 0;
-    while j < bytes.len() && bytes[j] == '#' {
-        hashes += 1;
-        j += 1;
-    }
-    j += 1; // past opening quote
-    code.push_str("\"\"");
-    while j < bytes.len() {
-        if bytes[j] == '"' {
-            let mut k = j + 1;
-            let mut seen = 0;
-            while k < bytes.len() && seen < hashes && bytes[k] == '#' {
-                seen += 1;
-                k += 1;
-            }
-            if seen == hashes {
-                return k;
-            }
-        }
-        if bytes[j] == '\n' {
-            code.push('\n');
-        }
-        j += 1;
-    }
-    j
-}
-
-/// Skips a plain string starting at the opening quote index; preserves
-/// newlines. Returns the index just past the closing quote.
-fn skip_plain_string(bytes: &[char], i: usize, code: &mut String) -> usize {
-    let mut j = i + 1;
-    while j < bytes.len() {
-        match bytes[j] {
-            '\\' => j += 2,
-            '"' => return j + 1,
-            '\n' => {
-                code.push('\n');
-                j += 1;
-            }
-            _ => j += 1,
-        }
-    }
-    j
-}
-
-/// If a char literal starts at `i` (which holds `'`), returns the index
-/// just past its closing quote; `None` for lifetimes.
-fn char_literal_end(bytes: &[char], i: usize) -> Option<usize> {
-    let n = bytes.len();
-    if i + 1 >= n {
-        return None;
-    }
-    if bytes[i + 1] == '\\' {
-        // Escape: scan to the closing quote (handles '\n', '\u{…}').
-        let mut j = i + 2;
-        while j < n && bytes[j] != '\'' && j - i < 12 {
-            j += 1;
-        }
-        return (j < n && bytes[j] == '\'').then_some(j + 1);
-    }
-    // One non-quote char then a quote → literal; otherwise a lifetime.
-    (i + 2 < n && bytes[i + 1] != '\'' && bytes[i + 2] == '\'').then_some(i + 3)
+/// A waiver parsed from a comment, byte span included.
+struct RawWaiver {
+    line: usize,
+    rule: Rule,
+    reason: String,
+    span: (usize, usize),
 }
 
 fn parse_waiver(
     comment: &str,
     line: usize,
-    waivers: &mut Vec<(usize, Rule, String)>,
+    span: (usize, usize),
+    waivers: &mut Vec<RawWaiver>,
     bad: &mut Vec<(usize, String)>,
 ) {
     let Some(idx) = comment.find("ape-lint:") else {
@@ -458,66 +414,15 @@ fn parse_waiver(
         ));
         return;
     }
-    waivers.push((line, rule, reason.to_owned()));
+    waivers.push(RawWaiver {
+        line,
+        rule,
+        reason: reason.to_owned(),
+        span,
+    });
 }
 
-// --- Test-region masking --------------------------------------------------
-
-/// Returns, per line, whether the line lies inside a `#[cfg(test)]` item
-/// (typically `mod tests { … }`), tracked by brace depth on stripped code.
-fn test_mask(code_lines: &[String]) -> Vec<bool> {
-    let mut mask = vec![false; code_lines.len()];
-    let mut pending_cfg = false;
-    let mut skip_depth: Option<i64> = None;
-    let mut depth: i64 = 0;
-    for (idx, line) in code_lines.iter().enumerate() {
-        let opens = line.matches('{').count() as i64;
-        let closes = line.matches('}').count() as i64;
-        if let Some(until) = skip_depth {
-            mask[idx] = true;
-            depth += opens - closes;
-            if depth <= until {
-                skip_depth = None;
-            }
-            continue;
-        }
-        if pending_cfg && opens > 0 {
-            // The cfg(test) item's body starts here.
-            mask[idx] = true;
-            let before = depth;
-            depth += opens - closes;
-            if depth > before {
-                skip_depth = Some(before);
-            }
-            pending_cfg = false;
-            continue;
-        }
-        if line.contains("#[cfg(test)]") || line.contains("#[cfg(all(test") {
-            mask[idx] = true;
-            let before = depth;
-            depth += opens - closes;
-            if depth > before {
-                // `#[cfg(test)] mod tests {` on one line.
-                skip_depth = Some(before);
-            } else {
-                pending_cfg = true;
-            }
-            continue;
-        }
-        if pending_cfg && line.trim().is_empty() {
-            continue;
-        }
-        if pending_cfg && !line.trim_start().starts_with("#[") && opens == 0 {
-            // e.g. `mod tests;` — nothing to mask beyond the declaration.
-            mask[idx] = true;
-            pending_cfg = false;
-        }
-        depth += opens - closes;
-    }
-    mask
-}
-
-// --- Identifier tracking --------------------------------------------------
+// --- Identifier tracking (v1 line rules) ----------------------------------
 
 fn is_ident_char(c: char) -> bool {
     c.is_ascii_alphanumeric() || c == '_'
@@ -526,7 +431,7 @@ fn is_ident_char(c: char) -> bool {
 /// Collects identifiers declared with a `HashMap`/`HashSet` type in this
 /// file: struct fields and `let` bindings with an explicit annotation,
 /// `= HashMap::new()` initializers, and `let x = … .collect::<HashMap…>()`.
-fn tracked_hash_idents(code_lines: &[String]) -> BTreeMap<String, usize> {
+fn tracked_hash_idents(code_lines: &[&str]) -> BTreeMap<String, usize> {
     let mut tracked = BTreeMap::new();
     for (idx, line) in code_lines.iter().enumerate() {
         for ty in ["HashMap", "HashSet"] {
@@ -587,7 +492,7 @@ fn let_binding_target(line: &str) -> Option<String> {
     (!name.is_empty()).then_some(name)
 }
 
-// --- Rule detection -------------------------------------------------------
+// --- Line-rule detection (v1) ---------------------------------------------
 
 const ITER_METHODS: &[&str] = &[
     ".iter()",
@@ -611,14 +516,15 @@ const WALL_CLOCK_PATTERNS: &[&str] = &[
     "RandomState",
 ];
 
+/// Span/trace instrumentation call sites for `metric-name` (D3): the name
+/// must be a `SpanKind::…::as_str()`. Metric-recording sites
+/// (`incr`/`observe`/`record_point`/`counter`) are owned by the
+/// registry-aware `metric-registry` rule instead.
 const METRIC_METHODS: &[&str] = &[
-    ".incr(",
-    ".observe(",
-    ".record_point(",
-    ".counter(",
     ".begin_trace(",
     ".span_start(",
     ".span_end(",
+    ".span_end_at(",
     ".span_instant(",
 ];
 
@@ -641,182 +547,19 @@ fn receiver_ident(line: &str, dot_pos: usize) -> Option<String> {
 
 /// The statement window starting at `idx`: the line plus up to `extra`
 /// following lines, stopping once a `;` or `{` closes the statement.
-fn statement_window(code_lines: &[String], idx: usize, extra: usize) -> String {
-    let mut window = code_lines[idx].clone();
+fn statement_window(code_lines: &[&str], idx: usize, extra: usize) -> String {
+    let mut window = code_lines[idx].to_owned();
     let mut j = idx;
     while !window.contains(';')
-        && !window.ends_with('{')
+        && !window.trim_end().ends_with('{')
         && j + 1 < code_lines.len()
         && j - idx < extra
     {
         j += 1;
         window.push(' ');
-        window.push_str(&code_lines[j]);
+        window.push_str(code_lines[j]);
     }
     window
-}
-
-/// Scans one file's source. `rel_path` is used only for reporting and
-/// waiver bookkeeping; `ctx` selects which rules apply.
-pub fn scan_source(rel_path: &str, source: &str, ctx: FileContext) -> Report {
-    let stripped = strip(source);
-    let mask = test_mask(&stripped.code_lines);
-    let tracked = tracked_hash_idents(&stripped.code_lines);
-    let mut violations = Vec::new();
-
-    for (idx, line) in stripped.code_lines.iter().enumerate() {
-        if mask[idx] {
-            continue;
-        }
-        let line_no = idx + 1;
-
-        // D1 map-iter + D4 float-fold share the tracked-receiver hit.
-        let mut hash_iter_hit = false;
-        for pat in ITER_METHODS {
-            let mut from = 0;
-            while let Some(pos) = line[from..].find(pat) {
-                let at = from + pos;
-                from = at + pat.len();
-                if let Some(recv) = receiver_ident(line, at) {
-                    if tracked.contains_key(&recv) {
-                        hash_iter_hit = true;
-                        if ctx.sim_state {
-                            violations.push(Violation {
-                                file: rel_path.to_owned(),
-                                line: line_no,
-                                rule: Rule::MapIter,
-                                message: format!(
-                                    "unordered iteration `{recv}{pat}` over a HashMap/HashSet \
-                                     (declared line {}); use BTreeMap/BTreeSet or a sorted \
-                                     snapshot",
-                                    tracked[&recv]
-                                ),
-                                waived: false,
-                            });
-                        }
-                    }
-                }
-            }
-        }
-        // `for x in &map` / `for x in map` forms.
-        if let Some(recv) = for_loop_hash_receiver(line, &tracked) {
-            hash_iter_hit = true;
-            if ctx.sim_state {
-                violations.push(Violation {
-                    file: rel_path.to_owned(),
-                    line: line_no,
-                    rule: Rule::MapIter,
-                    message: format!(
-                        "unordered `for … in {recv}` over a HashMap/HashSet (declared line {}); \
-                         use BTreeMap/BTreeSet or a sorted snapshot",
-                        tracked[&recv]
-                    ),
-                    waived: false,
-                });
-            }
-        }
-
-        if hash_iter_hit {
-            let window = statement_window(&stripped.code_lines, idx, 4);
-            for pat in FLOAT_FOLD_PATTERNS {
-                if window.contains(pat) {
-                    violations.push(Violation {
-                        file: rel_path.to_owned(),
-                        line: line_no,
-                        rule: Rule::FloatFold,
-                        message: format!(
-                            "float accumulation `{pat}…` over an unordered collection; float \
-                             addition is order-sensitive — collect and sort first"
-                        ),
-                        waived: false,
-                    });
-                    break;
-                }
-            }
-        }
-
-        // D2 wall-clock / ambient randomness.
-        if !ctx.allow_wall_clock {
-            for pat in WALL_CLOCK_PATTERNS {
-                if let Some(pos) = line.find(pat) {
-                    let before_ok = pos == 0 || !is_ident_char(line.as_bytes()[pos - 1] as char);
-                    if before_ok {
-                        violations.push(Violation {
-                            file: rel_path.to_owned(),
-                            line: line_no,
-                            rule: Rule::WallClock,
-                            message: format!(
-                                "`{pat}` outside crates/bench; simulated code must use \
-                                 SimTime/SimRng so runs are replayable"
-                            ),
-                            waived: false,
-                        });
-                    }
-                }
-            }
-        }
-
-        // D3 bare metric/span name literals.
-        for pat in METRIC_METHODS {
-            let mut from = 0;
-            while let Some(pos) = line[from..].find(pat) {
-                let at = from + pos;
-                from = at + pat.len();
-                let window = statement_window(&stripped.code_lines, idx, 2);
-                let wpos = window.find(pat).map(|p| p + pat.len()).unwrap_or(0);
-                if first_arglist_has_literal(&window[wpos..]) {
-                    violations.push(Violation {
-                        file: rel_path.to_owned(),
-                        line: line_no,
-                        rule: Rule::MetricName,
-                        message: format!(
-                            "bare name literal in `{}…)` call; reference an \
-                             `ape_proto::names` constant (or SpanKind::…::as_str()) instead",
-                            &pat[..pat.len() - 1]
-                        ),
-                        waived: false,
-                    });
-                    break;
-                }
-            }
-        }
-    }
-
-    // Waiver application: a waiver on line L covers violations on L and L+1.
-    let mut waivers: Vec<Waiver> = stripped
-        .waivers
-        .into_iter()
-        .map(|(line, rule, reason)| Waiver {
-            file: rel_path.to_owned(),
-            line,
-            rule,
-            reason,
-            used: false,
-        })
-        .collect();
-    for v in &mut violations {
-        for w in &mut waivers {
-            if w.rule == v.rule && (w.line == v.line || w.line + 1 == v.line) {
-                v.waived = true;
-                w.used = true;
-            }
-        }
-    }
-    for (line, msg) in stripped.bad_waivers {
-        violations.push(Violation {
-            file: rel_path.to_owned(),
-            line,
-            rule: Rule::WaiverSyntax,
-            message: format!("malformed ape-lint waiver: {msg}"),
-            waived: false,
-        });
-    }
-
-    Report {
-        violations,
-        waivers,
-        files_scanned: 1,
-    }
 }
 
 /// Detects `for pat in [&mut |&]ident {` over a tracked hash collection and
@@ -853,8 +596,8 @@ fn find_keyword(line: &str, kw: &str) -> Option<usize> {
 }
 
 /// Whether the argument list starting right after `(` contains a string
-/// literal at any nesting depth before the call's closing paren. Stripped
-/// code collapses every literal to `""`, so one `"` suffices.
+/// literal at any nesting depth before the call's closing paren. Blanked
+/// code keeps every literal's opening `""`, so one `"` suffices.
 fn first_arglist_has_literal(args: &str) -> bool {
     let mut depth = 1;
     for c in args.chars() {
@@ -873,12 +616,316 @@ fn first_arglist_has_literal(args: &str) -> bool {
     false
 }
 
+// --- Scanning -------------------------------------------------------------
+
+/// Scans one file's source. `rel_path` is used for reporting, waiver
+/// bookkeeping and the `time.rs` exemption; `ctx` selects which rules
+/// apply; `reg` is the metric-name registry (usually
+/// [`Registry::workspace`]).
+pub fn scan_source(rel_path: &str, source: &str, ctx: FileContext, reg: &Registry) -> Report {
+    let raw_tokens = lexer::lex(source);
+    let blanked = lexer::blank_non_code(source, &raw_tokens);
+    let code: Vec<lexer::Token> = tree::code_tokens(&raw_tokens);
+    let block_tree = tree::BlockTree::build(source, &code);
+    let src_lines: Vec<&str> = source.lines().collect();
+    let code_lines: Vec<&str> = blanked.lines().collect();
+    let mask = tree::test_mask(source, &code, src_lines.len());
+
+    // Harvest waivers from plain (non-doc) line comments.
+    let mut raw_waivers: Vec<RawWaiver> = Vec::new();
+    let mut bad_waivers: Vec<(usize, String)> = Vec::new();
+    for t in &raw_tokens {
+        if let lexer::TokenKind::LineComment { doc: false } = t.kind {
+            parse_waiver(
+                t.text(source),
+                t.line as usize,
+                (t.start, t.end),
+                &mut raw_waivers,
+                &mut bad_waivers,
+            );
+        }
+    }
+
+    let tracked = tracked_hash_idents(&code_lines);
+    let mut violations = Vec::new();
+
+    // v1 line rules over blanked source.
+    for (idx, line) in code_lines.iter().enumerate() {
+        if mask.get(idx).copied().unwrap_or(false) {
+            continue;
+        }
+        let line_no = idx + 1;
+
+        // D1 map-iter + D4 float-fold share the tracked-receiver hit.
+        let mut hash_iter_hit = false;
+        for pat in ITER_METHODS {
+            let mut from = 0;
+            while let Some(pos) = line[from..].find(pat) {
+                let at = from + pos;
+                from = at + pat.len();
+                if let Some(recv) = receiver_ident(line, at) {
+                    if tracked.contains_key(&recv) {
+                        hash_iter_hit = true;
+                        if ctx.sim_state {
+                            violations.push(Violation::new(
+                                rel_path,
+                                line_no,
+                                Rule::MapIter,
+                                format!(
+                                    "unordered iteration `{recv}{pat}` over a HashMap/HashSet \
+                                     (declared line {}); use BTreeMap/BTreeSet or a sorted \
+                                     snapshot",
+                                    tracked[&recv]
+                                ),
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        // `for x in &map` / `for x in map` forms.
+        if let Some(recv) = for_loop_hash_receiver(line, &tracked) {
+            hash_iter_hit = true;
+            if ctx.sim_state {
+                violations.push(Violation::new(
+                    rel_path,
+                    line_no,
+                    Rule::MapIter,
+                    format!(
+                        "unordered `for … in {recv}` over a HashMap/HashSet (declared line {}); \
+                         use BTreeMap/BTreeSet or a sorted snapshot",
+                        tracked[&recv]
+                    ),
+                ));
+            }
+        }
+
+        if hash_iter_hit {
+            let window = statement_window(&code_lines, idx, 4);
+            for pat in FLOAT_FOLD_PATTERNS {
+                if window.contains(pat) {
+                    violations.push(Violation::new(
+                        rel_path,
+                        line_no,
+                        Rule::FloatFold,
+                        format!(
+                            "float accumulation `{pat}…` over an unordered collection; float \
+                             addition is order-sensitive — collect and sort first"
+                        ),
+                    ));
+                    break;
+                }
+            }
+        }
+
+        // D2 wall-clock / ambient randomness.
+        if !ctx.allow_wall_clock {
+            for pat in WALL_CLOCK_PATTERNS {
+                if let Some(pos) = line.find(pat) {
+                    let before_ok = pos == 0 || !is_ident_char(line.as_bytes()[pos - 1] as char);
+                    if before_ok {
+                        violations.push(Violation::new(
+                            rel_path,
+                            line_no,
+                            Rule::WallClock,
+                            format!(
+                                "`{pat}` outside crates/bench; simulated code must use \
+                                 SimTime/SimRng so runs are replayable"
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+
+        // D3 bare span/trace name literals.
+        for pat in METRIC_METHODS {
+            let mut from = 0;
+            while let Some(pos) = line[from..].find(pat) {
+                let at = from + pos;
+                from = at + pat.len();
+                let window = statement_window(&code_lines, idx, 2);
+                let wpos = window.find(pat).map(|p| p + pat.len()).unwrap_or(0);
+                if first_arglist_has_literal(&window[wpos..]) {
+                    violations.push(Violation::new(
+                        rel_path,
+                        line_no,
+                        Rule::MetricName,
+                        format!(
+                            "bare name literal in `{}…)` call; reference \
+                             SpanKind::…::as_str() (or an `ape_proto::names` constant) instead",
+                            &pat[..pat.len() - 1]
+                        ),
+                    ));
+                    break;
+                }
+            }
+        }
+    }
+
+    // v2 token rules.
+    rules::span_balance(rel_path, source, &code, &block_tree, &mask, &mut violations);
+    if ctx.sim_state && rel_path != TIME_IMPL_FILE {
+        rules::sim_time_arith(rel_path, source, &code, &mask, &mut violations);
+    }
+    rules::metric_registry(rel_path, source, &code, &mask, reg, &mut violations);
+    if ctx.sim_state {
+        rules::pub_api_debug(rel_path, source, &code, &mask, &mut violations);
+    }
+
+    // Waiver application: a waiver on line L covers violations on L and L+1.
+    let mut waivers: Vec<Waiver> = raw_waivers
+        .into_iter()
+        .map(|w| Waiver {
+            file: rel_path.to_owned(),
+            line: w.line,
+            rule: w.rule,
+            reason: w.reason,
+            used: false,
+            span: w.span,
+        })
+        .collect();
+    for v in &mut violations {
+        for w in &mut waivers {
+            if w.rule == v.rule && (w.line == v.line || w.line + 1 == v.line) {
+                v.waived = true;
+                w.used = true;
+            }
+        }
+    }
+
+    // Unused waivers are violations themselves, with a removal fix.
+    for w in &waivers {
+        if !w.used {
+            violations.push(
+                Violation::new(
+                    rel_path,
+                    w.line,
+                    Rule::UnusedWaiver,
+                    format!(
+                        "waiver `allow({})` no longer matches any violation on line {} or {}; \
+                         remove it (or re-justify it) so the ledger stays honest",
+                        w.rule,
+                        w.line,
+                        w.line + 1
+                    ),
+                )
+                .with_fix(waiver_removal_fix(source, w.span)),
+            );
+        }
+    }
+
+    for (line, msg) in bad_waivers {
+        violations.push(Violation::new(
+            rel_path,
+            line,
+            Rule::WaiverSyntax,
+            format!("malformed ape-lint waiver: {msg}"),
+        ));
+    }
+
+    // Fill excerpts (normalized raw source line — the baseline key) and
+    // sort for stable output.
+    for v in &mut violations {
+        if let Some(line) = src_lines.get(v.line.saturating_sub(1)) {
+            v.excerpt = line.split_whitespace().collect::<Vec<_>>().join(" ");
+        }
+    }
+    violations.sort_by(|a, b| {
+        (a.line, a.rule.as_str(), &a.message).cmp(&(b.line, b.rule.as_str(), &b.message))
+    });
+    waivers.sort_by_key(|w| w.line);
+
+    Report {
+        violations,
+        waivers,
+        files_scanned: 1,
+    }
+}
+
+/// A fix deleting the waiver comment at `span`. If the comment is alone on
+/// its line the whole line goes (trailing newline included); otherwise the
+/// comment plus the spaces before it.
+fn waiver_removal_fix(source: &str, span: (usize, usize)) -> Fix {
+    let (start, end) = span;
+    let line_start = source[..start].rfind('\n').map(|p| p + 1).unwrap_or(0);
+    let prefix = &source[line_start..start];
+    if prefix.chars().all(char::is_whitespace) {
+        let line_end = source[end..]
+            .find('\n')
+            .map(|p| end + p + 1)
+            .unwrap_or(source.len());
+        Fix {
+            start: line_start,
+            end: line_end,
+            replacement: String::new(),
+        }
+    } else {
+        let trimmed = prefix.trim_end();
+        Fix {
+            start: line_start + trimmed.len(),
+            end,
+            replacement: String::new(),
+        }
+    }
+}
+
+/// Applies every fix attached to an unwaived violation of `report` to
+/// `source`. Returns the rewritten file, or `None` when there is nothing
+/// to fix. Overlapping fixes (should not happen) keep only the first.
+pub fn apply_fixes(source: &str, report: &Report) -> Option<String> {
+    let mut fixes: Vec<&Fix> = report.fixable().filter_map(|v| v.fix.as_ref()).collect();
+    if fixes.is_empty() {
+        return None;
+    }
+    fixes.sort_by_key(|f| (f.start, f.end));
+    let mut applied: Vec<&Fix> = Vec::with_capacity(fixes.len());
+    let mut last_end = 0usize;
+    for f in fixes {
+        if f.start >= last_end && f.end >= f.start && f.end <= source.len() {
+            applied.push(f);
+            last_end = f.end;
+        }
+    }
+    if applied.is_empty() {
+        return None;
+    }
+    let mut out = String::with_capacity(source.len());
+    let mut cursor = 0usize;
+    for f in applied {
+        out.push_str(&source[cursor..f.start]);
+        out.push_str(&f.replacement);
+        cursor = f.end;
+    }
+    out.push_str(&source[cursor..]);
+    Some(out)
+}
+
 // --- Workspace walking ----------------------------------------------------
 
 /// Scans every crate source file under `root` (`crates/*/src/**/*.rs` and
 /// the umbrella `src/`), merging per-file reports. Test directories and
 /// `target/` are out of scope: rules govern shipping simulation code.
-pub fn scan_workspace(root: &Path) -> std::io::Result<Report> {
+pub fn scan_workspace(root: &Path, reg: &Registry) -> std::io::Result<Report> {
+    let mut report = Report::default();
+    for file in workspace_files(root)? {
+        let rel = file
+            .strip_prefix(root)
+            .unwrap_or(&file)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let source = std::fs::read_to_string(&file)?;
+        let ctx = FileContext::for_path(&rel);
+        let file_report = scan_source(&rel, &source, ctx, reg);
+        report.violations.extend(file_report.violations);
+        report.waivers.extend(file_report.waivers);
+        report.files_scanned += 1;
+    }
+    Ok(report)
+}
+
+/// The files a workspace scan visits, sorted.
+pub fn workspace_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
     let mut files: Vec<PathBuf> = Vec::new();
     let crates_dir = root.join("crates");
     let mut crate_dirs: Vec<PathBuf> = std::fs::read_dir(&crates_dir)?
@@ -892,22 +939,7 @@ pub fn scan_workspace(root: &Path) -> std::io::Result<Report> {
     }
     collect_rs(&root.join("src"), &mut files)?;
     files.sort();
-
-    let mut report = Report::default();
-    for file in &files {
-        let rel = file
-            .strip_prefix(root)
-            .unwrap_or(file)
-            .to_string_lossy()
-            .replace('\\', "/");
-        let source = std::fs::read_to_string(file)?;
-        let ctx = FileContext::for_path(&rel);
-        let file_report = scan_source(&rel, &source, ctx);
-        report.violations.extend(file_report.violations);
-        report.waivers.extend(file_report.waivers);
-        report.files_scanned += 1;
-    }
-    Ok(report)
+    Ok(files)
 }
 
 fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {

@@ -1,30 +1,56 @@
-//! `ape-lint` CLI: `cargo run -p ape-lint -- check [--json] [--list-waivers]`.
+//! `ape-lint` CLI: `cargo run -p ape-lint -- check [--json] [--list-waivers]`
+//! plus `fix` and the baseline-ledger options.
 
 use std::process::ExitCode;
 
-use ape_lint::{scan_workspace, workspace_root, Report};
+use ape_lint::baseline::Baseline;
+use ape_lint::{
+    apply_fixes, scan_source, scan_workspace, workspace_files, workspace_root, FileContext,
+    Registry, Report,
+};
 
 const USAGE: &str = "\
-ape-lint — determinism & protocol-invariant analyzer for the APE-CACHE workspace
+ape-lint — determinism & sim-safety analyzer for the APE-CACHE workspace
 
 USAGE:
-    cargo run -p ape-lint -- check [--json]
+    cargo run -p ape-lint -- check [--json] [--no-baseline] [--baseline <path>]
+    cargo run -p ape-lint -- check --write-baseline
     cargo run -p ape-lint -- check --list-waivers [--json]
+    cargo run -p ape-lint -- fix
 
 COMMANDS:
     check            Scan crates/*/src and src/ for rule violations.
-                     Exits 1 if any unwaived violation is found.
+                     Exits 1 on any violation that is neither waived nor
+                     covered by the committed baseline, and on stale
+                     baseline entries.
+    fix              Apply mechanical rewrites (registry-constant
+                     replacement, unused-waiver removal) in place, then
+                     report what changed. Re-run `check` afterwards.
 
 OPTIONS:
-    --json           Machine-readable output.
-    --list-waivers   Print the waiver ledger (file, line, rule, reason)
-                     instead of violations. Unused waivers are flagged.
+    --json             Machine-readable report (schema 2; validated in CI
+                       against docs/lint-report.schema.json).
+    --list-waivers     Print the waiver ledger (file, line, rule, reason)
+                       with a used/unused summary instead of violations.
+    --baseline <path>  Baseline ledger location (default:
+                       <workspace>/lint-baseline.json).
+    --no-baseline      Ignore the committed baseline: every unwaived
+                       violation fails.
+    --write-baseline   Regenerate the baseline from the current scan and
+                       exit. CI diffs the committed file against this
+                       output, so the ledger can shrink but never drift.
 
 RULES:
-    map-iter      no unordered HashMap/HashSet iteration in sim-state crates
-    wall-clock    no Instant/SystemTime/ambient randomness outside crates/bench
-    metric-name   no bare metric/span name literals at instrumentation sites
-    float-fold    no f32/f64 accumulation over unordered collections
+    map-iter         no unordered HashMap/HashSet iteration in sim-state crates
+    wall-clock       no Instant/SystemTime/ambient randomness outside crates/bench
+    metric-name      no bare span/trace name literals at instrumentation sites
+    float-fold       no f32/f64 accumulation over unordered collections
+    span-balance     no span binding that is started/resumed but never ended
+    sim-time-arith   no raw arithmetic or truncating casts on SimTime values
+                     outside crates/simnet/src/time.rs
+    metric-registry  metric names/ids must resolve against ape_proto::names
+    pub-api-debug    public sim-state types must implement Debug
+    unused-waiver    waivers must still match a violation (unwaivable)
 
 WAIVERS:
     // ape-lint: allow(<rule>) -- <reason>      (same line or line above)
@@ -33,13 +59,29 @@ WAIVERS:
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut check = false;
+    let mut fix = false;
     let mut json = false;
     let mut list_waivers = false;
-    for arg in &args {
+    let mut no_baseline = false;
+    let mut write_baseline = false;
+    let mut baseline_path: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
         match arg.as_str() {
             "check" => check = true,
+            "fix" => fix = true,
             "--json" => json = true,
             "--list-waivers" => list_waivers = true,
+            "--no-baseline" => no_baseline = true,
+            "--write-baseline" => write_baseline = true,
+            "--baseline" => match it.next() {
+                Some(p) => baseline_path = Some(p.clone()),
+                None => {
+                    eprintln!("ape-lint: `--baseline` needs a path\n");
+                    print!("{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--help" | "-h" | "help" => {
                 print!("{USAGE}");
                 return ExitCode::SUCCESS;
@@ -51,13 +93,19 @@ fn main() -> ExitCode {
             }
         }
     }
-    if !check && !list_waivers {
+    if !check && !fix && !list_waivers {
         print!("{USAGE}");
         return ExitCode::FAILURE;
     }
 
     let root = workspace_root();
-    let report = match scan_workspace(&root) {
+    let reg = Registry::workspace();
+
+    if fix {
+        return run_fix(&root, &reg);
+    }
+
+    let mut report = match scan_workspace(&root, &reg) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("ape-lint: scan failed: {e}");
@@ -69,12 +117,109 @@ fn main() -> ExitCode {
         print_waivers(&report, json);
         return ExitCode::SUCCESS;
     }
+
+    let ledger_path = baseline_path
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| root.join("lint-baseline.json"));
+
+    if write_baseline {
+        let ledger = Baseline::from_report(&report);
+        if let Err(e) = std::fs::write(&ledger_path, ledger.to_json()) {
+            eprintln!("ape-lint: cannot write {}: {e}", ledger_path.display());
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "ape-lint: wrote {} entr{} to {}",
+            ledger.entries.len(),
+            if ledger.entries.len() == 1 {
+                "y"
+            } else {
+                "ies"
+            },
+            ledger_path.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let mut stale: Vec<String> = Vec::new();
+    if !no_baseline && ledger_path.is_file() {
+        let text = match std::fs::read_to_string(&ledger_path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("ape-lint: cannot read {}: {e}", ledger_path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        let ledger = match Baseline::parse(&text) {
+            Ok(l) => l,
+            Err(e) => {
+                eprintln!("ape-lint: {}: {e}", ledger_path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        stale = ledger.apply(&mut report);
+    }
+
     print_check(&report, json);
+    for s in &stale {
+        eprintln!("ape-lint: {s}");
+    }
+    if !stale.is_empty() {
+        eprintln!(
+            "ape-lint: FAIL — baseline no longer matches the workspace; \
+             prune it with `--write-baseline`"
+        );
+        return ExitCode::FAILURE;
+    }
     if report.is_clean() {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
     }
+}
+
+/// Applies every mechanical fix in place, file by file.
+fn run_fix(root: &std::path::Path, reg: &Registry) -> ExitCode {
+    let files = match workspace_files(root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("ape-lint: scan failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut changed = 0usize;
+    let mut applied = 0usize;
+    for file in files {
+        let rel = file
+            .strip_prefix(root)
+            .unwrap_or(&file)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let source = match std::fs::read_to_string(&file) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("ape-lint: cannot read {rel}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let report = scan_source(&rel, &source, FileContext::for_path(&rel), reg);
+        let n_fixes = report.fixable().count();
+        if let Some(rewritten) = apply_fixes(&source, &report) {
+            if let Err(e) = std::fs::write(&file, rewritten) {
+                eprintln!("ape-lint: cannot write {rel}: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!("ape-lint: fixed {rel} ({n_fixes} rewrite(s))");
+            changed += 1;
+            applied += n_fixes;
+        }
+    }
+    if changed == 0 {
+        println!("ape-lint: nothing to fix");
+    } else {
+        println!("ape-lint: applied {applied} rewrite(s) across {changed} file(s); re-run `check`");
+    }
+    ExitCode::SUCCESS
 }
 
 fn print_check(report: &Report, json: bool) {
@@ -83,21 +228,38 @@ fn print_check(report: &Report, json: bool) {
         return;
     }
     for v in &report.violations {
-        let tag = if v.waived { " (waived)" } else { "" };
-        println!("{}:{}: [{}]{} {}", v.file, v.line, v.rule, tag, v.message);
+        let tag = if v.waived {
+            " (waived)"
+        } else if v.baselined {
+            " (baselined)"
+        } else {
+            ""
+        };
+        let fixable = if !v.waived && v.fix.is_some() {
+            " [fixable]"
+        } else {
+            ""
+        };
+        println!(
+            "{}:{}: [{}]{}{} {}",
+            v.file, v.line, v.rule, tag, fixable, v.message
+        );
     }
-    let unwaived = report.unwaived().count();
-    let waived = report.violations.len() - unwaived;
+    let failing = report.failing().count();
+    let waived = report.violations.iter().filter(|v| v.waived).count();
+    let baselined = report.violations.iter().filter(|v| v.baselined).count();
     println!(
-        "ape-lint: {} files scanned, {} violation(s) ({} waived), {} waiver(s)",
+        "ape-lint: {} files scanned, {} violation(s) ({} waived, {} baselined), {} waiver(s)",
         report.files_scanned,
         report.violations.len(),
         waived,
+        baselined,
         report.waivers.len()
     );
-    if unwaived > 0 {
+    if failing > 0 {
         println!(
-            "ape-lint: FAIL — fix the violations or add `// ape-lint: allow(<rule>) -- <why>`"
+            "ape-lint: FAIL — fix the violations, add `// ape-lint: allow(<rule>) -- <why>`, \
+             or try `ape-lint fix` for [fixable] ones"
         );
     } else {
         println!("ape-lint: OK");
@@ -120,5 +282,11 @@ fn print_waivers(report: &Report, json: bool) {
             w.file, w.line, w.rule, tag, w.reason
         );
     }
-    println!("ape-lint: {} waiver(s)", report.waivers.len());
+    let used = report.waivers.iter().filter(|w| w.used).count();
+    println!(
+        "ape-lint: {} waiver(s) ({} used, {} unused)",
+        report.waivers.len(),
+        used,
+        report.waivers.len() - used
+    );
 }

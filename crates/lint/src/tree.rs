@@ -1,0 +1,324 @@
+//! Brace-matched block tree over the token stream.
+//!
+//! Rules that reason about *scopes* — span-balance needs function bodies
+//! and binding extents, the test mask needs `#[cfg(test)]` item bodies —
+//! build on this instead of counting `{`/`}` per line. The tree is built
+//! from the comment-free token stream, so braces inside strings or comments
+//! can never unbalance it.
+
+use crate::lexer::{Token, TokenKind};
+
+/// One `{ … }` block. Indices refer to the comment-free token slice the
+/// tree was built from.
+#[derive(Debug, Clone)]
+pub struct Block {
+    /// Index of the opening `{` token.
+    pub open: usize,
+    /// Index of the closing `}` token (or one past the last token when the
+    /// file is truncated / unbalanced).
+    pub close: usize,
+    /// Child blocks in source order.
+    pub children: Vec<usize>,
+    /// If this block is a function body: the function's name.
+    pub fn_name: Option<String>,
+}
+
+/// The tree over one file; `blocks[0]` is a synthetic root spanning the
+/// whole token stream.
+#[derive(Debug)]
+pub struct BlockTree {
+    /// All blocks, root first, then in opening order.
+    pub blocks: Vec<Block>,
+}
+
+impl BlockTree {
+    /// Builds the tree. `tokens` must be comment-free (see
+    /// [`code_tokens`]).
+    pub fn build(src: &str, tokens: &[Token]) -> BlockTree {
+        let mut blocks = vec![Block {
+            open: 0,
+            close: tokens.len(),
+            children: Vec::new(),
+            fn_name: None,
+        }];
+        let mut stack: Vec<usize> = vec![0];
+        for (i, t) in tokens.iter().enumerate() {
+            if t.kind != TokenKind::Punct {
+                continue;
+            }
+            match t.text(src) {
+                "{" => {
+                    let id = blocks.len();
+                    blocks.push(Block {
+                        open: i,
+                        close: tokens.len(),
+                        children: Vec::new(),
+                        fn_name: fn_name_before(src, tokens, i),
+                    });
+                    let parent = *stack.last().expect("root never popped");
+                    blocks[parent].children.push(id);
+                    stack.push(id);
+                }
+                "}" if stack.len() > 1 => {
+                    let id = stack.pop().expect("checked non-root");
+                    blocks[id].close = i;
+                }
+                _ => {}
+            }
+        }
+        BlockTree { blocks }
+    }
+
+    /// Every block that is a function body, in source order.
+    pub fn fn_bodies(&self) -> impl Iterator<Item = &Block> {
+        self.blocks.iter().filter(|b| b.fn_name.is_some())
+    }
+
+    /// The innermost block containing token index `i`, if any beyond root.
+    pub fn innermost(&self, i: usize) -> &Block {
+        let mut best = &self.blocks[0];
+        for b in &self.blocks[1..] {
+            if b.open < i && i < b.close && (b.open > best.open || best.fn_name.is_none()) {
+                best = b;
+            }
+        }
+        best
+    }
+}
+
+/// If the `{` at token index `open` starts a function body, returns the
+/// function's name. Walks backwards over the signature (return type,
+/// params, generics, `where` clauses) until it either finds `fn <name>` or
+/// a token that proves this brace belongs to something else.
+fn fn_name_before(src: &str, tokens: &[Token], open: usize) -> Option<String> {
+    let mut i = open;
+    let mut steps = 0usize;
+    while i > 0 {
+        i -= 1;
+        steps += 1;
+        if steps > 256 {
+            return None; // pathological signature; give up quietly
+        }
+        let t = &tokens[i];
+        match t.kind {
+            TokenKind::Punct => match t.text(src) {
+                // A statement/item boundary before seeing `fn` means this
+                // brace opens a non-fn block (struct literal, match, mod…).
+                ";" | "{" | "}" => return None,
+                // `=` means `… = … {` — a struct-literal initializer, or
+                // a closure body; either way not a named fn body.
+                "=" | "=>" => return None,
+                _ => {}
+            },
+            TokenKind::Ident => {
+                if t.text(src) == "fn" {
+                    let name = tokens.get(i + 1)?;
+                    if name.kind == TokenKind::Ident {
+                        return Some(name.text(src).to_owned());
+                    }
+                    return None;
+                }
+                // `match x {`, `loop {`, `if c {`… keep scanning: those
+                // keywords can legally appear inside a signature only in
+                // const-generic defaults, which `;`/`=` guards catch.
+                match t.text(src) {
+                    "match" | "loop" | "while" | "for" | "if" | "else" | "unsafe" | "mod"
+                    | "impl" | "trait" | "struct" | "enum" | "union" => return None,
+                    _ => {}
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Filters the raw token stream down to code tokens (everything except
+/// comments), preserving order.
+pub fn code_tokens(tokens: &[Token]) -> Vec<Token> {
+    tokens.iter().filter(|t| !t.is_comment()).copied().collect()
+}
+
+/// Per-line mask of `#[cfg(test)]` / `#[test]` regions, attribute line
+/// through the item's closing brace. `n_lines` is the file's line count;
+/// `tokens` must be comment-free.
+pub fn test_mask(src: &str, tokens: &[Token], n_lines: usize) -> Vec<bool> {
+    let mut mask = vec![false; n_lines];
+    let mut i = 0;
+    while i < tokens.len() {
+        if !(tokens[i].kind == TokenKind::Punct && tokens[i].text(src) == "#") {
+            i += 1;
+            continue;
+        }
+        // Parse `#[ … ]` and check for a test-gating attribute.
+        let Some(close) = attr_close(src, tokens, i) else {
+            i += 1;
+            continue;
+        };
+        let is_test_attr = {
+            let body: Vec<&str> = tokens[i + 2..close].iter().map(|t| t.text(src)).collect();
+            body.first() == Some(&"test")
+                || (body.first() == Some(&"cfg") && body.contains(&"test"))
+        };
+        if !is_test_attr {
+            i = close + 1;
+            continue;
+        }
+        // Mask from the attribute through the annotated item. Skip any
+        // further attributes, then find the item's `{ … }` (or `;`).
+        let attr_line = tokens[i].line as usize;
+        let mut j = close + 1;
+        while j + 1 < tokens.len()
+            && tokens[j].kind == TokenKind::Punct
+            && tokens[j].text(src) == "#"
+        {
+            match attr_close(src, tokens, j) {
+                Some(c) => j = c + 1,
+                None => break,
+            }
+        }
+        let mut depth = 0i32;
+        let mut end_line = attr_line;
+        while j < tokens.len() {
+            let t = &tokens[j];
+            if t.kind == TokenKind::Punct {
+                match t.text(src) {
+                    "{" => depth += 1,
+                    "}" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            end_line = t.line as usize;
+                            break;
+                        }
+                    }
+                    ";" if depth == 0 => {
+                        end_line = t.line as usize;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            end_line = t.line as usize;
+            j += 1;
+        }
+        for l in attr_line..=end_line.min(n_lines) {
+            if l >= 1 {
+                mask[l - 1] = true;
+            }
+        }
+        i = j + 1;
+    }
+    mask
+}
+
+/// For a `#` at token index `i`, returns the index of the matching `]` of
+/// a `#[ … ]` attribute, if that is what follows.
+fn attr_close(src: &str, tokens: &[Token], i: usize) -> Option<usize> {
+    let open = tokens.get(i + 1)?;
+    if !(open.kind == TokenKind::Punct && open.text(src) == "[") {
+        return None;
+    }
+    let mut depth = 0i32;
+    for (j, t) in tokens.iter().enumerate().skip(i + 1) {
+        if t.kind == TokenKind::Punct {
+            match t.text(src) {
+                "[" => depth += 1,
+                "]" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return Some(j);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn tree_of(src: &str) -> (BlockTree, Vec<Token>) {
+        let toks = code_tokens(&lex(src));
+        (BlockTree::build(src, &toks), toks)
+    }
+
+    #[test]
+    fn fn_bodies_are_identified() {
+        let src = r#"
+impl Foo {
+    fn alpha(&self, x: u64) -> u64 {
+        if x > 0 { x } else { 0 }
+    }
+    pub(crate) fn beta<T: Clone>(t: T) where T: Send {
+        match t { _ => {} }
+    }
+}
+fn gamma() {}
+"#;
+        let (tree, _) = tree_of(src);
+        let names: Vec<&str> = tree
+            .fn_bodies()
+            .map(|b| b.fn_name.as_deref().unwrap())
+            .collect();
+        assert_eq!(names, vec!["alpha", "beta", "gamma"]);
+    }
+
+    #[test]
+    fn struct_literals_and_match_blocks_are_not_fn_bodies() {
+        let src = r#"
+fn f() {
+    let s = Style { bold: true };
+    let v = match s { _ => 1 };
+    let c = |x: u64| { x + 1 };
+}
+"#;
+        let (tree, _) = tree_of(src);
+        assert_eq!(tree.fn_bodies().count(), 1);
+    }
+
+    #[test]
+    fn cfg_test_mod_is_masked_to_its_close() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\nfn live2() {}\n";
+        let toks = code_tokens(&lex(src));
+        let mask = test_mask(src, &toks, src.lines().count());
+        assert_eq!(mask, vec![false, true, true, true, true, false]);
+    }
+
+    #[test]
+    fn cfg_all_test_and_plain_test_attrs_are_masked() {
+        let src = "#[cfg(all(test, debug_assertions))]\nfn a() {}\n#[test]\nfn b() {}\nfn c() {}\n";
+        let toks = code_tokens(&lex(src));
+        let mask = test_mask(src, &toks, src.lines().count());
+        assert_eq!(mask, vec![true, true, true, true, false]);
+    }
+
+    #[test]
+    fn cfg_test_mod_decl_masks_only_the_decl() {
+        let src = "#[cfg(test)]\nmod tests;\nfn live() {}\n";
+        let toks = code_tokens(&lex(src));
+        let mask = test_mask(src, &toks, src.lines().count());
+        assert_eq!(mask, vec![true, true, false]);
+    }
+
+    #[test]
+    fn non_test_cfgs_are_not_masked() {
+        let src = "#[cfg(debug_assertions)]\nfn a() {}\n#[cfg(feature = \"x\")]\nfn b() {}\n";
+        let toks = code_tokens(&lex(src));
+        let mask = test_mask(src, &toks, src.lines().count());
+        assert!(mask.iter().all(|m| !m), "{mask:?}");
+    }
+
+    #[test]
+    fn innermost_block_lookup() {
+        let src = "fn f() { if x { y(); } }";
+        let (tree, toks) = tree_of(src);
+        let y_idx = toks.iter().position(|t| t.text(src) == "y").unwrap();
+        let b = tree.innermost(y_idx);
+        // The innermost block holding `y` is the `if` body, not the fn.
+        assert!(b.fn_name.is_none());
+    }
+}

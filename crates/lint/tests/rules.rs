@@ -1,7 +1,12 @@
-//! Fixture tests: one positive and one negative snippet per rule, waiver
-//! parsing, and a self-check that the real workspace scans clean.
+//! Fixture tests: positive, negative, waived and `--fix` round-trip cases
+//! for every rule family, plus self-checks that the real workspace scans
+//! clean and that the committed baseline ledger is byte-exact.
 
-use ape_lint::{scan_source, scan_workspace, workspace_root, FileContext, Rule};
+use ape_lint::baseline::Baseline;
+use ape_lint::{
+    apply_fixes, scan_source, scan_workspace, workspace_files, workspace_root, FileContext,
+    Registry, Rule,
+};
 
 const SIM: FileContext = FileContext {
     sim_state: true,
@@ -22,6 +27,21 @@ fn rules_of(report: &ape_lint::Report) -> Vec<Rule> {
     report.violations.iter().map(|v| v.rule).collect()
 }
 
+/// Synthetic registry for fixtures, mirroring the `ape_proto::names` shape.
+fn fixture_registry() -> Registry {
+    Registry::from_entries(
+        &[
+            ("AP_DNS_QUERIES", "ap.dns_queries"),
+            ("CLIENT_LOOKUP_LATENCY_MS", "client.lookup_latency_ms"),
+        ],
+        &[("CLIENT_APP_LATENCY_MS_PREFIX", "client.app_latency_ms.")],
+    )
+}
+
+fn scan(rel: &str, src: &str, ctx: FileContext) -> ape_lint::Report {
+    scan_source(rel, src, ctx, &fixture_registry())
+}
+
 // --- D1 map-iter ----------------------------------------------------------
 
 #[test]
@@ -40,7 +60,7 @@ impl Cache {
     }
 }
 "#;
-    let report = scan_source("crates/nodes/src/fixture.rs", src, SIM);
+    let report = scan("crates/nodes/src/fixture.rs", src, SIM);
     let rules = rules_of(&report);
     assert_eq!(rules.iter().filter(|r| **r == Rule::MapIter).count(), 2);
     assert!(report.violations.iter().all(|v| !v.waived));
@@ -64,7 +84,7 @@ fn walk2() {
     drop(&mut seen);
 }
 "#;
-    let report = scan_source("crates/simnet/src/fixture.rs", src, SIM);
+    let report = scan("crates/simnet/src/fixture.rs", src, SIM);
     assert_eq!(
         rules_of(&report),
         vec![Rule::MapIter, Rule::MapIter],
@@ -90,7 +110,7 @@ impl S {
     }
 }
 "#;
-    let report = scan_source("crates/core/src/fixture.rs", src, SIM);
+    let report = scan("crates/core/src/fixture.rs", src, SIM);
     assert!(report.is_clean(), "{:?}", report.violations);
 }
 
@@ -102,7 +122,7 @@ fn tally(counts: HashMap<String, u64>) -> u64 {
     counts.values().sum()
 }
 "#;
-    let report = scan_source("crates/bench/src/fixture.rs", src, HARNESS);
+    let report = scan("crates/bench/src/fixture.rs", src, HARNESS);
     assert!(report.is_clean(), "{:?}", report.violations);
 }
 
@@ -117,7 +137,7 @@ fn now_ms() -> u128 {
     t.elapsed().as_millis()
 }
 "#;
-    let report = scan_source("crates/simnet/src/fixture.rs", src, SIM);
+    let report = scan("crates/simnet/src/fixture.rs", src, SIM);
     let wall: Vec<_> = rules_of(&report)
         .into_iter()
         .filter(|r| *r == Rule::WallClock)
@@ -132,7 +152,7 @@ fn measure() -> std::time::Instant {
     std::time::Instant::now()
 }
 "#;
-    assert!(scan_source("crates/bench/src/fixture.rs", bench, HARNESS).is_clean());
+    assert!(scan("crates/bench/src/fixture.rs", bench, HARNESS).is_clean());
 
     let sim = r#"
 use ape_simnet::{SimRng, SimTime};
@@ -141,23 +161,20 @@ fn t(rng: &mut SimRng) -> SimTime {
     SimTime::from_secs(1)
 }
 "#;
-    assert!(scan_source("crates/simnet/src/fixture.rs", sim, SIM).is_clean());
+    assert!(scan("crates/simnet/src/fixture.rs", sim, SIM).is_clean());
 }
 
-// --- D3 metric-name -------------------------------------------------------
+// --- D3 metric-name (span/trace sites) ------------------------------------
 
 #[test]
-fn d3_flags_bare_name_literals() {
+fn d3_flags_bare_span_name_literals() {
     let src = r#"
-fn record(m: &mut ape_simnet::Metrics) {
-    m.incr("ap.dns_queries", 1);
-    m.observe(
-        "client.lookup_latency_ms",
-        4.0,
-    );
+fn instrumented(ctx: &mut Ctx) {
+    let span = ctx.span_start("ap.fetch");
+    ctx.span_end(span, "ap.fetch");
 }
 "#;
-    let report = scan_source("crates/nodes/src/fixture.rs", src, SIM);
+    let report = scan("crates/nodes/src/fixture.rs", src, SIM);
     assert_eq!(
         rules_of(&report),
         vec![Rule::MetricName, Rule::MetricName],
@@ -167,24 +184,14 @@ fn record(m: &mut ape_simnet::Metrics) {
 }
 
 #[test]
-fn d3_accepts_names_constants_and_skips_tests() {
+fn d3_accepts_span_kind_constants() {
     let src = r#"
-use ape_proto::names;
-fn record(m: &mut ape_simnet::Metrics) {
-    m.incr(names::AP_DNS_QUERIES, 1);
-}
-
-#[cfg(test)]
-mod tests {
-    #[test]
-    fn literals_are_fine_in_tests() {
-        let mut m = ape_simnet::Metrics::new();
-        m.incr("test.counter", 1);
-        assert_eq!(m.counter("test.counter"), 1);
-    }
+fn instrumented(ctx: &mut Ctx) {
+    let span = ctx.span_start(SpanKind::HttpFetch.as_str());
+    ctx.span_end(span, SpanKind::HttpFetch.as_str());
 }
 "#;
-    let report = scan_source("crates/nodes/src/fixture.rs", src, SIM);
+    let report = scan("crates/nodes/src/fixture.rs", src, SIM);
     assert!(report.is_clean(), "{:?}", report.violations);
 }
 
@@ -202,7 +209,7 @@ fn folded(rates: &HashMap<u32, f64>) -> f64 {
 }
 "#;
     // Non-sim-state context isolates D4 from D1.
-    let report = scan_source("crates/httpsim/src/fixture.rs", src, NON_SIM);
+    let report = scan("crates/httpsim/src/fixture.rs", src, NON_SIM);
     assert_eq!(
         rules_of(&report),
         vec![Rule::FloatFold, Rule::FloatFold],
@@ -222,8 +229,379 @@ fn mean(rates: &BTreeMap<u32, f64>) -> f64 {
     rates.values().sum::<f64>() / rates.len() as f64
 }
 "#;
-    let report = scan_source("crates/httpsim/src/fixture.rs", src, NON_SIM);
+    let report = scan("crates/httpsim/src/fixture.rs", src, NON_SIM);
     assert!(report.is_clean(), "{:?}", report.violations);
+}
+
+// --- span-balance ---------------------------------------------------------
+
+#[test]
+fn span_balance_flags_started_binding_never_used() {
+    let src = r#"
+fn fetch(ctx: &mut Ctx, early: bool) {
+    let span = ctx.span_start(SpanKind::HttpFetch.as_str());
+    if early {
+        return;
+    }
+    ctx.do_work();
+}
+"#;
+    let report = scan("crates/nodes/src/fixture.rs", src, SIM);
+    assert_eq!(
+        rules_of(&report),
+        vec![Rule::SpanBalance],
+        "{:?}",
+        report.violations
+    );
+}
+
+#[test]
+fn span_balance_accepts_ended_or_stored_spans() {
+    let src = r#"
+fn fetch(ctx: &mut Ctx) {
+    let span = ctx.span_start(SpanKind::HttpFetch.as_str());
+    ctx.do_work();
+    ctx.span_end(span, SpanKind::HttpFetch.as_str());
+    let lookup_span = ctx.begin_trace(SpanKind::DnsLookup.as_str());
+    self.pending.span = Some(lookup_span);
+}
+"#;
+    let report = scan("crates/nodes/src/fixture.rs", src, SIM);
+    assert!(report.is_clean(), "{:?}", report.violations);
+}
+
+#[test]
+fn span_balance_flags_resumed_binding_never_used() {
+    // The PR 5 `handle_dns_response` leak shape: a span resumed from
+    // pending state whose end call was lost.
+    let src = r#"
+fn finish(&mut self, ctx: &mut Ctx, pending: Pending) {
+    if let Some(span) = pending.span {
+        ctx.log_completion();
+    }
+    while let Some((fetch_span, kind)) = self.queue.pop() {
+        drop(kind);
+    }
+}
+"#;
+    let report = scan("crates/nodes/src/fixture.rs", src, SIM);
+    assert_eq!(
+        rules_of(&report),
+        vec![Rule::SpanBalance, Rule::SpanBalance],
+        "{:?}",
+        report.violations
+    );
+}
+
+#[test]
+fn span_balance_accepts_resumed_binding_that_is_ended() {
+    let src = r#"
+fn finish(&mut self, ctx: &mut Ctx, pending: Pending) {
+    if let Some(span) = pending.span {
+        ctx.span_end(span, SpanKind::DnsUpstream.as_str());
+    }
+}
+"#;
+    let report = scan("crates/nodes/src/fixture.rs", src, SIM);
+    assert!(report.is_clean(), "{:?}", report.violations);
+}
+
+#[test]
+fn span_balance_skips_underscore_and_non_span_names() {
+    let src = r#"
+fn f(&mut self, ctx: &mut Ctx, pending: Pending) {
+    let _span = ctx.span_start(SpanKind::HttpFetch.as_str());
+    if let Some(value) = pending.span {
+        drop(());
+    }
+    let count = self.items.len();
+    drop(count);
+}
+"#;
+    let report = scan("crates/nodes/src/fixture.rs", src, SIM);
+    assert!(report.is_clean(), "{:?}", report.violations);
+}
+
+#[test]
+fn span_balance_can_be_waived_and_skips_tests() {
+    let src = r#"
+fn f(ctx: &mut Ctx) {
+    // ape-lint: allow(span-balance) -- span intentionally leaked to exercise the trace GC
+    let span = ctx.span_start(SpanKind::HttpFetch.as_str());
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn leak_fixture() {
+        let mut ctx = Ctx::new();
+        let span = ctx.span_start(SpanKind::HttpFetch.as_str());
+    }
+}
+"#;
+    let report = scan("crates/nodes/src/fixture.rs", src, SIM);
+    assert_eq!(report.violations.len(), 1, "{:?}", report.violations);
+    assert!(report.violations[0].waived);
+    assert!(report.is_clean());
+}
+
+// --- sim-time-arith -------------------------------------------------------
+
+#[test]
+fn sim_time_arith_flags_raw_arith_and_truncating_casts() {
+    let src = r#"
+fn f(t: SimTime, d: SimDuration) -> u64 {
+    let a = t.as_nanos() - 1;
+    let b = 5 + d.as_nanos();
+    let c = d.as_secs_f64() as u32;
+    let e = SimDuration::from_nanos(a * 3);
+    (a, b, u64::from(c), e).0
+}
+"#;
+    let report = scan("crates/core/src/fixture.rs", src, SIM);
+    assert_eq!(
+        rules_of(&report),
+        vec![
+            Rule::SimTimeArith,
+            Rule::SimTimeArith,
+            Rule::SimTimeArith,
+            Rule::SimTimeArith
+        ],
+        "{:?}",
+        report.violations
+    );
+}
+
+#[test]
+fn sim_time_arith_ignores_typed_math_widening_and_shifts() {
+    let src = r#"
+fn as_nanos_total(x: u64) -> u64 {
+    x
+}
+fn g(t: SimTime, d: SimDuration) -> f64 {
+    let later = t + d;
+    let widened = d.as_nanos() as f64;
+    let slot = (t.as_nanos() >> 6) & 63;
+    let whole = d.as_secs();
+    drop((later, slot, whole));
+    widened
+}
+"#;
+    let report = scan("crates/core/src/fixture.rs", src, SIM);
+    assert!(report.is_clean(), "{:?}", report.violations);
+}
+
+#[test]
+fn sim_time_arith_exempts_time_impl_and_non_sim_crates() {
+    let src = r#"
+fn raw(d: SimDuration) -> u64 {
+    d.as_nanos() - 1
+}
+"#;
+    assert!(
+        scan("crates/simnet/src/time.rs", src, SIM).is_clean(),
+        "time.rs is the typed home for nanosecond math"
+    );
+    assert!(scan("crates/bench/src/fixture.rs", src, HARNESS).is_clean());
+}
+
+#[test]
+fn sim_time_arith_can_be_waived() {
+    let src = r#"
+fn f(t: SimTime) -> u64 {
+    // ape-lint: allow(sim-time-arith) -- wheel slot math is documented shift/mask on nanos
+    t.as_nanos() % 7
+}
+"#;
+    let report = scan("crates/simnet/src/fixture.rs", src, SIM);
+    assert_eq!(report.violations.len(), 1);
+    assert!(report.violations[0].waived);
+    assert!(report.is_clean());
+}
+
+// --- metric-registry ------------------------------------------------------
+
+#[test]
+fn metric_registry_fixes_exact_literal_to_constant() {
+    let src = r#"
+fn record(m: &mut Metrics) {
+    m.incr("ap.dns_queries", 1);
+    m.observe(
+        "client.lookup_latency_ms",
+        4.0,
+    );
+}
+"#;
+    let report = scan("crates/nodes/src/fixture.rs", src, SIM);
+    assert_eq!(
+        rules_of(&report),
+        vec![Rule::MetricRegistry, Rule::MetricRegistry],
+        "{:?}",
+        report.violations
+    );
+    assert!(report.violations.iter().all(|v| v.fix.is_some()));
+
+    // --fix rewrites to the registered constants and is idempotent.
+    let fixed = apply_fixes(src, &report).expect("fixes to apply");
+    assert!(fixed.contains("m.incr(ape_proto::names::AP_DNS_QUERIES, 1)"));
+    assert!(fixed.contains("ape_proto::names::CLIENT_LOOKUP_LATENCY_MS"));
+    let second = scan("crates/nodes/src/fixture.rs", &fixed, SIM);
+    assert!(second.is_clean(), "{:?}", second.violations);
+    assert!(apply_fixes(&fixed, &second).is_none());
+}
+
+#[test]
+fn metric_registry_flags_unregistered_and_prefix_literals() {
+    let src = r#"
+fn record(m: &mut Metrics) {
+    m.incr("ap.totally_new_counter", 1);
+    m.observe("client.app_latency_ms.maps", 3.0);
+}
+"#;
+    let report = scan("crates/nodes/src/fixture.rs", src, SIM);
+    assert_eq!(
+        rules_of(&report),
+        vec![Rule::MetricRegistry, Rule::MetricRegistry]
+    );
+    assert!(report.violations[0].message.contains("unregistered"));
+    assert!(report.violations[0].fix.is_none(), "no safe rewrite exists");
+    assert!(report.violations[1].message.contains("dynamic prefix"));
+}
+
+#[test]
+fn metric_registry_checks_interned_id_constants() {
+    let src = r#"
+fn record(m: &mut Metrics) {
+    m.incr_id(names::id::AP_DNS_QUERIES, 1);
+    m.observe_id(STALE_ID, 2.0);
+    m.observe_id(IDS[i % IDS.len()], 3.0);
+    m.record_point_id(chosen_id, 4.0);
+}
+"#;
+    let report = scan("crates/nodes/src/fixture.rs", src, SIM);
+    assert_eq!(
+        rules_of(&report),
+        vec![Rule::MetricRegistry],
+        "{:?}",
+        report.violations
+    );
+    assert!(report.violations[0].message.contains("STALE_ID"));
+}
+
+#[test]
+fn metric_registry_accepts_constants_and_skips_tests() {
+    let src = r#"
+use ape_proto::names;
+fn record(m: &mut Metrics) {
+    m.incr(names::AP_DNS_QUERIES, 1);
+    m.observe(&dynamic_name, 2.0);
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn literals_are_fine_in_tests() {
+        let mut m = Metrics::new();
+        m.incr("test.counter", 1);
+        assert_eq!(m.counter("test.counter"), 1);
+    }
+}
+"#;
+    let report = scan("crates/nodes/src/fixture.rs", src, SIM);
+    assert!(report.is_clean(), "{:?}", report.violations);
+}
+
+#[test]
+fn metric_registry_waiver_suppresses_fix_too() {
+    let src = r#"
+fn record(m: &mut Metrics) {
+    // ape-lint: allow(metric-registry) -- migration shim, removed with the v1 exporter
+    m.incr("ap.dns_queries", 1);
+}
+"#;
+    let report = scan("crates/nodes/src/fixture.rs", src, SIM);
+    assert_eq!(report.violations.len(), 1);
+    assert!(report.violations[0].waived);
+    assert!(report.is_clean());
+    assert!(
+        apply_fixes(src, &report).is_none(),
+        "waived fixes must not apply"
+    );
+}
+
+// --- pub-api-debug --------------------------------------------------------
+
+#[test]
+fn pub_api_debug_flags_missing_debug_on_public_types() {
+    let src = r#"
+pub struct Plain {
+    pub x: u32,
+}
+
+#[derive(Clone)]
+pub enum AlsoPlain {
+    A,
+    B,
+}
+"#;
+    let report = scan("crates/simnet/src/fixture.rs", src, SIM);
+    assert_eq!(
+        rules_of(&report),
+        vec![Rule::PubApiDebug, Rule::PubApiDebug],
+        "{:?}",
+        report.violations
+    );
+}
+
+#[test]
+fn pub_api_debug_accepts_derived_manual_and_private_types() {
+    let src = r#"
+use std::fmt;
+
+#[derive(Clone, Debug)]
+pub struct Derived {
+    pub x: u32,
+}
+
+pub struct Manual(u32);
+
+impl fmt::Debug for Manual {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Manual({})", self.0)
+    }
+}
+
+struct Private {
+    y: u32,
+}
+
+pub(crate) struct CrateLocal {
+    z: u32,
+}
+"#;
+    let report = scan("crates/simnet/src/fixture.rs", src, SIM);
+    assert!(report.is_clean(), "{:?}", report.violations);
+}
+
+#[test]
+fn pub_api_debug_is_scoped_to_sim_state_and_waivable() {
+    let src = r#"
+pub struct HarnessOnly {
+    pub x: u32,
+}
+"#;
+    assert!(scan("crates/bench/src/fixture.rs", src, HARNESS).is_clean());
+
+    let waived = r#"
+// ape-lint: allow(pub-api-debug) -- holds a raw fd; Debug would tempt logging it
+pub struct Opaque {
+    fd: i32,
+}
+"#;
+    let report = scan("crates/simnet/src/fixture.rs", waived, SIM);
+    assert_eq!(report.violations.len(), 1);
+    assert!(report.violations[0].waived);
+    assert!(report.is_clean());
 }
 
 // --- Waivers --------------------------------------------------------------
@@ -244,7 +622,7 @@ impl S {
     }
 }
 "#;
-    let report = scan_source("crates/cachealg/src/fixture.rs", src, SIM);
+    let report = scan("crates/cachealg/src/fixture.rs", src, SIM);
     assert_eq!(report.violations.len(), 1);
     assert!(report.violations[0].waived);
     assert!(report.is_clean());
@@ -261,35 +639,65 @@ fn f(m: &HashMap<u32, u32>) -> usize {
     m.keys().count() // ape-lint: allow(map-iter) -- count is order-free
 }
 "#;
-    let report = scan_source("crates/proto/src/fixture.rs", src, SIM);
+    let report = scan("crates/proto/src/fixture.rs", src, SIM);
     assert_eq!(report.violations.len(), 1);
     assert!(report.violations[0].waived);
     assert!(report.is_clean());
 }
 
 #[test]
-fn waiver_for_wrong_rule_does_not_suppress() {
-    let src = r#"
-use std::collections::HashMap;
-fn f(m: &HashMap<u32, u32>) -> usize {
-    // ape-lint: allow(wall-clock) -- wrong rule on purpose
-    m.keys().count()
-}
-"#;
-    let report = scan_source("crates/proto/src/fixture.rs", src, SIM);
-    assert!(!report.is_clean());
-    assert!(!report.waivers[0].used);
-}
-
-#[test]
 fn malformed_waivers_are_violations() {
     let missing_reason = "// ape-lint: allow(map-iter)\nfn f() {}\n";
-    let report = scan_source("crates/core/src/fixture.rs", missing_reason, SIM);
+    let report = scan("crates/core/src/fixture.rs", missing_reason, SIM);
     assert_eq!(rules_of(&report), vec![Rule::WaiverSyntax]);
 
     let unknown_rule = "// ape-lint: allow(hash-stuff) -- nope\nfn f() {}\n";
-    let report = scan_source("crates/core/src/fixture.rs", unknown_rule, SIM);
+    let report = scan("crates/core/src/fixture.rs", unknown_rule, SIM);
     assert_eq!(rules_of(&report), vec![Rule::WaiverSyntax]);
+
+    // The honesty meta-rules cannot be waived by name.
+    let unwaivable = "// ape-lint: allow(unused-waiver) -- nice try\nfn f() {}\n";
+    let report = scan("crates/core/src/fixture.rs", unwaivable, SIM);
+    assert_eq!(rules_of(&report), vec![Rule::WaiverSyntax]);
+}
+
+// --- unused-waiver --------------------------------------------------------
+
+#[test]
+fn unused_waiver_is_flagged_and_fix_removes_it() {
+    let src = r#"
+fn f() -> u32 {
+    // ape-lint: allow(wall-clock) -- this code stopped reading the clock long ago
+    41 + 1
+}
+"#;
+    let report = scan("crates/simnet/src/fixture.rs", src, SIM);
+    assert_eq!(
+        rules_of(&report),
+        vec![Rule::UnusedWaiver],
+        "{:?}",
+        report.violations
+    );
+    assert!(!report.is_clean());
+    assert_eq!(report.waivers.len(), 1);
+    assert!(!report.waivers[0].used);
+
+    // The fix deletes the whole comment line and is idempotent.
+    let fixed = apply_fixes(src, &report).expect("removal fix");
+    assert!(!fixed.contains("ape-lint"));
+    assert_eq!(fixed, "\nfn f() -> u32 {\n    41 + 1\n}\n");
+    let second = scan("crates/simnet/src/fixture.rs", &fixed, SIM);
+    assert!(second.is_clean(), "{:?}", second.violations);
+    assert!(apply_fixes(&fixed, &second).is_none());
+}
+
+#[test]
+fn unused_trailing_waiver_fix_keeps_the_code() {
+    let src = "fn f() -> u32 {\n    let x = 1; // ape-lint: allow(map-iter) -- stale\n    x\n}\n";
+    let report = scan("crates/simnet/src/fixture.rs", src, SIM);
+    assert_eq!(rules_of(&report), vec![Rule::UnusedWaiver]);
+    let fixed = apply_fixes(src, &report).expect("removal fix");
+    assert_eq!(fixed, "fn f() -> u32 {\n    let x = 1;\n    x\n}\n");
 }
 
 // --- Preprocessing robustness --------------------------------------------
@@ -312,9 +720,38 @@ fn f() -> &'static str {
 /// ```
 fn g() {}
 "##;
-    let report = scan_source("crates/simnet/src/fixture.rs", src, SIM);
+    let report = scan("crates/simnet/src/fixture.rs", src, SIM);
     assert!(report.is_clean(), "{:?}", report.violations);
     assert!(report.violations.is_empty());
+}
+
+#[test]
+fn lexer_line_numbers_match_source_for_every_workspace_file() {
+    // Token lines drive waiver matching and violation reporting; a drift
+    // (e.g. uncounted line-continuation escapes) silently unmatches
+    // waivers far below it. Cross-check against a ground-truth line table
+    // for every real source file.
+    for file in workspace_files(&workspace_root()).expect("workspace files") {
+        let src = std::fs::read_to_string(&file).expect("read source");
+        let mut line_of = vec![1u32; src.len() + 1];
+        let mut l = 1u32;
+        for (i, b) in src.bytes().enumerate() {
+            line_of[i] = l;
+            if b == b'\n' {
+                l += 1;
+            }
+        }
+        for t in ape_lint::lexer::lex(&src) {
+            assert_eq!(
+                t.line,
+                line_of[t.start],
+                "token line drift in {} at byte {}: {:?}",
+                file.display(),
+                t.start,
+                &src[t.start..t.end.min(t.start + 40)]
+            );
+        }
+    }
 }
 
 #[test]
@@ -325,27 +762,152 @@ fn f(m: &HashMap<u32, u32>) -> usize {
     m.keys().count()
 }
 "#;
-    let report = scan_source("crates/core/src/fixture.rs", src, SIM);
+    let report = scan("crates/core/src/fixture.rs", src, SIM);
     let json = report.to_json();
+    assert!(json.contains("\"schema\": 2"));
     assert!(json.contains("\"rule\": \"map-iter\""));
     assert!(json.contains("\"clean\": false"));
+    assert!(json.contains("\"excerpt\": \"m.keys().count()\""));
     assert!(json.starts_with('{') && json.ends_with('}'));
 }
 
-// --- Self-check -----------------------------------------------------------
+// --- Baseline ledger ------------------------------------------------------
+
+#[test]
+fn baseline_grandfathers_exactly_its_allowance() {
+    let src = r#"
+use std::collections::HashMap;
+fn f(m: &HashMap<u32, u32>) -> usize {
+    m.keys().count()
+}
+"#;
+    let mut report = scan("crates/core/src/fixture.rs", src, SIM);
+    assert!(!report.is_clean());
+
+    let ledger = Baseline::from_report(&report);
+    assert_eq!(ledger.entries.len(), 1);
+    let stale = ledger.apply(&mut report);
+    assert!(stale.is_empty(), "{stale:?}");
+    assert!(report.is_clean(), "baselined violations must not fail");
+    assert!(report.violations[0].baselined);
+
+    // A second identical violation exceeds the allowance of 1.
+    let src2 = r#"
+use std::collections::HashMap;
+fn f(m: &HashMap<u32, u32>) -> usize {
+    m.keys().count()
+}
+fn g(m: &HashMap<u32, u32>) -> usize {
+    m.keys().count()
+}
+"#;
+    let mut report2 = scan("crates/core/src/fixture.rs", src2, SIM);
+    // Excerpts are identical, so one of the two stays unbaselined... but
+    // the ledger was keyed for `f` only; counts are per-excerpt.
+    let stale2 = ledger.apply(&mut report2);
+    assert!(stale2.is_empty());
+    assert_eq!(report2.violations.iter().filter(|v| v.baselined).count(), 1);
+    assert!(!report2.is_clean(), "growth beyond the allowance must fail");
+}
+
+#[test]
+fn baseline_reports_stale_entries() {
+    let src = "fn clean() {}\n";
+    let mut report = scan("crates/core/src/fixture.rs", src, SIM);
+    let ledger = Baseline::parse(
+        "{\n  \"version\": 1,\n  \"entries\": [\n    {\"file\": \"crates/core/src/fixture.rs\", \
+         \"rule\": \"map-iter\", \"excerpt\": \"gone()\", \"count\": 1}\n  ]\n}\n",
+    )
+    .expect("parse");
+    let stale = ledger.apply(&mut report);
+    assert_eq!(stale.len(), 1);
+    assert!(stale[0].contains("stale baseline entry"));
+}
+
+// --- Self-checks against the real workspace -------------------------------
 
 #[test]
 fn workspace_scans_clean() {
-    let report = scan_workspace(&workspace_root()).expect("workspace scan");
+    let root = workspace_root();
+    let reg = Registry::workspace();
+    let mut report = scan_workspace(&root, &reg).expect("workspace scan");
     assert!(report.files_scanned > 50, "suspiciously few files scanned");
-    let unwaived: Vec<_> = report.unwaived().collect();
+
+    let ledger_path = root.join("lint-baseline.json");
+    let ledger = Baseline::parse(&std::fs::read_to_string(&ledger_path).expect("ledger"))
+        .expect("committed baseline parses");
+    let stale = ledger.apply(&mut report);
+    assert!(stale.is_empty(), "stale baseline entries: {stale:#?}");
+
+    let failing: Vec<_> = report.failing().collect();
     assert!(
-        unwaived.is_empty(),
-        "workspace has unwaived lint violations: {unwaived:#?}"
+        failing.is_empty(),
+        "workspace has lint violations outside the baseline: {failing:#?}"
     );
     assert!(
         report.waivers.len() <= 5,
         "waiver budget exceeded: {:#?}",
         report.waivers
+    );
+    assert!(
+        report.waivers.iter().all(|w| w.used),
+        "unused waivers survived: {:#?}",
+        report.waivers
+    );
+}
+
+#[test]
+fn committed_baseline_is_byte_exact() {
+    // `--write-baseline` must regenerate the committed ledger exactly; CI
+    // enforces the same property with a git diff.
+    let root = workspace_root();
+    let reg = Registry::workspace();
+    let report = scan_workspace(&root, &reg).expect("workspace scan");
+    let regenerated = Baseline::from_report(&report).to_json();
+    let committed =
+        std::fs::read_to_string(root.join("lint-baseline.json")).expect("committed ledger");
+    assert_eq!(
+        regenerated, committed,
+        "lint-baseline.json is out of date; run `cargo run -p ape-lint -- check --write-baseline`"
+    );
+}
+
+#[test]
+fn deleting_the_dns_span_end_makes_span_balance_fire() {
+    // Acceptance fixture for the PR 5 leak shape: remove the
+    // `handle_dns_response` span_end and span-balance must catch it.
+    let root = workspace_root();
+    let rel = "crates/nodes/src/ap.rs";
+    let src = std::fs::read_to_string(root.join(rel)).expect("ap.rs");
+    let ctx = FileContext::for_path(rel);
+    let reg = Registry::workspace();
+
+    let before = scan_source(rel, &src, ctx, &reg);
+    assert!(
+        before
+            .violations
+            .iter()
+            .all(|v| v.rule != Rule::SpanBalance),
+        "ap.rs should be span-balanced as committed: {:#?}",
+        before.violations
+    );
+
+    let fn_pos = src.find("fn handle_dns_response").expect("handler present");
+    let end_pos = fn_pos
+        + src[fn_pos..]
+            .find("ctx.span_end(span, SpanKind::DnsUpstream")
+            .expect("span_end present");
+    let line_start = src[..end_pos].rfind('\n').expect("not at start") + 1;
+    let line_end = end_pos + src[end_pos..].find('\n').expect("not at eof") + 1;
+    let mutated = format!("{}{}", &src[..line_start], &src[line_end..]);
+
+    let after = scan_source(rel, &mutated, ctx, &reg);
+    assert!(
+        after
+            .violations
+            .iter()
+            .any(|v| v.rule == Rule::SpanBalance && !v.waived),
+        "span-balance must fire on the mutated handler: {:#?}",
+        after.violations
     );
 }

@@ -452,7 +452,7 @@ impl ApNode {
         if let Some((ip, expires, _)) = self.dns_cache.get(&domain) {
             if *expires > now {
                 ctx.metrics().incr_id(names::id::AP_DNS_CACHE_HITS, 1);
-                let remaining = (*expires - now).as_secs_f64() as u32;
+                let remaining = (*expires - now).as_secs_u32();
                 let response =
                     DnsMessage::dns_cache_response(&query, *ip, remaining.max(1), tuples);
                 ctx.send_after(latency, from, Msg::Dns(response));

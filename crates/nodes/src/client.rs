@@ -277,7 +277,8 @@ const HTTP_ATTEMPT_SHIFT: u32 = 40;
 /// tie-perturbation invariance under loss. 61 ns per id keeps the skew
 /// under 4 ms — noise against the multi-second timeouts it offsets.
 fn staggered(base: SimDuration, id: u64) -> SimDuration {
-    base + SimDuration::from_nanos((id & 0xFFFF) * 61)
+    let skew_ns = (id & 0xFFFF) * 61;
+    base + SimDuration::from_nanos(skew_ns)
 }
 
 fn http_token(req: RequestId, attempt: u32) -> TimerToken {

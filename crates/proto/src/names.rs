@@ -126,6 +126,85 @@ pub fn client_app_latency_ms(app: &str) -> String {
 /// Edge cache misses filled from the origin.
 pub const EDGE_ORIGIN_FETCHES: &str = "edge.origin_fetches";
 
+// --- Machine-readable registry -------------------------------------------
+
+/// Every static metric-name constant in this module as `(ident, value)`
+/// pairs, `net.*` re-exports included.
+///
+/// This is the export `ape-lint`'s metric-registry rule resolves against:
+/// a string literal at an `incr`/`observe`/`record_point` call site must
+/// match one of these values (or a [`DYNAMIC_PREFIXES`] prefix), and an
+/// `incr_id`/`observe_id` argument must name one of these idents. Keeping
+/// the table here — next to the constants — means adding a metric is one
+/// edit, and the drift tests below keep it in lockstep with [`id::ALL`].
+pub const REGISTRY: &[(&str, &str)] = &[
+    ("NET_MESSAGES", NET_MESSAGES),
+    ("NET_BYTES", NET_BYTES),
+    ("NET_DROPPED", NET_DROPPED),
+    ("NET_FAULT_DROPPED", NET_FAULT_DROPPED),
+    ("AP_DNS_QUERIES", AP_DNS_QUERIES),
+    ("AP_DNS_CACHE_QUERIES", AP_DNS_CACHE_QUERIES),
+    ("AP_DNS_CACHE_HITS", AP_DNS_CACHE_HITS),
+    ("AP_SHORT_CIRCUITS", AP_SHORT_CIRCUITS),
+    ("AP_DNS_FORWARDS", AP_DNS_FORWARDS),
+    ("AP_CACHE_HITS", AP_CACHE_HITS),
+    ("AP_DATA_REQUESTS", AP_DATA_REQUESTS),
+    ("AP_BLOCKED_SERVES", AP_BLOCKED_SERVES),
+    ("AP_DELEGATIONS", AP_DELEGATIONS),
+    ("AP_DELEGATION_DNS_FAILURES", AP_DELEGATION_DNS_FAILURES),
+    ("AP_DELEGATION_FETCH_MS", AP_DELEGATION_FETCH_MS),
+    ("AP_ADMISSIONS", AP_ADMISSIONS),
+    ("AP_EVICTIONS", AP_EVICTIONS),
+    ("AP_ADMIT_DECLINED", AP_ADMIT_DECLINED),
+    ("AP_BLOCK_LISTED", AP_BLOCK_LISTED),
+    ("AP_TTL_PURGES", AP_TTL_PURGES),
+    ("AP_EVICT_SOLVER_RUNS", AP_EVICT_SOLVER_RUNS),
+    ("AP_EVICT_ITEMS", AP_EVICT_ITEMS),
+    ("AP_EVICT_DP_RUNS", AP_EVICT_DP_RUNS),
+    ("AP_EVICT_GREEDY_RUNS", AP_EVICT_GREEDY_RUNS),
+    ("AP_EVICT_SHORT_CIRCUITS", AP_EVICT_SHORT_CIRCUITS),
+    ("AP_EVICT_FORCED", AP_EVICT_FORCED),
+    ("AP_EVICT_REPAIRS", AP_EVICT_REPAIRS),
+    ("AP_PREFETCHES", AP_PREFETCHES),
+    ("AP_DNS_UPSTREAM_RETRIES", AP_DNS_UPSTREAM_RETRIES),
+    ("AP_DNS_UPSTREAM_GIVE_UPS", AP_DNS_UPSTREAM_GIVE_UPS),
+    ("AP_DELEGATION_RETRIES", AP_DELEGATION_RETRIES),
+    ("AP_DELEGATION_REAPS", AP_DELEGATION_REAPS),
+    ("AP_CPU", AP_CPU),
+    ("AP_APE_MEM_MB", AP_APE_MEM_MB),
+    ("AP_TOTAL_MEM_MB", AP_TOTAL_MEM_MB),
+    ("CLIENT_FETCHES", CLIENT_FETCHES),
+    ("CLIENT_FETCH_FAILURES", CLIENT_FETCH_FAILURES),
+    ("CLIENT_FAILED_EXECUTIONS", CLIENT_FAILED_EXECUTIONS),
+    ("CLIENT_DNS_QUERIES", CLIENT_DNS_QUERIES),
+    ("CLIENT_DNS_RETRIES", CLIENT_DNS_RETRIES),
+    ("CLIENT_DNS_GIVE_UPS", CLIENT_DNS_GIVE_UPS),
+    ("CLIENT_HTTP_RETRIES", CLIENT_HTTP_RETRIES),
+    ("CLIENT_HTTP_GIVE_UPS", CLIENT_HTTP_GIVE_UPS),
+    ("CLIENT_WICACHE_LOOKUPS", CLIENT_WICACHE_LOOKUPS),
+    ("CLIENT_CACHE_HITS", CLIENT_CACHE_HITS),
+    ("CLIENT_PREFETCH_HINTS", CLIENT_PREFETCH_HINTS),
+    ("CLIENT_LOOKUP_QUERY_MS", CLIENT_LOOKUP_QUERY_MS),
+    ("CLIENT_LOOKUP_OP_MS", CLIENT_LOOKUP_OP_MS),
+    ("CLIENT_RETRIEVAL_MS", CLIENT_RETRIEVAL_MS),
+    ("CLIENT_RETRIEVAL_HIT_MS", CLIENT_RETRIEVAL_HIT_MS),
+    (
+        "CLIENT_RETRIEVAL_DELEGATION_MS",
+        CLIENT_RETRIEVAL_DELEGATION_MS,
+    ),
+    ("CLIENT_RETRIEVAL_EDGE_MS", CLIENT_RETRIEVAL_EDGE_MS),
+    ("CLIENT_OBJECT_TOTAL_MS", CLIENT_OBJECT_TOTAL_MS),
+    ("CLIENT_APP_LATENCY_MS", CLIENT_APP_LATENCY_MS),
+    ("EDGE_ORIGIN_FETCHES", EDGE_ORIGIN_FETCHES),
+];
+
+/// Prefixes of dynamically-built metric names as `(ident, prefix)` pairs.
+/// A name starting with one of these prefixes (with a non-empty suffix) is
+/// registered even though the full key is not in [`REGISTRY`]; the helper
+/// next to each prefix constant is the sanctioned way to build such keys.
+pub const DYNAMIC_PREFIXES: &[(&str, &str)] =
+    &[("CLIENT_APP_LATENCY_MS_PREFIX", CLIENT_APP_LATENCY_MS_PREFIX)];
+
 /// Interned [`MetricId`](ape_simnet::MetricId)s for every static key above.
 ///
 /// The hot recording paths (`incr_id`/`observe_id`/`record_point_id`) index
@@ -352,6 +431,50 @@ mod tests {
         let key = client_app_latency_ms("news");
         assert_eq!(key, "client.app_latency_ms.news");
         assert_eq!(key.strip_prefix(CLIENT_APP_LATENCY_MS_PREFIX), Some("news"));
+    }
+
+    #[test]
+    fn registry_covers_every_interned_id() {
+        use std::collections::BTreeSet;
+        let values: BTreeSet<&str> = REGISTRY.iter().map(|(_, v)| *v).collect();
+        for id in id::ALL.iter() {
+            assert!(
+                values.contains(id.name()),
+                "interned id `{}` missing from REGISTRY",
+                id.name()
+            );
+        }
+        // Every static key is interned, so the two tables are the same set.
+        assert_eq!(REGISTRY.len(), id::ALL.len(), "REGISTRY/id::ALL drift");
+    }
+
+    #[test]
+    fn registry_entries_are_unique_and_well_formed() {
+        use std::collections::BTreeSet;
+        let mut idents = BTreeSet::new();
+        let mut values = BTreeSet::new();
+        for (ident, value) in REGISTRY {
+            assert!(idents.insert(*ident), "duplicate REGISTRY ident {ident}");
+            assert!(values.insert(*value), "duplicate REGISTRY value {value}");
+            assert!(
+                ident.chars().all(|c| c.is_ascii_uppercase() || c == '_'),
+                "REGISTRY ident `{ident}` is not SCREAMING_SNAKE_CASE"
+            );
+            assert!(
+                value
+                    .chars()
+                    .all(|c| c.is_ascii_lowercase() || c == '.' || c == '_'),
+                "REGISTRY value `{value}` is not a dotted lowercase key"
+            );
+        }
+        for (ident, prefix) in DYNAMIC_PREFIXES {
+            assert!(ident.ends_with("_PREFIX"), "prefix ident `{ident}`");
+            assert!(prefix.ends_with('.'), "prefix `{prefix}` must end in `.`");
+            assert!(
+                !values.contains(prefix),
+                "prefix `{prefix}` collides with a static key"
+            );
+        }
     }
 
     #[test]

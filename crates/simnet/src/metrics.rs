@@ -821,7 +821,7 @@ impl SelfProfile {
     #[inline]
     fn start(&self) -> Option<Instant> {
         if self.enabled {
-            // ape-lint: allow(wall-clock) -- metrics self-profiling measures host time by design
+            // ape-lint: allow(wall-clock) -- measures the metrics plane's own host-CPU cost; the reading is reported, never fed back into simulated state
             Some(Instant::now())
         } else {
             None
@@ -831,7 +831,7 @@ impl SelfProfile {
     #[inline]
     fn stop(&mut self, started: Option<Instant>) {
         if let Some(t) = started {
-            self.nanos += t.elapsed().as_nanos() as u64;
+            self.nanos += u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX);
             self.calls += 1;
         }
     }

@@ -122,7 +122,7 @@ impl Profiler {
     #[inline]
     pub fn start(&self) -> Option<ProfTimer> {
         if self.enabled {
-            // ape-lint: allow(wall-clock) -- profiler measures host time by design
+            // ape-lint: allow(wall-clock) -- self-profiler measures host-CPU time per engine category; readings are diagnostic output only, never simulated state
             Some(ProfTimer(Instant::now()))
         } else {
             None
@@ -134,7 +134,8 @@ impl Profiler {
     #[inline]
     pub fn record(&mut self, category: ProfCategory, timer: Option<ProfTimer>) {
         if let Some(ProfTimer(t)) = timer {
-            self.nanos[category as usize] += t.elapsed().as_nanos() as u64;
+            self.nanos[category as usize] +=
+                u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX);
             self.calls[category as usize] += 1;
         }
     }

@@ -147,9 +147,39 @@ impl SimDuration {
         SimDuration((secs * 1e9).round() as u64)
     }
 
+    /// Creates a duration from a float number of nanoseconds, truncating
+    /// toward zero.
+    ///
+    /// Truncation (not rounding) is deliberate: this is the typed home for
+    /// the `(x as f64 * rate) as u64` pattern that used to live at call
+    /// sites, and replaying old traces requires the exact same values.
+    /// Negative or non-finite inputs are a producer bug: debug builds
+    /// panic, release builds clamp to zero.
+    pub fn from_nanos_f64(nanos: f64) -> Self {
+        debug_assert!(
+            nanos.is_finite() && nanos >= 0.0,
+            "non-finite or negative duration: {nanos} ns"
+        );
+        if !nanos.is_finite() || nanos <= 0.0 {
+            return SimDuration::ZERO;
+        }
+        SimDuration(nanos as u64)
+    }
+
     /// Nanoseconds in this duration.
     pub const fn as_nanos(self) -> u64 {
         self.0
+    }
+
+    /// Whole seconds in this duration, truncating.
+    pub const fn as_secs(self) -> u64 {
+        self.0 / 1_000_000_000
+    }
+
+    /// Whole seconds, saturating at `u32::MAX` — sized for wire fields
+    /// like DNS TTLs, replacing ad-hoc `as_secs_f64() as u32` casts.
+    pub fn as_secs_u32(self) -> u32 {
+        u32::try_from(self.as_secs()).unwrap_or(u32::MAX)
     }
 
     /// Milliseconds in this duration, as a float.
@@ -302,6 +332,52 @@ mod tests {
         assert_eq!(SimDuration::from_millis_f64(2.5).as_nanos(), 2_500_000);
         assert_eq!(SimDuration::from_millis_f64(0.0), SimDuration::ZERO);
         assert_eq!(SimDuration::from_secs_f64(1.5).as_nanos(), 1_500_000_000);
+    }
+
+    #[test]
+    fn from_nanos_f64_truncates_exactly_like_the_raw_cast() {
+        // Pinned replay-compatibility contract: `from_nanos_f64(x)` must
+        // produce the same nanos as the `(x) as u64` casts it replaced at
+        // call sites (core/src/router.rs CPU-cost model), or old traces
+        // stop replaying bitwise-identically.
+        for x in [0.0, 0.4, 0.9999, 1.0, 61.0, 1500.75, 9.6e4, 1.23456789e9] {
+            assert_eq!(SimDuration::from_nanos_f64(x).as_nanos(), x as u64);
+        }
+        // The exact shape router.rs computes: size * per-byte cost.
+        let (size, per_byte_ns) = (1500u32, 0.64f64);
+        assert_eq!(
+            SimDuration::from_nanos_f64(size as f64 * per_byte_ns).as_nanos(),
+            (size as f64 * per_byte_ns) as u64
+        );
+    }
+
+    #[test]
+    fn whole_second_accessors_match_the_float_casts_they_replaced() {
+        // Pinned: `as_secs()` / `as_secs_u32()` must agree with the
+        // `as_secs_f64() as u64/u32` truncation they replaced (nodes/src/
+        // ap.rs DNS TTL, core/src/router.rs second-boundary loop) for every
+        // duration a simulation can produce (minutes to days — far below
+        // the ~104-day scale where f64 division could round differently).
+        for ns in [
+            0u64,
+            1,
+            999_999_999,
+            1_000_000_000,
+            1_000_000_001,
+            59_999_999_999,
+            86_400_000_000_000,
+            7 * 86_400_000_000_000,
+        ] {
+            let d = SimDuration::from_nanos(ns);
+            assert_eq!(d.as_secs(), d.as_secs_f64() as u64, "ns={ns}");
+            assert_eq!(d.as_secs_u32(), d.as_secs_f64() as u32, "ns={ns}");
+        }
+    }
+
+    #[test]
+    fn as_secs_u32_saturates() {
+        let huge = SimDuration::from_secs(u64::from(u32::MAX) + 5);
+        assert_eq!(huge.as_secs_u32(), u32::MAX);
     }
 
     #[test]

@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Validate `ape-lint check --json` output against its checked-in schema.
+
+Usage: validate_lint_json.py <schema.json> <report.json>
+
+The build environment has no package registry access, so this is a
+deliberately minimal JSON-Schema subset validator rather than a jsonschema
+dependency. Supported keywords (everything docs/lint-report.schema.json
+uses): type (object/array/string/integer/boolean), const, enum, required,
+properties, additionalProperties (boolean false), items, minimum,
+minLength. Unknown keywords are a validation-script error, not silently
+ignored, so the schema cannot quietly outgrow the validator.
+"""
+
+import json
+import sys
+
+HANDLED = {
+    "$schema",
+    "title",
+    "description",
+    "type",
+    "const",
+    "enum",
+    "required",
+    "properties",
+    "additionalProperties",
+    "items",
+    "minimum",
+    "minLength",
+}
+
+TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "boolean": bool,
+    "integer": int,
+}
+
+
+def fail(path, message):
+    raise SystemExit(f"validate_lint_json: {path or '$'}: {message}")
+
+
+def validate(value, schema, path=""):
+    unknown = set(schema) - HANDLED
+    if unknown:
+        fail(path, f"schema uses unsupported keywords {sorted(unknown)}")
+
+    if "const" in schema and value != schema["const"]:
+        fail(path, f"expected const {schema['const']!r}, got {value!r}")
+    if "enum" in schema and value not in schema["enum"]:
+        fail(path, f"{value!r} not in enum {schema['enum']}")
+
+    if "type" in schema:
+        expected = TYPES.get(schema["type"])
+        if expected is None:
+            fail(path, f"schema type {schema['type']!r} unsupported")
+        if isinstance(value, bool) and expected is not bool:
+            fail(path, f"expected {schema['type']}, got bool")
+        if not isinstance(value, expected):
+            fail(path, f"expected {schema['type']}, got {type(value).__name__}")
+
+    if isinstance(value, int) and not isinstance(value, bool) and "minimum" in schema:
+        if value < schema["minimum"]:
+            fail(path, f"{value} < minimum {schema['minimum']}")
+    if isinstance(value, str) and "minLength" in schema:
+        if len(value) < schema["minLength"]:
+            fail(path, f"string shorter than minLength {schema['minLength']}")
+
+    if isinstance(value, dict):
+        for key in schema.get("required", []):
+            if key not in value:
+                fail(path, f"missing required key {key!r}")
+        props = schema.get("properties", {})
+        if schema.get("additionalProperties") is False:
+            extra = set(value) - set(props)
+            if extra:
+                fail(path, f"unexpected keys {sorted(extra)}")
+        for key, sub in props.items():
+            if key in value:
+                validate(value[key], sub, f"{path}.{key}")
+
+    if isinstance(value, list) and "items" in schema:
+        for i, item in enumerate(value):
+            validate(item, schema["items"], f"{path}[{i}]")
+
+
+def main():
+    if len(sys.argv) != 3:
+        raise SystemExit(__doc__.strip().splitlines()[2])
+    with open(sys.argv[1]) as f:
+        schema = json.load(f)
+    with open(sys.argv[2]) as f:
+        report = json.load(f)
+    validate(report, schema)
+    n_viol = len(report["violations"])
+    n_waiv = len(report["waivers"])
+    print(
+        f"validate_lint_json: OK — {report['files_scanned']} files, "
+        f"{n_viol} violation(s), {n_waiv} waiver(s), clean={report['clean']}"
+    )
+
+
+if __name__ == "__main__":
+    main()
