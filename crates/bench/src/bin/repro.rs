@@ -8,7 +8,7 @@
 //!   table1 table2 table4 table5 table6 table7
 //!   fig2 fig11a fig11b fig11c fig12 fig13a fig13b fig13c fig14
 //!   object-level ablations speedup trace profile
-//!   bench-evict bench-simworld bench-metrics faults all
+//!   bench-evict bench-simworld bench-metrics bench-shard faults all
 //! ```
 //!
 //! `--trials N` replicates every sweep point over N seeds (pooled before
@@ -23,11 +23,13 @@
 //!
 //! `bench-evict` is the eviction-cost microbench (writes `BENCH_evict.json`
 //! at the repo root), `bench-simworld` the event-queue throughput sweep
-//! (writes `BENCH_simworld.json`), and `bench-metrics` the metric-registry
-//! sketch-vs-exact sweep (writes `BENCH_metrics.json`). `profile` runs the
-//! testbed with the sim-loop self-profiler on and prints per-subsystem
-//! host-time attribution. All four time wall-clock and are therefore *not*
-//! part of `all`, whose output is bitwise deterministic.
+//! (writes `BENCH_simworld.json`), `bench-metrics` the metric-registry
+//! sketch-vs-exact sweep (writes `BENCH_metrics.json`), and `bench-shard`
+//! the sharded-world scale sweep — SoA client fleets over {1,2,4,8} shards
+//! vs the boxed per-client baseline (writes `BENCH_shard.json`). `profile`
+//! runs the testbed with the sim-loop self-profiler on and prints
+//! per-subsystem host-time attribution. All five time wall-clock and are
+//! therefore *not* part of `all`, whose output is bitwise deterministic.
 //!
 //! `faults` is the lossy-WiFi resilience sweep (loss rate × caching
 //! strategy plus a composed fault-plan replay). Loss makes its RNG draws
@@ -38,9 +40,9 @@ use std::path::PathBuf;
 use std::time::Instant;
 
 use ape_bench::{
-    ablations, bench_evict, bench_metrics, bench_simworld, faults, fig11a, fig11b, fig11c, fig12,
-    fig13a, fig13b, fig13c, fig14, fig2, object_level, profile, speedup, table1, table2, table4,
-    table5, table6, table7, trace_artifacts, ReproOptions, TraceArtifacts,
+    ablations, bench_evict, bench_metrics, bench_shard, bench_simworld, faults, fig11a, fig11b,
+    fig11c, fig12, fig13a, fig13b, fig13c, fig14, fig2, object_level, profile, speedup, table1,
+    table2, table4, table5, table6, table7, trace_artifacts, ReproOptions, TraceArtifacts,
 };
 
 fn write_trace_files(dir: &std::path::Path, artifacts: &TraceArtifacts) -> std::io::Result<()> {
@@ -58,7 +60,7 @@ fn usage() -> ! {
          artifacts: table1 table2 table4 table5 table6 table7 fig2 fig11a fig11b\n\
          \u{20}          fig11c fig12 fig13a fig13b fig13c fig14 object-level\n\
          \u{20}          ablations speedup trace profile bench-evict\n\
-         \u{20}          bench-simworld bench-metrics faults all"
+         \u{20}          bench-simworld bench-metrics bench-shard faults all"
     );
     std::process::exit(2);
 }
@@ -161,6 +163,7 @@ fn main() {
             "speedup" => speedup(&opts),
             "bench-evict" => bench_evict(&opts),
             "bench-simworld" => bench_simworld(&opts),
+            "bench-shard" => bench_shard(&opts),
             "bench-metrics" => bench_metrics(&opts),
             "profile" => profile(&opts),
             "faults" => faults(&opts),

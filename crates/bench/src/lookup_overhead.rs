@@ -77,7 +77,7 @@ pub fn measure(opts: &ReproOptions) -> LookupOverhead {
     bed.world.post(
         probe,
         bed.ap,
-        Msg::Dns(DnsMessage::dns_cache_request(
+        Msg::dns(DnsMessage::dns_cache_request(
             9999,
             domain.clone(),
             &[url.hash()],
@@ -93,7 +93,7 @@ pub fn measure(opts: &ReproOptions) -> LookupOverhead {
         Msg::HttpReq {
             conn: ConnId(1),
             req: RequestId(1),
-            request: HttpRequest::get(url.clone()),
+            request: Box::new(HttpRequest::get(url.clone())),
             cache_op: Some(CacheOp {
                 ttl: SimDuration::from_mins(30),
                 priority: Priority::HIGH,
@@ -128,11 +128,11 @@ pub fn measure(opts: &ReproOptions) -> LookupOverhead {
             bed.world.post(
                 probe,
                 bed.ap,
-                Msg::Dns(DnsMessage::query(60_000 + trial, domain.clone())),
+                Msg::dns(DnsMessage::query(60_000 + trial, domain.clone())),
             );
             bed.world.run_for(SimDuration::from_secs(1));
             let start = bed.world.now();
-            bed.world.post(probe, bed.ap, Msg::Dns(query));
+            bed.world.post(probe, bed.ap, Msg::dns(query));
             bed.world.run_for(SimDuration::from_secs(2));
             let done = bed.world.node::<Probe>(probe).dns_at.expect("dns answered");
             if trial > 0 {
@@ -156,7 +156,7 @@ pub fn measure(opts: &ReproOptions) -> LookupOverhead {
         bed.world.post(
             probe,
             bed.ap,
-            Msg::Dns(DnsMessage::query(30_000 + trial as u16, fresh)),
+            Msg::dns(DnsMessage::query(30_000 + trial as u16, fresh)),
         );
         bed.world.run_for(SimDuration::from_secs(2));
         let done = bed.world.node::<Probe>(probe).dns_at.expect("answered");

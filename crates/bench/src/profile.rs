@@ -9,6 +9,12 @@
 //! ROADMAP item-2 instrument: before making the loop faster, see which
 //! subsystem is actually paying for each simulated minute.
 //!
+//! A final section runs the default testbed through the sharded engine
+//! (`DESIGN.md` §16) so the two coordination categories — `shard.barrier`
+//! (idle wait at epoch barriers) and `mailbox.drain` (cross-shard
+//! delivery) — carry real attribution, alongside the headline
+//! barrier-wait fraction `repro bench-shard` tracks per cell.
+//!
 //! Simulation outputs are identical with the profiler on or off (the
 //! `profiler_does_not_change_fingerprints` test in `ape-simnet` pins it);
 //! only the wall-clock attribution varies run to run, like every number in
@@ -17,7 +23,7 @@
 use std::fmt::Write as _;
 
 use ape_appdag::DummyAppConfig;
-use apecache::System;
+use apecache::{run_system_sharded, System};
 
 use crate::experiments::{base_config, replica_jobs, ReproOptions};
 
@@ -58,5 +64,29 @@ pub fn profile(opts: &ReproOptions) -> String {
         );
         out.push_str(&report.to_string());
     }
+
+    // Sharded-engine attribution: the same workload partitioned over four
+    // shards, so the epoch-coordination categories (shard.barrier,
+    // mailbox.drain) show their cost next to the dispatch subsystems.
+    let mut config = base_config(
+        System::ApeCache,
+        opts,
+        &DummyAppConfig::default(),
+        PROFILE_APPS,
+    );
+    config.profiler = true;
+    let sharded = run_system_sharded(&config, 4, opts.duration());
+    let report = &sharded.profile;
+    let _ = writeln!(
+        out,
+        "\n=== {}, sharded x4 ({} dispatches, {:.1} ms host loop time, \
+         {:.1} ms coordination, barrier-wait {:.1}%) ===",
+        System::ApeCache.label(),
+        report.calls(ape_simnet::ProfCategory::Dispatch),
+        report.loop_nanos() as f64 / 1e6,
+        report.coordination_nanos() as f64 / 1e6,
+        report.barrier_wait_fraction() * 100.0,
+    );
+    out.push_str(&report.to_string());
     out
 }

@@ -11,9 +11,13 @@
 //! actually shipped and on a workload it provably agrees on.
 //!
 //! Per cell the sweep reports push and pop cost per event, pop throughput,
-//! peak queue depth and approximate buffer bytes per queued event. Results
-//! go to `BENCH_simworld.json` at the repo root, next to `BENCH_evict.json`
-//! (PR 4's eviction sweep); `EXPERIMENTS.md` tracks the trajectory.
+//! peak queue depth and approximate buffer bytes per queued event. The
+//! top-level `deliver_event_bytes` field tracks the in-queue footprint of
+//! one testbed deliver event ([`ape_simnet::event_footprint`] of
+//! [`ape_proto::Msg`]), so a payload regression shows up in the artifact
+//! diff. Results go to `BENCH_simworld.json` at the repo root, next to
+//! `BENCH_evict.json` (PR 4's eviction sweep); `EXPERIMENTS.md` tracks the
+//! trajectory.
 //!
 //! The schedule is deterministic in `--seed`; only wall-clock timings vary
 //! run to run (the bench crate is the one place wall-clock is permitted).
@@ -199,6 +203,11 @@ fn render_json(cells: &[Cell], sizes: &[usize], trials: usize, seed: u64, quick:
     let _ = writeln!(out, "  \"seed\": {seed},");
     let _ = writeln!(out, "  \"quick\": {quick},");
     let _ = writeln!(out, "  \"trials_per_cell\": {trials},");
+    let _ = writeln!(
+        out,
+        "  \"deliver_event_bytes\": {},",
+        ape_simnet::event_footprint::<ape_proto::Msg>()
+    );
     out.push_str("  \"cells\": [\n");
     for (i, c) in cells.iter().enumerate() {
         let _ = write!(

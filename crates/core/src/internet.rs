@@ -176,7 +176,7 @@ pub fn measure_cell(path: &PathSpec, trials: usize, seed: u64) -> Table1Cell {
         world.post(
             probe,
             ldns,
-            Msg::Dns(DnsMessage::query(trial as u16, site_name.clone())),
+            Msg::dns(DnsMessage::query(trial as u16, site_name.clone())),
         );
         world.run_to_idle();
         let dns_done = world

@@ -51,9 +51,10 @@ mod trace;
 pub use internet::{measure_cell, measure_table1, table1_paths, PathSpec, Table1Cell};
 pub use router::{replay_summary, replay_trace, RouterModel, RouterSample};
 pub use run::{
-    collect, compare_systems, run_many, run_system, ParallelRunner, RunJob, RunResult, Summary,
+    collect, collect_sharded, compare_systems, run_many, run_system, run_system_sharded,
+    ParallelRunner, RunJob, RunResult, Summary,
 };
 pub use suite::{paper_suite, synthetic_suite};
 pub use system::System;
-pub use testbed::{build, Testbed, TestbedConfig};
+pub use testbed::{build, build_sharded, ShardedTestbed, Testbed, TestbedConfig};
 pub use trace::{prometheus_snapshot, Attribution, BucketStat, TraceLog, TraceRecord};

@@ -444,7 +444,7 @@ impl ApNode {
         {
             ctx.metrics().incr_id(names::id::AP_SHORT_CIRCUITS, 1);
             let response = DnsMessage::dns_cache_response(&query, IpMap::DUMMY, 0, tuples);
-            ctx.send_after(latency, from, Msg::Dns(response));
+            ctx.send_after(latency, from, Msg::dns(response));
             return;
         }
 
@@ -455,7 +455,7 @@ impl ApNode {
                 let remaining = (*expires - now).as_secs_u32();
                 let response =
                     DnsMessage::dns_cache_response(&query, *ip, remaining.max(1), tuples);
-                ctx.send_after(latency, from, Msg::Dns(response));
+                ctx.send_after(latency, from, Msg::dns(response));
                 return;
             }
         }
@@ -477,7 +477,7 @@ impl ApNode {
             },
         );
         let upstream_query = DnsMessage::query(txn, domain);
-        ctx.send_after(latency, self.upstream, Msg::Dns(upstream_query));
+        ctx.send_after(latency, self.upstream, Msg::dns(upstream_query));
     }
 
     fn handle_dns_response(&mut self, ctx: &mut Context<'_, Msg>, response: DnsMessage) {
@@ -553,7 +553,7 @@ impl ApNode {
                 r
             }
         };
-        ctx.send_after(latency, pending.client, Msg::Dns(response_to_client));
+        ctx.send_after(latency, pending.client, Msg::dns(response_to_client));
     }
 
     // ------------------------------------------------------------------
@@ -697,7 +697,7 @@ impl ApNode {
                     );
                     ctx.send(
                         self.upstream,
-                        Msg::Dns(DnsMessage::query(txn, domain.clone())),
+                        Msg::dns(DnsMessage::query(txn, domain.clone())),
                     );
                 }
                 self.awaiting_dns.entry(domain).or_default().push(key);
@@ -738,7 +738,7 @@ impl ApNode {
             Msg::HttpReq {
                 conn,
                 req: up_req,
-                request: HttpRequest::get(delegation.url.clone()),
+                request: Box::new(HttpRequest::get(delegation.url.clone())),
                 cache_op: None,
             },
         );
@@ -974,7 +974,7 @@ impl ApNode {
                 ctx.metrics().incr_id(names::id::AP_DNS_UPSTREAM_RETRIES, 1);
                 ctx.set_span_ctx(self.pending_forwards[&txn].span);
                 if let Some(query) = query {
-                    ctx.send(upstream, Msg::Dns(query));
+                    ctx.send(upstream, Msg::dns(query));
                 }
                 continue;
             }
@@ -1005,7 +1005,7 @@ impl ApNode {
                 );
                 r.answers.clear();
                 r.header.rcode = Rcode::ServFail;
-                ctx.send(pending.client, Msg::Dns(r));
+                ctx.send(pending.client, Msg::dns(r));
             }
         }
     }
@@ -1116,8 +1116,8 @@ impl Node<Msg> for ApNode {
 
     fn on_message(&mut self, ctx: &mut Context<'_, Msg>, from: NodeId, msg: Msg) {
         match msg {
-            Msg::Dns(dns) if dns.header.response => self.handle_dns_response(ctx, dns),
-            Msg::Dns(dns) => self.handle_dns_query(ctx, from, dns),
+            Msg::Dns(dns) if dns.header.response => self.handle_dns_response(ctx, *dns),
+            Msg::Dns(dns) => self.handle_dns_query(ctx, from, *dns),
             Msg::TcpSyn { conn } => {
                 let latency = self.work(ctx.now(), self.config.http_processing);
                 ctx.send_after(latency, from, Msg::TcpSynAck { conn });
@@ -1128,7 +1128,7 @@ impl Node<Msg> for ApNode {
                 req,
                 request,
                 cache_op,
-            } => self.handle_http_request(ctx, from, conn, req, request, cache_op),
+            } => self.handle_http_request(ctx, from, conn, req, *request, cache_op),
             Msg::HttpRsp { req, response, .. } => self.handle_upstream_response(ctx, req, response),
             Msg::PrefetchHints { hints } => self.handle_prefetch_hints(ctx, hints),
             Msg::WiCacheLookup { .. }
@@ -1184,7 +1184,7 @@ mod tests {
         fn on_message(&mut self, ctx: &mut Context<'_, Msg>, _from: NodeId, msg: Msg) {
             self.last_at = Some(ctx.now());
             match msg {
-                Msg::Dns(m) => self.dns_responses.push(m),
+                Msg::Dns(m) => self.dns_responses.push(*m),
                 Msg::HttpRsp {
                     req,
                     response,
@@ -1293,7 +1293,7 @@ mod tests {
     }
 
     fn dns_cache_query(id: u16, hashes: &[UrlHash]) -> Msg {
-        Msg::Dns(DnsMessage::dns_cache_request(
+        Msg::dns(DnsMessage::dns_cache_request(
             id,
             DomainName::parse("app0.dummy.example").unwrap(),
             hashes,
@@ -1341,7 +1341,7 @@ mod tests {
             Msg::HttpReq {
                 conn: ConnId(1),
                 req: RequestId(7),
-                request: HttpRequest::get(url()),
+                request: Box::new(HttpRequest::get(url())),
                 cache_op: Some(delegation_op()),
             },
         );
@@ -1367,7 +1367,7 @@ mod tests {
             Msg::HttpReq {
                 conn: ConnId(1),
                 req: RequestId(1),
-                request: HttpRequest::get(url()),
+                request: Box::new(HttpRequest::get(url())),
                 cache_op: Some(delegation_op()),
             },
         );
@@ -1379,7 +1379,7 @@ mod tests {
             Msg::HttpReq {
                 conn: ConnId(2),
                 req: RequestId(2),
-                request: HttpRequest::get(url()),
+                request: Box::new(HttpRequest::get(url())),
                 cache_op: Some(delegation_op()),
             },
         );
@@ -1406,7 +1406,7 @@ mod tests {
             Msg::HttpReq {
                 conn: ConnId(1),
                 req: RequestId(1),
-                request: HttpRequest::get(url()),
+                request: Box::new(HttpRequest::get(url())),
                 cache_op: Some(delegation_op()),
             },
         );
@@ -1444,7 +1444,7 @@ mod tests {
             Msg::HttpReq {
                 conn: ConnId(1),
                 req: RequestId(1),
-                request: HttpRequest::get(url()),
+                request: Box::new(HttpRequest::get(url())),
                 cache_op: Some(delegation_op()),
             },
         );
@@ -1481,7 +1481,7 @@ mod tests {
                 Msg::HttpReq {
                     conn: ConnId(i as u64 + 1),
                     req: RequestId(i as u64 + 1),
-                    request: HttpRequest::get(u),
+                    request: Box::new(HttpRequest::get(u)),
                     cache_op: Some(delegation_op()),
                 },
             );
@@ -1517,7 +1517,7 @@ mod tests {
             Msg::HttpReq {
                 conn: ConnId(1),
                 req: RequestId(1),
-                request: HttpRequest::get(big.clone()),
+                request: Box::new(HttpRequest::get(big.clone())),
                 cache_op: Some(delegation_op()),
             },
         );
@@ -1554,7 +1554,7 @@ mod tests {
                 Msg::HttpReq {
                     conn: ConnId(i + 1),
                     req: RequestId(i + 1),
-                    request: HttpRequest::get(url()),
+                    request: Box::new(HttpRequest::get(url())),
                     cache_op: Some(delegation_op()),
                 },
             );
@@ -1584,7 +1584,7 @@ mod tests {
             Msg::HttpReq {
                 conn: ConnId(1),
                 req: RequestId(1),
-                request: HttpRequest::get(url()),
+                request: Box::new(HttpRequest::get(url())),
                 cache_op: Some(delegation_op()),
             },
         );
@@ -1608,7 +1608,7 @@ mod tests {
             Msg::HttpReq {
                 conn: ConnId(1),
                 req: RequestId(1),
-                request: HttpRequest::get(url()),
+                request: Box::new(HttpRequest::get(url())),
                 cache_op: Some(CacheOp {
                     ttl: SimDuration::from_secs(10),
                     priority: Priority::LOW,
@@ -1654,7 +1654,7 @@ mod tests {
             Msg::HttpReq {
                 conn: ConnId(1),
                 req: RequestId(1),
-                request: HttpRequest::get(url()),
+                request: Box::new(HttpRequest::get(url())),
                 cache_op: Some(delegation_op()),
             },
         );
@@ -1676,7 +1676,7 @@ mod tests {
             Msg::HttpReq {
                 conn: ConnId(1),
                 req: RequestId(1),
-                request: HttpRequest::get(url()),
+                request: Box::new(HttpRequest::get(url())),
                 cache_op: Some(delegation_op()),
             },
         );
@@ -1745,7 +1745,7 @@ mod tests {
             Msg::HttpReq {
                 conn: ConnId(1),
                 req: RequestId(7),
-                request: HttpRequest::get(url()),
+                request: Box::new(HttpRequest::get(url())),
                 cache_op: Some(delegation_op()),
             },
         );
@@ -1782,7 +1782,7 @@ mod tests {
             Msg::HttpReq {
                 conn: ConnId(1),
                 req: RequestId(9),
-                request: HttpRequest::get(url()),
+                request: Box::new(HttpRequest::get(url())),
                 cache_op: Some(delegation_op()),
             },
         );

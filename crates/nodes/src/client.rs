@@ -574,7 +574,7 @@ impl ClientNode {
         ctx.send_after(
             self.config.processing,
             self.config.dns_server,
-            Msg::Dns(query),
+            Msg::dns(query),
         );
         ctx.schedule(
             staggered(self.config.dns_timeout, txn as u64),
@@ -901,7 +901,7 @@ impl ClientNode {
             ctx.send_after(
                 self.config.processing,
                 self.config.dns_server,
-                Msg::Dns(query),
+                Msg::dns(query),
             );
             ctx.schedule(
                 staggered(self.config.dns_timeout, txn2 as u64),
@@ -971,7 +971,7 @@ impl ClientNode {
         ctx.send_after(
             self.config.processing,
             self.config.dns_server,
-            Msg::Dns(query),
+            Msg::dns(query),
         );
         ctx.schedule(
             staggered(self.config.dns_timeout, txn as u64),
@@ -1067,7 +1067,7 @@ impl Node<Msg> for ClientNode {
 
     fn on_message(&mut self, ctx: &mut Context<'_, Msg>, _from: NodeId, msg: Msg) {
         match msg {
-            Msg::Dns(dns) if dns.header.response => self.handle_dns_response(ctx, dns),
+            Msg::Dns(dns) if dns.header.response => self.handle_dns_response(ctx, *dns),
             Msg::Dns(_) => {}
             Msg::TcpSynAck { conn } => {
                 let Some(&req) = self.conns.get(&conn) else {
@@ -1093,12 +1093,7 @@ impl Node<Msg> for ClientNode {
                 ctx.send_after(
                     self.config.processing,
                     target,
-                    Msg::HttpReq {
-                        conn,
-                        req,
-                        request,
-                        cache_op,
-                    },
+                    Msg::http_req(conn, req, request, cache_op),
                 );
             }
             Msg::HttpRsp {

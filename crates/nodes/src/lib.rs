@@ -17,12 +17,14 @@
 
 mod ap;
 mod client;
+mod fleet;
 mod resolver;
 mod server;
 mod wicache;
 
 pub use ap::{ApConfig, ApNode, ApPolicy, WiCacheLink};
 pub use client::{ClientConfig, ClientNode, ClientReport, LookupMode, Strategy};
+pub use fleet::{BoxedClientNode, FleetConfig, FleetMsg, FleetNode, FleetOrigin, FleetResponder};
 pub use resolver::{AuthDnsNode, LdnsNode, ZoneAnswer};
 pub use server::{Catalog, CatalogEntry, EdgeNode, OriginNode};
 pub use wicache::WiCacheControllerNode;

@@ -127,7 +127,7 @@ impl Node<Msg> for AuthDnsNode {
                 response.header.rcode = Rcode::NxDomain;
             }
         }
-        ctx.send_after(self.processing, from, Msg::Dns(response));
+        ctx.send_after(self.processing, from, Msg::dns(response));
     }
 }
 
@@ -292,7 +292,7 @@ impl LdnsNode {
                 r
             }
         };
-        ctx.send_after(self.processing, to, Msg::Dns(response));
+        ctx.send_after(self.processing, to, Msg::dns(response));
     }
 
     fn resolve_step(&mut self, ctx: &mut Context<'_, Msg>, txn: u16) {
@@ -309,7 +309,7 @@ impl LdnsNode {
         match self.delegation_for(&current) {
             Some(auth) => {
                 let upstream = DnsMessage::query(txn, current);
-                ctx.send_after(self.processing, auth, Msg::Dns(upstream));
+                ctx.send_after(self.processing, auth, Msg::dns(upstream));
             }
             None => {
                 let pending = self.pending.remove(&txn).expect("checked above");
@@ -404,9 +404,9 @@ impl Node<Msg> for LdnsNode {
             return;
         };
         if dns.header.response {
-            self.handle_upstream_response(ctx, dns);
+            self.handle_upstream_response(ctx, *dns);
         } else {
-            self.handle_client_query(ctx, from, dns);
+            self.handle_client_query(ctx, from, *dns);
         }
     }
 
@@ -442,7 +442,7 @@ mod tests {
     impl Node<Msg> for Probe {
         fn on_message(&mut self, ctx: &mut Context<'_, Msg>, _from: NodeId, msg: Msg) {
             if let Msg::Dns(m) = msg {
-                self.last = Some(m);
+                self.last = Some(*m);
                 self.received_at = Some(ctx.now());
             }
         }
@@ -508,7 +508,7 @@ mod tests {
     fn full_cname_chain_resolves() {
         let (mut w, probe, ldns, _adns, _cdn) = testbed();
         let q = DnsMessage::query(42, name("www.apple.example"));
-        w.post(probe, ldns, Msg::Dns(q));
+        w.post(probe, ldns, Msg::dns(q));
         w.run_to_idle();
         let p = w.node::<Probe>(probe);
         let resp = p.last.as_ref().expect("response received");
@@ -527,7 +527,7 @@ mod tests {
         w.post(
             probe,
             ldns,
-            Msg::Dns(DnsMessage::query(1, name("www.apple.example"))),
+            Msg::dns(DnsMessage::query(1, name("www.apple.example"))),
         );
         w.run_to_idle();
         // Idling runs past the resolution give-up timer's (no-op) firing,
@@ -536,7 +536,7 @@ mod tests {
         w.post(
             probe,
             ldns,
-            Msg::Dns(DnsMessage::query(2, name("www.apple.example"))),
+            Msg::dns(DnsMessage::query(2, name("www.apple.example"))),
         );
         w.run_to_idle();
         let t2 = w.node::<Probe>(probe).received_at.unwrap();
@@ -552,7 +552,7 @@ mod tests {
         w.post(
             probe,
             ldns,
-            Msg::Dns(DnsMessage::query(1, name("www.apple.example"))),
+            Msg::dns(DnsMessage::query(1, name("www.apple.example"))),
         );
         w.run_to_idle();
         assert_eq!(w.node::<AuthDnsNode>(cdn).served(), 1);
@@ -562,7 +562,7 @@ mod tests {
         w.post(
             probe,
             ldns,
-            Msg::Dns(DnsMessage::query(2, name("www.apple.example"))),
+            Msg::dns(DnsMessage::query(2, name("www.apple.example"))),
         );
         w.run_to_idle();
         assert_eq!(w.node::<AuthDnsNode>(cdn).served(), 2);
@@ -576,7 +576,7 @@ mod tests {
         w.post(
             probe,
             ldns,
-            Msg::Dns(DnsMessage::query(7, name("nosuch.zone.example"))),
+            Msg::dns(DnsMessage::query(7, name("nosuch.zone.example"))),
         );
         w.run_to_idle();
         let resp = w.node::<Probe>(probe).last.as_ref().unwrap();
@@ -591,7 +591,7 @@ mod tests {
         w.post(
             probe,
             ldns,
-            Msg::Dns(DnsMessage::query(8, name("missing.apple.example"))),
+            Msg::dns(DnsMessage::query(8, name("missing.apple.example"))),
         );
         w.run_to_idle();
         let resp = w.node::<Probe>(probe).last.as_ref().unwrap();
@@ -636,7 +636,7 @@ mod tests {
         w.post(
             probe,
             ldns,
-            Msg::Dns(DnsMessage::query(1, name("x.special.example"))),
+            Msg::dns(DnsMessage::query(1, name("x.special.example"))),
         );
         w.run_to_idle();
         assert_eq!(

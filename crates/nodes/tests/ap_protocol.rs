@@ -19,7 +19,7 @@ struct Probe {
 impl Node<Msg> for Probe {
     fn on_message(&mut self, _ctx: &mut Context<'_, Msg>, _from: NodeId, msg: Msg) {
         match msg {
-            Msg::Dns(m) if m.header.response => self.dns.push(m),
+            Msg::Dns(m) if m.header.response => self.dns.push(*m),
             Msg::HttpRsp {
                 req,
                 response,
@@ -109,7 +109,7 @@ fn nxdomain_relays_through_the_forwarder() {
     let missing: DomainName = "else.where.example".parse().expect("static");
     let _ = name;
     bed.world
-        .post(bed.probe, bed.ap, Msg::Dns(DnsMessage::query(7, missing)));
+        .post(bed.probe, bed.ap, Msg::dns(DnsMessage::query(7, missing)));
     settle(&mut bed.world);
     let probe = bed.world.node::<Probe>(bed.probe);
     let resp = probe.dns.last().expect("relayed");
@@ -130,7 +130,7 @@ fn delegation_without_cache_op_uses_defaults() {
         Msg::HttpReq {
             conn: ConnId(1),
             req: RequestId(1),
-            request: HttpRequest::get(url.clone()),
+            request: Box::new(HttpRequest::get(url.clone())),
             cache_op: None,
         },
     );
@@ -146,7 +146,7 @@ fn delegation_without_cache_op_uses_defaults() {
     bed.world.post(
         bed.probe,
         bed.ap,
-        Msg::Dns(DnsMessage::dns_cache_request(
+        Msg::dns(DnsMessage::dns_cache_request(
             2,
             "known.zone.example".parse().expect("static"),
             &[url.hash()],
@@ -167,7 +167,7 @@ fn delegation_without_cache_op_uses_defaults() {
     bed.world.post(
         bed.probe,
         bed.ap,
-        Msg::Dns(DnsMessage::dns_cache_request(
+        Msg::dns(DnsMessage::dns_cache_request(
             3,
             "known.zone.example".parse().expect("static"),
             &[url.hash()],
@@ -210,7 +210,7 @@ fn prefetch_hints_populate_without_any_client_request() {
     bed.world.post(
         bed.probe,
         bed.ap,
-        Msg::Dns(DnsMessage::dns_cache_request(
+        Msg::dns(DnsMessage::dns_cache_request(
             4,
             "known.zone.example".parse().expect("static"),
             &[url.hash()],
@@ -271,7 +271,7 @@ fn frequency_window_rolls_update_pacm_rates() {
             Msg::HttpReq {
                 conn: ConnId(i),
                 req: RequestId(i),
-                request: HttpRequest::get(url.clone()),
+                request: Box::new(HttpRequest::get(url.clone())),
                 cache_op: Some(CacheOp {
                     ttl: SimDuration::from_mins(20),
                     priority: Priority::LOW,
@@ -302,7 +302,7 @@ fn delegation_for_unresolvable_domain_fails_instead_of_looping() {
         Msg::HttpReq {
             conn: ConnId(1),
             req: RequestId(1),
-            request: HttpRequest::get(url),
+            request: Box::new(HttpRequest::get(url)),
             cache_op: Some(CacheOp {
                 ttl: SimDuration::from_mins(10),
                 priority: Priority::LOW,

@@ -39,10 +39,17 @@ pub struct PrefetchHint {
 }
 
 /// Every message a node can receive in the APE-CACHE testbed.
+///
+/// The two bulky payloads — a full DNS packet and a full HTTP request —
+/// are boxed: `Msg` rides inline in every scheduled event, so its size is
+/// paid per *pending event slot* in the timing wheel, and the hot variants
+/// (TCP control, HTTP responses with interned bodies) should not carry the
+/// fattest variant's footprint. The compile-time guard below pins the
+/// resulting event size.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Msg {
     /// A UDP DNS packet (query or response, plain or DNS-Cache).
-    Dns(DnsMessage),
+    Dns(Box<DnsMessage>),
     /// TCP connection request.
     TcpSyn {
         /// Connection being opened.
@@ -61,7 +68,7 @@ pub enum Msg {
         /// Request correlation id.
         req: RequestId,
         /// The request itself.
-        request: HttpRequest,
+        request: Box<HttpRequest>,
         /// Delegation metadata (AP-bound requests only).
         cache_op: Option<CacheOp>,
     },
@@ -107,6 +114,34 @@ pub enum Msg {
     },
 }
 
+impl Msg {
+    /// Wraps a DNS packet into a message (the boxing is an implementation
+    /// detail of the event-size budget, not a protocol property).
+    pub fn dns(m: DnsMessage) -> Self {
+        Msg::Dns(Box::new(m))
+    }
+
+    /// Builds an HTTP request message (boxed, see [`Msg::dns`]).
+    pub fn http_req(
+        conn: ConnId,
+        req: RequestId,
+        request: HttpRequest,
+        cache_op: Option<CacheOp>,
+    ) -> Self {
+        Msg::HttpReq {
+            conn,
+            req,
+            request: Box::new(request),
+            cache_op,
+        }
+    }
+}
+
+/// `Msg` rides inline in every scheduled event, so its size is paid per
+/// pending slot of the timing wheel. If a change fattens the event past
+/// this bound, shrink or box the offending variant — don't bump the bound.
+const _: () = assert!(ape_simnet::event_footprint::<Msg>() <= 104);
+
 impl Message for Msg {
     fn wire_size(&self) -> usize {
         match self {
@@ -140,7 +175,7 @@ mod tests {
     #[test]
     fn dns_wire_size_tracks_encoding() {
         let name = DomainName::parse("www.apple.com").unwrap();
-        let m = Msg::Dns(DnsMessage::query(1, name));
+        let m = Msg::dns(DnsMessage::query(1, name));
         let Msg::Dns(inner) = &m else { unreachable!() };
         assert_eq!(m.wire_size(), inner.wire_len() + 28);
     }
@@ -165,22 +200,17 @@ mod tests {
     #[test]
     fn delegation_request_carries_extra_bytes() {
         let url = Url::parse("http://a.b/c").unwrap();
-        let plain = Msg::HttpReq {
-            conn: ConnId(1),
-            req: RequestId(1),
-            request: HttpRequest::get(url.clone()),
-            cache_op: None,
-        };
-        let delegated = Msg::HttpReq {
-            conn: ConnId(1),
-            req: RequestId(1),
-            request: HttpRequest::get(url),
-            cache_op: Some(CacheOp {
+        let plain = Msg::http_req(ConnId(1), RequestId(1), HttpRequest::get(url.clone()), None);
+        let delegated = Msg::http_req(
+            ConnId(1),
+            RequestId(1),
+            HttpRequest::get(url),
+            Some(CacheOp {
                 ttl: SimDuration::from_mins(10),
                 priority: Priority::HIGH,
                 app: AppId::new(1),
             }),
-        };
+        );
         assert_eq!(delegated.wire_size() - plain.wire_size(), 24);
     }
 

@@ -39,15 +39,25 @@ pub(crate) enum EventKind<M> {
 pub(crate) struct ScheduledEvent<M> {
     pub at: SimTime,
     /// Tie-breaker for simultaneous events. Without perturbation this is the
-    /// scheduling sequence number (FIFO among ties); under a perturbation key
-    /// it is a bijective scramble of that number, so ties pop in a seeded
-    /// permutation while distinct-timestamp ordering is untouched.
+    /// scheduling sequence number (FIFO among ties) or, in sharded worlds,
+    /// the canonical `(source node, per-node counter)` key; under a
+    /// perturbation key it is a bijective scramble of that number, so ties
+    /// pop in a seeded permutation while distinct-timestamp ordering is
+    /// untouched.
     ///
-    /// The dispatch loop orders on it implicitly (inside the wheel); it is
-    /// surfaced here for tests and diagnostics only.
-    #[cfg_attr(not(test), allow(dead_code))]
+    /// The dispatch loop orders on it implicitly (inside the wheel); the
+    /// sharded executor also reads it to stamp trace events with the global
+    /// dispatch order.
     pub seq: u64,
     pub kind: EventKind<M>,
+}
+
+/// In-memory footprint of one scheduled event carrying an `M`-typed
+/// message — what every slot of the timing wheel pays. Message crates pin
+/// this with a `const` assertion so an accidentally fattened message enum
+/// fails to compile instead of silently halving event-queue cache density.
+pub const fn event_footprint<M>() -> usize {
+    std::mem::size_of::<ScheduledEvent<M>>()
 }
 
 /// Earliest-first queue of scheduled events.
@@ -107,9 +117,19 @@ impl<M> EventQueue<M> {
     pub fn push(&mut self, at: SimTime, kind: EventKind<M>) {
         let seq = self.next_seq;
         self.next_seq += 1;
+        self.push_keyed(at, seq, kind);
+    }
+
+    /// Pushes an event under an explicit tie-break key instead of the
+    /// queue-local FIFO counter. The sharded executor uses this with
+    /// canonical `(source node, per-node counter)` keys so same-timestamp
+    /// ordering is a property of the schedule itself, identical at any
+    /// shard count. Keys must be unique per queue lifetime; `mix64` being
+    /// a bijection, perturbation preserves that uniqueness.
+    pub fn push_keyed(&mut self, at: SimTime, key: u64, kind: EventKind<M>) {
         let seq = match self.perturbation {
-            Some(key) => mix64(seq ^ key),
-            None => seq,
+            Some(pert) => mix64(key ^ pert),
+            None => key,
         };
         if let Some(oracle) = &mut self.oracle {
             oracle.push(at, seq, ());

@@ -60,12 +60,14 @@ mod profiler;
 pub mod reference;
 mod resource;
 mod rng;
+mod shard;
 mod time;
 mod trace;
 mod wheel;
 mod world;
 
 pub use determinism::{DeterminismReport, Fingerprint, PerturbedRun};
+pub use event::event_footprint;
 pub use fault::{FaultKind, FaultPlan, FaultWindow, LinkEffect};
 pub use link::{LinkSpec, Topology};
 pub use metrics::{keys, Histogram, HistogramMode, MetricId, Metrics, MetricsConfig, TimeSeries};
@@ -73,6 +75,7 @@ pub use node::{AsAny, Message, Node, NodeId, TimerToken};
 pub use profiler::{ProfCategory, ProfTimer, ProfileReport, Profiler, PROF_CATEGORIES};
 pub use resource::{CpuMeter, MemMeter};
 pub use rng::SimRng;
+pub use shard::ShardedWorld;
 pub use time::{SimDuration, SimTime};
 pub use trace::{SpanCtx, SpanId, TraceConfig, TraceEvent, TraceId, TracePhase, TraceSink};
 pub use wheel::TimerWheel;

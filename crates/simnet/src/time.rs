@@ -216,6 +216,18 @@ impl SimDuration {
     pub fn mul_f64(self, factor: f64) -> SimDuration {
         SimDuration::from_secs_f64(self.as_secs_f64() * factor)
     }
+
+    /// How many whole `width`-sized slots this duration spans (floor
+    /// division). The typed entry point for calendar/bucket indexing, so
+    /// callers never do raw integer math on nanosecond counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero.
+    pub fn div_floor(self, width: SimDuration) -> u64 {
+        assert!(!width.is_zero(), "slot width must be positive");
+        self.0 / width.0
+    }
 }
 
 impl Add<SimDuration> for SimTime {

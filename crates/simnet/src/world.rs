@@ -33,23 +33,60 @@ pub struct RunReport {
     pub now: SimTime,
 }
 
+/// A cross-shard event staged in a shard's outbox during an epoch, to be
+/// delivered into the destination shard's queue at the next barrier.
+pub(crate) struct Outbound<M> {
+    pub at: SimTime,
+    /// Canonical tie-break key `(source node << 40) | per-node counter`.
+    pub key: u64,
+    pub dst_shard: u32,
+    pub kind: EventKind<M>,
+}
+
+/// Sharded-execution routing state threaded into a [`Context`] by the
+/// sharded executor ([`crate::ShardedWorld`]). `None` in a plain
+/// [`World`], whose scheduling path is byte-for-byte the pre-shard one.
+pub(crate) struct RouteRef<'a, M> {
+    /// Shard that owns the executing node.
+    pub self_shard: u32,
+    /// Global node raw index → owning shard.
+    pub home: &'a [u32],
+    /// Per-node canonical key counter of the executing node. Counters
+    /// start at 1; key `node << 40 | 0` is reserved for the node's
+    /// `on_start` trace stamp.
+    pub key_counter: &'a mut u64,
+    /// Staging area for cross-shard sends (drained at the epoch barrier).
+    pub outbox: &'a mut Vec<Outbound<M>>,
+}
+
+impl<M> RouteRef<'_, M> {
+    /// Allocates the next canonical tie-break key for the executing node.
+    fn next_key(&mut self, node: NodeId) -> u64 {
+        let key = ((node.as_raw() as u64) << 40) | *self.key_counter;
+        *self.key_counter += 1;
+        key
+    }
+}
+
 /// The execution environment handed to node callbacks.
 ///
 /// Nodes use the context to read the clock, send messages over topology
 /// links, arm timers on themselves, draw randomness and record metrics.
 pub struct Context<'a, M: Message> {
-    now: SimTime,
-    self_id: NodeId,
-    queue: &'a mut EventQueue<M>,
-    topology: &'a Topology,
-    faults: &'a FaultPlan,
-    rng: &'a mut SimRng,
-    metrics: &'a mut Metrics,
-    trace: &'a mut TraceSink,
-    prof: &'a mut Profiler,
+    pub(crate) now: SimTime,
+    pub(crate) self_id: NodeId,
+    pub(crate) queue: &'a mut EventQueue<M>,
+    pub(crate) topology: &'a Topology,
+    pub(crate) faults: &'a FaultPlan,
+    pub(crate) rng: &'a mut SimRng,
+    pub(crate) metrics: &'a mut Metrics,
+    pub(crate) trace: &'a mut TraceSink,
+    pub(crate) prof: &'a mut Profiler,
     /// Span context of the event being dispatched; attached to every
     /// message/timer this callback schedules so causality propagates.
-    span: Option<SpanCtx>,
+    pub(crate) span: Option<SpanCtx>,
+    /// Sharded routing (see [`RouteRef`]); `None` in a plain world.
+    pub(crate) route: Option<RouteRef<'a, M>>,
 }
 
 impl<M: Message> std::fmt::Debug for Context<'_, M> {
@@ -125,15 +162,34 @@ impl<'a, M: Message> Context<'a, M> {
         }
         let wire = msg.wire_size();
         let owd = link.sample_owd(wire, self.rng);
-        self.queue.push(
-            self.now + local_delay + owd + fault_delay,
-            EventKind::Deliver {
-                to,
-                from: self.self_id,
-                msg,
-                span: self.span,
-            },
-        );
+        let at = self.now + local_delay + owd + fault_delay;
+        let kind = EventKind::Deliver {
+            to,
+            from: self.self_id,
+            msg,
+            span: self.span,
+        };
+        match &mut self.route {
+            None => self.queue.push(at, kind),
+            Some(route) => {
+                // Sharded: the tie-break key is a property of the schedule
+                // (source node, per-node counter), not of queue insertion
+                // order, so simultaneous events pop identically at any
+                // shard count. Cross-shard events stage in the outbox and
+                // enter the destination queue at the epoch barrier.
+                let key = route.next_key(self.self_id);
+                if route.home[to.index()] == route.self_shard {
+                    self.queue.push_keyed(at, key, kind);
+                } else {
+                    route.outbox.push(Outbound {
+                        at,
+                        key,
+                        dst_shard: route.home[to.index()],
+                        kind,
+                    });
+                }
+            }
+        }
         self.prof.record(ProfCategory::LinkFault, t);
         // Counter order relative to the push is digest-invisible (counters
         // add, the digest walks names sorted); keeping the increments last
@@ -156,14 +212,19 @@ impl<'a, M: Message> Context<'a, M> {
 
     /// Arms a timer on this node that fires after `delay`.
     pub fn schedule(&mut self, delay: SimDuration, token: TimerToken) {
-        self.queue.push(
-            self.now + delay,
-            EventKind::Timer {
-                node: self.self_id,
-                token,
-                span: self.span,
-            },
-        );
+        let kind = EventKind::Timer {
+            node: self.self_id,
+            token,
+            span: self.span,
+        };
+        match &mut self.route {
+            None => self.queue.push(self.now + delay, kind),
+            Some(route) => {
+                // Timers are always shard-local (a node arms only itself).
+                let key = route.next_key(self.self_id);
+                self.queue.push_keyed(self.now + delay, key, kind);
+            }
+        }
     }
 
     /// Deterministic randomness shared by the run.
@@ -225,11 +286,11 @@ impl<'a, M: Message> Context<'a, M> {
     pub fn begin_trace(&mut self, kind: &'static str) -> Option<SpanCtx> {
         self.span = None;
         let t = self.prof.start();
-        let Some(trace) = self.trace.try_begin_trace() else {
+        let Some(trace) = self.trace.try_begin_trace(self.self_id) else {
             self.prof.record(ProfCategory::Trace, t);
             return None;
         };
-        let span = self.trace.next_span_id();
+        let span = self.trace.next_span_id(self.self_id);
         let ctx = SpanCtx { trace, span };
         self.trace.push(TraceEvent {
             at: self.now,
@@ -255,7 +316,7 @@ impl<'a, M: Message> Context<'a, M> {
             return None;
         }
         let t = self.prof.start();
-        let span = self.trace.next_span_id();
+        let span = self.trace.next_span_id(self.self_id);
         self.trace.push(TraceEvent {
             at: self.now,
             trace: parent.trace,
@@ -715,6 +776,7 @@ impl<M: Message> World<M> {
                 trace: &mut self.trace,
                 prof: &mut self.prof,
                 span,
+                route: None,
             };
             f(node.as_mut(), &mut ctx);
         }

@@ -28,4 +28,4 @@ mod zipf;
 
 pub use schedule::{generate_schedule, per_app_counts, Execution, ScheduleConfig};
 pub use trace::{generate_trace, trace_stats, Packet, TraceSpec, TraceStats};
-pub use zipf::ZipfSampler;
+pub use zipf::{ZipfConfig, ZipfMode, ZipfSampler};

@@ -1,0 +1,69 @@
+//! Property tests for the Zipf sampler backends.
+//!
+//! The default (legacy cumulative-scan) draw sequence is a reproducibility
+//! contract — artifacts in the repo embed it — so `ZipfSampler::new` must
+//! stay stream-identical to an explicit `CumulativeScan` configuration for
+//! every `(n, exponent, seed)`. The alias backend only has to agree in
+//! distribution, which the band test in `src/zipf.rs` covers; here we pin
+//! its structural invariants (range, one-RNG-draw parity).
+
+use ape_simnet::SimRng;
+use ape_workload::{ZipfConfig, ZipfMode, ZipfSampler};
+use proptest::prelude::*;
+
+proptest! {
+    // `new` == `with_config(default)` == explicit legacy mode, draw by draw.
+    #[test]
+    fn default_backend_is_stream_identical_to_legacy(
+        n in 1usize..64,
+        exp_milli in 0u32..3_000,
+        seed in any::<u64>(),
+        draws in 1usize..256,
+    ) {
+        let exponent = f64::from(exp_milli) / 1_000.0;
+        let plain = ZipfSampler::new(n, exponent);
+        let configured = ZipfSampler::with_config(n, exponent, ZipfConfig::default());
+        let explicit = ZipfSampler::with_config(
+            n,
+            exponent,
+            ZipfConfig { mode: ZipfMode::CumulativeScan },
+        );
+        let mut r1 = SimRng::seed_from(seed);
+        let mut r2 = SimRng::seed_from(seed);
+        let mut r3 = SimRng::seed_from(seed);
+        for _ in 0..draws {
+            let a = plain.sample(&mut r1);
+            let b = configured.sample(&mut r2);
+            let c = explicit.sample(&mut r3);
+            prop_assert_eq!(a, b);
+            prop_assert_eq!(b, c);
+        }
+    }
+
+    // Alias draws stay in range and consume exactly one RNG word per
+    // sample, so swapping backends never desynchronizes downstream
+    // consumers of the same RNG stream.
+    #[test]
+    fn alias_backend_is_in_range_with_one_draw_per_sample(
+        n in 1usize..64,
+        exp_milli in 0u32..3_000,
+        seed in any::<u64>(),
+        draws in 1usize..256,
+    ) {
+        let exponent = f64::from(exp_milli) / 1_000.0;
+        let alias = ZipfSampler::with_config(
+            n,
+            exponent,
+            ZipfConfig { mode: ZipfMode::Alias },
+        );
+        let legacy = ZipfSampler::new(n, exponent);
+        let mut ra = SimRng::seed_from(seed);
+        let mut rl = SimRng::seed_from(seed);
+        for _ in 0..draws {
+            let idx = alias.sample(&mut ra);
+            prop_assert!(idx < n);
+            let _ = legacy.sample(&mut rl);
+        }
+        prop_assert_eq!(ra.next_u64(), rl.next_u64());
+    }
+}

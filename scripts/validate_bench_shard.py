@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""Validate BENCH_shard.json (the `repro bench-shard` artifact).
+
+Usage: validate_bench_shard.py <BENCH_shard.json>
+
+Checks, beyond well-formedness of the schema:
+
+* every swept population has a fleet cell at shards {1, 2, 4, 8} plus a
+  single-shard boxed baseline cell,
+* within one population, every fleet cell processed the *same* number of
+  events and settled the same number of fetches — the bench asserts
+  bitwise-identical fingerprints across shard counts, and the artifact
+  must reflect that invariance,
+* rates are positive and barrier-wait fractions are sane fractions,
+* the headline block is consistent with the cells it summarizes.
+
+The build environment has no package registry access, so this is a
+hand-rolled structural check rather than a jsonschema dependency.
+"""
+
+import json
+import sys
+
+SCHEMA = "ape-bench/shard/v1"
+FLEET_SHARDS = (1, 2, 4, 8)
+
+CELL_KEYS = {
+    "repr": str,
+    "clients": int,
+    "shards": int,
+    "events": int,
+    "wall_ms": float,
+    "events_per_sec": int,
+    "fetches": int,
+    "fetches_per_sec": int,
+    "barrier_wait_fraction": float,
+}
+
+
+def fail(message):
+    raise SystemExit(f"validate_bench_shard: {message}")
+
+
+def check_cell(i, cell):
+    for key, kind in CELL_KEYS.items():
+        if key not in cell:
+            fail(f"cells[{i}]: missing key {key!r}")
+        value = cell[key]
+        if kind is float and isinstance(value, int) and not isinstance(value, bool):
+            value = float(value)
+        if not isinstance(value, kind) or isinstance(value, bool):
+            fail(f"cells[{i}].{key}: expected {kind.__name__}, got {value!r}")
+    extra = set(cell) - set(CELL_KEYS)
+    if extra:
+        fail(f"cells[{i}]: unexpected keys {sorted(extra)}")
+    if cell["repr"] not in ("fleet", "boxed"):
+        fail(f"cells[{i}].repr: {cell['repr']!r}")
+    for key in ("clients", "events", "wall_ms", "events_per_sec", "fetches",
+                "fetches_per_sec"):
+        if cell[key] <= 0:
+            fail(f"cells[{i}].{key}: must be positive, got {cell[key]}")
+    if not 0.0 <= cell["barrier_wait_fraction"] <= 1.0:
+        fail(f"cells[{i}].barrier_wait_fraction: {cell['barrier_wait_fraction']}")
+
+
+def main():
+    if len(sys.argv) != 2:
+        raise SystemExit(__doc__.strip().splitlines()[2])
+    with open(sys.argv[1]) as f:
+        doc = json.load(f)
+
+    if doc.get("schema") != SCHEMA:
+        fail(f"schema: expected {SCHEMA!r}, got {doc.get('schema')!r}")
+    sizes = doc.get("sizes")
+    if not isinstance(sizes, list) or not sizes:
+        fail("sizes: expected a non-empty list")
+    cells = doc.get("cells")
+    if not isinstance(cells, list):
+        fail("cells: expected a list")
+    for i, cell in enumerate(cells):
+        check_cell(i, cell)
+
+    by_key = {(c["repr"], c["clients"], c["shards"]): c for c in cells}
+    if len(by_key) != len(cells):
+        fail("cells: duplicate (repr, clients, shards) entries")
+    for clients in sizes:
+        for shards in FLEET_SHARDS:
+            if ("fleet", clients, shards) not in by_key:
+                fail(f"missing fleet cell: {clients} clients @ {shards} shards")
+        if ("boxed", clients, 1) not in by_key:
+            fail(f"missing boxed baseline cell: {clients} clients")
+        # Shard-count invariance: the runs are bitwise identical, so the
+        # recorded work must match exactly across the fleet shard sweep.
+        base = by_key[("fleet", clients, FLEET_SHARDS[0])]
+        for shards in FLEET_SHARDS[1:]:
+            cell = by_key[("fleet", clients, shards)]
+            for key in ("events", "fetches"):
+                if cell[key] != base[key]:
+                    fail(
+                        f"fleet {clients} clients: {key} diverged at "
+                        f"{shards} shards ({cell[key]} != {base[key]})"
+                    )
+
+    headline = doc.get("headline")
+    if not isinstance(headline, dict):
+        fail("headline: expected an object")
+    largest = max(sizes)
+    if headline.get("clients") != largest:
+        fail(f"headline.clients: expected {largest}, got {headline.get('clients')}")
+    fleet = by_key[("fleet", largest, 8)]["events_per_sec"]
+    boxed = by_key[("boxed", largest, 1)]["events_per_sec"]
+    if headline.get("fleet_8shard_events_per_sec") != fleet:
+        fail("headline.fleet_8shard_events_per_sec does not match its cell")
+    if headline.get("boxed_baseline_events_per_sec") != boxed:
+        fail("headline.boxed_baseline_events_per_sec does not match its cell")
+    speedup = headline.get("speedup")
+    if not isinstance(speedup, (int, float)) or speedup <= 0:
+        fail(f"headline.speedup: {speedup!r}")
+    if abs(speedup - fleet / boxed) > 0.011:
+        fail(f"headline.speedup {speedup} inconsistent with cells ({fleet}/{boxed})")
+
+    print(
+        f"validate_bench_shard: OK — {len(cells)} cells over populations "
+        f"{sizes}, quick={doc.get('quick')}, headline speedup {speedup:.2f}x"
+    )
+
+
+if __name__ == "__main__":
+    main()
