@@ -8,7 +8,8 @@
 //!   table1 table2 table4 table5 table6 table7
 //!   fig2 fig11a fig11b fig11c fig12 fig13a fig13b fig13c fig14
 //!   object-level ablations speedup trace profile
-//!   bench-evict bench-simworld bench-metrics bench-shard faults all
+//!   bench-evict bench-simworld bench-metrics bench-shard bench-scale
+//!   faults all
 //! ```
 //!
 //! `--trials N` replicates every sweep point over N seeds (pooled before
@@ -24,12 +25,16 @@
 //! `bench-evict` is the eviction-cost microbench (writes `BENCH_evict.json`
 //! at the repo root), `bench-simworld` the event-queue throughput sweep
 //! (writes `BENCH_simworld.json`), `bench-metrics` the metric-registry
-//! sketch-vs-exact sweep (writes `BENCH_metrics.json`), and `bench-shard`
+//! sketch-vs-exact sweep (writes `BENCH_metrics.json`), `bench-shard`
 //! the sharded-world scale sweep — SoA client fleets over {1,2,4,8} shards
-//! vs the boxed per-client baseline (writes `BENCH_shard.json`). `profile`
-//! runs the testbed with the sim-loop self-profiler on and prints
-//! per-subsystem host-time attribution. All five time wall-clock and are
-//! therefore *not* part of `all`, whose output is bitwise deterministic.
+//! vs the boxed per-client baseline (writes `BENCH_shard.json`) — and
+//! `bench-scale` the city-scale multi-AP topology sweep: hit ratio and
+//! p99 latency vs AP count × roam rate × cooperation mode, every cell
+//! fingerprint-asserted invariant across shard counts, worker threads and
+//! tie-perturbation keys (writes `BENCH_scale.json`). `profile` runs the
+//! testbed with the sim-loop self-profiler on and prints per-subsystem
+//! host-time attribution. All six time wall-clock and are therefore *not*
+//! part of `all`, whose output is bitwise deterministic.
 //!
 //! `faults` is the lossy-WiFi resilience sweep (loss rate × caching
 //! strategy plus a composed fault-plan replay). Loss makes its RNG draws
@@ -40,9 +45,10 @@ use std::path::PathBuf;
 use std::time::Instant;
 
 use ape_bench::{
-    ablations, bench_evict, bench_metrics, bench_shard, bench_simworld, faults, fig11a, fig11b,
-    fig11c, fig12, fig13a, fig13b, fig13c, fig14, fig2, object_level, profile, speedup, table1,
-    table2, table4, table5, table6, table7, trace_artifacts, ReproOptions, TraceArtifacts,
+    ablations, bench_evict, bench_metrics, bench_scale, bench_shard, bench_simworld, faults,
+    fig11a, fig11b, fig11c, fig12, fig13a, fig13b, fig13c, fig14, fig2, object_level, profile,
+    speedup, table1, table2, table4, table5, table6, table7, trace_artifacts, ReproOptions,
+    TraceArtifacts,
 };
 
 fn write_trace_files(dir: &std::path::Path, artifacts: &TraceArtifacts) -> std::io::Result<()> {
@@ -60,7 +66,8 @@ fn usage() -> ! {
          artifacts: table1 table2 table4 table5 table6 table7 fig2 fig11a fig11b\n\
          \u{20}          fig11c fig12 fig13a fig13b fig13c fig14 object-level\n\
          \u{20}          ablations speedup trace profile bench-evict\n\
-         \u{20}          bench-simworld bench-metrics bench-shard faults all"
+         \u{20}          bench-simworld bench-metrics bench-shard bench-scale\n\
+         \u{20}          faults all"
     );
     std::process::exit(2);
 }
@@ -164,6 +171,7 @@ fn main() {
             "bench-evict" => bench_evict(&opts),
             "bench-simworld" => bench_simworld(&opts),
             "bench-shard" => bench_shard(&opts),
+            "bench-scale" => bench_scale(&opts),
             "bench-metrics" => bench_metrics(&opts),
             "profile" => profile(&opts),
             "faults" => faults(&opts),

@@ -20,6 +20,7 @@ mod metrics_bench;
 pub mod microbench;
 mod profile;
 pub mod progmodel;
+mod scale_bench;
 mod shard_bench;
 mod simworld_bench;
 mod tracing;
@@ -33,6 +34,7 @@ pub use faults::faults;
 pub use lookup_overhead::fig11b;
 pub use metrics_bench::bench_metrics;
 pub use profile::profile;
+pub use scale_bench::bench_scale;
 pub use shard_bench::bench_shard;
 pub use simworld_bench::bench_simworld;
 pub use tracing::{trace_artifacts, traced_config, TraceArtifacts};

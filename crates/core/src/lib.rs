@@ -46,6 +46,7 @@ mod run;
 mod suite;
 mod system;
 mod testbed;
+mod topology;
 mod trace;
 
 pub use internet::{measure_cell, measure_table1, table1_paths, PathSpec, Table1Cell};
@@ -57,4 +58,8 @@ pub use run::{
 pub use suite::{paper_suite, synthetic_suite};
 pub use system::System;
 pub use testbed::{build, build_sharded, ShardedTestbed, Testbed, TestbedConfig};
+pub use topology::{
+    build_topology, build_topology_sharded, collect_topology, collect_topology_sharded,
+    grid_neighbors, grid_pos, grid_side, ShardedTopology, Topology, TopologyConfig,
+};
 pub use trace::{prometheus_snapshot, Attribution, BucketStat, TraceLog, TraceRecord};

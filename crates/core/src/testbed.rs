@@ -179,18 +179,19 @@ impl std::fmt::Debug for ShardedTestbed {
 
 /// Suffix of the per-domain CDN aliases (mirroring
 /// `www.apple.com → www.apple.com.edgekey.net`).
-const CDN_SUFFIX: &str = "edgekey.example";
+pub(crate) const CDN_SUFFIX: &str = "edgekey.example";
 
 /// TTL of the CDN's A record (Akamai-style short TTL, seconds).
-const CDN_A_TTL: u32 = 60;
+pub(crate) const CDN_A_TTL: u32 = 60;
 
 /// TTL of the site CNAME records (seconds).
-const CNAME_TTL: u32 = 300;
+pub(crate) const CNAME_TTL: u32 = 300;
 
 /// The world operations assembly needs, so [`build`] and [`build_sharded`]
 /// share one construction sequence (identical node/link order is what makes
-/// sharded and plain runs comparable).
-trait AssembleWorld {
+/// sharded and plain runs comparable). The multi-AP topology assembler
+/// (`crate::topology`) targets the same trait.
+pub(crate) trait AssembleWorld {
     /// Adds a node, placing it on `shard` when the backend is sharded.
     fn add(&mut self, shard: u32, name: String, node: impl Node<Msg> + 'static) -> NodeId;
     /// Registers a symmetric link.
@@ -273,7 +274,7 @@ struct AssembledIds {
 
 /// Which shard client `i` lives on: round-robin over the client shards
 /// (`1..shards`), or the spine shard when the world isn't split.
-fn client_shard(i: usize, shards: u32) -> u32 {
+pub(crate) fn client_shard(i: usize, shards: u32) -> u32 {
     if shards <= 1 {
         0
     } else {
@@ -281,16 +282,31 @@ fn client_shard(i: usize, shards: u32) -> u32 {
     }
 }
 
-/// Assembles the Fig. 9 testbed into any world backend. The spine (origin,
-/// edge, DNS chain, AP, controller) goes on shard 0; clients round-robin
-/// over the remaining shards. With a plain [`World`] the shard argument is
-/// ignored, so [`build`] and [`build_sharded`] produce the same node ids in
-/// the same order.
-fn assemble<W: AssembleWorld>(world: &mut W, config: &TestbedConfig, shards: u32) -> AssembledIds {
-    assert!(!config.apps.is_empty(), "testbed needs at least one app");
-    assert!(config.clients > 0, "testbed needs at least one client");
-    world.configure(config);
+/// Node ids of the serving/DNS spine shared by the single-AP testbed and
+/// the multi-AP topology (`crate::topology`).
+pub(crate) struct SpineIds {
+    /// The origin server.
+    pub origin: NodeId,
+    /// The edge cache server.
+    pub edge: NodeId,
+    /// The authoritative DNS for the app domains.
+    pub adns: NodeId,
+    /// The CDN's authoritative DNS.
+    pub cdn_dns: NodeId,
+    /// The local DNS resolver.
+    pub ldns: NodeId,
+}
 
+/// Assembles the serving spine — origin, edge, and the DNS hierarchy — in
+/// the canonical order (origin, edge, adns, cdn-dns, ldns), assigning the
+/// edge and origin addresses into `ip_map`. Both [`assemble`] and the
+/// multi-AP topology assembler start from this sequence, so their spine
+/// node ids line up.
+pub(crate) fn assemble_spine<W: AssembleWorld>(
+    world: &mut W,
+    config: &TestbedConfig,
+    ip_map: &mut IpMap,
+) -> SpineIds {
     // --- Catalog shared by origin and edge -----------------------------
     let mut catalog = Catalog::new();
     for app in &config.apps {
@@ -317,7 +333,6 @@ fn assemble<W: AssembleWorld>(world: &mut W, config: &TestbedConfig, shards: u32
     }
     let edge = world.add(0, "edge".into(), edge_node);
 
-    let mut ip_map = IpMap::new();
     let edge_ip = ip_map.assign(edge);
     let _origin_ip = ip_map.assign(origin);
 
@@ -366,6 +381,35 @@ fn assemble<W: AssembleWorld>(world: &mut W, config: &TestbedConfig, shards: u32
         "ldns".into(),
         LdnsNode::new(SimDuration::from_micros(200), delegations),
     );
+
+    SpineIds {
+        origin,
+        edge,
+        adns: adns_id,
+        cdn_dns: cdn_dns_id,
+        ldns,
+    }
+}
+
+/// Assembles the Fig. 9 testbed into any world backend. The spine (origin,
+/// edge, DNS chain, AP, controller) goes on shard 0; clients round-robin
+/// over the remaining shards. With a plain [`World`] the shard argument is
+/// ignored, so [`build`] and [`build_sharded`] produce the same node ids in
+/// the same order.
+fn assemble<W: AssembleWorld>(world: &mut W, config: &TestbedConfig, shards: u32) -> AssembledIds {
+    assert!(!config.apps.is_empty(), "testbed needs at least one app");
+    assert!(config.clients > 0, "testbed needs at least one client");
+    world.configure(config);
+
+    let mut ip_map = IpMap::new();
+    let spine = assemble_spine(world, config, &mut ip_map);
+    let SpineIds {
+        origin,
+        edge,
+        adns: adns_id,
+        cdn_dns: cdn_dns_id,
+        ldns,
+    } = spine;
 
     // --- AP ----------------------------------------------------------------
     let mut ap_config = config.ap.clone();

@@ -1,0 +1,704 @@
+//! City-scale multi-AP topologies: grids of APs with per-AP client
+//! populations, roaming clients, and (optionally) cooperating AP caches.
+//!
+//! The single-AP testbed ([`crate::build`]) reproduces the paper's Fig. 9
+//! deployment; this module scales it out to the deployment the paper
+//! *argues for* — every AP in a campus or city running the cache. APs are
+//! laid out on a √N×√N grid with 4-adjacency, each homing its own client
+//! population and reaching the (shared) edge/DNS spine over a
+//! heterogeneous backhaul: AP `i` draws link class `i mod 3` (fiber,
+//! cable, DSL — calibrated against the Fig. 9 AP↔edge anatomy), so hit
+//! ratio and tail latency are measured over a realistic mix, not a uniform
+//! fleet.
+//!
+//! Every random choice — per-AP schedules, per-client roam walks — is
+//! drawn at build time from seeds derived from the config, so a topology
+//! run inherits the simulator's bitwise-determinism contract: identical
+//! results at any shard count, thread count, or tie-perturbation key
+//! (pinned by `tests/shard_determinism.rs` and the `bench-scale` sweep).
+//!
+//! Fleet-scale populations (`FleetNode`) stay on the representation bench
+//! path: they speak the reduced `FleetMsg` vocabulary and cannot exercise
+//! the AP's DNS-Cache/delegation protocol. The topology homes full
+//! [`ClientNode`]s at each AP — fewer clients, but every one runs the real
+//! enhanced-client runtime end to end.
+
+use ape_nodes::{
+    ApNode, ApPolicy, ClientConfig, ClientNode, GridPos, RoamStop, Strategy, WiCacheControllerNode,
+    WiCacheLink,
+};
+use ape_proto::{IpMap, Msg};
+use ape_simnet::{LinkSpec, NodeId, ShardedWorld, SimDuration, SimRng, World};
+use ape_workload::{generate_roam_schedule, generate_schedule, Execution, RoamConfig};
+
+use crate::run::RunResult;
+use crate::system::System;
+use crate::testbed::{assemble_spine, client_shard, AssembleWorld, SpineIds, TestbedConfig};
+use crate::trace::TraceLog;
+
+/// Seed-mixing constant for per-AP and per-client derived streams
+/// (splitmix64's increment; any odd constant with good avalanche works).
+const SEED_MIX: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Stream tag of the per-AP schedule RNGs.
+const SCHEDULE_STREAM: u64 = 0x5EED_5EED;
+
+/// Stream tag of the per-client roam RNGs.
+const ROAM_STREAM: u64 = 0x0A0A_D0AD_0A0A_D0AD;
+
+/// A multi-AP deployment to instantiate.
+#[derive(Debug, Clone)]
+pub struct TopologyConfig {
+    /// Per-run knobs shared with the single-AP testbed: system, app suite,
+    /// schedule shape, AP parameters, seed, tie perturbation, tracing,
+    /// metrics. (`base.clients` is ignored — `clients_per_ap` governs the
+    /// population here.)
+    pub base: TestbedConfig,
+    /// Number of APs in the grid (1 = campus corner case, 256 = city ward).
+    pub aps: usize,
+    /// Clients homed at each AP.
+    pub clients_per_ap: usize,
+    /// Mean roams per client per minute (`0.0` pins every client to its
+    /// home AP and draws no roam randomness).
+    pub roam_per_minute: f64,
+    /// When true, APs gossip cache summaries to grid neighbors and try a
+    /// nearest-holder peer fetch before going upstream; when false each AP
+    /// cache is isolated (the paper's per-AP deployment).
+    pub cooperative: bool,
+}
+
+impl TopologyConfig {
+    /// A cooperative, non-roaming grid of `aps` APs over `base`.
+    pub fn new(base: TestbedConfig, aps: usize) -> Self {
+        TopologyConfig {
+            base,
+            aps,
+            clients_per_ap: 3,
+            roam_per_minute: 0.0,
+            cooperative: true,
+        }
+    }
+
+    /// Sets the per-AP client population.
+    pub fn with_clients_per_ap(mut self, clients: usize) -> Self {
+        self.clients_per_ap = clients;
+        self
+    }
+
+    /// Sets the mean roam rate (roams per client per minute).
+    pub fn with_roam_rate(mut self, per_minute: f64) -> Self {
+        self.roam_per_minute = per_minute;
+        self
+    }
+
+    /// Disables AP↔AP cooperation (isolated per-AP caches).
+    pub fn isolated(mut self) -> Self {
+        self.cooperative = false;
+        self
+    }
+}
+
+/// A built multi-AP deployment over a plain [`World`].
+pub struct Topology {
+    /// The simulated deployment.
+    pub world: World<Msg>,
+    /// AP nodes, in grid order (index `i` sits at [`grid_pos`]`(i, side)`).
+    pub aps: Vec<NodeId>,
+    /// All client nodes, grouped by home AP (AP `i`'s clients occupy
+    /// indices `i*clients_per_ap .. (i+1)*clients_per_ap`).
+    pub clients: Vec<NodeId>,
+    /// Home-AP grid index of each client.
+    pub client_home: Vec<usize>,
+    /// The edge cache server.
+    pub edge: NodeId,
+    /// The origin server.
+    pub origin: NodeId,
+    /// The local DNS resolver.
+    pub ldns: NodeId,
+    /// The Wi-Cache controller, when deployed.
+    pub controller: Option<NodeId>,
+    /// Total app executions installed across every client.
+    pub scheduled: usize,
+}
+
+impl std::fmt::Debug for Topology {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Topology")
+            .field("aps", &self.aps.len())
+            .field("clients", &self.clients.len())
+            .finish()
+    }
+}
+
+/// A built multi-AP deployment over a [`ShardedWorld`]: same node ids as
+/// [`Topology`], with the spine (servers, DNS, controller, every AP) on
+/// shard 0 and clients round-robin over shards `1..N`.
+pub struct ShardedTopology {
+    /// The simulated deployment, partitioned for epoch execution.
+    pub world: ShardedWorld<Msg>,
+    /// AP nodes, in grid order.
+    pub aps: Vec<NodeId>,
+    /// All client nodes, grouped by home AP.
+    pub clients: Vec<NodeId>,
+    /// Home-AP grid index of each client.
+    pub client_home: Vec<usize>,
+    /// The edge cache server.
+    pub edge: NodeId,
+    /// The origin server.
+    pub origin: NodeId,
+    /// The local DNS resolver.
+    pub ldns: NodeId,
+    /// The Wi-Cache controller, when deployed.
+    pub controller: Option<NodeId>,
+    /// Total app executions installed across every client.
+    pub scheduled: usize,
+}
+
+impl std::fmt::Debug for ShardedTopology {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedTopology")
+            .field("shards", &self.world.shard_count())
+            .field("aps", &self.aps.len())
+            .field("clients", &self.clients.len())
+            .finish()
+    }
+}
+
+/// Side length of the AP grid: the smallest square that fits `aps` cells.
+pub fn grid_side(aps: usize) -> usize {
+    let mut side = (aps as f64).sqrt() as usize;
+    while side * side < aps {
+        side += 1;
+    }
+    side.max(1)
+}
+
+/// Grid position of AP `i` on a grid with side length `side`.
+pub fn grid_pos(i: usize, side: usize) -> GridPos {
+    ((i % side) as u32, (i / side) as u32)
+}
+
+/// 4-adjacency neighbor lists over the (possibly ragged) `aps`-cell grid.
+/// Entry `i` lists the grid indices adjacent to AP `i`, in ascending order.
+pub fn grid_neighbors(aps: usize) -> Vec<Vec<usize>> {
+    let side = grid_side(aps);
+    (0..aps)
+        .map(|i| {
+            let (x, y) = (i % side, i / side);
+            let mut out = Vec::new();
+            if y > 0 {
+                out.push(i - side);
+            }
+            if x > 0 {
+                out.push(i - 1);
+            }
+            if x + 1 < side && i + 1 < aps {
+                out.push(i + 1);
+            }
+            if i + side < aps {
+                out.push(i + side);
+            }
+            out
+        })
+        .collect()
+}
+
+/// Node ids produced by [`assemble_topology`].
+struct AssembledTopology {
+    aps: Vec<NodeId>,
+    clients: Vec<NodeId>,
+    client_home: Vec<usize>,
+    edge: NodeId,
+    origin: NodeId,
+    ldns: NodeId,
+    controller: Option<NodeId>,
+    scheduled: usize,
+}
+
+/// Assembles the multi-AP deployment into any world backend. Spine first
+/// (same sequence as the single-AP testbed), then the controller, then the
+/// AP grid, then per-AP client populations; the plain and sharded builds
+/// therefore agree on every [`NodeId`].
+fn assemble_topology<W: AssembleWorld>(
+    world: &mut W,
+    config: &TopologyConfig,
+    shards: u32,
+) -> AssembledTopology {
+    assert!(config.aps > 0, "topology needs at least one AP");
+    assert!(
+        config.clients_per_ap > 0,
+        "topology needs at least one client per AP"
+    );
+    assert!(
+        !config.base.apps.is_empty(),
+        "topology needs at least one app"
+    );
+    world.configure(&config.base);
+
+    let base = &config.base;
+    let mut ip_map = IpMap::new();
+    let spine = assemble_spine(world, base, &mut ip_map);
+    let SpineIds {
+        origin,
+        edge,
+        adns,
+        cdn_dns,
+        ldns,
+    } = spine;
+
+    let side = grid_side(config.aps);
+    let adjacency = grid_neighbors(config.aps);
+
+    // --- Wi-Cache controller -------------------------------------------
+    let controller = (base.system == System::WiCache).then(|| {
+        world.add(
+            0,
+            "wicache-controller".into(),
+            WiCacheControllerNode::new(SimDuration::from_micros(300)),
+        )
+    });
+
+    // --- AP grid --------------------------------------------------------
+    // AP ids follow the current node count, so both their NodeIds and
+    // their addresses can be fixed before any AP is constructed — every AP
+    // then carries the complete AP address map.
+    let ap_base = world.count();
+    let ap_id = |i: usize| NodeId::from_raw((ap_base + i) as u32);
+    let ap_ips: Vec<_> = (0..config.aps).map(|i| ip_map.assign(ap_id(i))).collect();
+
+    let policy = match base.system {
+        System::ApeCache => base.ap.policy,
+        System::ApeCacheLru | System::WiCache | System::EdgeCache => ApPolicy::Lru,
+    };
+    let mut aps = Vec::with_capacity(config.aps);
+    for i in 0..config.aps {
+        let mut ap_config = base.ap.clone();
+        ap_config.policy = policy;
+        // Distinct sub-microsecond tick phases per AP: 17 ns keeps the AP
+        // grid off the clients' 61 ns watchdog grid, the 61 ns step keeps
+        // APs off each other, and the 2048 wrap stays under REAP_PHASE so
+        // reap ticks never cross another AP's window/sample grid.
+        // ape-lint: allow(sim-time-arith) -- deliberate raw-nanosecond phase offsets; the primes are the point, no unit constructor expresses them
+        ap_config.phase_stagger = SimDuration::from_nanos(17 + 61 * (i as u64 % 2048));
+        let mut node = ApNode::new(ap_config, ldns, ip_map.clone());
+        if let Some(controller) = controller {
+            node = node.with_wicache(WiCacheLink {
+                controller,
+                own_address: ap_ips[i],
+            });
+        }
+        if config.cooperative {
+            node = node.with_neighbors(adjacency[i].iter().map(|&j| ap_id(j)).collect());
+        }
+        let id = world.add(0, format!("ap{i}"), node);
+        debug_assert_eq!(id, ap_id(i), "AP id prediction out of sync");
+        if let Some(controller) = controller {
+            world
+                .get_mut::<WiCacheControllerNode>(controller)
+                .register_ap_at(id, ap_ips[i], grid_pos(i, side));
+        }
+        aps.push(id);
+    }
+
+    // --- Clients ----------------------------------------------------------
+    let strategy = match base.system {
+        System::ApeCache | System::ApeCacheLru => Strategy::ApeCache,
+        System::WiCache => Strategy::WiCache,
+        System::EdgeCache => Strategy::EdgeCache,
+    };
+    let roam = RoamConfig {
+        per_client_per_minute: config.roam_per_minute,
+        duration: base.schedule.duration,
+    };
+    let mut clients = Vec::with_capacity(config.aps * config.clients_per_ap);
+    let mut client_home = Vec::with_capacity(clients.capacity());
+    let mut roam_targets: Vec<Vec<usize>> = Vec::with_capacity(clients.capacity());
+    let mut scheduled = 0usize;
+    for (i, &home_ap) in aps.iter().enumerate() {
+        // Each AP serves its own independently seeded schedule, split
+        // round-robin over its population (the testbed's sharing scheme).
+        let mut schedule_rng =
+            SimRng::seed_from(base.seed ^ SCHEDULE_STREAM ^ (i as u64).wrapping_mul(SEED_MIX));
+        let schedule = generate_schedule(&base.schedule, &mut schedule_rng);
+        scheduled += schedule.len();
+        for j in 0..config.clients_per_ap {
+            let g = clients.len();
+            let share: Vec<Execution> = schedule
+                .iter()
+                .enumerate()
+                .filter(|(idx, _)| idx % config.clients_per_ap == j)
+                .map(|(_, e)| *e)
+                .collect();
+            let mut roam_rng =
+                SimRng::seed_from(base.seed ^ ROAM_STREAM ^ (g as u64).wrapping_mul(SEED_MIX));
+            let walk = generate_roam_schedule(&adjacency, i, &roam, &mut roam_rng);
+            let stops: Vec<RoamStop> = walk
+                .iter()
+                .map(|ev| RoamStop {
+                    at: ev.at,
+                    ap: ap_id(ev.ap),
+                })
+                .collect();
+            // The radio association set: home plus every AP the walk
+            // visits, known upfront so the links exist before the roam.
+            let mut targets: Vec<usize> = walk.iter().map(|ev| ev.ap).collect();
+            targets.sort_unstable();
+            targets.dedup();
+            targets.retain(|&t| t != i);
+            roam_targets.push(targets);
+
+            let dns_server = match strategy {
+                Strategy::ApeCache | Strategy::WiCache => home_ap,
+                Strategy::EdgeCache => ldns,
+            };
+            let mut client_config =
+                ClientConfig::new(strategy, dns_server, home_ap, ip_map.clone());
+            client_config.controller = controller;
+            client_config.lookup_mode = base.lookup_mode;
+            client_config.prefetch_hints = base.prefetch_hints;
+            let node =
+                ClientNode::new(client_config, base.apps.clone(), share).with_roam_schedule(stops);
+            let id = world.add(client_shard(g, shards), format!("client{g}"), node);
+            if let Some(controller) = controller {
+                world
+                    .get_mut::<WiCacheControllerNode>(controller)
+                    .register_requester_at(id, grid_pos(i, side));
+            }
+            clients.push(id);
+            client_home.push(i);
+        }
+    }
+
+    // --- Links ------------------------------------------------------------
+    // Heterogeneous backhaul: AP i draws class i mod 3. Class 0 is the
+    // testbed's calibrated Fig. 9 anatomy; classes 1 and 2 stretch the
+    // AP↔edge and AP↔LDNS paths to cable- and DSL-like distances.
+    let backhaul = [
+        // (AP↔edge, AP↔LDNS): fiber — the single-AP testbed's links.
+        (
+            LinkSpec::from_rtt(7, SimDuration::from_millis(14))
+                .jitter_mean(SimDuration::from_micros(800)),
+            LinkSpec::from_rtt(5, SimDuration::from_millis(13))
+                .jitter_mean(SimDuration::from_micros(600)),
+        ),
+        // Cable.
+        (
+            LinkSpec::from_rtt(8, SimDuration::from_millis(21))
+                .jitter_mean(SimDuration::from_millis(1)),
+            LinkSpec::from_rtt(6, SimDuration::from_millis(18))
+                .jitter_mean(SimDuration::from_micros(800)),
+        ),
+        // DSL.
+        (
+            LinkSpec::from_rtt(10, SimDuration::from_millis(35))
+                .jitter_mean(SimDuration::from_millis(2)),
+            LinkSpec::from_rtt(7, SimDuration::from_millis(26))
+                .jitter_mean(SimDuration::from_millis(1)),
+        ),
+    ];
+    // Neighbor APs share a wired LAN segment (metro backhaul hop).
+    let ap_peer = LinkSpec::from_rtt(2, SimDuration::from_millis(4))
+        .jitter_mean(SimDuration::from_micros(300));
+    let controller_link = LinkSpec::from_rtt(12, SimDuration::from_millis(24))
+        .jitter_mean(SimDuration::from_millis(1));
+    let ldns_adns = LinkSpec::from_rtt(12, SimDuration::from_millis(30))
+        .jitter_mean(SimDuration::from_millis(2));
+    let ldns_cdn = LinkSpec::from_rtt(9, SimDuration::from_millis(20))
+        .jitter_mean(SimDuration::from_millis(1));
+    let edge_origin = LinkSpec::from_rtt(8, SimDuration::from_millis(24))
+        .jitter_mean(SimDuration::from_millis(1));
+    let lossy = |link: LinkSpec| {
+        if base.wifi_loss > 0.0 {
+            link.loss_probability(base.wifi_loss)
+        } else {
+            link
+        }
+    };
+    let wifi = lossy(
+        LinkSpec::from_rtt(1, SimDuration::from_millis(3))
+            .bandwidth_bytes_per_sec(40_000_000)
+            .jitter_mean(SimDuration::from_micros(200)),
+    );
+    let client_edge = lossy(
+        LinkSpec::from_rtt(7, SimDuration::from_millis(15))
+            .bandwidth_bytes_per_sec(40_000_000)
+            .jitter_mean(SimDuration::from_micros(800)),
+    );
+    let client_ldns = lossy(
+        LinkSpec::from_rtt(6, SimDuration::from_millis(16))
+            .jitter_mean(SimDuration::from_micros(700)),
+    );
+    let client_controller = lossy(controller_link);
+
+    world.link(ldns, adns, ldns_adns);
+    world.link(ldns, cdn_dns, ldns_cdn);
+    world.link(edge, origin, edge_origin);
+    for (i, &ap) in aps.iter().enumerate() {
+        let (ap_edge, ap_ldns) = backhaul[i % backhaul.len()];
+        world.link(ap, edge, ap_edge);
+        world.link(ap, ldns, ap_ldns);
+        // AP↔AP segments exist regardless of cooperation: roam handoffs
+        // travel them even when summary gossip is off.
+        for &j in &adjacency[i] {
+            if j > i {
+                world.link(ap, ap_id(j), ap_peer);
+            }
+        }
+        if let Some(controller) = controller {
+            world.link(ap, controller, controller_link);
+        }
+    }
+    for (g, &client) in clients.iter().enumerate() {
+        world.link(client, aps[client_home[g]], wifi);
+        for &target in &roam_targets[g] {
+            world.link(client, aps[target], wifi);
+        }
+        world.link(client, edge, client_edge);
+        world.link(client, ldns, client_ldns);
+        if let Some(controller) = controller {
+            world.link(client, controller, client_controller);
+        }
+    }
+
+    AssembledTopology {
+        aps,
+        clients,
+        client_home,
+        edge,
+        origin,
+        ldns,
+        controller,
+        scheduled,
+    }
+}
+
+/// Builds the multi-AP world for `config` over a plain [`World`].
+///
+/// # Panics
+///
+/// Panics if the config has no APs, no clients per AP, or no apps.
+pub fn build_topology(config: &TopologyConfig) -> Topology {
+    let mut world = World::new(config.base.seed);
+    let ids = assemble_topology(&mut world, config, 1);
+    Topology {
+        world,
+        aps: ids.aps,
+        clients: ids.clients,
+        client_home: ids.client_home,
+        edge: ids.edge,
+        origin: ids.origin,
+        ldns: ids.ldns,
+        controller: ids.controller,
+        scheduled: ids.scheduled,
+    }
+}
+
+/// Builds the same deployment into a [`ShardedWorld`] with `shards`
+/// shards. Node ids match [`build_topology`] exactly; outputs are bitwise
+/// identical at any shard count under the sharded engine's invariance
+/// contract.
+///
+/// # Panics
+///
+/// Panics if the config is empty (see [`build_topology`]) or `shards` is 0.
+pub fn build_topology_sharded(config: &TopologyConfig, shards: u32) -> ShardedTopology {
+    assert!(shards > 0, "need at least one shard");
+    let mut world = ShardedWorld::new(config.base.seed, shards);
+    let ids = assemble_topology(&mut world, config, shards);
+    ShardedTopology {
+        world,
+        aps: ids.aps,
+        clients: ids.clients,
+        client_home: ids.client_home,
+        edge: ids.edge,
+        origin: ids.origin,
+        ldns: ids.ldns,
+        controller: ids.controller,
+        scheduled: ids.scheduled,
+    }
+}
+
+/// Collects results from an already-run topology.
+pub fn collect_topology(system: System, top: &mut Topology) -> RunResult {
+    let mut report = ape_nodes::ClientReport::default();
+    for &client in &top.clients {
+        report.merge(&top.world.node::<ClientNode>(client).report());
+    }
+    let trace = top.world.trace().is_enabled().then(|| {
+        let names: Vec<String> = (0..top.world.node_count())
+            .map(|i| top.world.node_name(NodeId::from_raw(i as u32)).to_owned())
+            .collect();
+        TraceLog::from_run(names, top.world.take_trace_events())
+    });
+    RunResult {
+        system,
+        metrics: top.world.metrics().clone(),
+        report,
+        trace,
+        profile: top.world.profile_report(),
+    }
+}
+
+/// Collects results from an already-run sharded topology, merging
+/// per-shard metric registries and trace buffers in canonical order.
+pub fn collect_topology_sharded(system: System, top: &mut ShardedTopology) -> RunResult {
+    let mut report = ape_nodes::ClientReport::default();
+    for &client in &top.clients {
+        report.merge(&top.world.node::<ClientNode>(client).report());
+    }
+    let metrics = top.world.metrics_merged();
+    let events = top.world.take_trace_events();
+    let trace = (!events.is_empty()).then(|| {
+        let names: Vec<String> = (0..top.world.node_count())
+            .map(|i| top.world.node_name(NodeId::from_raw(i as u32)).to_owned())
+            .collect();
+        TraceLog::from_run(names, events)
+    });
+    RunResult {
+        system,
+        metrics,
+        report,
+        trace,
+        profile: top.world.profile_report(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ape_appdag::{generate_fleet, DummyAppConfig};
+    use ape_proto::names;
+    use ape_workload::ScheduleConfig;
+
+    fn apps(n: usize) -> Vec<AppSpec> {
+        let mut rng = SimRng::seed_from(1);
+        generate_fleet(n, &DummyAppConfig::default(), &mut rng)
+    }
+
+    use ape_appdag::AppSpec;
+
+    fn small_base(system: System) -> TestbedConfig {
+        let mut config = TestbedConfig::new(system, apps(5));
+        config.schedule = ScheduleConfig {
+            apps: 5,
+            avg_per_minute: 6.0,
+            zipf_exponent: 0.8,
+            duration: SimDuration::from_mins(3),
+        };
+        config
+    }
+
+    #[test]
+    fn grid_geometry_is_sane() {
+        assert_eq!(grid_side(1), 1);
+        assert_eq!(grid_side(16), 4);
+        assert_eq!(grid_side(17), 5);
+        assert_eq!(grid_pos(5, 4), (1, 1));
+        let adj = grid_neighbors(16);
+        assert_eq!(adj[0], vec![1, 4]);
+        assert_eq!(adj[5], vec![1, 4, 6, 9]);
+        assert_eq!(adj[15], vec![11, 14]);
+        // Ragged 5-cell grid on a 3-wide board: cell 4 has no right/down.
+        let ragged = grid_neighbors(5);
+        assert_eq!(ragged[4], vec![1, 3]);
+        // Adjacency is symmetric.
+        for (i, ns) in adj.iter().enumerate() {
+            for &j in ns {
+                assert!(adj[j].contains(&i), "{i} -> {j} not symmetric");
+            }
+        }
+    }
+
+    #[test]
+    fn builds_a_grid_with_per_ap_populations() {
+        let config = TopologyConfig::new(small_base(System::ApeCache), 4).with_clients_per_ap(2);
+        let top = build_topology(&config);
+        assert_eq!(top.aps.len(), 4);
+        assert_eq!(top.clients.len(), 8);
+        assert_eq!(top.client_home, vec![0, 0, 1, 1, 2, 2, 3, 3]);
+        assert!(top.controller.is_none());
+    }
+
+    #[test]
+    fn sharded_build_mirrors_plain_ids_and_shard_placement() {
+        for system in [System::ApeCache, System::WiCache] {
+            let config = TopologyConfig::new(small_base(system), 4)
+                .with_clients_per_ap(2)
+                .with_roam_rate(1.0);
+            let plain = build_topology(&config);
+            let sharded = build_topology_sharded(&config, 4);
+            assert_eq!(plain.aps, sharded.aps);
+            assert_eq!(plain.clients, sharded.clients);
+            assert_eq!(plain.controller, sharded.controller);
+            for &ap in &sharded.aps {
+                assert_eq!(sharded.world.shard_of(ap), 0, "APs live on the spine");
+            }
+            for &c in &sharded.clients {
+                assert_ne!(sharded.world.shard_of(c), 0, "clients live off-spine");
+            }
+        }
+    }
+
+    #[test]
+    fn single_ap_topology_runs_clean() {
+        let config = TopologyConfig::new(small_base(System::ApeCache), 1).with_clients_per_ap(3);
+        let mut top = build_topology(&config);
+        top.world.run_for(SimDuration::from_mins(3));
+        let mut result = collect_topology(System::ApeCache, &mut top);
+        let s = result.summary();
+        assert!(s.executions > 10, "executions {}", s.executions);
+        assert_eq!(s.failures, 0);
+        assert!(s.hit_ratio > 0.3, "hit ratio {}", s.hit_ratio);
+    }
+
+    #[test]
+    fn roaming_clients_roam_and_the_run_stays_clean() {
+        let config = TopologyConfig::new(small_base(System::ApeCache), 4)
+            .with_clients_per_ap(2)
+            .with_roam_rate(2.0);
+        let mut top = build_topology(&config);
+        top.world.run_for(SimDuration::from_mins(3));
+        let roams = top.world.metrics().counter(names::CLIENT_ROAMS);
+        assert!(roams > 0, "no client ever roamed");
+        let departures = top.world.metrics().counter(names::AP_ROAM_DEPARTURES);
+        assert_eq!(roams, departures, "every roam notifies the departed AP");
+        let mut result = collect_topology(System::ApeCache, &mut top);
+        let s = result.summary();
+        assert!(s.executions > 10, "executions {}", s.executions);
+    }
+
+    #[test]
+    fn cooperative_aps_peer_fetch() {
+        let config = TopologyConfig::new(small_base(System::ApeCache), 4).with_clients_per_ap(2);
+        let mut top = build_topology(&config);
+        top.world.run_for(SimDuration::from_mins(3));
+        let fetches = top.world.metrics().counter(names::AP_PEER_FETCHES);
+        let hits = top.world.metrics().counter(names::AP_PEER_HITS);
+        let misses = top.world.metrics().counter(names::AP_PEER_MISSES);
+        assert!(fetches > 0, "cooperative grid never tried a peer fetch");
+        assert_eq!(fetches, hits + misses, "every peer fetch resolves");
+        assert!(hits > 0, "gossiped summaries never produced a peer hit");
+    }
+
+    #[test]
+    fn isolated_aps_never_peer_fetch() {
+        let config = TopologyConfig::new(small_base(System::ApeCache), 4)
+            .with_clients_per_ap(2)
+            .isolated();
+        let mut top = build_topology(&config);
+        top.world.run_for(SimDuration::from_mins(3));
+        assert_eq!(top.world.metrics().counter(names::AP_PEER_FETCHES), 0);
+    }
+
+    #[test]
+    fn wicache_topology_tracks_multiple_holders() {
+        let config = TopologyConfig::new(small_base(System::WiCache), 4).with_clients_per_ap(2);
+        let mut top = build_topology(&config);
+        let controller = top.controller.expect("WiCache deploys the controller");
+        top.world.run_for(SimDuration::from_mins(3));
+        let node = top.world.node::<WiCacheControllerNode>(controller);
+        assert!(node.placement_count() > 0, "no placements registered");
+        let mut result = collect_topology(System::WiCache, &mut top);
+        assert!(result.summary().executions > 10);
+    }
+}

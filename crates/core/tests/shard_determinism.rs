@@ -13,7 +13,9 @@ use ape_appdag::DummyAppConfig;
 use ape_proto::names;
 use ape_simnet::{Fingerprint, SimDuration, TraceConfig, TraceEvent};
 use ape_workload::ScheduleConfig;
-use apecache::{build_sharded, synthetic_suite, System, TestbedConfig};
+use apecache::{
+    build_sharded, build_topology_sharded, synthetic_suite, System, TestbedConfig, TopologyConfig,
+};
 
 /// Distinct nonzero tie-perturbation keys; `None` first for the FIFO path.
 const PERTURBATIONS: [Option<u64>; 4] = [
@@ -112,6 +114,108 @@ fn thread_count_does_not_change_results() {
     bed.world.run_for(SimDuration::from_secs(90));
     assert_eq!(bed.world.fingerprint(), base.0);
     assert_eq!(bed.world.take_trace_events(), base.3);
+}
+
+/// A roaming, cooperating 16-AP grid for the multi-AP invariance pins:
+/// clients walk between APs mid-run, APs gossip summaries and peer-fetch,
+/// so cross-shard traffic covers every new message kind.
+fn topology_config(system: System, perturbation: Option<u64>) -> TopologyConfig {
+    let mut base = config(system, perturbation);
+    base.schedule.duration = SimDuration::from_mins(2);
+    TopologyConfig::new(base, 16)
+        .with_clients_per_ap(2)
+        .with_roam_rate(1.5)
+}
+
+/// Runs the 16-AP topology at `shards` shards (optionally with a worker
+/// pool) and returns everything the invariance contract covers.
+fn run_topology_at(
+    system: System,
+    perturbation: Option<u64>,
+    shards: u32,
+    threads: usize,
+) -> (Fingerprint, u64, u64, u64, Vec<TraceEvent>) {
+    let mut top = build_topology_sharded(&topology_config(system, perturbation), shards);
+    top.world.enable_shard_oracle();
+    if threads > 1 {
+        top.world.set_threads(threads);
+    }
+    top.world.run_for(SimDuration::from_secs(75));
+    let metrics = top.world.metrics_merged();
+    let fetches = metrics.counter(names::CLIENT_FETCHES);
+    let roams = metrics.counter(names::CLIENT_ROAMS);
+    let net = metrics.counter(names::NET_MESSAGES);
+    (
+        top.world.fingerprint(),
+        fetches,
+        roams,
+        net,
+        top.world.take_trace_events(),
+    )
+}
+
+/// The 16-AP topology — roaming clients, summary gossip, peer fetches —
+/// under shard counts {1, 2, 4, 8} × every perturbation key: fingerprints,
+/// merged counters, and the byte-level merged trace stream all identical.
+#[test]
+fn sixteen_ap_topology_is_invariant_across_shards_and_perturbations() {
+    for &perturbation in &PERTURBATIONS {
+        let (fp1, fetches1, roams1, net1, trace1) =
+            run_topology_at(System::ApeCache, perturbation, 1, 1);
+        assert!(fetches1 > 0, "workload must actually run");
+        assert!(roams1 > 0, "clients must actually roam");
+        assert!(!trace1.is_empty(), "tracing must capture spans");
+        for shards in [2u32, 4, 8] {
+            let (fp, fetches, roams, net, trace) =
+                run_topology_at(System::ApeCache, perturbation, shards, 1);
+            assert_eq!(
+                fp, fp1,
+                "topology fingerprint diverged at {shards} shards (perturbation {perturbation:?})"
+            );
+            assert_eq!(fetches, fetches1);
+            assert_eq!(roams, roams1);
+            assert_eq!(net, net1);
+            assert_eq!(
+                trace, trace1,
+                "merged topology trace diverged at {shards} shards"
+            );
+        }
+    }
+}
+
+/// The Wi-Cache 16-AP topology adds the multi-holder controller and its
+/// cross-shard client links; same contract.
+#[test]
+fn sixteen_ap_wicache_topology_is_invariant_across_shards() {
+    let (fp1, fetches1, roams1, net1, trace1) = run_topology_at(System::WiCache, None, 1, 1);
+    assert!(fetches1 > 0);
+    assert!(roams1 > 0);
+    for shards in [2u32, 4, 8] {
+        let (fp, fetches, roams, net, trace) = run_topology_at(System::WiCache, None, shards, 1);
+        assert_eq!(
+            fp, fp1,
+            "Wi-Cache topology fingerprint diverged at {shards} shards"
+        );
+        assert_eq!(fetches, fetches1);
+        assert_eq!(roams, roams1);
+        assert_eq!(net, net1);
+        assert_eq!(trace, trace1);
+    }
+}
+
+/// Thread count stays a pure execution detail on the multi-AP topology,
+/// for both cache systems.
+#[test]
+fn topology_thread_count_does_not_change_results() {
+    for system in [System::ApeCache, System::WiCache] {
+        let sequential = run_topology_at(system, None, 4, 1);
+        let threaded = run_topology_at(system, None, 4, 4);
+        assert_eq!(
+            threaded.0, sequential.0,
+            "{system:?} topology fingerprint diverged under 4 threads"
+        );
+        assert_eq!(threaded.4, sequential.4, "{system:?} trace diverged");
+    }
 }
 
 /// Oracle sensitivity: overclaiming the lookahead makes cross-shard

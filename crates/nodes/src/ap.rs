@@ -17,6 +17,7 @@
 //! * **no proactive refresh** — the AP only ever contacts the remote server
 //!   when a client triggers a delegation.
 
+use std::collections::btree_map::Entry;
 use std::collections::BTreeMap;
 use std::net::Ipv4Addr;
 
@@ -87,6 +88,14 @@ pub struct ApConfig {
     pub ape_code_overhead: u64,
     /// Per-cached-entry metadata overhead, bytes.
     pub per_entry_overhead: u64,
+    /// Phase offset added to this AP's periodic timers (window, sample,
+    /// reap). A single AP can leave this at `ZERO` (the paper testbed's
+    /// bitwise-pinned schedule); a multi-AP fleet must give every AP a
+    /// distinct sub-microsecond offset, or all their round-grid ticks fire
+    /// on the same nanosecond and tie-break perturbation reorders their
+    /// jitter draws from the shared RNG stream (see `REAP_PHASE`). The
+    /// topology builder derives it from the AP's grid index.
+    pub phase_stagger: SimDuration,
 }
 
 impl Default for ApConfig {
@@ -111,6 +120,7 @@ impl Default for ApConfig {
             mem_baseline: 60_000_000,
             ape_code_overhead: 4_000_000,
             per_entry_overhead: 512,
+            phase_stagger: SimDuration::ZERO,
         }
     }
 }
@@ -199,6 +209,18 @@ pub struct ApNode {
     delegation_reqs: BTreeMap<RequestId, UrlHash>,
     /// Delegations blocked on resolving their domain first.
     awaiting_dns: BTreeMap<DomainName, Vec<UrlHash>>,
+    /// Neighbor APs (grid adjacency) for cooperative caching; empty in
+    /// single-AP testbeds, which keeps the whole peer path inert.
+    neighbors: Vec<NodeId>,
+    /// Latest advertised holder among neighbors for hot keys, learned from
+    /// piggybacked summaries, with the instant it was absorbed. The latest
+    /// summary wins; summaries landing at the *same* instant (window-roll
+    /// gossip is synchronized across the grid) tie-break on the lowest node
+    /// id, so the winner is a function of the schedule, not of the order
+    /// two simultaneous deliveries happened to pop in.
+    neighbor_holders: BTreeMap<UrlHash, (NodeId, SimTime)>,
+    /// In-flight peer fetches: request id → delegation key.
+    peer_reqs: BTreeMap<RequestId, UrlHash>,
     wicache: Option<WiCacheLink>,
     cpu: CpuMeter,
     mem: MemMeter,
@@ -246,6 +268,9 @@ impl ApNode {
             delegations: BTreeMap::new(),
             delegation_reqs: BTreeMap::new(),
             awaiting_dns: BTreeMap::new(),
+            neighbors: Vec::new(),
+            neighbor_holders: BTreeMap::new(),
+            peer_reqs: BTreeMap::new(),
             wicache: None,
             cpu: CpuMeter::new(cores),
             mem: MemMeter::with_baseline(baseline),
@@ -259,6 +284,14 @@ impl ApNode {
     /// Enables Wi-Cache advertisements to a controller.
     pub fn with_wicache(mut self, link: WiCacheLink) -> Self {
         self.wicache = Some(link);
+        self
+    }
+
+    /// Enables AP↔AP cooperation with the given neighbor APs: cache
+    /// summaries are exchanged on every window roll, and delegated fetches
+    /// try the nearest advertised holder before dialling the edge.
+    pub fn with_neighbors(mut self, neighbors: Vec<NodeId>) -> Self {
+        self.neighbors = neighbors;
         self
     }
 
@@ -341,12 +374,13 @@ impl ApNode {
 
     /// Sizes of every pending-state map, labelled — the chaos tests assert
     /// all of these drain to zero once in-flight traffic settles.
-    pub fn pending_counts(&self) -> [(&'static str, usize); 4] {
+    pub fn pending_counts(&self) -> [(&'static str, usize); 5] {
         [
             ("ap.pending_forwards", self.pending_forwards.len()),
             ("ap.delegations", self.delegations.len()),
             ("ap.delegation_reqs", self.delegation_reqs.len()),
             ("ap.awaiting_dns", self.awaiting_dns.len()),
+            ("ap.peer_reqs", self.peer_reqs.len()),
         ]
     }
 
@@ -672,6 +706,22 @@ impl ApNode {
         // Everything sent on behalf of this delegation — the inline DNS
         // resolution and the upstream request — belongs to its WAN span.
         ctx.set_span_ctx(delegation.span);
+        // Cooperative step: when a neighbor AP advertised this key, ask it
+        // first — one hop over the backhaul instead of the edge round trip.
+        // Reap-retried fetches skip the peer path (it already failed or
+        // timed out) and go straight upstream; a peer miss clears the stale
+        // holder entry and re-enters here on the normal path.
+        if !delegation.retried {
+            if let Some(&(holder, _)) = self.neighbor_holders.get(&key) {
+                let peer_req = RequestId(self.next_req);
+                self.next_req += 1;
+                delegation.upstream_req = Some(peer_req);
+                self.peer_reqs.insert(peer_req, key);
+                ctx.metrics().incr_id(names::id::AP_PEER_FETCHES, 1);
+                ctx.send(holder, Msg::PeerFetch { req: peer_req, key });
+                return;
+            }
+        }
         let domain = delegation.url.host().clone();
         let now = ctx.now();
         let target_ip = match self.dns_cache.get(&domain) {
@@ -861,6 +911,158 @@ impl ApNode {
         }
     }
 
+    // ------------------------------------------------------------------
+    // AP↔AP cooperation & roaming
+    // ------------------------------------------------------------------
+
+    /// How many cached keys a summary carries (peer-fetch piggybacks, the
+    /// window-roll gossip, and the roam hand-off all use the same bound).
+    const SUMMARY_KEYS: usize = 32;
+
+    /// A deterministic hot-object summary of the local cache: the first
+    /// [`Self::SUMMARY_KEYS`] keys in store order.
+    fn cache_summary(&self) -> Vec<UrlHash> {
+        self.cache
+            .store()
+            .iter()
+            .map(|e| e.meta.key)
+            .take(Self::SUMMARY_KEYS)
+            .collect()
+    }
+
+    /// Records a neighbor's advertised hot keys; the latest summary wins,
+    /// and two summaries absorbed at the same instant tie-break on the
+    /// lowest node id (see [`Self::neighbor_holders`]). Summaries from APs
+    /// we don't cooperate with — e.g. a roam handoff arriving at an
+    /// isolated grid — are dropped: peer fetching is an opt-in, and
+    /// honouring a stray summary would silently re-enable it.
+    fn absorb_summary(&mut self, now: SimTime, from: NodeId, keys: Vec<UrlHash>) {
+        if !self.neighbors.contains(&from) {
+            return;
+        }
+        for key in keys {
+            match self.neighbor_holders.entry(key) {
+                Entry::Vacant(slot) => {
+                    slot.insert((from, now));
+                }
+                Entry::Occupied(mut slot) => {
+                    let (holder, at) = *slot.get();
+                    if now > at || (now == at && from < holder) {
+                        slot.insert((from, now));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Serves a neighbor's peer fetch from the local cache (`None` on a
+    /// miss) and piggybacks a hot-object summary on the reply either way.
+    fn handle_peer_fetch(
+        &mut self,
+        ctx: &mut Context<'_, Msg>,
+        from: NodeId,
+        req: RequestId,
+        key: UrlHash,
+    ) {
+        let now = ctx.now();
+        let latency = self.work(now, self.config.http_processing);
+        let response = match self.cache.lookup(key, now) {
+            Lookup::Hit => {
+                let size = self
+                    .cache
+                    .store()
+                    .get(key)
+                    .map(|e| e.meta.size)
+                    .expect("hit entry exists");
+                Some(Box::new(HttpResponse::ok(Body::synthetic(size))))
+            }
+            Lookup::Blocked | Lookup::Expired | Lookup::Absent => None,
+        };
+        let summary = self.cache_summary();
+        ctx.send_after(
+            latency,
+            from,
+            Msg::PeerRsp {
+                req,
+                response,
+                summary,
+            },
+        );
+    }
+
+    /// Completes (or falls back from) a peer fetch. A hit flows through the
+    /// normal upstream-response path — fetch-latency accounting, admission,
+    /// Wi-Cache advertisement, waiter serving — so a peer-fetched object is
+    /// indistinguishable from an edge-fetched one downstream.
+    fn handle_peer_rsp(
+        &mut self,
+        ctx: &mut Context<'_, Msg>,
+        from: NodeId,
+        req: RequestId,
+        response: Option<Box<HttpResponse>>,
+        summary: Vec<UrlHash>,
+    ) {
+        self.absorb_summary(ctx.now(), from, summary);
+        let Some(key) = self.peer_reqs.remove(&req) else {
+            return; // disowned by the reaper; the summary still counted
+        };
+        match response {
+            Some(rsp) => {
+                ctx.metrics().incr_id(names::id::AP_PEER_HITS, 1);
+                self.delegation_reqs.insert(req, key);
+                self.handle_upstream_response(ctx, req, *rsp);
+            }
+            None => {
+                ctx.metrics().incr_id(names::id::AP_PEER_MISSES, 1);
+                if self.neighbor_holders.get(&key).map(|&(h, _)| h) == Some(from) {
+                    self.neighbor_holders.remove(&key);
+                }
+                if let Some(d) = self.delegations.get_mut(&key) {
+                    d.upstream_req = None;
+                    self.start_upstream_fetch(ctx, key);
+                }
+            }
+        }
+    }
+
+    /// A homed client re-homed to `new_ap`: cancel its pending DNS relays,
+    /// drop it from delegation waiter lists (the fetches themselves finish
+    /// and are admitted for whoever stayed), and hand the new home a
+    /// hot-object summary so the roamer's working set stays one peer fetch
+    /// away.
+    fn handle_roam_notice(&mut self, ctx: &mut Context<'_, Msg>, from: NodeId, new_ap: NodeId) {
+        ctx.metrics().incr_id(names::id::AP_ROAM_DEPARTURES, 1);
+        let stale: Vec<u16> = self
+            .pending_forwards
+            .iter()
+            .filter(|(_, p)| !p.internal && p.client == from)
+            .map(|(txn, _)| *txn)
+            .collect();
+        for txn in stale {
+            let pending = self.pending_forwards.remove(&txn).expect("collected above");
+            if let Some(span) = pending.span {
+                ctx.span_end(span, SpanKind::DnsUpstream.as_str());
+            }
+            ctx.metrics()
+                .incr_id(names::id::AP_ROAM_CANCELLED_FORWARDS, 1);
+        }
+        for d in self.delegations.values_mut() {
+            let before = d.waiters.len();
+            d.waiters.retain(|w| w.node != from);
+            let cancelled = (before - d.waiters.len()) as u64;
+            if cancelled > 0 {
+                ctx.metrics()
+                    .incr_id(names::id::AP_ROAM_CANCELLED_WAITERS, cancelled);
+            }
+        }
+        if new_ap != ctx.self_id() {
+            let keys = self.cache_summary();
+            if !keys.is_empty() {
+                ctx.send(new_ap, Msg::CacheSummary { keys });
+            }
+        }
+    }
+
     /// Publishes the eviction-engine counters advanced by the last
     /// admission (PACM only; LRU keeps no stats) as metric deltas.
     fn record_evict_stats(&mut self, ctx: &mut Context<'_, Msg>, before: Option<EvictStats>) {
@@ -1034,6 +1236,7 @@ impl ApNode {
                 // arrives it must not complete the restarted fetch too.
                 if let Some(up) = d.upstream_req.take() {
                     self.delegation_reqs.remove(&up);
+                    self.peer_reqs.remove(&up);
                 }
                 ctx.metrics().incr_id(names::id::AP_DELEGATION_RETRIES, 1);
                 self.start_upstream_fetch(ctx, key);
@@ -1043,6 +1246,7 @@ impl ApNode {
             ctx.set_span_ctx(None);
             if let Some(up) = delegation.upstream_req {
                 self.delegation_reqs.remove(&up);
+                self.peer_reqs.remove(&up);
             }
             ctx.metrics().incr_id(names::id::AP_DELEGATION_REAPS, 1);
             if let Some(span) = delegation.span {
@@ -1086,6 +1290,17 @@ impl ApNode {
         ctx.metrics()
             .incr_id(names::id::AP_TTL_PURGES, purged.len() as u64);
         self.advertise(ctx, Vec::new(), purged);
+        // Cooperative gossip rides the same roll: each neighbor learns this
+        // AP's current hot set once per window.
+        if !self.neighbors.is_empty() {
+            let keys = self.cache_summary();
+            if !keys.is_empty() {
+                for i in 0..self.neighbors.len() {
+                    let neighbor = self.neighbors[i];
+                    ctx.send(neighbor, Msg::CacheSummary { keys: keys.clone() });
+                }
+            }
+        }
     }
 
     fn sample_resources(&mut self, ctx: &mut Context<'_, Msg>) {
@@ -1106,12 +1321,16 @@ impl ApNode {
 
 impl Node<Msg> for ApNode {
     fn on_start(&mut self, ctx: &mut Context<'_, Msg>) {
-        self.next_window_roll = ctx.now() + self.config.window;
-        ctx.schedule(self.config.window, TICK_WINDOW);
+        // The stagger shifts every periodic tick off the shared grids once,
+        // at start; each tick reschedules itself relatively, so the phase
+        // persists for the whole run.
+        let stagger = self.config.phase_stagger;
+        self.next_window_roll = ctx.now() + self.config.window + stagger;
+        ctx.schedule(self.config.window + stagger, TICK_WINDOW);
         if let Some(interval) = self.config.sample_interval {
-            ctx.schedule(interval, TICK_SAMPLE);
+            ctx.schedule(interval + stagger, TICK_SAMPLE);
         }
-        ctx.schedule(self.config.reap_interval + REAP_PHASE, TICK_REAP);
+        ctx.schedule(self.config.reap_interval + REAP_PHASE + stagger, TICK_REAP);
     }
 
     fn on_message(&mut self, ctx: &mut Context<'_, Msg>, from: NodeId, msg: Msg) {
@@ -1131,6 +1350,14 @@ impl Node<Msg> for ApNode {
             } => self.handle_http_request(ctx, from, conn, req, *request, cache_op),
             Msg::HttpRsp { req, response, .. } => self.handle_upstream_response(ctx, req, response),
             Msg::PrefetchHints { hints } => self.handle_prefetch_hints(ctx, hints),
+            Msg::PeerFetch { req, key } => self.handle_peer_fetch(ctx, from, req, key),
+            Msg::PeerRsp {
+                req,
+                response,
+                summary,
+            } => self.handle_peer_rsp(ctx, from, req, response, summary),
+            Msg::CacheSummary { keys } => self.absorb_summary(ctx.now(), from, keys),
+            Msg::RoamNotice { new_ap } => self.handle_roam_notice(ctx, from, new_ap),
             Msg::WiCacheLookup { .. }
             | Msg::WiCacheResult { .. }
             | Msg::WiCacheAdvertise { .. } => {}
@@ -1688,6 +1915,71 @@ mod tests {
         for (map, n) in bed.world.node::<ApNode>(bed.ap).pending_counts() {
             assert_eq!(n, 0, "{map} leaked {n} entries");
         }
+    }
+
+    /// The roam-departure bugfix, pinned deterministically: a client with a
+    /// DNS forward and a delegation both in flight roams away; the AP must
+    /// cancel the forward, drop the client from the waiter list, count both
+    /// distinctly from timeout reaps, and still finish + admit the fetch.
+    #[test]
+    fn roam_notice_cancels_pending_state_mid_flight() {
+        let mut bed = bed(ApConfig::default());
+        bed.world
+            .post(bed.probe, bed.ap, Msg::TcpSyn { conn: ConnId(1) });
+        settle(&mut bed.world);
+        // A delegated fetch (probe becomes a waiter; resolving the domain
+        // parks an *internal* forward that must survive the roam) plus a
+        // plain client DNS query (a cancellable *client* forward).
+        bed.world.post(
+            bed.probe,
+            bed.ap,
+            Msg::HttpReq {
+                conn: ConnId(1),
+                req: RequestId(9),
+                request: Box::new(HttpRequest::get(url())),
+                cache_op: Some(delegation_op()),
+            },
+        );
+        bed.world.post(
+            bed.probe,
+            bed.ap,
+            Msg::dns(DnsMessage::query(
+                5,
+                DomainName::parse("other.dummy.example").unwrap(),
+            )),
+        );
+        // Both upstream round trips take ≥ 28 ms; the notice lands ~1.5 ms
+        // after this pause, squarely mid-flight.
+        bed.world.run_for(SimDuration::from_millis(5));
+        bed.world
+            .post(bed.probe, bed.ap, Msg::RoamNotice { new_ap: bed.ap });
+        bed.world.run_for(SimDuration::from_secs(8));
+
+        let m = bed.world.metrics();
+        assert_eq!(m.counter(names::AP_ROAM_DEPARTURES), 1);
+        assert_eq!(
+            m.counter(names::AP_ROAM_CANCELLED_FORWARDS),
+            1,
+            "the client's DNS forward is cancelled (the internal one is not)"
+        );
+        assert_eq!(
+            m.counter(names::AP_ROAM_CANCELLED_WAITERS),
+            1,
+            "the departed waiter leaves the delegation list"
+        );
+        assert_eq!(
+            m.counter(names::AP_DNS_UPSTREAM_GIVE_UPS),
+            0,
+            "cancellation is distinct from the reaper's timeout path"
+        );
+        let probe = bed.world.node::<Probe>(bed.probe);
+        assert!(
+            probe.http_responses.is_empty() && probe.dns_responses.is_empty(),
+            "cancelled state produces no replies to the departed client"
+        );
+        // The delegation itself finished and was admitted for whoever stayed.
+        assert_eq!(bed.world.node::<ApNode>(bed.ap).cached_objects(), 1);
+        assert_drained(&bed);
     }
 
     #[test]

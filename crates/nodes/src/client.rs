@@ -236,6 +236,16 @@ impl ClientReport {
     }
 }
 
+/// One stop on a client's roam schedule: at `at`, the client re-homes to
+/// `ap` (its new DNS server and delegation target), notifying the old AP.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RoamStop {
+    /// When the roam fires.
+    pub at: SimTime,
+    /// The AP the client associates with from then on.
+    pub ap: NodeId,
+}
+
 /// The client node.
 #[derive(Debug)]
 pub struct ClientNode {
@@ -245,6 +255,9 @@ pub struct ClientNode {
     children: Vec<Vec<Vec<ObjIdx>>>,
     registry: BTreeMap<String, CacheableSpec>,
     schedule: Vec<Execution>,
+    /// Roam stops, installed at build time (empty for non-roaming clients,
+    /// which then schedule no roam timers at all).
+    roam_schedule: Vec<RoamStop>,
     /// App id → index into `apps`.
     app_index: BTreeMap<u32, usize>,
     dns_cache: BTreeMap<DomainName, (Ipv4Addr, SimTime)>,
@@ -265,9 +278,11 @@ pub struct ClientNode {
 /// Timer-token namespaces. Tokens below `1 << 32` are schedule indices;
 /// bit 32 marks DNS retransmit timers (txn id in the low 16 bits); bit 33
 /// marks HTTP/retrieval timers (request id in the low 32 bits, attempt
-/// number in bits 40+).
+/// number in bits 40+); bit 34 marks roam timers (roam-schedule index in
+/// the low 32 bits).
 const TOKEN_DNS_BASE: u64 = 1 << 32;
 const TOKEN_HTTP_BASE: u64 = 1 << 33;
+const TOKEN_ROAM_BASE: u64 = 1 << 34;
 const HTTP_ATTEMPT_SHIFT: u32 = 40;
 
 /// Phase-staggers a watchdog delay so timers armed by the same handler
@@ -323,6 +338,7 @@ impl ClientNode {
             registry,
             schedule,
             app_index,
+            roam_schedule: Vec::new(),
             dns_cache: BTreeMap::new(),
             flags: BTreeMap::new(),
             pending_dns: BTreeMap::new(),
@@ -336,6 +352,13 @@ impl ClientNode {
             next_conn: 1,
             next_exec: 1,
         }
+    }
+
+    /// Installs a roam schedule (multi-AP topologies; each stop re-homes
+    /// the client to a neighbor AP at the given instant).
+    pub fn with_roam_schedule(mut self, roam_schedule: Vec<RoamStop>) -> Self {
+        self.roam_schedule = roam_schedule;
+        self
     }
 
     /// The outcome counters.
@@ -1044,16 +1067,41 @@ impl ClientNode {
         if !matches!(fetch.phase, Phase::AwaitingController) {
             return;
         }
-        // Holder known → the object sits on our AP (single-AP testbed):
-        // fetch it. Unknown → delegate through the AP so the Wi-Cache
-        // fleet's cache fills, mirroring the paper's adaptation of
-        // Wi-Cache to small cacheable objects.
-        let flag = if holder.is_some() {
-            CacheFlag::Hit
-        } else {
-            CacheFlag::Delegation
+        // Holder is our own AP → fetch from it directly. Holder elsewhere
+        // (multi-AP fleet) or unknown → delegate through the home AP — it
+        // peer-fetches from the holder or fills from the edge, so the
+        // Wi-Cache fleet's cache fills either way, mirroring the paper's
+        // adaptation of Wi-Cache to small cacheable objects.
+        let flag = match holder {
+            Some(ip) if self.config.ip_map.node_of(ip) == Some(self.config.ap) => CacheFlag::Hit,
+            Some(_) | None => CacheFlag::Delegation,
         };
         self.act_on_flag(ctx, req, flag, None);
+    }
+
+    /// Executes roam stop `idx`: notify the old AP (it cancels this
+    /// client's pending relays and hands a cache summary to the new home),
+    /// then re-home DNS and delegation traffic. Cached cache-flags describe
+    /// the old AP's cache and are dropped; resolved DNS records are
+    /// AP-independent and survive. In-flight fetches settle through their
+    /// normal watchdogs — a cancelled waiter simply times out and retries
+    /// against the new home.
+    fn execute_roam(&mut self, ctx: &mut Context<'_, Msg>, idx: usize) {
+        let Some(&stop) = self.roam_schedule.get(idx) else {
+            return;
+        };
+        let old_ap = self.config.ap;
+        if stop.ap == old_ap {
+            return;
+        }
+        ctx.metrics().incr_id(names::id::CLIENT_ROAMS, 1);
+        ctx.set_span_ctx(None);
+        ctx.send(old_ap, Msg::RoamNotice { new_ap: stop.ap });
+        if self.config.dns_server == old_ap {
+            self.config.dns_server = stop.ap;
+        }
+        self.config.ap = stop.ap;
+        self.flags.clear();
     }
 }
 
@@ -1062,6 +1110,10 @@ impl Node<Msg> for ClientNode {
         for (i, exec) in self.schedule.iter().enumerate() {
             let delay = exec.at - SimTime::ZERO;
             ctx.schedule(delay, TimerToken::new(i as u64));
+        }
+        for (i, stop) in self.roam_schedule.iter().enumerate() {
+            let delay = stop.at - SimTime::ZERO;
+            ctx.schedule(delay, TimerToken::new(TOKEN_ROAM_BASE | i as u64));
         }
     }
 
@@ -1118,6 +1170,10 @@ impl Node<Msg> for ClientNode {
                 RequestId(raw & 0xFFFF_FFFF),
                 ((raw >> HTTP_ATTEMPT_SHIFT) & 0xFF) as u32,
             );
+            return;
+        }
+        if raw & TOKEN_ROAM_BASE != 0 {
+            self.execute_roam(ctx, (raw & 0xFFFF_FFFF) as usize);
             return;
         }
         if raw & TOKEN_DNS_BASE != 0 {

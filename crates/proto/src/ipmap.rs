@@ -35,6 +35,11 @@ impl IpMap {
     /// (paper §IV-B3); it is never assigned to a node.
     pub const DUMMY: Ipv4Addr = Ipv4Addr::new(0, 0, 0, 0);
 
+    /// Maximum number of distinct addresses the allocator can hand out
+    /// (hosts `10.0.0.1` … `10.255.255.255`). Past this, `assign` would
+    /// wrap octets back onto live addresses; debug builds assert instead.
+    pub const CAPACITY: usize = (1 << 24) - 1;
+
     /// Creates an empty map.
     pub fn new() -> Self {
         IpMap::default()
@@ -48,8 +53,17 @@ impl IpMap {
         }
         self.next_host += 1;
         let h = self.next_host;
+        debug_assert!(
+            h < (1 << 24),
+            "IpMap exhausted: 10.0.0.0/8 host space wraps past {} assignments",
+            (1 << 24) - 1
+        );
         let ip = Ipv4Addr::new(10, (h >> 16) as u8, (h >> 8) as u8, h as u8);
-        self.ip_to_node.insert(ip, node);
+        let stale = self.ip_to_node.insert(ip, node);
+        debug_assert!(
+            stale.is_none(),
+            "IpMap wrapped onto live address {ip} (held by {stale:?})"
+        );
         self.node_to_ip.insert(node, ip);
         ip
     }
@@ -120,6 +134,34 @@ mod tests {
         assert!(m.is_empty());
         assert_eq!(m.ip_of(NodeId::from_raw(9)), None);
         assert_eq!(m.node_of(Ipv4Addr::new(10, 0, 0, 1)), None);
+    }
+
+    /// Capacity contract: the allocator hands out hosts `10.0.0.1` through
+    /// `10.255.255.255` — 2^24 − 1 distinct addresses — and (in debug
+    /// builds) asserts instead of wrapping back onto live addresses. City
+    /// topologies of thousands of APs are nowhere near the bound; this test
+    /// documents where it is.
+    #[test]
+    fn capacity_is_two_to_the_24_minus_one() {
+        assert_eq!(IpMap::CAPACITY, (1 << 24) - 1);
+        // Spot-check the edges of the encoding without allocating 16M
+        // entries: the first and a deep host land where the /8 math says.
+        let mut m = IpMap::new();
+        assert_eq!(m.assign(NodeId::from_raw(0)), Ipv4Addr::new(10, 0, 0, 1));
+        m.next_host = IpMap::CAPACITY as u32 - 1;
+        assert_eq!(
+            m.assign(NodeId::from_raw(1)),
+            Ipv4Addr::new(10, 255, 255, 255)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "IpMap exhausted")]
+    #[cfg(debug_assertions)]
+    fn exhaustion_panics_instead_of_wrapping() {
+        let mut m = IpMap::new();
+        m.next_host = IpMap::CAPACITY as u32;
+        m.assign(NodeId::from_raw(2));
     }
 
     #[test]

@@ -3,7 +3,7 @@
 use ape_cachealg::{AppId, Priority};
 use ape_dnswire::{DnsMessage, UrlHash};
 use ape_httpsim::{HttpRequest, HttpResponse};
-use ape_simnet::{Message, SimDuration};
+use ape_simnet::{Message, NodeId, SimDuration};
 use std::net::Ipv4Addr;
 
 /// Identifies a TCP connection; unique per initiating node.
@@ -112,6 +112,39 @@ pub enum Msg {
         /// Upcoming objects, at most a handful per request.
         hints: Vec<PrefetchHint>,
     },
+    /// Cooperation: an AP asks a neighbor AP for an object it believes the
+    /// neighbor holds, before falling back to the edge/origin path.
+    PeerFetch {
+        /// Correlation id (the requester's delegation request id).
+        req: RequestId,
+        /// Hash of the wanted URL.
+        key: UrlHash,
+    },
+    /// Cooperation: a neighbor AP's answer to a [`Msg::PeerFetch`]. A hit
+    /// carries the cached response; either way the responder piggybacks a
+    /// summary of its hottest cached keys on the delegation-protocol reply.
+    PeerRsp {
+        /// Correlation id of the peer fetch being answered.
+        req: RequestId,
+        /// The cached object on a hit, `None` on a miss.
+        response: Option<Box<HttpResponse>>,
+        /// Hot-object summary of the responder's cache.
+        summary: Vec<UrlHash>,
+    },
+    /// Cooperation: an AP shares a summary of its hottest cached keys with
+    /// a neighbor (periodic gossip, and the roam hand-off from a departing
+    /// client's old AP to its new one).
+    CacheSummary {
+        /// Hot cached keys on the sending AP.
+        keys: Vec<UrlHash>,
+    },
+    /// Roaming: a client informs its old AP that it has re-homed to a
+    /// neighbor AP, so the old AP can cancel per-client pending state and
+    /// hand hot-object summaries to the new AP.
+    RoamNotice {
+        /// The AP the client now associates with.
+        new_ap: NodeId,
+    },
 }
 
 impl Msg {
@@ -162,6 +195,12 @@ impl Message for Msg {
                     .map(|h| h.url.to_string().len() + 24)
                     .sum::<usize>()
             }
+            Msg::PeerFetch { .. } => 28 + 16,
+            Msg::PeerRsp {
+                response, summary, ..
+            } => 40 + response.as_deref().map_or(0, |r| r.wire_size()) + 8 * summary.len(),
+            Msg::CacheSummary { keys } => 28 + 8 * keys.len(),
+            Msg::RoamNotice { .. } => 28 + 8,
         }
     }
 }
@@ -225,6 +264,50 @@ mod tests {
             removed: vec![UrlHash(2); 5],
         };
         assert!(large.wire_size() > small.wire_size());
+    }
+
+    #[test]
+    fn peer_fetch_matches_controller_lookup_size() {
+        let fetch = Msg::PeerFetch {
+            req: RequestId(1),
+            key: UrlHash(2),
+        };
+        let lookup = Msg::WiCacheLookup {
+            req: RequestId(1),
+            url_hash: UrlHash(2),
+        };
+        assert_eq!(fetch.wire_size(), lookup.wire_size());
+    }
+
+    #[test]
+    fn peer_rsp_pays_for_body_and_summary() {
+        let miss = Msg::PeerRsp {
+            req: RequestId(1),
+            response: None,
+            summary: vec![UrlHash(9); 4],
+        };
+        assert_eq!(miss.wire_size(), 40 + 8 * 4);
+        let hit = Msg::PeerRsp {
+            req: RequestId(1),
+            response: Some(Box::new(HttpResponse::ok(Body::synthetic(10_000)))),
+            summary: vec![UrlHash(9); 4],
+        };
+        assert!(hit.wire_size() > 10_000 + miss.wire_size());
+    }
+
+    #[test]
+    fn cache_summary_scales_with_keys() {
+        let keys = |n: usize| Msg::CacheSummary {
+            keys: vec![UrlHash(3); n],
+        };
+        assert_eq!(keys(8).wire_size() - keys(0).wire_size(), 64);
+        assert_eq!(
+            Msg::RoamNotice {
+                new_ap: NodeId::from_raw(1)
+            }
+            .wire_size(),
+            36
+        );
     }
 
     #[test]

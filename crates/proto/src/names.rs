@@ -126,6 +126,25 @@ pub fn client_app_latency_ms(app: &str) -> String {
 /// Edge cache misses filled from the origin.
 pub const EDGE_ORIGIN_FETCHES: &str = "edge.origin_fetches";
 
+// --- Multi-AP cooperation & roaming -------------------------------------
+
+/// Advertisements the Wi-Cache controller dropped (unregistered AP).
+pub const WICACHE_ADVERT_DROPPED: &str = "wicache.advert_dropped";
+/// Peer fetches the AP sent to neighbor APs before going upstream.
+pub const AP_PEER_FETCHES: &str = "ap.peer_fetches";
+/// Peer fetches answered from a neighbor AP's cache.
+pub const AP_PEER_HITS: &str = "ap.peer_hits";
+/// Peer fetches the neighbor missed (fell back to the edge/origin path).
+pub const AP_PEER_MISSES: &str = "ap.peer_misses";
+/// Roam notices received (a homed client re-homed to a neighbor AP).
+pub const AP_ROAM_DEPARTURES: &str = "ap.roam_departures";
+/// Pending DNS forwards cancelled because their client roamed away.
+pub const AP_ROAM_CANCELLED_FORWARDS: &str = "ap.roam_cancelled_forwards";
+/// Delegation waiters cancelled because their client roamed away.
+pub const AP_ROAM_CANCELLED_WAITERS: &str = "ap.roam_cancelled_waiters";
+/// Roams a client executed (re-homed to a neighbor AP).
+pub const CLIENT_ROAMS: &str = "client.roams";
+
 // --- Machine-readable registry -------------------------------------------
 
 /// Every static metric-name constant in this module as `(ident, value)`
@@ -196,6 +215,14 @@ pub const REGISTRY: &[(&str, &str)] = &[
     ("CLIENT_OBJECT_TOTAL_MS", CLIENT_OBJECT_TOTAL_MS),
     ("CLIENT_APP_LATENCY_MS", CLIENT_APP_LATENCY_MS),
     ("EDGE_ORIGIN_FETCHES", EDGE_ORIGIN_FETCHES),
+    ("WICACHE_ADVERT_DROPPED", WICACHE_ADVERT_DROPPED),
+    ("AP_PEER_FETCHES", AP_PEER_FETCHES),
+    ("AP_PEER_HITS", AP_PEER_HITS),
+    ("AP_PEER_MISSES", AP_PEER_MISSES),
+    ("AP_ROAM_DEPARTURES", AP_ROAM_DEPARTURES),
+    ("AP_ROAM_CANCELLED_FORWARDS", AP_ROAM_CANCELLED_FORWARDS),
+    ("AP_ROAM_CANCELLED_WAITERS", AP_ROAM_CANCELLED_WAITERS),
+    ("CLIENT_ROAMS", CLIENT_ROAMS),
 ];
 
 /// Prefixes of dynamically-built metric names as `(ident, prefix)` pairs.
@@ -341,10 +368,29 @@ pub mod id {
         MetricId::new(BASE + 49, super::CLIENT_APP_LATENCY_MS);
     /// Interned [`super::EDGE_ORIGIN_FETCHES`].
     pub const EDGE_ORIGIN_FETCHES: MetricId = MetricId::new(BASE + 50, super::EDGE_ORIGIN_FETCHES);
+    /// Interned [`super::WICACHE_ADVERT_DROPPED`].
+    pub const WICACHE_ADVERT_DROPPED: MetricId =
+        MetricId::new(BASE + 51, super::WICACHE_ADVERT_DROPPED);
+    /// Interned [`super::AP_PEER_FETCHES`].
+    pub const AP_PEER_FETCHES: MetricId = MetricId::new(BASE + 52, super::AP_PEER_FETCHES);
+    /// Interned [`super::AP_PEER_HITS`].
+    pub const AP_PEER_HITS: MetricId = MetricId::new(BASE + 53, super::AP_PEER_HITS);
+    /// Interned [`super::AP_PEER_MISSES`].
+    pub const AP_PEER_MISSES: MetricId = MetricId::new(BASE + 54, super::AP_PEER_MISSES);
+    /// Interned [`super::AP_ROAM_DEPARTURES`].
+    pub const AP_ROAM_DEPARTURES: MetricId = MetricId::new(BASE + 55, super::AP_ROAM_DEPARTURES);
+    /// Interned [`super::AP_ROAM_CANCELLED_FORWARDS`].
+    pub const AP_ROAM_CANCELLED_FORWARDS: MetricId =
+        MetricId::new(BASE + 56, super::AP_ROAM_CANCELLED_FORWARDS);
+    /// Interned [`super::AP_ROAM_CANCELLED_WAITERS`].
+    pub const AP_ROAM_CANCELLED_WAITERS: MetricId =
+        MetricId::new(BASE + 57, super::AP_ROAM_CANCELLED_WAITERS);
+    /// Interned [`super::CLIENT_ROAMS`].
+    pub const CLIENT_ROAMS: MetricId = MetricId::new(BASE + 58, super::CLIENT_ROAMS);
 
     /// Every interned id, `net.*` keys included, indexed by
     /// [`MetricId::index`] — the registry the uniqueness test walks.
-    pub const ALL: [MetricId; BASE as usize + 51] = [
+    pub const ALL: [MetricId; BASE as usize + 59] = [
         NET_MESSAGES,
         NET_BYTES,
         NET_DROPPED,
@@ -400,6 +446,14 @@ pub mod id {
         CLIENT_OBJECT_TOTAL_MS,
         CLIENT_APP_LATENCY_MS,
         EDGE_ORIGIN_FETCHES,
+        WICACHE_ADVERT_DROPPED,
+        AP_PEER_FETCHES,
+        AP_PEER_HITS,
+        AP_PEER_MISSES,
+        AP_ROAM_DEPARTURES,
+        AP_ROAM_CANCELLED_FORWARDS,
+        AP_ROAM_CANCELLED_WAITERS,
+        CLIENT_ROAMS,
     ];
 }
 

@@ -40,10 +40,10 @@ pub(crate) struct ScheduledEvent<M> {
     pub at: SimTime,
     /// Tie-breaker for simultaneous events. Without perturbation this is the
     /// scheduling sequence number (FIFO among ties) or, in sharded worlds,
-    /// the canonical `(source node, per-node counter)` key; under a
-    /// perturbation key it is a bijective scramble of that number, so ties
-    /// pop in a seeded permutation while distinct-timestamp ordering is
-    /// untouched.
+    /// the intrinsic identity key (a hash of the event's place in the
+    /// schedule); under a perturbation key it is a bijective scramble of
+    /// that number, so ties pop in a seeded permutation while
+    /// distinct-timestamp ordering is untouched.
     ///
     /// The dispatch loop orders on it implicitly (inside the wheel); the
     /// sharded executor also reads it to stamp trace events with the global
@@ -122,10 +122,11 @@ impl<M> EventQueue<M> {
 
     /// Pushes an event under an explicit tie-break key instead of the
     /// queue-local FIFO counter. The sharded executor uses this with
-    /// canonical `(source node, per-node counter)` keys so same-timestamp
-    /// ordering is a property of the schedule itself, identical at any
-    /// shard count. Keys must be unique per queue lifetime; `mix64` being
-    /// a bijection, perturbation preserves that uniqueness.
+    /// intrinsic identity keys (see [`crate::ShardedWorld`]) so
+    /// same-timestamp ordering is a property of the schedule itself,
+    /// identical at any shard count. Keys must be unique per queue
+    /// lifetime; `mix64` being a bijection, perturbation preserves that
+    /// uniqueness.
     pub fn push_keyed(&mut self, at: SimTime, key: u64, kind: EventKind<M>) {
         let seq = match self.perturbation {
             Some(pert) => mix64(key ^ pert),

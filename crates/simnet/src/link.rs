@@ -9,7 +9,7 @@ use std::collections::HashMap;
 
 use crate::node::NodeId;
 use crate::rng::SimRng;
-use crate::time::SimDuration;
+use crate::time::{SimDuration, SimTime};
 
 /// Characteristics of a (directed-pair symmetric) network path.
 ///
@@ -163,12 +163,96 @@ impl Topology {
     }
 }
 
+/// Serializes arrivals on each directed link.
+///
+/// A link is a serial resource: two messages sent `src → dst` can never
+/// *arrive* in the same nanosecond. Continuous (exponential) jitter makes
+/// exact nanosecond collisions rare, but each one is a same-timestamp tie
+/// at the receiver, and same-node ties couple the receiver's RNG stream to
+/// dispatch order (see the `determinism` module docs) — exactly the class
+/// of divergence the schedule-perturbation detector flags. Same-pair
+/// collisions dominate in practice because a node's batched sends (one
+/// callback fanning several messages down one link) share send instant,
+/// size-quantized transfer time and jitter distribution. Reserving arrival
+/// slots per directed pair and bumping an exact collision to the next free
+/// nanosecond removes that tie source at the wire, while leaving every
+/// collision-free run bit-identical to the unserialized schedule.
+#[derive(Debug, Default)]
+pub(crate) struct LinkSerializer {
+    /// Pending arrival times per directed pair. Entries at or before the
+    /// sender's clock have been delivered and are pruned on reservation;
+    /// links have positive delay, so a new arrival never lands in the past.
+    inflight: HashMap<(NodeId, NodeId), Vec<SimTime>>,
+}
+
+impl LinkSerializer {
+    /// Reserves the arrival slot for a message on `src → dst` computed to
+    /// land at `at`, bumping past any in-flight arrival already occupying
+    /// that nanosecond. `now` is the sender's clock at send time.
+    pub(crate) fn reserve(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        now: SimTime,
+        at: SimTime,
+    ) -> SimTime {
+        let slots = self.inflight.entry((src, dst)).or_default();
+        slots.retain(|&t| t > now);
+        let mut at = at;
+        while slots.contains(&at) {
+            at += SimDuration::from_nanos(1);
+        }
+        slots.push(at);
+        at
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn rng() -> SimRng {
         SimRng::seed_from(1)
+    }
+
+    #[test]
+    fn serializer_bumps_only_exact_collisions() {
+        let mut s = LinkSerializer::default();
+        let (a, b) = (NodeId::from_raw(1), NodeId::from_raw(2));
+        let now = SimTime::from_nanos(100);
+        assert_eq!(
+            s.reserve(a, b, now, SimTime::from_nanos(500)).as_nanos(),
+            500
+        );
+        // Exact collision bumps to the next free nanosecond — chained when
+        // that slot is taken too.
+        assert_eq!(
+            s.reserve(a, b, now, SimTime::from_nanos(500)).as_nanos(),
+            501
+        );
+        assert_eq!(
+            s.reserve(a, b, now, SimTime::from_nanos(500)).as_nanos(),
+            502
+        );
+        // Distinct times pass through untouched, even between collisions.
+        assert_eq!(
+            s.reserve(a, b, now, SimTime::from_nanos(499)).as_nanos(),
+            499
+        );
+        // The reverse direction and other pairs are independent resources.
+        assert_eq!(
+            s.reserve(b, a, now, SimTime::from_nanos(500)).as_nanos(),
+            500
+        );
+        // Delivered arrivals free their slots: advancing the clock past the
+        // reservations lets the nanosecond be reused.
+        let later = SimTime::from_nanos(1_000);
+        assert_eq!(
+            s.reserve(a, b, later, SimTime::from_nanos(1_500))
+                .as_nanos(),
+            1_500
+        );
+        assert_eq!(s.inflight[&(a, b)].len(), 1);
     }
 
     #[test]

@@ -16,15 +16,26 @@
 //! A sharded run is **bitwise identical at any shard count and any thread
 //! count**. Three mechanisms make that hold:
 //!
-//! 1. **Canonical tie-break keys.** Every event a node schedules carries
-//!    the key `(node_raw << 40) | per-node counter` instead of a queue-local
-//!    FIFO number, so the total order on `(at, key)` is a property of the
-//!    *schedule*, not of which queue an event happened to be inserted into
-//!    (or when a mailbox drained it). Tie perturbation scrambles the same
-//!    keys bijectively, exactly like the plain [`World`](crate::World).
-//! 2. **Per-node RNG streams.** Each node draws from its own
-//!    SplitMix-derived stream seeded by `(world seed, node id)`, so the
-//!    draw sequence a node observes is independent of global interleaving.
+//! 1. **Intrinsic canonical tie-break keys.** Every scheduled event's key
+//!    is a hash of its *identity in the schedule* — a message is `(send
+//!    instant, sender, receiver, repeat)`, a timer `(arm instant, node,
+//!    token, repeat)` (see `InstantKeys` in [`crate::world`]) — never of
+//!    the callback that created it. The key is therefore independent of
+//!    which queue an event was inserted into, when a mailbox drained it,
+//!    and which of two same-nanosecond callbacks emitted it: lazily
+//!    triggered work (a window roll run by whichever tick reaches the due
+//!    instant first) mints identical keys in either tie order. Keys are
+//!    distinct with overwhelming probability (64-bit birthday bound). Tie
+//!    perturbation scrambles the keys bijectively at push time, exactly
+//!    like the plain [`World`](crate::World).
+//! 2. **Key-derived send randomness; per-node streams elsewhere.** Each
+//!    sharded send draws its loss and jitter from a one-shot stream seeded
+//!    by its own intrinsic key, so the draw is a property of the message,
+//!    not of how many draws its sender made first — two callbacks tied on
+//!    one nanosecond cannot couple through a shared stream in either
+//!    dispatch order. Every other draw a node makes (`ctx.rng()`) comes
+//!    from its own SplitMix-derived stream seeded by `(world seed, node
+//!    id)`, independent of global interleaving.
 //! 3. **Node-keyed trace/metric state.** Trace and span ids derive from the
 //!    recording node, every trace event is stamped with its dispatch key,
 //!    and per-shard buffers are merged by stamp into one canonical stream;
@@ -48,14 +59,14 @@
 use crate::determinism::{Fingerprint, Fnv64};
 use crate::event::{EventKind, EventQueue};
 use crate::fault::FaultPlan;
-use crate::link::{LinkSpec, Topology};
+use crate::link::{LinkSerializer, LinkSpec, Topology};
 use crate::metrics::{Metrics, MetricsConfig};
 use crate::node::{Message, Node, NodeId};
 use crate::profiler::{ProfCategory, ProfileReport, Profiler};
 use crate::rng::{mix64, SimRng};
 use crate::time::{SimDuration, SimTime};
 use crate::trace::{SpanCtx, TraceConfig, TraceEvent, TraceSink};
-use crate::world::{Context, Outbound, RouteRef, RunReport, StopReason};
+use crate::world::{Context, InstantKeys, Outbound, RouteRef, RunReport, StopReason};
 
 /// Derives the RNG stream for one node from the world seed. Golden-ratio
 /// increments keep the streams well separated under `mix64`.
@@ -73,12 +84,18 @@ struct Shard<M: Message> {
     node_ids: Vec<NodeId>,
     /// Per-node RNG streams (local index).
     rngs: Vec<SimRng>,
-    /// Per-node canonical key counters (local index); start at 1, key
-    /// `node << 40 | 0` is reserved for the `on_start` trace stamp.
-    key_counters: Vec<u64>,
+    /// World seed, folded into key-derived send randomness.
+    seed: u64,
+    /// Intrinsic tie-break key allocator (see `InstantKeys`).
+    keys: InstantKeys,
     metrics: Metrics,
     trace: TraceSink,
     prof: Profiler,
+    /// Per-directed-link arrival serialization. Keyed by `(src, dst)` and a
+    /// source node lives on exactly one shard, so per-shard state reserves
+    /// identically at any shard count — including for cross-shard sends,
+    /// whose arrival time is fixed here at send time before staging.
+    links: LinkSerializer,
     /// Cross-shard sends staged during the current epoch.
     outbox: Vec<Outbound<M>>,
     processed: u64,
@@ -90,7 +107,7 @@ struct Shard<M: Message> {
 }
 
 impl<M: Message> Shard<M> {
-    fn new() -> Self {
+    fn new(seed: u64) -> Self {
         let mut trace = TraceSink::default();
         trace.enable_node_ids();
         Shard {
@@ -98,10 +115,12 @@ impl<M: Message> Shard<M> {
             nodes: Vec::new(),
             node_ids: Vec::new(),
             rngs: Vec::new(),
-            key_counters: Vec::new(),
+            seed,
+            keys: InstantKeys::default(),
             metrics: Metrics::new(),
             trace,
             prof: Profiler::new(),
+            links: LinkSerializer::default(),
             outbox: Vec::new(),
             processed: 0,
             last_dispatch: None,
@@ -134,6 +153,7 @@ impl<M: Message> Shard<M> {
                 queue: &mut self.queue,
                 topology,
                 faults,
+                links: &mut self.links,
                 rng: &mut self.rngs[local],
                 metrics: &mut self.metrics,
                 trace: &mut self.trace,
@@ -142,7 +162,8 @@ impl<M: Message> Shard<M> {
                 route: Some(RouteRef {
                     self_shard,
                     home: home_shard,
-                    key_counter: &mut self.key_counters[local],
+                    seed: self.seed,
+                    keys: &mut self.keys,
                     outbox: &mut self.outbox,
                 }),
             };
@@ -279,7 +300,7 @@ impl<M: Message> ShardedWorld<M> {
     pub fn new(seed: u64, shard_count: u32) -> Self {
         assert!(shard_count > 0, "a world needs at least one shard");
         ShardedWorld {
-            shards: (0..shard_count).map(|_| Shard::new()).collect(),
+            shards: (0..shard_count).map(|_| Shard::new(seed)).collect(),
             home_shard: Vec::new(),
             home_local: Vec::new(),
             names: Vec::new(),
@@ -323,7 +344,6 @@ impl<M: Message> ShardedWorld<M> {
         s.nodes.push(Some(Box::new(node)));
         s.node_ids.push(id);
         s.rngs.push(node_stream(self.seed, id.as_raw()));
-        s.key_counters.push(1);
         self.names.push(name.into());
         id
     }
@@ -633,8 +653,8 @@ impl<M: Message> ShardedWorld<M> {
         h.finish()
     }
 
-    /// The canonical stamp key a node's `on_start` trace events carry:
-    /// reserved counter value 0, scrambled like every dispatch key when a
+    /// The stamp key a node's `on_start` trace events carry: the synthetic
+    /// key `node_raw << 40`, scrambled like every dispatch key when a
     /// perturbation is active.
     fn start_stamp_key(&self, id: NodeId) -> u64 {
         let raw = (id.as_raw() as u64) << 40;

@@ -3,11 +3,11 @@
 use crate::determinism::{perturbation_key, DeterminismReport, Fingerprint, PerturbedRun};
 use crate::event::{EventKind, EventQueue};
 use crate::fault::FaultPlan;
-use crate::link::{LinkSpec, Topology};
+use crate::link::{LinkSerializer, LinkSpec, Topology};
 use crate::metrics::{keys, Metrics, MetricsConfig};
 use crate::node::{Message, Node, NodeId, TimerToken};
 use crate::profiler::{ProfCategory, ProfTimer, ProfileReport, Profiler};
-use crate::rng::SimRng;
+use crate::rng::{mix64, SimRng};
 use crate::time::{SimDuration, SimTime};
 use crate::trace::{SpanCtx, TraceConfig, TraceEvent, TracePhase, TraceSink};
 
@@ -37,10 +37,67 @@ pub struct RunReport {
 /// delivered into the destination shard's queue at the next barrier.
 pub(crate) struct Outbound<M> {
     pub at: SimTime,
-    /// Canonical tie-break key `(source node << 40) | per-node counter`.
+    /// Intrinsic canonical tie-break key (see [`InstantKeys`]).
     pub key: u64,
     pub dst_shard: u32,
     pub kind: EventKind<M>,
+}
+
+/// Domain separator folded into message keys (arbitrary odd constant).
+const MSG_DOMAIN: u64 = 0xD6E8_FEB8_6659_FD93;
+/// Domain separator folded into timer keys (arbitrary odd constant).
+const TIMER_DOMAIN: u64 = 0xA24B_AED4_963E_E407;
+
+/// Allocator of **intrinsic canonical tie-break keys** for the sharded
+/// executor (one per shard; the plain [`World`] keeps FIFO sequence
+/// numbers).
+///
+/// An event's key is a hash of its *identity in the schedule*, not of the
+/// callback that created it: a message is `(send instant, sender,
+/// receiver, k)` and a timer is `(arm instant, node, token, k)`, where `k`
+/// counts repeats of the same tuple within the instant. Two callbacks tied
+/// on one nanosecond therefore mint the *same* keys for the same logical
+/// events in either dispatch order — in particular, lazily triggered work
+/// (e.g. a window roll run by whichever periodic tick reaches the due
+/// instant first) emits identically-keyed messages no matter which tick
+/// hosts it. A node dispatches only on its home shard and a shard pops in
+/// canonical `(at, key)` order, so the `k` sequence is itself invariant
+/// across shard counts, thread counts and tie-break permutations.
+///
+/// Keys are distinct with overwhelming probability (64-bit birthday bound
+/// at simulation event counts); the repeat counter keeps the only
+/// systematic collision source (identical tuple, same instant) apart.
+#[derive(Debug, Default)]
+pub(crate) struct InstantKeys {
+    /// Instant the repeat counters refer to; counters reset when the
+    /// shard's dispatch time moves on.
+    stamp: Option<SimTime>,
+    /// `(domain, a, b)` → repeats minted at `stamp`. Never iterated, so
+    /// the map's ordering cannot leak into results.
+    counts: std::collections::HashMap<(u64, u64, u64), u64>,
+}
+
+impl InstantKeys {
+    fn next(&mut self, now: SimTime, domain: u64, a: u64, b: u64) -> u64 {
+        if self.stamp != Some(now) {
+            self.counts.clear();
+            self.stamp = Some(now);
+        }
+        let k = self.counts.entry((domain, a, b)).or_insert(0);
+        let key = mix64(mix64(mix64(mix64(domain ^ now.as_nanos()) ^ a) ^ b) ^ *k);
+        *k += 1;
+        key
+    }
+
+    /// Key of a message sent `from → to` at `now`.
+    fn next_msg(&mut self, now: SimTime, from: NodeId, to: NodeId) -> u64 {
+        self.next(now, MSG_DOMAIN, from.as_raw() as u64, to.as_raw() as u64)
+    }
+
+    /// Key of a timer armed on `node` at `now` carrying `token`.
+    fn next_timer(&mut self, now: SimTime, node: NodeId, token: TimerToken) -> u64 {
+        self.next(now, TIMER_DOMAIN, node.as_raw() as u64, token.get())
+    }
 }
 
 /// Sharded-execution routing state threaded into a [`Context`] by the
@@ -51,21 +108,13 @@ pub(crate) struct RouteRef<'a, M> {
     pub self_shard: u32,
     /// Global node raw index → owning shard.
     pub home: &'a [u32],
-    /// Per-node canonical key counter of the executing node. Counters
-    /// start at 1; key `node << 40 | 0` is reserved for the node's
-    /// `on_start` trace stamp.
-    pub key_counter: &'a mut u64,
+    /// World seed; sharded sends fold it into their key-derived one-shot
+    /// randomness streams.
+    pub seed: u64,
+    /// The owning shard's intrinsic key allocator (see [`InstantKeys`]).
+    pub keys: &'a mut InstantKeys,
     /// Staging area for cross-shard sends (drained at the epoch barrier).
     pub outbox: &'a mut Vec<Outbound<M>>,
-}
-
-impl<M> RouteRef<'_, M> {
-    /// Allocates the next canonical tie-break key for the executing node.
-    fn next_key(&mut self, node: NodeId) -> u64 {
-        let key = ((node.as_raw() as u64) << 40) | *self.key_counter;
-        *self.key_counter += 1;
-        key
-    }
 }
 
 /// The execution environment handed to node callbacks.
@@ -78,6 +127,7 @@ pub struct Context<'a, M: Message> {
     pub(crate) queue: &'a mut EventQueue<M>,
     pub(crate) topology: &'a Topology,
     pub(crate) faults: &'a FaultPlan,
+    pub(crate) links: &'a mut LinkSerializer,
     pub(crate) rng: &'a mut SimRng,
     pub(crate) metrics: &'a mut Metrics,
     pub(crate) trace: &'a mut TraceSink,
@@ -137,6 +187,24 @@ impl<'a, M: Message> Context<'a, M> {
             .topology
             .link(self.self_id, to)
             .unwrap_or_else(|| panic!("no link {} -> {}", self.self_id, to));
+        // A sharded send draws its loss and jitter from a one-shot stream
+        // seeded by its intrinsic canonical key (see [`InstantKeys`]): the
+        // draw is a pure function of the message's identity — (instant,
+        // sender, receiver, repeat) — so two callbacks tied on one
+        // nanosecond cannot couple through a shared stream in either
+        // dispatch order. A dropped send still consumes its key — loss
+        // must not shift the repeat counter for later same-pair sends.
+        // Plain worlds keep the global stream (byte-for-byte the
+        // pre-shard path).
+        let (now, self_id) = (self.now, self.self_id);
+        let mut keyed: Option<(u64, SimRng)> = self.route.as_mut().map(|route| {
+            let key = route.keys.next_msg(now, self_id, to);
+            (key, SimRng::seed_from(mix64(route.seed ^ key)))
+        });
+        let rng: &mut SimRng = match keyed.as_mut() {
+            Some((_, rng)) => rng,
+            None => &mut *self.rng,
+        };
         // Fault windows are evaluated at send time. The empty-plan path
         // draws no randomness and records no metrics, so a world without a
         // FaultPlan is bit-identical to one predating fault injection.
@@ -148,21 +216,29 @@ impl<'a, M: Message> Context<'a, M> {
                 self.metrics.incr_id(keys::id::NET_FAULT_DROPPED, 1);
                 return;
             }
-            if effect.loss > 0.0 && self.rng.chance(effect.loss) {
+            if effect.loss > 0.0 && rng.chance(effect.loss) {
                 self.prof.record(ProfCategory::LinkFault, t);
                 self.metrics.incr_id(keys::id::NET_FAULT_DROPPED, 1);
                 return;
             }
             fault_delay = effect.extra_delay;
         }
-        if link.sample_loss(self.rng) {
+        if link.sample_loss(rng) {
             self.prof.record(ProfCategory::LinkFault, t);
             self.metrics.incr_id(keys::id::NET_DROPPED, 1);
             return;
         }
         let wire = msg.wire_size();
-        let owd = link.sample_owd(wire, self.rng);
-        let at = self.now + local_delay + owd + fault_delay;
+        let owd = link.sample_owd(wire, rng);
+        // The link delivers serially: an arrival that lands on an occupied
+        // nanosecond is bumped to the next free one, so same-pair messages
+        // never tie at the receiver (see [`LinkSerializer`]).
+        let at = self.links.reserve(
+            self.self_id,
+            to,
+            self.now,
+            self.now + local_delay + owd + fault_delay,
+        );
         let kind = EventKind::Deliver {
             to,
             from: self.self_id,
@@ -172,12 +248,12 @@ impl<'a, M: Message> Context<'a, M> {
         match &mut self.route {
             None => self.queue.push(at, kind),
             Some(route) => {
-                // Sharded: the tie-break key is a property of the schedule
-                // (source node, per-node counter), not of queue insertion
-                // order, so simultaneous events pop identically at any
-                // shard count. Cross-shard events stage in the outbox and
-                // enter the destination queue at the epoch barrier.
-                let key = route.next_key(self.self_id);
+                // Sharded: the intrinsic tie-break key is a property of
+                // the message's identity, not of queue insertion order, so
+                // simultaneous events pop identically at any shard count.
+                // Cross-shard events stage in the outbox and enter the
+                // destination queue at the epoch barrier.
+                let key = keyed.map(|(key, _)| key).expect("sharded send has a key");
                 if route.home[to.index()] == route.self_shard {
                     self.queue.push_keyed(at, key, kind);
                 } else {
@@ -221,7 +297,7 @@ impl<'a, M: Message> Context<'a, M> {
             None => self.queue.push(self.now + delay, kind),
             Some(route) => {
                 // Timers are always shard-local (a node arms only itself).
-                let key = route.next_key(self.self_id);
+                let key = route.keys.next_timer(self.now, self.self_id, token);
                 self.queue.push_keyed(self.now + delay, key, kind);
             }
         }
@@ -432,6 +508,7 @@ pub struct World<M: Message> {
     names: Vec<String>,
     topology: Topology,
     faults: FaultPlan,
+    links: LinkSerializer,
     rng: SimRng,
     metrics: Metrics,
     trace: TraceSink,
@@ -452,6 +529,7 @@ impl<M: Message> World<M> {
             names: Vec::new(),
             topology: Topology::new(),
             faults: FaultPlan::new(),
+            links: LinkSerializer::default(),
             rng: SimRng::seed_from(seed),
             metrics: Metrics::new(),
             trace: TraceSink::default(),
@@ -666,8 +744,9 @@ impl<M: Message> World<M> {
         self.metrics.incr_id(keys::id::NET_MESSAGES, 1);
         self.metrics
             .incr_id(keys::id::NET_BYTES, msg.wire_size() as u64);
+        let at = self.links.reserve(from, to, self.clock, self.clock + owd);
         self.queue.push(
-            self.clock + owd,
+            at,
             EventKind::Deliver {
                 to,
                 from,
@@ -770,6 +849,7 @@ impl<M: Message> World<M> {
                 self_id: id,
                 queue: &mut self.queue,
                 topology: &self.topology,
+                links: &mut self.links,
                 faults: &self.faults,
                 rng: &mut self.rng,
                 metrics: &mut self.metrics,

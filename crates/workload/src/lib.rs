@@ -22,10 +22,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod roam;
 mod schedule;
 mod trace;
 mod zipf;
 
+pub use roam::{generate_roam_schedule, RoamConfig, RoamEvent};
 pub use schedule::{generate_schedule, per_app_counts, Execution, ScheduleConfig};
 pub use trace::{generate_trace, trace_stats, Packet, TraceSpec, TraceStats};
 pub use zipf::{ZipfConfig, ZipfMode, ZipfSampler};
